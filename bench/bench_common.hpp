@@ -1,0 +1,54 @@
+// Shared output plumbing for the figure-reproduction benches: every bench
+// prints its series as an aligned table plus an ASCII chart, and writes
+// CSV + gnuplot files under bench_out/.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report/ascii_chart.hpp"
+#include "report/csv.hpp"
+#include "report/gnuplot.hpp"
+#include "report/series.hpp"
+#include "report/table.hpp"
+
+namespace enb::bench {
+
+inline constexpr const char* kOutDir = "bench_out";
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n==== " << id << ": " << title << " ====\n\n";
+}
+
+// Emits the standard bundle for an x-sweep figure: table, chart, CSV, .gp.
+inline void emit_sweep(const std::string& stem, const std::string& x_name,
+                       const std::vector<report::Series>& series,
+                       report::ChartOptions chart_options) {
+  report::Table table([&] {
+    std::vector<std::string> headers{x_name};
+    for (const auto& s : series) headers.push_back(s.name);
+    return headers;
+  }());
+  for (std::size_t i = 0; i < series.front().size(); ++i) {
+    std::vector<double> values;
+    for (const auto& s : series) values.push_back(s.y[i]);
+    table.add_row(report::format_double(series.front().x[i], 4), values);
+  }
+  std::cout << table.to_text() << "\n";
+  std::cout << report::line_chart(series, chart_options) << "\n";
+
+  report::write_series_csv_file(std::string(kOutDir) + "/" + stem + ".csv",
+                                x_name, series);
+  report::GnuplotOptions gp;
+  gp.title = chart_options.title;
+  gp.x_label = chart_options.x_label;
+  gp.y_label = chart_options.y_label;
+  gp.log_x = chart_options.log_x;
+  gp.log_y = chart_options.log_y;
+  report::write_gnuplot(kOutDir, stem, series, gp);
+  std::cout << "wrote " << kOutDir << "/" << stem << ".csv and " << stem
+            << ".gp\n";
+}
+
+}  // namespace enb::bench

@@ -1,0 +1,70 @@
+// Extension V2: empirical energy factors vs Corollary 2. The size-bound
+// check (empirical_vs_bound) validates Theorem 2; this bench closes the loop
+// on the *energy* side: estimate the switched-capacitance + leakage energy
+// of real redundant implementations (activities measured under fault
+// injection, Nemani–Najm-style capacitance model calibrated to the paper's
+// 50%-leakage baseline) and place the measured factors against the
+// analytical floor.
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "core/energy_estimate.hpp"
+#include "ft/multiplex.hpp"
+#include "ft/nmr.hpp"
+#include "gen/adders.hpp"
+#include "gen/iscas.hpp"
+#include "sim/reliability.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("ext_energy_empirical",
+                "measured energy of real redundancy vs the Corollary 2 floor");
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const auto& [label, base] :
+       std::vector<std::pair<std::string, netlist::Circuit>>{
+           {"c17", gen::c17()}, {"rca8", gen::ripple_carry_adder(8)}}) {
+    const core::CircuitProfile profile = core::extract_profile(base);
+
+    report::Table table({"scheme", "eps", "measured E factor",
+                         "Cor.2 floor", "delta_hat", "W_L redundant"});
+    for (double eps : {0.001, 0.01, 0.05}) {
+      const core::BoundReport bound = core::analyze(profile, eps, 0.01);
+
+      for (const auto& [scheme, redundant] :
+           std::vector<std::pair<std::string, netlist::Circuit>>{
+               {"tmr", ft::nmr_transform(base).circuit},
+               {"tmr^2", ft::cascaded_tmr(base, 2)}}) {
+        const auto measured =
+            core::empirical_energy_factor(base, redundant, eps);
+        sim::ReliabilityOptions rel_options;
+        rel_options.trials = 1 << 14;
+        const auto rel = sim::estimate_reliability_vs(redundant, base, eps,
+                                                      rel_options);
+        table.add_row({scheme, report::format_double(eps, 3),
+                       report::format_double(measured.factor, 4),
+                       report::format_double(bound.energy.total_factor, 4),
+                       report::format_double(rel.delta_hat, 4),
+                       report::format_double(measured.wl_redundant, 4)});
+        csv_rows.push_back({label, scheme, report::format_double(eps, 8),
+                            report::format_double(measured.factor, 8),
+                            report::format_double(bound.energy.total_factor,
+                                                  8)});
+      }
+    }
+    std::cout << "base " << label << " (S0 = " << profile.size_s0
+              << ", sw0 = "
+              << report::format_double(profile.avg_activity_sw0, 3)
+              << ", baseline W_L calibrated to 1):\n"
+              << table.to_text() << "\n";
+  }
+
+  report::write_csv_file(
+      std::string(bench::kOutDir) + "/ext_energy_empirical.csv",
+      {"base", "scheme", "eps", "measured_E", "bound_E"}, csv_rows);
+  std::cout << "wrote " << bench::kOutDir << "/ext_energy_empirical.csv\n";
+  std::cout
+      << "\ncheck: every measured factor must exceed the Corollary 2 floor "
+         "for its (eps, delta=0.01) point — the floor is information-"
+         "theoretic, real schemes pay the structural 3x/9x premium\n";
+  return 0;
+}

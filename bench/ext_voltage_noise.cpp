@@ -1,0 +1,79 @@
+// Extension N1: the closed voltage–noise–redundancy loop. The paper
+// contrasts its redundancy bounds with Hegde–Shanbhag [11], where lowering
+// Vdd trades energy for noise. Coupling the two: as Vdd drops,
+//   * switching energy falls as V² (the [11] win), but
+//   * the gate error ε(Vdd) = Q(Vdd/2σ) rises, so the paper's bounds demand
+//     more redundancy, more depth, more total energy.
+// The product of the two effects yields an interior optimum supply — the
+// quantitative version of the paper's "our goal is different" remark.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "core/delay_model.hpp"
+#include "core/noise_voltage.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("ext_voltage_noise",
+                "voltage scaling with noise-coupled gate error");
+
+  const core::CircuitProfile profile =
+      core::make_profile("parity10_shannon", 10, 21, 0.5, 2, 10);
+  const core::TechnologyParams tech;
+  core::NoiseVoltageParams noise;
+  noise.sigma = 0.06;  // 60 mV RMS noise
+
+  report::Series raw_energy("cv2_energy", {}, {});
+  report::Series bound_energy("bound_total_energy", {}, {});
+  report::Table table(
+      {"Vdd", "eps(Vdd)", "CV^2 scale", "bound factor", "combined"});
+
+  double best_combined = 1e300;
+  double best_vdd = 0.0;
+  const auto vdd_grid = core::linear_grid(0.05, 1.4, 28);
+  for (double vdd : vdd_grid) {
+    const double eps = core::epsilon_of_vdd(vdd, noise);
+    const double cv2 = core::energy_scale(vdd, tech);
+    double combined = std::numeric_limits<double>::infinity();
+    double bound = std::numeric_limits<double>::infinity();
+    if (eps < 0.5) {
+      const core::BoundReport r =
+          core::analyze(profile, std::min(eps, 0.499), 0.01);
+      bound = r.energy.total_factor;
+      combined = cv2 * bound;
+    }
+    table.add_row(report::format_double(vdd, 3),
+                  {eps, cv2, bound, combined});
+    raw_energy.push(vdd, cv2);
+    bound_energy.push(vdd, combined);
+    if (combined < best_combined) {
+      best_combined = combined;
+      best_vdd = vdd;
+    }
+  }
+  std::cout << table.to_text() << "\n";
+
+  report::ChartOptions chart;
+  chart.title = "energy vs Vdd: bare CV^2 vs noise-coupled bound";
+  chart.x_label = "Vdd (V)";
+  chart.log_y = true;
+  bench::emit_sweep("ext_voltage_noise", "vdd", {raw_energy, bound_energy},
+                    chart);
+
+  const bool interior =
+      best_vdd > vdd_grid.front() + 1e-9 && best_vdd < vdd_grid.back() - 1e-9;
+  std::cout << "finding: bare CV^2 says 'always lower Vdd' ([11]'s lever); "
+               "with the noise coupling the redundancy floor takes over and "
+               "the combined energy factor is minimized at Vdd = "
+            << report::format_double(best_vdd, 3) << " V (factor "
+            << report::format_double(best_combined, 4) << ", "
+            << (interior ? "an interior optimum" : "at the sweep edge")
+            << ") — the two levers compose into a single optimum instead of "
+               "competing\n";
+  std::cout << "note: the sweep deliberately extends below V_T; only the "
+               "CV^2 energy and the redundancy floor are combined here "
+               "(delay is reported separately by Theorem 4 and diverges "
+               "before the energy optimum)\n";
+  return 0;
+}

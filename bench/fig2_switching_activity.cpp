@@ -1,0 +1,35 @@
+// Figure 2 reproduction: switching activity of error-prone devices as a
+// function of the error-free switching activity, for a family of ε values.
+// Expected shape: straight lines through the fixed point (0.5, 0.5) with
+// slope (1−2ε)², collapsing onto sw = 0.5 as ε → 0.5.
+#include "bench_common.hpp"
+#include "core/activity_model.hpp"
+#include "core/analyzer.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("fig2", "sw(z) vs sw(y) under the symmetric error channel");
+
+  const std::vector<double> epsilons{0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+  const std::vector<double> sw_grid = core::linear_grid(0.0, 1.0, 21);
+
+  std::vector<report::Series> series;
+  for (double eps : epsilons) {
+    report::Series s("eps=" + report::format_double(eps, 3), {}, {});
+    for (double sw : sw_grid) s.push(sw, core::noisy_activity(sw, eps));
+    series.push_back(std::move(s));
+  }
+
+  report::ChartOptions chart;
+  chart.title = "Fig 2: noisy switching activity (fixed point at 0.5)";
+  chart.x_label = "sw(y) error-free";
+  chart.y_label = "sw(z)";
+  bench::emit_sweep("fig2_switching_activity", "sw_clean", series, chart);
+
+  // Shape checks mirrored in EXPERIMENTS.md.
+  std::cout << "check: slope at eps=0.1 is (1-2e)^2 = "
+            << core::activity_contraction(0.1) << " (expect 0.64)\n";
+  std::cout << "check: eps=0.5 line is flat at "
+            << core::noisy_activity(0.1, 0.5) << " (expect 0.5)\n";
+  return 0;
+}

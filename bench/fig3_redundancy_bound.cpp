@@ -1,0 +1,57 @@
+// Figure 3 reproduction: minimum redundancy (Theorem 2 / Corollary 1 lower
+// bound) as a function of the device error ε, for the paper's instance —
+// 10-input parity, sensitivity s = 10, error-free size S0 = 21, δ = 0.01 —
+// with 2-, 3- and 4-input gate implementations.
+// Expected shape: monotone in ε, diverging at ε → 0.5, with more than an
+// order of magnitude redundancy factor near 0.5; larger fanin lies lower.
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "core/size_bound.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("fig3",
+                "minimum redundancy vs eps (s=10, S0=21, delta=0.01)");
+
+  const double s = 10;
+  const double s0 = 21;
+  const double delta = 0.01;
+  const std::vector<double> eps_grid = core::log_grid(1e-3, 0.49, 25);
+
+  std::vector<report::Series> gates_series;
+  std::vector<report::Series> factor_series;
+  for (int k : {2, 3, 4}) {
+    report::Series gates("k=" + std::to_string(k), {}, {});
+    report::Series factor("k=" + std::to_string(k), {}, {});
+    for (double eps : eps_grid) {
+      const double r = core::redundancy_lower_bound(s, k, eps, delta);
+      gates.push(eps, r);
+      factor.push(eps, (s0 + r) / s0);
+    }
+    gates_series.push_back(std::move(gates));
+    factor_series.push_back(std::move(factor));
+  }
+
+  report::ChartOptions chart;
+  chart.title = "Fig 3: redundancy lower bound (gates)";
+  chart.x_label = "gate error eps";
+  chart.y_label = "additional gates (log)";
+  chart.log_x = true;
+  chart.log_y = true;
+  bench::emit_sweep("fig3_redundancy_bound", "eps", gates_series, chart);
+
+  chart.title = "Fig 3 (factor form): (S0+R)/S0";
+  chart.y_label = "size factor";
+  bench::emit_sweep("fig3_redundancy_factor", "eps", factor_series, chart);
+
+  const double near_half = core::redundancy_lower_bound(s, 2, 0.45, delta);
+  std::cout << "check: redundancy factor at eps=0.45, k=2 is "
+            << report::format_double((s0 + near_half) / s0, 4)
+            << "x (paper: more than an order of magnitude near 0.5)\n";
+  std::cout << "check: upper-bound shape O(S0 log S0) = "
+            << core::size_upper_bound_shape(s0)
+            << " gates for the error-free size, vs lower bound at eps=0.01, "
+               "k=2: "
+            << s0 + core::redundancy_lower_bound(s, 2, 0.01, delta) << "\n";
+  return 0;
+}

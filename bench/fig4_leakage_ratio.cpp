@@ -1,0 +1,38 @@
+// Figure 4 reproduction: normalized leakage/switching energy ratio
+// W_L,ε,δ / W_L,0 (Theorem 3) as a function of ε for several error-free
+// switching activities sw0. Log Y axis, as in the paper.
+// Expected shape: < 1 and falling for sw0 < 0.5, ≡ 1 at sw0 = 0.5, > 1 and
+// rising for sw0 > 0.5.
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "core/leakage_model.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("fig4", "normalized leakage/switching ratio vs eps");
+
+  const std::vector<double> sw_values{0.1, 0.2, 0.3, 0.5, 0.7, 0.8, 0.9};
+  const std::vector<double> eps_grid = core::linear_grid(0.0, 0.5, 26);
+
+  std::vector<report::Series> series;
+  for (double sw0 : sw_values) {
+    report::Series s("sw0=" + report::format_double(sw0, 2), {}, {});
+    for (double eps : eps_grid) s.push(eps, core::leakage_ratio(sw0, eps));
+    series.push_back(std::move(s));
+  }
+
+  report::ChartOptions chart;
+  chart.title = "Fig 4: W_L,eps / W_L,0 (Theorem 3)";
+  chart.x_label = "gate error eps";
+  chart.y_label = "normalized leakage ratio (log)";
+  chart.log_y = true;
+  bench::emit_sweep("fig4_leakage_ratio", "eps", series, chart);
+
+  std::cout << "check: sw0=0.5 stays at "
+            << core::leakage_ratio(0.5, 0.3) << " for every eps (expect 1)\n";
+  std::cout << "check: sw0=0.1 at eps=0.4: "
+            << core::leakage_ratio(0.1, 0.4)
+            << " (< 1: noisy gates idle less); sw0=0.9 at eps=0.4: "
+            << core::leakage_ratio(0.9, 0.4) << " (> 1)\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 5 reproduction: normalized delay and energy×delay lower bounds vs
+// ε for 2-, 3- and 4-input gate implementations. Parameters as in Figure 3
+// (s=10, S0=21, δ=0.01) with sw0 = 0.5 and equal switching/leakage shares in
+// the baseline. Log Y axis.
+// Expected shape: both curves diverge at ξ² = 1/k (ε ≈ 0.146 / 0.211 / 0.25
+// for k = 2/3/4); the E×D curve lies above the delay curve.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "core/depth_bound.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("fig5", "normalized delay and energy-delay vs eps");
+
+  const core::CircuitProfile profile =
+      core::make_profile("parity10_shannon", 10, 21, 0.5, 2, 10);
+  const std::vector<double> eps_grid = core::log_grid(1e-3, 0.3, 30);
+
+  std::vector<report::Series> delay_series;
+  std::vector<report::Series> edp_series;
+  for (int k : {2, 3, 4}) {
+    core::CircuitProfile p = profile;
+    p.avg_fanin_k = k;
+    report::Series delay("delay_k" + std::to_string(k), {}, {});
+    report::Series edp("edp_k" + std::to_string(k), {}, {});
+    for (double eps : eps_grid) {
+      const core::BoundReport r = core::analyze(p, eps, 0.01);
+      delay.push(eps, r.metrics.delay);
+      edp.push(eps, r.metrics.edp);
+    }
+    std::cout << "k=" << k << ": depth bound diverges at eps = "
+              << report::format_double(core::max_feasible_epsilon(k), 4)
+              << "\n";
+    delay_series.push_back(std::move(delay));
+    edp_series.push_back(std::move(edp));
+  }
+  std::cout << "\n";
+
+  report::ChartOptions chart;
+  chart.title = "Fig 5a: normalized delay lower bound";
+  chart.x_label = "gate error eps";
+  chart.y_label = "D_eps / D_0 (log)";
+  chart.log_x = true;
+  chart.log_y = true;
+  bench::emit_sweep("fig5_delay", "eps", delay_series, chart);
+
+  chart.title = "Fig 5b: normalized energy x delay lower bound";
+  chart.y_label = "EDP factor (log)";
+  bench::emit_sweep("fig5_edp", "eps", edp_series, chart);
+
+  // Shape check: EDP >= delay pointwise (energy factor >= 1).
+  bool edp_above = true;
+  for (std::size_t i = 0; i < delay_series[0].size(); ++i) {
+    if (std::isfinite(delay_series[0].y[i]) &&
+        edp_series[0].y[i] < delay_series[0].y[i] - 1e-12) {
+      edp_above = false;
+    }
+  }
+  std::cout << "check: EDP curve above delay curve: "
+            << (edp_above ? "yes" : "NO") << "\n";
+  return 0;
+}

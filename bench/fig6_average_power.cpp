@@ -1,0 +1,62 @@
+// Figure 6 reproduction: normalized average power (energy bound divided by
+// delay bound) vs ε for fanin 2, 3 and 4. Parameters as in Figure 3 with
+// sw0 = 0.5 and equal switching/leakage shares.
+// Expected shape: > 1 at low ε (size and thus energy grows faster than
+// delay) with larger fanin reducing the overhead; crossing below 1 at larger
+// ε where the depth bound diverges faster, making fault-tolerant designs
+// power-efficient at the cost of latency.
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("fig6", "normalized average power vs eps");
+
+  const std::vector<double> eps_grid = core::log_grid(1e-3, 0.24, 30);
+
+  std::vector<report::Series> series;
+  for (int k : {2, 3, 4}) {
+    core::CircuitProfile p =
+        core::make_profile("parity10_shannon", 10, 21, 0.5, k, 10);
+    report::Series s("power_k" + std::to_string(k), {}, {});
+    for (double eps : eps_grid) {
+      const core::BoundReport r = core::analyze(p, eps, 0.01);
+      s.push(eps, r.metrics.avg_power);
+    }
+    series.push_back(std::move(s));
+  }
+
+  report::ChartOptions chart;
+  chart.title = "Fig 6: normalized average power";
+  chart.x_label = "gate error eps";
+  chart.y_label = "P_eps / P_0";
+  chart.log_x = true;
+  bench::emit_sweep("fig6_average_power", "eps", series, chart);
+
+  // Crossover report per fanin.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    double crossover = -1.0;
+    for (std::size_t i = 0; i < series[si].size(); ++i) {
+      if (series[si].y[i] < 1.0 && series[si].y[i] > 0.0) {
+        crossover = series[si].x[i];
+        break;
+      }
+    }
+    std::cout << "check: " << series[si].name
+              << " drops below 1 at eps ~ "
+              << (crossover > 0 ? report::format_double(crossover, 3)
+                                : std::string("(none in range)"))
+              << "\n";
+  }
+  std::cout << "check: at eps=0.01 the power overhead shrinks with fanin: ";
+  for (int k : {2, 3, 4}) {
+    core::CircuitProfile p =
+        core::make_profile("x", 10, 21, 0.5, k, 10);
+    std::cout << "k" << k << "="
+              << report::format_double(
+                     core::analyze(p, 0.01, 0.01).metrics.avg_power, 4)
+              << " ";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// The abstract's headline: "99% error resilience is possible for
+// fault-tolerant designs, but at the expense of at least 40% more energy if
+// individual gates fail independently with probability of 1%."
+// This bench evaluates the energy lower bound at (ε, δ) = (0.01, 0.01)
+// across the mapped suite plus the paper's own parity instance and reports
+// where the 40% threshold is crossed.
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "suite_common.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("headline", "99% resilience costs >= 40% energy at eps = 1%");
+
+  const double eps = 0.01;
+  const double delta = 0.01;  // 1 - delta = 99% resilience
+
+  report::Table table(
+      {"circuit", "s/S0", "sw0", "E_switching", "E_total", ">=1.4x"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  const auto add_row = [&](const std::string& name,
+                           const core::CircuitProfile& profile) {
+    const core::BoundReport r = core::analyze(profile, eps, delta);
+    table.add_row(
+        {name,
+         report::format_double(profile.sensitivity_s / profile.size_s0, 3),
+         report::format_double(profile.avg_activity_sw0, 3),
+         report::format_double(r.energy.switching_factor, 4),
+         report::format_double(r.energy.total_factor, 4),
+         r.energy.switching_factor >= 1.4 || r.energy.total_factor >= 1.4
+             ? "yes"
+             : "no"});
+    csv_rows.push_back({name,
+                        report::format_double(r.energy.switching_factor, 8),
+                        report::format_double(r.energy.total_factor, 8)});
+    return std::max(r.energy.switching_factor, r.energy.total_factor);
+  };
+
+  double best = 0.0;
+  for (const auto& pb : bench::profile_suite()) {
+    best = std::max(best, add_row(pb.spec.name, pb.profile));
+  }
+  // High s/S0 instances — small arithmetic slices — are where the paper's
+  // "in some cases" lives; include explicit extremal profiles.
+  best = std::max(best, add_row("and4_tree (s=4,S0=3)",
+                                core::make_profile("and4", 4, 3, 0.3, 2, 4)));
+  best = std::max(best,
+                  add_row("parity10_shannon (paper Fig 3 instance)",
+                          core::make_profile("parity10", 10, 21, 0.5, 2, 10)));
+
+  std::cout << table.to_text() << "\n";
+  report::write_csv_file(std::string(bench::kOutDir) + "/headline_claim.csv",
+                         {"circuit", "E_switching", "E_total"}, csv_rows);
+  std::cout << "wrote " << bench::kOutDir << "/headline_claim.csv\n\n";
+
+  std::cout << "verdict: max energy lower bound at (eps, delta) = (1%, 1%) is "
+            << report::format_double(best, 4) << "x -> the paper's "
+            << "'at least 40% more energy' claim "
+            << (best >= 1.4 ? "REPRODUCES" : "DOES NOT REPRODUCE")
+            << " (claim reads 'in some cases', i.e. max over circuits)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// P1: substrate micro-benchmarks (google-benchmark). Not a paper figure —
+// this measures the cost of the machinery that regenerates the figures:
+// bit-parallel simulation, fault injection, activity estimation, BDD
+// construction, sensitivity, mapping, and bound evaluation.
+#include <benchmark/benchmark.h>
+
+#include "bdd/circuit_to_bdd.hpp"
+#include "core/analyzer.hpp"
+#include "core/size_bound.hpp"
+#include "ft/nmr.hpp"
+#include "gen/adders.hpp"
+#include "gen/multipliers.hpp"
+#include "sim/activity.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/noise.hpp"
+#include "sim/prng.hpp"
+#include "sim/reliability.hpp"
+#include "sim/sensitivity.hpp"
+#include "synth/mapper.hpp"
+
+namespace {
+
+using namespace enb;
+
+void BM_LogicSimRca32(benchmark::State& state) {
+  const auto c = gen::ripple_carry_adder(32);
+  sim::LogicSim simulator(c);
+  sim::Xoshiro256 rng(1);
+  std::vector<sim::Word> inputs(c.num_inputs());
+  for (auto& w : inputs) w = rng.next();
+  for (auto _ : state) {
+    simulator.eval(inputs);
+    benchmark::DoNotOptimize(simulator.values().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.gate_count()) * 64);
+}
+BENCHMARK(BM_LogicSimRca32);
+
+void BM_NoisySimRca32(benchmark::State& state) {
+  const auto c = gen::ripple_carry_adder(32);
+  sim::NoisySim simulator(c, 0.01, 7);
+  sim::Xoshiro256 rng(1);
+  std::vector<sim::Word> inputs(c.num_inputs());
+  for (auto& w : inputs) w = rng.next();
+  for (auto _ : state) {
+    simulator.eval(inputs);
+    benchmark::DoNotOptimize(simulator.values().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.gate_count()) * 64);
+}
+BENCHMARK(BM_NoisySimRca32);
+
+void BM_ActivityEstimateMult8(benchmark::State& state) {
+  const auto c = gen::array_multiplier(8);
+  sim::ActivityOptions options;
+  options.sample_pairs = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_activity(c, options));
+  }
+}
+BENCHMARK(BM_ActivityEstimateMult8);
+
+void BM_BddBuildMult4(benchmark::State& state) {
+  const auto c = gen::array_multiplier(4);
+  for (auto _ : state) {
+    bdd::Bdd manager(static_cast<unsigned>(c.num_inputs()));
+    benchmark::DoNotOptimize(bdd::build_output_bdds(manager, c));
+  }
+}
+BENCHMARK(BM_BddBuildMult4);
+
+void BM_SensitivityRca8(benchmark::State& state) {
+  const auto c = gen::ripple_carry_adder(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compute_sensitivity(c));
+  }
+}
+BENCHMARK(BM_SensitivityRca8);
+
+void BM_MapCla16(benchmark::State& state) {
+  const auto c = gen::carry_lookahead_adder(16);
+  synth::MapOptions options;
+  options.verify = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::map_to_library(c, options));
+  }
+}
+BENCHMARK(BM_MapCla16);
+
+void BM_ReliabilityTmrC17(benchmark::State& state) {
+  const auto base = gen::ripple_carry_adder(4);
+  const auto tmr = ft::nmr_transform(base).circuit;
+  sim::ReliabilityOptions options;
+  options.trials = 1 << 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::estimate_reliability_vs(tmr, base, 0.01, options));
+  }
+}
+BENCHMARK(BM_ReliabilityTmrC17);
+
+void BM_BoundEvaluation(benchmark::State& state) {
+  const auto profile = core::make_profile("p", 10, 21, 0.5, 2, 10);
+  double eps = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(profile, eps, 0.01));
+    eps = eps < 0.4 ? eps * 1.01 : 0.001;
+  }
+}
+BENCHMARK(BM_BoundEvaluation);
+
+void BM_RedundancyBoundOnly(benchmark::State& state) {
+  double eps = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::redundancy_lower_bound(10, 2, eps, 0.01));
+    eps = eps < 0.4 ? eps * 1.01 : 0.001;
+  }
+}
+BENCHMARK(BM_RedundancyBoundOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

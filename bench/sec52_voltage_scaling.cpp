@@ -1,0 +1,79 @@
+// Section 5.2 reproduction (discussion, no numbered figure): the voltage
+// scaling trade-offs. "If the same energy budget as the error-free circuit
+// is targeted, the fault-tolerant implementation will need to rely on a
+// lower Vdd ... which in turn further increases overall latency. Similar
+// conclusions ... if performance constraints need to be maintained instead:
+// Vdd must be increased ... thus triggering an energy increase."
+//
+// Sweeps ε, computes the raw (unscaled) energy/delay bound factors for the
+// Figure 3 instance, then solves both compensation strategies under the
+// Chen–Hu alpha-power delay law.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "core/delay_model.hpp"
+
+int main() {
+  using namespace enb;
+  bench::banner("sec52", "iso-energy / iso-delay voltage scaling trade-offs");
+
+  const core::CircuitProfile profile =
+      core::make_profile("parity10_shannon", 10, 21, 0.5, 2, 10);
+  const core::TechnologyParams tech;  // 1.2 V nominal, Vt 0.3 V, alpha 1.3
+
+  report::Series raw_delay("raw_delay", {}, {});
+  report::Series iso_e_delay("iso_energy_delay", {}, {});
+  report::Series raw_energy("raw_energy", {}, {});
+  report::Series iso_d_energy("iso_delay_energy", {}, {});
+  report::Table table({"eps", "raw E", "raw D", "isoE: Vdd", "isoE: D",
+                       "isoD: Vdd", "isoD: E"});
+
+  for (double eps : core::log_grid(1e-3, 0.12, 14)) {
+    const core::BoundReport r = core::analyze(profile, eps, 0.01);
+    const double e = r.energy.total_factor;
+    const double d = r.metrics.delay;
+    raw_energy.push(eps, e);
+    raw_delay.push(eps, d);
+
+    std::vector<double> row{e, d};
+    double iso_e_d = std::nan("");
+    double iso_d_e = std::nan("");
+    try {
+      const auto iso_e = core::apply_iso_energy(e, d, tech);
+      row.push_back(iso_e.vdd);
+      iso_e_d = iso_e.delay_factor;
+      row.push_back(iso_e_d);
+    } catch (const std::invalid_argument&) {
+      row.push_back(std::nan(""));
+      row.push_back(std::nan(""));
+    }
+    try {
+      const auto iso_d = core::apply_iso_delay(e, d, tech);
+      row.push_back(iso_d.vdd);
+      iso_d_e = iso_d.energy_factor;
+      row.push_back(iso_d_e);
+    } catch (const std::invalid_argument&) {
+      row.push_back(std::nan(""));
+      row.push_back(std::nan(""));
+    }
+    iso_e_delay.push(eps, iso_e_d);
+    iso_d_energy.push(eps, iso_d_e);
+    table.add_row(report::format_double(eps, 4), row);
+  }
+
+  std::cout << table.to_text() << "\n";
+  report::ChartOptions chart;
+  chart.title = "Sec 5.2: delay cost of iso-energy compensation";
+  chart.log_x = true;
+  chart.x_label = "eps";
+  bench::emit_sweep("sec52_delay", "eps", {raw_delay, iso_e_delay}, chart);
+  chart.title = "Sec 5.2: energy cost of iso-delay compensation";
+  bench::emit_sweep("sec52_energy", "eps", {raw_energy, iso_d_energy}, chart);
+
+  std::cout << "check: iso-energy delay >= raw delay at every point "
+               "(lower Vdd slows further); iso-delay energy >= raw energy "
+               "(higher Vdd squares into CV^2) — both directions of the "
+               "paper's Section 5.2 argument\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared benchmark-suite pipeline for the Figure 7/8 reproductions and the
+// ablations: generate -> map to the paper's generic max-fanin-3 library ->
+// extract the (s, S0, sw0, k, d0) profile.
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "gen/suite.hpp"
+#include "report/table.hpp"
+#include "synth/mapper.hpp"
+
+namespace enb::bench {
+
+struct ProfiledBenchmark {
+  gen::BenchmarkSpec spec;
+  core::CircuitProfile profile;
+  netlist::CircuitStats mapped_stats;
+};
+
+inline std::vector<ProfiledBenchmark> profile_suite(int max_fanin = 3) {
+  std::vector<ProfiledBenchmark> out;
+  for (const gen::BenchmarkSpec& spec : gen::standard_suite()) {
+    const netlist::Circuit base = spec.build();
+    synth::MapOptions map_options;
+    map_options.library = synth::Library::generic(max_fanin);
+    const synth::MapResult mapped = synth::map_to_library(base, map_options);
+    core::ProfileOptions profile_options;
+    profile_options.activity_pairs = 1 << 12;
+    profile_options.sensitivity_exact_max_inputs = 19;
+    ProfiledBenchmark pb{spec,
+                         core::extract_profile(mapped.circuit, profile_options),
+                         mapped.after};
+    out.push_back(std::move(pb));
+  }
+  return out;
+}
+
+inline void print_profile_table(const std::vector<ProfiledBenchmark>& suite) {
+  report::Table table({"benchmark", "family", "inputs", "S0", "depth",
+                       "avg_fanin", "sw0", "sensitivity", "s_exact"});
+  for (const auto& pb : suite) {
+    table.add_row({pb.spec.name, pb.spec.family,
+                   std::to_string(pb.profile.num_inputs),
+                   report::format_double(pb.profile.size_s0, 5),
+                   std::to_string(pb.profile.depth_d0),
+                   report::format_double(pb.profile.avg_fanin_k, 3),
+                   report::format_double(pb.profile.avg_activity_sw0, 3),
+                   report::format_double(pb.profile.sensitivity_s, 3),
+                   pb.profile.sensitivity_exact ? "yes" : "sampled"});
+  }
+  std::cout << "mapped-suite profiles (generic library, the paper's "
+               "max-fanin-3 setting):\n"
+            << table.to_text() << "\n";
+}
+
+}  // namespace enb::bench

@@ -1,0 +1,87 @@
+// Redundancy explorer: fault-simulates the classic schemes the bounds
+// abstract over — bare, TMR, NMR-5, two-level cascaded TMR, von Neumann
+// multiplexing — on c17, and places every achieved (gates, delta_hat) point
+// against the Theorem 2 minimum-size curve. Demonstrates both the value and
+// the looseness of the lower bound, and the classic voter-complexity effect.
+#include <iostream>
+
+#include "core/validate_bounds.hpp"
+#include "ft/multiplex.hpp"
+#include "ft/nmr.hpp"
+#include "gen/iscas.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "sim/reliability.hpp"
+
+int main() {
+  using namespace enb;
+
+  const netlist::Circuit base = gen::c17();
+  const core::CircuitProfile profile = core::extract_profile(base);
+  const double eps = 0.01;
+  sim::ReliabilityOptions mc;
+  mc.trials = 1 << 18;
+
+  std::cout << "base: c17 (" << base.gate_count()
+            << " NAND2 gates), per-gate error eps = " << eps << "\n\n";
+
+  report::Table table({"scheme", "gates", "delta_hat", "95% CI",
+                       "thm2 min gates", "consistent"});
+  std::vector<report::BarGroup> bars;
+
+  const auto record = [&](const std::string& scheme, std::size_t gates,
+                          const sim::ReliabilityResult& rel) {
+    core::EmpiricalPoint point;
+    point.scheme = scheme;
+    point.total_gates = static_cast<double>(gates);
+    point.delta_hat = rel.delta_hat;
+    point.delta_ci_high = rel.ci_high;
+    const core::BoundCheck check = core::check_point(profile, eps, point);
+    table.add_row({scheme, std::to_string(gates),
+                   report::format_double(rel.delta_hat, 4),
+                   "[" + report::format_double(rel.ci_low, 4) + ", " +
+                       report::format_double(rel.ci_high, 4) + "]",
+                   report::format_double(check.required_size, 4),
+                   check.vacuous ? "(vacuous)"
+                                 : (check.consistent ? "yes" : "VIOLATION")});
+    bars.push_back({scheme, {rel.delta_hat}});
+  };
+
+  record("bare", base.gate_count(),
+         sim::estimate_reliability(base, eps, mc));
+
+  const auto tmr = ft::nmr_transform(base);
+  record("tmr", tmr.circuit.gate_count(),
+         sim::estimate_reliability_vs(tmr.circuit, base, eps, mc));
+
+  ft::NmrOptions nmr5;
+  nmr5.copies = 5;
+  const auto n5 = ft::nmr_transform(base, nmr5);
+  record("nmr5", n5.circuit.gate_count(),
+         sim::estimate_reliability_vs(n5.circuit, base, eps, mc));
+
+  const auto tmr2 = ft::cascaded_tmr(base, 2);
+  record("tmr^2", tmr2.gate_count(),
+         sim::estimate_reliability_vs(tmr2, base, eps, mc));
+
+  ft::MultiplexOptions mux;
+  mux.bundle_width = 5;
+  mux.restorative_stages = 1;
+  const auto mc5 = ft::multiplex_transform(base, mux);
+  record("mux5r1", mc5.circuit.gate_count(),
+         ft::estimate_multiplexed_reliability(mc5, base, eps, mc));
+
+  std::cout << table.to_text() << "\n";
+  report::ChartOptions chart;
+  chart.title = "achieved output error per scheme (lower is better)";
+  std::cout << report::bar_chart({"delta_hat"}, bars, chart) << "\n";
+
+  std::cout
+      << "notes:\n"
+      << "  * every point sits above the Theorem 2 minimum -> the bound is\n"
+      << "    empirically sound, and visibly loose (real schemes pay far\n"
+      << "    more than the information-theoretic floor).\n"
+      << "  * schemes whose voters are large relative to the circuit can be\n"
+      << "    counterproductive (von Neumann's restitution-organ caveat).\n";
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+
+namespace enb::bdd {
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = a * 0x9E3779B97F4A7C15ULL;
+  h ^= b + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= c + 0x94D049BB133111EBULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+Bdd::Bdd(unsigned num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(std::max<std::size_t>(node_limit, 2)) {
+  // Terminals live at level num_vars_ (below every variable).
+  nodes_.push_back(Node{num_vars_, kFalse, kFalse});  // ref 0 == false
+  nodes_.push_back(Node{num_vars_, kTrue, kTrue});    // ref 1 == true
+}
+
+void Bdd::check_var(unsigned var, const char* context) const {
+  if (var >= num_vars_) {
+    throw std::invalid_argument(std::string(context) + ": variable " +
+                                std::to_string(var) + " out of range (" +
+                                std::to_string(num_vars_) + " vars)");
+  }
+}
+
+Ref Bdd::make_node(unsigned var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key = mix(var, lo, hi);
+  auto& bucket = unique_[key];
+  for (Ref ref : bucket) {
+    const Node& node = nodes_[ref];
+    if (node.var == var && node.lo == lo && node.hi == hi) return ref;
+  }
+  if (nodes_.size() >= node_limit_) {
+    throw BddLimitExceeded("BDD node limit of " +
+                           std::to_string(node_limit_) + " exceeded");
+  }
+  const Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(Node{var, lo, hi});
+  bucket.push_back(ref);
+  return ref;
+}
+
+Ref Bdd::var_ref(unsigned var) {
+  check_var(var, "var_ref");
+  return make_node(var, kFalse, kTrue);
+}
+
+Ref Bdd::nvar_ref(unsigned var) {
+  check_var(var, "nvar_ref");
+  return make_node(var, kTrue, kFalse);
+}
+
+Ref Bdd::cofactor_at(Ref f, std::uint32_t level, bool value) const {
+  const Node& node = nodes_[f];
+  if (node.var != level) return f;  // f does not test this level at its top
+  return value ? node.hi : node.lo;
+}
+
+Ref Bdd::ite(Ref f, Ref g, Ref h) {
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = mix(f, g, h);
+  auto& bucket = ite_cache_[key];
+  // The cache reuses Node as a plain (f, g, h) triple.
+  for (const auto& [triple, result] : bucket) {
+    if (triple.var == f && triple.lo == g && triple.hi == h) return result;
+  }
+
+  const std::uint32_t level =
+      std::min({level_of(f), level_of(g), level_of(h)});
+  const Ref lo = ite(cofactor_at(f, level, false),
+                     cofactor_at(g, level, false),
+                     cofactor_at(h, level, false));
+  const Ref hi = ite(cofactor_at(f, level, true), cofactor_at(g, level, true),
+                     cofactor_at(h, level, true));
+  const Ref result = make_node(level, lo, hi);
+  ite_cache_[key].push_back({Node{f, g, h}, result});
+  return result;
+}
+
+Ref Bdd::cofactor(Ref f, unsigned var, bool value) {
+  check_var(var, "cofactor");
+  std::unordered_map<Ref, Ref> memo;
+  const std::function<Ref(Ref)> walk = [&](Ref node) -> Ref {
+    if (level_of(node) > var) return node;  // var cannot appear below
+    if (level_of(node) == var) return value ? hi(node) : lo(node);
+    const auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    const Ref result =
+        make_node(level_of(node), walk(lo(node)), walk(hi(node)));
+    memo.emplace(node, result);
+    return result;
+  };
+  return walk(f);
+}
+
+Ref Bdd::flip_var(Ref f, unsigned var) {
+  check_var(var, "flip_var");
+  std::unordered_map<Ref, Ref> memo;
+  const std::function<Ref(Ref)> walk = [&](Ref node) -> Ref {
+    if (level_of(node) > var) return node;
+    if (level_of(node) == var) {
+      return make_node(var, hi(node), lo(node));  // swapped children
+    }
+    const auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    const Ref result =
+        make_node(level_of(node), walk(lo(node)), walk(hi(node)));
+    memo.emplace(node, result);
+    return result;
+  };
+  return walk(f);
+}
+
+Ref Bdd::exists(Ref f, unsigned var) {
+  return apply_or(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+Ref Bdd::forall(Ref f, unsigned var) {
+  return apply_and(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+double Bdd::probability(Ref f, std::span<const double> p) {
+  if (p.size() != num_vars_) {
+    throw std::invalid_argument("probability: need one probability per var");
+  }
+  std::unordered_map<Ref, double> memo;
+  const std::function<double(Ref)> walk = [&](Ref node) -> double {
+    if (node == kFalse) return 0.0;
+    if (node == kTrue) return 1.0;
+    const auto it = memo.find(node);
+    if (it != memo.end()) return it->second;
+    const double pv = p[level_of(node)];
+    const double value = (1.0 - pv) * walk(lo(node)) + pv * walk(hi(node));
+    memo.emplace(node, value);
+    return value;
+  };
+  return walk(f);
+}
+
+double Bdd::sat_fraction(Ref f) {
+  const std::vector<double> half(num_vars_, 0.5);
+  return probability(f, half);
+}
+
+double Bdd::sat_count(Ref f) {
+  return sat_fraction(f) * std::pow(2.0, static_cast<double>(num_vars_));
+}
+
+std::size_t Bdd::node_count(Ref f) const {
+  std::vector<Ref> stack{f};
+  std::unordered_map<Ref, bool> seen;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const Ref node = stack.back();
+    stack.pop_back();
+    if (seen[node]) continue;
+    seen[node] = true;
+    ++count;
+    if (!is_terminal(node)) {
+      stack.push_back(lo(node));
+      stack.push_back(hi(node));
+    }
+  }
+  return count;
+}
+
+unsigned Bdd::var_of(Ref f) const {
+  if (is_terminal(f)) throw std::invalid_argument("var_of: terminal ref");
+  return nodes_[f].var;
+}
+
+Ref Bdd::lo(Ref f) const {
+  if (is_terminal(f)) throw std::invalid_argument("lo: terminal ref");
+  return nodes_[f].lo;
+}
+
+Ref Bdd::hi(Ref f) const {
+  if (is_terminal(f)) throw std::invalid_argument("hi: terminal ref");
+  return nodes_[f].hi;
+}
+
+}  // namespace enb::bdd

@@ -1,0 +1,60 @@
+#include "core/activity_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace enb::core {
+
+namespace {
+
+void check_activity(double sw, const char* who) {
+  if (!(sw >= 0.0 && sw <= 1.0)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": switching activity must be in [0, 1], got " +
+                                std::to_string(sw));
+  }
+}
+
+}  // namespace
+
+double noisy_activity(double sw_clean, double epsilon) {
+  check_epsilon(epsilon);
+  check_activity(sw_clean, "noisy_activity");
+  return activity_contraction(epsilon) * sw_clean + activity_offset(epsilon);
+}
+
+double clean_activity(double sw_noisy, double epsilon) {
+  check_epsilon(epsilon);
+  check_activity(sw_noisy, "clean_activity");
+  const double contraction = activity_contraction(epsilon);
+  if (contraction == 0.0) {
+    throw std::invalid_argument(
+        "clean_activity: map is not invertible at epsilon = 0.5");
+  }
+  return (sw_noisy - activity_offset(epsilon)) / contraction;
+}
+
+double activity_ratio(double sw_clean, double epsilon) {
+  check_epsilon(epsilon);
+  check_activity(sw_clean, "activity_ratio");
+  if (sw_clean <= 0.0) {
+    throw std::invalid_argument(
+        "activity_ratio: requires sw_clean > 0 (a gate that never switches "
+        "has an unbounded ratio)");
+  }
+  return activity_contraction(epsilon) + activity_offset(epsilon) / sw_clean;
+}
+
+double idle_ratio(double sw_clean, double epsilon) {
+  check_epsilon(epsilon);
+  check_activity(sw_clean, "idle_ratio");
+  if (sw_clean >= 1.0) {
+    throw std::invalid_argument("idle_ratio: requires sw_clean < 1");
+  }
+  // 1 − sw(z) = (1 − 2ε)²(1 − sw0) + 2ε(1 − ε), by the identity
+  // (1 − 2ε)² + 4ε(1 − ε) = 1.
+  return activity_contraction(epsilon) +
+         activity_offset(epsilon) / (1.0 - sw_clean);
+}
+
+}  // namespace enb::core

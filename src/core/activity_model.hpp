@@ -1,0 +1,44 @@
+// Theorem 1: switching activity of an ε-noisy device output.
+//
+//   sw(z) = (1 − 2ε)² · sw(y) + 2ε(1 − ε)
+//
+// where y is the error-free output and z the observed one. The map is an
+// affine contraction toward the fixed point sw = 1/2 with rate (1 − 2ε)²:
+// noise makes quiet gates busier and busy gates quieter, and at ε = 1/2 every
+// output looks like a fair coin (Figure 2).
+#pragma once
+
+#include "core/channel.hpp"
+
+namespace enb::core {
+
+// sw(z) as a function of the error-free activity sw(y) (both in [0, 1]).
+[[nodiscard]] double noisy_activity(double sw_clean, double epsilon);
+
+// Inverse map (defined for ε < 1/2): the clean activity that would produce
+// the observed noisy activity.
+[[nodiscard]] double clean_activity(double sw_noisy, double epsilon);
+
+// The contraction rate (1 − 2ε)² of Theorem 1's affine map.
+[[nodiscard]] constexpr double activity_contraction(double epsilon) noexcept {
+  const double xi = xi_of_epsilon(epsilon);
+  return xi * xi;
+}
+
+// The additive term 2ε(1 − ε) of Theorem 1.
+[[nodiscard]] constexpr double activity_offset(double epsilon) noexcept {
+  return 2.0 * epsilon * (1.0 - epsilon);
+}
+
+// The fixed point of the map (sw = 1/2 for every ε).
+inline constexpr double kActivityFixedPoint = 0.5;
+
+// Ratio sw(z)/sw(y): the switching-activity factor of Corollary 2,
+// (1 − 2ε)² + 2ε(1 − ε)/sw0. Requires sw_clean > 0.
+[[nodiscard]] double activity_ratio(double sw_clean, double epsilon);
+
+// Complement ratio (1 − sw(z))/(1 − sw(y)): the idle-fraction factor used by
+// the leakage model. Requires sw_clean < 1.
+[[nodiscard]] double idle_ratio(double sw_clean, double epsilon);
+
+}  // namespace enb::core

@@ -1,0 +1,90 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/activity_model.hpp"
+#include "core/depth_bound.hpp"
+#include "core/leakage_model.hpp"
+#include "core/size_bound.hpp"
+
+namespace enb::core {
+
+BoundReport analyze(const CircuitProfile& profile, double epsilon,
+                    double delta, const EnergyModelOptions& options) {
+  check_epsilon(epsilon);
+  check_delta(delta);
+  if (profile.size_s0 <= 0.0) {
+    throw std::invalid_argument("analyze: profile has no gates");
+  }
+
+  BoundReport r;
+  r.name = profile.name;
+  r.epsilon = epsilon;
+  r.delta = delta;
+
+  r.sw_noisy = noisy_activity(profile.avg_activity_sw0, epsilon);
+  r.redundancy_gates = redundancy_lower_bound(
+      profile.sensitivity_s, profile.avg_fanin_k, epsilon, delta);
+  r.size_factor =
+      size_factor_lower_bound(profile.sensitivity_s, profile.size_s0,
+                              profile.avg_fanin_k, epsilon, delta);
+  r.leakage_ratio = leakage_ratio(profile.avg_activity_sw0, epsilon);
+
+  r.depth_feasible = depth_feasible(epsilon, profile.avg_fanin_k);
+  const double delay_factor =
+      delay_factor_lower_bound(profile.avg_fanin_k, epsilon);
+  r.depth_bound =
+      r.depth_feasible
+          ? depth_lower_bound(profile.num_inputs, profile.avg_fanin_k,
+                              epsilon, delta)
+          : std::numeric_limits<double>::infinity();
+
+  r.energy = total_energy_factor(
+      profile.sensitivity_s, profile.size_s0, profile.avg_activity_sw0,
+      profile.avg_fanin_k, epsilon, delta, options,
+      std::isfinite(delay_factor) ? std::max(1.0, delay_factor) : 1.0);
+  r.metrics =
+      combine_metrics(r.energy.total_factor, profile.avg_fanin_k, epsilon);
+  return r;
+}
+
+std::vector<BoundReport> sweep_epsilon(const CircuitProfile& profile,
+                                       const std::vector<double>& epsilons,
+                                       double delta,
+                                       const EnergyModelOptions& options) {
+  std::vector<BoundReport> out;
+  out.reserve(epsilons.size());
+  for (double eps : epsilons) out.push_back(analyze(profile, eps, delta, options));
+  return out;
+}
+
+std::vector<double> log_grid(double lo, double hi, int points) {
+  if (!(lo > 0.0) || !(hi > lo) || points < 2) {
+    throw std::invalid_argument("log_grid: need 0 < lo < hi and points >= 2");
+  }
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  const double step = (std::log(hi) - std::log(lo)) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    grid.push_back(std::exp(std::log(lo) + step * i));
+  }
+  grid.back() = hi;  // avoid drift on the endpoint
+  return grid;
+}
+
+std::vector<double> linear_grid(double lo, double hi, int points) {
+  if (!(hi > lo) || points < 2) {
+    throw std::invalid_argument("linear_grid: need lo < hi and points >= 2");
+  }
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(points));
+  const double step = (hi - lo) / (points - 1);
+  for (int i = 0; i < points; ++i) grid.push_back(lo + step * i);
+  grid.back() = hi;
+  return grid;
+}
+
+}  // namespace enb::core

@@ -1,0 +1,52 @@
+// The front door of the bounds framework: evaluate every bound of the paper
+// for one circuit profile at one (ε, δ) operating point, or sweep ε.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/energy_bound.hpp"
+#include "core/metrics.hpp"
+#include "core/profile.hpp"
+
+namespace enb::core {
+
+struct BoundReport {
+  std::string name;
+  double epsilon = 0.0;
+  double delta = 0.0;
+
+  // Theorem 1.
+  double sw_noisy = 0.0;          // per-gate activity under noise
+  // Theorem 2 / Corollary 1.
+  double redundancy_gates = 0.0;  // additional gates (lower bound)
+  double size_factor = 1.0;       // (S0+R)/S0
+  // Corollary 2 + leakage split.
+  EnergyBreakdown energy;
+  // Theorem 3.
+  double leakage_ratio = 1.0;     // W_L,ε / W_L,0
+  // Theorem 4 + derived metrics.
+  bool depth_feasible = true;
+  double depth_bound = 0.0;       // absolute depth lower bound (0 if vacuous)
+  MetricFactors metrics;          // energy/delay/EDP/avg-power factors
+};
+
+// Evaluates all bounds for `profile` at (epsilon, delta).
+[[nodiscard]] BoundReport analyze(const CircuitProfile& profile,
+                                  double epsilon, double delta,
+                                  const EnergyModelOptions& options = {});
+
+// Sweeps epsilon (inclusive endpoints, log or linear grid is the caller's
+// choice of `epsilons`).
+[[nodiscard]] std::vector<BoundReport> sweep_epsilon(
+    const CircuitProfile& profile, const std::vector<double>& epsilons,
+    double delta, const EnergyModelOptions& options = {});
+
+// Convenience: logarithmic epsilon grid from lo to hi (inclusive), `points`
+// entries.
+[[nodiscard]] std::vector<double> log_grid(double lo, double hi, int points);
+
+// Convenience: linear grid.
+[[nodiscard]] std::vector<double> linear_grid(double lo, double hi, int points);
+
+}  // namespace enb::core

@@ -1,0 +1,15 @@
+#include "core/channel.hpp"
+
+#include <cmath>
+
+namespace enb::core {
+
+double compose_epsilon_n(double epsilon, int count) {
+  check_epsilon(epsilon);
+  if (count < 0) {
+    throw std::invalid_argument("compose_epsilon_n: count must be >= 0");
+  }
+  return (1.0 - std::pow(xi_of_epsilon(epsilon), count)) / 2.0;
+}
+
+}  // namespace enb::core

@@ -1,0 +1,70 @@
+// Symmetric-channel algebra for the paper's error model (Figure 1): a
+// failure-prone device is an error-free device cascaded with a binary
+// symmetric channel of crossover probability ε.
+//
+// The natural parameter for composition is the correlation ξ = 1 − 2ε:
+// cascading channels multiplies ξ, and every bound in the paper is a function
+// of ξ (Theorem 1's (1−2ε)², Theorem 4's ξ² thresholds).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace enb::core {
+
+// Validates ε ∈ [0, 0.5]; returns ε (for inline use in initializers).
+inline double check_epsilon(double epsilon) {
+  if (!(epsilon >= 0.0 && epsilon <= 0.5)) {
+    throw std::invalid_argument("epsilon must be in [0, 0.5], got " +
+                                std::to_string(epsilon));
+  }
+  return epsilon;
+}
+
+// Validates δ ∈ [0, 0.5); returns δ.
+inline double check_delta(double delta) {
+  if (!(delta >= 0.0 && delta < 0.5)) {
+    throw std::invalid_argument("delta must be in [0, 0.5), got " +
+                                std::to_string(delta));
+  }
+  return delta;
+}
+
+// ξ = 1 − 2ε, the signal correlation surviving one channel.
+[[nodiscard]] constexpr double xi_of_epsilon(double epsilon) noexcept {
+  return 1.0 - 2.0 * epsilon;
+}
+
+// ε = (1 − ξ)/2 (the paper's substitution in Theorem 4).
+[[nodiscard]] constexpr double epsilon_of_xi(double xi) noexcept {
+  return (1.0 - xi) / 2.0;
+}
+
+// Crossover probability of two cascaded channels:
+// ε₁₂ = ε₁ + ε₂ − 2ε₁ε₂ (equivalently ξ₁₂ = ξ₁ξ₂).
+[[nodiscard]] constexpr double compose_epsilon(double e1, double e2) noexcept {
+  return e1 + e2 - 2.0 * e1 * e2;
+}
+
+// Crossover probability of k identical cascaded channels: (1 − ξᵏ)/2.
+[[nodiscard]] double compose_epsilon_n(double epsilon, int count);
+
+struct SymmetricChannel {
+  double epsilon = 0.0;
+
+  explicit SymmetricChannel(double eps) : epsilon(check_epsilon(eps)) {}
+
+  [[nodiscard]] double xi() const noexcept { return xi_of_epsilon(epsilon); }
+
+  // Channel of `this` followed by `other`.
+  [[nodiscard]] SymmetricChannel then(const SymmetricChannel& other) const {
+    return SymmetricChannel(compose_epsilon(epsilon, other.epsilon));
+  }
+
+  // P(output = 1) for an input that is 1 with probability p.
+  [[nodiscard]] double transform_probability(double p) const noexcept {
+    return p * (1.0 - epsilon) + (1.0 - p) * epsilon;
+  }
+};
+
+}  // namespace enb::core

@@ -1,0 +1,102 @@
+#include "core/delay_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace enb::core {
+
+namespace {
+
+void check_tech(const TechnologyParams& tech) {
+  if (!(tech.vt > 0.0) || !(tech.vdd > tech.vt) ||
+      !(tech.max_vdd >= tech.vdd) || !(tech.alpha > 0.0)) {
+    throw std::invalid_argument(
+        "TechnologyParams: need 0 < vt < vdd <= max_vdd and alpha > 0");
+  }
+}
+
+}  // namespace
+
+double gate_delay_shape(double vdd, const TechnologyParams& tech) {
+  check_tech(tech);
+  if (!(vdd > tech.vt)) {
+    throw std::invalid_argument("gate_delay_shape: vdd must exceed vt");
+  }
+  return vdd / std::pow(vdd - tech.vt, tech.alpha);
+}
+
+double delay_scale(double vdd, const TechnologyParams& tech) {
+  return gate_delay_shape(vdd, tech) / gate_delay_shape(tech.vdd, tech);
+}
+
+double energy_scale(double vdd, const TechnologyParams& tech) {
+  check_tech(tech);
+  return (vdd * vdd) / (tech.vdd * tech.vdd);
+}
+
+double iso_energy_vdd(double energy_factor, const TechnologyParams& tech) {
+  check_tech(tech);
+  if (!(energy_factor >= 1.0)) {
+    throw std::invalid_argument(
+        "iso_energy_vdd: energy factor must be >= 1 (redundancy only adds)");
+  }
+  const double vdd = tech.vdd / std::sqrt(energy_factor);
+  if (!(vdd > tech.vt)) {
+    throw std::invalid_argument(
+        "iso_energy_vdd: required supply " + std::to_string(vdd) +
+        " V does not stay above vt = " + std::to_string(tech.vt) + " V");
+  }
+  return vdd;
+}
+
+double iso_delay_vdd(double delay_factor, const TechnologyParams& tech) {
+  check_tech(tech);
+  if (!(delay_factor >= 1.0)) {
+    throw std::invalid_argument("iso_delay_vdd: delay factor must be >= 1");
+  }
+  // Find V with delay_scale(V) == 1/delay_factor. delay_scale is strictly
+  // decreasing in V for alpha >= 1 (and for the ranges we care about), so
+  // bisection on [vdd, max_vdd] works.
+  const double target = 1.0 / delay_factor;
+  if (delay_scale(tech.max_vdd, tech) > target) {
+    throw std::invalid_argument(
+        "iso_delay_vdd: cannot compensate delay factor " +
+        std::to_string(delay_factor) + " within max_vdd");
+  }
+  double lo = tech.vdd;
+  double hi = tech.max_vdd;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (delay_scale(mid, tech) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+ScalingOutcome apply_iso_energy(double raw_energy_factor,
+                                double raw_delay_factor,
+                                const TechnologyParams& tech) {
+  const double vdd = iso_energy_vdd(raw_energy_factor, tech);
+  ScalingOutcome out;
+  out.vdd = vdd;
+  out.energy_factor = raw_energy_factor * energy_scale(vdd, tech);
+  out.delay_factor = raw_delay_factor * delay_scale(vdd, tech);
+  return out;
+}
+
+ScalingOutcome apply_iso_delay(double raw_energy_factor,
+                               double raw_delay_factor,
+                               const TechnologyParams& tech) {
+  const double vdd = iso_delay_vdd(raw_delay_factor, tech);
+  ScalingOutcome out;
+  out.vdd = vdd;
+  out.energy_factor = raw_energy_factor * energy_scale(vdd, tech);
+  out.delay_factor = raw_delay_factor * delay_scale(vdd, tech);
+  return out;
+}
+
+}  // namespace enb::core

@@ -1,0 +1,61 @@
+// Section 5.2's delay model and voltage-scaling trade-offs.
+//
+// Gate delay follows the Chen–Hu alpha-power law: D ∝ d · V/(V − V_T)^α,
+// where d is logic depth, V the supply and α a technology exponent (≈1.3 for
+// short-channel CMOS, 2.0 for the classic long-channel square law). Since
+// added redundancy raises both switched capacitance and depth, the paper
+// discusses two compensation strategies:
+//   * iso-energy: lower V to keep energy flat, paying extra delay,
+//   * iso-delay: raise V to keep latency flat, paying extra energy.
+// The solvers below compute the required supply and the resulting factors.
+#pragma once
+
+namespace enb::core {
+
+struct TechnologyParams {
+  double vdd = 1.2;       // nominal supply (V)
+  double vt = 0.3;        // threshold voltage (V)
+  double alpha = 1.3;     // velocity-saturation exponent
+  double max_vdd = 3.0;   // solver search ceiling
+};
+
+// Per-gate delay shape V/(V − V_T)^α (arbitrary units). Requires V > V_T.
+[[nodiscard]] double gate_delay_shape(double vdd, const TechnologyParams& tech);
+
+// Relative delay of running at `vdd` vs the nominal supply.
+[[nodiscard]] double delay_scale(double vdd, const TechnologyParams& tech);
+
+// Relative switching energy of running at `vdd` vs nominal (CV² law).
+[[nodiscard]] double energy_scale(double vdd, const TechnologyParams& tech);
+
+// Iso-energy supply: the V' with (V'/V)² · energy_factor == 1, i.e.
+// V' = V/sqrt(energy_factor). Throws if V' would not stay above V_T.
+[[nodiscard]] double iso_energy_vdd(double energy_factor,
+                                    const TechnologyParams& tech);
+
+// Iso-delay supply: the V' such that delay_factor · delay_scale(V') == 1
+// (found by bisection in (V_T, max_vdd]). Throws if even max_vdd cannot
+// compensate the depth increase.
+[[nodiscard]] double iso_delay_vdd(double delay_factor,
+                                   const TechnologyParams& tech);
+
+// Composite outcome of a voltage-scaling strategy.
+struct ScalingOutcome {
+  double vdd = 0.0;            // chosen supply
+  double energy_factor = 1.0;  // total energy vs error-free nominal
+  double delay_factor = 1.0;   // total delay vs error-free nominal
+};
+
+// Applies iso-energy scaling to a fault-tolerant design whose unscaled
+// energy/delay factors are given; returns the post-scaling factors
+// (energy_factor ≈ 1 by construction).
+[[nodiscard]] ScalingOutcome apply_iso_energy(double raw_energy_factor,
+                                              double raw_delay_factor,
+                                              const TechnologyParams& tech);
+
+// Applies iso-delay scaling (delay_factor ≈ 1 by construction).
+[[nodiscard]] ScalingOutcome apply_iso_delay(double raw_energy_factor,
+                                             double raw_delay_factor,
+                                             const TechnologyParams& tech);
+
+}  // namespace enb::core

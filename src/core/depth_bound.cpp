@@ -1,0 +1,75 @@
+#include "core/depth_bound.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/channel.hpp"
+
+namespace enb::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_fanin(double fanin) {
+  if (!(fanin > 1.0)) {
+    throw std::invalid_argument("fanin must be > 1, got " +
+                                std::to_string(fanin));
+  }
+}
+
+}  // namespace
+
+double delta_capacity(double delta) {
+  check_delta(delta);
+  if (delta == 0.0) return 1.0;
+  return 1.0 + delta * std::log2(delta) +
+         (1.0 - delta) * std::log2(1.0 - delta);
+}
+
+bool depth_feasible(double epsilon, double fanin) {
+  check_epsilon(epsilon);
+  check_fanin(fanin);
+  const double xi = xi_of_epsilon(epsilon);
+  return xi * xi > 1.0 / fanin;
+}
+
+double max_feasible_epsilon(double fanin) {
+  check_fanin(fanin);
+  return (1.0 - 1.0 / std::sqrt(fanin)) / 2.0;
+}
+
+double max_inputs_infeasible(double delta) {
+  const double cap = delta_capacity(delta);
+  if (cap <= 0.0) return kInf;
+  return 1.0 / cap;
+}
+
+double depth_lower_bound(int num_inputs, double fanin, double epsilon,
+                         double delta) {
+  if (num_inputs < 1) {
+    throw std::invalid_argument("depth_lower_bound: num_inputs must be >= 1");
+  }
+  if (!depth_feasible(epsilon, fanin)) {
+    throw std::invalid_argument(
+        "depth_lower_bound: infeasible regime (xi^2 <= 1/k); no depth bound "
+        "exists — check depth_feasible first");
+  }
+  const double n_delta =
+      static_cast<double>(num_inputs) * delta_capacity(delta);
+  if (n_delta <= 1.0) return 0.0;  // vacuous
+  const double xi = xi_of_epsilon(epsilon);
+  return std::log2(n_delta) / std::log2(fanin * xi * xi);
+}
+
+double delay_factor_lower_bound(double fanin, double epsilon) {
+  check_epsilon(epsilon);
+  check_fanin(fanin);
+  if (!depth_feasible(epsilon, fanin)) return kInf;
+  const double xi = xi_of_epsilon(epsilon);
+  return std::log2(fanin) / std::log2(fanin * xi * xi);
+}
+
+}  // namespace enb::core

@@ -1,0 +1,37 @@
+// Theorem 4 (Evans–Schulman): logic-depth lower bound for noisy circuits.
+//
+// With ξ = 1 − 2ε and Δ(δ) = 1 + δ·log₂δ + (1−δ)·log₂(1−δ) = 1 − H(δ):
+//   * if ξ² > 1/k:  d_{ε,δ} ≥ log₂(n·Δ) / log₂(k·ξ²)
+//   * if ξ² ≤ 1/k:  no circuit computes f (1−δ)-reliably unless n ≤ 1/Δ.
+//
+// Normalizing by the noiseless limit of the same bound, d₀ = log₂(nΔ)/log₂ k,
+// gives the delay factor  log₂ k / log₂(k·ξ²), which depends only on the
+// fanin — exactly the paper's observation that "the only circuit specific
+// information [the delay bound] relies on is the average fanin k".
+#pragma once
+
+namespace enb::core {
+
+// Δ(δ) = 1 − H(δ); Δ(0) = 1, Δ→0 as δ→1/2.
+[[nodiscard]] double delta_capacity(double delta);
+
+// Feasibility: ξ² > 1/k. At equality or below, only functions of at most
+// 1/Δ inputs are reliably computable.
+[[nodiscard]] bool depth_feasible(double epsilon, double fanin);
+
+// Largest ε for which the regime is feasible at fanin k: (1 − k^{-1/2})/2.
+[[nodiscard]] double max_feasible_epsilon(double fanin);
+
+// Maximum input count in the infeasible regime: n ≤ 1/Δ(δ).
+[[nodiscard]] double max_inputs_infeasible(double delta);
+
+// The depth lower bound log₂(nΔ)/log₂(kξ²); requires feasibility. Returns 0
+// when nΔ <= 1 (the bound is vacuous). `fanin` may be fractional (average
+// fanin of a mapped netlist).
+[[nodiscard]] double depth_lower_bound(int num_inputs, double fanin,
+                                       double epsilon, double delta);
+
+// Normalized delay factor log₂ k / log₂(kξ²) (>= 1; +inf when infeasible).
+[[nodiscard]] double delay_factor_lower_bound(double fanin, double epsilon);
+
+}  // namespace enb::core

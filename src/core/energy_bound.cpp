@@ -1,0 +1,47 @@
+#include "core/energy_bound.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/activity_model.hpp"
+#include "core/size_bound.hpp"
+
+namespace enb::core {
+
+double switching_energy_factor(double sensitivity, double base_size,
+                               double sw_clean, double fanin_k, double epsilon,
+                               double delta) {
+  return size_factor_lower_bound(sensitivity, base_size, fanin_k, epsilon,
+                                 delta) *
+         activity_ratio(sw_clean, epsilon);
+}
+
+EnergyBreakdown total_energy_factor(double sensitivity, double base_size,
+                                    double sw_clean, double fanin_k,
+                                    double epsilon, double delta,
+                                    const EnergyModelOptions& options,
+                                    double delay_factor) {
+  if (!(options.leakage_fraction >= 0.0 && options.leakage_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "total_energy_factor: leakage_fraction must be in [0, 1], got " +
+        std::to_string(options.leakage_fraction));
+  }
+  if (!(delay_factor >= 1.0)) {
+    throw std::invalid_argument(
+        "total_energy_factor: delay_factor must be >= 1");
+  }
+  EnergyBreakdown out;
+  out.size_factor =
+      size_factor_lower_bound(sensitivity, base_size, fanin_k, epsilon, delta);
+  out.activity_factor = activity_ratio(sw_clean, epsilon);
+  out.idle_factor = idle_ratio(sw_clean, epsilon);
+  out.switching_factor = out.size_factor * out.activity_factor;
+  out.leakage_factor = out.size_factor * out.idle_factor *
+                       (options.couple_leakage_to_delay ? delay_factor : 1.0);
+  const double lambda = options.leakage_fraction;
+  out.total_factor =
+      (1.0 - lambda) * out.switching_factor + lambda * out.leakage_factor;
+  return out;
+}
+
+}  // namespace enb::core

@@ -1,0 +1,85 @@
+#include "core/energy_estimate.hpp"
+
+#include <stdexcept>
+
+#include "netlist/topo.hpp"
+#include "sim/noise.hpp"
+
+namespace enb::core {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+EnergyEstimate estimate_energy(const Circuit& circuit,
+                               const sim::ActivityResult& activity,
+                               const EnergyEstimateParams& params) {
+  if (activity.toggle_rate.size() != circuit.node_count()) {
+    throw std::invalid_argument(
+        "estimate_energy: activity profile does not match the circuit");
+  }
+  if (!(params.vdd > 0.0) || params.cap_base < 0.0 ||
+      params.cap_per_fanout < 0.0 || params.leakage_k < 0.0) {
+    throw std::invalid_argument("estimate_energy: bad parameters");
+  }
+  const std::vector<int> fanout = netlist::fanout_counts(circuit);
+  EnergyEstimate estimate;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (!counts_as_gate(circuit.type(id))) continue;
+    const double cap =
+        params.cap_base + params.cap_per_fanout * fanout[id];
+    estimate.switching +=
+        0.5 * params.vdd * params.vdd * cap * activity.toggle_rate[id];
+    estimate.leakage +=
+        params.leakage_k * params.vdd * (1.0 - activity.toggle_rate[id]);
+  }
+  return estimate;
+}
+
+double calibrate_leakage_k(const Circuit& circuit,
+                           const sim::ActivityResult& activity,
+                           const EnergyEstimateParams& params,
+                           double target_wl0) {
+  if (target_wl0 < 0.0) {
+    throw std::invalid_argument("calibrate_leakage_k: target must be >= 0");
+  }
+  EnergyEstimateParams probe = params;
+  probe.leakage_k = 1.0;
+  const EnergyEstimate at_unit_k = estimate_energy(circuit, activity, probe);
+  if (at_unit_k.leakage <= 0.0) {
+    throw std::invalid_argument(
+        "calibrate_leakage_k: circuit has no idle weight to calibrate "
+        "against (all gates toggling every cycle?)");
+  }
+  // Leakage is linear in K: K = target * E_sw / E_L(K=1).
+  return target_wl0 * at_unit_k.switching / at_unit_k.leakage;
+}
+
+EmpiricalEnergyFactor empirical_energy_factor(
+    const Circuit& base, const Circuit& redundant, double epsilon,
+    double target_wl0, const EnergyEstimateParams& params,
+    const sim::ActivityOptions& activity_options) {
+  const sim::ActivityResult base_activity =
+      sim::estimate_activity(base, activity_options);
+  EnergyEstimateParams calibrated = params;
+  calibrated.leakage_k =
+      calibrate_leakage_k(base, base_activity, params, target_wl0);
+
+  const EnergyEstimate base_energy =
+      estimate_energy(base, base_activity, calibrated);
+  const sim::ActivityResult noisy_activity =
+      sim::estimate_noisy_activity(redundant, epsilon, activity_options);
+  const EnergyEstimate redundant_energy =
+      estimate_energy(redundant, noisy_activity, calibrated);
+
+  EmpiricalEnergyFactor result;
+  result.base_energy = base_energy.total();
+  result.redundant_energy = redundant_energy.total();
+  result.factor = result.base_energy > 0.0
+                      ? result.redundant_energy / result.base_energy
+                      : 0.0;
+  result.wl_base = base_energy.leakage_ratio();
+  result.wl_redundant = redundant_energy.leakage_ratio();
+  return result;
+}
+
+}  // namespace enb::core

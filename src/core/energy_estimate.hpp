@@ -1,0 +1,67 @@
+// High-level energy estimation — the paper's refs [16, 17] (Nemani–Najm and
+// Marculescu–Marculescu–Pedram): total switched capacitance is, to first
+// order, proportional to device count, with per-gate load growing with
+// fanout. This module turns a netlist plus an activity profile into absolute
+// (model-unit) switching/leakage energies, so a *real* redundant design's
+// measured energy factor can be compared against Corollary 2's floor — the
+// energy analog of the size-bound validation in validate_bounds.hpp.
+//
+//   E_sw  = ½·V²·Σ_g C_g·sw_g,   C_g = cap_base + cap_per_fanout·fanout(g)
+//   E_L   = K·V·Σ_g (1 − sw_g)               (Theorem 3's premise)
+#pragma once
+
+#include "netlist/circuit.hpp"
+#include "sim/activity.hpp"
+
+namespace enb::core {
+
+struct EnergyEstimateParams {
+  double vdd = 1.2;
+  double cap_base = 1.0;         // intrinsic output cap per gate (unit C)
+  double cap_per_fanout = 0.5;   // added cap per fanout edge
+  double leakage_k = 0.0;        // technology factor K; 0 = no leakage term
+};
+
+struct EnergyEstimate {
+  double switching = 0.0;
+  double leakage = 0.0;
+  [[nodiscard]] double total() const noexcept { return switching + leakage; }
+  // W_L = E_L / E_sw (the paper's leakage/switching ratio).
+  [[nodiscard]] double leakage_ratio() const noexcept {
+    return switching > 0.0 ? leakage / switching : 0.0;
+  }
+};
+
+// Energy of one evaluation interval given per-node toggle rates. Activities
+// must cover every node of the circuit (sim::estimate_activity /
+// exact_activity / estimate_noisy_activity output shape).
+[[nodiscard]] EnergyEstimate estimate_energy(
+    const netlist::Circuit& circuit, const sim::ActivityResult& activity,
+    const EnergyEstimateParams& params = {});
+
+// Chooses K so that the estimate's leakage/switching ratio equals
+// `target_wl0` for this circuit/activity (the paper's baseline calibration:
+// "50% of the total energy is leakage" == W_L,0 = 1).
+[[nodiscard]] double calibrate_leakage_k(const netlist::Circuit& circuit,
+                                         const sim::ActivityResult& activity,
+                                         const EnergyEstimateParams& params,
+                                         double target_wl0);
+
+// Measured energy factor of a redundant implementation at gate error eps:
+// noisy-activity energy of `redundant` over clean-activity energy of `base`,
+// both under the same calibrated parameters. Compare against Corollary 2.
+struct EmpiricalEnergyFactor {
+  double base_energy = 0.0;
+  double redundant_energy = 0.0;
+  double factor = 0.0;
+  double wl_base = 0.0;       // leakage/switching ratio of the baseline
+  double wl_redundant = 0.0;  // and of the noisy redundant design
+};
+
+[[nodiscard]] EmpiricalEnergyFactor empirical_energy_factor(
+    const netlist::Circuit& base, const netlist::Circuit& redundant,
+    double epsilon, double target_wl0 = 1.0,
+    const EnergyEstimateParams& params = {},
+    const sim::ActivityOptions& activity_options = {});
+
+}  // namespace enb::core

@@ -1,0 +1,26 @@
+#include "core/leakage_model.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/activity_model.hpp"
+
+namespace enb::core {
+
+double leakage_ratio(double sw_clean, double epsilon) {
+  if (!(sw_clean > 0.0 && sw_clean < 1.0)) {
+    throw std::invalid_argument("leakage_ratio: sw0 must be in (0, 1), got " +
+                                std::to_string(sw_clean));
+  }
+  return idle_ratio(sw_clean, epsilon) / activity_ratio(sw_clean, epsilon);
+}
+
+double noisy_leakage_fraction(double wl_clean, double sw_clean,
+                              double epsilon) {
+  if (wl_clean < 0.0) {
+    throw std::invalid_argument("noisy_leakage_fraction: W_L,0 must be >= 0");
+  }
+  return wl_clean * leakage_ratio(sw_clean, epsilon);
+}
+
+}  // namespace enb::core

@@ -1,0 +1,24 @@
+// Theorem 3: how noise shifts the leakage/switching energy balance.
+//
+// With E_sw ∝ S·V²·sw and E_L ∝ (1 − sw)·S·V·K, the ratio W_L = E_L/E_sw of
+// an ε-noisy circuit relative to the error-free one is
+//
+//   W_L,ε,δ     (1−2ε)² + 2ε(1−ε)/(1 − sw0)
+//   -------  =  ----------------------------
+//    W_L,0        (1−2ε)² + 2ε(1−ε)/sw0
+//
+// (independent of δ and of circuit size — size cancels in the ratio). For
+// sw0 < 1/2 noise makes gates busier, so the leakage share *drops*; for
+// sw0 > 1/2 it rises; at sw0 = 1/2 it is invariant (Figure 4).
+#pragma once
+
+namespace enb::core {
+
+// The normalized ratio W_L,ε / W_L,0 above. Requires sw0 in (0, 1).
+[[nodiscard]] double leakage_ratio(double sw_clean, double epsilon);
+
+// Absolute W_L of the noisy circuit given the error-free ratio W_L,0.
+[[nodiscard]] double noisy_leakage_fraction(double wl_clean, double sw_clean,
+                                            double epsilon);
+
+}  // namespace enb::core

@@ -1,0 +1,26 @@
+#include "core/metrics.hpp"
+
+#include <limits>
+
+#include "core/depth_bound.hpp"
+
+namespace enb::core {
+
+MetricFactors combine_metrics(double energy_factor, double fanin_k,
+                              double epsilon) {
+  MetricFactors out;
+  out.energy = energy_factor;
+  out.feasible = depth_feasible(epsilon, fanin_k);
+  if (!out.feasible) {
+    out.delay = std::numeric_limits<double>::infinity();
+    out.edp = std::numeric_limits<double>::infinity();
+    out.avg_power = 0.0;
+    return out;
+  }
+  out.delay = delay_factor_lower_bound(fanin_k, epsilon);
+  out.edp = out.energy * out.delay;
+  out.avg_power = out.energy / out.delay;
+  return out;
+}
+
+}  // namespace enb::core

@@ -1,0 +1,24 @@
+// Derived normalized metrics: delay, energy×delay, and average power — the
+// quantities Figures 5, 6 and 8 plot.
+#pragma once
+
+#include "core/energy_bound.hpp"
+
+namespace enb::core {
+
+struct MetricFactors {
+  double energy = 1.0;     // E_tot,ε / E_tot,0 (lower bound)
+  double delay = 1.0;      // D_ε / D_0 (lower bound; +inf when infeasible)
+  double edp = 1.0;        // energy × delay
+  double avg_power = 1.0;  // energy / delay (NOT a lower bound: the energy
+                           // bound divided by the delay bound — the paper's
+                           // Figures 6/8 construction)
+  bool feasible = true;    // Theorem 4 regime check
+};
+
+// Combines an energy factor with the Theorem 4 delay factor at average
+// fanin k. When infeasible, delay and edp are +inf and avg_power is 0.
+[[nodiscard]] MetricFactors combine_metrics(double energy_factor,
+                                            double fanin_k, double epsilon);
+
+}  // namespace enb::core

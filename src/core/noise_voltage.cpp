@@ -1,0 +1,44 @@
+#include "core/noise_voltage.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace enb::core {
+
+double epsilon_of_vdd(double vdd, const NoiseVoltageParams& params) {
+  if (vdd < 0.0) {
+    throw std::invalid_argument("epsilon_of_vdd: vdd must be >= 0");
+  }
+  if (!(params.sigma > 0.0)) {
+    throw std::invalid_argument("epsilon_of_vdd: sigma must be > 0");
+  }
+  const double eps =
+      0.5 * std::erfc(vdd / (2.0 * std::sqrt(2.0) * params.sigma));
+  return std::max(eps, params.min_epsilon);
+}
+
+double vdd_for_epsilon(double epsilon, const NoiseVoltageParams& params,
+                       double max_vdd) {
+  if (!(epsilon > 0.0 && epsilon <= 0.5)) {
+    throw std::invalid_argument("vdd_for_epsilon: epsilon must be in (0, 0.5]");
+  }
+  if (epsilon_of_vdd(max_vdd, params) > epsilon) {
+    throw std::invalid_argument(
+        "vdd_for_epsilon: target " + std::to_string(epsilon) +
+        " unreachable below max_vdd");
+  }
+  double lo = 0.0;
+  double hi = max_vdd;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (epsilon_of_vdd(mid, params) > epsilon) {
+      lo = mid;  // too noisy: need more voltage
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace enb::core

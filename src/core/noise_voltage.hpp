@@ -1,0 +1,31 @@
+// Voltage-dependent gate error: the Hegde–Shanbhag link (paper ref [11])
+// between supply scaling and noise. With additive Gaussian noise of RMS σ at
+// a gate output and a decision threshold at Vdd/2, the flip probability of a
+// full-swing signal is
+//
+//   ε(Vdd) = Q(Vdd / (2σ)) = ½·erfc(Vdd / (2·√2·σ))
+//
+// The paper *contrasts* its redundancy-driven bounds with [11]'s
+// voltage-scaling trade-off; this module makes the comparison executable:
+// lowering Vdd saves CV² energy but raises ε, which raises every bound in
+// the framework — the closed loop of experiment `ext_voltage_noise`.
+#pragma once
+
+namespace enb::core {
+
+struct NoiseVoltageParams {
+  double sigma = 0.08;  // RMS noise voltage (V)
+  double min_epsilon = 1e-12;  // floor to keep downstream logs finite
+};
+
+// ε(Vdd): monotone decreasing in Vdd, 0.5 at Vdd = 0.
+[[nodiscard]] double epsilon_of_vdd(double vdd,
+                                    const NoiseVoltageParams& params = {});
+
+// Inverse: the supply needed to reach a target gate error (bisection;
+// target must be in (0, 0.5]).
+[[nodiscard]] double vdd_for_epsilon(double epsilon,
+                                     const NoiseVoltageParams& params = {},
+                                     double max_vdd = 5.0);
+
+}  // namespace enb::core

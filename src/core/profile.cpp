@@ -1,0 +1,81 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bdd/bdd_analysis.hpp"
+#include "netlist/stats.hpp"
+#include "sim/activity.hpp"
+#include "sim/sensitivity.hpp"
+
+namespace enb::core {
+
+CircuitProfile extract_profile(const netlist::Circuit& circuit,
+                               const ProfileOptions& options) {
+  if (circuit.gate_count() == 0) {
+    throw std::invalid_argument(
+        "extract_profile: circuit has no gates to profile");
+  }
+  const netlist::CircuitStats stats = netlist::compute_stats(circuit);
+
+  CircuitProfile p;
+  p.name = circuit.name();
+  p.num_inputs = static_cast<int>(stats.num_inputs);
+  p.num_outputs = static_cast<int>(stats.num_outputs);
+  p.size_s0 = static_cast<double>(stats.num_gates);
+  p.depth_d0 = stats.depth;
+  p.avg_fanin_k = stats.avg_fanin;
+  p.max_fanin = stats.max_fanin;
+
+  // Activity: exact (BDD) when small enough, Monte-Carlo otherwise. The BDD
+  // route can still blow up on worst-case structures; fall back silently.
+  bool have_activity = false;
+  if (options.prefer_exact_activity &&
+      p.num_inputs <= options.exact_activity_max_inputs) {
+    try {
+      p.avg_activity_sw0 =
+          bdd::exact_activity_bdd(circuit).avg_gate_toggle_rate;
+      have_activity = true;
+    } catch (const bdd::BddLimitExceeded&) {
+      have_activity = false;
+    }
+  }
+  if (!have_activity) {
+    sim::ActivityOptions activity_options;
+    activity_options.sample_pairs = options.activity_pairs;
+    activity_options.seed = options.seed;
+    p.avg_activity_sw0 =
+        sim::estimate_activity(circuit, activity_options).avg_gate_toggle_rate;
+  }
+
+  sim::SensitivityOptions sens_options;
+  sens_options.max_exact_inputs = options.sensitivity_exact_max_inputs;
+  sens_options.sample_words = options.sensitivity_sample_words;
+  sens_options.seed = options.seed + 1;
+  const sim::SensitivityResult sens =
+      sim::compute_sensitivity(circuit, sens_options);
+  p.sensitivity_s = std::max(1, sens.sensitivity);
+  p.sensitivity_exact = sens.exact;
+  return p;
+}
+
+CircuitProfile make_profile(std::string name, double sensitivity,
+                            double size_s0, double sw0, double fanin_k,
+                            int num_inputs) {
+  if (sensitivity < 1.0 || size_s0 <= 0.0 || fanin_k < 1.0 ||
+      num_inputs < 1 || !(sw0 > 0.0 && sw0 < 1.0)) {
+    throw std::invalid_argument("make_profile: parameter out of range");
+  }
+  CircuitProfile p;
+  p.name = std::move(name);
+  p.num_inputs = num_inputs;
+  p.sensitivity_s = sensitivity;
+  p.sensitivity_exact = true;
+  p.size_s0 = size_s0;
+  p.avg_activity_sw0 = sw0;
+  p.avg_fanin_k = fanin_k;
+  p.max_fanin = static_cast<int>(fanin_k + 0.999);
+  return p;
+}
+
+}  // namespace enb::core

@@ -1,0 +1,49 @@
+// CircuitProfile: the (s, S0, sw0, k, n, d0) tuple the bounds consume,
+// extracted from a gate-level netlist with the simulation / BDD substrates.
+// This mirrors the paper's Section 6 flow: map the benchmark, measure average
+// switching activity under random inputs, take sensitivity and size from the
+// function/netlist, then plug into Theorems 1–4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::core {
+
+struct CircuitProfile {
+  std::string name;
+  int num_inputs = 0;
+  int num_outputs = 0;
+  double size_s0 = 0.0;        // gate count S0
+  int depth_d0 = 0;            // logic depth
+  double avg_fanin_k = 0.0;    // average gate fanin (the bound's k)
+  int max_fanin = 0;
+  double avg_activity_sw0 = 0.0;  // mean per-gate toggle rate
+  double sensitivity_s = 0.0;     // Boolean sensitivity (>= 1 for nontrivial f)
+  bool sensitivity_exact = false; // false => sampled lower bound
+};
+
+struct ProfileOptions {
+  // Monte-Carlo activity estimation (pairs of 64-lane vectors).
+  std::size_t activity_pairs = 1 << 12;
+  // Use the BDD engine for exact activity when the input count allows.
+  bool prefer_exact_activity = true;
+  int exact_activity_max_inputs = 16;
+  // Sensitivity: exhaustive up to this many inputs, sampled beyond.
+  int sensitivity_exact_max_inputs = 20;
+  std::uint64_t sensitivity_sample_words = 256;
+  std::uint64_t seed = 17;
+};
+
+// Measures a profile from a (typically mapped) netlist.
+[[nodiscard]] CircuitProfile extract_profile(const netlist::Circuit& circuit,
+                                             const ProfileOptions& options = {});
+
+// A profile from explicit numbers (e.g. the paper's s=10, S0=21 parity).
+[[nodiscard]] CircuitProfile make_profile(std::string name, double sensitivity,
+                                          double size_s0, double sw0,
+                                          double fanin_k, int num_inputs);
+
+}  // namespace enb::core

@@ -1,0 +1,37 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+
+#include "core/size_bound.hpp"
+#include "netlist/transform.hpp"
+
+namespace enb::core {
+
+RefinedReport refine_size_bound(const netlist::Circuit& circuit,
+                                double epsilon, double delta,
+                                const ProfileOptions& options) {
+  RefinedReport report;
+  const CircuitProfile whole = extract_profile(circuit, options);
+  report.whole_redundancy = redundancy_lower_bound(
+      whole.sensitivity_s, whole.avg_fanin_k, epsilon, delta);
+
+  for (std::size_t pos = 0; pos < circuit.num_outputs(); ++pos) {
+    const std::vector<std::size_t> one{pos};
+    netlist::Circuit cone = netlist::extract_cone(circuit, one);
+    // Constant outputs (possible after folding) carry no bound.
+    if (cone.gate_count() == 0) continue;
+    OutputBound ob;
+    ob.output_name = circuit.output_name(pos);
+    ob.cone_profile = extract_profile(cone, options);
+    ob.redundancy_gates =
+        redundancy_lower_bound(ob.cone_profile.sensitivity_s,
+                               ob.cone_profile.avg_fanin_k, epsilon, delta);
+    ob.size_factor = 1.0 + ob.redundancy_gates / ob.cone_profile.size_s0;
+    report.refined_redundancy =
+        std::max(report.refined_redundancy, ob.redundancy_gates);
+    report.outputs.push_back(std::move(ob));
+  }
+  return report;
+}
+
+}  // namespace enb::core

@@ -1,0 +1,47 @@
+// Functionality-dependent refinement of the size bound — the paper's second
+// "future work" item ("the refinement of the lower bounds depending on the
+// circuit functionality").
+//
+// Corollary 1 applies Theorem 2 to a multi-output function through its
+// characteristic function, using one global sensitivity. But each primary
+// output individually is a Boolean function that the same circuit must
+// (1−δ)-reliably compute, so each output cone yields its own Theorem 2
+// bound; since every cone is part of the one circuit, the maximum of the
+// per-output redundancy floors is also a valid floor — and it can exceed
+// the whole-function bound when a single output concentrates sensitivity
+// inside a small cone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "netlist/circuit.hpp"
+
+namespace enb::core {
+
+struct OutputBound {
+  std::string output_name;
+  CircuitProfile cone_profile;   // profile of the output's fanin cone
+  double redundancy_gates = 0.0; // Theorem 2 floor for this output alone
+  double size_factor = 1.0;      // vs the cone's own S0
+};
+
+struct RefinedReport {
+  double whole_redundancy = 0.0;    // Corollary 1 (global sensitivity)
+  double refined_redundancy = 0.0;  // max over per-output floors
+  std::vector<OutputBound> outputs;
+  // True when the per-output refinement beats the whole-function bound.
+  [[nodiscard]] bool refinement_helps() const {
+    return refined_redundancy > whole_redundancy;
+  }
+};
+
+// Computes both the whole-function bound and the per-output refinement.
+// Per-output sensitivities are exact when the cone's support allows
+// (options.sensitivity_exact_max_inputs), sampled otherwise.
+[[nodiscard]] RefinedReport refine_size_bound(const netlist::Circuit& circuit,
+                                              double epsilon, double delta,
+                                              const ProfileOptions& options = {});
+
+}  // namespace enb::core

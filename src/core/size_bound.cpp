@@ -1,0 +1,86 @@
+#include "core/size_bound.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/channel.hpp"
+
+namespace enb::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void check_fanin(double fanin) {
+  if (!(fanin >= 1.0)) {
+    throw std::invalid_argument("fanin must be >= 1, got " +
+                                std::to_string(fanin));
+  }
+}
+
+}  // namespace
+
+double omega(double epsilon, double fanin) {
+  check_epsilon(epsilon);
+  check_fanin(fanin);
+  return (1.0 - std::pow(xi_of_epsilon(epsilon), fanin)) / 2.0;
+}
+
+double t_of_omega(double w) {
+  if (!(w > 0.0 && w < 1.0)) {
+    throw std::invalid_argument("t_of_omega: omega must be in (0, 1), got " +
+                                std::to_string(w));
+  }
+  const double w3 = w * w * w;
+  const double v = 1.0 - w;
+  const double v3 = v * v * v;
+  return (w3 + v3) / (w * v);
+}
+
+double redundancy_lower_bound(double sensitivity, double fanin, double epsilon,
+                              double delta) {
+  check_epsilon(epsilon);
+  check_delta(delta);
+  check_fanin(fanin);
+  if (sensitivity < 1.0) {
+    throw std::invalid_argument("redundancy_lower_bound: sensitivity must be >= 1");
+  }
+  if (epsilon == 0.0) return 0.0;  // t -> inf, denominator -> inf
+
+  const double w = omega(epsilon, fanin);
+  if (w >= 0.5) return kInf;  // epsilon == 0.5: log t == 0
+  const double log_t = std::log2(t_of_omega(w));
+  const double numerator =
+      sensitivity * std::log2(sensitivity) +
+      2.0 * sensitivity * std::log2(2.0 * (1.0 - 2.0 * delta));
+  const double bound = numerator / (fanin * log_t);
+  return bound > 0.0 ? bound : 0.0;
+}
+
+double size_factor_lower_bound(double sensitivity, double base_size,
+                               double fanin, double epsilon, double delta) {
+  if (base_size <= 0.0) {
+    throw std::invalid_argument("size_factor_lower_bound: base_size must be > 0");
+  }
+  return 1.0 +
+         redundancy_lower_bound(sensitivity, fanin, epsilon, delta) /
+             base_size;
+}
+
+double classical_nlogn_bound(double sensitivity) {
+  if (sensitivity < 1.0) {
+    throw std::invalid_argument("classical_nlogn_bound: sensitivity must be >= 1");
+  }
+  return sensitivity * std::log2(sensitivity);
+}
+
+double size_upper_bound_shape(double base_size) {
+  if (base_size < 1.0) {
+    throw std::invalid_argument("size_upper_bound_shape: base_size must be >= 1");
+  }
+  return base_size * std::log2(base_size + 1.0);
+}
+
+}  // namespace enb::core

@@ -1,0 +1,51 @@
+// Theorem 2 / Corollary 1: the circuit-size lower bound for reliable
+// computation with noisy gates (Evans' information-theoretic bound, the
+// tightest known — paper Section 4.2).
+//
+// For a Boolean function f of sensitivity s, (1−δ)-reliably computed by a
+// circuit of ε-noisy k-input gates, the additional redundancy satisfies
+//
+//            s·log₂ s + 2s·log₂(2(1 − 2δ))
+//   R  >=  ---------------------------------
+//                     k · log₂ t
+//
+//   t = (ω³ + (1−ω)³) / (ω(1−ω)),     ω = (1 − (1−2ε)ᵏ) / 2.
+//
+// ω is the crossover probability of k cascaded ε-channels — the information
+// about one input surviving a depth-1 gate — which is the only reading of
+// the (OCR-damaged) formula consistent with the paper's limits: R → 0 as
+// ε → 0 (t → ∞) and R → ∞ as ε → 1/2 (t → 1). Corollary 1 extends the bound
+// to m-output functions via the characteristic function, which preserves
+// sensitivity, so the same formula applies.
+#pragma once
+
+namespace enb::core {
+
+// ω(ε, k): effective input-to-output crossover through one k-input gate.
+// `fanin` may be fractional (average fanin of a mapped netlist).
+[[nodiscard]] double omega(double epsilon, double fanin);
+
+// t(ω) = (ω³ + (1−ω)³)/(ω(1−ω)), defined on (0, 1); t(1/2) = 1 and
+// t → ∞ at the edges.
+[[nodiscard]] double t_of_omega(double w);
+
+// The redundancy lower bound R(s, k, ε, δ) in gates. Clamped at 0 when the
+// formula goes vacuous (δ close to 1/4 makes the numerator negative for
+// small s). Returns +inf when ε = 1/2 (log t = 0) and 0 when ε = 0.
+[[nodiscard]] double redundancy_lower_bound(double sensitivity, double fanin,
+                                            double epsilon, double delta);
+
+// Size factor (S0 + R)/S0 = 1 + R/S0 — the first factor of Corollary 2.
+[[nodiscard]] double size_factor_lower_bound(double sensitivity,
+                                             double base_size, double fanin,
+                                             double epsilon, double delta);
+
+// The classical s·log₂ s lower-bound shape (Reischuk–Schmeltz / Gál) the
+// paper cites for comparison; vacuous constants, shape only.
+[[nodiscard]] double classical_nlogn_bound(double sensitivity);
+
+// The O(S0 log S0) *upper* bound on fault-tolerant size the paper quotes
+// from Pippenger / Gács–Gál (reported with unit constant; shape only).
+[[nodiscard]] double size_upper_bound_shape(double base_size);
+
+}  // namespace enb::core

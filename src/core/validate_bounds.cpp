@@ -1,0 +1,41 @@
+#include "core/validate_bounds.hpp"
+
+#include <algorithm>
+
+#include "core/size_bound.hpp"
+
+namespace enb::core {
+
+BoundCheck check_point(const CircuitProfile& profile, double epsilon,
+                       const EmpiricalPoint& point) {
+  BoundCheck check;
+  check.point = point;
+  // The theorem's domain is δ < 1/2; a scheme measured at or above 1/2 is
+  // not computing the function reliably at all.
+  const double delta = std::max(point.delta_hat, point.delta_ci_high);
+  if (delta >= 0.5) {
+    check.vacuous = true;
+    check.required_size = 0.0;
+    check.slack = point.total_gates;
+    check.consistent = true;  // no claim is made in this regime
+    return check;
+  }
+  check.required_size = redundancy_lower_bound(
+      profile.sensitivity_s, profile.avg_fanin_k, epsilon, delta);
+  check.slack = point.total_gates - check.required_size;
+  check.consistent = check.slack >= 0.0;
+  return check;
+}
+
+std::vector<BoundCheck> check_points(const CircuitProfile& profile,
+                                     double epsilon,
+                                     const std::vector<EmpiricalPoint>& points) {
+  std::vector<BoundCheck> out;
+  out.reserve(points.size());
+  for (const EmpiricalPoint& p : points) {
+    out.push_back(check_point(profile, epsilon, p));
+  }
+  return out;
+}
+
+}  // namespace enb::core

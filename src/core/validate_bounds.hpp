@@ -1,0 +1,50 @@
+// Empirical validation of the Theorem 2 lower bound: a real redundancy
+// scheme (NMR, multiplexing, ...) achieving measured output error δ̂ with a
+// given gate count must sit at or above the theoretical size curve. The
+// paper presents the bound analytically; this module is the missing
+// experimental soundness check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+
+namespace enb::core {
+
+// One achieved design point of a redundancy scheme.
+struct EmpiricalPoint {
+  std::string scheme;       // e.g. "tmr", "nmr5", "mux5r1"
+  double total_gates = 0;   // gate count of the redundant implementation
+  double delta_hat = 0.0;   // measured output error probability
+  double delta_ci_high = 0.0;  // upper 95% bound on delta_hat
+};
+
+struct BoundCheck {
+  EmpiricalPoint point;
+  // The implementation-independent part of the Theorem 2 floor: the
+  // redundancy term R(s, k, ε, δ̂). The theorem bounds the gates *added on
+  // top of the minimal error-free implementation*; that minimal size is
+  // unknown (our S0 is just one implementation), so the checker demands only
+  // total_gates >= R — the strongest claim that can never produce a false
+  // violation.
+  double required_size = 0.0;
+  double slack = 0.0;       // total_gates − required_size
+  bool consistent = false;  // slack >= 0 (the bound holds)
+  bool vacuous = false;     // δ̂ >= 1/2: outside the theorem's domain
+};
+
+// Checks one point against the bound for the base function described by
+// `profile` (sensitivity and fanin of the redundant implementation's gates)
+// at gate error `epsilon`. Uses the *conservative* end of the confidence
+// interval (delta_ci_high) so statistical noise cannot produce a false
+// violation either.
+[[nodiscard]] BoundCheck check_point(const CircuitProfile& profile,
+                                     double epsilon,
+                                     const EmpiricalPoint& point);
+
+[[nodiscard]] std::vector<BoundCheck> check_points(
+    const CircuitProfile& profile, double epsilon,
+    const std::vector<EmpiricalPoint>& points);
+
+}  // namespace enb::core

@@ -1,0 +1,46 @@
+// Von Neumann multiplexing ("parallel restitution" in the paper's wording):
+// every logical signal becomes a bundle of N wires; each gate becomes an
+// executive stage of N gate copies with randomly permuted input bundles,
+// followed by restorative stages of majority elements over random wire
+// triples. The decoded value of a bundle is its majority.
+//
+// This is the second classic redundancy baseline (besides NMR) used in the
+// empirical-vs-bound experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/reliability.hpp"
+
+namespace enb::ft {
+
+struct MultiplexOptions {
+  int bundle_width = 5;        // N wires per logical signal (odd, >= 3)
+  int restorative_stages = 1;  // majority rounds after each executive stage
+  std::uint64_t seed = 0xF00D; // permutation seed
+};
+
+struct MultiplexedCircuit {
+  netlist::Circuit circuit;
+  int bundle_width = 0;
+  // For each original output position, the node ids of its bundle wires
+  // (the circuit's own output list is the concatenation of these bundles).
+  std::vector<std::vector<netlist::NodeId>> output_bundles;
+};
+
+// Builds the multiplexed version. Gates wider than 2 inputs are rejected —
+// run the mapper first (von Neumann's construction is defined for 2-input
+// executives).
+[[nodiscard]] MultiplexedCircuit multiplex_transform(
+    const netlist::Circuit& circuit, const MultiplexOptions& options = {});
+
+// Reliability of the multiplexed implementation against the original:
+// a trial fails when any output bundle's majority decode differs from the
+// golden output.
+[[nodiscard]] sim::ReliabilityResult estimate_multiplexed_reliability(
+    const MultiplexedCircuit& mc, const netlist::Circuit& golden,
+    double epsilon, const sim::ReliabilityOptions& options = {});
+
+}  // namespace enb::ft

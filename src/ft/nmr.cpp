@@ -1,0 +1,64 @@
+#include "ft/nmr.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netlist/transform.hpp"
+
+namespace enb::ft {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+NmrResult nmr_transform(const Circuit& circuit, const NmrOptions& options) {
+  if (options.copies < 3 || options.copies % 2 == 0) {
+    throw std::invalid_argument("nmr_transform: copies must be odd and >= 3");
+  }
+  NmrResult result;
+  Circuit& out = result.circuit;
+  out.set_name(circuit.name() + "_nmr" + std::to_string(options.copies));
+
+  std::vector<NodeId> inputs;
+  inputs.reserve(circuit.num_inputs());
+  for (NodeId id : circuit.inputs()) {
+    inputs.push_back(out.add_input(circuit.node_name(id)));
+  }
+
+  // replica_outputs[copy][output position]
+  std::vector<std::vector<NodeId>> replica_outputs;
+  replica_outputs.reserve(static_cast<std::size_t>(options.copies));
+  for (int copy = 0; copy < options.copies; ++copy) {
+    replica_outputs.push_back(netlist::append_circuit(out, circuit, inputs));
+  }
+  result.replica_gates = out.gate_count();
+
+  for (std::size_t pos = 0; pos < circuit.num_outputs(); ++pos) {
+    std::vector<NodeId> votes;
+    votes.reserve(static_cast<std::size_t>(options.copies));
+    for (int copy = 0; copy < options.copies; ++copy) {
+      votes.push_back(replica_outputs[static_cast<std::size_t>(copy)][pos]);
+    }
+    out.add_output(append_majority(out, votes, options.voter),
+                   circuit.output_name(pos));
+  }
+  result.voter_gates = out.gate_count() - result.replica_gates;
+  return result;
+}
+
+Circuit cascaded_tmr(const Circuit& circuit, int levels, VoterStyle voter) {
+  if (levels < 0 || levels > 4) {
+    throw std::invalid_argument("cascaded_tmr: levels must be in [0, 4]");
+  }
+  Circuit current = netlist::clone(circuit);
+  NmrOptions options;
+  options.copies = 3;
+  options.voter = voter;
+  for (int level = 0; level < levels; ++level) {
+    current = nmr_transform(current, options).circuit;
+  }
+  current.set_name(circuit.name() + "_tmr_l" + std::to_string(levels));
+  return current;
+}
+
+}  // namespace enb::ft

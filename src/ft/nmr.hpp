@@ -1,0 +1,34 @@
+// N-modular redundancy: N copies of the circuit vote per output. The voters
+// are built from ordinary gates, so they fail like everything else — von
+// Neumann's setting, and the redundancy baseline the paper's Theorem 2 bound
+// is compared against in the empirical-vs-bound experiment.
+#pragma once
+
+#include "ft/voter.hpp"
+#include "netlist/circuit.hpp"
+
+namespace enb::ft {
+
+struct NmrOptions {
+  int copies = 3;  // odd, >= 3
+  VoterStyle voter = VoterStyle::kTwoInput;
+};
+
+struct NmrResult {
+  netlist::Circuit circuit;
+  std::size_t replica_gates = 0;  // gates in the N replicas
+  std::size_t voter_gates = 0;    // gates in the voting stage
+};
+
+// Builds the NMR version of `circuit` (same interface: inputs are shared by
+// the copies; each output is the majority over the N replica outputs).
+[[nodiscard]] NmrResult nmr_transform(const netlist::Circuit& circuit,
+                                      const NmrOptions& options = {});
+
+// Recursive TMR: applies nmr_transform(copies=3) `levels` times. Size grows
+// by > 3x per level; levels is capped at 4.
+[[nodiscard]] netlist::Circuit cascaded_tmr(const netlist::Circuit& circuit,
+                                            int levels,
+                                            VoterStyle voter = VoterStyle::kTwoInput);
+
+}  // namespace enb::ft

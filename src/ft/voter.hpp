@@ -1,0 +1,31 @@
+// Majority voters, the glue of every modular-redundancy scheme. Voters are
+// built from ordinary gates so they are themselves failure-prone when
+// simulated with NoisySim — matching the paper's setting where *all* internal
+// gates fail independently.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::ft {
+
+enum class VoterStyle {
+  kMajGate,   // a single MAJ3 gate per 3-way vote
+  kTwoInput,  // ab + c(a|b): four 2-input gates per 3-way vote
+};
+
+// Appends a majority-of-3 and returns its output node.
+[[nodiscard]] netlist::NodeId append_maj3(netlist::Circuit& c,
+                                          netlist::NodeId a, netlist::NodeId b,
+                                          netlist::NodeId d,
+                                          VoterStyle style = VoterStyle::kTwoInput);
+
+// Appends an exact majority-of-N (N odd, >= 3): population count with
+// full/half adders followed by a threshold comparison against N/2. For N == 3
+// this reduces to append_maj3.
+[[nodiscard]] netlist::NodeId append_majority(
+    netlist::Circuit& c, const std::vector<netlist::NodeId>& signals,
+    VoterStyle style = VoterStyle::kTwoInput);
+
+}  // namespace enb::ft

@@ -1,0 +1,153 @@
+#include "gen/adders.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace enb::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+void check_bits(int bits, const char* who) {
+  if (bits < 1) {
+    throw std::invalid_argument(std::string(who) + ": bits must be >= 1");
+  }
+}
+
+struct AdderInputs {
+  std::vector<NodeId> a;
+  std::vector<NodeId> b;
+  NodeId cin;
+};
+
+AdderInputs declare_inputs(Circuit& c, int bits) {
+  AdderInputs in;
+  for (int i = 0; i < bits; ++i) in.a.push_back(c.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) in.b.push_back(c.add_input("b" + std::to_string(i)));
+  in.cin = c.add_input("cin");
+  return in;
+}
+
+}  // namespace
+
+FullAdderOut append_full_adder(Circuit& c, NodeId a, NodeId b, NodeId cin) {
+  const NodeId axb = c.add_gate(GateType::kXor, a, b);
+  const NodeId sum = c.add_gate(GateType::kXor, axb, cin);
+  const NodeId ab = c.add_gate(GateType::kAnd, a, b);
+  const NodeId ct = c.add_gate(GateType::kAnd, cin, axb);
+  const NodeId cout = c.add_gate(GateType::kOr, ab, ct);
+  return {sum, cout};
+}
+
+FullAdderOut append_half_adder(Circuit& c, NodeId a, NodeId b) {
+  return {c.add_gate(GateType::kXor, a, b), c.add_gate(GateType::kAnd, a, b)};
+}
+
+Circuit ripple_carry_adder(int bits) {
+  check_bits(bits, "ripple_carry_adder");
+  Circuit c("rca" + std::to_string(bits));
+  const AdderInputs in = declare_inputs(c, bits);
+  NodeId carry = in.cin;
+  for (int i = 0; i < bits; ++i) {
+    const FullAdderOut fa = append_full_adder(c, in.a[i], in.b[i], carry);
+    c.add_output(fa.sum, "sum" + std::to_string(i));
+    carry = fa.cout;
+  }
+  c.add_output(carry, "cout");
+  return c;
+}
+
+Circuit carry_lookahead_adder(int bits) {
+  check_bits(bits, "carry_lookahead_adder");
+  Circuit c("cla" + std::to_string(bits));
+  const AdderInputs in = declare_inputs(c, bits);
+
+  // Bit-level generate/propagate.
+  std::vector<NodeId> g(bits), p(bits);
+  for (int i = 0; i < bits; ++i) {
+    g[i] = c.add_gate(GateType::kAnd, in.a[i], in.b[i]);
+    p[i] = c.add_gate(GateType::kXor, in.a[i], in.b[i]);
+  }
+  // Carries within blocks of 4 via expanded lookahead terms:
+  //   c[i+1] = g[i] | p[i]g[i-1] | ... | p[i]..p[j]c_block_in
+  std::vector<NodeId> carry(static_cast<std::size_t>(bits) + 1);
+  carry[0] = in.cin;
+  constexpr int kGroup = 4;
+  for (int base = 0; base < bits; base += kGroup) {
+    const int end = std::min(bits, base + kGroup);
+    for (int i = base; i < end; ++i) {
+      // Terms for carry[i+1], fully expanded back to carry[base].
+      std::vector<NodeId> terms;
+      terms.push_back(g[i]);
+      for (int j = i - 1; j >= base - 1; --j) {
+        // product p[i] p[i-1] ... p[j+1] * (g[j] or block carry-in)
+        std::vector<NodeId> factors;
+        for (int t = j + 1; t <= i; ++t) factors.push_back(p[t]);
+        factors.push_back(j >= base ? g[j] : carry[base]);
+        terms.push_back(factors.size() == 1
+                            ? factors[0]
+                            : c.add_gate(GateType::kAnd, factors));
+      }
+      carry[i + 1] = terms.size() == 1 ? terms[0]
+                                       : c.add_gate(GateType::kOr, terms);
+    }
+  }
+  for (int i = 0; i < bits; ++i) {
+    c.add_output(c.add_gate(GateType::kXor, p[i], carry[i]),
+                 "sum" + std::to_string(i));
+  }
+  c.add_output(carry[bits], "cout");
+  return c;
+}
+
+Circuit carry_select_adder(int bits, int block) {
+  check_bits(bits, "carry_select_adder");
+  if (block < 1) {
+    throw std::invalid_argument("carry_select_adder: block must be >= 1");
+  }
+  Circuit c("csel" + std::to_string(bits));
+  const AdderInputs in = declare_inputs(c, bits);
+
+  NodeId carry = in.cin;
+  const NodeId zero = c.add_const(false);
+  const NodeId one = c.add_const(true);
+  std::vector<NodeId> sums;
+  for (int base = 0; base < bits; base += block) {
+    const int end = std::min(bits, base + block);
+    // Two speculative ripple blocks.
+    std::vector<NodeId> sum0, sum1;
+    NodeId c0 = zero;
+    NodeId c1 = one;
+    for (int i = base; i < end; ++i) {
+      const FullAdderOut f0 = append_full_adder(c, in.a[i], in.b[i], c0);
+      const FullAdderOut f1 = append_full_adder(c, in.a[i], in.b[i], c1);
+      sum0.push_back(f0.sum);
+      sum1.push_back(f1.sum);
+      c0 = f0.cout;
+      c1 = f1.cout;
+    }
+    // Select with the incoming carry: out = carry ? s1 : s0.
+    const NodeId ncarry = c.add_gate(GateType::kNot, carry);
+    for (int i = base; i < end; ++i) {
+      const NodeId t1 =
+          c.add_gate(GateType::kAnd, carry, sum1[static_cast<std::size_t>(i - base)]);
+      const NodeId t0 =
+          c.add_gate(GateType::kAnd, ncarry, sum0[static_cast<std::size_t>(i - base)]);
+      sums.push_back(c.add_gate(GateType::kOr, t1, t0));
+    }
+    const NodeId tc1 = c.add_gate(GateType::kAnd, carry, c1);
+    const NodeId tc0 = c.add_gate(GateType::kAnd, ncarry, c0);
+    carry = c.add_gate(GateType::kOr, tc1, tc0);
+  }
+  for (int i = 0; i < bits; ++i) {
+    c.add_output(sums[static_cast<std::size_t>(i)], "sum" + std::to_string(i));
+  }
+  c.add_output(carry, "cout");
+  return c;
+}
+
+}  // namespace enb::gen

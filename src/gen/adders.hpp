@@ -1,0 +1,40 @@
+// Adder generators: the computer-arithmetic workloads of the paper's
+// evaluation ("ripple-carry adders ... with various bitwidths"), plus
+// carry-lookahead and carry-select variants for the fanin/depth ablations.
+//
+// All adders take inputs a[0..n-1] (LSB first), b[0..n-1] and cin, and
+// produce sum[0..n-1] and cout.
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+// Chain of full adders: 5 two-input gates per bit, depth O(n).
+[[nodiscard]] netlist::Circuit ripple_carry_adder(int bits);
+
+// Block carry-lookahead (group size 4): generate/propagate terms with wide
+// AND/OR gates (the mapper narrows them), depth O(n / 4 + log).
+[[nodiscard]] netlist::Circuit carry_lookahead_adder(int bits);
+
+// Carry-select with fixed-size blocks: duplicated ripple blocks with cin=0/1
+// and mux selection.
+[[nodiscard]] netlist::Circuit carry_select_adder(int bits, int block = 4);
+
+// Helper used by other generators: appends one full adder to `c`, returning
+// {sum, cout}.
+struct FullAdderOut {
+  netlist::NodeId sum;
+  netlist::NodeId cout;
+};
+[[nodiscard]] FullAdderOut append_full_adder(netlist::Circuit& c,
+                                             netlist::NodeId a,
+                                             netlist::NodeId b,
+                                             netlist::NodeId cin);
+
+// Half adder: {sum, carry} from two operands.
+[[nodiscard]] FullAdderOut append_half_adder(netlist::Circuit& c,
+                                             netlist::NodeId a,
+                                             netlist::NodeId b);
+
+}  // namespace enb::gen

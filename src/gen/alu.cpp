@@ -1,0 +1,67 @@
+#include "gen/alu.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/adders.hpp"
+#include "gen/mux_decoder.hpp"
+
+namespace enb::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit alu(int bits) {
+  if (bits < 1) {
+    throw std::invalid_argument("alu: bits must be >= 1");
+  }
+  Circuit c("alu" + std::to_string(bits));
+  std::vector<NodeId> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(c.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(c.add_input("b" + std::to_string(i)));
+  std::vector<NodeId> op;
+  for (int i = 0; i < 3; ++i) op.push_back(c.add_input("op" + std::to_string(i)));
+
+  // is_sub = op==001; is_logic groups: op2 selects XOR, op1 selects AND/OR.
+  const NodeId is_sub = op[0];
+
+  // Adder operand: b ^ is_sub (one's complement under SUB), carry-in is_sub.
+  std::vector<NodeId> badd;
+  for (int i = 0; i < bits; ++i) {
+    badd.push_back(c.add_gate(GateType::kXor, b[static_cast<std::size_t>(i)], is_sub));
+  }
+  std::vector<NodeId> addsum;
+  NodeId carry = is_sub;
+  for (int i = 0; i < bits; ++i) {
+    const FullAdderOut fa = append_full_adder(
+        c, a[static_cast<std::size_t>(i)], badd[static_cast<std::size_t>(i)], carry);
+    addsum.push_back(fa.sum);
+    carry = fa.cout;
+  }
+
+  // Per-bit logic results.
+  std::vector<NodeId> outs;
+  for (int i = 0; i < bits; ++i) {
+    const NodeId ai = a[static_cast<std::size_t>(i)];
+    const NodeId bi = b[static_cast<std::size_t>(i)];
+    const NodeId land = c.add_gate(GateType::kAnd, ai, bi);
+    const NodeId lor = c.add_gate(GateType::kOr, ai, bi);
+    const NodeId lxor = c.add_gate(GateType::kXor, ai, bi);
+    // logic_and_or = op0 ? OR : AND;  logic = op2 ? XOR : that.
+    const NodeId and_or = append_mux2(c, op[0], lor, land);
+    const NodeId logic = append_mux2(c, op[2], lxor, and_or);
+    // result = op1 ? logic : adder
+    outs.push_back(append_mux2(c, op[1], logic, addsum[static_cast<std::size_t>(i)]));
+  }
+
+  for (int i = 0; i < bits; ++i) {
+    c.add_output(outs[static_cast<std::size_t>(i)], "y" + std::to_string(i));
+  }
+  c.add_output(carry, "cout");
+  c.add_output(c.add_gate(GateType::kNor, outs), "zero");
+  return c;
+}
+
+}  // namespace enb::gen

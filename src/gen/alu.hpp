@@ -1,0 +1,15 @@
+// A small datapath ALU: ADD/SUB/AND/OR/XOR selected by a 3-bit opcode.
+// Inputs a[0..n-1], b[0..n-1], op[0..2]; outputs y[0..n-1], cout, zero.
+//
+// Opcode decode (written op2 op1 op0): x00 ADD, x01 SUB (a + ~b + 1),
+// 010 AND, 011 OR, 11x XOR. op1 selects logic vs arithmetic, op0 selects
+// SUB / OR, op2 selects XOR within the logic group.
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+[[nodiscard]] netlist::Circuit alu(int bits);
+
+}  // namespace enb::gen

@@ -1,0 +1,73 @@
+#include "gen/comparators.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace enb::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+struct CmpInputs {
+  std::vector<NodeId> a;
+  std::vector<NodeId> b;
+};
+
+CmpInputs declare_inputs(Circuit& c, int bits) {
+  if (bits < 1) {
+    throw std::invalid_argument("comparator: bits must be >= 1");
+  }
+  CmpInputs in;
+  for (int i = 0; i < bits; ++i) in.a.push_back(c.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) in.b.push_back(c.add_input("b" + std::to_string(i)));
+  return in;
+}
+
+}  // namespace
+
+Circuit equality_comparator(int bits) {
+  Circuit c("cmpeq" + std::to_string(bits));
+  const CmpInputs in = declare_inputs(c, bits);
+  std::vector<NodeId> bit_eq;
+  for (int i = 0; i < bits; ++i) {
+    bit_eq.push_back(c.add_gate(GateType::kXnor, in.a[static_cast<std::size_t>(i)],
+                                in.b[static_cast<std::size_t>(i)]));
+  }
+  const NodeId eq =
+      bits == 1 ? bit_eq[0] : c.add_gate(GateType::kAnd, bit_eq);
+  c.add_output(eq, "eq");
+  return c;
+}
+
+Circuit magnitude_comparator(int bits) {
+  Circuit c("cmp" + std::to_string(bits));
+  const CmpInputs in = declare_inputs(c, bits);
+  // Ripple from LSB: at each bit, gt/lt update as
+  //   gt' = a&!b | eq_bit & gt;  lt' = !a&b | eq_bit & lt.
+  NodeId gt = c.add_const(false);
+  NodeId lt = c.add_const(false);
+  for (int i = 0; i < bits; ++i) {
+    const NodeId a = in.a[static_cast<std::size_t>(i)];
+    const NodeId b = in.b[static_cast<std::size_t>(i)];
+    const NodeId nb = c.add_gate(GateType::kNot, b);
+    const NodeId na = c.add_gate(GateType::kNot, a);
+    const NodeId a_gt_b = c.add_gate(GateType::kAnd, a, nb);
+    const NodeId a_lt_b = c.add_gate(GateType::kAnd, na, b);
+    const NodeId eq_bit = c.add_gate(GateType::kXnor, a, b);
+    gt = c.add_gate(GateType::kOr, a_gt_b,
+                    c.add_gate(GateType::kAnd, eq_bit, gt));
+    lt = c.add_gate(GateType::kOr, a_lt_b,
+                    c.add_gate(GateType::kAnd, eq_bit, lt));
+  }
+  const NodeId eq = c.add_gate(GateType::kNor, gt, lt);
+  c.add_output(lt, "lt");
+  c.add_output(eq, "eq");
+  c.add_output(gt, "gt");
+  return c;
+}
+
+}  // namespace enb::gen

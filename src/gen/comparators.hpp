@@ -1,0 +1,15 @@
+// Comparator generators: equality and magnitude comparison — control-style
+// benchmarks complementing the arithmetic suite.
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+// eq = AND over XNOR(a_i, b_i). One output.
+[[nodiscard]] netlist::Circuit equality_comparator(int bits);
+
+// Ripple magnitude comparator: outputs {lt, eq, gt} for unsigned operands.
+[[nodiscard]] netlist::Circuit magnitude_comparator(int bits);
+
+}  // namespace enb::gen

@@ -1,0 +1,29 @@
+#include "gen/iscas.hpp"
+
+#include "netlist/bench_io.hpp"
+
+namespace enb::gen {
+
+const char* c17_bench_text() {
+  return R"(# c17 (ISCAS'85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+}
+
+netlist::Circuit c17() {
+  return netlist::read_bench_string(c17_bench_text(), "c17");
+}
+
+}  // namespace enb::gen

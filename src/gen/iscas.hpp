@@ -1,0 +1,16 @@
+// ISCAS'85 material. Only c17 is small enough to reproduce verbatim from
+// public knowledge; the larger ISCAS circuits are replaced in this repo by
+// the generator suite (see DESIGN.md, substitution table).
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+// The ISCAS'85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND2 gates.
+[[nodiscard]] netlist::Circuit c17();
+
+// The c17 netlist in .bench format (exactly the published structure).
+[[nodiscard]] const char* c17_bench_text();
+
+}  // namespace enb::gen

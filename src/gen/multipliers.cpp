@@ -1,0 +1,139 @@
+#include "gen/multipliers.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/adders.hpp"
+
+namespace enb::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+struct MulInputs {
+  std::vector<NodeId> a;
+  std::vector<NodeId> b;
+};
+
+MulInputs declare_inputs(Circuit& c, int bits) {
+  MulInputs in;
+  for (int i = 0; i < bits; ++i) in.a.push_back(c.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) in.b.push_back(c.add_input("b" + std::to_string(i)));
+  return in;
+}
+
+// Partial products pp[i][j] = a[j] & b[i], weight i + j.
+std::vector<std::vector<NodeId>> partial_products(Circuit& c,
+                                                  const MulInputs& in,
+                                                  int bits) {
+  std::vector<std::vector<NodeId>> pp(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    for (int j = 0; j < bits; ++j) {
+      pp[static_cast<std::size_t>(i)].push_back(
+          c.add_gate(GateType::kAnd, in.a[static_cast<std::size_t>(j)],
+                     in.b[static_cast<std::size_t>(i)]));
+    }
+  }
+  return pp;
+}
+
+}  // namespace
+
+Circuit array_multiplier(int bits) {
+  if (bits < 1) {
+    throw std::invalid_argument("array_multiplier: bits must be >= 1");
+  }
+  Circuit c("mult" + std::to_string(bits));
+  const MulInputs in = declare_inputs(c, bits);
+  const auto pp = partial_products(c, in, bits);
+
+  // Schoolbook accumulation: a 2n-bit accumulator, one ripple row per
+  // partial-product row. Before adding row r the top nonzero weight is
+  // (r-1)+bits, so the row's carry-out always lands on a constant-zero slot.
+  const NodeId zero = c.add_const(false);
+  std::vector<NodeId> acc(static_cast<std::size_t>(2 * bits), zero);
+  for (int j = 0; j < bits; ++j) acc[static_cast<std::size_t>(j)] = pp[0][static_cast<std::size_t>(j)];
+
+  for (int row = 1; row < bits; ++row) {
+    NodeId carry = zero;
+    for (int j = 0; j < bits; ++j) {
+      const std::size_t w = static_cast<std::size_t>(row + j);
+      const FullAdderOut fa = append_full_adder(
+          c, acc[w], pp[static_cast<std::size_t>(row)][static_cast<std::size_t>(j)],
+          carry);
+      acc[w] = fa.sum;
+      carry = fa.cout;
+    }
+    acc[static_cast<std::size_t>(row + bits)] = carry;
+  }
+
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    c.add_output(acc[i], "p" + std::to_string(i));
+  }
+  return c;
+}
+
+Circuit wallace_multiplier(int bits) {
+  if (bits < 1) {
+    throw std::invalid_argument("wallace_multiplier: bits must be >= 1");
+  }
+  Circuit c("wallace" + std::to_string(bits));
+  const MulInputs in = declare_inputs(c, bits);
+
+  // Buckets of bits per weight column.
+  std::vector<std::deque<NodeId>> columns(static_cast<std::size_t>(2 * bits));
+  for (int i = 0; i < bits; ++i) {
+    for (int j = 0; j < bits; ++j) {
+      columns[static_cast<std::size_t>(i + j)].push_back(
+          c.add_gate(GateType::kAnd, in.a[static_cast<std::size_t>(j)],
+                     in.b[static_cast<std::size_t>(i)]));
+    }
+  }
+
+  // 3:2 / 2:2 compression until every column has at most two bits.
+  bool again = true;
+  while (again) {
+    again = false;
+    for (std::size_t w = 0; w < columns.size(); ++w) {
+      while (columns[w].size() >= 3) {
+        const NodeId x = columns[w][0];
+        const NodeId y = columns[w][1];
+        const NodeId z = columns[w][2];
+        columns[w].erase(columns[w].begin(), columns[w].begin() + 3);
+        const FullAdderOut fa = append_full_adder(c, x, y, z);
+        columns[w].push_back(fa.sum);
+        columns[w + 1].push_back(fa.cout);
+        again = true;
+      }
+    }
+  }
+
+  // Final carry-propagate add over the two remaining rows.
+  NodeId carry = c.add_const(false);
+  for (std::size_t w = 0; w < columns.size(); ++w) {
+    const std::size_t have = columns[w].size();
+    NodeId s;
+    if (have == 0) {
+      s = carry;
+      carry = c.add_const(false);
+    } else if (have == 1) {
+      const FullAdderOut ha = append_half_adder(c, columns[w][0], carry);
+      s = ha.sum;
+      carry = ha.cout;
+    } else {
+      const FullAdderOut fa =
+          append_full_adder(c, columns[w][0], columns[w][1], carry);
+      s = fa.sum;
+      carry = fa.cout;
+    }
+    c.add_output(s, "p" + std::to_string(w));
+  }
+  return c;
+}
+
+}  // namespace enb::gen

@@ -1,0 +1,18 @@
+// Multiplier generators: the paper's evaluation uses array multipliers with
+// various bitwidths. Inputs a[0..n-1], b[0..n-1] (LSB first); output
+// p[0..2n-1].
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+// Classic carry-save array multiplier: n^2 partial-product ANDs plus n-1 rows
+// of adders, final ripple row. Depth O(n).
+[[nodiscard]] netlist::Circuit array_multiplier(int bits);
+
+// Wallace-style reduction: same partial products, 3:2 compressor tree, final
+// ripple-carry adder. Depth O(log n) in the tree plus the final adder.
+[[nodiscard]] netlist::Circuit wallace_multiplier(int bits);
+
+}  // namespace enb::gen

@@ -1,0 +1,117 @@
+#include "gen/mux_decoder.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace enb::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+NodeId append_mux2(Circuit& c, NodeId sel, NodeId hi, NodeId lo) {
+  const NodeId nsel = c.add_gate(GateType::kNot, sel);
+  const NodeId t_hi = c.add_gate(GateType::kAnd, sel, hi);
+  const NodeId t_lo = c.add_gate(GateType::kAnd, nsel, lo);
+  return c.add_gate(GateType::kOr, t_hi, t_lo);
+}
+
+Circuit mux_tree(int select_bits) {
+  if (select_bits < 1 || select_bits > 10) {
+    throw std::invalid_argument("mux_tree: select_bits must be in [1, 10]");
+  }
+  Circuit c("mux" + std::to_string(1 << select_bits));
+  const int n = 1 << select_bits;
+  std::vector<NodeId> data;
+  for (int i = 0; i < n; ++i) data.push_back(c.add_input("d" + std::to_string(i)));
+  std::vector<NodeId> sel;
+  for (int i = 0; i < select_bits; ++i) sel.push_back(c.add_input("s" + std::to_string(i)));
+
+  // Collapse level by level, s0 selecting between adjacent pairs.
+  std::vector<NodeId> layer = data;
+  for (int level = 0; level < select_bits; ++level) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(append_mux2(c, sel[static_cast<std::size_t>(level)],
+                                 layer[i + 1], layer[i]));
+    }
+    layer = std::move(next);
+  }
+  c.add_output(layer[0], "y");
+  return c;
+}
+
+Circuit decoder(int address_bits, bool with_enable) {
+  if (address_bits < 1 || address_bits > 8) {
+    throw std::invalid_argument("decoder: address_bits must be in [1, 8]");
+  }
+  Circuit c("dec" + std::to_string(address_bits));
+  std::vector<NodeId> addr;
+  for (int i = 0; i < address_bits; ++i) {
+    addr.push_back(c.add_input("a" + std::to_string(i)));
+  }
+  const NodeId enable = with_enable ? c.add_input("en") : netlist::kInvalidNode;
+  std::vector<NodeId> naddr;
+  for (NodeId a : addr) naddr.push_back(c.add_gate(GateType::kNot, a));
+
+  const int n = 1 << address_bits;
+  for (int line = 0; line < n; ++line) {
+    std::vector<NodeId> literals;
+    for (int i = 0; i < address_bits; ++i) {
+      literals.push_back(((line >> i) & 1) != 0
+                             ? addr[static_cast<std::size_t>(i)]
+                             : naddr[static_cast<std::size_t>(i)]);
+    }
+    if (with_enable) literals.push_back(enable);
+    const NodeId out = literals.size() == 1
+                           ? literals[0]
+                           : c.add_gate(GateType::kAnd, literals);
+    c.add_output(out, "y" + std::to_string(line));
+  }
+  return c;
+}
+
+Circuit priority_encoder(int requests) {
+  if (requests < 2 || requests > 64) {
+    throw std::invalid_argument("priority_encoder: requests must be in [2, 64]");
+  }
+  Circuit c("prienc" + std::to_string(requests));
+  std::vector<NodeId> req;
+  for (int i = 0; i < requests; ++i) {
+    req.push_back(c.add_input("r" + std::to_string(i)));
+  }
+  // grant[i] = r[i] & !r[0] & ... & !r[i-1]  (lowest index wins).
+  std::vector<NodeId> grant(req.size());
+  grant[0] = req[0];
+  NodeId none_before = c.add_gate(GateType::kNot, req[0]);
+  for (std::size_t i = 1; i < req.size(); ++i) {
+    grant[i] = c.add_gate(GateType::kAnd, req[i], none_before);
+    if (i + 1 < req.size()) {
+      const NodeId nri = c.add_gate(GateType::kNot, req[i]);
+      none_before = c.add_gate(GateType::kAnd, none_before, nri);
+    }
+  }
+  // Binary index = OR of grants whose index has the bit set.
+  int index_bits = 1;
+  while ((1 << index_bits) < requests) ++index_bits;
+  for (int bit = 0; bit < index_bits; ++bit) {
+    std::vector<NodeId> terms;
+    for (int i = 0; i < requests; ++i) {
+      if (((i >> bit) & 1) != 0) terms.push_back(grant[static_cast<std::size_t>(i)]);
+    }
+    NodeId out;
+    if (terms.empty()) {
+      out = c.add_const(false);
+    } else if (terms.size() == 1) {
+      out = terms[0];
+    } else {
+      out = c.add_gate(GateType::kOr, terms);
+    }
+    c.add_output(out, "idx" + std::to_string(bit));
+  }
+  c.add_output(c.add_gate(GateType::kOr, req), "valid");
+  return c;
+}
+
+}  // namespace enb::gen

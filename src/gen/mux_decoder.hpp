@@ -1,0 +1,25 @@
+// Selection/steering generators: mux trees, decoders, priority encoders.
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+// 2^select_bits : 1 multiplexer built as a tree of 2:1 muxes.
+// Inputs: d0..d(2^s-1) then s0..s(s-1); one output.
+[[nodiscard]] netlist::Circuit mux_tree(int select_bits);
+
+// n-to-2^n decoder (AND of literals per output), optional enable input.
+[[nodiscard]] netlist::Circuit decoder(int address_bits, bool with_enable = false);
+
+// Priority encoder: inputs r0..r(n-1), outputs the index of the
+// highest-priority (lowest-index) asserted request plus a `valid` flag.
+[[nodiscard]] netlist::Circuit priority_encoder(int requests);
+
+// Appends a 2:1 mux (sel ? hi : lo) using AND/OR/NOT gates.
+[[nodiscard]] netlist::NodeId append_mux2(netlist::Circuit& c,
+                                          netlist::NodeId sel,
+                                          netlist::NodeId hi,
+                                          netlist::NodeId lo);
+
+}  // namespace enb::gen

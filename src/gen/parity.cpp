@@ -1,0 +1,75 @@
+#include "gen/parity.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace enb::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit parity_tree(int num_inputs, int fanin) {
+  if (num_inputs < 1) {
+    throw std::invalid_argument("parity_tree: need at least one input");
+  }
+  if (fanin < 2) {
+    throw std::invalid_argument("parity_tree: fanin must be >= 2");
+  }
+  Circuit c("parity" + std::to_string(num_inputs) + "_k" +
+            std::to_string(fanin));
+  std::vector<NodeId> layer;
+  layer.reserve(static_cast<std::size_t>(num_inputs));
+  for (int i = 0; i < num_inputs; ++i) {
+    layer.push_back(c.add_input("x" + std::to_string(i)));
+  }
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    std::size_t i = 0;
+    while (i < layer.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(fanin, layer.size() - i);
+      if (take == 1) {
+        next.push_back(layer[i]);
+      } else {
+        next.push_back(c.add_gate(
+            GateType::kXor,
+            std::vector<NodeId>(layer.begin() + i, layer.begin() + i + take)));
+      }
+      i += take;
+    }
+    layer = std::move(next);
+  }
+  c.add_output(layer[0], "parity");
+  return c;
+}
+
+Circuit parity_shannon(int num_inputs) {
+  if (num_inputs < 1) {
+    throw std::invalid_argument("parity_shannon: need at least one input");
+  }
+  Circuit c("parity" + std::to_string(num_inputs) + "_shannon");
+  std::vector<NodeId> inputs;
+  inputs.reserve(static_cast<std::size_t>(num_inputs));
+  for (int i = 0; i < num_inputs; ++i) {
+    inputs.push_back(c.add_input("x" + std::to_string(i)));
+  }
+  // Walk the OBDD levels: carry (parity, !parity) of the prefix; each new
+  // variable selects between them — mux(x, !p, p) == p ^ x.
+  NodeId p = inputs[0];
+  NodeId np = c.add_gate(GateType::kNot, p);
+  for (int i = 1; i < num_inputs; ++i) {
+    const NodeId x = inputs[static_cast<std::size_t>(i)];
+    const NodeId nx = c.add_gate(GateType::kNot, x);
+    const NodeId hi = c.add_gate(GateType::kAnd, x, np);   // x & !p
+    const NodeId lo = c.add_gate(GateType::kAnd, nx, p);   // !x & p
+    const NodeId new_p = c.add_gate(GateType::kOr, hi, lo);
+    p = new_p;
+    np = c.add_gate(GateType::kNot, p);
+  }
+  c.add_output(p, "parity");
+  return c;
+}
+
+}  // namespace enb::gen

@@ -1,0 +1,25 @@
+// Parity generators. Parity is the paper's canonical extremal function: the
+// size and depth lower bounds are tight for "parity functions, implemented
+// using decision trees or Shannon-like circuits" (Section 4.2), and Figure 3
+// is parameterized on the 10-input parity with S0 = 21 = 2n + 1.
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+// Balanced tree of k-input XOR gates (k >= 2). Gate count ceil((n-1)/(k-1)).
+[[nodiscard]] netlist::Circuit parity_tree(int num_inputs, int fanin = 2);
+
+// Shannon/OBDD-style parity: a chain of 2:1 multiplexers realized with
+// AND/OR/NOT gates, one mux per variable after the first. This is the
+// "Shannon-like organization" the paper's S0 = 2n + 1 node count refers to
+// (the OBDD of parity has 2n - 1 internal nodes plus 2 terminals).
+[[nodiscard]] netlist::Circuit parity_shannon(int num_inputs);
+
+// The paper's node-count model for the Shannon parity: S0 = 2n + 1.
+[[nodiscard]] constexpr int parity_shannon_node_count(int num_inputs) {
+  return 2 * num_inputs + 1;
+}
+
+}  // namespace enb::gen

@@ -1,0 +1,83 @@
+#include "gen/random_circuit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/prng.hpp"
+
+namespace enb::gen {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit random_circuit(const RandomCircuitOptions& options) {
+  if (options.num_inputs < 1 || options.num_gates < 1 ||
+      options.num_outputs < 1) {
+    throw std::invalid_argument("random_circuit: counts must be >= 1");
+  }
+  if (options.max_fanin < 2) {
+    throw std::invalid_argument("random_circuit: max_fanin must be >= 2");
+  }
+  if (options.locality < 0.0 || options.locality > 1.0) {
+    throw std::invalid_argument("random_circuit: locality must be in [0, 1]");
+  }
+  sim::Xoshiro256 rng(options.seed);
+  Circuit c("rand_i" + std::to_string(options.num_inputs) + "_g" +
+            std::to_string(options.num_gates) + "_s" +
+            std::to_string(options.seed));
+  std::vector<NodeId> pool;
+  for (int i = 0; i < options.num_inputs; ++i) {
+    pool.push_back(c.add_input("x" + std::to_string(i)));
+  }
+
+  constexpr GateType kChoices[] = {GateType::kAnd,  GateType::kNand,
+                                   GateType::kOr,   GateType::kNor,
+                                   GateType::kXor,  GateType::kXnor,
+                                   GateType::kNot,  GateType::kMaj};
+  const auto pick_node = [&]() -> NodeId {
+    // With probability `locality`, draw from the most recent quarter of the
+    // pool; otherwise uniformly. This stretches depth without disconnecting
+    // early nodes.
+    if (rng.next_real() < options.locality && pool.size() > 4) {
+      const std::size_t quarter = std::max<std::size_t>(1, pool.size() / 4);
+      const std::size_t begin = pool.size() - quarter;
+      return pool[begin + static_cast<std::size_t>(rng.next_below(quarter))];
+    }
+    return pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+  };
+
+  for (int g = 0; g < options.num_gates; ++g) {
+    const GateType type =
+        kChoices[rng.next_below(sizeof(kChoices) / sizeof(kChoices[0]))];
+    int fanin;
+    if (type == GateType::kNot) {
+      fanin = 1;
+    } else if (type == GateType::kMaj) {
+      if (options.max_fanin < 3) {
+        --g;  // retry with another type
+        continue;
+      }
+      fanin = 3;
+    } else {
+      fanin = 2 + static_cast<int>(rng.next_below(
+                      static_cast<std::uint64_t>(options.max_fanin - 1)));
+    }
+    std::vector<NodeId> fanins;
+    for (int i = 0; i < fanin; ++i) fanins.push_back(pick_node());
+    pool.push_back(c.add_gate(type, std::move(fanins)));
+  }
+
+  // Outputs: the last nodes are the most "interesting" (deepest); take the
+  // final num_outputs distinct nodes.
+  const int available = static_cast<int>(pool.size());
+  const int outputs = std::min(options.num_outputs, available);
+  for (int i = 0; i < outputs; ++i) {
+    c.add_output(pool[static_cast<std::size_t>(available - outputs + i)],
+                 "y" + std::to_string(i));
+  }
+  return c;
+}
+
+}  // namespace enb::gen

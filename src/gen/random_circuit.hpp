@@ -1,0 +1,24 @@
+// Seeded random DAG generator: structured noise for property tests and for
+// widening the benchmark parameter space (size / depth / fanin spreads).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+struct RandomCircuitOptions {
+  int num_inputs = 8;
+  int num_gates = 64;
+  int num_outputs = 4;
+  int max_fanin = 3;
+  std::uint64_t seed = 1;
+  // Bias toward recent nodes when picking fanins (higher -> deeper circuits).
+  double locality = 0.5;
+};
+
+[[nodiscard]] netlist::Circuit random_circuit(
+    const RandomCircuitOptions& options = {});
+
+}  // namespace enb::gen

@@ -1,0 +1,63 @@
+#include "gen/suite.hpp"
+
+#include <stdexcept>
+
+#include "gen/adders.hpp"
+#include "gen/alu.hpp"
+#include "gen/comparators.hpp"
+#include "gen/iscas.hpp"
+#include "gen/multipliers.hpp"
+#include "gen/parity.hpp"
+
+namespace enb::gen {
+
+namespace {
+
+// The suite contract: the built circuit carries the spec's name.
+std::function<netlist::Circuit()> named(std::string name,
+                                        std::function<netlist::Circuit()> fn) {
+  return [name = std::move(name), fn = std::move(fn)] {
+    netlist::Circuit c = fn();
+    c.set_name(name);
+    return c;
+  };
+}
+
+}  // namespace
+
+std::vector<BenchmarkSpec> standard_suite() {
+  return {
+      {"c17", "iscas", [] { return c17(); }},
+      {"parity8", "parity", named("parity8", [] { return parity_tree(8, 2); })},
+      {"parity16", "parity",
+       named("parity16", [] { return parity_tree(16, 2); })},
+      {"rca8", "adder", [] { return ripple_carry_adder(8); }},
+      {"rca16", "adder", [] { return ripple_carry_adder(16); }},
+      {"rca32", "adder", [] { return ripple_carry_adder(32); }},
+      {"cla16", "adder", [] { return carry_lookahead_adder(16); }},
+      {"csel16", "adder", [] { return carry_select_adder(16); }},
+      {"mult4", "multiplier", [] { return array_multiplier(4); }},
+      {"mult8", "multiplier", [] { return array_multiplier(8); }},
+      {"cmp16", "control", [] { return magnitude_comparator(16); }},
+      {"alu8", "control", [] { return alu(8); }},
+  };
+}
+
+std::vector<BenchmarkSpec> small_suite() {
+  return {
+      {"c17", "iscas", [] { return c17(); }},
+      {"parity8", "parity", named("parity8", [] { return parity_tree(8, 2); })},
+      {"rca8", "adder", [] { return ripple_carry_adder(8); }},
+      {"mult4", "multiplier", [] { return array_multiplier(4); }},
+  };
+}
+
+BenchmarkSpec find_benchmark(const std::string& name) {
+  for (BenchmarkSpec& spec : standard_suite()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  throw std::invalid_argument("find_benchmark: unknown benchmark '" + name +
+                              "'");
+}
+
+}  // namespace enb::gen

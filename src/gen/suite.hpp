@@ -1,0 +1,32 @@
+// The named benchmark suite used by the Figure 7/8 reproductions — this
+// repo's substitute for the paper's "subset of ISCAS'85 benchmarks and some
+// computer arithmetic circuits (ripple-carry adders and array multipliers)
+// with various bitwidths" (Section 6). See DESIGN.md for the substitution
+// rationale.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::gen {
+
+struct BenchmarkSpec {
+  std::string name;
+  std::string family;  // "iscas", "parity", "adder", "multiplier", "control"
+  std::function<netlist::Circuit()> build;
+};
+
+// The standard 12-circuit suite: c17, parity{8,16}, rca{8,16,32}, cla16,
+// csel16, mult{4,8}, cmp16, alu8.
+[[nodiscard]] std::vector<BenchmarkSpec> standard_suite();
+
+// A smaller suite (c17, parity8, rca8, mult4) for fast tests.
+[[nodiscard]] std::vector<BenchmarkSpec> small_suite();
+
+// Looks up one spec by name in the standard suite; throws if unknown.
+[[nodiscard]] BenchmarkSpec find_benchmark(const std::string& name);
+
+}  // namespace enb::gen

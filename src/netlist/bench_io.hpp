@@ -1,0 +1,39 @@
+// ISCAS .bench reader/writer.
+//
+// The .bench dialect accepted:
+//   # comment
+//   INPUT(a)
+//   OUTPUT(sum)
+//   sum = XOR(a, b)
+//   g0  = NAND(a, sum)
+//   k0  = CONST0()          # extension: constants
+// Signals may be defined after first use (the reader resolves forward
+// references); sequential elements (DFF) are rejected — the IR is
+// combinational, matching the paper's scope ("future work includes the
+// treatment of sequential circuits").
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::netlist {
+
+// Error type for malformed .bench input; the message carries the line number.
+class BenchParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] Circuit read_bench(std::istream& in, std::string name = "");
+[[nodiscard]] Circuit read_bench_string(const std::string& text,
+                                        std::string name = "");
+[[nodiscard]] Circuit read_bench_file(const std::string& path);
+
+void write_bench(const Circuit& circuit, std::ostream& out);
+[[nodiscard]] std::string write_bench_string(const Circuit& circuit);
+void write_bench_file(const Circuit& circuit, const std::string& path);
+
+}  // namespace enb::netlist

@@ -1,0 +1,97 @@
+#include "netlist/circuit.hpp"
+
+#include <stdexcept>
+
+namespace enb::netlist {
+
+NodeId Circuit::append_node(Node node) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (counts_as_gate(node.type)) ++gate_count_;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void Circuit::check_valid(NodeId id, const char* context) const {
+  if (!is_valid(id)) {
+    throw std::invalid_argument(std::string(context) + ": invalid node id " +
+                                std::to_string(id));
+  }
+}
+
+NodeId Circuit::add_input(std::string name) {
+  const NodeId id = append_node(Node{GateType::kInput, {}});
+  input_index_.emplace(id, static_cast<int>(inputs_.size()));
+  inputs_.push_back(id);
+  if (!name.empty()) set_node_name(id, std::move(name));
+  return id;
+}
+
+NodeId Circuit::add_const(bool value) {
+  return append_node(
+      Node{value ? GateType::kConst1 : GateType::kConst0, {}});
+}
+
+NodeId Circuit::add_gate(GateType type, std::vector<NodeId> fanins) {
+  if (type == GateType::kInput) {
+    throw std::invalid_argument("add_gate: use add_input for primary inputs");
+  }
+  const auto [min_arity, max_arity] = arity_range(type);
+  const int n = static_cast<int>(fanins.size());
+  if (n < min_arity || n > max_arity) {
+    throw std::invalid_argument(
+        "add_gate: arity " + std::to_string(n) + " illegal for " +
+        std::string(to_string(type)));
+  }
+  for (NodeId f : fanins) check_valid(f, "add_gate fanin");
+  return append_node(Node{type, std::move(fanins)});
+}
+
+NodeId Circuit::add_gate(GateType type, NodeId a) {
+  return add_gate(type, std::vector<NodeId>{a});
+}
+
+NodeId Circuit::add_gate(GateType type, NodeId a, NodeId b) {
+  return add_gate(type, std::vector<NodeId>{a, b});
+}
+
+NodeId Circuit::add_gate(GateType type, NodeId a, NodeId b, NodeId c) {
+  return add_gate(type, std::vector<NodeId>{a, b, c});
+}
+
+void Circuit::add_output(NodeId id, std::string name) {
+  check_valid(id, "add_output");
+  outputs_.push_back(id);
+  output_names_.push_back(std::move(name));
+}
+
+void Circuit::set_node_name(NodeId id, std::string name) {
+  check_valid(id, "set_node_name");
+  node_names_[id] = std::move(name);
+}
+
+const Circuit::Node& Circuit::node(NodeId id) const {
+  check_valid(id, "node");
+  return nodes_[id];
+}
+
+int Circuit::input_index(NodeId id) const {
+  const auto it = input_index_.find(id);
+  return it == input_index_.end() ? -1 : it->second;
+}
+
+std::string Circuit::node_name(NodeId id) const {
+  check_valid(id, "node_name");
+  const auto it = node_names_.find(id);
+  if (it != node_names_.end()) return it->second;
+  return "n" + std::to_string(id);
+}
+
+std::string Circuit::output_name(std::size_t pos) const {
+  if (pos >= outputs_.size()) {
+    throw std::out_of_range("output_name: no output " + std::to_string(pos));
+  }
+  if (!output_names_[pos].empty()) return output_names_[pos];
+  return node_name(outputs_[pos]);
+}
+
+}  // namespace enb::netlist

@@ -1,0 +1,103 @@
+// Combinational gate-level circuit IR.
+//
+// A Circuit is an append-only DAG: every node's fanins must already exist
+// when the node is created, so node-id order is always a valid topological
+// order. Transforms build new circuits rather than mutating in place, which
+// keeps ids stable and invariants trivial to maintain.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate_type.hpp"
+
+namespace enb::netlist {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+class Circuit {
+ public:
+  struct Node {
+    GateType type = GateType::kInput;
+    std::vector<NodeId> fanins;
+  };
+
+  Circuit() = default;
+  explicit Circuit(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction ----
+
+  // Appends a primary input. `name` is optional; unnamed nodes render as
+  // "n<id>".
+  NodeId add_input(std::string name = "");
+
+  // Appends a constant node.
+  NodeId add_const(bool value);
+
+  // Appends a gate. Throws std::invalid_argument if the arity is illegal for
+  // `type` or any fanin id is not an existing node (this is what enforces
+  // acyclicity).
+  NodeId add_gate(GateType type, std::vector<NodeId> fanins);
+
+  // Convenience forms for the common arities.
+  NodeId add_gate(GateType type, NodeId a);
+  NodeId add_gate(GateType type, NodeId a, NodeId b);
+  NodeId add_gate(GateType type, NodeId a, NodeId b, NodeId c);
+
+  // Marks a node as a primary output (a node may be listed more than once;
+  // each listing is a distinct output port).
+  void add_output(NodeId id, std::string name = "");
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_node_name(NodeId id, std::string name);
+
+  // ---- inspection ----
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] GateType type(NodeId id) const { return node(id).type; }
+  [[nodiscard]] std::span<const NodeId> fanins(NodeId id) const {
+    return node(id).fanins;
+  }
+
+  [[nodiscard]] std::span<const NodeId> inputs() const noexcept { return inputs_; }
+  [[nodiscard]] std::span<const NodeId> outputs() const noexcept { return outputs_; }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return inputs_.size(); }
+  [[nodiscard]] std::size_t num_outputs() const noexcept { return outputs_.size(); }
+
+  // Count of nodes with counts_as_gate(type): the S0 of the energy bounds.
+  [[nodiscard]] std::size_t gate_count() const noexcept { return gate_count_; }
+
+  // Position of `id` in the input list, or -1 if it is not an input.
+  [[nodiscard]] int input_index(NodeId id) const;
+
+  // Node name; synthesizes "n<id>" when no name was assigned.
+  [[nodiscard]] std::string node_name(NodeId id) const;
+  // Name of output port `pos` (falls back to the driving node's name).
+  [[nodiscard]] std::string output_name(std::size_t pos) const;
+
+  // True if `id` refers to an existing node.
+  [[nodiscard]] bool is_valid(NodeId id) const noexcept {
+    return id < nodes_.size();
+  }
+
+ private:
+  NodeId append_node(Node node);
+  void check_valid(NodeId id, const char* context) const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<std::string> output_names_;
+  std::unordered_map<NodeId, std::string> node_names_;
+  std::unordered_map<NodeId, int> input_index_;
+  std::size_t gate_count_ = 0;
+};
+
+}  // namespace enb::netlist

@@ -1,0 +1,54 @@
+#include "netlist/dot_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace enb::netlist {
+namespace {
+
+const char* shape_for(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+      return "invtriangle";
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return "plaintext";
+    case GateType::kBuf:
+    case GateType::kNot:
+      return "triangle";
+    default:
+      return "box";
+  }
+}
+
+}  // namespace
+
+void write_dot(const Circuit& circuit, std::ostream& out) {
+  out << "digraph \"" << (circuit.name().empty() ? "circuit" : circuit.name())
+      << "\" {\n  rankdir=LR;\n";
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const auto& node = circuit.node(id);
+    out << "  n" << id << " [label=\"" << circuit.node_name(id) << "\\n"
+        << to_string(node.type) << "\" shape=" << shape_for(node.type)
+        << "];\n";
+  }
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    for (NodeId f : circuit.fanins(id)) {
+      out << "  n" << f << " -> n" << id << ";\n";
+    }
+  }
+  for (std::size_t pos = 0; pos < circuit.num_outputs(); ++pos) {
+    out << "  out" << pos << " [label=\"" << circuit.output_name(pos)
+        << "\" shape=doublecircle];\n";
+    out << "  n" << circuit.outputs()[pos] << " -> out" << pos << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string write_dot_string(const Circuit& circuit) {
+  std::ostringstream out;
+  write_dot(circuit, out);
+  return out.str();
+}
+
+}  // namespace enb::netlist

@@ -1,0 +1,14 @@
+// Graphviz export for debugging and documentation figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::netlist {
+
+void write_dot(const Circuit& circuit, std::ostream& out);
+[[nodiscard]] std::string write_dot_string(const Circuit& circuit);
+
+}  // namespace enb::netlist

@@ -1,0 +1,30 @@
+// Aggregate structural statistics: the (S0, k, d0, ...) tuple that feeds the
+// paper's bounds, plus descriptive histograms.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::netlist {
+
+struct CircuitStats {
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_nodes = 0;
+  std::size_t num_gates = 0;  // counts_as_gate() nodes: the paper's S0
+  int depth = 0;              // the paper's d0
+  double avg_fanin = 0.0;     // mean fanin over gates: the paper's k
+  int max_fanin = 0;
+  double avg_fanout = 0.0;  // mean fanout over non-output-only nodes
+  int max_fanout = 0;
+  std::map<GateType, std::size_t> gate_histogram;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] CircuitStats compute_stats(const Circuit& circuit);
+
+}  // namespace enb::netlist

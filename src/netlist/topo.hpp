@@ -1,0 +1,33 @@
+// Structural queries over the circuit DAG: levels, depth, fanout, cones.
+//
+// Because Circuit is append-only, id order is already topological; these
+// helpers compute the derived quantities the energy bounds and the synthesis
+// passes need.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::netlist {
+
+// Logic level per node: inputs and constants are level 0; every gate
+// (including buffers/inverters — they are devices) is 1 + max fanin level.
+[[nodiscard]] std::vector<int> levels(const Circuit& circuit);
+
+// Circuit depth d0: maximum level over the primary outputs (0 for circuits
+// whose outputs are inputs/constants).
+[[nodiscard]] int depth(const Circuit& circuit);
+
+// Number of fanout edges per node (output listings do not count as fanout).
+[[nodiscard]] std::vector<int> fanout_counts(const Circuit& circuit);
+
+// Marks every node in the transitive fanin of any primary output,
+// outputs included.
+[[nodiscard]] std::vector<bool> reachable_from_outputs(const Circuit& circuit);
+
+// Marks every node in the transitive fanin of `roots` (roots included).
+[[nodiscard]] std::vector<bool> transitive_fanin(const Circuit& circuit,
+                                                 std::span<const NodeId> roots);
+
+}  // namespace enb::netlist

@@ -1,0 +1,34 @@
+// Circuit composition and restructuring primitives.
+//
+// These are the building blocks of the redundancy transforms (NMR,
+// multiplexing) and the synthesis passes: instantiate one circuit inside
+// another, extract output cones, and garbage-collect unreachable logic.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::netlist {
+
+// Instantiates `src` inside `dst`, wiring src's primary inputs to
+// `input_substitutes` (one dst node per src input, in src input order).
+// Returns the dst node ids corresponding to src's primary outputs. Constants
+// and gates are copied; names are not (the instance is anonymous logic).
+std::vector<NodeId> append_circuit(Circuit& dst, const Circuit& src,
+                                   std::span<const NodeId> input_substitutes);
+
+// Deep copy (also compacts nothing; ids are preserved).
+[[nodiscard]] Circuit clone(const Circuit& circuit);
+
+// Returns a circuit containing exactly the transitive fanin of the selected
+// output positions. Inputs of the original circuit are kept (in order) even
+// when unused so that input indexing is stable across extraction.
+[[nodiscard]] Circuit extract_cone(const Circuit& circuit,
+                                   std::span<const std::size_t> output_positions);
+
+// Removes every node that is not a primary input and not reachable from any
+// output. Names and output order are preserved.
+[[nodiscard]] Circuit remove_dead_nodes(const Circuit& circuit);
+
+}  // namespace enb::netlist

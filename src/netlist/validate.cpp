@@ -1,0 +1,45 @@
+#include "netlist/validate.hpp"
+
+#include <stdexcept>
+
+#include "netlist/topo.hpp"
+
+namespace enb::netlist {
+
+ValidationReport validate(const Circuit& circuit) {
+  ValidationReport report;
+  if (circuit.num_outputs() == 0) {
+    report.errors.push_back("circuit has no primary outputs");
+  }
+  if (circuit.node_count() == 0) {
+    report.errors.push_back("circuit is empty");
+    return report;
+  }
+
+  const std::vector<bool> live = reachable_from_outputs(circuit);
+  const std::vector<int> fanout = fanout_counts(circuit);
+  std::size_t dead_gates = 0;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const auto& node = circuit.node(id);
+    if (counts_as_gate(node.type) && !live[id]) ++dead_gates;
+    if (node.type == GateType::kInput && fanout[id] == 0 && !live[id]) {
+      report.warnings.push_back("unused primary input " +
+                                circuit.node_name(id));
+    }
+  }
+  if (dead_gates > 0) {
+    report.warnings.push_back(std::to_string(dead_gates) +
+                              " gate(s) not in any output cone");
+  }
+  return report;
+}
+
+void validate_or_throw(const Circuit& circuit) {
+  const ValidationReport report = validate(circuit);
+  if (report.ok()) return;
+  std::string message = "circuit validation failed:";
+  for (const std::string& e : report.errors) message += "\n  " + e;
+  throw std::runtime_error(message);
+}
+
+}  // namespace enb::netlist

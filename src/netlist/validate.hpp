@@ -1,0 +1,29 @@
+// Structural well-formedness checks.
+//
+// Construction already enforces the hard invariants (acyclicity, arity); the
+// validator reports the softer issues a synthesis pass or file import can
+// introduce: dangling logic, unused inputs, missing outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::netlist {
+
+struct ValidationReport {
+  // Issues that make downstream analysis meaningless (e.g. no outputs).
+  std::vector<std::string> errors;
+  // Suspicious but analyzable conditions (e.g. dead gates).
+  std::vector<std::string> warnings;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+[[nodiscard]] ValidationReport validate(const Circuit& circuit);
+
+// Throws std::runtime_error listing the errors if validation fails.
+void validate_or_throw(const Circuit& circuit);
+
+}  // namespace enb::netlist

@@ -1,0 +1,165 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "report/table.hpp"
+
+namespace enb::report {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+double axis_transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+bool usable(double v, bool log_scale) {
+  return std::isfinite(v) && (!log_scale || v > 0.0);
+}
+
+}  // namespace
+
+std::string line_chart(const std::vector<Series>& series,
+                       const ChartOptions& options) {
+  if (series.empty()) {
+    throw std::invalid_argument("line_chart: no series");
+  }
+  const int w = std::max(16, options.width);
+  const int h = std::max(6, options.height);
+
+  // Collect usable points to establish ranges.
+  double x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  bool any = false;
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y)) {
+        continue;
+      }
+      const double xv = axis_transform(s.x[i], options.log_x);
+      const double yv = axis_transform(s.y[i], options.log_y);
+      if (!any) {
+        x_lo = x_hi = xv;
+        y_lo = y_hi = yv;
+        any = true;
+      } else {
+        x_lo = std::min(x_lo, xv);
+        x_hi = std::max(x_hi, xv);
+        y_lo = std::min(y_lo, yv);
+        y_hi = std::max(y_hi, yv);
+      }
+    }
+  }
+  if (!any) return "(no plottable points)\n";
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const Series& s = series[si];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y)) {
+        continue;
+      }
+      const double xv = axis_transform(s.x[i], options.log_x);
+      const double yv = axis_transform(s.y[i], options.log_y);
+      const int col = static_cast<int>(
+          std::lround((xv - x_lo) / (x_hi - x_lo) * (w - 1)));
+      const int row = static_cast<int>(
+          std::lround((yv - y_lo) / (y_hi - y_lo) * (h - 1)));
+      grid[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] =
+          glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << "\n";
+  const auto y_at = [&](int row) {
+    const double t = y_lo + (y_hi - y_lo) * (h - 1 - row) / (h - 1);
+    return options.log_y ? std::pow(10.0, t) : t;
+  };
+  for (int row = 0; row < h; ++row) {
+    std::string label = format_double(y_at(row), 3);
+    if (row % 4 != 0) label.clear();
+    out << (label.size() < 10 ? std::string(10 - label.size(), ' ') : "")
+        << label << " |" << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  out << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+      << "\n";
+  const double x_left = options.log_x ? std::pow(10.0, x_lo) : x_lo;
+  const double x_right = options.log_x ? std::pow(10.0, x_hi) : x_hi;
+  std::string x_line = format_double(x_left, 3);
+  const std::string x_right_text = format_double(x_right, 3);
+  const int pad = w - static_cast<int>(x_line.size()) -
+                  static_cast<int>(x_right_text.size());
+  out << std::string(12, ' ') << x_line << std::string(std::max(1, pad), ' ')
+      << x_right_text << "\n";
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    out << std::string(12, ' ') << options.x_label;
+    if (!options.y_label.empty()) out << "   (y: " << options.y_label << ")";
+    out << "\n";
+  }
+  out << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kGlyphs[si % sizeof(kGlyphs)] << " " << series[si].name;
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string bar_chart(const std::vector<std::string>& value_names,
+                      const std::vector<BarGroup>& groups,
+                      const ChartOptions& options) {
+  if (value_names.empty() || groups.empty()) {
+    throw std::invalid_argument("bar_chart: empty input");
+  }
+  double hi = 0.0;
+  std::size_t label_w = 0;
+  for (const BarGroup& g : groups) {
+    if (g.values.size() != value_names.size()) {
+      throw std::invalid_argument("bar_chart: group width mismatch");
+    }
+    label_w = std::max(label_w, g.label.size());
+    for (double v : g.values) {
+      if (std::isfinite(v)) hi = std::max(hi, v);
+    }
+  }
+  if (hi <= 0.0) hi = 1.0;
+  const int w = std::max(16, options.width - static_cast<int>(label_w) - 14);
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << "\n";
+  for (const BarGroup& g : groups) {
+    for (std::size_t vi = 0; vi < g.values.size(); ++vi) {
+      const std::string label = vi == 0 ? g.label : std::string();
+      out << label << std::string(label_w - label.size(), ' ') << " ";
+      const char glyph = kGlyphs[vi % sizeof(kGlyphs)];
+      const double v = g.values[vi];
+      int len = 0;
+      if (std::isfinite(v)) {
+        len = static_cast<int>(std::lround(v / hi * w));
+        len = std::clamp(len, v > 0 ? 1 : 0, w);
+      }
+      out << std::string(static_cast<std::size_t>(len), glyph);
+      if (std::isfinite(v)) {
+        out << " " << format_double(v, 4);
+      } else {
+        out << " inf";
+      }
+      out << "\n";
+    }
+  }
+  out << "  legend:";
+  for (std::size_t vi = 0; vi < value_names.size(); ++vi) {
+    out << "  " << kGlyphs[vi % sizeof(kGlyphs)] << " " << value_names[vi];
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace enb::report

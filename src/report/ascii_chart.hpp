@@ -1,0 +1,40 @@
+// Terminal plotting: multi-series line charts and grouped bar charts with
+// optional logarithmic axes. The repro_why note for this paper flags the
+// plotting tooling as the clunky part — this module makes every figure
+// viewable directly in the bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/series.hpp"
+
+namespace enb::report {
+
+struct ChartOptions {
+  int width = 72;   // plot area columns
+  int height = 20;  // plot area rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+// Renders the series overlaid; each series uses its own glyph and the legend
+// maps glyphs to names. Non-finite points are skipped.
+[[nodiscard]] std::string line_chart(const std::vector<Series>& series,
+                                     const ChartOptions& options = {});
+
+// Grouped horizontal bar chart: one group per label, one bar per series
+// value (e.g. per-benchmark bars at three epsilons, Figures 7/8).
+struct BarGroup {
+  std::string label;
+  std::vector<double> values;  // one per series name
+};
+
+[[nodiscard]] std::string bar_chart(const std::vector<std::string>& value_names,
+                                    const std::vector<BarGroup>& groups,
+                                    const ChartOptions& options = {});
+
+}  // namespace enb::report

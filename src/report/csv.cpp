@@ -1,0 +1,101 @@
+#include "report/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "report/table.hpp"
+
+namespace enb::report {
+
+namespace {
+
+std::string escape_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out << ",";
+    out << escape_cell(cells[i]);
+  }
+  out << "\n";
+}
+
+void write_csv(std::ostream& out, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  write_csv_row(out, header);
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      throw std::invalid_argument("write_csv: row width mismatch");
+    }
+    write_csv_row(out, row);
+  }
+}
+
+void write_series_csv(std::ostream& out, const std::string& x_name,
+                      const std::vector<Series>& series) {
+  if (series.empty()) {
+    throw std::invalid_argument("write_series_csv: no series");
+  }
+  const std::size_t n = series.front().size();
+  for (const Series& s : series) {
+    if (s.size() != n) {
+      throw std::invalid_argument(
+          "write_series_csv: series lengths differ (" + s.name + ")");
+    }
+  }
+  std::vector<std::string> header{x_name};
+  for (const Series& s : series) header.push_back(s.name);
+  write_csv_row(out, header);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row;
+    row.reserve(series.size() + 1);
+    row.push_back(format_double(series.front().x[i], 10));
+    for (const Series& s : series) row.push_back(format_double(s.y[i], 10));
+    write_csv_row(out, row);
+  }
+}
+
+bool ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  return std::filesystem::is_directory(path, ec);
+}
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) ensure_directory(parent.string());
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write file: " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  auto out = open_or_throw(path);
+  write_csv(out, header, rows);
+}
+
+void write_series_csv_file(const std::string& path, const std::string& x_name,
+                           const std::vector<Series>& series) {
+  auto out = open_or_throw(path);
+  write_series_csv(out, x_name, series);
+}
+
+}  // namespace enb::report

@@ -1,0 +1,34 @@
+// CSV export for downstream plotting (gnuplot/python). Values are written
+// with full precision; cells containing commas/quotes are quoted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "report/series.hpp"
+
+namespace enb::report {
+
+void write_csv_row(std::ostream& out, const std::vector<std::string>& cells);
+
+// Generic table-shaped CSV.
+void write_csv(std::ostream& out, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+// Series-shaped CSV: one x column (taken from the first series — all series
+// must share x) and one column per series.
+void write_series_csv(std::ostream& out, const std::string& x_name,
+                      const std::vector<Series>& series);
+
+// File variants; create the parent directory first (see ensure_directory).
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+void write_series_csv_file(const std::string& path, const std::string& x_name,
+                           const std::vector<Series>& series);
+
+// mkdir -p equivalent; returns true if the directory exists afterwards.
+bool ensure_directory(const std::string& path);
+
+}  // namespace enb::report

@@ -1,0 +1,59 @@
+#include "report/gnuplot.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace enb::report {
+
+void write_gnuplot(const std::string& dir, const std::string& stem,
+                   const std::vector<Series>& series,
+                   const GnuplotOptions& options) {
+  if (series.empty()) {
+    throw std::invalid_argument("write_gnuplot: no series");
+  }
+  const std::size_t n = series.front().size();
+  for (const Series& s : series) {
+    if (s.size() != n) {
+      throw std::invalid_argument("write_gnuplot: series lengths differ");
+    }
+  }
+  if (!ensure_directory(dir)) {
+    throw std::runtime_error("write_gnuplot: cannot create directory " + dir);
+  }
+
+  const std::string dat_path = dir + "/" + stem + ".dat";
+  std::ofstream dat(dat_path);
+  if (!dat) throw std::runtime_error("cannot write " + dat_path);
+  dat << "# x";
+  for (const Series& s : series) dat << " " << s.name;
+  dat << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    dat << format_double(series.front().x[i], 10);
+    for (const Series& s : series) dat << " " << format_double(s.y[i], 10);
+    dat << "\n";
+  }
+
+  const std::string gp_path = dir + "/" + stem + ".gp";
+  std::ofstream gp(gp_path);
+  if (!gp) throw std::runtime_error("cannot write " + gp_path);
+  gp << "set terminal pngcairo size 900,600\n";
+  gp << "set output '" << stem << ".png'\n";
+  if (!options.title.empty()) gp << "set title '" << options.title << "'\n";
+  if (!options.x_label.empty()) gp << "set xlabel '" << options.x_label << "'\n";
+  if (!options.y_label.empty()) gp << "set ylabel '" << options.y_label << "'\n";
+  if (options.log_x) gp << "set logscale x\n";
+  if (options.log_y) gp << "set logscale y\n";
+  gp << "set key outside\n";
+  gp << "plot ";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (si != 0) gp << ", \\\n     ";
+    gp << "'" << stem << ".dat' using 1:" << (si + 2)
+       << " with linespoints title '" << series[si].name << "'";
+  }
+  gp << "\n";
+}
+
+}  // namespace enb::report

@@ -1,0 +1,27 @@
+// Emits .dat + .gp file pairs so any figure can be re-rendered with gnuplot
+// (`gnuplot bench_out/fig3.gp` produces fig3.png).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/series.hpp"
+
+namespace enb::report {
+
+struct GnuplotOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_x = false;
+  bool log_y = false;
+};
+
+// Writes <dir>/<stem>.dat (whitespace table: x then one column per series)
+// and <dir>/<stem>.gp (a plot script producing <stem>.png). All series must
+// share the same x grid.
+void write_gnuplot(const std::string& dir, const std::string& stem,
+                   const std::vector<Series>& series,
+                   const GnuplotOptions& options = {});
+
+}  // namespace enb::report

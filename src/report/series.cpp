@@ -1,0 +1,36 @@
+#include "report/series.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace enb::report {
+
+Series::Series(std::string series_name, std::vector<double> xs,
+               std::vector<double> ys)
+    : name(std::move(series_name)), x(std::move(xs)), y(std::move(ys)) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("Series: x and y must have equal length");
+  }
+}
+
+void Series::push(double xv, double yv) {
+  x.push_back(xv);
+  y.push_back(yv);
+}
+
+bool Series::finite_y_range(double& lo, double& hi) const noexcept {
+  bool any = false;
+  for (double v : y) {
+    if (!std::isfinite(v)) continue;
+    if (!any) {
+      lo = hi = v;
+      any = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  return any;
+}
+
+}  // namespace enb::report

@@ -1,0 +1,26 @@
+// Named (x, y) series: the common currency between the sweep producers and
+// the table/chart/CSV writers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace enb::report {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  Series() = default;
+  Series(std::string series_name, std::vector<double> xs, std::vector<double> ys);
+
+  void push(double xv, double yv);
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  [[nodiscard]] bool empty() const noexcept { return x.empty(); }
+
+  // Min/max over finite y values; returns false when no finite value exists.
+  [[nodiscard]] bool finite_y_range(double& lo, double& hi) const noexcept;
+};
+
+}  // namespace enb::report

@@ -1,0 +1,79 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace enb::report {
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream out;
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[c];
+      out << std::string(width[c] - cells[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  for (std::size_t w : width) total += w;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  out << "|";
+  for (const auto& h : headers_) out << " " << h << " |";
+  out << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << "|";
+    for (const auto& cell : row) out << " " << cell << " |";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace enb::report

@@ -1,0 +1,37 @@
+// Column-aligned text tables (plain or markdown) for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace enb::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row of pre-formatted cells; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` significant digits;
+  // non-finite values render as "inf"/"-inf"/"nan".
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  [[nodiscard]] std::string to_text() const;      // aligned, padded columns
+  [[nodiscard]] std::string to_markdown() const;  // GitHub-style pipes
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return headers_.size();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Shared numeric formatting (also used by the CSV writer).
+[[nodiscard]] std::string format_double(double value, int precision = 6);
+
+}  // namespace enb::report

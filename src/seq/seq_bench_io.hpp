@@ -1,0 +1,24 @@
+// Sequential .bench I/O: the standard ISCAS'89-style dialect where
+//   q = DFF(d)
+// declares a flip-flop. The reader builds a SeqCircuit (DFF outputs become
+// core primary inputs, DFF data nodes become latch inputs); the writer emits
+// the reverse. Initial state defaults to 0, matching common .bench usage.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/seq_circuit.hpp"
+
+namespace enb::seq {
+
+[[nodiscard]] SeqCircuit read_seq_bench(std::istream& in,
+                                        std::string name = "");
+[[nodiscard]] SeqCircuit read_seq_bench_string(const std::string& text,
+                                               std::string name = "");
+[[nodiscard]] SeqCircuit read_seq_bench_file(const std::string& path);
+
+void write_seq_bench(const SeqCircuit& seq, std::ostream& out);
+[[nodiscard]] std::string write_seq_bench_string(const SeqCircuit& seq);
+
+}  // namespace enb::seq

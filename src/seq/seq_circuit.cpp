@@ -1,0 +1,47 @@
+#include "seq/seq_circuit.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace enb::seq {
+
+using netlist::NodeId;
+
+void SeqCircuit::add_latch(NodeId state_output, NodeId next_state,
+                           bool initial_value, std::string name) {
+  if (!core_.is_valid(state_output) || !core_.is_valid(next_state)) {
+    throw std::invalid_argument("add_latch: invalid node id");
+  }
+  if (core_.input_index(state_output) < 0) {
+    throw std::invalid_argument(
+        "add_latch: state output must be a core primary input");
+  }
+  for (const Latch& latch : latches_) {
+    if (latch.state_output == state_output) {
+      throw std::invalid_argument("add_latch: input already latched: " +
+                                  core_.node_name(state_output));
+    }
+  }
+  latches_.push_back(
+      Latch{state_output, next_state, initial_value, std::move(name)});
+}
+
+std::vector<NodeId> SeqCircuit::free_inputs() const {
+  std::unordered_set<NodeId> latched;
+  for (const Latch& latch : latches_) latched.insert(latch.state_output);
+  std::vector<NodeId> free;
+  for (NodeId id : core_.inputs()) {
+    if (latched.count(id) == 0) free.push_back(id);
+  }
+  return free;
+}
+
+void SeqCircuit::validate() const {
+  if (core_.num_outputs() == 0 && latches_.empty()) {
+    throw std::runtime_error(
+        "SeqCircuit: no outputs and no latches — nothing observable");
+  }
+}
+
+}  // namespace enb::seq

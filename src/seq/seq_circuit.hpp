@@ -1,0 +1,67 @@
+// Sequential circuit support — the paper's first "future work" item
+// ("Future work includes the treatment of sequential circuits").
+//
+// A SeqCircuit is a combinational core plus a set of latches (DFFs). Each
+// latch's *output* is a designated primary input of the core (the present
+// state) and its *input* is a designated node of the core (the next state).
+// Analyses reduce to the combinational theory by time-frame unrolling
+// (unroll.hpp) or run cycle-accurately (seq_sim.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::seq {
+
+struct Latch {
+  netlist::NodeId state_output;  // a primary input of the core (present state)
+  netlist::NodeId next_state;    // a node of the core (next state)
+  bool initial_value = false;    // reset state
+  std::string name;
+};
+
+class SeqCircuit {
+ public:
+  SeqCircuit() = default;
+  explicit SeqCircuit(std::string name) : name_(std::move(name)) {}
+
+  // The combinational core is built through this reference using the normal
+  // Circuit API. Core primary inputs that are *not* registered as latch
+  // outputs are the sequential circuit's free inputs.
+  [[nodiscard]] netlist::Circuit& core() noexcept { return core_; }
+  [[nodiscard]] const netlist::Circuit& core() const noexcept { return core_; }
+
+  // Declares that core input `state_output` is driven by a latch whose data
+  // input is core node `next_state`. Throws if state_output is not a core
+  // primary input, is already latched, or next_state is invalid.
+  void add_latch(netlist::NodeId state_output, netlist::NodeId next_state,
+                 bool initial_value = false, std::string name = "");
+
+  [[nodiscard]] const std::vector<Latch>& latches() const noexcept {
+    return latches_;
+  }
+  [[nodiscard]] std::size_t num_latches() const noexcept {
+    return latches_.size();
+  }
+
+  // Core primary inputs that are free (not latch outputs), in core order.
+  [[nodiscard]] std::vector<netlist::NodeId> free_inputs() const;
+  [[nodiscard]] std::size_t num_free_inputs() const {
+    return free_inputs().size();
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Structural checks: at least one output or latch, no double-latching.
+  void validate() const;
+
+ private:
+  std::string name_;
+  netlist::Circuit core_;
+  std::vector<Latch> latches_;
+};
+
+}  // namespace enb::seq

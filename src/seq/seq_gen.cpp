@@ -1,0 +1,163 @@
+#include "seq/seq_gen.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "gen/adders.hpp"
+
+namespace enb::seq {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+SeqCircuit lfsr(int bits, const std::vector<int>& taps) {
+  if (bits < 2) throw std::invalid_argument("lfsr: bits must be >= 2");
+  if (taps.empty()) throw std::invalid_argument("lfsr: need at least one tap");
+  for (int t : taps) {
+    if (t < 0 || t >= bits) {
+      throw std::invalid_argument("lfsr: tap " + std::to_string(t) +
+                                  " out of range");
+    }
+  }
+  SeqCircuit seq("lfsr" + std::to_string(bits));
+  Circuit& c = seq.core();
+  std::vector<NodeId> stage;
+  for (int i = 0; i < bits; ++i) {
+    stage.push_back(c.add_input("q" + std::to_string(i)));
+  }
+  // Feedback = XOR of tapped stages.
+  NodeId feedback = stage[static_cast<std::size_t>(taps[0])];
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    feedback = c.add_gate(GateType::kXor, feedback,
+                          stage[static_cast<std::size_t>(taps[i])]);
+  }
+  if (taps.size() == 1) {
+    // Degenerate single-tap: insert a buffer so next_state is a gate node.
+    feedback = c.add_gate(GateType::kBuf, feedback);
+  }
+  c.add_output(stage[0], "serial");
+  // Shift toward stage 0: q_i <= q_{i+1}; q_{bits-1} <= feedback. Initial
+  // state 0...01 avoids the all-zero lock state.
+  for (int i = 0; i < bits - 1; ++i) {
+    seq.add_latch(stage[static_cast<std::size_t>(i)],
+                  stage[static_cast<std::size_t>(i + 1)], i == 0,
+                  "q" + std::to_string(i));
+  }
+  seq.add_latch(stage[static_cast<std::size_t>(bits - 1)], feedback, false,
+                "q" + std::to_string(bits - 1));
+  return seq;
+}
+
+SeqCircuit lfsr_maximal(int bits) {
+  // Taps (0-indexed stage numbers feeding the XOR) for maximal periods.
+  switch (bits) {
+    case 3:
+      return lfsr(3, {0, 1});
+    case 4:
+      return lfsr(4, {0, 1});
+    case 5:
+      return lfsr(5, {0, 2});
+    case 7:
+      return lfsr(7, {0, 1});
+    case 8:
+      return lfsr(8, {0, 2, 3, 4});
+    default:
+      throw std::invalid_argument(
+          "lfsr_maximal: no stored taps for width " + std::to_string(bits));
+  }
+}
+
+SeqCircuit counter(int bits) {
+  if (bits < 1) throw std::invalid_argument("counter: bits must be >= 1");
+  SeqCircuit seq("counter" + std::to_string(bits));
+  Circuit& c = seq.core();
+  std::vector<NodeId> state;
+  for (int i = 0; i < bits; ++i) {
+    state.push_back(c.add_input("q" + std::to_string(i)));
+  }
+  const NodeId enable = c.add_input("en");
+  // Increment: next_q = q XOR carry, carry' = q AND carry, carry0 = enable.
+  NodeId carry = enable;
+  std::vector<NodeId> next;
+  for (int i = 0; i < bits; ++i) {
+    next.push_back(c.add_gate(GateType::kXor, state[static_cast<std::size_t>(i)], carry));
+    carry = c.add_gate(GateType::kAnd, state[static_cast<std::size_t>(i)], carry);
+  }
+  for (int i = 0; i < bits; ++i) {
+    c.add_output(state[static_cast<std::size_t>(i)], "count" + std::to_string(i));
+  }
+  c.add_output(carry, "carry_out");
+  for (int i = 0; i < bits; ++i) {
+    seq.add_latch(state[static_cast<std::size_t>(i)],
+                  next[static_cast<std::size_t>(i)], false,
+                  "q" + std::to_string(i));
+  }
+  return seq;
+}
+
+SeqCircuit shift_register(int bits) {
+  if (bits < 1) throw std::invalid_argument("shift_register: bits must be >= 1");
+  SeqCircuit seq("shiftreg" + std::to_string(bits));
+  Circuit& c = seq.core();
+  std::vector<NodeId> stage;
+  for (int i = 0; i < bits; ++i) {
+    stage.push_back(c.add_input("q" + std::to_string(i)));
+  }
+  const NodeId serial_in = c.add_input("d");
+  // Latch inputs must be core nodes; buffer the pass-throughs so the next
+  // state is always a gate output (keeps fault injection meaningful: every
+  // latch input passes through at least one failure-prone device per cycle).
+  std::vector<NodeId> next;
+  next.push_back(c.add_gate(GateType::kBuf, serial_in));
+  for (int i = 1; i < bits; ++i) {
+    next.push_back(c.add_gate(GateType::kBuf, stage[static_cast<std::size_t>(i - 1)]));
+  }
+  c.add_output(stage[static_cast<std::size_t>(bits - 1)], "out");
+  for (int i = 0; i < bits; ++i) {
+    seq.add_latch(stage[static_cast<std::size_t>(i)],
+                  next[static_cast<std::size_t>(i)], false,
+                  "q" + std::to_string(i));
+  }
+  return seq;
+}
+
+SeqCircuit sequence_detector(std::uint32_t pattern, int length) {
+  if (length < 1 || length > 16) {
+    throw std::invalid_argument("sequence_detector: length must be in [1, 16]");
+  }
+  SeqCircuit seq("seqdet" + std::to_string(length));
+  Circuit& c = seq.core();
+  // Shift the last `length` input bits through latches and compare.
+  std::vector<NodeId> window;
+  for (int i = 0; i < length; ++i) {
+    window.push_back(c.add_input("w" + std::to_string(i)));
+  }
+  const NodeId in = c.add_input("x");
+  std::vector<NodeId> next;
+  next.push_back(c.add_gate(GateType::kBuf, in));
+  for (int i = 1; i < length; ++i) {
+    next.push_back(c.add_gate(GateType::kBuf, window[static_cast<std::size_t>(i - 1)]));
+  }
+  // Match = AND over literal agreement with the pattern bits.
+  std::vector<NodeId> literals;
+  for (int i = 0; i < length; ++i) {
+    const bool want = ((pattern >> i) & 1U) != 0;
+    literals.push_back(want
+                           ? window[static_cast<std::size_t>(i)]
+                           : c.add_gate(GateType::kNot,
+                                        window[static_cast<std::size_t>(i)]));
+  }
+  const NodeId match = literals.size() == 1
+                           ? literals[0]
+                           : c.add_gate(GateType::kAnd, literals);
+  c.add_output(match, "detected");
+  for (int i = 0; i < length; ++i) {
+    seq.add_latch(window[static_cast<std::size_t>(i)],
+                  next[static_cast<std::size_t>(i)], false,
+                  "w" + std::to_string(i));
+  }
+  return seq;
+}
+
+}  // namespace enb::seq

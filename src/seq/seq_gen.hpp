@@ -1,0 +1,33 @@
+// Sequential benchmark generators: LFSR, binary counter, shift register and
+// a small Moore-machine sequence detector — the sequential counterparts of
+// src/gen for the future-work experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/seq_circuit.hpp"
+
+namespace enb::seq {
+
+// Fibonacci LFSR over `bits` stages; `taps` are stage indices XORed into the
+// feedback (must include bits-1 for full period choices). State initialized
+// to 0...01 so the register never locks at all-zeros. Outputs: the serial
+// output bit (stage 0).
+[[nodiscard]] SeqCircuit lfsr(int bits, const std::vector<int>& taps);
+
+// The canonical maximal-period taps for a few widths (4: x^4+x^3+1, ...).
+[[nodiscard]] SeqCircuit lfsr_maximal(int bits);
+
+// Synchronous binary up-counter with enable input; outputs all state bits
+// plus the carry-out.
+[[nodiscard]] SeqCircuit counter(int bits);
+
+// Serial-in shift register; outputs the last stage.
+[[nodiscard]] SeqCircuit shift_register(int bits);
+
+// Moore detector asserting its output after seeing the bit pattern
+// `pattern` (LSB first) on the serial input.
+[[nodiscard]] SeqCircuit sequence_detector(std::uint32_t pattern, int length);
+
+}  // namespace enb::seq

@@ -1,0 +1,34 @@
+// Time-frame unrolling: reduces a sequential circuit to a combinational one
+// so the paper's bounds apply per T-cycle computation. Frame 0 sees the
+// latch initial values; frame t's latch inputs are frame t−1's next-state
+// nodes; free inputs and primary outputs are replicated per frame.
+#pragma once
+
+#include "netlist/circuit.hpp"
+#include "seq/seq_circuit.hpp"
+
+namespace enb::seq {
+
+struct UnrollOptions {
+  int frames = 1;
+  // Emit the core's primary outputs for every frame (true) or only for the
+  // last frame (false).
+  bool outputs_every_frame = true;
+  // Additionally emit the final next-state vector as outputs (observing the
+  // machine's state after the last cycle).
+  bool expose_final_state = false;
+  // Frame 0's latch values become fresh primary inputs instead of the
+  // latch initial-value constants: the unrolled circuit then computes the
+  // T-cycle *transition function* (state × inputs → outputs), which is what
+  // the combinational bounds should be applied to — especially for
+  // autonomous machines (no free inputs), whose fixed-state unrolling is a
+  // constant function with vacuous bounds.
+  bool initial_state_as_inputs = false;
+};
+
+// The unrolled circuit's inputs are frame-major: frame 0's free inputs, then
+// frame 1's, ... Output order follows UnrollOptions.
+[[nodiscard]] netlist::Circuit unroll(const SeqCircuit& seq,
+                                      const UnrollOptions& options);
+
+}  // namespace enb::seq

@@ -1,0 +1,113 @@
+#include "sim/activity.hpp"
+
+#include <stdexcept>
+
+#include "sim/exhaustive.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/prng.hpp"
+
+namespace enb::sim {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+namespace {
+
+void finalize_gate_averages(const Circuit& circuit, ActivityResult& result) {
+  double p_sum = 0.0;
+  double sw_sum = 0.0;
+  std::size_t gates = 0;
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (!counts_as_gate(circuit.type(id))) continue;
+    p_sum += result.one_probability[id];
+    sw_sum += result.toggle_rate[id];
+    ++gates;
+  }
+  result.avg_gate_one_probability = gates == 0 ? 0.0 : p_sum / static_cast<double>(gates);
+  result.avg_gate_toggle_rate = gates == 0 ? 0.0 : sw_sum / static_cast<double>(gates);
+}
+
+}  // namespace
+
+ActivityResult estimate_activity(const Circuit& circuit,
+                                 const ActivityOptions& options) {
+  if (options.sample_pairs == 0) {
+    throw std::invalid_argument("estimate_activity: sample_pairs must be > 0");
+  }
+  const std::size_t n = circuit.node_count();
+  std::vector<std::uint64_t> ones(n, 0);
+  std::vector<std::uint64_t> toggles(n, 0);
+
+  Xoshiro256 rng(options.seed);
+  LogicSim sim_a(circuit);
+  LogicSim sim_b(circuit);
+  std::vector<Word> in_a(circuit.num_inputs());
+  std::vector<Word> in_b(circuit.num_inputs());
+  const double p_in = options.input_one_probability;
+
+  for (std::size_t pair = 0; pair < options.sample_pairs; ++pair) {
+    for (std::size_t i = 0; i < in_a.size(); ++i) {
+      if (p_in == 0.5) {
+        in_a[i] = rng.next();
+        in_b[i] = rng.next();
+      } else {
+        in_a[i] = bernoulli_word(rng, p_in);
+        in_b[i] = bernoulli_word(rng, p_in);
+      }
+    }
+    sim_a.eval(in_a);
+    sim_b.eval(in_b);
+    for (std::size_t id = 0; id < n; ++id) {
+      const Word a = sim_a.values()[id];
+      const Word b = sim_b.values()[id];
+      ones[id] += static_cast<std::uint64_t>(popcount(a));
+      toggles[id] += static_cast<std::uint64_t>(popcount(a ^ b));
+    }
+  }
+
+  const double lanes =
+      static_cast<double>(options.sample_pairs) * kWordBits;
+  ActivityResult result;
+  result.sample_pairs = options.sample_pairs;
+  result.one_probability.resize(n);
+  result.toggle_rate.resize(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    result.one_probability[id] = static_cast<double>(ones[id]) / lanes;
+    result.toggle_rate[id] = static_cast<double>(toggles[id]) / lanes;
+  }
+  finalize_gate_averages(circuit, result);
+  return result;
+}
+
+ActivityResult exact_activity(const Circuit& circuit) {
+  const int n = static_cast<int>(circuit.num_inputs());
+  const std::uint64_t total = std::uint64_t{1} << n;  // guarded below
+  if (n > kMaxExhaustiveInputs) {
+    throw std::invalid_argument(
+        "exact_activity: too many inputs for exhaustive evaluation");
+  }
+  std::vector<std::uint64_t> ones(circuit.node_count(), 0);
+  LogicSim sim(circuit);
+  for_each_exhaustive_block(
+      n, [&](std::uint64_t, std::span<const Word> inputs, Word valid) {
+        sim.eval(inputs);
+        for (std::size_t id = 0; id < circuit.node_count(); ++id) {
+          ones[id] += static_cast<std::uint64_t>(
+              popcount(sim.values()[id] & valid));
+        }
+      });
+
+  ActivityResult result;
+  result.sample_pairs = 0;  // exact, not sampled
+  result.one_probability.resize(circuit.node_count());
+  result.toggle_rate.resize(circuit.node_count());
+  for (std::size_t id = 0; id < circuit.node_count(); ++id) {
+    const double p = static_cast<double>(ones[id]) / static_cast<double>(total);
+    result.one_probability[id] = p;
+    result.toggle_rate[id] = activity_from_probability(p);
+  }
+  finalize_gate_averages(circuit, result);
+  return result;
+}
+
+}  // namespace enb::sim

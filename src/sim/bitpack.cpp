@@ -1,0 +1,62 @@
+#include "sim/bitpack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace enb::sim {
+
+LaneCounter::LaneCounter(int max_count) {
+  if (max_count < 1) {
+    throw std::invalid_argument("LaneCounter: max_count must be >= 1");
+  }
+  int bits = 1;
+  while ((1 << bits) - 1 < max_count) ++bits;
+  slices_.assign(static_cast<std::size_t>(bits), 0);
+}
+
+void LaneCounter::add(Word indicator) noexcept {
+  Word carry = indicator;
+  for (Word& slice : slices_) {
+    const Word sum = slice ^ carry;
+    carry = slice & carry;
+    slice = sum;
+    if (carry == 0) break;
+  }
+  // By construction max_count bounds the total, so a surviving carry cannot
+  // occur for well-behaved callers; dropping it keeps add() noexcept.
+}
+
+int LaneCounter::lane(int lane_index) const noexcept {
+  int value = 0;
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    value |= static_cast<int>((slices_[i] >> lane_index) & 1U) << i;
+  }
+  return value;
+}
+
+Word LaneCounter::greater_than(int threshold) const noexcept {
+  // Lane-parallel comparison: count > threshold.
+  Word gt = 0;
+  Word eq = kAllOnes;
+  for (std::size_t i = slices_.size(); i-- > 0;) {
+    const Word t = ((static_cast<Word>(threshold) >> i) & 1U) != 0 ? kAllOnes : 0;
+    gt |= eq & slices_[i] & ~t;
+    eq &= ~(slices_[i] ^ t);
+  }
+  return gt;
+}
+
+int LaneCounter::max_lane(Word lane_mask) const noexcept {
+  int best = 0;
+  for (int l = 0; l < kWordBits; ++l) {
+    if (((lane_mask >> l) & 1U) == 0) continue;
+    best = std::max(best, lane(l));
+  }
+  return best;
+}
+
+void LaneCounter::reset() noexcept {
+  std::fill(slices_.begin(), slices_.end(), Word{0});
+}
+
+}  // namespace enb::sim

@@ -1,0 +1,54 @@
+// Word-level bit utilities shared by the simulators.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace enb::sim {
+
+using Word = std::uint64_t;
+inline constexpr int kWordBits = 64;
+inline constexpr Word kAllOnes = ~Word{0};
+
+[[nodiscard]] inline int popcount(Word w) noexcept { return std::popcount(w); }
+
+// Mask with the low `n` bits set (n in [0, 64]).
+[[nodiscard]] constexpr Word low_mask(int n) noexcept {
+  return n >= kWordBits ? kAllOnes : ((Word{1} << n) - 1);
+}
+
+// Bit-sliced per-lane counter: accumulates up to 2^Slices - 1 indicator words
+// into 64 independent lane counts using bitwise ripple-carry addition. Used
+// for per-lane sensitivity counts and bundle-majority decoding, where keeping
+// 64 parallel small integers beats unpacking lanes.
+class LaneCounter {
+ public:
+  // `max_count` is the largest total that will be accumulated; counts beyond
+  // it would overflow silently, so the constructor sizes the slice vector to
+  // hold it.
+  explicit LaneCounter(int max_count);
+
+  // Adds 1 to every lane whose bit is set in `indicator`.
+  void add(Word indicator) noexcept;
+
+  // Count currently held for `lane` (0..63).
+  [[nodiscard]] int lane(int lane_index) const noexcept;
+
+  // Word whose lane bits are set where count > threshold.
+  [[nodiscard]] Word greater_than(int threshold) const noexcept;
+
+  // Maximum lane count, optionally restricted to lanes set in `lane_mask`.
+  [[nodiscard]] int max_lane(Word lane_mask = kAllOnes) const noexcept;
+
+  void reset() noexcept;
+  [[nodiscard]] int num_slices() const noexcept {
+    return static_cast<int>(slices_.size());
+  }
+
+ private:
+  std::vector<Word> slices_;  // slices_[i] holds bit i of each lane's count
+};
+
+}  // namespace enb::sim

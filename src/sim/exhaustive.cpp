@@ -1,0 +1,113 @@
+#include "sim/exhaustive.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/logic_sim.hpp"
+#include "sim/prng.hpp"
+
+namespace enb::sim {
+
+using netlist::Circuit;
+
+Word exhaustive_pattern(int input_index) noexcept {
+  switch (input_index) {
+    case 0:
+      return 0xAAAAAAAAAAAAAAAAULL;
+    case 1:
+      return 0xCCCCCCCCCCCCCCCCULL;
+    case 2:
+      return 0xF0F0F0F0F0F0F0F0ULL;
+    case 3:
+      return 0xFF00FF00FF00FF00ULL;
+    case 4:
+      return 0xFFFF0000FFFF0000ULL;
+    case 5:
+      return 0xFFFFFFFF00000000ULL;
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t exhaustive_block_count(int num_inputs) {
+  if (num_inputs < 0 || num_inputs > kMaxExhaustiveInputs) {
+    throw std::invalid_argument("exhaustive: " + std::to_string(num_inputs) +
+                                " inputs out of supported range [0, " +
+                                std::to_string(kMaxExhaustiveInputs) + "]");
+  }
+  if (num_inputs <= 6) return 1;
+  return std::uint64_t{1} << (num_inputs - 6);
+}
+
+void fill_exhaustive_block(int num_inputs, std::uint64_t block,
+                           std::vector<Word>& words) {
+  words.resize(static_cast<std::size_t>(num_inputs));
+  for (int i = 0; i < num_inputs && i < 6; ++i) {
+    words[static_cast<std::size_t>(i)] = exhaustive_pattern(i);
+  }
+  for (int i = 6; i < num_inputs; ++i) {
+    const bool on = ((block >> (i - 6)) & 1U) != 0;
+    words[static_cast<std::size_t>(i)] = on ? kAllOnes : 0;
+  }
+}
+
+void for_each_exhaustive_block(
+    int num_inputs,
+    const std::function<void(std::uint64_t, std::span<const Word>, Word)>& fn) {
+  const std::uint64_t blocks = exhaustive_block_count(num_inputs);
+  const Word valid =
+      num_inputs >= 6 ? kAllOnes : low_mask(1 << num_inputs);
+  std::vector<Word> words;
+  for (std::uint64_t block = 0; block < blocks; ++block) {
+    fill_exhaustive_block(num_inputs, block, words);
+    fn(block, words, valid);
+  }
+}
+
+std::vector<std::vector<Word>> truth_tables(const Circuit& circuit) {
+  const int n = static_cast<int>(circuit.num_inputs());
+  std::vector<std::vector<Word>> tables(
+      circuit.num_outputs(),
+      std::vector<Word>(exhaustive_block_count(n), 0));
+  LogicSim sim(circuit);
+  for_each_exhaustive_block(
+      n, [&](std::uint64_t block, std::span<const Word> inputs, Word valid) {
+        sim.eval(inputs);
+        const auto outs = sim.output_values();
+        for (std::size_t o = 0; o < outs.size(); ++o) {
+          tables[o][block] = outs[o] & valid;
+        }
+      });
+  return tables;
+}
+
+bool exhaustive_equivalent(const Circuit& a, const Circuit& b) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  return truth_tables(a) == truth_tables(b);
+}
+
+bool random_equivalent(const Circuit& a, const Circuit& b,
+                       std::uint64_t words, std::uint64_t seed) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  Xoshiro256 rng(seed);
+  LogicSim sim_a(a);
+  LogicSim sim_b(b);
+  std::vector<Word> inputs(a.num_inputs());
+  for (std::uint64_t pass = 0; pass < words; ++pass) {
+    for (Word& w : inputs) w = rng.next();
+    sim_a.eval(inputs);
+    sim_b.eval(inputs);
+    for (std::size_t o = 0; o < a.num_outputs(); ++o) {
+      if (sim_a.value(a.outputs()[o]) != sim_b.value(b.outputs()[o])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace enb::sim

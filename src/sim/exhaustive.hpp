@@ -1,0 +1,59 @@
+// Exhaustive (truth-table) evaluation for circuits with few inputs.
+//
+// Assignments are enumerated in 64-wide blocks using the standard variable
+// patterns: input i < 6 toggles within a word (0xAAAA..., 0xCCCC..., ...),
+// input i >= 6 is constant per block, selected by bit (i - 6) of the block
+// index. Lane L of block B therefore encodes the assignment with integer
+// value B * 64 + L, LSB = input 0.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "sim/bitpack.hpp"
+
+namespace enb::sim {
+
+// Maximum input count supported by the exhaustive helpers. 2^26 lanes keeps
+// memory and time laptop-scale.
+inline constexpr int kMaxExhaustiveInputs = 26;
+
+// The within-word pattern for input i (i in [0, 6)).
+[[nodiscard]] Word exhaustive_pattern(int input_index) noexcept;
+
+// Fills `words` (size n) with the input words for `block` of an n-input
+// exhaustive enumeration.
+void fill_exhaustive_block(int num_inputs, std::uint64_t block,
+                           std::vector<Word>& words);
+
+// Number of 64-lane blocks for n inputs (== max(1, 2^(n-6))).
+[[nodiscard]] std::uint64_t exhaustive_block_count(int num_inputs);
+
+// Calls fn(block_index, input_words) for every block. `valid_lanes` lanes are
+// always all-64 valid except when num_inputs < 6, in which case only the low
+// 2^num_inputs lanes of the single block are meaningful; the helper hands the
+// callee the lane-validity mask.
+void for_each_exhaustive_block(
+    int num_inputs,
+    const std::function<void(std::uint64_t block, std::span<const Word> inputs,
+                             Word valid_lanes)>& fn);
+
+// Full truth tables of every primary output, packed 64 assignments per word.
+// table[o][b] bit L == output o under assignment b*64+L.
+[[nodiscard]] std::vector<std::vector<Word>> truth_tables(
+    const netlist::Circuit& circuit);
+
+// True when the two circuits have identical input/output counts and identical
+// truth tables (inputs matched by position).
+[[nodiscard]] bool exhaustive_equivalent(const netlist::Circuit& a,
+                                         const netlist::Circuit& b);
+
+// Randomized equivalence check: `words` passes of 64 random vectors each.
+// A false return is definitive; true means "no counterexample found".
+[[nodiscard]] bool random_equivalent(const netlist::Circuit& a,
+                                     const netlist::Circuit& b,
+                                     std::uint64_t words = 256,
+                                     std::uint64_t seed = 0xE9B);
+
+}  // namespace enb::sim

@@ -1,0 +1,128 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace enb::sim {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+NoisySim::NoisySim(const Circuit& circuit, double epsilon, std::uint64_t seed)
+    : NoisySim(circuit,
+               std::vector<double>(circuit.node_count(), epsilon), seed) {}
+
+NoisySim::NoisySim(const Circuit& circuit, std::vector<double> epsilons,
+                   std::uint64_t seed)
+    : circuit_(&circuit),
+      epsilons_(std::move(epsilons)),
+      rng_(seed),
+      values_(circuit.node_count(), 0),
+      errors_(circuit.node_count(), 0) {
+  if (epsilons_.size() != circuit.node_count()) {
+    throw std::invalid_argument("NoisySim: epsilon vector size mismatch");
+  }
+  for (double e : epsilons_) {
+    if (e < 0.0 || e > 0.5) {
+      throw std::invalid_argument(
+          "NoisySim: epsilon must be in [0, 0.5], got " + std::to_string(e));
+    }
+  }
+}
+
+void NoisySim::eval(std::span<const Word> input_words) {
+  if (input_words.size() != circuit_->num_inputs()) {
+    throw std::invalid_argument("NoisySim::eval: input word count mismatch");
+  }
+  for (NodeId id = 0; id < circuit_->node_count(); ++id) {
+    const auto& node = circuit_->node(id);
+    if (node.type == GateType::kInput) {
+      values_[id] =
+          input_words[static_cast<std::size_t>(circuit_->input_index(id))];
+      errors_[id] = 0;
+      continue;
+    }
+    fanin_buffer_.clear();
+    for (NodeId f : node.fanins) fanin_buffer_.push_back(values_[f]);
+    const Word clean = netlist::eval_word(node.type, fanin_buffer_);
+    if (counts_as_gate(node.type) && epsilons_[id] > 0.0) {
+      errors_[id] = bernoulli_word(rng_, epsilons_[id]);
+      values_[id] = clean ^ errors_[id];
+    } else {
+      errors_[id] = 0;
+      values_[id] = clean;
+    }
+  }
+}
+
+std::vector<Word> NoisySim::output_values() const {
+  std::vector<Word> out;
+  out.reserve(circuit_->num_outputs());
+  for (NodeId id : circuit_->outputs()) out.push_back(values_[id]);
+  return out;
+}
+
+ActivityResult estimate_noisy_activity(const Circuit& circuit, double epsilon,
+                                       const ActivityOptions& options) {
+  if (options.sample_pairs == 0) {
+    throw std::invalid_argument(
+        "estimate_noisy_activity: sample_pairs must be > 0");
+  }
+  Xoshiro256 rng(options.seed);
+  NoisySim sim(circuit, epsilon, rng.next());
+  std::vector<Word> in_a(circuit.num_inputs());
+  std::vector<Word> in_b(circuit.num_inputs());
+  std::vector<Word> first(circuit.node_count());
+  std::vector<std::uint64_t> ones(circuit.node_count(), 0);
+  std::vector<std::uint64_t> toggles(circuit.node_count(), 0);
+
+  for (std::size_t pair = 0; pair < options.sample_pairs; ++pair) {
+    for (Word& w : in_a) {
+      w = options.input_one_probability == 0.5
+              ? rng.next()
+              : bernoulli_word(rng, options.input_one_probability);
+    }
+    for (Word& w : in_b) {
+      w = options.input_one_probability == 0.5
+              ? rng.next()
+              : bernoulli_word(rng, options.input_one_probability);
+    }
+    sim.eval(in_a);
+    std::copy(sim.values().begin(), sim.values().end(), first.begin());
+    sim.eval(in_b);
+    for (std::size_t id = 0; id < circuit.node_count(); ++id) {
+      ones[id] += static_cast<std::uint64_t>(popcount(first[id])) +
+                  static_cast<std::uint64_t>(popcount(sim.values()[id]));
+      toggles[id] += static_cast<std::uint64_t>(
+          popcount(first[id] ^ sim.values()[id]));
+    }
+  }
+
+  const double lanes =
+      static_cast<double>(options.sample_pairs) * kWordBits;
+  ActivityResult result;
+  result.sample_pairs = options.sample_pairs;
+  result.one_probability.resize(circuit.node_count());
+  result.toggle_rate.resize(circuit.node_count());
+  double p_sum = 0.0;
+  double sw_sum = 0.0;
+  std::size_t gates = 0;
+  for (std::size_t id = 0; id < circuit.node_count(); ++id) {
+    result.one_probability[id] =
+        static_cast<double>(ones[id]) / (2.0 * lanes);
+    result.toggle_rate[id] = static_cast<double>(toggles[id]) / lanes;
+    if (!counts_as_gate(circuit.type(id))) continue;
+    p_sum += result.one_probability[id];
+    sw_sum += result.toggle_rate[id];
+    ++gates;
+  }
+  result.avg_gate_one_probability =
+      gates == 0 ? 0.0 : p_sum / static_cast<double>(gates);
+  result.avg_gate_toggle_rate =
+      gates == 0 ? 0.0 : sw_sum / static_cast<double>(gates);
+  return result;
+}
+
+}  // namespace enb::sim

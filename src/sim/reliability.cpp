@@ -1,0 +1,135 @@
+#include "sim/reliability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/logic_sim.hpp"
+#include "sim/noise.hpp"
+#include "sim/prng.hpp"
+
+namespace enb::sim {
+
+using netlist::Circuit;
+
+ReliabilityResult wilson_interval(std::uint64_t failures,
+                                  std::uint64_t trials) {
+  ReliabilityResult r;
+  r.trials = trials;
+  r.failures = failures;
+  if (trials == 0) return r;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(failures) / n;
+  r.delta_hat = p;
+  constexpr double z = 1.959963984540054;  // 97.5th percentile of N(0,1)
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  r.ci_low = std::max(0.0, center - half);
+  r.ci_high = std::min(1.0, center + half);
+  return r;
+}
+
+ReliabilityResult estimate_reliability_vs(const Circuit& noisy,
+                                          const Circuit& golden,
+                                          double epsilon,
+                                          const ReliabilityOptions& options) {
+  if (noisy.num_inputs() != golden.num_inputs() ||
+      noisy.num_outputs() != golden.num_outputs()) {
+    throw std::invalid_argument(
+        "estimate_reliability_vs: interface mismatch between noisy and "
+        "golden circuits");
+  }
+  if (options.trials == 0) {
+    throw std::invalid_argument("estimate_reliability: trials must be > 0");
+  }
+  const std::uint64_t passes = (options.trials + kWordBits - 1) / kWordBits;
+
+  Xoshiro256 rng(options.seed);
+  NoisySim noisy_sim(noisy, epsilon, rng.next());
+  LogicSim golden_sim(golden);
+  std::vector<Word> inputs(noisy.num_inputs());
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t pass = 0; pass < passes; ++pass) {
+    for (Word& w : inputs) {
+      w = options.input_one_probability == 0.5
+              ? rng.next()
+              : bernoulli_word(rng, options.input_one_probability);
+    }
+    noisy_sim.eval(inputs);
+    golden_sim.eval(inputs);
+    Word wrong = 0;
+    for (std::size_t o = 0; o < noisy.num_outputs(); ++o) {
+      wrong |= noisy_sim.value(noisy.outputs()[o]) ^
+               golden_sim.value(golden.outputs()[o]);
+    }
+    failures += static_cast<std::uint64_t>(popcount(wrong));
+  }
+  return wilson_interval(failures, passes * kWordBits);
+}
+
+ReliabilityResult estimate_reliability(const Circuit& circuit, double epsilon,
+                                       const ReliabilityOptions& options) {
+  return estimate_reliability_vs(circuit, circuit, epsilon, options);
+}
+
+WorstCaseResult estimate_worst_case_reliability(
+    const Circuit& noisy, const Circuit& golden, double epsilon,
+    const WorstCaseOptions& options) {
+  if (noisy.num_inputs() != golden.num_inputs() ||
+      noisy.num_outputs() != golden.num_outputs()) {
+    throw std::invalid_argument(
+        "estimate_worst_case_reliability: interface mismatch");
+  }
+  if (options.num_inputs == 0 || options.trials_per_input == 0) {
+    throw std::invalid_argument(
+        "estimate_worst_case_reliability: counts must be > 0");
+  }
+  const std::uint64_t passes =
+      (options.trials_per_input + kWordBits - 1) / kWordBits;
+
+  Xoshiro256 rng(options.seed);
+  NoisySim noisy_sim(noisy, epsilon, rng.next());
+  LogicSim golden_sim(golden);
+  std::vector<Word> inputs(noisy.num_inputs());
+
+  WorstCaseResult result;
+  std::uint64_t worst_failures = 0;
+  double delta_sum = 0.0;
+  std::vector<bool> current(noisy.num_inputs());
+
+  for (std::uint64_t sample = 0; sample < options.num_inputs; ++sample) {
+    // One fixed assignment, broadcast to all lanes: every lane is an
+    // independent noise draw for the *same* input.
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      current[i] = (rng.next() & 1U) != 0;
+      inputs[i] = current[i] ? kAllOnes : 0;
+    }
+    golden_sim.eval(inputs);
+    std::uint64_t failures = 0;
+    for (std::uint64_t pass = 0; pass < passes; ++pass) {
+      noisy_sim.eval(inputs);
+      Word wrong = 0;
+      for (std::size_t o = 0; o < noisy.num_outputs(); ++o) {
+        wrong |= noisy_sim.value(noisy.outputs()[o]) ^
+                 golden_sim.value(golden.outputs()[o]);
+      }
+      failures += static_cast<std::uint64_t>(popcount(wrong));
+    }
+    const double delta =
+        static_cast<double>(failures) /
+        static_cast<double>(passes * kWordBits);
+    delta_sum += delta;
+    if (failures >= worst_failures) {
+      worst_failures = failures;
+      result.worst_input = current;
+    }
+  }
+  result.worst = wilson_interval(worst_failures, passes * kWordBits);
+  result.average_delta = delta_sum / static_cast<double>(options.num_inputs);
+  return result;
+}
+
+}  // namespace enb::sim

@@ -1,0 +1,71 @@
+// Monte-Carlo reliability estimation: the empirical counterpart of the
+// paper's δ.
+//
+// A circuit (1-δ)-reliably computes f when, with probability at least 1-δ,
+// the entire output vector is correct. The estimator runs the noisy and the
+// golden simulation on the same random inputs (64 independent trials per
+// word pass) and reports the failure fraction with a Wilson confidence
+// interval.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/circuit.hpp"
+#include "sim/bitpack.hpp"
+
+namespace enb::sim {
+
+struct ReliabilityResult {
+  double delta_hat = 0.0;  // estimated P(any output wrong)
+  double ci_low = 0.0;     // 95% Wilson interval
+  double ci_high = 0.0;
+  std::uint64_t trials = 0;
+  std::uint64_t failures = 0;
+};
+
+struct ReliabilityOptions {
+  std::uint64_t trials = 1 << 16;  // rounded up to a multiple of 64
+  std::uint64_t seed = 7;
+  double input_one_probability = 0.5;
+};
+
+// 95% Wilson score interval for `successes` out of `trials`.
+[[nodiscard]] ReliabilityResult wilson_interval(std::uint64_t failures,
+                                                std::uint64_t trials);
+
+// Estimates δ for `circuit` with every gate failing independently with
+// probability `epsilon`.
+[[nodiscard]] ReliabilityResult estimate_reliability(
+    const netlist::Circuit& circuit, double epsilon,
+    const ReliabilityOptions& options = {});
+
+// Estimates δ when `noisy` (a redundant implementation) must reproduce
+// `golden`'s input/output behaviour; the two circuits must agree on input
+// and output counts (inputs matched positionally).
+[[nodiscard]] ReliabilityResult estimate_reliability_vs(
+    const netlist::Circuit& noisy, const netlist::Circuit& golden,
+    double epsilon, const ReliabilityOptions& options = {});
+
+// Worst-case-input reliability. The theorems' δ quantifies over *every*
+// input ("with probability 1−δ, the output of the circuit is correct"), so
+// the input-averaged estimate above understates the achieved δ whenever some
+// inputs are more fragile than others (e.g. long carry chains). This
+// estimator fixes a set of sampled input vectors and measures each one's
+// failure rate across independent noise draws, reporting the maximum.
+struct WorstCaseOptions {
+  std::uint64_t num_inputs = 64;        // sampled input vectors
+  std::uint64_t trials_per_input = 1 << 12;  // noise draws per vector
+  std::uint64_t seed = 0xBAD1;
+};
+
+struct WorstCaseResult {
+  ReliabilityResult worst;              // CI for the worst sampled input
+  double average_delta = 0.0;           // mean over sampled inputs
+  std::vector<bool> worst_input;        // the argmax assignment
+};
+
+[[nodiscard]] WorstCaseResult estimate_worst_case_reliability(
+    const netlist::Circuit& noisy, const netlist::Circuit& golden,
+    double epsilon, const WorstCaseOptions& options = {});
+
+}  // namespace enb::sim

@@ -1,0 +1,96 @@
+#include "sim/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "sim/bitpack.hpp"
+#include "sim/exhaustive.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/prng.hpp"
+
+namespace enb::sim {
+
+using netlist::Circuit;
+
+namespace {
+
+// OR over outputs of (f(x) != f(x ^ e_i)), lane-parallel. Flipping input i in
+// every lane is simply complementing its input word, regardless of how lanes
+// map to assignments.
+Word flip_difference(LogicSim& sim, std::vector<Word>& inputs,
+                     std::span<const Word> base_outputs, std::size_t i,
+                     const Circuit& circuit) {
+  inputs[i] = ~inputs[i];
+  sim.eval(inputs);
+  inputs[i] = ~inputs[i];
+  Word diff = 0;
+  for (std::size_t o = 0; o < circuit.num_outputs(); ++o) {
+    diff |= sim.value(circuit.outputs()[o]) ^ base_outputs[o];
+  }
+  return diff;
+}
+
+}  // namespace
+
+SensitivityResult compute_sensitivity(const Circuit& circuit,
+                                      const SensitivityOptions& options) {
+  const int n = static_cast<int>(circuit.num_inputs());
+  SensitivityResult result;
+  result.influence.assign(static_cast<std::size_t>(n), 0.0);
+  if (n == 0 || circuit.num_outputs() == 0) {
+    result.exact = true;
+    result.assignments = 1;
+    return result;
+  }
+
+  const bool exact = n <= options.max_exact_inputs &&
+                     n <= kMaxExhaustiveInputs;
+  LogicSim sim(circuit);
+  std::vector<Word> inputs(static_cast<std::size_t>(n));
+  std::vector<Word> base_outputs(circuit.num_outputs());
+  std::vector<std::uint64_t> influence_counts(static_cast<std::size_t>(n), 0);
+  LaneCounter counter(n);
+  Xoshiro256 rng(options.seed);
+
+  std::uint64_t lane_total = 0;
+  const auto process_block = [&](Word valid) {
+    sim.eval(inputs);
+    for (std::size_t o = 0; o < circuit.num_outputs(); ++o) {
+      base_outputs[o] = sim.value(circuit.outputs()[o]);
+    }
+    counter.reset();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const Word diff =
+          flip_difference(sim, inputs, base_outputs, i, circuit) & valid;
+      influence_counts[i] += static_cast<std::uint64_t>(popcount(diff));
+      counter.add(diff);
+    }
+    result.sensitivity = std::max(result.sensitivity, counter.max_lane(valid));
+    lane_total += static_cast<std::uint64_t>(popcount(valid));
+  };
+
+  if (exact) {
+    for_each_exhaustive_block(
+        n, [&](std::uint64_t, std::span<const Word> block_inputs, Word valid) {
+          std::copy(block_inputs.begin(), block_inputs.end(), inputs.begin());
+          process_block(valid);
+        });
+    result.exact = true;
+  } else {
+    for (std::uint64_t wordpass = 0; wordpass < options.sample_words;
+         ++wordpass) {
+      for (Word& w : inputs) w = rng.next();
+      process_block(kAllOnes);
+    }
+    result.exact = false;
+  }
+
+  result.assignments = lane_total;
+  for (std::size_t i = 0; i < influence_counts.size(); ++i) {
+    result.influence[i] = static_cast<double>(influence_counts[i]) /
+                          static_cast<double>(lane_total);
+    result.total_influence += result.influence[i];
+  }
+  return result;
+}
+
+}  // namespace enb::sim

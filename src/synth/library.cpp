@@ -1,0 +1,50 @@
+#include "synth/library.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace enb::synth {
+
+using netlist::GateType;
+
+Library::Library(std::string name, int max_fanin, std::vector<GateType> types)
+    : name_(std::move(name)), max_fanin_(max_fanin), types_(std::move(types)) {
+  if (max_fanin_ < 2) {
+    throw std::invalid_argument("Library: max_fanin must be >= 2");
+  }
+}
+
+Library Library::generic(int max_fanin) {
+  std::vector<GateType> types = {
+      GateType::kBuf, GateType::kNot,  GateType::kAnd, GateType::kNand,
+      GateType::kOr,  GateType::kNor,  GateType::kXor, GateType::kXnor};
+  if (max_fanin >= 3) types.push_back(GateType::kMaj);
+  return Library("generic" + std::to_string(max_fanin), max_fanin,
+                 std::move(types));
+}
+
+Library Library::nand_not(int max_fanin) {
+  return Library("nand_not" + std::to_string(max_fanin), max_fanin,
+                 {GateType::kBuf, GateType::kNot, GateType::kNand});
+}
+
+Library Library::and_or_not(int max_fanin) {
+  return Library("and_or_not" + std::to_string(max_fanin), max_fanin,
+                 {GateType::kBuf, GateType::kNot, GateType::kAnd,
+                  GateType::kOr});
+}
+
+bool Library::allows_type(GateType type) const noexcept {
+  if (!counts_as_gate(type)) return true;
+  return std::find(types_.begin(), types_.end(), type) != types_.end();
+}
+
+bool Library::allows(GateType type, int fanin) const noexcept {
+  if (!counts_as_gate(type)) return true;
+  if (!allows_type(type)) return false;
+  const auto range = netlist::arity_range(type);
+  if (fanin < range.min || fanin > range.max) return false;
+  return fanin <= max_fanin_;
+}
+
+}  // namespace enb::synth

@@ -1,0 +1,45 @@
+// Gate-library descriptor: which gate types a mapped netlist may contain and
+// the maximum fanin k. The paper's evaluation maps benchmarks onto "a generic
+// library comprised of gates with a maximum fanin of three"; Library::generic(3)
+// reproduces that target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/gate_type.hpp"
+
+namespace enb::synth {
+
+class Library {
+ public:
+  // Full structural vocabulary (AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF, plus MAJ
+  // when k >= 3), fanin limited to `max_fanin`.
+  [[nodiscard]] static Library generic(int max_fanin);
+
+  // NAND/NOT/BUF only (classic universal basis), fanin limited to k.
+  [[nodiscard]] static Library nand_not(int max_fanin);
+
+  // AND/OR/NOT/BUF (no parity gates) — useful for the XOR-expansion path.
+  [[nodiscard]] static Library and_or_not(int max_fanin);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int max_fanin() const noexcept { return max_fanin_; }
+
+  // True when a gate of this type and fanin count may appear in a mapped
+  // netlist. Inputs and constants are always allowed.
+  [[nodiscard]] bool allows(netlist::GateType type, int fanin) const noexcept;
+
+  // True when the type is allowed at some fanin.
+  [[nodiscard]] bool allows_type(netlist::GateType type) const noexcept;
+
+ private:
+  Library(std::string name, int max_fanin,
+          std::vector<netlist::GateType> types);
+
+  std::string name_;
+  int max_fanin_;
+  std::vector<netlist::GateType> types_;
+};
+
+}  // namespace enb::synth

@@ -1,0 +1,53 @@
+#include "synth/mapper.hpp"
+
+#include <stdexcept>
+
+#include "sim/exhaustive.hpp"
+#include "synth/decompose.hpp"
+#include "synth/strash.hpp"
+#include "synth/sweep.hpp"
+
+namespace enb::synth {
+
+using netlist::Circuit;
+
+MapResult map_to_library(const Circuit& circuit, const MapOptions& options) {
+  MapResult result;
+  result.before = netlist::compute_stats(circuit);
+
+  // Order matters: fanin reduction runs before basis conversion because the
+  // tree splitter may introduce AND/OR helper gates (e.g. under a wide NAND
+  // root) that a restricted basis must then rewrite; the basis emitters
+  // themselves only produce 2-input gates, so widths stay bounded.
+  Circuit mapped = sweep(circuit);
+  mapped = strash(mapped);
+  mapped = reduce_fanin(mapped, options.library.max_fanin());
+  mapped = convert_to_basis(mapped, options.library);
+  mapped = sweep(mapped);
+  mapped = strash(mapped);
+  mapped.set_name(circuit.name());
+
+  if (options.verify) {
+    const bool exact =
+        static_cast<int>(circuit.num_inputs()) <=
+        options.verify_exact_max_inputs;
+    const bool ok =
+        exact ? sim::exhaustive_equivalent(circuit, mapped)
+              : sim::random_equivalent(circuit, mapped,
+                                       options.verify_random_words,
+                                       options.seed);
+    if (!ok) {
+      throw std::runtime_error("map_to_library: mapped circuit for '" +
+                               circuit.name() +
+                               "' is not equivalent to the original");
+    }
+    result.verified = true;
+    result.verified_exact = exact;
+  }
+
+  result.after = netlist::compute_stats(mapped);
+  result.circuit = std::move(mapped);
+  return result;
+}
+
+}  // namespace enb::synth

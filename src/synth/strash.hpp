@@ -1,0 +1,12 @@
+// Structural hashing: merges gates with identical (type, canonical fanins),
+// so logically shared subtrees become physically shared. Commutative gates
+// canonicalize by sorting fanins.
+#pragma once
+
+#include "netlist/circuit.hpp"
+
+namespace enb::synth {
+
+[[nodiscard]] netlist::Circuit strash(const netlist::Circuit& circuit);
+
+}  // namespace enb::synth

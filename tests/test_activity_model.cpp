@@ -1,0 +1,116 @@
+#include "core/activity_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace enb::core {
+namespace {
+
+TEST(ActivityModel, Theorem1Formula) {
+  // sw(z) = (1-2e)^2 sw(y) + 2e(1-e), spot values.
+  EXPECT_NEAR(noisy_activity(0.2, 0.1), 0.64 * 0.2 + 0.18, 1e-15);
+  EXPECT_NEAR(noisy_activity(0.0, 0.25), 2 * 0.25 * 0.75, 1e-15);
+  EXPECT_NEAR(noisy_activity(1.0, 0.25), 0.25 + 0.375, 1e-15);
+}
+
+TEST(ActivityModel, CleanChannelIsIdentity) {
+  for (double sw : {0.0, 0.3, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(noisy_activity(sw, 0.0), sw);
+  }
+}
+
+TEST(ActivityModel, TotalNoiseIsCoinFlip) {
+  for (double sw : {0.0, 0.2, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(noisy_activity(sw, 0.5), 0.5);
+  }
+}
+
+TEST(ActivityModel, FixedPointAtHalf) {
+  for (double eps : {0.0, 0.05, 0.2, 0.49}) {
+    EXPECT_NEAR(noisy_activity(kActivityFixedPoint, eps), kActivityFixedPoint,
+                1e-15)
+        << "eps=" << eps;
+  }
+}
+
+TEST(ActivityModel, ContractionTowardHalf) {
+  // |sw(z) - 1/2| = (1-2e)^2 |sw(y) - 1/2|.
+  for (double eps : {0.01, 0.1, 0.3}) {
+    for (double sw : {0.05, 0.3, 0.7, 0.95}) {
+      const double z = noisy_activity(sw, eps);
+      EXPECT_NEAR(std::abs(z - 0.5),
+                  activity_contraction(eps) * std::abs(sw - 0.5), 1e-12);
+    }
+  }
+}
+
+TEST(ActivityModel, QuietGatesGetBusierBusyGatesQuieter) {
+  EXPECT_GT(noisy_activity(0.1, 0.1), 0.1);
+  EXPECT_LT(noisy_activity(0.9, 0.1), 0.9);
+}
+
+TEST(ActivityModel, InverseRecoversClean) {
+  for (double eps : {0.01, 0.2, 0.45}) {
+    for (double sw : {0.0, 0.25, 0.5, 0.8, 1.0}) {
+      EXPECT_NEAR(clean_activity(noisy_activity(sw, eps), eps), sw, 1e-10);
+    }
+  }
+  EXPECT_THROW((void)clean_activity(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(ActivityModel, RatioMatchesCorollary2Factor) {
+  // ratio = (1-2e)^2 + 2e(1-e)/sw0.
+  const double eps = 0.01;
+  const double sw0 = 0.2;
+  EXPECT_NEAR(activity_ratio(sw0, eps),
+              0.98 * 0.98 + 2 * 0.01 * 0.99 / 0.2, 1e-15);
+  // Consistency with the direct formula.
+  EXPECT_NEAR(activity_ratio(sw0, eps), noisy_activity(sw0, eps) / sw0, 1e-15);
+}
+
+TEST(ActivityModel, RatioAtFixedPointIsOne) {
+  for (double eps : {0.001, 0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(activity_ratio(0.5, eps), 1.0, 1e-15);
+  }
+}
+
+TEST(ActivityModel, IdleRatioComplementIdentity) {
+  // 1 - sw(z) == idle_ratio * (1 - sw0).
+  for (double eps : {0.02, 0.2}) {
+    for (double sw0 : {0.1, 0.5, 0.9}) {
+      EXPECT_NEAR(idle_ratio(sw0, eps) * (1 - sw0),
+                  1 - noisy_activity(sw0, eps), 1e-12);
+    }
+  }
+}
+
+TEST(ActivityModel, DomainChecks) {
+  EXPECT_THROW((void)noisy_activity(-0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)noisy_activity(1.1, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)noisy_activity(0.5, 0.6), std::invalid_argument);
+  EXPECT_THROW((void)activity_ratio(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)idle_ratio(1.0, 0.1), std::invalid_argument);
+}
+
+class Theorem1SweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem1SweepTest, MonotoneInSw) {
+  const double eps = GetParam();
+  double prev = noisy_activity(0.0, eps);
+  for (int i = 1; i <= 20; ++i) {
+    const double sw = i / 20.0;
+    const double cur = noisy_activity(sw, eps);
+    if (eps < 0.5) {
+      EXPECT_GT(cur, prev);
+    } else {
+      EXPECT_DOUBLE_EQ(cur, prev);
+    }
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsGrid, Theorem1SweepTest,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.1, 0.2,
+                                           0.3, 0.4, 0.5));
+
+}  // namespace
+}  // namespace enb::core

@@ -1,0 +1,92 @@
+#include "gen/alu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/logic_sim.hpp"
+
+namespace enb::gen {
+namespace {
+
+using netlist::Circuit;
+
+struct AluOut {
+  std::uint64_t y = 0;
+  bool cout = false;
+  bool zero = false;
+};
+
+AluOut run_alu(const Circuit& c, int bits, std::uint64_t a, std::uint64_t b,
+               int op) {
+  std::vector<bool> in;
+  for (int i = 0; i < bits; ++i) in.push_back(((a >> i) & 1U) != 0);
+  for (int i = 0; i < bits; ++i) in.push_back(((b >> i) & 1U) != 0);
+  for (int i = 0; i < 3; ++i) in.push_back(((op >> i) & 1) != 0);
+  const auto out = sim::eval_single(c, in);
+  AluOut result;
+  for (int i = 0; i < bits; ++i) {
+    if (out[static_cast<std::size_t>(i)]) result.y |= std::uint64_t{1} << i;
+  }
+  result.cout = out[static_cast<std::size_t>(bits)];
+  result.zero = out[static_cast<std::size_t>(bits) + 1];
+  return result;
+}
+
+// op encodings (op0 = bit0): ADD = 0b000, SUB = 0b001, AND = 0b010,
+// OR = 0b011, XOR = 0b110.
+constexpr int kAdd = 0b000;
+constexpr int kSub = 0b001;
+constexpr int kAnd = 0b010;
+constexpr int kOr = 0b011;
+constexpr int kXor = 0b110;
+
+TEST(Alu, FourBitAddExhaustive) {
+  const Circuit c = alu(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const AluOut out = run_alu(c, 4, a, b, kAdd);
+      EXPECT_EQ(out.y, (a + b) & 0xF) << a << "+" << b;
+      EXPECT_EQ(out.cout, (a + b) > 0xF);
+    }
+  }
+}
+
+TEST(Alu, FourBitSubExhaustive) {
+  const Circuit c = alu(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const AluOut out = run_alu(c, 4, a, b, kSub);
+      EXPECT_EQ(out.y, (a - b) & 0xF) << a << "-" << b;
+      EXPECT_EQ(out.cout, a >= b);  // no borrow
+    }
+  }
+}
+
+TEST(Alu, LogicOps) {
+  const Circuit c = alu(8);
+  const std::uint64_t a = 0xA5;
+  const std::uint64_t b = 0x3C;
+  EXPECT_EQ(run_alu(c, 8, a, b, kAnd).y, a & b);
+  EXPECT_EQ(run_alu(c, 8, a, b, kOr).y, a | b);
+  EXPECT_EQ(run_alu(c, 8, a, b, kXor).y, a ^ b);
+}
+
+TEST(Alu, ZeroFlag) {
+  const Circuit c = alu(4);
+  EXPECT_TRUE(run_alu(c, 4, 5, 5, kSub).zero);
+  EXPECT_FALSE(run_alu(c, 4, 5, 4, kSub).zero);
+  EXPECT_TRUE(run_alu(c, 4, 0, 0, kAdd).zero);
+  EXPECT_TRUE(run_alu(c, 4, 0xA, 0x5, kAnd).zero);
+}
+
+TEST(Alu, InterfaceShape) {
+  const Circuit c = alu(8);
+  EXPECT_EQ(c.num_inputs(), 8u + 8u + 3u);
+  EXPECT_EQ(c.num_outputs(), 8u + 2u);
+}
+
+TEST(Alu, RejectBadArgs) {
+  EXPECT_THROW((void)alu(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::gen

@@ -1,0 +1,123 @@
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/activity_model.hpp"
+#include "core/leakage_model.hpp"
+#include "core/size_bound.hpp"
+#include "gen/iscas.hpp"
+
+namespace enb::core {
+namespace {
+
+CircuitProfile paper_parity_profile() {
+  // Figure 3's instance: 10-input parity, s = 10, S0 = 21, delta = 0.01.
+  return make_profile("parity10_shannon", 10, 21, 0.5, 2, 10);
+}
+
+TEST(Analyzer, ReportFieldsConsistent) {
+  const BoundReport r = analyze(paper_parity_profile(), 0.01, 0.01);
+  EXPECT_EQ(r.name, "parity10_shannon");
+  EXPECT_NEAR(r.sw_noisy, noisy_activity(0.5, 0.01), 1e-12);
+  EXPECT_NEAR(r.redundancy_gates, redundancy_lower_bound(10, 2, 0.01, 0.01),
+              1e-12);
+  EXPECT_NEAR(r.size_factor, 1 + r.redundancy_gates / 21.0, 1e-12);
+  EXPECT_NEAR(r.leakage_ratio, leakage_ratio(0.5, 0.01), 1e-12);
+  EXPECT_TRUE(r.depth_feasible);
+  EXPECT_NEAR(r.metrics.edp, r.metrics.energy * r.metrics.delay, 1e-12);
+}
+
+TEST(Analyzer, InfeasiblePointReported) {
+  const BoundReport r = analyze(paper_parity_profile(), 0.2, 0.01);
+  EXPECT_FALSE(r.depth_feasible);
+  EXPECT_TRUE(std::isinf(r.metrics.delay));
+  EXPECT_TRUE(std::isinf(r.depth_bound));
+  // Energy bound remains finite: Theorem 2 holds beyond the depth edge.
+  EXPECT_TRUE(std::isfinite(r.energy.total_factor));
+}
+
+TEST(Analyzer, WorksOnExtractedProfile) {
+  const CircuitProfile p = extract_profile(gen::c17());
+  const BoundReport r = analyze(p, 0.01, 0.01);
+  EXPECT_GT(r.energy.total_factor, 1.0);
+  EXPECT_GT(r.metrics.delay, 1.0);
+  EXPECT_LT(r.metrics.delay, 2.0);
+}
+
+TEST(Analyzer, SweepMatchesPointEvaluation) {
+  const CircuitProfile p = paper_parity_profile();
+  const std::vector<double> eps{0.001, 0.01, 0.1};
+  const auto sweep = sweep_epsilon(p, eps, 0.01);
+  ASSERT_EQ(sweep.size(), 3u);
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const BoundReport point = analyze(p, eps[i], 0.01);
+    EXPECT_DOUBLE_EQ(sweep[i].energy.total_factor, point.energy.total_factor);
+    EXPECT_DOUBLE_EQ(sweep[i].epsilon, eps[i]);
+  }
+}
+
+TEST(Analyzer, LogGridProperties) {
+  const auto grid = log_grid(0.001, 0.1, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.001);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.1);
+  // Log-uniform: constant ratio between consecutive points.
+  const double ratio = grid[1] / grid[0];
+  for (std::size_t i = 2; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i] / grid[i - 1], ratio, 1e-9);
+  }
+  EXPECT_THROW((void)log_grid(0.0, 0.1, 5), std::invalid_argument);
+}
+
+TEST(Analyzer, LinearGridProperties) {
+  const auto grid = linear_grid(0.0, 1.0, 11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid[5], 0.5);
+  EXPECT_THROW((void)linear_grid(1.0, 0.0, 5), std::invalid_argument);
+}
+
+TEST(Analyzer, DeltaTightensBound) {
+  // Smaller delta (more reliability) demands more redundancy.
+  const CircuitProfile p = paper_parity_profile();
+  const BoundReport strict = analyze(p, 0.05, 0.001);
+  const BoundReport loose = analyze(p, 0.05, 0.1);
+  EXPECT_GT(strict.redundancy_gates, loose.redundancy_gates);
+}
+
+TEST(Analyzer, CoupledLeakageAtInfeasiblePointStaysFinite) {
+  // With couple_leakage_to_delay set, an infeasible depth point must not
+  // poison the energy bound with an infinite delay factor: the analyzer
+  // clamps the coupling to 1 (the uncoupled model) when delay diverges.
+  EnergyModelOptions options;
+  options.couple_leakage_to_delay = true;
+  const CircuitProfile p = paper_parity_profile();
+  const BoundReport r = analyze(p, 0.2, 0.01, options);  // infeasible at k=2
+  EXPECT_FALSE(r.depth_feasible);
+  EXPECT_TRUE(std::isfinite(r.energy.total_factor));
+  EXPECT_GE(r.energy.total_factor, 1.0);
+}
+
+TEST(Analyzer, CoupledLeakageExceedsStaticNearEdge) {
+  EnergyModelOptions coupled;
+  coupled.couple_leakage_to_delay = true;
+  const CircuitProfile p = paper_parity_profile();
+  const double eps = 0.13;  // near the k=2 feasibility edge
+  const double with_coupling =
+      analyze(p, eps, 0.01, coupled).energy.total_factor;
+  const double without = analyze(p, eps, 0.01).energy.total_factor;
+  EXPECT_GT(with_coupling, without);
+}
+
+TEST(Analyzer, DomainChecks) {
+  const CircuitProfile p = paper_parity_profile();
+  EXPECT_THROW((void)analyze(p, 0.6, 0.01), std::invalid_argument);
+  EXPECT_THROW((void)analyze(p, 0.01, 0.7), std::invalid_argument);
+  CircuitProfile empty;
+  empty.size_s0 = 0;
+  EXPECT_THROW((void)analyze(empty, 0.01, 0.01), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

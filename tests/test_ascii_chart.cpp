@@ -1,0 +1,97 @@
+#include "report/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace enb::report {
+namespace {
+
+TEST(LineChart, RendersPointsAndLegend) {
+  Series s("bound", {}, {});
+  for (int i = 0; i <= 10; ++i) s.push(i, i * i);
+  ChartOptions options;
+  options.title = "growth";
+  const std::string chart = line_chart({s}, options);
+  EXPECT_NE(chart.find("growth"), std::string::npos);
+  EXPECT_NE(chart.find("legend:"), std::string::npos);
+  EXPECT_NE(chart.find("* bound"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(LineChart, MultipleSeriesUseDistinctGlyphs) {
+  Series a("a", {0, 1}, {0, 1});
+  Series b("b", {0, 1}, {1, 0});
+  const std::string chart = line_chart({a, b});
+  EXPECT_NE(chart.find("* a"), std::string::npos);
+  EXPECT_NE(chart.find("+ b"), std::string::npos);
+}
+
+TEST(LineChart, LogScaleHandlesDecades) {
+  Series s("log", {0.001, 0.01, 0.1}, {1.0, 10.0, 100.0});
+  ChartOptions options;
+  options.log_x = true;
+  options.log_y = true;
+  const std::string chart = line_chart({s}, options);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(LineChart, SkipsNonFinitePoints) {
+  Series s("inf", {0, 1, 2},
+           {1.0, std::numeric_limits<double>::infinity(), 3.0});
+  const std::string chart = line_chart({s});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(LineChart, AllUnplottableDegradesGracefully) {
+  Series s("neg", {1.0}, {-5.0});
+  ChartOptions options;
+  options.log_y = true;  // negative value unplottable on log axis
+  EXPECT_EQ(line_chart({s}, options), "(no plottable points)\n");
+}
+
+TEST(LineChart, EmptyInputRejected) {
+  EXPECT_THROW((void)line_chart({}), std::invalid_argument);
+}
+
+TEST(BarChart, RendersGroupsAndValues) {
+  BarGroup g1{"rca8", {1.2, 1.5}};
+  BarGroup g2{"mult4", {1.1, 1.9}};
+  ChartOptions options;
+  options.title = "energy bounds";
+  const std::string chart =
+      bar_chart({"e=0.001", "e=0.01"}, {g1, g2}, options);
+  EXPECT_NE(chart.find("rca8"), std::string::npos);
+  EXPECT_NE(chart.find("mult4"), std::string::npos);
+  EXPECT_NE(chart.find("1.5"), std::string::npos);
+  EXPECT_NE(chart.find("legend:"), std::string::npos);
+}
+
+TEST(BarChart, InfRendersAsText) {
+  BarGroup g{"deep", {std::numeric_limits<double>::infinity()}};
+  const std::string chart = bar_chart({"delay"}, {g});
+  EXPECT_NE(chart.find("inf"), std::string::npos);
+}
+
+TEST(BarChart, WidthMismatchRejected) {
+  BarGroup g{"x", {1.0}};
+  EXPECT_THROW((void)bar_chart({"a", "b"}, {g}), std::invalid_argument);
+  EXPECT_THROW((void)bar_chart({}, {}), std::invalid_argument);
+}
+
+TEST(BarChart, BarLengthProportional) {
+  BarGroup g1{"small", {1.0}};
+  BarGroup g2{"large", {10.0}};
+  const std::string chart = bar_chart({"v"}, {g1, g2});
+  // The long bar has ~10x the glyphs of the short one.
+  const auto count_in_line = [&](const std::string& label) {
+    const std::size_t pos = chart.find(label);
+    const std::size_t end = chart.find('\n', pos);
+    return std::count(chart.begin() + static_cast<long>(pos),
+                      chart.begin() + static_cast<long>(end), '*');
+  };
+  EXPECT_GE(count_in_line("large"), 8 * std::max<long>(1, count_in_line("small")));
+}
+
+}  // namespace
+}  // namespace enb::report

@@ -1,0 +1,163 @@
+#include "bdd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace enb::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  Bdd mgr(3);
+  EXPECT_TRUE(mgr.is_terminal(Bdd::kFalse));
+  EXPECT_TRUE(mgr.is_terminal(Bdd::kTrue));
+  const Ref x0 = mgr.var_ref(0);
+  EXPECT_FALSE(mgr.is_terminal(x0));
+  EXPECT_EQ(mgr.var_of(x0), 0u);
+  EXPECT_EQ(mgr.lo(x0), Bdd::kFalse);
+  EXPECT_EQ(mgr.hi(x0), Bdd::kTrue);
+  const Ref nx0 = mgr.nvar_ref(0);
+  EXPECT_EQ(mgr.lo(nx0), Bdd::kTrue);
+  EXPECT_EQ(mgr.hi(nx0), Bdd::kFalse);
+}
+
+TEST(Bdd, HashConsingIsCanonical) {
+  Bdd mgr(3);
+  EXPECT_EQ(mgr.var_ref(1), mgr.var_ref(1));
+  const Ref a = mgr.apply_and(mgr.var_ref(0), mgr.var_ref(1));
+  const Ref b = mgr.apply_and(mgr.var_ref(1), mgr.var_ref(0));
+  EXPECT_EQ(a, b);  // commutativity falls out of canonicity
+}
+
+TEST(Bdd, BooleanIdentities) {
+  Bdd mgr(4);
+  const Ref x = mgr.var_ref(0);
+  const Ref y = mgr.var_ref(1);
+  EXPECT_EQ(mgr.apply_and(x, Bdd::kTrue), x);
+  EXPECT_EQ(mgr.apply_and(x, Bdd::kFalse), Bdd::kFalse);
+  EXPECT_EQ(mgr.apply_or(x, Bdd::kFalse), x);
+  EXPECT_EQ(mgr.apply_or(x, Bdd::kTrue), Bdd::kTrue);
+  EXPECT_EQ(mgr.apply_xor(x, x), Bdd::kFalse);
+  EXPECT_EQ(mgr.apply_xor(x, Bdd::kFalse), x);
+  EXPECT_EQ(mgr.apply_not(mgr.apply_not(x)), x);
+  // De Morgan.
+  EXPECT_EQ(mgr.apply_not(mgr.apply_and(x, y)),
+            mgr.apply_or(mgr.apply_not(x), mgr.apply_not(y)));
+  // Absorption.
+  EXPECT_EQ(mgr.apply_or(x, mgr.apply_and(x, y)), x);
+}
+
+TEST(Bdd, IteAgreesWithDefinition) {
+  Bdd mgr(3);
+  const Ref f = mgr.var_ref(0);
+  const Ref g = mgr.var_ref(1);
+  const Ref h = mgr.var_ref(2);
+  const Ref via_ite = mgr.ite(f, g, h);
+  const Ref direct = mgr.apply_or(mgr.apply_and(f, g),
+                                  mgr.apply_and(mgr.apply_not(f), h));
+  EXPECT_EQ(via_ite, direct);
+}
+
+TEST(Bdd, CofactorRestricts) {
+  Bdd mgr(2);
+  const Ref x = mgr.var_ref(0);
+  const Ref y = mgr.var_ref(1);
+  const Ref f = mgr.apply_and(x, y);
+  EXPECT_EQ(mgr.cofactor(f, 0, true), y);
+  EXPECT_EQ(mgr.cofactor(f, 0, false), Bdd::kFalse);
+  EXPECT_EQ(mgr.cofactor(f, 1, true), x);
+  // Cofactor on an absent variable is identity.
+  EXPECT_EQ(mgr.cofactor(x, 1, true), x);
+}
+
+TEST(Bdd, FlipVarSubstitutesComplement) {
+  Bdd mgr(2);
+  const Ref x = mgr.var_ref(0);
+  const Ref y = mgr.var_ref(1);
+  EXPECT_EQ(mgr.flip_var(x, 0), mgr.nvar_ref(0));
+  const Ref f = mgr.apply_and(x, y);
+  const Ref flipped = mgr.flip_var(f, 1);  // x & !y
+  EXPECT_EQ(flipped, mgr.apply_and(x, mgr.nvar_ref(1)));
+  // Double flip is identity.
+  EXPECT_EQ(mgr.flip_var(flipped, 1), f);
+}
+
+TEST(Bdd, QuantificationXorParity) {
+  Bdd mgr(3);
+  Ref parity = Bdd::kFalse;
+  for (unsigned v = 0; v < 3; ++v) parity = mgr.apply_xor(parity, mgr.var_ref(v));
+  // exists x . parity == true; forall x . parity == false.
+  EXPECT_EQ(mgr.exists(parity, 0), Bdd::kTrue);
+  EXPECT_EQ(mgr.forall(parity, 0), Bdd::kFalse);
+}
+
+TEST(Bdd, SatFractionBasics) {
+  Bdd mgr(3);
+  const Ref x = mgr.var_ref(0);
+  const Ref y = mgr.var_ref(1);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(Bdd::kFalse), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(Bdd::kTrue), 1.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(x), 0.5);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(mgr.apply_and(x, y)), 0.25);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(mgr.apply_or(x, y)), 0.75);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.apply_and(x, y)), 2.0);  // 2 of 8
+}
+
+TEST(Bdd, ProbabilityWeightsInputs) {
+  Bdd mgr(2);
+  const Ref f = mgr.apply_and(mgr.var_ref(0), mgr.var_ref(1));
+  const std::vector<double> p{0.9, 0.1};
+  EXPECT_NEAR(mgr.probability(f, p), 0.09, 1e-12);
+  const Ref g = mgr.apply_or(mgr.var_ref(0), mgr.var_ref(1));
+  EXPECT_NEAR(mgr.probability(g, p), 1 - 0.1 * 0.9, 1e-12);
+  const std::vector<double> wrong_size{0.5};
+  EXPECT_THROW((void)mgr.probability(f, wrong_size), std::invalid_argument);
+}
+
+TEST(Bdd, MajOperator) {
+  Bdd mgr(3);
+  const Ref m = mgr.apply_maj(mgr.var_ref(0), mgr.var_ref(1), mgr.var_ref(2));
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(m), 0.5);  // 4 of 8 assignments
+  // maj(x,x,y) == x.
+  EXPECT_EQ(mgr.apply_maj(mgr.var_ref(0), mgr.var_ref(0), mgr.var_ref(2)),
+            mgr.var_ref(0));
+}
+
+TEST(Bdd, NodeCountOfParityIsLinear) {
+  const unsigned n = 16;
+  Bdd mgr(n);
+  Ref parity = Bdd::kFalse;
+  for (unsigned v = 0; v < n; ++v) parity = mgr.apply_xor(parity, mgr.var_ref(v));
+  // Parity OBDD: 2 nodes per level except the first, plus 2 terminals.
+  EXPECT_EQ(mgr.node_count(parity), 2 * n - 1 + 2);
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  Bdd mgr(20, /*node_limit=*/16);
+  Ref acc = Bdd::kFalse;
+  EXPECT_THROW(
+      {
+        for (unsigned v = 0; v < 20; ++v) {
+          acc = mgr.apply_xor(acc, mgr.var_ref(v));
+        }
+      },
+      BddLimitExceeded);
+}
+
+TEST(Bdd, VarOutOfRangeThrows) {
+  Bdd mgr(2);
+  EXPECT_THROW((void)mgr.var_ref(2), std::invalid_argument);
+  EXPECT_THROW((void)mgr.cofactor(Bdd::kTrue, 5, true), std::invalid_argument);
+  EXPECT_THROW((void)mgr.var_of(Bdd::kTrue), std::invalid_argument);
+}
+
+TEST(Bdd, SharedSubgraphsReduceCount) {
+  Bdd mgr(4);
+  const Ref x0 = mgr.var_ref(0);
+  const Ref x1 = mgr.var_ref(1);
+  const Ref common = mgr.apply_and(mgr.var_ref(2), mgr.var_ref(3));
+  const Ref f = mgr.ite(x0, common, mgr.ite(x1, common, Bdd::kFalse));
+  // The 'common' subgraph appears once in the DAG.
+  EXPECT_LE(mgr.node_count(f), 7u);
+}
+
+}  // namespace
+}  // namespace enb::bdd

@@ -1,0 +1,79 @@
+#include "core/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace enb::core {
+namespace {
+
+TEST(Channel, XiEpsilonRoundTrip) {
+  for (double eps : {0.0, 0.1, 0.25, 0.5}) {
+    EXPECT_NEAR(epsilon_of_xi(xi_of_epsilon(eps)), eps, 1e-15);
+  }
+  EXPECT_DOUBLE_EQ(xi_of_epsilon(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(xi_of_epsilon(0.5), 0.0);
+}
+
+TEST(Channel, ComposeMatchesXiProduct) {
+  const double e1 = 0.1;
+  const double e2 = 0.2;
+  const double composed = compose_epsilon(e1, e2);
+  EXPECT_NEAR(xi_of_epsilon(composed),
+              xi_of_epsilon(e1) * xi_of_epsilon(e2), 1e-15);
+}
+
+TEST(Channel, ComposeIdentityAndAbsorbing) {
+  EXPECT_DOUBLE_EQ(compose_epsilon(0.0, 0.3), 0.3);   // clean channel
+  EXPECT_DOUBLE_EQ(compose_epsilon(0.5, 0.3), 0.5);   // total scrambler
+  EXPECT_DOUBLE_EQ(compose_epsilon(0.5, 0.5), 0.5);
+}
+
+TEST(Channel, ComposeNPowers) {
+  const double eps = 0.05;
+  EXPECT_DOUBLE_EQ(compose_epsilon_n(eps, 0), 0.0);
+  EXPECT_DOUBLE_EQ(compose_epsilon_n(eps, 1), eps);
+  EXPECT_NEAR(compose_epsilon_n(eps, 2), compose_epsilon(eps, eps), 1e-15);
+  EXPECT_NEAR(compose_epsilon_n(eps, 5),
+              (1.0 - std::pow(0.9, 5)) / 2.0, 1e-15);
+}
+
+TEST(Channel, ComposeMonotoneInCount) {
+  double prev = 0.0;
+  for (int k = 1; k <= 20; ++k) {
+    const double current = compose_epsilon_n(0.02, k);
+    EXPECT_GT(current, prev);
+    EXPECT_LT(current, 0.5);
+    prev = current;
+  }
+}
+
+TEST(Channel, TransformProbability) {
+  const SymmetricChannel clean(0.0);
+  EXPECT_DOUBLE_EQ(clean.transform_probability(0.3), 0.3);
+  const SymmetricChannel scrambler(0.5);
+  EXPECT_DOUBLE_EQ(scrambler.transform_probability(0.9), 0.5);
+  const SymmetricChannel ch(0.1);
+  EXPECT_NEAR(ch.transform_probability(1.0), 0.9, 1e-15);
+  EXPECT_NEAR(ch.transform_probability(0.0), 0.1, 1e-15);
+}
+
+TEST(Channel, ThenComposes) {
+  const SymmetricChannel a(0.1);
+  const SymmetricChannel b(0.2);
+  EXPECT_NEAR(a.then(b).epsilon, compose_epsilon(0.1, 0.2), 1e-15);
+}
+
+TEST(Channel, Validation) {
+  EXPECT_THROW((void)SymmetricChannel(-0.01), std::invalid_argument);
+  EXPECT_THROW((void)SymmetricChannel(0.51), std::invalid_argument);
+  EXPECT_THROW((void)check_delta(0.5), std::invalid_argument);
+  EXPECT_THROW((void)check_delta(-0.1), std::invalid_argument);
+  EXPECT_NO_THROW((void)check_delta(0.0));
+  EXPECT_THROW((void)compose_epsilon_n(0.1, -1), std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW((void)check_epsilon(nan), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

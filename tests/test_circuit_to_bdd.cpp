@@ -1,0 +1,105 @@
+#include "bdd/circuit_to_bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "sim/exhaustive.hpp"
+
+namespace enb::bdd {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+TEST(CircuitToBdd, GateTypesMatchSemantics) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kAnd, a, b));
+  c.add_output(c.add_gate(GateType::kNand, a, b));
+  c.add_output(c.add_gate(GateType::kOr, a, b));
+  c.add_output(c.add_gate(GateType::kNor, a, b));
+  c.add_output(c.add_gate(GateType::kXor, a, b));
+  c.add_output(c.add_gate(GateType::kXnor, a, b));
+  c.add_output(c.add_gate(GateType::kNot, a));
+  c.add_output(c.add_gate(GateType::kBuf, b));
+
+  Bdd mgr(2);
+  const auto outs = build_output_bdds(mgr, c);
+  const Ref x = mgr.var_ref(0);
+  const Ref y = mgr.var_ref(1);
+  EXPECT_EQ(outs[0], mgr.apply_and(x, y));
+  EXPECT_EQ(outs[1], mgr.apply_not(mgr.apply_and(x, y)));
+  EXPECT_EQ(outs[2], mgr.apply_or(x, y));
+  EXPECT_EQ(outs[3], mgr.apply_not(mgr.apply_or(x, y)));
+  EXPECT_EQ(outs[4], mgr.apply_xor(x, y));
+  EXPECT_EQ(outs[5], mgr.apply_not(mgr.apply_xor(x, y)));
+  EXPECT_EQ(outs[6], mgr.apply_not(x));
+  EXPECT_EQ(outs[7], y);
+}
+
+TEST(CircuitToBdd, ConstantsAndMaj) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  const NodeId k1 = c.add_const(true);
+  c.add_output(c.add_gate(GateType::kMaj, a, b, d));
+  c.add_output(c.add_gate(GateType::kAnd, a, k1));
+
+  Bdd mgr(3);
+  const auto outs = build_output_bdds(mgr, c);
+  EXPECT_EQ(outs[0],
+            mgr.apply_maj(mgr.var_ref(0), mgr.var_ref(1), mgr.var_ref(2)));
+  EXPECT_EQ(outs[1], mgr.var_ref(0));
+}
+
+TEST(CircuitToBdd, WideGatesFold) {
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(c.add_input());
+  c.add_output(c.add_gate(GateType::kXor, ins));
+  Bdd mgr(5);
+  const auto outs = build_output_bdds(mgr, c);
+  EXPECT_DOUBLE_EQ(mgr.sat_fraction(outs[0]), 0.5);
+}
+
+TEST(CircuitToBdd, ManagerTooSmallThrows) {
+  Circuit c;
+  c.add_input();
+  c.add_input();
+  c.add_output(c.inputs()[0]);
+  Bdd mgr(1);
+  EXPECT_THROW((void)build_node_bdds(mgr, c), std::invalid_argument);
+}
+
+TEST(CircuitToBdd, C17SatCounts) {
+  const Circuit c17 = netlist::read_bench_string(R"(
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)");
+  Bdd mgr(5);
+  const auto outs = build_output_bdds(mgr, c17);
+  // Cross-check satisfying-assignment fractions against exhaustive sim.
+  const auto tables = sim::truth_tables(c17);
+  for (std::size_t o = 0; o < outs.size(); ++o) {
+    std::int64_t ones = 0;
+    for (sim::Word w : tables[o]) ones += sim::popcount(w);
+    EXPECT_NEAR(mgr.sat_fraction(outs[o]), ones / 32.0, 1e-12) << "output " << o;
+  }
+}
+
+}  // namespace
+}  // namespace enb::bdd

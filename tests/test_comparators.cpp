@@ -1,0 +1,69 @@
+#include "gen/comparators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/logic_sim.hpp"
+
+namespace enb::gen {
+namespace {
+
+using netlist::Circuit;
+
+std::vector<bool> run_cmp(const Circuit& c, int bits, std::uint64_t a,
+                          std::uint64_t b) {
+  std::vector<bool> in;
+  for (int i = 0; i < bits; ++i) in.push_back(((a >> i) & 1U) != 0);
+  for (int i = 0; i < bits; ++i) in.push_back(((b >> i) & 1U) != 0);
+  return sim::eval_single(c, in);
+}
+
+TEST(EqualityComparator, FourBitExhaustive) {
+  const Circuit c = equality_comparator(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(run_cmp(c, 4, a, b)[0], a == b) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(MagnitudeComparator, FourBitExhaustive) {
+  const Circuit c = magnitude_comparator(4);
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      const auto out = run_cmp(c, 4, a, b);  // {lt, eq, gt}
+      EXPECT_EQ(out[0], a < b) << a << " vs " << b;
+      EXPECT_EQ(out[1], a == b) << a << " vs " << b;
+      EXPECT_EQ(out[2], a > b) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(MagnitudeComparator, ExactlyOneFlagSet) {
+  const Circuit c = magnitude_comparator(5);
+  for (std::uint64_t a : {0ULL, 7ULL, 19ULL, 31ULL}) {
+    for (std::uint64_t b : {0ULL, 8ULL, 19ULL, 30ULL}) {
+      const auto out = run_cmp(c, 5, a, b);
+      EXPECT_EQ(int(out[0]) + int(out[1]) + int(out[2]), 1);
+    }
+  }
+}
+
+TEST(MagnitudeComparator, MsbDominates) {
+  const Circuit c = magnitude_comparator(8);
+  const auto out = run_cmp(c, 8, 0x80, 0x7F);
+  EXPECT_TRUE(out[2]);  // 128 > 127 despite all-ones low bits
+}
+
+TEST(Comparators, WidthOne) {
+  const Circuit eq = equality_comparator(1);
+  EXPECT_TRUE(run_cmp(eq, 1, 0, 0)[0]);
+  EXPECT_FALSE(run_cmp(eq, 1, 0, 1)[0]);
+}
+
+TEST(Comparators, RejectBadArgs) {
+  EXPECT_THROW((void)equality_comparator(0), std::invalid_argument);
+  EXPECT_THROW((void)magnitude_comparator(-2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::gen

@@ -1,0 +1,69 @@
+#include "report/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace enb::report {
+namespace {
+
+TEST(Csv, BasicRows) {
+  std::ostringstream out;
+  write_csv(out, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  write_csv_row(out, {"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, RowWidthChecked) {
+  std::ostringstream out;
+  EXPECT_THROW(write_csv(out, {"a", "b"}, {{"only"}}), std::invalid_argument);
+}
+
+TEST(Csv, SeriesLayout) {
+  Series s1("f2", {0.1, 0.2}, {1.0, 2.0});
+  Series s2("f3", {0.1, 0.2}, {3.0, 4.0});
+  std::ostringstream out;
+  write_series_csv(out, "eps", {s1, s2});
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "eps,f2,f3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.1,1,3");
+}
+
+TEST(Csv, SeriesLengthMismatchRejected) {
+  Series s1("a", {0.1}, {1.0});
+  Series s2("b", {0.1, 0.2}, {1.0, 2.0});
+  std::ostringstream out;
+  EXPECT_THROW(write_series_csv(out, "x", {s1, s2}), std::invalid_argument);
+  EXPECT_THROW(write_series_csv(out, "x", {}), std::invalid_argument);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string dir = ::testing::TempDir() + "/enb_csv_test";
+  const std::string path = dir + "/nested/out.csv";
+  write_csv_file(path, {"h"}, {{"v"}});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EnsureDirectory) {
+  const std::string dir = ::testing::TempDir() + "/enb_csv_dir/a/b";
+  EXPECT_TRUE(ensure_directory(dir));
+  EXPECT_TRUE(ensure_directory(dir));  // idempotent
+}
+
+}  // namespace
+}  // namespace enb::report

@@ -1,0 +1,134 @@
+#include "synth/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/adders.hpp"
+#include "netlist/stats.hpp"
+#include "sim/exhaustive.hpp"
+
+namespace enb::synth {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit wide_gate(GateType type, int width) {
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < width; ++i) ins.push_back(c.add_input());
+  c.add_output(c.add_gate(type, ins));
+  return c;
+}
+
+class ReduceFaninTest
+    : public ::testing::TestWithParam<std::tuple<GateType, int, int>> {};
+
+TEST_P(ReduceFaninTest, PreservesFunctionAndRespectsBound) {
+  const auto [type, width, k] = GetParam();
+  const Circuit original = wide_gate(type, width);
+  const Circuit reduced = reduce_fanin(original, k);
+  EXPECT_TRUE(sim::exhaustive_equivalent(original, reduced))
+      << to_string(type) << " width=" << width << " k=" << k;
+  EXPECT_LE(netlist::compute_stats(reduced).max_fanin, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WideGates, ReduceFaninTest,
+    ::testing::Combine(::testing::Values(GateType::kAnd, GateType::kNand,
+                                         GateType::kOr, GateType::kNor,
+                                         GateType::kXor, GateType::kXnor),
+                       ::testing::Values(4, 7, 9),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(ReduceFanin, MajWithTwoInputTarget) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  c.add_output(c.add_gate(GateType::kMaj, a, b, d));
+  const Circuit reduced = reduce_fanin(c, 2);
+  EXPECT_TRUE(sim::exhaustive_equivalent(c, reduced));
+  EXPECT_LE(netlist::compute_stats(reduced).max_fanin, 2);
+}
+
+TEST(ReduceFanin, MajWithThreeInputTargetUnchanged) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  c.add_output(c.add_gate(GateType::kMaj, a, b, d));
+  const Circuit reduced = reduce_fanin(c, 3);
+  EXPECT_EQ(reduced.gate_count(), 1u);
+}
+
+TEST(ReduceFanin, DepthGrowsLogarithmically) {
+  const Circuit wide = wide_gate(GateType::kAnd, 16);
+  const Circuit reduced = reduce_fanin(wide, 2);
+  // Balanced binary tree over 16 operands: depth 4.
+  EXPECT_EQ(netlist::compute_stats(reduced).depth, 4);
+}
+
+TEST(ReduceFanin, RealisticCircuit) {
+  const Circuit cla = gen::carry_lookahead_adder(8);
+  EXPECT_GT(netlist::compute_stats(cla).max_fanin, 3);
+  const Circuit reduced = reduce_fanin(cla, 3);
+  EXPECT_LE(netlist::compute_stats(reduced).max_fanin, 3);
+  EXPECT_TRUE(sim::exhaustive_equivalent(cla, reduced));
+}
+
+TEST(ReduceFanin, RejectsBadTarget) {
+  EXPECT_THROW((void)reduce_fanin(wide_gate(GateType::kAnd, 4), 1),
+               std::invalid_argument);
+}
+
+TEST(ConvertToBasis, NandNotXor) {
+  const Circuit x = wide_gate(GateType::kXor, 2);
+  const Circuit converted = convert_to_basis(x, Library::nand_not(2));
+  EXPECT_TRUE(sim::exhaustive_equivalent(x, converted));
+  const auto stats = netlist::compute_stats(converted);
+  EXPECT_EQ(stats.gate_histogram.count(GateType::kXor), 0u);
+  EXPECT_EQ(stats.gate_histogram.at(GateType::kNand), 4u);
+}
+
+TEST(ConvertToBasis, AndOrNotXnor) {
+  const Circuit x = wide_gate(GateType::kXnor, 3);
+  const Circuit converted = convert_to_basis(x, Library::and_or_not(3));
+  EXPECT_TRUE(sim::exhaustive_equivalent(x, converted));
+  const auto stats = netlist::compute_stats(converted);
+  EXPECT_EQ(stats.gate_histogram.count(GateType::kXor), 0u);
+  EXPECT_EQ(stats.gate_histogram.count(GateType::kXnor), 0u);
+  EXPECT_EQ(stats.gate_histogram.count(GateType::kNand), 0u);
+}
+
+TEST(ConvertToBasis, MajIntoNand) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  c.add_output(c.add_gate(GateType::kMaj, a, b, d));
+  const Circuit converted = convert_to_basis(c, Library::nand_not(2));
+  EXPECT_TRUE(sim::exhaustive_equivalent(c, converted));
+  EXPECT_EQ(netlist::compute_stats(converted).gate_histogram.count(GateType::kMaj), 0u);
+}
+
+TEST(ConvertToBasis, AllowedTypesPassThrough) {
+  const Circuit a = wide_gate(GateType::kAnd, 3);
+  const Circuit converted = convert_to_basis(a, Library::generic(3));
+  EXPECT_EQ(converted.gate_count(), a.gate_count());
+}
+
+TEST(ConvertToBasis, FullAdderToNand) {
+  const Circuit fa = gen::ripple_carry_adder(2);
+  const Circuit converted = convert_to_basis(fa, Library::nand_not(2));
+  EXPECT_TRUE(sim::exhaustive_equivalent(fa, converted));
+  const auto stats = netlist::compute_stats(converted);
+  for (const auto& [type, count] : stats.gate_histogram) {
+    EXPECT_TRUE(type == GateType::kNand || type == GateType::kNot ||
+                type == GateType::kBuf)
+        << to_string(type);
+  }
+}
+
+}  // namespace
+}  // namespace enb::synth

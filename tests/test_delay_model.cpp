@@ -1,0 +1,104 @@
+#include "core/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace enb::core {
+namespace {
+
+TEST(DelayModel, DelayShapeDecreasesWithSupply) {
+  const TechnologyParams tech;
+  EXPECT_GT(gate_delay_shape(0.6, tech), gate_delay_shape(1.2, tech));
+  EXPECT_GT(gate_delay_shape(1.2, tech), gate_delay_shape(2.0, tech));
+}
+
+TEST(DelayModel, ScalesAreUnityAtNominal) {
+  const TechnologyParams tech;
+  EXPECT_DOUBLE_EQ(delay_scale(tech.vdd, tech), 1.0);
+  EXPECT_DOUBLE_EQ(energy_scale(tech.vdd, tech), 1.0);
+}
+
+TEST(DelayModel, EnergyQuadraticInSupply) {
+  const TechnologyParams tech;
+  EXPECT_NEAR(energy_scale(0.6, tech), 0.25, 1e-12);
+  EXPECT_NEAR(energy_scale(2.4, tech), 4.0, 1e-12);
+}
+
+TEST(DelayModel, IsoEnergySupply) {
+  const TechnologyParams tech;
+  // Energy factor 1.44 -> V' = 1.2/1.2 = 1.0 V.
+  EXPECT_NEAR(iso_energy_vdd(1.44, tech), 1.0, 1e-9);
+  // Energy factor 1 -> nominal.
+  EXPECT_NEAR(iso_energy_vdd(1.0, tech), tech.vdd, 1e-12);
+}
+
+TEST(DelayModel, IsoEnergyFailsBelowThreshold) {
+  const TechnologyParams tech;  // vdd=1.2, vt=0.3 -> max factor (1.2/0.3)^2=16
+  EXPECT_THROW((void)iso_energy_vdd(17.0, tech), std::invalid_argument);
+  EXPECT_THROW((void)iso_energy_vdd(0.5, tech), std::invalid_argument);
+}
+
+TEST(DelayModel, IsoDelaySupplySolvesEquation) {
+  const TechnologyParams tech;
+  const double factor = 1.5;
+  const double vdd = iso_delay_vdd(factor, tech);
+  EXPECT_GT(vdd, tech.vdd);
+  EXPECT_NEAR(factor * delay_scale(vdd, tech), 1.0, 1e-6);
+}
+
+TEST(DelayModel, IsoDelayFailsWhenUncompensatable) {
+  TechnologyParams tech;
+  tech.max_vdd = 1.3;  // barely any headroom
+  EXPECT_THROW((void)iso_delay_vdd(10.0, tech), std::invalid_argument);
+}
+
+TEST(DelayModel, ApplyIsoEnergyMeetsBudget) {
+  const TechnologyParams tech;
+  const ScalingOutcome out = apply_iso_energy(1.44, 1.2, tech);
+  EXPECT_NEAR(out.energy_factor, 1.0, 1e-9);
+  // Lower supply slows the circuit further.
+  EXPECT_GT(out.delay_factor, 1.2);
+}
+
+TEST(DelayModel, ApplyIsoDelayMeetsDeadline) {
+  const TechnologyParams tech;
+  const ScalingOutcome out = apply_iso_delay(1.44, 1.2, tech);
+  EXPECT_NEAR(out.delay_factor, 1.0, 1e-6);
+  // Higher supply costs more energy than the raw factor.
+  EXPECT_GT(out.energy_factor, 1.44);
+}
+
+TEST(DelayModel, TradeoffDirectionsAreOpposite) {
+  // Section 5.2's qualitative claim: iso-energy inflates delay, iso-delay
+  // inflates energy; both strictly worse than the raw (uncompensated) point
+  // in the other dimension.
+  const TechnologyParams tech;
+  const double raw_e = 1.3;
+  const double raw_d = 1.15;
+  const ScalingOutcome iso_e = apply_iso_energy(raw_e, raw_d, tech);
+  const ScalingOutcome iso_d = apply_iso_delay(raw_e, raw_d, tech);
+  EXPECT_GT(iso_e.delay_factor, raw_d);
+  EXPECT_GT(iso_d.energy_factor, raw_e);
+}
+
+TEST(DelayModel, AlphaTwoLongChannel) {
+  TechnologyParams tech;
+  tech.alpha = 2.0;
+  // Same qualitative behaviour under the square law.
+  EXPECT_GT(delay_scale(0.8, tech), 1.0);
+  EXPECT_LT(delay_scale(2.0, tech), 1.0);
+  const double vdd = iso_delay_vdd(1.3, tech);
+  EXPECT_NEAR(1.3 * delay_scale(vdd, tech), 1.0, 1e-6);
+}
+
+TEST(DelayModel, ValidatesTechnology) {
+  TechnologyParams bad;
+  bad.vt = 1.5;  // above vdd
+  EXPECT_THROW((void)gate_delay_shape(1.2, bad), std::invalid_argument);
+  TechnologyParams low;
+  EXPECT_THROW((void)gate_delay_shape(0.2, low), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

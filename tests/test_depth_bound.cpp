@@ -1,0 +1,128 @@
+#include "core/depth_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace enb::core {
+namespace {
+
+TEST(DepthBound, DeltaCapacityShape) {
+  // Delta(0) = 1; Delta(1/2-) -> 0; strictly decreasing.
+  EXPECT_DOUBLE_EQ(delta_capacity(0.0), 1.0);
+  EXPECT_NEAR(delta_capacity(0.01), 0.9192, 5e-4);  // 1 - H(0.01)
+  EXPECT_NEAR(delta_capacity(0.11), 1 - 0.4999, 0.01);
+  double prev = 1.0;
+  for (double d : {0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.49}) {
+    const double cap = delta_capacity(d);
+    EXPECT_LT(cap, prev);
+    EXPECT_GT(cap, 0.0);
+    prev = cap;
+  }
+}
+
+TEST(DepthBound, FeasibilityThresholds) {
+  // xi^2 > 1/k boundary: eps* = (1 - k^{-1/2})/2.
+  EXPECT_NEAR(max_feasible_epsilon(2), 0.14645, 1e-4);
+  EXPECT_NEAR(max_feasible_epsilon(3), 0.21132, 1e-4);
+  EXPECT_NEAR(max_feasible_epsilon(4), 0.25, 1e-12);
+  EXPECT_TRUE(depth_feasible(0.14, 2));
+  EXPECT_FALSE(depth_feasible(0.15, 2));
+  EXPECT_TRUE(depth_feasible(0.2, 3));
+  EXPECT_FALSE(depth_feasible(0.25, 4));  // strict inequality
+}
+
+TEST(DepthBound, InfeasibleRegimeInputLimit) {
+  // n <= 1/Delta when xi^2 <= 1/k.
+  EXPECT_NEAR(max_inputs_infeasible(0.01), 1.0 / 0.9192, 5e-3);
+  EXPECT_GT(max_inputs_infeasible(0.49), 1000.0);
+}
+
+TEST(DepthBound, PaperParametersAtLowNoise) {
+  // n=10, delta=0.01, k=2, eps=0.01: log2(10*0.9192)/log2(2*0.9604) ≈ 3.40.
+  const double d = depth_lower_bound(10, 2, 0.01, 0.01);
+  EXPECT_NEAR(d, std::log2(10 * delta_capacity(0.01)) /
+                     std::log2(2 * 0.98 * 0.98),
+              1e-12);
+  EXPECT_NEAR(d, 3.40, 0.02);
+}
+
+TEST(DepthBound, NoiselessLimitIsLogK) {
+  // eps=0: bound = log2(n*Delta)/log2(k) — the fanin-limited depth.
+  const double d = depth_lower_bound(16, 2, 0.0, 0.0);
+  EXPECT_NEAR(d, 4.0, 1e-12);
+}
+
+TEST(DepthBound, MonotoneInEpsilon) {
+  double prev = 0.0;
+  for (double eps : {0.0, 0.01, 0.05, 0.1, 0.14}) {
+    const double d = depth_lower_bound(10, 2, eps, 0.01);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DepthBound, VacuousForTinyFunctions) {
+  // n*Delta <= 1 -> bound 0 (a single input needs no depth).
+  EXPECT_DOUBLE_EQ(depth_lower_bound(1, 2, 0.01, 0.01), 0.0);
+}
+
+TEST(DepthBound, ThrowsInInfeasibleRegime) {
+  EXPECT_THROW((void)depth_lower_bound(10, 2, 0.2, 0.01),
+               std::invalid_argument);
+}
+
+TEST(DelayFactor, DependsOnlyOnFanin) {
+  // The normalized factor log k / log(k xi^2): n and delta absent.
+  const double f = delay_factor_lower_bound(2, 0.01);
+  EXPECT_NEAR(f, std::log2(2.0) / std::log2(2 * 0.98 * 0.98), 1e-12);
+  EXPECT_NEAR(f, 1.0622, 5e-4);
+}
+
+TEST(DelayFactor, UnityAtZeroNoise) {
+  for (double k : {2.0, 2.5, 3.0, 4.0}) {
+    EXPECT_DOUBLE_EQ(delay_factor_lower_bound(k, 0.0), 1.0);
+  }
+}
+
+TEST(DelayFactor, DivergesAtFeasibilityEdge) {
+  const double near_edge = max_feasible_epsilon(2) - 1e-4;
+  EXPECT_GT(delay_factor_lower_bound(2, near_edge), 100.0);
+  EXPECT_TRUE(std::isinf(delay_factor_lower_bound(2, 0.15)));
+}
+
+TEST(DelayFactor, LargerFaninToleratesMoreNoise) {
+  // At eps=0.2, k=2 is infeasible but k=3 and 4 are not.
+  EXPECT_TRUE(std::isinf(delay_factor_lower_bound(2, 0.2)));
+  EXPECT_TRUE(std::isfinite(delay_factor_lower_bound(3, 0.2)));
+  EXPECT_LT(delay_factor_lower_bound(4, 0.2),
+            delay_factor_lower_bound(3, 0.2));
+}
+
+class DelayFactorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelayFactorSweep, MonotoneInEpsilonWithinFeasible) {
+  const double k = GetParam();
+  double prev = 1.0;
+  const double edge = max_feasible_epsilon(k);
+  for (int i = 1; i <= 10; ++i) {
+    const double eps = edge * i / 11.0;
+    const double f = delay_factor_lower_bound(k, eps);
+    EXPECT_GE(f, prev) << "k=" << k << " eps=" << eps;
+    prev = f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanins, DelayFactorSweep,
+                         ::testing::Values(2.0, 2.5, 3.0, 4.0, 6.0));
+
+TEST(DepthBound, DomainChecks) {
+  EXPECT_THROW((void)depth_feasible(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)depth_lower_bound(0, 2, 0.01, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)delta_capacity(0.5), std::invalid_argument);
+  EXPECT_THROW((void)max_feasible_epsilon(0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

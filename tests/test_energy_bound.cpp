@@ -1,0 +1,110 @@
+#include "core/energy_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/activity_model.hpp"
+#include "core/size_bound.hpp"
+
+namespace enb::core {
+namespace {
+
+TEST(EnergyBound, Corollary2Composition) {
+  // switching factor == size factor * activity factor.
+  const double s = 10, S0 = 21, sw0 = 0.3, k = 2, eps = 0.01, delta = 0.01;
+  const double expected = size_factor_lower_bound(s, S0, k, eps, delta) *
+                          activity_ratio(sw0, eps);
+  EXPECT_NEAR(switching_energy_factor(s, S0, sw0, k, eps, delta), expected,
+              1e-12);
+}
+
+TEST(EnergyBound, CleanChannelIsUnity) {
+  EXPECT_DOUBLE_EQ(switching_energy_factor(10, 21, 0.3, 2, 0.0, 0.01), 1.0);
+}
+
+TEST(EnergyBound, QuietCircuitsPayMore) {
+  // Lower sw0 -> larger activity blow-up (the 2e(1-e)/sw0 term).
+  const double busy = switching_energy_factor(10, 21, 0.5, 2, 0.01, 0.01);
+  const double quiet = switching_energy_factor(10, 21, 0.05, 2, 0.01, 0.01);
+  EXPECT_GT(quiet, busy);
+}
+
+TEST(EnergyBound, TotalSplitsByLambda) {
+  const double s = 10, S0 = 21, sw0 = 0.3, k = 2, eps = 0.05, delta = 0.01;
+  EnergyModelOptions options;
+  options.leakage_fraction = 0.5;
+  const EnergyBreakdown b =
+      total_energy_factor(s, S0, sw0, k, eps, delta, options);
+  EXPECT_NEAR(b.total_factor,
+              0.5 * b.switching_factor + 0.5 * b.leakage_factor, 1e-12);
+  EXPECT_NEAR(b.switching_factor, b.size_factor * b.activity_factor, 1e-12);
+  EXPECT_NEAR(b.leakage_factor, b.size_factor * b.idle_factor, 1e-12);
+}
+
+TEST(EnergyBound, PureSwitchingWhenLambdaZero) {
+  EnergyModelOptions options;
+  options.leakage_fraction = 0.0;
+  const EnergyBreakdown b =
+      total_energy_factor(10, 21, 0.3, 2, 0.05, 0.01, options);
+  EXPECT_DOUBLE_EQ(b.total_factor, b.switching_factor);
+}
+
+TEST(EnergyBound, PureLeakageWhenLambdaOne) {
+  EnergyModelOptions options;
+  options.leakage_fraction = 1.0;
+  const EnergyBreakdown b =
+      total_energy_factor(10, 21, 0.3, 2, 0.05, 0.01, options);
+  EXPECT_DOUBLE_EQ(b.total_factor, b.leakage_factor);
+}
+
+TEST(EnergyBound, DelayCouplingInflatesLeakage) {
+  EnergyModelOptions coupled;
+  coupled.couple_leakage_to_delay = true;
+  EnergyModelOptions plain;
+  const double delay_factor = 1.5;
+  const EnergyBreakdown with_coupling = total_energy_factor(
+      10, 21, 0.3, 2, 0.05, 0.01, coupled, delay_factor);
+  const EnergyBreakdown without = total_energy_factor(
+      10, 21, 0.3, 2, 0.05, 0.01, plain, delay_factor);
+  EXPECT_NEAR(with_coupling.leakage_factor,
+              without.leakage_factor * delay_factor, 1e-12);
+  EXPECT_GT(with_coupling.total_factor, without.total_factor);
+}
+
+TEST(EnergyBound, AtFixedPointActivityOnlySizeMatters) {
+  // sw0 = 0.5: activity and idle factors are 1; total == size factor.
+  const EnergyBreakdown b = total_energy_factor(10, 21, 0.5, 2, 0.05, 0.01);
+  EXPECT_NEAR(b.activity_factor, 1.0, 1e-12);
+  EXPECT_NEAR(b.idle_factor, 1.0, 1e-12);
+  EXPECT_NEAR(b.total_factor, b.size_factor, 1e-12);
+}
+
+TEST(EnergyBound, HeadlineClaimShape) {
+  // Abstract: "99% error resilience ... at least 40% more energy if
+  // individual gates fail independently with probability of 1%".
+  // A high-sensitivity-to-size circuit (AND4 as a 3-gate tree: s=4, S0=3)
+  // crosses the 40% threshold at eps=0.01, delta=0.01.
+  const double factor = switching_energy_factor(4, 3, 0.3, 2, 0.01, 0.01);
+  EXPECT_GE(factor, 1.4);
+}
+
+TEST(EnergyBound, MonotoneInEpsilon) {
+  double prev = 1.0;
+  for (double eps : {0.001, 0.005, 0.01, 0.05, 0.1, 0.2}) {
+    const EnergyBreakdown b = total_energy_factor(10, 21, 0.3, 2, eps, 0.01);
+    EXPECT_GT(b.total_factor, prev) << "eps=" << eps;
+    prev = b.total_factor;
+  }
+}
+
+TEST(EnergyBound, DomainChecks) {
+  EnergyModelOptions options;
+  options.leakage_fraction = 1.5;
+  EXPECT_THROW((void)total_energy_factor(10, 21, 0.3, 2, 0.05, 0.01, options),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)total_energy_factor(10, 21, 0.3, 2, 0.05, 0.01, {}, 0.5),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

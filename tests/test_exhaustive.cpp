@@ -1,0 +1,126 @@
+#include "sim/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/bitpack.hpp"
+
+namespace enb::sim {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit parity(int n) {
+  Circuit c("parity");
+  NodeId acc = c.add_input();
+  for (int i = 1; i < n; ++i) {
+    acc = c.add_gate(GateType::kXor, acc, c.add_input());
+  }
+  c.add_output(acc);
+  return c;
+}
+
+TEST(Exhaustive, PatternsEnumerateAssignments) {
+  // Lane L of block B encodes assignment B*64+L; verify for n=8.
+  const int n = 8;
+  std::vector<Word> words;
+  for (std::uint64_t block : {std::uint64_t{0}, std::uint64_t{3}}) {
+    fill_exhaustive_block(n, block, words);
+    for (int lane = 0; lane < 64; ++lane) {
+      const std::uint64_t assignment = block * 64 + lane;
+      for (int i = 0; i < n; ++i) {
+        const bool expected = ((assignment >> i) & 1U) != 0;
+        const bool actual = ((words[i] >> lane) & 1U) != 0;
+        EXPECT_EQ(actual, expected)
+            << "block " << block << " lane " << lane << " input " << i;
+      }
+    }
+  }
+}
+
+TEST(Exhaustive, BlockCount) {
+  EXPECT_EQ(exhaustive_block_count(0), 1ULL);
+  EXPECT_EQ(exhaustive_block_count(5), 1ULL);
+  EXPECT_EQ(exhaustive_block_count(6), 1ULL);
+  EXPECT_EQ(exhaustive_block_count(7), 2ULL);
+  EXPECT_EQ(exhaustive_block_count(10), 16ULL);
+  EXPECT_THROW((void)exhaustive_block_count(27), std::invalid_argument);
+  EXPECT_THROW((void)exhaustive_block_count(-1), std::invalid_argument);
+}
+
+TEST(Exhaustive, ValidLanesForSmallN) {
+  int calls = 0;
+  for_each_exhaustive_block(
+      3, [&](std::uint64_t, std::span<const Word>, Word valid) {
+        ++calls;
+        EXPECT_EQ(valid, low_mask(8));
+      });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Exhaustive, ParityTruthTableHasBalancedOnes) {
+  for (int n : {3, 7, 10}) {
+    const auto tables = truth_tables(parity(n));
+    ASSERT_EQ(tables.size(), 1u);
+    std::int64_t ones = 0;
+    for (Word w : tables[0]) ones += popcount(w);
+    // Parity is balanced: exactly half the assignments are 1. For n < 6 the
+    // table is masked to the valid lanes.
+    EXPECT_EQ(ones, std::int64_t{1} << (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(Exhaustive, TruthTableMatchesDirectEval) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  c.add_output(c.add_gate(GateType::kMaj, a, b, d));
+  const auto tables = truth_tables(c);
+  // maj(a,b,d) for assignments 0..7: 0,0,0,1,0,1,1,1.
+  EXPECT_EQ(tables[0][0] & 0xFF, 0b11101000ULL);
+}
+
+TEST(Exhaustive, EquivalenceDetectsMatch) {
+  const Circuit p1 = parity(8);
+  // Build a different-shaped parity: balanced tree.
+  Circuit p2("tree");
+  std::vector<NodeId> layer;
+  for (int i = 0; i < 8; ++i) layer.push_back(p2.add_input());
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(p2.add_gate(GateType::kXor, layer[i], layer[i + 1]));
+    }
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = next;
+  }
+  p2.add_output(layer[0]);
+  EXPECT_TRUE(exhaustive_equivalent(p1, p2));
+}
+
+TEST(Exhaustive, EquivalenceDetectsMismatch) {
+  Circuit c1;
+  const NodeId a1 = c1.add_input();
+  const NodeId b1 = c1.add_input();
+  c1.add_output(c1.add_gate(GateType::kAnd, a1, b1));
+  Circuit c2;
+  const NodeId a2 = c2.add_input();
+  const NodeId b2 = c2.add_input();
+  c2.add_output(c2.add_gate(GateType::kOr, a2, b2));
+  EXPECT_FALSE(exhaustive_equivalent(c1, c2));
+}
+
+TEST(Exhaustive, EquivalenceChecksInterface) {
+  Circuit c1;
+  c1.add_output(c1.add_input());
+  Circuit c2;
+  const NodeId a = c2.add_input();
+  c2.add_input();
+  c2.add_output(a);
+  EXPECT_FALSE(exhaustive_equivalent(c1, c2));
+}
+
+}  // namespace
+}  // namespace enb::sim

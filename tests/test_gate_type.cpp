@@ -1,0 +1,120 @@
+#include "netlist/gate_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace enb::netlist {
+namespace {
+
+TEST(GateType, ArityRanges) {
+  EXPECT_EQ(arity_range(GateType::kInput).max, 0);
+  EXPECT_EQ(arity_range(GateType::kConst0).max, 0);
+  EXPECT_EQ(arity_range(GateType::kBuf).min, 1);
+  EXPECT_EQ(arity_range(GateType::kBuf).max, 1);
+  EXPECT_EQ(arity_range(GateType::kNot).max, 1);
+  EXPECT_EQ(arity_range(GateType::kMaj).min, 3);
+  EXPECT_EQ(arity_range(GateType::kMaj).max, 3);
+  EXPECT_EQ(arity_range(GateType::kAnd).min, 1);
+  EXPECT_GT(arity_range(GateType::kAnd).max, 1000);
+}
+
+TEST(GateType, Classification) {
+  EXPECT_TRUE(is_input(GateType::kInput));
+  EXPECT_FALSE(is_input(GateType::kAnd));
+  EXPECT_TRUE(is_constant(GateType::kConst0));
+  EXPECT_TRUE(is_constant(GateType::kConst1));
+  EXPECT_FALSE(is_constant(GateType::kNot));
+  EXPECT_FALSE(counts_as_gate(GateType::kInput));
+  EXPECT_FALSE(counts_as_gate(GateType::kConst1));
+  EXPECT_TRUE(counts_as_gate(GateType::kBuf));
+  EXPECT_TRUE(counts_as_gate(GateType::kNand));
+}
+
+TEST(GateType, Commutativity) {
+  EXPECT_TRUE(is_commutative(GateType::kAnd));
+  EXPECT_TRUE(is_commutative(GateType::kXnor));
+  EXPECT_TRUE(is_commutative(GateType::kMaj));
+  EXPECT_FALSE(is_commutative(GateType::kBuf));
+  EXPECT_FALSE(is_commutative(GateType::kInput));
+}
+
+TEST(GateType, NameRoundTrip) {
+  const std::vector<GateType> all = {
+      GateType::kConst0, GateType::kConst1, GateType::kBuf,  GateType::kNot,
+      GateType::kAnd,    GateType::kNand,   GateType::kOr,   GateType::kNor,
+      GateType::kXor,    GateType::kXnor,   GateType::kMaj,  GateType::kInput};
+  for (GateType type : all) {
+    const auto parsed = gate_type_from_string(to_string(type));
+    ASSERT_TRUE(parsed.has_value()) << to_string(type);
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(GateType, NameAliases) {
+  EXPECT_EQ(gate_type_from_string("BUFF"), GateType::kBuf);
+  EXPECT_EQ(gate_type_from_string("buff"), GateType::kBuf);
+  EXPECT_EQ(gate_type_from_string("INV"), GateType::kNot);
+  EXPECT_EQ(gate_type_from_string("nand"), GateType::kNand);
+  EXPECT_EQ(gate_type_from_string("Maj3"), GateType::kMaj);
+  EXPECT_EQ(gate_type_from_string("VDD"), GateType::kConst1);
+  EXPECT_EQ(gate_type_from_string("GND"), GateType::kConst0);
+  EXPECT_FALSE(gate_type_from_string("DFF").has_value());
+  EXPECT_FALSE(gate_type_from_string("").has_value());
+}
+
+TEST(GateType, EvalWordBasics) {
+  const std::uint64_t a = 0b1100;
+  const std::uint64_t b = 0b1010;
+  using W = std::vector<std::uint64_t>;
+  EXPECT_EQ(eval_word(GateType::kAnd, W{a, b}), std::uint64_t{0b1000});
+  EXPECT_EQ(eval_word(GateType::kOr, W{a, b}), std::uint64_t{0b1110});
+  EXPECT_EQ(eval_word(GateType::kXor, W{a, b}), std::uint64_t{0b0110});
+  EXPECT_EQ(eval_word(GateType::kNand, W{a, b}) & 0xF, std::uint64_t{0b0111});
+  EXPECT_EQ(eval_word(GateType::kNor, W{a, b}) & 0xF, std::uint64_t{0b0001});
+  EXPECT_EQ(eval_word(GateType::kXnor, W{a, b}) & 0xF, std::uint64_t{0b1001});
+  EXPECT_EQ(eval_word(GateType::kBuf, W{a}), a);
+  EXPECT_EQ(eval_word(GateType::kNot, W{a}) & 0xF, std::uint64_t{0b0011});
+  EXPECT_EQ(eval_word(GateType::kConst0, {}), std::uint64_t{0});
+  EXPECT_EQ(eval_word(GateType::kConst1, {}), ~std::uint64_t{0});
+}
+
+TEST(GateType, EvalWordMajority) {
+  const std::uint64_t a = 0b11110000;
+  const std::uint64_t b = 0b11001100;
+  const std::uint64_t c = 0b10101010;
+  EXPECT_EQ(eval_word(GateType::kMaj, std::vector<std::uint64_t>{a, b, c}),
+            std::uint64_t{0b11101000});
+}
+
+TEST(GateType, EvalWordWideGates) {
+  const std::vector<std::uint64_t> inputs = {0xF, 0xF0F, 0xFFF};
+  EXPECT_EQ(eval_word(GateType::kAnd, inputs), std::uint64_t{0xF});
+  EXPECT_EQ(eval_word(GateType::kOr, inputs), std::uint64_t{0xFFF});
+  // Single-operand associative gates are identity (or its negation).
+  EXPECT_EQ(eval_word(GateType::kAnd, std::vector<std::uint64_t>{0xAB}),
+            std::uint64_t{0xAB});
+  EXPECT_EQ(eval_word(GateType::kXnor, std::vector<std::uint64_t>{0}), ~std::uint64_t{0});
+}
+
+TEST(GateType, EvalWordArityErrors) {
+  EXPECT_THROW((void)eval_word(GateType::kNot, std::vector<std::uint64_t>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)eval_word(GateType::kMaj, std::vector<std::uint64_t>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)eval_word(GateType::kAnd, {}), std::invalid_argument);
+  EXPECT_THROW((void)eval_word(GateType::kInput, {}), std::invalid_argument);
+}
+
+TEST(GateType, EvalBitMatchesEvalWord) {
+  using B = std::vector<bool>;
+  EXPECT_TRUE(eval_bit(GateType::kMaj, B{true, false, true}));
+  EXPECT_FALSE(eval_bit(GateType::kMaj, B{true, false, false}));
+  EXPECT_TRUE(eval_bit(GateType::kXor, B{true, false, false}));
+  EXPECT_FALSE(eval_bit(GateType::kXor, B{true, true, false, false}));
+  EXPECT_TRUE(eval_bit(GateType::kNand, B{true, false}));
+  EXPECT_FALSE(eval_bit(GateType::kAnd, B{true, false}));
+}
+
+}  // namespace
+}  // namespace enb::netlist

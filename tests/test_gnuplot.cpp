@@ -1,0 +1,56 @@
+#include "report/gnuplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace enb::report {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Gnuplot, WritesDatAndScript) {
+  const std::string dir = ::testing::TempDir() + "/enb_gnuplot";
+  Series s1("k2", {0.001, 0.01}, {1.1, 1.5});
+  Series s2("k3", {0.001, 0.01}, {1.05, 1.3});
+  GnuplotOptions options;
+  options.title = "fig3";
+  options.log_x = true;
+  write_gnuplot(dir, "fig3", {s1, s2}, options);
+
+  const std::string dat = slurp(dir + "/fig3.dat");
+  EXPECT_NE(dat.find("# x k2 k3"), std::string::npos);
+  EXPECT_NE(dat.find("0.001 1.1 1.05"), std::string::npos);
+
+  const std::string gp = slurp(dir + "/fig3.gp");
+  EXPECT_NE(gp.find("set logscale x"), std::string::npos);
+  EXPECT_NE(gp.find("set output 'fig3.png'"), std::string::npos);
+  EXPECT_NE(gp.find("using 1:2"), std::string::npos);
+  EXPECT_NE(gp.find("using 1:3"), std::string::npos);
+  EXPECT_NE(gp.find("title 'k2'"), std::string::npos);
+}
+
+TEST(Gnuplot, NoLogDirectivesByDefault) {
+  const std::string dir = ::testing::TempDir() + "/enb_gnuplot2";
+  Series s("y", {1.0}, {2.0});
+  write_gnuplot(dir, "plain", {s});
+  const std::string gp = slurp(dir + "/plain.gp");
+  EXPECT_EQ(gp.find("logscale"), std::string::npos);
+}
+
+TEST(Gnuplot, RejectsBadInput) {
+  const std::string dir = ::testing::TempDir() + "/enb_gnuplot3";
+  EXPECT_THROW(write_gnuplot(dir, "x", {}), std::invalid_argument);
+  Series a("a", {1.0}, {1.0});
+  Series b("b", {1.0, 2.0}, {1.0, 2.0});
+  EXPECT_THROW(write_gnuplot(dir, "x", {a, b}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::report

@@ -1,0 +1,90 @@
+#include "core/leakage_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/activity_model.hpp"
+
+namespace enb::core {
+namespace {
+
+TEST(LeakageModel, Theorem3ClosedForm) {
+  // ratio = ((1-2e)^2 + 2e(1-e)/(1-sw0)) / ((1-2e)^2 + 2e(1-e)/sw0).
+  const double eps = 0.1;
+  const double sw0 = 0.25;
+  const double xi2 = 0.8 * 0.8;
+  const double off = 2 * 0.1 * 0.9;
+  EXPECT_NEAR(leakage_ratio(sw0, eps),
+              (xi2 + off / 0.75) / (xi2 + off / 0.25), 1e-12);
+}
+
+TEST(LeakageModel, InvariantAtHalfActivity) {
+  // Figure 4: "the relative contribution stays the same if sw0 is exactly
+  // 0.5".
+  for (double eps : {0.001, 0.01, 0.1, 0.3, 0.49}) {
+    EXPECT_NEAR(leakage_ratio(0.5, eps), 1.0, 1e-12) << "eps=" << eps;
+  }
+}
+
+TEST(LeakageModel, DecreasesForQuietCircuits) {
+  // sw0 < 0.5: leakage share drops with noise (gates get busier).
+  for (double sw0 : {0.1, 0.25, 0.4}) {
+    double prev = 1.0;
+    for (double eps : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+      const double r = leakage_ratio(sw0, eps);
+      EXPECT_LT(r, prev) << "sw0=" << sw0 << " eps=" << eps;
+      prev = r;
+    }
+    EXPECT_LT(prev, 1.0);
+  }
+}
+
+TEST(LeakageModel, IncreasesForBusyCircuits) {
+  for (double sw0 : {0.6, 0.75, 0.9}) {
+    double prev = 1.0;
+    for (double eps : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+      const double r = leakage_ratio(sw0, eps);
+      EXPECT_GT(r, prev) << "sw0=" << sw0 << " eps=" << eps;
+      prev = r;
+    }
+  }
+}
+
+TEST(LeakageModel, CleanChannelIsUnity) {
+  for (double sw0 : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(leakage_ratio(sw0, 0.0), 1.0);
+  }
+}
+
+TEST(LeakageModel, SymmetrySwAroundHalf) {
+  // ratio(sw0, eps) * ratio(1-sw0, eps) == 1 (swapping busy/idle inverts).
+  for (double eps : {0.05, 0.2}) {
+    for (double sw0 : {0.1, 0.3, 0.45}) {
+      EXPECT_NEAR(leakage_ratio(sw0, eps) * leakage_ratio(1 - sw0, eps), 1.0,
+                  1e-12);
+    }
+  }
+}
+
+TEST(LeakageModel, ConsistentWithActivityModel) {
+  // ratio == (idle factor)/(activity factor) by construction.
+  const double eps = 0.07;
+  const double sw0 = 0.33;
+  EXPECT_NEAR(leakage_ratio(sw0, eps),
+              idle_ratio(sw0, eps) / activity_ratio(sw0, eps), 1e-12);
+}
+
+TEST(LeakageModel, AbsoluteFractionScales) {
+  EXPECT_NEAR(noisy_leakage_fraction(2.0, 0.25, 0.1),
+              2.0 * leakage_ratio(0.25, 0.1), 1e-12);
+  EXPECT_THROW((void)noisy_leakage_fraction(-1.0, 0.25, 0.1),
+               std::invalid_argument);
+}
+
+TEST(LeakageModel, DomainChecks) {
+  EXPECT_THROW((void)leakage_ratio(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)leakage_ratio(1.0, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)leakage_ratio(0.5, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

@@ -1,0 +1,68 @@
+#include "synth/library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace enb::synth {
+namespace {
+
+using netlist::GateType;
+
+TEST(Library, GenericAllowsStructuralTypes) {
+  const Library lib = Library::generic(3);
+  EXPECT_EQ(lib.max_fanin(), 3);
+  EXPECT_TRUE(lib.allows(GateType::kNand, 3));
+  EXPECT_TRUE(lib.allows(GateType::kXor, 2));
+  EXPECT_TRUE(lib.allows(GateType::kMaj, 3));
+  EXPECT_TRUE(lib.allows(GateType::kNot, 1));
+  EXPECT_FALSE(lib.allows(GateType::kAnd, 4));  // fanin above k
+}
+
+TEST(Library, GenericTwoInputHasNoMaj) {
+  const Library lib = Library::generic(2);
+  EXPECT_FALSE(lib.allows_type(GateType::kMaj));
+  EXPECT_TRUE(lib.allows(GateType::kXnor, 2));
+}
+
+TEST(Library, NandNotBasis) {
+  const Library lib = Library::nand_not(2);
+  EXPECT_TRUE(lib.allows(GateType::kNand, 2));
+  EXPECT_TRUE(lib.allows(GateType::kNot, 1));
+  EXPECT_TRUE(lib.allows(GateType::kBuf, 1));
+  EXPECT_FALSE(lib.allows_type(GateType::kAnd));
+  EXPECT_FALSE(lib.allows_type(GateType::kXor));
+  EXPECT_FALSE(lib.allows_type(GateType::kOr));
+}
+
+TEST(Library, AndOrNotBasis) {
+  const Library lib = Library::and_or_not(3);
+  EXPECT_TRUE(lib.allows_type(GateType::kAnd));
+  EXPECT_TRUE(lib.allows_type(GateType::kOr));
+  EXPECT_FALSE(lib.allows_type(GateType::kXor));
+  EXPECT_FALSE(lib.allows_type(GateType::kNand));
+}
+
+TEST(Library, InputsAndConstantsAlwaysAllowed) {
+  const Library lib = Library::nand_not(2);
+  EXPECT_TRUE(lib.allows(GateType::kInput, 0));
+  EXPECT_TRUE(lib.allows(GateType::kConst0, 0));
+  EXPECT_TRUE(lib.allows(GateType::kConst1, 0));
+}
+
+TEST(Library, ArityRangeInteractsWithAllows) {
+  const Library lib = Library::generic(4);
+  EXPECT_FALSE(lib.allows(GateType::kNot, 2));  // NOT is unary
+  EXPECT_FALSE(lib.allows(GateType::kMaj, 4));  // MAJ is exactly 3
+  EXPECT_TRUE(lib.allows(GateType::kOr, 4));
+}
+
+TEST(Library, RejectsTinyFanin) {
+  EXPECT_THROW((void)Library::generic(1), std::invalid_argument);
+}
+
+TEST(Library, NamesIdentifyConfiguration) {
+  EXPECT_EQ(Library::generic(3).name(), "generic3");
+  EXPECT_EQ(Library::nand_not(2).name(), "nand_not2");
+}
+
+}  // namespace
+}  // namespace enb::synth

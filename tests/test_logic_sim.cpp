@@ -1,0 +1,132 @@
+#include "sim/logic_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace enb::sim {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit full_adder() {
+  Circuit c("fa");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId cin = c.add_input("cin");
+  const NodeId axb = c.add_gate(GateType::kXor, a, b);
+  const NodeId sum = c.add_gate(GateType::kXor, axb, cin);
+  const NodeId ab = c.add_gate(GateType::kAnd, a, b);
+  const NodeId ct = c.add_gate(GateType::kAnd, cin, axb);
+  const NodeId cout = c.add_gate(GateType::kOr, ab, ct);
+  c.add_output(sum, "sum");
+  c.add_output(cout, "cout");
+  return c;
+}
+
+TEST(LogicSim, FullAdderTruth) {
+  const Circuit c = full_adder();
+  for (int assignment = 0; assignment < 8; ++assignment) {
+    const bool a = (assignment & 1) != 0;
+    const bool b = (assignment & 2) != 0;
+    const bool cin = (assignment & 4) != 0;
+    const std::vector<bool> in{a, b, cin};
+    const std::vector<bool> out = eval_single(c, in);
+    const int total = int(a) + int(b) + int(cin);
+    EXPECT_EQ(out[0], (total & 1) != 0) << "assignment " << assignment;
+    EXPECT_EQ(out[1], total >= 2) << "assignment " << assignment;
+  }
+}
+
+TEST(LogicSim, LanesAreIndependent) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kAnd, a, b));
+  LogicSim sim(c);
+  const std::vector<Word> in{0xFF00FF00FF00FF00ULL, 0xF0F0F0F0F0F0F0F0ULL};
+  sim.eval(in);
+  EXPECT_EQ(sim.output_values()[0], 0xF000F000F000F000ULL);
+}
+
+TEST(LogicSim, ConstantsEvaluate) {
+  Circuit c;
+  const NodeId k1 = c.add_const(true);
+  const NodeId k0 = c.add_const(false);
+  c.add_output(c.add_gate(GateType::kOr, k0, k1));
+  c.add_output(c.add_gate(GateType::kAnd, k0, k1));
+  LogicSim sim(c);
+  sim.eval({});
+  EXPECT_EQ(sim.output_values()[0], kAllOnes);
+  EXPECT_EQ(sim.output_values()[1], 0ULL);
+}
+
+TEST(LogicSim, InputOrderMatchesDeclaration) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  c.add_gate(GateType::kNot, a);  // interleave a gate between inputs
+  const NodeId b = c.add_input("b");
+  c.add_output(a);
+  c.add_output(b);
+  LogicSim sim(c);
+  const std::vector<Word> in{1, 2};
+  sim.eval(in);
+  EXPECT_EQ(sim.output_values()[0], 1ULL);
+  EXPECT_EQ(sim.output_values()[1], 2ULL);
+}
+
+TEST(LogicSim, WrongInputCountThrows) {
+  Circuit c;
+  c.add_input();
+  c.add_output(c.inputs()[0]);
+  LogicSim sim(c);
+  const std::vector<Word> none{};
+  EXPECT_THROW(sim.eval(none), std::invalid_argument);
+}
+
+TEST(LogicSim, C17KnownVectors) {
+  const Circuit c = netlist::read_bench_string(R"(
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)");
+  // All-zero inputs: 10=1, 11=1, 16=1, 19=1 -> 22 = NAND(1,1)=0, 23=0.
+  std::vector<bool> in(5, false);
+  auto out = eval_single(c, in);
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+  // All-one inputs: 10=NAND(1,1)=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1,
+  // 22=NAND(0,1)=1, 23=NAND(1,1)=0.
+  in.assign(5, true);
+  out = eval_single(c, in);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(LogicSim, ReusableAcrossEvals) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  c.add_output(c.add_gate(GateType::kNot, a));
+  LogicSim sim(c);
+  const std::vector<Word> first{0ULL};
+  sim.eval(first);
+  EXPECT_EQ(sim.output_values()[0], kAllOnes);
+  const std::vector<Word> second{kAllOnes};
+  sim.eval(second);
+  EXPECT_EQ(sim.output_values()[0], 0ULL);
+}
+
+}  // namespace
+}  // namespace enb::sim

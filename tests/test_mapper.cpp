@@ -1,0 +1,86 @@
+#include "synth/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd_analysis.hpp"
+#include "gen/adders.hpp"
+#include "gen/iscas.hpp"
+#include "gen/multipliers.hpp"
+#include "gen/parity.hpp"
+#include "sim/exhaustive.hpp"
+
+namespace enb::synth {
+namespace {
+
+TEST(Mapper, PaperTargetLibraryOnCla) {
+  // The paper's setting: generic library, max fanin 3.
+  const auto cla = gen::carry_lookahead_adder(16);
+  const MapResult result = map_to_library(cla, {});
+  EXPECT_TRUE(result.verified);
+  EXPECT_LE(result.after.max_fanin, 3);
+  EXPECT_GT(result.after.num_gates, 0u);
+  // 33 inputs: verification falls back to random vectors.
+  EXPECT_FALSE(result.verified_exact);
+  EXPECT_TRUE(sim::random_equivalent(cla, result.circuit, 256, 42));
+}
+
+TEST(Mapper, ExhaustiveVerificationOnSmallCircuits) {
+  const auto c17 = gen::c17();
+  const MapResult result = map_to_library(c17, {});
+  EXPECT_TRUE(result.verified);
+  EXPECT_TRUE(result.verified_exact);
+  EXPECT_TRUE(sim::exhaustive_equivalent(c17, result.circuit));
+}
+
+TEST(Mapper, NandBasisEndToEnd) {
+  MapOptions options;
+  options.library = Library::nand_not(2);
+  const auto rca = gen::ripple_carry_adder(4);
+  const MapResult result = map_to_library(rca, options);
+  EXPECT_TRUE(result.verified_exact);
+  for (const auto& [type, count] : result.after.gate_histogram) {
+    EXPECT_TRUE(type == netlist::GateType::kNand ||
+                type == netlist::GateType::kNot ||
+                type == netlist::GateType::kBuf)
+        << to_string(type);
+  }
+  EXPECT_LE(result.after.max_fanin, 2);
+}
+
+TEST(Mapper, StatsBeforeAfterPopulated) {
+  const auto par = gen::parity_tree(8, 4);  // 4-input XORs need narrowing
+  MapOptions options;
+  options.library = Library::generic(2);
+  const MapResult result = map_to_library(par, options);
+  EXPECT_EQ(result.before.num_inputs, 8u);
+  EXPECT_EQ(result.after.num_inputs, 8u);
+  EXPECT_LE(result.after.max_fanin, 2);
+  EXPECT_GE(result.after.num_gates, result.before.num_gates);
+}
+
+TEST(Mapper, MultiplierMapsAndStaysEquivalent) {
+  const auto mult = gen::array_multiplier(4);
+  const MapResult result = map_to_library(mult, {});
+  EXPECT_TRUE(result.verified);
+  EXPECT_TRUE(bdd::bdd_equivalent(mult, result.circuit));
+}
+
+TEST(Mapper, VerificationCanBeDisabled) {
+  MapOptions options;
+  options.verify = false;
+  const MapResult result = map_to_library(gen::c17(), options);
+  EXPECT_FALSE(result.verified);
+  EXPECT_GT(result.after.num_gates, 0u);
+}
+
+TEST(Mapper, ShannonParityMapsToTwoInput) {
+  const auto par = gen::parity_shannon(6);
+  MapOptions options;
+  options.library = Library::generic(2);
+  const MapResult result = map_to_library(par, options);
+  EXPECT_TRUE(result.verified_exact);
+  EXPECT_LE(result.after.max_fanin, 2);
+}
+
+}  // namespace
+}  // namespace enb::synth

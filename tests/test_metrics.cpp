@@ -1,0 +1,73 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/depth_bound.hpp"
+
+namespace enb::core {
+namespace {
+
+TEST(Metrics, FeasibleComposition) {
+  const MetricFactors m = combine_metrics(1.5, 2.0, 0.01);
+  EXPECT_TRUE(m.feasible);
+  EXPECT_DOUBLE_EQ(m.energy, 1.5);
+  EXPECT_NEAR(m.delay, delay_factor_lower_bound(2.0, 0.01), 1e-12);
+  EXPECT_NEAR(m.edp, m.energy * m.delay, 1e-12);
+  EXPECT_NEAR(m.avg_power, m.energy / m.delay, 1e-12);
+}
+
+TEST(Metrics, InfeasibleRegime) {
+  const MetricFactors m = combine_metrics(1.5, 2.0, 0.2);
+  EXPECT_FALSE(m.feasible);
+  EXPECT_TRUE(std::isinf(m.delay));
+  EXPECT_TRUE(std::isinf(m.edp));
+  EXPECT_DOUBLE_EQ(m.avg_power, 0.0);
+}
+
+TEST(Metrics, EdpAlwaysAtLeastDelay) {
+  // Figure 5: the EDP curve sits above the delay curve (energy factor >= 1).
+  for (double eps : {0.001, 0.01, 0.05, 0.1}) {
+    const MetricFactors m = combine_metrics(1.2, 2.0, eps);
+    EXPECT_GE(m.edp, m.delay);
+  }
+}
+
+TEST(Metrics, PowerCrossoverWithEpsilon) {
+  // Figure 6: at low eps the power factor exceeds 1 (energy grows faster
+  // than delay); near the feasibility edge delay dominates and power < 1.
+  // Use the Figure 3/5 parameters (s=10, S0=21, sw0=0.5, lambda=0.5, k=2).
+  const auto power_at = [](double eps) {
+    const EnergyBreakdown b = total_energy_factor(10, 21, 0.5, 2, eps, 0.01);
+    return combine_metrics(b.total_factor, 2, eps).avg_power;
+  };
+  EXPECT_GT(power_at(0.01), 1.0);
+  EXPECT_LT(power_at(0.14), 1.0);
+}
+
+TEST(Metrics, LargerFaninReducesLowEpsilonPowerOverhead) {
+  // Figure 6: "a larger fanin reduces the overhead in average power" at low
+  // error rates.
+  const auto power_at = [](double k, double eps) {
+    const EnergyBreakdown b = total_energy_factor(10, 21, 0.5, k, eps, 0.01);
+    return combine_metrics(b.total_factor, k, eps).avg_power;
+  };
+  const double p2 = power_at(2, 0.01);
+  const double p3 = power_at(3, 0.01);
+  const double p4 = power_at(4, 0.01);
+  EXPECT_GT(p2, p3);
+  EXPECT_GT(p3, p4);
+  EXPECT_GT(p4, 1.0);
+}
+
+TEST(Metrics, CleanChannelAllUnity) {
+  const MetricFactors m = combine_metrics(1.0, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.energy, 1.0);
+  EXPECT_DOUBLE_EQ(m.delay, 1.0);
+  EXPECT_DOUBLE_EQ(m.edp, 1.0);
+  EXPECT_DOUBLE_EQ(m.avg_power, 1.0);
+}
+
+}  // namespace
+}  // namespace enb::core

@@ -1,0 +1,89 @@
+#include "gen/mux_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/logic_sim.hpp"
+
+namespace enb::gen {
+namespace {
+
+using netlist::Circuit;
+
+TEST(MuxTree, SelectsCorrectInput) {
+  const int sel_bits = 3;
+  const Circuit c = mux_tree(sel_bits);
+  const int n = 1 << sel_bits;
+  for (int hot = 0; hot < n; ++hot) {
+    for (int sel = 0; sel < n; ++sel) {
+      std::vector<bool> in;
+      for (int i = 0; i < n; ++i) in.push_back(i == hot);
+      for (int i = 0; i < sel_bits; ++i) in.push_back(((sel >> i) & 1) != 0);
+      const auto out = sim::eval_single(c, in);
+      EXPECT_EQ(out[0], sel == hot) << "hot=" << hot << " sel=" << sel;
+    }
+  }
+}
+
+TEST(MuxTree, GateCount) {
+  // 2^s - 1 muxes, 4 gates each.
+  EXPECT_EQ(mux_tree(3).gate_count(), 7u * 4u);
+}
+
+TEST(Decoder, OneHotOutput) {
+  const int bits = 3;
+  const Circuit c = decoder(bits);
+  for (int addr = 0; addr < (1 << bits); ++addr) {
+    std::vector<bool> in;
+    for (int i = 0; i < bits; ++i) in.push_back(((addr >> i) & 1) != 0);
+    const auto out = sim::eval_single(c, in);
+    for (int line = 0; line < (1 << bits); ++line) {
+      EXPECT_EQ(out[static_cast<std::size_t>(line)], line == addr);
+    }
+  }
+}
+
+TEST(Decoder, EnableGatesAllLines) {
+  const Circuit c = decoder(2, /*with_enable=*/true);
+  std::vector<bool> in{true, false, false};  // addr=1, en=0
+  auto out = sim::eval_single(c, in);
+  for (bool line : out) EXPECT_FALSE(line);
+  in[2] = true;  // enable
+  out = sim::eval_single(c, in);
+  EXPECT_TRUE(out[1]);
+}
+
+TEST(PriorityEncoder, LowestIndexWins) {
+  const int n = 6;
+  const Circuit c = priority_encoder(n);
+  for (int req_mask = 1; req_mask < (1 << n); ++req_mask) {
+    std::vector<bool> in;
+    for (int i = 0; i < n; ++i) in.push_back(((req_mask >> i) & 1) != 0);
+    const auto out = sim::eval_single(c, in);
+    int expected = 0;
+    while (((req_mask >> expected) & 1) == 0) ++expected;
+    int got = 0;
+    const int index_bits = static_cast<int>(out.size()) - 1;
+    for (int b = 0; b < index_bits; ++b) {
+      if (out[static_cast<std::size_t>(b)]) got |= 1 << b;
+    }
+    EXPECT_EQ(got, expected) << "mask=" << req_mask;
+    EXPECT_TRUE(out.back());  // valid
+  }
+}
+
+TEST(PriorityEncoder, NoRequestClearsValid) {
+  const Circuit c = priority_encoder(4);
+  const std::vector<bool> in(4, false);
+  const auto out = sim::eval_single(c, in);
+  EXPECT_FALSE(out.back());
+}
+
+TEST(MuxDecoder, RejectBadArgs) {
+  EXPECT_THROW((void)mux_tree(0), std::invalid_argument);
+  EXPECT_THROW((void)mux_tree(11), std::invalid_argument);
+  EXPECT_THROW((void)decoder(0), std::invalid_argument);
+  EXPECT_THROW((void)priority_encoder(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::gen

@@ -1,0 +1,92 @@
+#include "ft/nmr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/adders.hpp"
+#include "gen/iscas.hpp"
+#include "sim/exhaustive.hpp"
+#include "sim/reliability.hpp"
+
+namespace enb::ft {
+namespace {
+
+TEST(Nmr, TmrPreservesFunction) {
+  const auto base = gen::c17();
+  const NmrResult tmr = nmr_transform(base);
+  EXPECT_TRUE(sim::exhaustive_equivalent(base, tmr.circuit));
+}
+
+TEST(Nmr, FiveWayPreservesFunction) {
+  const auto base = gen::ripple_carry_adder(3);
+  NmrOptions options;
+  options.copies = 5;
+  const NmrResult nmr = nmr_transform(base, options);
+  EXPECT_TRUE(sim::exhaustive_equivalent(base, nmr.circuit));
+}
+
+TEST(Nmr, SizeAccounting) {
+  const auto base = gen::c17();
+  const NmrResult tmr = nmr_transform(base);
+  EXPECT_EQ(tmr.replica_gates, 3 * base.gate_count());
+  // Two outputs, one 4-gate maj3 voter each.
+  EXPECT_EQ(tmr.voter_gates, 8u);
+  EXPECT_EQ(tmr.circuit.gate_count(), tmr.replica_gates + tmr.voter_gates);
+}
+
+TEST(Nmr, InterfacePreserved) {
+  const auto base = gen::ripple_carry_adder(2);
+  const NmrResult tmr = nmr_transform(base);
+  EXPECT_EQ(tmr.circuit.num_inputs(), base.num_inputs());
+  EXPECT_EQ(tmr.circuit.num_outputs(), base.num_outputs());
+  EXPECT_EQ(tmr.circuit.output_name(0), base.output_name(0));
+}
+
+TEST(Nmr, ImprovesReliabilityAtModerateEpsilon) {
+  const auto base = gen::c17();
+  const NmrResult tmr = nmr_transform(base);
+  const double eps = 0.01;
+  sim::ReliabilityOptions options;
+  options.trials = 1 << 16;
+  const auto base_rel = sim::estimate_reliability(base, eps, options);
+  const auto tmr_rel =
+      sim::estimate_reliability_vs(tmr.circuit, base, eps, options);
+  // TMR with noisy voters still wins comfortably at eps = 1%.
+  EXPECT_LT(tmr_rel.delta_hat, base_rel.delta_hat);
+}
+
+TEST(Nmr, MajGateVoterOption) {
+  NmrOptions options;
+  options.voter = VoterStyle::kMajGate;
+  const auto base = gen::c17();
+  const NmrResult tmr = nmr_transform(base, options);
+  EXPECT_EQ(tmr.voter_gates, 2u);  // one MAJ gate per output
+  EXPECT_TRUE(sim::exhaustive_equivalent(base, tmr.circuit));
+}
+
+TEST(Nmr, RejectsBadCopyCounts) {
+  const auto base = gen::c17();
+  NmrOptions options;
+  options.copies = 2;
+  EXPECT_THROW((void)nmr_transform(base, options), std::invalid_argument);
+  options.copies = 4;
+  EXPECT_THROW((void)nmr_transform(base, options), std::invalid_argument);
+}
+
+TEST(CascadedTmr, LevelsCompose) {
+  const auto base = gen::c17();
+  const auto l0 = cascaded_tmr(base, 0);
+  EXPECT_EQ(l0.gate_count(), base.gate_count());
+  const auto l1 = cascaded_tmr(base, 1);
+  EXPECT_TRUE(sim::exhaustive_equivalent(base, l1));
+  const auto l2 = cascaded_tmr(base, 2);
+  EXPECT_TRUE(sim::exhaustive_equivalent(base, l2));
+  EXPECT_GT(l2.gate_count(), 3 * l1.gate_count());
+}
+
+TEST(CascadedTmr, RejectsSillyLevels) {
+  EXPECT_THROW((void)cascaded_tmr(gen::c17(), 5), std::invalid_argument);
+  EXPECT_THROW((void)cascaded_tmr(gen::c17(), -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::ft

@@ -1,0 +1,77 @@
+#include "core/noise_voltage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace enb::core {
+namespace {
+
+TEST(NoiseVoltage, ZeroSupplyIsCoinFlip) {
+  EXPECT_NEAR(epsilon_of_vdd(0.0), 0.5, 1e-12);
+}
+
+TEST(NoiseVoltage, MonotoneDecreasingInVdd) {
+  // Large sigma keeps every point above the min_epsilon floor, so the
+  // strict-decrease property is observable across the whole sweep.
+  NoiseVoltageParams params;
+  params.sigma = 0.5;
+  double prev = 1.0;
+  for (double vdd : {0.0, 0.1, 0.2, 0.4, 0.8, 1.2, 2.0}) {
+    const double eps = epsilon_of_vdd(vdd, params);
+    EXPECT_LT(eps, prev) << "vdd=" << vdd;
+    prev = eps;
+  }
+  // At the floor the curve flattens instead of vanishing.
+  NoiseVoltageParams tight;
+  tight.sigma = 0.05;
+  EXPECT_EQ(epsilon_of_vdd(2.0, tight), epsilon_of_vdd(3.0, tight));
+}
+
+TEST(NoiseVoltage, KnownGaussianPoint) {
+  // At Vdd = 2σ the argument of Q is 1: ε = Q(1) ≈ 0.1587.
+  NoiseVoltageParams params;
+  params.sigma = 0.5;
+  EXPECT_NEAR(epsilon_of_vdd(1.0, params), 0.15866, 1e-4);
+}
+
+TEST(NoiseVoltage, FloorKeepsEpsilonPositive) {
+  NoiseVoltageParams params;
+  params.sigma = 0.01;
+  params.min_epsilon = 1e-12;
+  EXPECT_GE(epsilon_of_vdd(5.0, params), 1e-12);
+}
+
+TEST(NoiseVoltage, MoreNoiseNeedsMoreVoltage) {
+  NoiseVoltageParams quiet;
+  quiet.sigma = 0.05;
+  NoiseVoltageParams loud;
+  loud.sigma = 0.15;
+  EXPECT_LT(vdd_for_epsilon(0.01, quiet), vdd_for_epsilon(0.01, loud));
+}
+
+TEST(NoiseVoltage, InverseRoundTrip) {
+  NoiseVoltageParams params;
+  for (double eps : {0.4, 0.1, 0.01, 1e-4}) {
+    const double vdd = vdd_for_epsilon(eps, params);
+    EXPECT_NEAR(epsilon_of_vdd(vdd, params), eps, eps * 1e-3 + 1e-12)
+        << "eps=" << eps;
+  }
+}
+
+TEST(NoiseVoltage, Validation) {
+  EXPECT_THROW((void)epsilon_of_vdd(-1.0), std::invalid_argument);
+  NoiseVoltageParams bad;
+  bad.sigma = 0.0;
+  EXPECT_THROW((void)epsilon_of_vdd(1.0, bad), std::invalid_argument);
+  EXPECT_THROW((void)vdd_for_epsilon(0.0), std::invalid_argument);
+  EXPECT_THROW((void)vdd_for_epsilon(0.6), std::invalid_argument);
+  // Unreachable target below the default 8% sigma: eps ~ 1e-30.
+  NoiseVoltageParams params;
+  params.min_epsilon = 1e-40;
+  EXPECT_THROW((void)vdd_for_epsilon(1e-35, params, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

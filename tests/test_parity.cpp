@@ -1,0 +1,87 @@
+#include "gen/parity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/stats.hpp"
+#include "sim/exhaustive.hpp"
+
+namespace enb::gen {
+namespace {
+
+using sim::popcount;
+using sim::Word;
+
+bool is_parity_function(const netlist::Circuit& c) {
+  const auto tables = sim::truth_tables(c);
+  if (tables.size() != 1) return false;
+  const int n = static_cast<int>(c.num_inputs());
+  bool ok = true;
+  sim::for_each_exhaustive_block(
+      n, [&](std::uint64_t block, std::span<const Word>, Word valid) {
+        for (int lane = 0; lane < 64; ++lane) {
+          if (((valid >> lane) & 1U) == 0) continue;
+          const std::uint64_t assignment = block * 64 + lane;
+          const bool expect = (popcount(assignment) & 1) != 0;
+          const bool got = ((tables[0][block] >> lane) & 1U) != 0;
+          if (expect != got) ok = false;
+        }
+      });
+  return ok;
+}
+
+class ParityTreeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParityTreeTest, ComputesParity) {
+  const auto [n, k] = GetParam();
+  const auto c = parity_tree(n, k);
+  EXPECT_EQ(c.num_inputs(), static_cast<std::size_t>(n));
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_TRUE(is_parity_function(c)) << "n=" << n << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParityTreeTest,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 10, 16),
+                                            ::testing::Values(2, 3, 4)));
+
+TEST(ParityTree, GateCountBinary) {
+  // n-1 XOR2 gates for fanin 2.
+  EXPECT_EQ(parity_tree(10, 2).gate_count(), 9u);
+  EXPECT_EQ(parity_tree(16, 2).gate_count(), 15u);
+}
+
+TEST(ParityTree, DepthIsLogarithmic) {
+  EXPECT_EQ(netlist::compute_stats(parity_tree(16, 2)).depth, 4);
+  EXPECT_EQ(netlist::compute_stats(parity_tree(16, 4)).depth, 2);
+}
+
+TEST(ParityShannon, ComputesParity) {
+  for (int n : {1, 2, 4, 8, 10}) {
+    EXPECT_TRUE(is_parity_function(parity_shannon(n))) << "n=" << n;
+  }
+}
+
+TEST(ParityShannon, MuxChainShape) {
+  // n-1 mux stages of 4 gates each, plus the first inverter and one inverter
+  // per stage (for the complement track), minus the unused final complement.
+  const auto c = parity_shannon(10);
+  EXPECT_EQ(c.num_inputs(), 10u);
+  const auto stats = netlist::compute_stats(c);
+  // Depth grows linearly in n — the OBDD chain.
+  EXPECT_GE(stats.depth, 9);
+}
+
+TEST(ParityShannon, PaperNodeCountModel) {
+  // The paper's Figure 3 parameter: S0 = 21 for the 10-input parity under
+  // the 2n+1 Shannon/OBDD node-count model.
+  EXPECT_EQ(parity_shannon_node_count(10), 21);
+  EXPECT_EQ(parity_shannon_node_count(4), 9);
+}
+
+TEST(ParityGenerators, RejectBadArgs) {
+  EXPECT_THROW((void)parity_tree(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)parity_tree(4, 1), std::invalid_argument);
+  EXPECT_THROW((void)parity_shannon(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::gen

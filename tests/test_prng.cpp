@@ -1,0 +1,117 @@
+#include "sim/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+namespace enb::sim {
+namespace {
+
+TEST(Prng, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextRealInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, NextRealMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_real();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Prng, BitBalance) {
+  Xoshiro256 rng(13);
+  std::int64_t ones = 0;
+  const int words = 10000;
+  for (int i = 0; i < words; ++i) ones += std::popcount(rng.next());
+  const double fraction = static_cast<double>(ones) / (64.0 * words);
+  EXPECT_NEAR(fraction, 0.5, 0.01);
+}
+
+TEST(Prng, NextBelowRespectsBound) {
+  Xoshiro256 rng(17);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Prng, NextBelowCoversRange) {
+  Xoshiro256 rng(19);
+  std::array<int, 5> histogram{};
+  for (int i = 0; i < 5000; ++i) ++histogram[rng.next_below(5)];
+  for (int count : histogram) EXPECT_GT(count, 800);
+}
+
+TEST(Prng, SplitmixDistinctOutputs) {
+  std::uint64_t state = 0;
+  const std::uint64_t a = splitmix64(state);
+  const std::uint64_t b = splitmix64(state);
+  EXPECT_NE(a, b);
+}
+
+class BernoulliWordTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliWordTest, FractionMatchesP) {
+  const double p = GetParam();
+  Xoshiro256 rng(23);
+  std::int64_t ones = 0;
+  const int words = 20000;
+  for (int i = 0; i < words; ++i) ones += std::popcount(bernoulli_word(rng, p));
+  const double fraction = static_cast<double>(ones) / (64.0 * words);
+  // ~1.28M samples: 5-sigma band.
+  const double sigma = std::sqrt(p * (1 - p) / (64.0 * words));
+  EXPECT_NEAR(fraction, p, 5.0 * sigma + 1e-9) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, BernoulliWordTest,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.999));
+
+TEST(BernoulliWord, DegenerateProbabilities) {
+  Xoshiro256 rng(29);
+  EXPECT_EQ(bernoulli_word(rng, 0.0), 0ULL);
+  EXPECT_EQ(bernoulli_word(rng, 1.0), ~0ULL);
+  EXPECT_EQ(bernoulli_word(rng, -0.5), 0ULL);
+  EXPECT_EQ(bernoulli_word(rng, 1.5), ~0ULL);
+}
+
+TEST(BernoulliWord, LanesIndependent) {
+  // Adjacent-lane correlation should be statistically negligible.
+  Xoshiro256 rng(31);
+  int both = 0;
+  int first = 0;
+  const int words = 50000;
+  for (int i = 0; i < words; ++i) {
+    const std::uint64_t w = bernoulli_word(rng, 0.5);
+    if ((w & 1) != 0) {
+      ++first;
+      if ((w & 2) != 0) ++both;
+    }
+  }
+  const double conditional =
+      static_cast<double>(both) / std::max(1, first);
+  EXPECT_NEAR(conditional, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace enb::sim

@@ -1,0 +1,227 @@
+// Monte-Carlo validation of the analytical models: the fault-injection
+// simulator must reproduce Theorem 1 (switching activity under noise) and
+// the channel-composition algebra, and real redundancy schemes must respect
+// the Theorem 2 size bound. This is the empirical-soundness layer the paper
+// itself did not include.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/activity_model.hpp"
+#include "core/channel.hpp"
+#include "core/validate_bounds.hpp"
+#include "ft/multiplex.hpp"
+#include "ft/nmr.hpp"
+#include "gen/iscas.hpp"
+#include "gen/parity.hpp"
+#include "gen/random_circuit.hpp"
+#include "sim/activity.hpp"
+#include "sim/bitpack.hpp"
+#include "sim/noise.hpp"
+#include "sim/prng.hpp"
+#include "synth/mapper.hpp"
+
+namespace enb {
+namespace {
+
+// Measures the toggle rate of every node of `circuit` under noisy evaluation
+// with temporally independent vector pairs, mirroring the Theorem 1 setup.
+std::vector<double> measure_noisy_activity(const netlist::Circuit& circuit,
+                                           double eps, std::size_t pairs,
+                                           std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  sim::NoisySim sim_noisy(circuit, eps, rng.next());
+  std::vector<sim::Word> in_a(circuit.num_inputs());
+  std::vector<sim::Word> in_b(circuit.num_inputs());
+  std::vector<std::uint64_t> toggles(circuit.node_count(), 0);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    for (auto& w : in_a) w = rng.next();
+    for (auto& w : in_b) w = rng.next();
+    sim_noisy.eval(in_a);
+    const std::vector<sim::Word> first(sim_noisy.values().begin(),
+                                       sim_noisy.values().end());
+    sim_noisy.eval(in_b);
+    for (std::size_t id = 0; id < circuit.node_count(); ++id) {
+      toggles[id] += static_cast<std::uint64_t>(
+          sim::popcount(first[id] ^ sim_noisy.values()[id]));
+    }
+  }
+  std::vector<double> rate(circuit.node_count());
+  for (std::size_t id = 0; id < circuit.node_count(); ++id) {
+    rate[id] = static_cast<double>(toggles[id]) /
+               (static_cast<double>(pairs) * sim::kWordBits);
+  }
+  return rate;
+}
+
+class Theorem1McTest : public ::testing::TestWithParam<double> {};
+
+// Theorem 1 is exact for the *output channel of one gate*: sw(z) =
+// (1-2e)^2 sw(y) + 2e(1-e) where sw(y) is the noisy-input/clean-gate toggle
+// rate. For a single-gate circuit sw(y) is the clean rate.
+TEST_P(Theorem1McTest, SingleGateMatchesFormula) {
+  const double eps = GetParam();
+  netlist::Circuit c;
+  const auto a = c.add_input();
+  const auto b = c.add_input();
+  c.add_output(c.add_gate(netlist::GateType::kAnd, a, b));
+
+  const double sw_clean = sim::exact_activity(c).toggle_rate[c.outputs()[0]];
+  const std::size_t pairs = 1 << 12;
+  const auto measured = measure_noisy_activity(c, eps, pairs, 11);
+  const double expected = core::noisy_activity(sw_clean, eps);
+  const double sigma =
+      std::sqrt(expected * (1 - expected) /
+                (static_cast<double>(pairs) * sim::kWordBits));
+  EXPECT_NEAR(measured[c.outputs()[0]], expected, 6 * sigma + 1e-4)
+      << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, Theorem1McTest,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.1, 0.25,
+                                           0.4, 0.5));
+
+TEST(MonteCarloValidation, Theorem1HoldsPerGateWithNoisyInputs) {
+  // For an internal gate whose *inputs* are themselves noisy, Theorem 1
+  // still relates its observed output rate to the same gate's rate with the
+  // final channel removed. Verify on a two-level circuit by comparing
+  // against a per-node epsilon vector with the last gate clean.
+  netlist::Circuit c;
+  const auto a = c.add_input();
+  const auto b = c.add_input();
+  const auto d = c.add_input();
+  const auto g1 = c.add_gate(netlist::GateType::kOr, a, b);
+  const auto g2 = c.add_gate(netlist::GateType::kAnd, g1, d);
+  c.add_output(g2);
+
+  const double eps = 0.05;
+  const std::size_t pairs = 1 << 13;
+
+  // Full noise.
+  const auto noisy = measure_noisy_activity(c, eps, pairs, 21);
+
+  // Same noise except g2's own channel disabled.
+  sim::Xoshiro256 rng(21);
+  std::vector<double> eps_vec(c.node_count(), eps);
+  eps_vec[g2] = 0.0;
+  sim::NoisySim partial(c, eps_vec, rng.next());
+  std::vector<sim::Word> in_a(3), in_b(3);
+  std::uint64_t toggles = 0;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    for (auto& w : in_a) w = rng.next();
+    for (auto& w : in_b) w = rng.next();
+    partial.eval(in_a);
+    const sim::Word first = partial.value(g2);
+    partial.eval(in_b);
+    toggles += static_cast<std::uint64_t>(
+        sim::popcount(first ^ partial.value(g2)));
+  }
+  const double sw_y = static_cast<double>(toggles) /
+                      (static_cast<double>(pairs) * sim::kWordBits);
+  const double expected = core::noisy_activity(sw_y, eps);
+  EXPECT_NEAR(noisy[g2], expected, 0.01);
+}
+
+TEST(MonteCarloValidation, BufferChainMatchesChannelComposition) {
+  // k cascaded eps-buffers behave as one channel of compose_epsilon_n(eps,k).
+  const int k = 4;
+  const double eps = 0.03;
+  netlist::Circuit c;
+  auto prev = c.add_input();
+  for (int i = 0; i < k; ++i) prev = c.add_gate(netlist::GateType::kBuf, prev);
+  c.add_output(prev);
+
+  sim::Xoshiro256 rng(31);
+  sim::NoisySim noisy(c, eps, rng.next());
+  const std::vector<sim::Word> zero(1, 0);
+  std::uint64_t flips = 0;
+  const int passes = 4000;
+  for (int p = 0; p < passes; ++p) {
+    noisy.eval(zero);
+    flips += static_cast<std::uint64_t>(sim::popcount(noisy.output_values()[0]));
+  }
+  const double measured = static_cast<double>(flips) / (passes * 64.0);
+  const double expected = core::compose_epsilon_n(eps, k);
+  EXPECT_NEAR(measured, expected, 0.005);
+}
+
+TEST(MonteCarloValidation, RandomCircuitActivityIsContractedTowardHalf) {
+  // Across random circuits, the average noisy gate activity must sit closer
+  // to 1/2 than the clean one (Theorem 1's contraction, on average).
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    gen::RandomCircuitOptions options;
+    options.seed = seed;
+    options.num_gates = 80;
+    const auto c = gen::random_circuit(options);
+    sim::ActivityOptions act;
+    act.sample_pairs = 1 << 11;
+    const double clean =
+        sim::estimate_activity(c, act).avg_gate_toggle_rate;
+    const auto noisy_rates = measure_noisy_activity(c, 0.1, 1 << 11, seed);
+    double noisy_avg = 0.0;
+    std::size_t gates = 0;
+    for (netlist::NodeId id = 0; id < c.node_count(); ++id) {
+      if (!counts_as_gate(c.type(id))) continue;
+      noisy_avg += noisy_rates[id];
+      ++gates;
+    }
+    noisy_avg /= static_cast<double>(gates);
+    EXPECT_LT(std::abs(noisy_avg - 0.5), std::abs(clean - 0.5) + 0.02)
+        << "seed=" << seed;
+  }
+}
+
+TEST(MonteCarloValidation, NmrLadderRespectsTheorem2) {
+  // Every achieved (size, delta_hat) point of the NMR ladder must satisfy
+  // the Theorem 2 size requirement. Note the ladder is NOT monotone in the
+  // copy count here: for a 3-gate base circuit the majority-of-5/7 voter (a
+  // popcount network of noisy 2-input gates) contributes more error than the
+  // replicas remove — von Neumann's observation that restitution organs must
+  // be simple. TMR, whose voter is 4 gates, does improve on the bare circuit.
+  const auto base = gen::parity_tree(4, 2);
+  const core::CircuitProfile profile = core::extract_profile(base);
+  const double eps = 0.01;
+  sim::ReliabilityOptions rel_options;
+  rel_options.trials = 1 << 16;
+  const auto bare = sim::estimate_reliability(base, eps, rel_options);
+  for (int copies : {3, 5, 7}) {
+    ft::NmrOptions options;
+    options.copies = copies;
+    const ft::NmrResult nmr = ft::nmr_transform(base, options);
+    const auto rel =
+        sim::estimate_reliability_vs(nmr.circuit, base, eps, rel_options);
+    if (copies == 3) {
+      EXPECT_LT(rel.delta_hat, bare.delta_hat);
+    }
+    core::EmpiricalPoint point;
+    point.scheme = "nmr" + std::to_string(copies);
+    point.total_gates = static_cast<double>(nmr.circuit.gate_count());
+    point.delta_hat = rel.delta_hat;
+    point.delta_ci_high = rel.ci_high;
+    EXPECT_TRUE(core::check_point(profile, eps, point).consistent)
+        << copies << " copies";
+  }
+}
+
+TEST(MonteCarloValidation, MultiplexingPointRespectsTheorem2) {
+  const auto base = gen::c17();
+  const core::CircuitProfile profile = core::extract_profile(base);
+  const double eps = 0.005;
+  ft::MultiplexOptions options;
+  options.bundle_width = 5;
+  options.restorative_stages = 1;
+  const ft::MultiplexedCircuit mc = ft::multiplex_transform(base, options);
+  sim::ReliabilityOptions rel_options;
+  rel_options.trials = 1 << 15;
+  const auto rel =
+      ft::estimate_multiplexed_reliability(mc, base, eps, rel_options);
+  core::EmpiricalPoint point;
+  point.scheme = "mux5";
+  point.total_gates = static_cast<double>(mc.circuit.gate_count());
+  point.delta_hat = rel.delta_hat;
+  point.delta_ci_high = rel.ci_high;
+  EXPECT_TRUE(core::check_point(profile, eps, point).consistent);
+}
+
+}  // namespace
+}  // namespace enb

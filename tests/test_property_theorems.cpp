@@ -1,0 +1,169 @@
+// Property sweeps over the theorem implementations: invariants that must
+// hold across the whole (ε, δ, sw0, k) domain, checked on dense grids.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/activity_model.hpp"
+#include "core/analyzer.hpp"
+#include "core/channel.hpp"
+#include "core/depth_bound.hpp"
+#include "core/energy_bound.hpp"
+#include "core/leakage_model.hpp"
+#include "core/size_bound.hpp"
+
+namespace enb::core {
+namespace {
+
+struct Point {
+  double eps;
+  double sw0;
+};
+
+class ActivityGridTest : public ::testing::TestWithParam<Point> {};
+
+TEST_P(ActivityGridTest, RangeAndContraction) {
+  const auto [eps, sw0] = GetParam();
+  const double z = noisy_activity(sw0, eps);
+  // Output stays in [min(sw0,offset.. ), ...] ⊂ [0, 1].
+  EXPECT_GE(z, 0.0);
+  EXPECT_LE(z, 1.0);
+  // Never further from 1/2 than the input.
+  EXPECT_LE(std::abs(z - 0.5), std::abs(sw0 - 0.5) + 1e-15);
+  // Idempotent composition: applying the channel twice equals one channel of
+  // composed epsilon.
+  const double twice = noisy_activity(z, eps);
+  const double composed = noisy_activity(sw0, compose_epsilon(eps, eps));
+  EXPECT_NEAR(twice, composed, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ActivityGridTest,
+    ::testing::Values(Point{0.001, 0.1}, Point{0.001, 0.5}, Point{0.001, 0.9},
+                      Point{0.01, 0.2}, Point{0.01, 0.8}, Point{0.05, 0.05},
+                      Point{0.1, 0.3}, Point{0.2, 0.7}, Point{0.3, 0.5},
+                      Point{0.45, 0.25}, Point{0.49, 0.99}));
+
+TEST(TheoremProperties, SizeBoundDominatesAcrossGrid) {
+  // R >= 0 everywhere; R strictly increasing in s.
+  for (double eps : {0.005, 0.02, 0.1, 0.3}) {
+    for (double delta : {0.001, 0.01, 0.1}) {
+      double prev_s = -1.0;
+      for (double s : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        const double r = redundancy_lower_bound(s, 2, eps, delta);
+        EXPECT_GE(r, 0.0);
+        EXPECT_GT(r, prev_s) << "s=" << s;
+        prev_s = r;
+      }
+    }
+  }
+}
+
+TEST(TheoremProperties, FaninEffectCrossesOverWithEpsilon) {
+  // At low error rates larger fanin relaxes the bound (Figure 3's curve
+  // ordering); at high error rates the ordering inverts because omega
+  // saturates toward 1/2 faster than the 1/k prefactor helps — the same
+  // taper the paper notes for average power at large eps (Figure 6).
+  for (double delta : {0.001, 0.01, 0.1}) {
+    for (double k : {2.0, 3.0, 4.0}) {
+      EXPECT_GT(redundancy_lower_bound(16, k, 0.01, delta),
+                redundancy_lower_bound(16, k + 1, 0.01, delta))
+          << "k=" << k;
+      EXPECT_LT(redundancy_lower_bound(16, k, 0.3, delta),
+                redundancy_lower_bound(16, k + 1, 0.3, delta))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(TheoremProperties, EnergyFactorDecomposesEverywhere) {
+  for (double eps : {0.001, 0.01, 0.1, 0.4}) {
+    for (double sw0 : {0.1, 0.25, 0.5, 0.75}) {
+      for (double lambda : {0.0, 0.3, 0.5, 1.0}) {
+        EnergyModelOptions options;
+        options.leakage_fraction = lambda;
+        const EnergyBreakdown b =
+            total_energy_factor(10, 21, sw0, 2, eps, 0.01, options);
+        EXPECT_NEAR(b.total_factor,
+                    (1 - lambda) * b.switching_factor +
+                        lambda * b.leakage_factor,
+                    1e-12);
+        EXPECT_GE(b.size_factor, 1.0);
+        // The weighted mix of activity and idle factors is >= the minimum of
+        // the two, and the size factor only inflates it.
+        EXPECT_GE(b.total_factor,
+                  std::min(b.activity_factor, b.idle_factor) - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TheoremProperties, ActivityIdleConvexCombination) {
+  // sw*activity_ratio + (1-sw)*idle_ratio == 1 * (total probability):
+  // sw_z + (1 - sw_z) == 1.
+  for (double eps : {0.01, 0.1, 0.3}) {
+    for (double sw0 : {0.05, 0.4, 0.6, 0.95}) {
+      const double combined = sw0 * activity_ratio(sw0, eps) +
+                              (1 - sw0) * idle_ratio(sw0, eps);
+      EXPECT_NEAR(combined, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(TheoremProperties, LeakageRatioBounded) {
+  // The ratio lies strictly between the two extreme activity scalings.
+  for (double eps : {0.01, 0.1, 0.3, 0.49}) {
+    for (double sw0 : {0.05, 0.2, 0.5, 0.8, 0.95}) {
+      const double r = leakage_ratio(sw0, eps);
+      EXPECT_GT(r, 0.0);
+      if (sw0 < 0.5) {
+        EXPECT_LE(r, 1.0 + 1e-12);
+      } else {
+        EXPECT_GE(r, 1.0 - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TheoremProperties, DepthAndDelayCoupling) {
+  // Where feasible, depth bound at n inputs and the normalized factor obey
+  // depth_bound == normalized_factor * log2(n*Delta)/log2(k).
+  for (double k : {2.0, 3.0, 4.0}) {
+    for (double eps : {0.001, 0.01, 0.05}) {
+      if (!depth_feasible(eps, k)) continue;
+      for (int n : {4, 10, 32}) {
+        const double delta = 0.01;
+        const double direct = depth_lower_bound(n, k, eps, delta);
+        const double via_factor =
+            delay_factor_lower_bound(k, eps) *
+            std::log2(n * delta_capacity(delta)) / std::log2(k);
+        EXPECT_NEAR(direct, via_factor, 1e-9) << "k=" << k << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(TheoremProperties, AnalyzerMonotoneInEpsilonDenseGrid) {
+  const CircuitProfile p = make_profile("sweep", 12, 40, 0.35, 2.5, 12);
+  const auto grid = log_grid(1e-4, 0.45, 40);
+  double prev_energy = 0.0;
+  double prev_redundancy = -1.0;
+  for (double eps : grid) {
+    const BoundReport r = analyze(p, eps, 0.01);
+    EXPECT_GE(r.energy.total_factor, prev_energy - 1e-12) << "eps=" << eps;
+    EXPECT_GE(r.redundancy_gates, prev_redundancy) << "eps=" << eps;
+    prev_energy = r.energy.total_factor;
+    prev_redundancy = r.redundancy_gates;
+  }
+}
+
+TEST(TheoremProperties, FeasibilityEdgeMatchesClosedForm) {
+  for (double k : {2.0, 3.0, 4.0, 5.0, 8.0}) {
+    const double edge = max_feasible_epsilon(k);
+    EXPECT_TRUE(depth_feasible(edge - 1e-9, k));
+    EXPECT_FALSE(depth_feasible(edge + 1e-9, k));
+  }
+}
+
+}  // namespace
+}  // namespace enb::core

@@ -1,0 +1,125 @@
+#include "sim/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace enb::sim {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit single_buffer() {
+  Circuit c;
+  const NodeId a = c.add_input();
+  c.add_output(c.add_gate(GateType::kBuf, a));
+  return c;
+}
+
+TEST(Wilson, DegenerateCases) {
+  const ReliabilityResult zero = wilson_interval(0, 1000);
+  EXPECT_DOUBLE_EQ(zero.delta_hat, 0.0);
+  EXPECT_GE(zero.ci_low, 0.0);
+  EXPECT_GT(zero.ci_high, 0.0);
+  EXPECT_LT(zero.ci_high, 0.01);
+
+  const ReliabilityResult all = wilson_interval(1000, 1000);
+  EXPECT_DOUBLE_EQ(all.delta_hat, 1.0);
+  EXPECT_LE(all.ci_high, 1.0);
+  EXPECT_GT(all.ci_low, 0.99);
+
+  const ReliabilityResult none = wilson_interval(0, 0);
+  EXPECT_EQ(none.trials, 0u);
+}
+
+TEST(Wilson, CoversTrueValue) {
+  const ReliabilityResult r = wilson_interval(100, 1000);
+  EXPECT_LT(r.ci_low, 0.1);
+  EXPECT_GT(r.ci_high, 0.1);
+  EXPECT_NEAR(r.delta_hat, 0.1, 1e-12);
+}
+
+TEST(Reliability, SingleGateDeltaEqualsEpsilon) {
+  const Circuit c = single_buffer();
+  const double eps = 0.05;
+  ReliabilityOptions options;
+  options.trials = 1 << 18;
+  const ReliabilityResult r = estimate_reliability(c, eps, options);
+  EXPECT_GT(r.trials, 0u);
+  EXPECT_LE(r.ci_low, eps);
+  EXPECT_GE(r.ci_high, eps);
+  EXPECT_NEAR(r.delta_hat, eps, 0.005);
+}
+
+TEST(Reliability, ZeroEpsilonZeroDelta) {
+  const Circuit c = single_buffer();
+  const ReliabilityResult r = estimate_reliability(c, 0.0);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_DOUBLE_EQ(r.delta_hat, 0.0);
+}
+
+TEST(Reliability, MultiOutputAnyWrongCounts) {
+  // Two independent eps-noisy buffers: P(any wrong) = 1 - (1-eps)^2.
+  Circuit c;
+  const NodeId a = c.add_input();
+  c.add_output(c.add_gate(GateType::kBuf, a));
+  c.add_output(c.add_gate(GateType::kBuf, a));
+  const double eps = 0.1;
+  ReliabilityOptions options;
+  options.trials = 1 << 18;
+  const ReliabilityResult r = estimate_reliability(c, eps, options);
+  const double expected = 1.0 - (1.0 - eps) * (1.0 - eps);
+  EXPECT_NEAR(r.delta_hat, expected, 0.01);
+}
+
+TEST(Reliability, VsGoldenDetectsFunctionalMismatch) {
+  // "Noisy" circuit computes NOT while golden computes BUF: delta == 1 even
+  // with eps == 0.
+  Circuit noisy;
+  const NodeId a1 = noisy.add_input();
+  noisy.add_output(noisy.add_gate(GateType::kNot, a1));
+  const Circuit golden = single_buffer();
+  const ReliabilityResult r = estimate_reliability_vs(noisy, golden, 0.0);
+  EXPECT_DOUBLE_EQ(r.delta_hat, 1.0);
+}
+
+TEST(Reliability, VsGoldenInterfaceMismatchThrows) {
+  Circuit two_in;
+  const NodeId a = two_in.add_input();
+  two_in.add_input();
+  two_in.add_output(a);
+  EXPECT_THROW(
+      (void)estimate_reliability_vs(two_in, single_buffer(), 0.1),
+      std::invalid_argument);
+}
+
+TEST(Reliability, TrialsRoundedUpToWordMultiple) {
+  ReliabilityOptions options;
+  options.trials = 1;
+  const ReliabilityResult r =
+      estimate_reliability(single_buffer(), 0.1, options);
+  EXPECT_EQ(r.trials, 64u);
+}
+
+TEST(Reliability, DeterministicPerSeed) {
+  ReliabilityOptions options;
+  options.trials = 1 << 12;
+  options.seed = 123;
+  const ReliabilityResult r1 =
+      estimate_reliability(single_buffer(), 0.2, options);
+  const ReliabilityResult r2 =
+      estimate_reliability(single_buffer(), 0.2, options);
+  EXPECT_EQ(r1.failures, r2.failures);
+}
+
+TEST(Reliability, ZeroTrialsRejected) {
+  ReliabilityOptions options;
+  options.trials = 0;
+  EXPECT_THROW((void)estimate_reliability(single_buffer(), 0.1, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::sim

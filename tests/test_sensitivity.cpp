@@ -1,0 +1,120 @@
+#include "sim/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace enb::sim {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+Circuit parity(int n) {
+  Circuit c;
+  NodeId acc = c.add_input();
+  for (int i = 1; i < n; ++i) acc = c.add_gate(GateType::kXor, acc, c.add_input());
+  c.add_output(acc);
+  return c;
+}
+
+Circuit and_gate(int n) {
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < n; ++i) ins.push_back(c.add_input());
+  c.add_output(c.add_gate(GateType::kAnd, ins));
+  return c;
+}
+
+TEST(Sensitivity, ParityIsFullySensitive) {
+  for (int n : {2, 5, 10}) {
+    const SensitivityResult r = compute_sensitivity(parity(n));
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.sensitivity, n) << "n=" << n;
+    // Every input flip always changes parity: influence 1 each.
+    for (double inf : r.influence) EXPECT_DOUBLE_EQ(inf, 1.0);
+    EXPECT_NEAR(r.total_influence, n, 1e-9);
+  }
+}
+
+TEST(Sensitivity, AndGateSensitivity) {
+  // s(AND_n) = n (at the all-ones point); influence per input = 2^-(n-1).
+  for (int n : {2, 4, 6}) {
+    const SensitivityResult r = compute_sensitivity(and_gate(n));
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.sensitivity, n) << "n=" << n;
+    for (double inf : r.influence) {
+      EXPECT_NEAR(inf, std::pow(2.0, -(n - 1)), 1e-9);
+    }
+  }
+}
+
+TEST(Sensitivity, ConstantFunctionHasZeroSensitivity) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  c.add_output(c.add_gate(GateType::kXor, a, a));  // always 0
+  const SensitivityResult r = compute_sensitivity(c);
+  EXPECT_EQ(r.sensitivity, 0);
+  EXPECT_DOUBLE_EQ(r.influence[0], 0.0);
+}
+
+TEST(Sensitivity, MultiOutputUsesAnyOutputChange) {
+  // Outputs {a AND b, a OR b}: flipping either input always changes one of
+  // the two outputs, so s = 2.
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kAnd, a, b));
+  c.add_output(c.add_gate(GateType::kOr, a, b));
+  const SensitivityResult r = compute_sensitivity(c);
+  EXPECT_EQ(r.sensitivity, 2);
+}
+
+TEST(Sensitivity, SampledModeLowerBoundsParity) {
+  // Force sampling by setting max_exact_inputs below n.
+  SensitivityOptions options;
+  options.max_exact_inputs = 4;
+  options.sample_words = 64;
+  const SensitivityResult r = compute_sensitivity(parity(12), options);
+  EXPECT_FALSE(r.exact);
+  // Parity is everywhere fully sensitive, so even sampling finds s = n.
+  EXPECT_EQ(r.sensitivity, 12);
+}
+
+TEST(Sensitivity, SampledModeNeverExceedsExact) {
+  SensitivityOptions sampled;
+  sampled.max_exact_inputs = 2;
+  sampled.sample_words = 32;
+  const Circuit c = and_gate(8);
+  const SensitivityResult lower = compute_sensitivity(c, sampled);
+  const SensitivityResult exact = compute_sensitivity(c);
+  EXPECT_LE(lower.sensitivity, exact.sensitivity);
+}
+
+TEST(Sensitivity, NoInputsGracefully) {
+  Circuit c;
+  c.add_output(c.add_const(true));
+  const SensitivityResult r = compute_sensitivity(c);
+  EXPECT_EQ(r.sensitivity, 0);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(Sensitivity, MuxSensitivity) {
+  // mux(s, a, b) = s ? a : b. At (s,a,b) with a != b every variable matters
+  // for some assignment; max sensitivity is 2 (e.g. s=0,a=1,b=0: flipping s
+  // or b changes output; flipping a does not).
+  Circuit c;
+  const NodeId s = c.add_input();
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId sa = c.add_gate(GateType::kAnd, s, a);
+  const NodeId ns = c.add_gate(GateType::kNot, s);
+  const NodeId nsb = c.add_gate(GateType::kAnd, ns, b);
+  c.add_output(c.add_gate(GateType::kOr, sa, nsb));
+  const SensitivityResult r = compute_sensitivity(c);
+  EXPECT_EQ(r.sensitivity, 2);
+}
+
+}  // namespace
+}  // namespace enb::sim

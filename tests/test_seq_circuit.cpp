@@ -1,0 +1,75 @@
+#include "seq/seq_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace enb::seq {
+namespace {
+
+using netlist::GateType;
+using netlist::NodeId;
+
+SeqCircuit toggle_flipflop() {
+  SeqCircuit seq("toggle");
+  auto& c = seq.core();
+  const NodeId q = c.add_input("q");
+  const NodeId nq = c.add_gate(GateType::kNot, q);
+  c.add_output(q, "out");
+  seq.add_latch(q, nq, false, "q");
+  return seq;
+}
+
+TEST(SeqCircuit, BasicConstruction) {
+  const SeqCircuit seq = toggle_flipflop();
+  EXPECT_EQ(seq.num_latches(), 1u);
+  EXPECT_EQ(seq.num_free_inputs(), 0u);
+  EXPECT_EQ(seq.latches()[0].name, "q");
+  EXPECT_FALSE(seq.latches()[0].initial_value);
+  EXPECT_NO_THROW(seq.validate());
+}
+
+TEST(SeqCircuit, FreeInputsExcludeLatched) {
+  SeqCircuit seq;
+  auto& c = seq.core();
+  const NodeId q = c.add_input("q");
+  const NodeId d = c.add_input("d");
+  const NodeId buf = c.add_gate(GateType::kBuf, d);
+  c.add_output(q);
+  seq.add_latch(q, buf);
+  const auto free = seq.free_inputs();
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0], d);
+}
+
+TEST(SeqCircuit, RejectsNonInputStateOutput) {
+  SeqCircuit seq;
+  auto& c = seq.core();
+  const NodeId a = c.add_input();
+  const NodeId g = c.add_gate(GateType::kNot, a);
+  EXPECT_THROW(seq.add_latch(g, a), std::invalid_argument);
+}
+
+TEST(SeqCircuit, RejectsDoubleLatching) {
+  SeqCircuit seq;
+  auto& c = seq.core();
+  const NodeId q = c.add_input();
+  const NodeId g = c.add_gate(GateType::kNot, q);
+  seq.add_latch(q, g);
+  EXPECT_THROW(seq.add_latch(q, g), std::invalid_argument);
+}
+
+TEST(SeqCircuit, RejectsInvalidIds) {
+  SeqCircuit seq;
+  auto& c = seq.core();
+  const NodeId q = c.add_input();
+  EXPECT_THROW(seq.add_latch(q, static_cast<NodeId>(42)),
+               std::invalid_argument);
+}
+
+TEST(SeqCircuit, ValidateRequiresObservables) {
+  SeqCircuit seq;
+  seq.core().add_input();
+  EXPECT_THROW(seq.validate(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace enb::seq

@@ -1,0 +1,139 @@
+#include "seq/seq_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/seq_gen.hpp"
+#include "seq/unroll.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/prng.hpp"
+
+namespace enb::seq {
+namespace {
+
+TEST(SeqSim, LanesAreIndependentMachines) {
+  const SeqCircuit seq = counter(2);
+  SeqSim sim(seq);
+  // Enable only lane 0 for one cycle: lane 0 advances, lane 1 does not.
+  const std::vector<sim::Word> enable_lane0{1};
+  (void)sim.step(enable_lane0);
+  EXPECT_EQ(sim.state()[0] & 1U, 1u);        // lane 0 counted
+  EXPECT_EQ((sim.state()[0] >> 1) & 1U, 0u); // lane 1 held
+}
+
+TEST(SeqSim, ResetRestoresInitialState) {
+  const SeqCircuit seq = lfsr_maximal(4);
+  SeqSim sim(seq);
+  const std::vector<sim::Word> none{};
+  const auto s0 = sim.state();
+  (void)sim.step(none);
+  (void)sim.step(none);
+  EXPECT_NE(sim.state(), s0);
+  sim.reset();
+  EXPECT_EQ(sim.state(), s0);
+}
+
+TEST(SeqSim, AgreesWithUnrolledCircuit) {
+  // Cycle simulation and time-frame unrolling must produce identical output
+  // streams for the same input stream.
+  const SeqCircuit seq = sequence_detector(0b1101, 4);
+  const int cycles = 8;
+  sim::Xoshiro256 rng(5);
+  std::vector<sim::Word> stream(static_cast<std::size_t>(cycles));
+  for (auto& w : stream) w = rng.next();
+
+  SeqSim cycle_sim(seq);
+  std::vector<sim::Word> cycle_outputs;
+  for (int t = 0; t < cycles; ++t) {
+    const std::vector<sim::Word> in{stream[static_cast<std::size_t>(t)]};
+    cycle_outputs.push_back(cycle_sim.step(in)[0]);
+  }
+
+  UnrollOptions options;
+  options.frames = cycles;
+  const netlist::Circuit u = unroll(seq, options);
+  sim::LogicSim flat(u);
+  flat.eval(stream);
+  const auto flat_outputs = flat.output_values();
+  ASSERT_EQ(flat_outputs.size(), cycle_outputs.size());
+  for (int t = 0; t < cycles; ++t) {
+    EXPECT_EQ(flat_outputs[static_cast<std::size_t>(t)],
+              cycle_outputs[static_cast<std::size_t>(t)])
+        << "cycle " << t;
+  }
+}
+
+TEST(NoisySeqSim, ZeroEpsilonMatchesClean) {
+  const SeqCircuit seq = lfsr_maximal(5);
+  SeqSim clean(seq);
+  NoisySeqSim noisy(seq, 0.0, 9);
+  const std::vector<sim::Word> none{};
+  for (int t = 0; t < 10; ++t) {
+    const auto a = clean.step(none);
+    const auto b = noisy.step(none);
+    EXPECT_EQ(a, b) << "cycle " << t;
+  }
+}
+
+TEST(NoisySeqSim, NoiseDivergesState) {
+  const SeqCircuit seq = lfsr_maximal(5);
+  SeqSim clean(seq);
+  NoisySeqSim noisy(seq, 0.2, 10);
+  const std::vector<sim::Word> none{};
+  bool diverged = false;
+  for (int t = 0; t < 20 && !diverged; ++t) {
+    (void)clean.step(none);
+    (void)noisy.step(none);
+    diverged = clean.state() != noisy.state();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(NoisySeqSim, RejectsBadEpsilon) {
+  const SeqCircuit seq = counter(2);
+  EXPECT_THROW(NoisySeqSim(seq, 0.7, 1), std::invalid_argument);
+}
+
+TEST(SeqReliability, ErrorAccumulatesOverCycles) {
+  // A counter's state error is absorbing (a flipped bit never self-corrects
+  // under pure counting), so state error grows with cycles.
+  const SeqCircuit seq = counter(4);
+  SeqReliabilityOptions options;
+  options.cycles = 12;
+  options.word_passes = 64;
+  const auto points = estimate_seq_reliability(seq, 0.01, options);
+  ASSERT_EQ(points.size(), 12u);
+  EXPECT_LT(points[0].state_error, points[5].state_error);
+  EXPECT_LT(points[5].state_error, points[11].state_error);
+}
+
+TEST(SeqReliability, FirstCycleMatchesCombinationalDelta) {
+  // On cycle 0 the machine is just its combinational core with known state:
+  // the output-error rate must be consistent with a one-shot evaluation.
+  const SeqCircuit seq = counter(4);
+  SeqReliabilityOptions options;
+  options.cycles = 1;
+  options.word_passes = 512;
+  const auto points = estimate_seq_reliability(seq, 0.02, options);
+  // Counter core has 8 gates (XOR+AND per bit); outputs include state
+  // passthroughs (error-free at cycle 0) and carry_out (4 gates deep).
+  EXPECT_GT(points[0].output_error, 0.0);
+  EXPECT_LT(points[0].output_error, 0.2);
+}
+
+TEST(SeqReliability, ZeroNoiseZeroError) {
+  const auto points = estimate_seq_reliability(lfsr_maximal(4), 0.0);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.output_error, 0.0);
+    EXPECT_EQ(p.state_error, 0.0);
+  }
+}
+
+TEST(SeqReliability, Validation) {
+  SeqReliabilityOptions options;
+  options.cycles = 0;
+  EXPECT_THROW((void)estimate_seq_reliability(counter(2), 0.01, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::seq

@@ -1,0 +1,50 @@
+#include "report/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace enb::report {
+namespace {
+
+TEST(Series, ConstructionAndPush) {
+  Series s("energy", {1, 2}, {1.5, 2.5});
+  EXPECT_EQ(s.size(), 2u);
+  s.push(3, 3.5);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.y.back(), 3.5);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Series, MismatchedLengthsRejected) {
+  EXPECT_THROW(Series("bad", {1, 2}, {1.0}), std::invalid_argument);
+}
+
+TEST(Series, FiniteRangeSkipsInfNan) {
+  Series s("mixed", {}, {});
+  s.push(0, 1.0);
+  s.push(1, std::numeric_limits<double>::infinity());
+  s.push(2, 5.0);
+  s.push(3, std::nan(""));
+  double lo = 0, hi = 0;
+  ASSERT_TRUE(s.finite_y_range(lo, hi));
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+}
+
+TEST(Series, AllNonFiniteRange) {
+  Series s("inf", {0.0}, {std::numeric_limits<double>::infinity()});
+  double lo = 0, hi = 0;
+  EXPECT_FALSE(s.finite_y_range(lo, hi));
+}
+
+TEST(Series, EmptyRange) {
+  const Series s;
+  double lo = 0, hi = 0;
+  EXPECT_FALSE(s.finite_y_range(lo, hi));
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace enb::report

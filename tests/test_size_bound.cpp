@@ -1,0 +1,131 @@
+#include "core/size_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace enb::core {
+namespace {
+
+TEST(SizeBound, OmegaLimits) {
+  // omega -> 0 as eps -> 0; omega -> 1/2 as eps -> 1/2.
+  EXPECT_DOUBLE_EQ(omega(0.0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(omega(0.5, 2), 0.5);
+  // omega(eps, 1) == eps.
+  EXPECT_NEAR(omega(0.07, 1), 0.07, 1e-15);
+  // Known value: k=2, eps=0.01 -> (1 - 0.98^2)/2 = 0.0198.
+  EXPECT_NEAR(omega(0.01, 2), 0.0198, 1e-12);
+}
+
+TEST(SizeBound, OmegaMonotoneInFanin) {
+  double prev = 0.0;
+  for (int k = 1; k <= 6; ++k) {
+    const double w = omega(0.05, k);
+    EXPECT_GT(w, prev);
+    EXPECT_LT(w, 0.5);
+    prev = w;
+  }
+}
+
+TEST(SizeBound, TOfOmegaShape) {
+  // t(1/2) = 1 (denominator of the bound vanishes at eps = 1/2).
+  EXPECT_NEAR(t_of_omega(0.5), 1.0, 1e-12);
+  // Symmetric around 1/2.
+  EXPECT_NEAR(t_of_omega(0.2), t_of_omega(0.8), 1e-12);
+  // Diverges toward the edges.
+  EXPECT_GT(t_of_omega(0.001), t_of_omega(0.01));
+  EXPECT_GT(t_of_omega(0.01), t_of_omega(0.1));
+  EXPECT_THROW((void)t_of_omega(0.0), std::invalid_argument);
+  EXPECT_THROW((void)t_of_omega(1.0), std::invalid_argument);
+}
+
+TEST(SizeBound, PaperFigure3Point) {
+  // Figure 3's parameters: s=10, delta=0.01. At k=2, eps=0.01 the bound is
+  // (10 log2 10 + 20 log2 1.96) / (2 log2 t(0.0198)) ≈ 4.7 gates.
+  const double r = redundancy_lower_bound(10, 2, 0.01, 0.01);
+  EXPECT_NEAR(r, 4.7, 0.2);
+}
+
+TEST(SizeBound, ZeroAtZeroEpsilon) {
+  EXPECT_DOUBLE_EQ(redundancy_lower_bound(10, 2, 0.0, 0.01), 0.0);
+}
+
+TEST(SizeBound, InfiniteAtHalfEpsilon) {
+  EXPECT_TRUE(std::isinf(redundancy_lower_bound(10, 2, 0.5, 0.01)));
+}
+
+TEST(SizeBound, MonotoneInEpsilon) {
+  double prev = 0.0;
+  for (double eps : {0.001, 0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.49}) {
+    const double r = redundancy_lower_bound(10, 2, eps, 0.01);
+    EXPECT_GE(r, prev) << "eps=" << eps;
+    prev = r;
+  }
+}
+
+TEST(SizeBound, LargerFaninLowersBound) {
+  // Figure 3: the k=4 curve sits below k=3 below k=2.
+  const double r2 = redundancy_lower_bound(10, 2, 0.01, 0.01);
+  const double r3 = redundancy_lower_bound(10, 3, 0.01, 0.01);
+  const double r4 = redundancy_lower_bound(10, 4, 0.01, 0.01);
+  EXPECT_GT(r2, r3);
+  EXPECT_GT(r3, r4);
+}
+
+TEST(SizeBound, OrderOfMagnitudeNearHalf) {
+  // Paper: "more than an order of magnitude redundancy factor is needed for
+  // error levels close to 0.5" (s=10, S0=21, delta=0.01).
+  const double r = redundancy_lower_bound(10, 2, 0.4, 0.01);
+  EXPECT_GT(r / 21.0, 10.0);
+}
+
+TEST(SizeBound, GrowsSuperlinearlyInSensitivity) {
+  // s log s growth: doubling s more than doubles the bound.
+  const double r1 = redundancy_lower_bound(8, 2, 0.05, 0.01);
+  const double r2 = redundancy_lower_bound(16, 2, 0.05, 0.01);
+  EXPECT_GT(r2, 2.0 * r1);
+}
+
+TEST(SizeBound, VacuousDeltaClampsAtZero) {
+  // For delta -> 1/4, log2(2(1-2delta)) -> 0 and beyond 1/4 it is negative;
+  // with s = 1 (log s = 0) the bound would go negative without the clamp.
+  EXPECT_DOUBLE_EQ(redundancy_lower_bound(1, 2, 0.01, 0.4), 0.0);
+  EXPECT_GE(redundancy_lower_bound(2, 2, 0.01, 0.3), 0.0);
+}
+
+TEST(SizeBound, SizeFactor) {
+  const double r = redundancy_lower_bound(10, 2, 0.01, 0.01);
+  EXPECT_NEAR(size_factor_lower_bound(10, 21, 2, 0.01, 0.01), 1.0 + r / 21.0,
+              1e-12);
+  EXPECT_THROW((void)size_factor_lower_bound(10, 0, 2, 0.01, 0.01),
+               std::invalid_argument);
+}
+
+TEST(SizeBound, FractionalFaninInterpolates) {
+  const double r2 = redundancy_lower_bound(10, 2.0, 0.01, 0.01);
+  const double r25 = redundancy_lower_bound(10, 2.5, 0.01, 0.01);
+  const double r3 = redundancy_lower_bound(10, 3.0, 0.01, 0.01);
+  EXPECT_LT(r25, r2);
+  EXPECT_GT(r25, r3);
+}
+
+TEST(SizeBound, ReferenceShapes) {
+  EXPECT_NEAR(classical_nlogn_bound(8), 8 * 3, 1e-12);
+  EXPECT_GT(size_upper_bound_shape(100), 100.0);
+  EXPECT_THROW((void)classical_nlogn_bound(0.5), std::invalid_argument);
+  EXPECT_THROW((void)size_upper_bound_shape(0.0), std::invalid_argument);
+}
+
+TEST(SizeBound, DomainChecks) {
+  EXPECT_THROW((void)redundancy_lower_bound(0.5, 2, 0.01, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)redundancy_lower_bound(10, 0.5, 0.01, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)redundancy_lower_bound(10, 2, 0.6, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)redundancy_lower_bound(10, 2, 0.01, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::core

@@ -1,0 +1,69 @@
+#include "netlist/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace enb::netlist {
+namespace {
+
+Circuit small_circuit() {
+  Circuit c("small");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId d = c.add_input("c");
+  const NodeId g1 = c.add_gate(GateType::kAnd, a, b);
+  const NodeId g2 = c.add_gate(GateType::kOr, std::vector<NodeId>{g1, d, a});
+  const NodeId g3 = c.add_gate(GateType::kNot, g2);
+  c.add_output(g3, "y");
+  return c;
+}
+
+TEST(Stats, Counts) {
+  const CircuitStats stats = compute_stats(small_circuit());
+  EXPECT_EQ(stats.name, "small");
+  EXPECT_EQ(stats.num_inputs, 3u);
+  EXPECT_EQ(stats.num_outputs, 1u);
+  EXPECT_EQ(stats.num_nodes, 6u);
+  EXPECT_EQ(stats.num_gates, 3u);
+  EXPECT_EQ(stats.depth, 3);
+}
+
+TEST(Stats, FaninStatistics) {
+  const CircuitStats stats = compute_stats(small_circuit());
+  // Fanins: AND=2, OR=3, NOT=1 -> avg 2.0, max 3.
+  EXPECT_DOUBLE_EQ(stats.avg_fanin, 2.0);
+  EXPECT_EQ(stats.max_fanin, 3);
+}
+
+TEST(Stats, Histogram) {
+  const CircuitStats stats = compute_stats(small_circuit());
+  EXPECT_EQ(stats.gate_histogram.at(GateType::kAnd), 1u);
+  EXPECT_EQ(stats.gate_histogram.at(GateType::kOr), 1u);
+  EXPECT_EQ(stats.gate_histogram.at(GateType::kNot), 1u);
+  EXPECT_EQ(stats.gate_histogram.count(GateType::kXor), 0u);
+}
+
+TEST(Stats, FanoutStatistics) {
+  const CircuitStats stats = compute_stats(small_circuit());
+  // a drives AND and OR; fanouts: a=2, b=1, c=1, g1=1, g2=1, g3=0.
+  EXPECT_EQ(stats.max_fanout, 2);
+  EXPECT_NEAR(stats.avg_fanout, 6.0 / 5.0, 1e-12);
+}
+
+TEST(Stats, EmptyAndInputOnly) {
+  Circuit c;
+  c.add_input("a");
+  const CircuitStats stats = compute_stats(c);
+  EXPECT_EQ(stats.num_gates, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_fanin, 0.0);
+  EXPECT_EQ(stats.depth, 0);
+}
+
+TEST(Stats, ToStringMentionsKeyFigures) {
+  const std::string text = compute_stats(small_circuit()).to_string();
+  EXPECT_NE(text.find("small"), std::string::npos);
+  EXPECT_NE(text.find("3 gates"), std::string::npos);
+  EXPECT_NE(text.find("depth 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace enb::netlist

@@ -1,0 +1,112 @@
+#include "synth/strash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/exhaustive.hpp"
+
+namespace enb::synth {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+TEST(Strash, MergesIdenticalGates) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId g1 = c.add_gate(GateType::kAnd, a, b);
+  const NodeId g2 = c.add_gate(GateType::kAnd, a, b);
+  c.add_output(c.add_gate(GateType::kXor, g1, g2));
+  const Circuit s = strash(c);
+  // The two ANDs merge; XOR(x, x) remains structurally (strash does not do
+  // algebra) but has identical fanins.
+  EXPECT_EQ(s.gate_count(), 2u);
+  EXPECT_TRUE(sim::exhaustive_equivalent(c, s));
+}
+
+TEST(Strash, CommutativeCanonicalization) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId g1 = c.add_gate(GateType::kAnd, a, b);
+  const NodeId g2 = c.add_gate(GateType::kAnd, b, a);  // swapped operands
+  c.add_output(g1);
+  c.add_output(g2);
+  const Circuit s = strash(c);
+  EXPECT_EQ(s.gate_count(), 1u);
+  EXPECT_EQ(s.outputs()[0], s.outputs()[1]);
+}
+
+TEST(Strash, NonCommutativeGatesKeepOrder) {
+  // BUF/NOT have a single operand; nothing to reorder, but two NOTs of
+  // different nodes must not merge.
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kNot, a));
+  c.add_output(c.add_gate(GateType::kNot, b));
+  const Circuit s = strash(c);
+  EXPECT_EQ(s.gate_count(), 2u);
+}
+
+TEST(Strash, CascadedSharingDiscovered) {
+  // Two structurally identical towers merge level by level.
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId x1 = c.add_gate(GateType::kAnd, a, b);
+  const NodeId y1 = c.add_gate(GateType::kAnd, b, a);
+  const NodeId x2 = c.add_gate(GateType::kOr, x1, a);
+  const NodeId y2 = c.add_gate(GateType::kOr, y1, a);
+  c.add_output(x2);
+  c.add_output(y2);
+  const Circuit s = strash(c);
+  EXPECT_EQ(s.gate_count(), 2u);
+}
+
+TEST(Strash, ConstantsDeduplicate) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId k1 = c.add_const(true);
+  const NodeId k2 = c.add_const(true);
+  c.add_output(c.add_gate(GateType::kAnd, a, k1));
+  c.add_output(c.add_gate(GateType::kAnd, a, k2));
+  const Circuit s = strash(c);
+  EXPECT_EQ(s.gate_count(), 1u);
+}
+
+TEST(Strash, DifferentTypesNeverMerge) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  c.add_output(c.add_gate(GateType::kAnd, a, b));
+  c.add_output(c.add_gate(GateType::kNand, a, b));
+  const Circuit s = strash(c);
+  EXPECT_EQ(s.gate_count(), 2u);
+}
+
+TEST(Strash, MajCanonicalizes) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  c.add_output(c.add_gate(GateType::kMaj, a, b, d));
+  c.add_output(c.add_gate(GateType::kMaj, d, a, b));
+  const Circuit s = strash(c);
+  EXPECT_EQ(s.gate_count(), 1u);
+}
+
+TEST(Strash, PreservesNamesAndInterface) {
+  Circuit c("named");
+  const NodeId a = c.add_input("in_a");
+  const NodeId b = c.add_input("in_b");
+  c.add_output(c.add_gate(GateType::kOr, a, b), "out_y");
+  const Circuit s = strash(c);
+  EXPECT_EQ(s.name(), "named");
+  EXPECT_EQ(s.node_name(s.inputs()[0]), "in_a");
+  EXPECT_EQ(s.output_name(0), "out_y");
+}
+
+}  // namespace
+}  // namespace enb::synth

@@ -1,0 +1,72 @@
+#include "gen/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/iscas.hpp"
+#include "netlist/validate.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace enb::gen {
+namespace {
+
+TEST(Suite, StandardSuiteBuildsValidCircuits) {
+  for (const BenchmarkSpec& spec : standard_suite()) {
+    const netlist::Circuit c = spec.build();
+    EXPECT_EQ(c.name(), spec.name);
+    const auto report = netlist::validate(c);
+    EXPECT_TRUE(report.ok()) << spec.name;
+    EXPECT_GT(c.gate_count(), 0u) << spec.name;
+  }
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const BenchmarkSpec& spec : standard_suite()) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+  }
+}
+
+TEST(Suite, FamiliesCoverPaperWorkloads) {
+  std::set<std::string> families;
+  for (const BenchmarkSpec& spec : standard_suite()) {
+    families.insert(spec.family);
+  }
+  // The paper's Section 6 mix: ISCAS subset + adders + multipliers; parity is
+  // the tightness family; control circuits widen the sw0 range.
+  EXPECT_TRUE(families.count("iscas"));
+  EXPECT_TRUE(families.count("adder"));
+  EXPECT_TRUE(families.count("multiplier"));
+  EXPECT_TRUE(families.count("parity"));
+}
+
+TEST(Suite, SmallSuiteIsSubsetOfStandard) {
+  std::set<std::string> standard;
+  for (const BenchmarkSpec& spec : standard_suite()) standard.insert(spec.name);
+  for (const BenchmarkSpec& spec : small_suite()) {
+    EXPECT_TRUE(standard.count(spec.name)) << spec.name;
+  }
+}
+
+TEST(Suite, FindBenchmark) {
+  const BenchmarkSpec spec = find_benchmark("rca16");
+  EXPECT_EQ(spec.name, "rca16");
+  EXPECT_EQ(spec.build().num_inputs(), 33u);
+  EXPECT_THROW((void)find_benchmark("c6288"), std::invalid_argument);
+}
+
+TEST(Suite, C17MatchesIscasStructure) {
+  const netlist::Circuit c = c17();
+  EXPECT_EQ(c.num_inputs(), 5u);
+  EXPECT_EQ(c.num_outputs(), 2u);
+  EXPECT_EQ(c.gate_count(), 6u);
+  // Known vector: all inputs 1 -> outputs (1, 0); see test_logic_sim.
+  const std::vector<bool> ones(5, true);
+  const auto out = sim::eval_single(c, ones);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+}  // namespace
+}  // namespace enb::gen

@@ -1,0 +1,76 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace enb::report {
+namespace {
+
+TEST(Table, TextAlignment) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::string("1")});
+  t.add_row({std::string("b"), std::string("22222")});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // Rows have equal visible width (aligned columns).
+  std::size_t first_len = 0;
+  std::size_t start = 0;
+  std::vector<std::size_t> lengths;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) break;
+    lengths.push_back(end - start);
+    start = end + 1;
+  }
+  ASSERT_GE(lengths.size(), 4u);
+  first_len = lengths[0];
+  EXPECT_EQ(lengths[2], first_len);
+  EXPECT_EQ(lengths[3], first_len);
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"bench", "e0.001", "e0.01"});
+  t.add_row("rca8", {1.0123456, std::numeric_limits<double>::infinity()});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("rca8"), std::string::npos);
+  EXPECT_NE(text.find("1.012"), std::string::npos);
+  EXPECT_NE(text.find("inf"), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"a", "b"});
+  t.add_row({std::string("x"), std::string("y")});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+}
+
+TEST(Table, WidthMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only_one")}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(1.5, 3), "1.5");
+  EXPECT_EQ(format_double(0.000125, 3), "0.000125");
+}
+
+TEST(Table, Counts) {
+  Table t({"h1"});
+  EXPECT_EQ(t.num_columns(), 1u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({std::string("v")});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace enb::report

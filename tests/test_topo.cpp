@@ -1,0 +1,114 @@
+#include "netlist/topo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace enb::netlist {
+namespace {
+
+Circuit chain_circuit(int length) {
+  Circuit c("chain");
+  NodeId prev = c.add_input("a");
+  for (int i = 0; i < length; ++i) prev = c.add_gate(GateType::kNot, prev);
+  c.add_output(prev, "y");
+  return c;
+}
+
+TEST(Topo, LevelsOfChain) {
+  const Circuit c = chain_circuit(5);
+  const std::vector<int> level = levels(c);
+  EXPECT_EQ(level.front(), 0);
+  EXPECT_EQ(level.back(), 5);
+  EXPECT_EQ(depth(c), 5);
+}
+
+TEST(Topo, LevelsOfTree) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  const NodeId e = c.add_input();
+  const NodeId g1 = c.add_gate(GateType::kAnd, a, b);
+  const NodeId g2 = c.add_gate(GateType::kAnd, d, e);
+  const NodeId g3 = c.add_gate(GateType::kAnd, g1, g2);
+  c.add_output(g3);
+  const std::vector<int> level = levels(c);
+  EXPECT_EQ(level[g1], 1);
+  EXPECT_EQ(level[g2], 1);
+  EXPECT_EQ(level[g3], 2);
+  EXPECT_EQ(depth(c), 2);
+}
+
+TEST(Topo, DepthOfInputOutput) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  c.add_output(a);
+  EXPECT_EQ(depth(c), 0);
+}
+
+TEST(Topo, UnbalancedDepthTakesMax) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  NodeId deep = a;
+  for (int i = 0; i < 4; ++i) deep = c.add_gate(GateType::kBuf, deep);
+  const NodeId g = c.add_gate(GateType::kAnd, deep, b);
+  c.add_output(g);
+  EXPECT_EQ(depth(c), 5);
+}
+
+TEST(Topo, FanoutCounts) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId g1 = c.add_gate(GateType::kAnd, a, b);
+  const NodeId g2 = c.add_gate(GateType::kOr, a, g1);
+  c.add_output(g2);
+  const std::vector<int> fanout = fanout_counts(c);
+  EXPECT_EQ(fanout[a], 2);
+  EXPECT_EQ(fanout[b], 1);
+  EXPECT_EQ(fanout[g1], 1);
+  EXPECT_EQ(fanout[g2], 0);  // output listing is not a fanout edge
+}
+
+TEST(Topo, TransitiveFaninMarksCone) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId g1 = c.add_gate(GateType::kNot, a);
+  const NodeId g2 = c.add_gate(GateType::kNot, b);  // not in g1's cone
+  const NodeId g3 = c.add_gate(GateType::kAnd, g1, a);
+  c.add_output(g3);
+  c.add_output(g2);
+  const std::vector<NodeId> roots{g3};
+  const std::vector<bool> cone = transitive_fanin(c, roots);
+  EXPECT_TRUE(cone[a]);
+  EXPECT_TRUE(cone[g1]);
+  EXPECT_TRUE(cone[g3]);
+  EXPECT_FALSE(cone[b]);
+  EXPECT_FALSE(cone[g2]);
+}
+
+TEST(Topo, ReachableFromOutputsCoversAllOutputCones) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId dead = c.add_gate(GateType::kNot, a);
+  const NodeId live = c.add_gate(GateType::kBuf, a);
+  c.add_output(live);
+  const std::vector<bool> mark = reachable_from_outputs(c);
+  EXPECT_TRUE(mark[a]);
+  EXPECT_TRUE(mark[live]);
+  EXPECT_FALSE(mark[dead]);
+}
+
+TEST(Topo, MajCountsAsSingleLevel) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  const NodeId m = c.add_gate(GateType::kMaj, a, b, d);
+  c.add_output(m);
+  EXPECT_EQ(depth(c), 1);
+}
+
+}  // namespace
+}  // namespace enb::netlist

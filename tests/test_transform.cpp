@@ -1,0 +1,132 @@
+#include "netlist/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/topo.hpp"
+
+namespace enb::netlist {
+namespace {
+
+Circuit xor_circuit() {
+  Circuit c("xor2");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  c.add_output(c.add_gate(GateType::kXor, a, b), "y");
+  return c;
+}
+
+TEST(Transform, AppendCircuitWiresInputs) {
+  Circuit host("host");
+  const NodeId x = host.add_input("x");
+  const NodeId y = host.add_input("y");
+  const NodeId nx = host.add_gate(GateType::kNot, x);
+  const std::vector<NodeId> subs{nx, y};
+  const std::vector<NodeId> outs = append_circuit(host, xor_circuit(), subs);
+  ASSERT_EQ(outs.size(), 1u);
+  host.add_output(outs[0]);
+  EXPECT_EQ(host.gate_count(), 2u);  // not + xor
+  EXPECT_EQ(host.type(outs[0]), GateType::kXor);
+  EXPECT_EQ(host.fanins(outs[0])[0], nx);
+  EXPECT_EQ(host.fanins(outs[0])[1], y);
+}
+
+TEST(Transform, AppendCircuitChecksInputCount) {
+  Circuit host;
+  const NodeId x = host.add_input();
+  const std::vector<NodeId> subs{x};
+  EXPECT_THROW((void)append_circuit(host, xor_circuit(), subs),
+               std::invalid_argument);
+}
+
+TEST(Transform, AppendCopiesConstants) {
+  Circuit src;
+  const NodeId a = src.add_input();
+  const NodeId k = src.add_const(true);
+  src.add_output(src.add_gate(GateType::kAnd, a, k));
+
+  Circuit host;
+  const NodeId x = host.add_input();
+  const std::vector<NodeId> subs{x};
+  const auto outs = append_circuit(host, src, subs);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(host.type(host.fanins(outs[0])[1]), GateType::kConst1);
+}
+
+TEST(Transform, CloneIsDeepAndIdentical) {
+  const Circuit original = xor_circuit();
+  const Circuit copy = clone(original);
+  EXPECT_EQ(copy.name(), original.name());
+  EXPECT_EQ(copy.node_count(), original.node_count());
+  EXPECT_EQ(copy.num_outputs(), original.num_outputs());
+  EXPECT_EQ(copy.node_name(copy.inputs()[0]), "a");
+  EXPECT_EQ(copy.output_name(0), "y");
+}
+
+TEST(Transform, ExtractConeKeepsAllInputs) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g1 = c.add_gate(GateType::kNot, a);
+  const NodeId g2 = c.add_gate(GateType::kNot, b);
+  c.add_output(g1, "o1");
+  c.add_output(g2, "o2");
+
+  const std::vector<std::size_t> positions{1};
+  const Circuit cone = extract_cone(c, positions);
+  EXPECT_EQ(cone.num_inputs(), 2u);  // inputs stay for stable indexing
+  EXPECT_EQ(cone.num_outputs(), 1u);
+  EXPECT_EQ(cone.gate_count(), 1u);
+  EXPECT_EQ(cone.output_name(0), "o2");
+}
+
+TEST(Transform, ExtractConeRejectsBadPosition) {
+  const Circuit c = xor_circuit();
+  const std::vector<std::size_t> positions{3};
+  EXPECT_THROW((void)extract_cone(c, positions), std::out_of_range);
+}
+
+TEST(Transform, RemoveDeadNodes) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  const NodeId live = c.add_gate(GateType::kBuf, a);
+  c.add_gate(GateType::kNot, a);  // dead
+  c.add_gate(GateType::kXor, a, live);  // dead
+  c.add_output(live, "y");
+
+  const Circuit cleaned = remove_dead_nodes(c);
+  EXPECT_EQ(cleaned.gate_count(), 1u);
+  EXPECT_EQ(cleaned.num_inputs(), 1u);
+  EXPECT_EQ(cleaned.num_outputs(), 1u);
+  EXPECT_EQ(cleaned.output_name(0), "y");
+}
+
+TEST(Transform, RemoveDeadNodesPreservesOutputOrder) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId g1 = c.add_gate(GateType::kNot, a);
+  const NodeId g2 = c.add_gate(GateType::kBuf, a);
+  c.add_output(g2, "second_defined_first");
+  c.add_output(g1, "first_defined_second");
+  const Circuit cleaned = remove_dead_nodes(c);
+  EXPECT_EQ(cleaned.output_name(0), "second_defined_first");
+  EXPECT_EQ(cleaned.output_name(1), "first_defined_second");
+}
+
+TEST(Transform, NestedAppendBuildsLargerDag) {
+  // Build xor4 = xor2(xor2(a,b), xor2(c,d)) from three instances.
+  Circuit host("xor4");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(host.add_input());
+  const Circuit x = xor_circuit();
+  const std::vector<NodeId> s1{ins[0], ins[1]};
+  const std::vector<NodeId> s2{ins[2], ins[3]};
+  const NodeId t1 = append_circuit(host, x, s1)[0];
+  const NodeId t2 = append_circuit(host, x, s2)[0];
+  const std::vector<NodeId> s3{t1, t2};
+  host.add_output(append_circuit(host, x, s3)[0]);
+  EXPECT_EQ(host.gate_count(), 3u);
+  EXPECT_EQ(depth(host), 2);
+}
+
+}  // namespace
+}  // namespace enb::netlist

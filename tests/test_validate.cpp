@@ -1,0 +1,70 @@
+#include "netlist/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/dot_io.hpp"
+
+namespace enb::netlist {
+namespace {
+
+TEST(Validate, CleanCircuitPasses) {
+  Circuit c;
+  const NodeId a = c.add_input("a");
+  c.add_output(c.add_gate(GateType::kNot, a));
+  const ValidationReport report = validate(c);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.warnings.empty());
+  EXPECT_NO_THROW(validate_or_throw(c));
+}
+
+TEST(Validate, NoOutputsIsError) {
+  Circuit c;
+  c.add_input("a");
+  const ValidationReport report = validate(c);
+  EXPECT_FALSE(report.ok());
+  EXPECT_THROW(validate_or_throw(c), std::runtime_error);
+}
+
+TEST(Validate, EmptyCircuitIsError) {
+  const Circuit c;
+  EXPECT_FALSE(validate(c).ok());
+}
+
+TEST(Validate, DeadGatesWarn) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  c.add_gate(GateType::kNot, a);  // dead
+  c.add_output(a);
+  const ValidationReport report = validate(c);
+  EXPECT_TRUE(report.ok());
+  ASSERT_FALSE(report.warnings.empty());
+}
+
+TEST(Validate, UnusedInputWarns) {
+  Circuit c;
+  c.add_input("unused");
+  const NodeId b = c.add_input("used");
+  c.add_output(c.add_gate(GateType::kBuf, b));
+  const ValidationReport report = validate(c);
+  EXPECT_TRUE(report.ok());
+  bool mentioned = false;
+  for (const auto& w : report.warnings) {
+    mentioned = mentioned || w.find("unused") != std::string::npos;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(DotIo, EmitsGraphvizStructure) {
+  Circuit c("dot");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  c.add_output(c.add_gate(GateType::kNand, a, b), "y");
+  const std::string dot = write_dot_string(c);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("NAND"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace enb::netlist

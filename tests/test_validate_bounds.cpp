@@ -1,0 +1,107 @@
+#include "core/validate_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profile.hpp"
+#include "ft/nmr.hpp"
+#include "gen/iscas.hpp"
+#include "sim/reliability.hpp"
+
+namespace enb::core {
+namespace {
+
+TEST(ValidateBounds, ConsistentPointPasses) {
+  const CircuitProfile p = make_profile("toy", 4, 6, 0.4, 2, 4);
+  EmpiricalPoint point;
+  point.scheme = "tmr";
+  point.total_gates = 26;  // 3*6 + voters
+  point.delta_hat = 0.01;
+  point.delta_ci_high = 0.012;
+  const BoundCheck check = check_point(p, 0.01, point);
+  EXPECT_TRUE(check.consistent);
+  EXPECT_FALSE(check.vacuous);
+  EXPECT_GT(check.required_size, 0.0);
+  EXPECT_GT(check.slack, 0.0);
+}
+
+TEST(ValidateBounds, ImpossiblySmallDesignFlagged) {
+  // Claiming delta = 1e-6 at eps = 0.2 with barely more than the base size
+  // violates the bound.
+  const CircuitProfile p = make_profile("toy", 10, 21, 0.5, 2, 10);
+  EmpiricalPoint point;
+  point.scheme = "fantasy";
+  point.total_gates = 22;
+  point.delta_hat = 1e-6;
+  point.delta_ci_high = 1e-6;
+  const BoundCheck check = check_point(p, 0.2, point);
+  EXPECT_FALSE(check.consistent);
+  EXPECT_LT(check.slack, 0.0);
+}
+
+TEST(ValidateBounds, VacuousRegimeNotJudged) {
+  const CircuitProfile p = make_profile("toy", 4, 6, 0.4, 2, 4);
+  EmpiricalPoint point;
+  point.scheme = "broken";
+  point.total_gates = 6;
+  point.delta_hat = 0.6;  // not computing reliably at all
+  point.delta_ci_high = 0.65;
+  const BoundCheck check = check_point(p, 0.3, point);
+  EXPECT_TRUE(check.vacuous);
+  EXPECT_TRUE(check.consistent);
+}
+
+TEST(ValidateBounds, UsesConservativeCiEnd) {
+  const CircuitProfile p = make_profile("toy", 10, 21, 0.5, 2, 10);
+  EmpiricalPoint optimistic;
+  optimistic.total_gates = 30;
+  optimistic.delta_hat = 0.001;  // point estimate would demand more gates
+  optimistic.delta_ci_high = 0.2;  // but the CI is wide
+  const BoundCheck check = check_point(p, 0.1, optimistic);
+  // Required size computed at delta = 0.2 (the easier target), so the check
+  // is conservative.
+  EmpiricalPoint tight = optimistic;
+  tight.delta_ci_high = 0.001;
+  const BoundCheck strict_check = check_point(p, 0.1, tight);
+  EXPECT_LE(check.required_size, strict_check.required_size);
+}
+
+TEST(ValidateBounds, BatchProcessing) {
+  const CircuitProfile p = make_profile("toy", 4, 6, 0.4, 2, 4);
+  std::vector<EmpiricalPoint> points(3);
+  points[0].total_gates = 26;
+  points[0].delta_hat = points[0].delta_ci_high = 0.05;
+  points[1].total_gates = 100;
+  points[1].delta_hat = points[1].delta_ci_high = 0.01;
+  points[2].total_gates = 6;
+  points[2].delta_hat = points[2].delta_ci_high = 0.55;
+  const auto checks = check_points(p, 0.02, points);
+  ASSERT_EQ(checks.size(), 3u);
+  EXPECT_TRUE(checks[0].consistent);
+  EXPECT_TRUE(checks[1].consistent);
+  EXPECT_TRUE(checks[2].vacuous);
+}
+
+TEST(ValidateBounds, RealTmrMeasurementIsConsistent) {
+  // End-to-end: measure TMR'd c17 with Monte-Carlo fault injection and check
+  // the achieved point against the theory.
+  const auto base = gen::c17();
+  const CircuitProfile p = extract_profile(base);
+  const double eps = 0.02;
+  const ft::NmrResult tmr = ft::nmr_transform(base);
+  sim::ReliabilityOptions options;
+  options.trials = 1 << 15;
+  const auto rel =
+      sim::estimate_reliability_vs(tmr.circuit, base, eps, options);
+  EmpiricalPoint point;
+  point.scheme = "tmr";
+  point.total_gates = static_cast<double>(tmr.circuit.gate_count());
+  point.delta_hat = rel.delta_hat;
+  point.delta_ci_high = rel.ci_high;
+  const BoundCheck check = check_point(p, eps, point);
+  EXPECT_TRUE(check.consistent)
+      << "required " << check.required_size << " gates, TMR has "
+      << point.total_gates << " (delta_hat " << point.delta_hat << ")";
+}
+
+}  // namespace
+}  // namespace enb::core

@@ -1,0 +1,79 @@
+#include "ft/voter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/logic_sim.hpp"
+
+namespace enb::ft {
+namespace {
+
+using netlist::Circuit;
+using netlist::NodeId;
+
+int count_ones(int mask, int n) {
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += (mask >> i) & 1;
+  return ones;
+}
+
+class Maj3StyleTest : public ::testing::TestWithParam<VoterStyle> {};
+
+TEST_P(Maj3StyleTest, TruthTable) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  c.add_output(append_maj3(c, a, b, d, GetParam()));
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::vector<bool> in{(mask & 1) != 0, (mask & 2) != 0,
+                               (mask & 4) != 0};
+    EXPECT_EQ(sim::eval_single(c, in)[0], count_ones(mask, 3) >= 2)
+        << "mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, Maj3StyleTest,
+                         ::testing::Values(VoterStyle::kMajGate,
+                                           VoterStyle::kTwoInput));
+
+TEST(Voter, Maj3GateCounts) {
+  Circuit c;
+  const NodeId a = c.add_input();
+  const NodeId b = c.add_input();
+  const NodeId d = c.add_input();
+  (void)append_maj3(c, a, b, d, VoterStyle::kMajGate);
+  EXPECT_EQ(c.gate_count(), 1u);
+  (void)append_maj3(c, a, b, d, VoterStyle::kTwoInput);
+  EXPECT_EQ(c.gate_count(), 5u);
+}
+
+class MajorityNTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MajorityNTest, ExhaustiveThreshold) {
+  const int n = GetParam();
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < n; ++i) ins.push_back(c.add_input());
+  c.add_output(append_majority(c, ins));
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<bool> in;
+    for (int i = 0; i < n; ++i) in.push_back(((mask >> i) & 1) != 0);
+    EXPECT_EQ(sim::eval_single(c, in)[0], count_ones(mask, n) > n / 2)
+        << "n=" << n << " mask=" << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddCounts, MajorityNTest,
+                         ::testing::Values(3, 5, 7, 9, 11));
+
+TEST(Voter, MajorityRejectsEvenOrTiny) {
+  Circuit c;
+  std::vector<NodeId> two{c.add_input(), c.add_input()};
+  EXPECT_THROW((void)append_majority(c, two), std::invalid_argument);
+  two.push_back(c.add_input());
+  two.push_back(c.add_input());  // four signals
+  EXPECT_THROW((void)append_majority(c, two), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::ft

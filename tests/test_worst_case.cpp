@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "gen/adders.hpp"
+#include "gen/iscas.hpp"
+#include "sim/reliability.hpp"
+
+namespace enb::sim {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+TEST(WorstCase, AtLeastAverage) {
+  const Circuit c = gen::ripple_carry_adder(4);
+  const double eps = 0.02;
+  WorstCaseOptions options;
+  options.num_inputs = 48;
+  options.trials_per_input = 1 << 11;
+  const WorstCaseResult wc =
+      estimate_worst_case_reliability(c, c, eps, options);
+  EXPECT_GE(wc.worst.delta_hat, wc.average_delta - 1e-12);
+  EXPECT_EQ(wc.worst_input.size(), c.num_inputs());
+}
+
+TEST(WorstCase, AverageTracksInputAveragedEstimator) {
+  const Circuit c = gen::c17();
+  const double eps = 0.02;
+  WorstCaseOptions options;
+  options.num_inputs = 128;
+  options.trials_per_input = 1 << 11;
+  const WorstCaseResult wc =
+      estimate_worst_case_reliability(c, c, eps, options);
+  ReliabilityOptions avg_options;
+  avg_options.trials = 1 << 16;
+  const ReliabilityResult avg = estimate_reliability(c, eps, avg_options);
+  EXPECT_NEAR(wc.average_delta, avg.delta_hat, 0.01);
+}
+
+TEST(WorstCase, DetectsFragileInput) {
+  // y = AND(x1..x4) with a noisy inverter bubble on one leg: the all-ones
+  // input is far more fragile than a random input (where the AND output is
+  // almost always 0 regardless of single flips).
+  Circuit c;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(c.add_input());
+  NodeId acc = ins[0];
+  for (int i = 1; i < 4; ++i) acc = c.add_gate(GateType::kAnd, acc, ins[i]);
+  c.add_output(acc);
+
+  WorstCaseOptions options;
+  options.num_inputs = 256;  // all 16 assignments will be sampled repeatedly
+  options.trials_per_input = 1 << 10;
+  const WorstCaseResult wc =
+      estimate_worst_case_reliability(c, c, 0.05, options);
+  // Worst case should be several times the average.
+  EXPECT_GT(wc.worst.delta_hat, 2.0 * wc.average_delta);
+}
+
+TEST(WorstCase, ZeroNoiseZeroEverywhere) {
+  const Circuit c = gen::c17();
+  const WorstCaseResult wc = estimate_worst_case_reliability(c, c, 0.0);
+  EXPECT_EQ(wc.worst.failures, 0u);
+  EXPECT_EQ(wc.average_delta, 0.0);
+}
+
+TEST(WorstCase, Validation) {
+  const Circuit c = gen::c17();
+  WorstCaseOptions options;
+  options.num_inputs = 0;
+  EXPECT_THROW((void)estimate_worst_case_reliability(c, c, 0.1, options),
+               std::invalid_argument);
+  Circuit other;
+  other.add_output(other.add_input());
+  EXPECT_THROW((void)estimate_worst_case_reliability(other, c, 0.1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::sim

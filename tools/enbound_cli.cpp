@@ -1,0 +1,233 @@
+// enbound — command-line front end to the bounds framework.
+//
+//   enbound profile <file.bench> [--map K]
+//   enbound analyze <file.bench> [--eps E] [--delta D] [--map K]
+//                   [--leakage L] [--couple-leakage]
+//   enbound sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]
+//                   [--delta D] [--map K] [--csv out.csv]
+//   enbound gen     <name> [-o out.bench]      (suite circuit to .bench)
+//   enbound list                                (available suite circuits)
+//
+// Exit codes: 0 ok, 1 usage error, 2 processing error.
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "gen/suite.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/stats.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "synth/mapper.hpp"
+
+namespace {
+
+using namespace enb;
+
+struct Args {
+  std::vector<std::string> positional;
+  double eps = 0.01;
+  double delta = 0.01;
+  double leakage = 0.5;
+  bool couple_leakage = false;
+  int map_fanin = 3;   // 0 = do not map
+  double eps_lo = 1e-3;
+  double eps_hi = 0.4;
+  int points = 20;
+  std::string out;
+  std::string csv;
+};
+
+int usage() {
+  std::cerr
+      << "usage: enbound <command> [options]\n"
+         "  profile <file.bench> [--map K]\n"
+         "  analyze <file.bench> [--eps E] [--delta D] [--map K]\n"
+         "          [--leakage L] [--couple-leakage]\n"
+         "  sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]\n"
+         "          [--delta D] [--map K] [--csv out.csv]\n"
+         "  gen     <name> [-o out.bench]\n"
+         "  list\n"
+         "notes: --map 0 analyzes the netlist as-is; default maps to the\n"
+         "paper's generic max-fanin-3 library first.\n";
+  return 1;
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](double& slot) -> bool {
+      if (i + 1 >= argc) return false;
+      slot = std::stod(argv[++i]);
+      return true;
+    };
+    if (arg == "--eps") {
+      if (!need_value(args.eps)) return std::nullopt;
+    } else if (arg == "--delta") {
+      if (!need_value(args.delta)) return std::nullopt;
+    } else if (arg == "--leakage") {
+      if (!need_value(args.leakage)) return std::nullopt;
+    } else if (arg == "--eps-lo") {
+      if (!need_value(args.eps_lo)) return std::nullopt;
+    } else if (arg == "--eps-hi") {
+      if (!need_value(args.eps_hi)) return std::nullopt;
+    } else if (arg == "--couple-leakage") {
+      args.couple_leakage = true;
+    } else if (arg == "--map") {
+      if (i + 1 >= argc) return std::nullopt;
+      args.map_fanin = std::stoi(argv[++i]);
+    } else if (arg == "--points") {
+      if (i + 1 >= argc) return std::nullopt;
+      args.points = std::stoi(argv[++i]);
+    } else if (arg == "-o") {
+      if (i + 1 >= argc) return std::nullopt;
+      args.out = argv[++i];
+    } else if (arg == "--csv") {
+      if (i + 1 >= argc) return std::nullopt;
+      args.csv = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return std::nullopt;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+netlist::Circuit load_and_map(const Args& args, const std::string& path) {
+  netlist::Circuit circuit = netlist::read_bench_file(path);
+  if (args.map_fanin > 0) {
+    synth::MapOptions options;
+    options.library = synth::Library::generic(args.map_fanin);
+    circuit = synth::map_to_library(circuit, options).circuit;
+  }
+  return circuit;
+}
+
+void print_profile(const core::CircuitProfile& p) {
+  report::Table t({"field", "value"});
+  t.add_row({std::string("name"), p.name});
+  t.add_row({std::string("inputs"), std::to_string(p.num_inputs)});
+  t.add_row({std::string("outputs"), std::to_string(p.num_outputs)});
+  t.add_row({std::string("gates S0"), report::format_double(p.size_s0, 6)});
+  t.add_row({std::string("depth d0"), std::to_string(p.depth_d0)});
+  t.add_row({std::string("avg fanin k"),
+             report::format_double(p.avg_fanin_k, 4)});
+  t.add_row({std::string("avg activity sw0"),
+             report::format_double(p.avg_activity_sw0, 4)});
+  t.add_row({std::string(p.sensitivity_exact ? "sensitivity s (exact)"
+                                             : "sensitivity s (sampled >=)"),
+             report::format_double(p.sensitivity_s, 4)});
+  std::cout << t.to_text();
+}
+
+int cmd_profile(const Args& args) {
+  const auto circuit = load_and_map(args, args.positional[1]);
+  print_profile(core::extract_profile(circuit));
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const auto circuit = load_and_map(args, args.positional[1]);
+  const core::CircuitProfile profile = core::extract_profile(circuit);
+  print_profile(profile);
+  core::EnergyModelOptions model;
+  model.leakage_fraction = args.leakage;
+  model.couple_leakage_to_delay = args.couple_leakage;
+  const core::BoundReport r =
+      core::analyze(profile, args.eps, args.delta, model);
+  std::cout << "\nbounds at eps = " << args.eps << ", delta = " << args.delta
+            << " (leakage share " << args.leakage << "):\n";
+  report::Table t({"metric", "lower bound"});
+  t.add_row({std::string("redundancy (gates)"),
+             report::format_double(r.redundancy_gates, 5)});
+  t.add_row({std::string("size factor"),
+             report::format_double(r.size_factor, 5)});
+  t.add_row({std::string("switching energy factor"),
+             report::format_double(r.energy.switching_factor, 5)});
+  t.add_row({std::string("total energy factor"),
+             report::format_double(r.energy.total_factor, 5)});
+  t.add_row({std::string("leakage ratio W_L/W_L0"),
+             report::format_double(r.leakage_ratio, 5)});
+  t.add_row({std::string("delay factor"),
+             report::format_double(r.metrics.delay, 5)});
+  t.add_row({std::string("energy x delay factor"),
+             report::format_double(r.metrics.edp, 5)});
+  t.add_row({std::string("avg power factor"),
+             report::format_double(r.metrics.avg_power, 5)});
+  t.add_row({std::string("depth-feasible"),
+             std::string(r.depth_feasible ? "yes" : "no (xi^2 <= 1/k)")});
+  std::cout << t.to_text();
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto circuit = load_and_map(args, args.positional[1]);
+  const core::CircuitProfile profile = core::extract_profile(circuit);
+  const auto grid = core::log_grid(args.eps_lo, args.eps_hi, args.points);
+  const auto reports = core::sweep_epsilon(profile, grid, args.delta);
+  report::Table t({"eps", "E_total", "delay", "edp", "power"});
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : reports) {
+    t.add_row(report::format_double(r.epsilon, 4),
+              {r.energy.total_factor, r.metrics.delay, r.metrics.edp,
+               r.metrics.avg_power});
+    rows.push_back({report::format_double(r.epsilon, 8),
+                    report::format_double(r.energy.total_factor, 8),
+                    report::format_double(r.metrics.delay, 8)});
+  }
+  std::cout << t.to_text();
+  if (!args.csv.empty()) {
+    report::write_csv_file(args.csv, {"eps", "E_total", "delay"}, rows);
+    std::cout << "wrote " << args.csv << "\n";
+  }
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  const gen::BenchmarkSpec spec = gen::find_benchmark(args.positional[1]);
+  const netlist::Circuit circuit = spec.build();
+  if (args.out.empty()) {
+    netlist::write_bench(circuit, std::cout);
+  } else {
+    netlist::write_bench_file(circuit, args.out);
+    std::cout << "wrote " << args.out << " ("
+              << netlist::compute_stats(circuit).num_gates << " gates)\n";
+  }
+  return 0;
+}
+
+int cmd_list() {
+  report::Table t({"name", "family", "inputs", "gates"});
+  for (const gen::BenchmarkSpec& spec : gen::standard_suite()) {
+    const auto c = spec.build();
+    t.add_row({spec.name, spec.family, std::to_string(c.num_inputs()),
+               std::to_string(c.gate_count())});
+  }
+  std::cout << t.to_text();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args.has_value() || args->positional.empty()) return usage();
+  const std::string& command = args->positional[0];
+  try {
+    if (command == "list") return cmd_list();
+    if (args->positional.size() < 2) return usage();
+    if (command == "profile") return cmd_profile(*args);
+    if (command == "analyze") return cmd_analyze(*args);
+    if (command == "sweep") return cmd_sweep(*args);
+    if (command == "gen") return cmd_gen(*args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}
