@@ -3,6 +3,9 @@
 // CSV + gnuplot files under bench_out/.
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +19,19 @@
 namespace enb::bench {
 
 inline constexpr const char* kOutDir = "bench_out";
+
+// True when ENB_SMOKE is set (to anything but "0"): bench binaries shrink
+// their Monte-Carlo budgets so the `bench_smoke` target finishes in seconds
+// while still exercising every code path.
+inline bool smoke_mode() {
+  const char* env = std::getenv("ENB_SMOKE");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// `full` normally, `smoke` under ENB_SMOKE.
+inline std::uint64_t scaled(std::uint64_t full, std::uint64_t smoke) {
+  return smoke_mode() ? smoke : full;
+}
 
 inline void banner(const std::string& id, const std::string& title) {
   std::cout << "\n==== " << id << ": " << title << " ====\n\n";

@@ -26,7 +26,7 @@ void run_base(const netlist::Circuit& base, double eps,
               std::vector<std::vector<std::string>>& csv_rows) {
   const core::CircuitProfile profile = core::extract_profile(base);
   sim::ReliabilityOptions rel_options;
-  rel_options.trials = 1 << 17;
+  rel_options.trials = bench::scaled(1 << 17, 1 << 10);
 
   report::Table table({"scheme", "gates", "delta_hat", "ci_high",
                        "required_gates", "slack", "consistent"});

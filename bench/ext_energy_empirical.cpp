@@ -37,7 +37,7 @@ int main() {
         const auto measured =
             core::empirical_energy_factor(base, redundant, eps);
         sim::ReliabilityOptions rel_options;
-        rel_options.trials = 1 << 14;
+        rel_options.trials = bench::scaled(1 << 14, 1 << 9);
         const auto rel = sim::estimate_reliability_vs(redundant, base, eps,
                                                       rel_options);
         table.add_row({scheme, report::format_double(eps, 3),

@@ -23,8 +23,9 @@ int main() {
     const auto mapped = synth::map_to_library(spec.build(), {});
     // Cone profiling is exhaustive-sensitive; keep it tractable.
     core::ProfileOptions options;
-    options.sensitivity_exact_max_inputs = 16;
-    options.activity_pairs = 1 << 10;
+    options.sensitivity_exact_max_inputs = bench::smoke_mode() ? 12 : 16;
+    options.activity_pairs =
+        static_cast<std::size_t>(bench::scaled(1 << 10, 1 << 6));
     const core::RefinedReport r =
         core::refine_size_bound(mapped.circuit, eps, delta, options);
     std::string dominant = "-";

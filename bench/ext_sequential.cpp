@@ -30,7 +30,7 @@ int main() {
            {"shiftreg8", seq::shift_register(8)}}) {
     seq::SeqReliabilityOptions options;
     options.cycles = 24;
-    options.word_passes = 256;
+    options.word_passes = bench::scaled(256, 16);
     const auto points = seq::estimate_seq_reliability(machine, eps, options);
     report::Series s(name + "_state", {}, {});
     for (const auto& p : points) {

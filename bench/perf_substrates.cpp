@@ -56,11 +56,28 @@ void BM_ActivityEstimateMult8(benchmark::State& state) {
   const auto c = gen::array_multiplier(8);
   sim::ActivityOptions options;
   options.sample_pairs = 256;
+  options.threads = 1;  // serial baseline
   for (auto _ : state) {
     benchmark::DoNotOptimize(sim::estimate_activity(c, options));
   }
 }
 BENCHMARK(BM_ActivityEstimateMult8);
+
+// Same estimate on the global pool; bit-identical result, wall-clock should
+// scale with cores (shards of 64 pairs; 4096 pairs => 64 shards).
+void BM_ActivityEstimateMult8Parallel(benchmark::State& state) {
+  const auto c = gen::array_multiplier(8);
+  sim::ActivityOptions options;
+  options.sample_pairs = 4096;
+  options.shard_pairs = 64;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_activity(c, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.sample_pairs));
+}
+BENCHMARK(BM_ActivityEstimateMult8Parallel)->Arg(1)->Arg(0);
 
 void BM_BddBuildMult4(benchmark::State& state) {
   const auto c = gen::array_multiplier(4);
@@ -94,12 +111,42 @@ void BM_ReliabilityTmrC17(benchmark::State& state) {
   const auto tmr = ft::nmr_transform(base).circuit;
   sim::ReliabilityOptions options;
   options.trials = 1 << 12;
+  options.threads = 1;  // serial baseline
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         sim::estimate_reliability_vs(tmr, base, 0.01, options));
   }
 }
 BENCHMARK(BM_ReliabilityTmrC17);
+
+// Pool-parallel fault injection: arg 1 = serial, arg 0 = global pool.
+void BM_ReliabilityTmrParallel(benchmark::State& state) {
+  const auto base = gen::ripple_carry_adder(4);
+  const auto tmr = ft::nmr_transform(base).circuit;
+  sim::ReliabilityOptions options;
+  options.trials = 1 << 16;
+  options.shard_passes = 16;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::estimate_reliability_vs(tmr, base, 0.01, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_ReliabilityTmrParallel)->Arg(1)->Arg(0);
+
+// Exact sensitivity sweep (2^17-assignment truth table), sharded over
+// exhaustive blocks: arg 1 = serial, arg 0 = global pool.
+void BM_SensitivityParallel(benchmark::State& state) {
+  const auto c = gen::ripple_carry_adder(8);
+  sim::SensitivityOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::compute_sensitivity(c, options));
+  }
+}
+BENCHMARK(BM_SensitivityParallel)->Arg(1)->Arg(0);
 
 void BM_BoundEvaluation(benchmark::State& state) {
   const auto profile = core::make_profile("p", 10, 21, 0.5, 2, 10);

@@ -6,7 +6,9 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/profile.hpp"
+#include "exec/thread_pool.hpp"
 #include "gen/suite.hpp"
 #include "report/table.hpp"
 #include "synth/mapper.hpp"
@@ -19,21 +21,26 @@ struct ProfiledBenchmark {
   netlist::CircuitStats mapped_stats;
 };
 
+// Profiles the whole standard suite, one benchmark per parallel task (each
+// task writes only its own slot, so the result is identical to the serial
+// sweep). Inner Monte-Carlo estimators run inline inside the pool workers.
 inline std::vector<ProfiledBenchmark> profile_suite(int max_fanin = 3) {
-  std::vector<ProfiledBenchmark> out;
-  for (const gen::BenchmarkSpec& spec : gen::standard_suite()) {
+  const std::vector<gen::BenchmarkSpec> specs = gen::standard_suite();
+  std::vector<ProfiledBenchmark> out(specs.size());
+  exec::for_each_index(specs.size(), [&](std::size_t i) {
+    const gen::BenchmarkSpec& spec = specs[i];
     const netlist::Circuit base = spec.build();
     synth::MapOptions map_options;
     map_options.library = synth::Library::generic(max_fanin);
     const synth::MapResult mapped = synth::map_to_library(base, map_options);
     core::ProfileOptions profile_options;
-    profile_options.activity_pairs = 1 << 12;
-    profile_options.sensitivity_exact_max_inputs = 19;
-    ProfiledBenchmark pb{spec,
-                         core::extract_profile(mapped.circuit, profile_options),
-                         mapped.after};
-    out.push_back(std::move(pb));
-  }
+    profile_options.activity_pairs =
+        static_cast<std::size_t>(scaled(1 << 12, 1 << 6));
+    profile_options.sensitivity_exact_max_inputs = smoke_mode() ? 14 : 19;
+    out[i] = ProfiledBenchmark{
+        spec, core::extract_profile(mapped.circuit, profile_options),
+        mapped.after};
+  });
   return out;
 }
 

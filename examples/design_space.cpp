@@ -8,6 +8,7 @@
 #include "core/analyzer.hpp"
 #include "core/delay_model.hpp"
 #include "core/depth_bound.hpp"
+#include "exec/thread_pool.hpp"
 #include "gen/multipliers.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/table.hpp"
@@ -42,13 +43,18 @@ int main() {
   std::cout << "total-energy lower-bound factor over (eps, delta):\n"
             << grid.to_text() << "\n";
 
-  // Energy and delay vs eps as a chart.
+  // Energy and delay vs eps as a chart. Grid points are independent, so the
+  // sweep fans out over the pool with slot-per-index writes.
+  const std::vector<double> eps_grid = core::log_grid(1e-3, 0.2, 24);
+  std::vector<core::BoundReport> reports(eps_grid.size());
+  exec::for_each_index(eps_grid.size(), [&](std::size_t i) {
+    reports[i] = core::analyze(profile, eps_grid[i], 0.01);
+  });
   report::Series energy("energy", {}, {});
   report::Series delay("delay", {}, {});
-  for (double eps : core::log_grid(1e-3, 0.2, 24)) {
-    const auto r = core::analyze(profile, eps, 0.01);
-    energy.push(eps, r.energy.total_factor);
-    delay.push(eps, r.metrics.delay);
+  for (std::size_t i = 0; i < eps_grid.size(); ++i) {
+    energy.push(eps_grid[i], reports[i].energy.total_factor);
+    delay.push(eps_grid[i], reports[i].metrics.delay);
   }
   report::ChartOptions chart;
   chart.title = "bounds vs eps (delta = 0.01)";

@@ -44,6 +44,7 @@ CircuitProfile extract_profile(const netlist::Circuit& circuit,
     sim::ActivityOptions activity_options;
     activity_options.sample_pairs = options.activity_pairs;
     activity_options.seed = options.seed;
+    activity_options.threads = options.threads;
     p.avg_activity_sw0 =
         sim::estimate_activity(circuit, activity_options).avg_gate_toggle_rate;
   }
@@ -52,6 +53,7 @@ CircuitProfile extract_profile(const netlist::Circuit& circuit,
   sens_options.max_exact_inputs = options.sensitivity_exact_max_inputs;
   sens_options.sample_words = options.sensitivity_sample_words;
   sens_options.seed = options.seed + 1;
+  sens_options.threads = options.threads;
   const sim::SensitivityResult sens =
       sim::compute_sensitivity(circuit, sens_options);
   p.sensitivity_s = std::max(1, sens.sensitivity);

@@ -35,6 +35,9 @@ struct ProfileOptions {
   int sensitivity_exact_max_inputs = 20;
   std::uint64_t sensitivity_sample_words = 256;
   std::uint64_t seed = 17;
+  // Threads for the Monte-Carlo substrates (0 = global pool, 1 = serial);
+  // results are bit-identical either way.
+  unsigned threads = 0;
 };
 
 // Measures a profile from a (typically mapped) netlist.

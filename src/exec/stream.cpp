@@ -1,0 +1,39 @@
+#include "exec/stream.hpp"
+
+#include <stdexcept>
+
+namespace enb::exec {
+
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Weyl-sequence step per stream keeps pre-mix states distinct for a fixed
+  // seed; the double mix decorrelates neighbouring indices.
+  std::uint64_t z = seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
+  return mix64(mix64(z) ^ 0xD1B54A32D192ED03ULL);
+}
+
+ShardPlan::ShardPlan(std::size_t total, std::size_t shard_size)
+    : total_(total), shard_size_(shard_size == 0 ? 1 : shard_size) {
+  num_shards_ = (total_ + shard_size_ - 1) / shard_size_;
+}
+
+Shard ShardPlan::shard(std::size_t index) const noexcept {
+  Shard s;
+  s.index = index;
+  s.begin = index * shard_size_;
+  s.end = s.begin + shard_size_;
+  if (s.end > total_) s.end = total_;
+  if (s.begin > total_) s.begin = total_;
+  return s;
+}
+
+}  // namespace enb::exec

@@ -1,0 +1,52 @@
+// Counter-based PRNG stream derivation and shard planning for parallel
+// Monte-Carlo estimation.
+//
+// The estimators split their trial budget into fixed-size shards; shard i
+// draws every random number from a generator seeded with
+// stream_seed(master_seed, i). Because the derivation is a pure function of
+// (seed, shard index) — never of execution order — results are bit-identical
+// whether shards run serially, on 2 threads, or on 64, which is what makes
+// the parallel engine safe to drop into reproducible experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace enb::exec {
+
+// Derives a decorrelated 64-bit seed for stream `stream` of `seed`. Two
+// rounds of the splitmix64 finalizer over the (seed, stream) pair; within a
+// fixed master seed, distinct stream indices always yield distinct states
+// entering the mix.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t seed,
+                                        std::uint64_t stream) noexcept;
+
+// A contiguous [begin, end) slice of a trial budget.
+struct Shard {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+// Fixed-size decomposition of `total` items into shards of `shard_size`
+// (last shard may be short). The shard size is part of an estimator's seed
+// contract: changing it re-partitions the stream space and therefore changes
+// (deterministically) which random numbers each trial sees.
+class ShardPlan {
+ public:
+  ShardPlan(std::size_t total, std::size_t shard_size);
+
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t shard_size() const noexcept { return shard_size_; }
+  [[nodiscard]] std::size_t num_shards() const noexcept { return num_shards_; }
+  [[nodiscard]] Shard shard(std::size_t index) const noexcept;
+
+ private:
+  std::size_t total_;
+  std::size_t shard_size_;
+  std::size_t num_shards_;
+};
+
+}  // namespace enb::exec

@@ -1,7 +1,10 @@
 #include "sim/activity.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
+#include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/exhaustive.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/prng.hpp"
@@ -37,33 +40,51 @@ ActivityResult estimate_activity(const Circuit& circuit,
   const std::size_t n = circuit.node_count();
   std::vector<std::uint64_t> ones(n, 0);
   std::vector<std::uint64_t> toggles(n, 0);
-
-  Xoshiro256 rng(options.seed);
-  LogicSim sim_a(circuit);
-  LogicSim sim_b(circuit);
-  std::vector<Word> in_a(circuit.num_inputs());
-  std::vector<Word> in_b(circuit.num_inputs());
   const double p_in = options.input_one_probability;
 
-  for (std::size_t pair = 0; pair < options.sample_pairs; ++pair) {
-    for (std::size_t i = 0; i < in_a.size(); ++i) {
-      if (p_in == 0.5) {
-        in_a[i] = rng.next();
-        in_b[i] = rng.next();
-      } else {
-        in_a[i] = bernoulli_word(rng, p_in);
-        in_b[i] = bernoulli_word(rng, p_in);
-      }
-    }
-    sim_a.eval(in_a);
-    sim_b.eval(in_b);
-    for (std::size_t id = 0; id < n; ++id) {
-      const Word a = sim_a.values()[id];
-      const Word b = sim_b.values()[id];
-      ones[id] += static_cast<std::uint64_t>(popcount(a));
-      toggles[id] += static_cast<std::uint64_t>(popcount(a ^ b));
-    }
-  }
+  // Each shard owns a counter-based PRNG stream and local accumulators; the
+  // merge is an integer sum, so the totals are independent of the order in
+  // which shards finish — bit-exact for any thread count.
+  const exec::ShardPlan plan(options.sample_pairs, options.shard_pairs);
+  std::mutex merge_mutex;
+  exec::for_each_shard(
+      plan,
+      [&](const exec::Shard& shard) {
+        Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
+        LogicSim sim_a(circuit);
+        LogicSim sim_b(circuit);
+        std::vector<Word> in_a(circuit.num_inputs());
+        std::vector<Word> in_b(circuit.num_inputs());
+        std::vector<std::uint64_t> local_ones(n, 0);
+        std::vector<std::uint64_t> local_toggles(n, 0);
+
+        for (std::size_t pair = shard.begin; pair < shard.end; ++pair) {
+          for (std::size_t i = 0; i < in_a.size(); ++i) {
+            if (p_in == 0.5) {
+              in_a[i] = rng.next();
+              in_b[i] = rng.next();
+            } else {
+              in_a[i] = bernoulli_word(rng, p_in);
+              in_b[i] = bernoulli_word(rng, p_in);
+            }
+          }
+          sim_a.eval(in_a);
+          sim_b.eval(in_b);
+          for (std::size_t id = 0; id < n; ++id) {
+            const Word a = sim_a.values()[id];
+            const Word b = sim_b.values()[id];
+            local_ones[id] += static_cast<std::uint64_t>(popcount(a));
+            local_toggles[id] += static_cast<std::uint64_t>(popcount(a ^ b));
+          }
+        }
+
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t id = 0; id < n; ++id) {
+          ones[id] += local_ones[id];
+          toggles[id] += local_toggles[id];
+        }
+      },
+      exec::ExecPolicy{options.threads});
 
   const double lanes =
       static_cast<double>(options.sample_pairs) * kWordBits;

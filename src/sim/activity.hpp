@@ -28,6 +28,12 @@ struct ActivityOptions {
   std::size_t sample_pairs = 1 << 14;  // vector pairs (64 lanes each)
   std::uint64_t seed = 1;
   double input_one_probability = 0.5;
+  // Parallel execution. The pair budget is split into shards of
+  // `shard_pairs`; shard i draws all randomness from a counter-based stream
+  // seeded by (seed, i), so the estimate is bit-identical for every thread
+  // count (threads: 0 = global pool, 1 = serial, N = dedicated pool).
+  std::size_t shard_pairs = 256;
+  unsigned threads = 0;
 };
 
 // Monte-Carlo estimate over random vector pairs.

@@ -55,8 +55,7 @@ void for_each_exhaustive_block(
     int num_inputs,
     const std::function<void(std::uint64_t, std::span<const Word>, Word)>& fn) {
   const std::uint64_t blocks = exhaustive_block_count(num_inputs);
-  const Word valid =
-      num_inputs >= 6 ? kAllOnes : low_mask(1 << num_inputs);
+  const Word valid = exhaustive_valid_mask(num_inputs);
   std::vector<Word> words;
   for (std::uint64_t block = 0; block < blocks; ++block) {
     fill_exhaustive_block(num_inputs, block, words);

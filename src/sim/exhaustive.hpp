@@ -30,6 +30,13 @@ void fill_exhaustive_block(int num_inputs, std::uint64_t block,
 // Number of 64-lane blocks for n inputs (== max(1, 2^(n-6))).
 [[nodiscard]] std::uint64_t exhaustive_block_count(int num_inputs);
 
+// Lane-validity mask of every block of an n-input enumeration: all 64 lanes
+// except when num_inputs < 6, where only the low 2^n lanes of the single
+// block encode assignments.
+[[nodiscard]] inline Word exhaustive_valid_mask(int num_inputs) noexcept {
+  return num_inputs >= 6 ? kAllOnes : low_mask(1 << num_inputs);
+}
+
 // Calls fn(block_index, input_words) for every block. `valid_lanes` lanes are
 // always all-64 valid except when num_inputs < 6, in which case only the low
 // 2^num_inputs lanes of the single block are meaningful; the helper hands the

@@ -1,8 +1,12 @@
 #include "sim/noise.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace enb::sim {
 
@@ -70,35 +74,57 @@ ActivityResult estimate_noisy_activity(const Circuit& circuit, double epsilon,
     throw std::invalid_argument(
         "estimate_noisy_activity: sample_pairs must be > 0");
   }
-  Xoshiro256 rng(options.seed);
-  NoisySim sim(circuit, epsilon, rng.next());
-  std::vector<Word> in_a(circuit.num_inputs());
-  std::vector<Word> in_b(circuit.num_inputs());
-  std::vector<Word> first(circuit.node_count());
-  std::vector<std::uint64_t> ones(circuit.node_count(), 0);
-  std::vector<std::uint64_t> toggles(circuit.node_count(), 0);
+  const std::size_t n = circuit.node_count();
+  std::vector<std::uint64_t> ones(n, 0);
+  std::vector<std::uint64_t> toggles(n, 0);
 
-  for (std::size_t pair = 0; pair < options.sample_pairs; ++pair) {
-    for (Word& w : in_a) {
-      w = options.input_one_probability == 0.5
-              ? rng.next()
-              : bernoulli_word(rng, options.input_one_probability);
-    }
-    for (Word& w : in_b) {
-      w = options.input_one_probability == 0.5
-              ? rng.next()
-              : bernoulli_word(rng, options.input_one_probability);
-    }
-    sim.eval(in_a);
-    std::copy(sim.values().begin(), sim.values().end(), first.begin());
-    sim.eval(in_b);
-    for (std::size_t id = 0; id < circuit.node_count(); ++id) {
-      ones[id] += static_cast<std::uint64_t>(popcount(first[id])) +
-                  static_cast<std::uint64_t>(popcount(sim.values()[id]));
-      toggles[id] += static_cast<std::uint64_t>(
-          popcount(first[id] ^ sim.values()[id]));
-    }
-  }
+  // Sharded exactly like estimate_activity: per-shard counter-based streams
+  // (inputs and the shard's private noise source both derive from the shard
+  // stream) plus order-insensitive integer merges keep the estimate
+  // bit-identical across thread counts.
+  const exec::ShardPlan plan(options.sample_pairs, options.shard_pairs);
+  std::mutex merge_mutex;
+  exec::for_each_shard(
+      plan,
+      [&](const exec::Shard& shard) {
+        Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
+        NoisySim sim(circuit, epsilon, rng.next());
+        std::vector<Word> in_a(circuit.num_inputs());
+        std::vector<Word> in_b(circuit.num_inputs());
+        std::vector<Word> first(n);
+        std::vector<std::uint64_t> local_ones(n, 0);
+        std::vector<std::uint64_t> local_toggles(n, 0);
+
+        for (std::size_t pair = shard.begin; pair < shard.end; ++pair) {
+          for (Word& w : in_a) {
+            w = options.input_one_probability == 0.5
+                    ? rng.next()
+                    : bernoulli_word(rng, options.input_one_probability);
+          }
+          for (Word& w : in_b) {
+            w = options.input_one_probability == 0.5
+                    ? rng.next()
+                    : bernoulli_word(rng, options.input_one_probability);
+          }
+          sim.eval(in_a);
+          std::copy(sim.values().begin(), sim.values().end(), first.begin());
+          sim.eval(in_b);
+          for (std::size_t id = 0; id < n; ++id) {
+            local_ones[id] +=
+                static_cast<std::uint64_t>(popcount(first[id])) +
+                static_cast<std::uint64_t>(popcount(sim.values()[id]));
+            local_toggles[id] += static_cast<std::uint64_t>(
+                popcount(first[id] ^ sim.values()[id]));
+          }
+        }
+
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t id = 0; id < n; ++id) {
+          ones[id] += local_ones[id];
+          toggles[id] += local_toggles[id];
+        }
+      },
+      exec::ExecPolicy{options.threads});
 
   const double lanes =
       static_cast<double>(options.sample_pairs) * kWordBits;

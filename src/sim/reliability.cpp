@@ -1,8 +1,12 @@
 #include "sim/reliability.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
+#include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/noise.hpp"
 #include "sim/prng.hpp"
@@ -46,28 +50,40 @@ ReliabilityResult estimate_reliability_vs(const Circuit& noisy,
   }
   const std::uint64_t passes = (options.trials + kWordBits - 1) / kWordBits;
 
-  Xoshiro256 rng(options.seed);
-  NoisySim noisy_sim(noisy, epsilon, rng.next());
-  LogicSim golden_sim(golden);
-  std::vector<Word> inputs(noisy.num_inputs());
+  // Sharded over word passes: shard i's inputs and fault injections derive
+  // from the counter-based stream of (seed, i), and failures combine through
+  // an order-insensitive integer sum — bit-identical for any thread count.
+  const exec::ShardPlan plan(static_cast<std::size_t>(passes),
+                             static_cast<std::size_t>(options.shard_passes));
+  std::atomic<std::uint64_t> failures{0};
+  exec::for_each_shard(
+      plan,
+      [&](const exec::Shard& shard) {
+        Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
+        NoisySim noisy_sim(noisy, epsilon, rng.next());
+        LogicSim golden_sim(golden);
+        std::vector<Word> inputs(noisy.num_inputs());
 
-  std::uint64_t failures = 0;
-  for (std::uint64_t pass = 0; pass < passes; ++pass) {
-    for (Word& w : inputs) {
-      w = options.input_one_probability == 0.5
-              ? rng.next()
-              : bernoulli_word(rng, options.input_one_probability);
-    }
-    noisy_sim.eval(inputs);
-    golden_sim.eval(inputs);
-    Word wrong = 0;
-    for (std::size_t o = 0; o < noisy.num_outputs(); ++o) {
-      wrong |= noisy_sim.value(noisy.outputs()[o]) ^
-               golden_sim.value(golden.outputs()[o]);
-    }
-    failures += static_cast<std::uint64_t>(popcount(wrong));
-  }
-  return wilson_interval(failures, passes * kWordBits);
+        std::uint64_t local_failures = 0;
+        for (std::size_t pass = shard.begin; pass < shard.end; ++pass) {
+          for (Word& w : inputs) {
+            w = options.input_one_probability == 0.5
+                    ? rng.next()
+                    : bernoulli_word(rng, options.input_one_probability);
+          }
+          noisy_sim.eval(inputs);
+          golden_sim.eval(inputs);
+          Word wrong = 0;
+          for (std::size_t o = 0; o < noisy.num_outputs(); ++o) {
+            wrong |= noisy_sim.value(noisy.outputs()[o]) ^
+                     golden_sim.value(golden.outputs()[o]);
+          }
+          local_failures += static_cast<std::uint64_t>(popcount(wrong));
+        }
+        failures.fetch_add(local_failures, std::memory_order_relaxed);
+      },
+      exec::ExecPolicy{options.threads});
+  return wilson_interval(failures.load(), passes * kWordBits);
 }
 
 ReliabilityResult estimate_reliability(const Circuit& circuit, double epsilon,
@@ -90,43 +106,69 @@ WorstCaseResult estimate_worst_case_reliability(
   const std::uint64_t passes =
       (options.trials_per_input + kWordBits - 1) / kWordBits;
 
-  Xoshiro256 rng(options.seed);
-  NoisySim noisy_sim(noisy, epsilon, rng.next());
-  LogicSim golden_sim(golden);
-  std::vector<Word> inputs(noisy.num_inputs());
+  // Every sampled input is an independent experiment with its own
+  // counter-based stream, so samples parallelize freely; the per-sample
+  // failure counts land in slots indexed by sample and the argmax/average
+  // reduction below runs serially in sample order — the result cannot
+  // depend on the thread count. The sampled assignment itself is a pure
+  // function of (seed, sample), so only the failure counts are stored and
+  // the winning assignment is re-derived from its stream after the argmax.
+  // The first draw of each sample's stream seeds its private noise source;
+  // the assignment bits follow.
+  const auto sample_assignment = [&](std::size_t sample,
+                                     std::vector<Word>* inputs) {
+    Xoshiro256 rng(
+        exec::stream_seed(options.seed, static_cast<std::uint64_t>(sample)));
+    const std::uint64_t noise_seed = rng.next();
+    std::vector<bool> current(noisy.num_inputs());
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      // One fixed assignment, broadcast to all lanes: every lane is an
+      // independent noise draw for the *same* input.
+      current[i] = (rng.next() & 1U) != 0;
+      if (inputs != nullptr) (*inputs)[i] = current[i] ? kAllOnes : 0;
+    }
+    return std::make_pair(std::move(current), noise_seed);
+  };
+
+  const std::size_t num_samples =
+      static_cast<std::size_t>(options.num_inputs);
+  std::vector<std::uint64_t> sample_failures(num_samples, 0);
+  exec::for_each_index(
+      num_samples,
+      [&](std::size_t sample) {
+        std::vector<Word> inputs(noisy.num_inputs());
+        const std::uint64_t noise_seed =
+            sample_assignment(sample, &inputs).second;
+        NoisySim noisy_sim(noisy, epsilon, noise_seed);
+        LogicSim golden_sim(golden);
+        golden_sim.eval(inputs);
+        std::uint64_t failures = 0;
+        for (std::uint64_t pass = 0; pass < passes; ++pass) {
+          noisy_sim.eval(inputs);
+          Word wrong = 0;
+          for (std::size_t o = 0; o < noisy.num_outputs(); ++o) {
+            wrong |= noisy_sim.value(noisy.outputs()[o]) ^
+                     golden_sim.value(golden.outputs()[o]);
+          }
+          failures += static_cast<std::uint64_t>(popcount(wrong));
+        }
+        sample_failures[sample] = failures;
+      },
+      exec::ExecPolicy{options.threads});
 
   WorstCaseResult result;
   std::uint64_t worst_failures = 0;
+  std::size_t worst_sample = 0;
   double delta_sum = 0.0;
-  std::vector<bool> current(noisy.num_inputs());
-
-  for (std::uint64_t sample = 0; sample < options.num_inputs; ++sample) {
-    // One fixed assignment, broadcast to all lanes: every lane is an
-    // independent noise draw for the *same* input.
-    for (std::size_t i = 0; i < current.size(); ++i) {
-      current[i] = (rng.next() & 1U) != 0;
-      inputs[i] = current[i] ? kAllOnes : 0;
-    }
-    golden_sim.eval(inputs);
-    std::uint64_t failures = 0;
-    for (std::uint64_t pass = 0; pass < passes; ++pass) {
-      noisy_sim.eval(inputs);
-      Word wrong = 0;
-      for (std::size_t o = 0; o < noisy.num_outputs(); ++o) {
-        wrong |= noisy_sim.value(noisy.outputs()[o]) ^
-                 golden_sim.value(golden.outputs()[o]);
-      }
-      failures += static_cast<std::uint64_t>(popcount(wrong));
-    }
-    const double delta =
-        static_cast<double>(failures) /
-        static_cast<double>(passes * kWordBits);
-    delta_sum += delta;
-    if (failures >= worst_failures) {
-      worst_failures = failures;
-      result.worst_input = current;
+  for (std::size_t sample = 0; sample < num_samples; ++sample) {
+    delta_sum += static_cast<double>(sample_failures[sample]) /
+                 static_cast<double>(passes * kWordBits);
+    if (sample_failures[sample] >= worst_failures) {
+      worst_failures = sample_failures[sample];
+      worst_sample = sample;
     }
   }
+  result.worst_input = sample_assignment(worst_sample, nullptr).first;
   result.worst = wilson_interval(worst_failures, passes * kWordBits);
   result.average_delta = delta_sum / static_cast<double>(options.num_inputs);
   return result;

@@ -27,6 +27,13 @@ struct ReliabilityOptions {
   std::uint64_t trials = 1 << 16;  // rounded up to a multiple of 64
   std::uint64_t seed = 7;
   double input_one_probability = 0.5;
+  // Parallel execution. The word passes (64 trials each) are split into
+  // shards of `shard_passes`; shard i derives all randomness (inputs and its
+  // private fault-injection stream) from a counter-based stream of (seed, i),
+  // so delta_hat is bit-identical for every thread count (threads: 0 =
+  // global pool, 1 = serial, N = dedicated pool).
+  std::uint64_t shard_passes = 32;
+  unsigned threads = 0;
 };
 
 // 95% Wilson score interval for `successes` out of `trials`.
@@ -56,6 +63,10 @@ struct WorstCaseOptions {
   std::uint64_t num_inputs = 64;        // sampled input vectors
   std::uint64_t trials_per_input = 1 << 12;  // noise draws per vector
   std::uint64_t seed = 0xBAD1;
+  // Sampled inputs are independent, so each gets its own counter-based
+  // stream and they run in parallel; the argmax reduction happens serially
+  // in sample order, keeping the result thread-count independent.
+  unsigned threads = 0;
 };
 
 struct WorstCaseResult {

@@ -1,7 +1,10 @@
 #include "sim/sensitivity.hpp"
 
 #include <algorithm>
+#include <mutex>
 
+#include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/bitpack.hpp"
 #include "sim/exhaustive.hpp"
 #include "sim/logic_sim.hpp"
@@ -44,43 +47,94 @@ SensitivityResult compute_sensitivity(const Circuit& circuit,
 
   const bool exact = n <= options.max_exact_inputs &&
                      n <= kMaxExhaustiveInputs;
-  LogicSim sim(circuit);
-  std::vector<Word> inputs(static_cast<std::size_t>(n));
-  std::vector<Word> base_outputs(circuit.num_outputs());
   std::vector<std::uint64_t> influence_counts(static_cast<std::size_t>(n), 0);
-  LaneCounter counter(n);
-  Xoshiro256 rng(options.seed);
-
   std::uint64_t lane_total = 0;
-  const auto process_block = [&](Word valid) {
-    sim.eval(inputs);
+  std::mutex merge_mutex;
+
+  // Per-shard worker state: its own simulator, buffers and accumulators.
+  // Shards merge by sum (influence, lane totals) and max (sensitivity), so
+  // the sweep is thread-count independent for both the exact enumeration
+  // (no randomness at all) and the sampled one (counter-based streams).
+  struct ShardState {
+    LogicSim sim;
+    std::vector<Word> inputs;
+    std::vector<Word> base_outputs;
+    std::vector<std::uint64_t> influence_counts;
+    LaneCounter counter;
+    int sensitivity = 0;
+    std::uint64_t lane_total = 0;
+
+    ShardState(const Circuit& circuit, int n)
+        : sim(circuit),
+          inputs(static_cast<std::size_t>(n)),
+          base_outputs(circuit.num_outputs()),
+          influence_counts(static_cast<std::size_t>(n), 0),
+          counter(n) {}
+  };
+
+  const auto process_block = [&](ShardState& state, Word valid) {
+    state.sim.eval(state.inputs);
     for (std::size_t o = 0; o < circuit.num_outputs(); ++o) {
-      base_outputs[o] = sim.value(circuit.outputs()[o]);
+      state.base_outputs[o] = state.sim.value(circuit.outputs()[o]);
     }
-    counter.reset();
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      const Word diff =
-          flip_difference(sim, inputs, base_outputs, i, circuit) & valid;
-      influence_counts[i] += static_cast<std::uint64_t>(popcount(diff));
-      counter.add(diff);
+    state.counter.reset();
+    for (std::size_t i = 0; i < state.inputs.size(); ++i) {
+      const Word diff = flip_difference(state.sim, state.inputs,
+                                        state.base_outputs, i, circuit) &
+                        valid;
+      state.influence_counts[i] += static_cast<std::uint64_t>(popcount(diff));
+      state.counter.add(diff);
     }
-    result.sensitivity = std::max(result.sensitivity, counter.max_lane(valid));
-    lane_total += static_cast<std::uint64_t>(popcount(valid));
+    state.sensitivity =
+        std::max(state.sensitivity, state.counter.max_lane(valid));
+    state.lane_total += static_cast<std::uint64_t>(popcount(valid));
+  };
+
+  const auto merge_shard = [&](const ShardState& state) {
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t i = 0; i < influence_counts.size(); ++i) {
+      influence_counts[i] += state.influence_counts[i];
+    }
+    result.sensitivity = std::max(result.sensitivity, state.sensitivity);
+    lane_total += state.lane_total;
   };
 
   if (exact) {
-    for_each_exhaustive_block(
-        n, [&](std::uint64_t, std::span<const Word> block_inputs, Word valid) {
-          std::copy(block_inputs.begin(), block_inputs.end(), inputs.begin());
-          process_block(valid);
-        });
+    // Blocks are pure functions of their index, so the exhaustive sweep
+    // shards over block ranges with no randomness involved.
+    const std::uint64_t blocks = exhaustive_block_count(n);
+    const exec::ShardPlan plan(static_cast<std::size_t>(blocks),
+                               static_cast<std::size_t>(options.shard_words));
+    exec::for_each_shard(
+        plan,
+        [&](const exec::Shard& shard) {
+          ShardState state(circuit, n);
+          const Word valid = exhaustive_valid_mask(n);
+          for (std::size_t block = shard.begin; block < shard.end; ++block) {
+            fill_exhaustive_block(n, static_cast<std::uint64_t>(block),
+                                  state.inputs);
+            process_block(state, valid);
+          }
+          merge_shard(state);
+        },
+        exec::ExecPolicy{options.threads});
     result.exact = true;
   } else {
-    for (std::uint64_t wordpass = 0; wordpass < options.sample_words;
-         ++wordpass) {
-      for (Word& w : inputs) w = rng.next();
-      process_block(kAllOnes);
-    }
+    const exec::ShardPlan plan(
+        static_cast<std::size_t>(options.sample_words),
+        static_cast<std::size_t>(options.shard_words));
+    exec::for_each_shard(
+        plan,
+        [&](const exec::Shard& shard) {
+          ShardState state(circuit, n);
+          Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
+          for (std::size_t pass = shard.begin; pass < shard.end; ++pass) {
+            for (Word& w : state.inputs) w = rng.next();
+            process_block(state, kAllOnes);
+          }
+          merge_shard(state);
+        },
+        exec::ExecPolicy{options.threads});
     result.exact = false;
   }
 

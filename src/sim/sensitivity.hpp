@@ -30,6 +30,13 @@ struct SensitivityOptions {
   int max_exact_inputs = 22;        // exhaustive up to this many inputs
   std::uint64_t sample_words = 256; // 64 base assignments per word when sampling
   std::uint64_t seed = 3;
+  // Parallel execution. Sampled sweeps shard `sample_words` into groups of
+  // `shard_words` with per-shard counter-based streams; exact sweeps shard
+  // the truth-table blocks. Influence counts merge by sum and sensitivity by
+  // max, so results are thread-count independent (threads: 0 = global pool,
+  // 1 = serial, N = dedicated pool).
+  std::uint64_t shard_words = 32;
+  unsigned threads = 0;
 };
 
 [[nodiscard]] SensitivityResult compute_sensitivity(

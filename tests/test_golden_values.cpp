@@ -1,0 +1,105 @@
+// Golden-value regression tests: the paper's headline numbers, pinned to 12
+// significant digits so refactors of the bounds pipeline cannot silently
+// drift the reproduced figures.
+//
+// Instances covered (all on the paper's Section 6 setup, the 10-input parity
+// circuit with s = 10, S0 = 21, delta = 0.01):
+//   - Theorem 2 / Corollary 1 redundancy lower bound (Figure 3 anchors)
+//   - Theorem 3 normalized leakage ratio (Figure 4 anchors)
+//   - Corollary 2 switching-energy composition and the full energy breakdown
+//   - Theorem 1 activity algebra and the Theorem 4 feasibility threshold
+// The numbers were produced by this codebase at bring-up and cross-checked
+// against the paper's qualitative claims (e.g. ">= 40% more energy" head-
+// line, "more than an order of magnitude redundancy near eps = 0.5").
+#include <gtest/gtest.h>
+
+#include "core/activity_model.hpp"
+#include "core/analyzer.hpp"
+#include "core/depth_bound.hpp"
+#include "core/energy_bound.hpp"
+#include "core/leakage_model.hpp"
+#include "core/size_bound.hpp"
+
+namespace enb::core {
+namespace {
+
+// Relative tolerance for pinned values: loose enough to survive benign
+// floating-point reassociation, tight enough to catch any model change.
+constexpr double kRelTol = 1e-9;
+
+void ExpectPinned(double actual, double golden) {
+  EXPECT_NEAR(actual, golden, std::abs(golden) * kRelTol)
+      << "pinned value drifted";
+}
+
+TEST(GoldenValues, Fig3RedundancyLowerBound) {
+  // Figure 3: R(s=10, k, eps, delta=0.01) anchors.
+  ExpectPinned(redundancy_lower_bound(10, 2, 0.01, 0.01), 4.69911749252899);
+  ExpectPinned(redundancy_lower_bound(10, 3, 0.01, 0.01), 3.50784883146677);
+  ExpectPinned(redundancy_lower_bound(10, 4, 0.01, 0.01), 2.87751612230267);
+  // Near eps = 0.5 the bound diverges; the paper calls out "more than an
+  // order of magnitude": at eps = 0.45 the size factor is ~2170x.
+  ExpectPinned(redundancy_lower_bound(10, 2, 0.45, 0.01), 45610.4854780298);
+  EXPECT_GT((21.0 + 45610.4854780298) / 21.0, 10.0);
+}
+
+TEST(GoldenValues, Fig4LeakageRatio) {
+  // Figure 4: W_L,eps / W_L,0 (Theorem 3) anchors.
+  ExpectPinned(leakage_ratio(0.1, 0.4), 0.118457300275482);
+  ExpectPinned(leakage_ratio(0.9, 0.4), 8.44186046511628);
+  // sw0 = 0.5 is the fixed point: the ratio is exactly 1 for every eps.
+  EXPECT_DOUBLE_EQ(leakage_ratio(0.5, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(leakage_ratio(0.5, 0.05), 1.0);
+}
+
+TEST(GoldenValues, Corollary2SwitchingComposition) {
+  // Corollary 2 on (s=10, S0=21, sw0=0.3, k=2, eps=0.01, delta=0.01):
+  // switching factor = size factor x activity factor.
+  ExpectPinned(switching_energy_factor(10, 21, 0.3, 2, 0.01, 0.01),
+               1.25607496163485);
+  ExpectPinned(activity_ratio(0.3, 0.01), 1.0264);
+  ExpectPinned(noisy_activity(0.3, 0.01), 0.30792);
+  // Composition identity against the pinned factors.
+  ExpectPinned(1.22376749964424 * 1.0264, 1.25607496163485);
+}
+
+TEST(GoldenValues, TotalEnergyBreakdown) {
+  const EnergyBreakdown b = total_energy_factor(10, 21, 0.3, 2, 0.01, 0.01);
+  ExpectPinned(b.size_factor, 1.22376749964424);
+  ExpectPinned(b.activity_factor, 1.0264);
+  ExpectPinned(b.idle_factor, 0.988685714285714);
+  ExpectPinned(b.switching_factor, 1.25607496163485);
+  ExpectPinned(b.leakage_factor, 1.20992144450541);
+  ExpectPinned(b.total_factor, 1.23299820307013);
+}
+
+TEST(GoldenValues, PaperParityInstanceAnalysis) {
+  // The full analyzer on the paper's parity instance at the headline
+  // operating point (eps, delta) = (0.01, 0.01), sw0 at the fixed point.
+  const CircuitProfile p = make_profile("parity10", 10, 21, 0.5, 2, 10);
+  const BoundReport r = analyze(p, 0.01, 0.01);
+  ExpectPinned(r.energy.size_factor, 1.22376749964424);
+  EXPECT_DOUBLE_EQ(r.energy.activity_factor, 1.0);  // sw0 = 0.5 fixed point
+  ExpectPinned(r.energy.total_factor, 1.22376749964424);
+  EXPECT_DOUBLE_EQ(r.sw_noisy, 0.5);
+  EXPECT_DOUBLE_EQ(r.leakage_ratio, 1.0);
+  ExpectPinned(r.depth_bound, 3.39849711447749);
+  ExpectPinned(r.metrics.delay, 1.0619010713644);
+}
+
+TEST(GoldenValues, Theorem1ActivityAlgebra) {
+  // Figure 2 anchors: slope (1-2e)^2 and the eps = 0.5 collapse.
+  ExpectPinned(activity_contraction(0.1), 0.64);
+  EXPECT_DOUBLE_EQ(noisy_activity(0.1, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(noisy_activity(0.5, 0.3), 0.5);  // fixed point
+}
+
+TEST(GoldenValues, Theorem4FeasibilityThreshold) {
+  // Gates of fanin k tolerate eps below (1 - 1/sqrt(k))/2... pinned from
+  // the depth-bound module for k = 2 and 3.
+  ExpectPinned(max_feasible_epsilon(2), 0.146446609406726);
+  ExpectPinned(max_feasible_epsilon(3), 0.211324865405187);
+}
+
+}  // namespace
+}  // namespace enb::core

@@ -38,19 +38,21 @@ TEST(WorstCase, AverageTracksInputAveragedEstimator) {
 }
 
 TEST(WorstCase, DetectsFragileInput) {
-  // y = AND(x1..x4) with a noisy inverter bubble on one leg: the all-ones
-  // input is far more fragile than a random input (where the AND output is
-  // almost always 0 regardless of single flips).
+  // y = AND(x1..x8) as a chain: an input whose suffix has t trailing ones
+  // exposes a cascade of t+1 error channels, so delta = compose_{t+1}(eps).
+  // Long-suffix inputs (delta up to compose_8 ~ 0.26 at eps = 0.05) are far
+  // more fragile than the random-input average (~0.09), giving a true
+  // worst/average ratio near 2.9 — comfortably above the asserted 2x.
   Circuit c;
   std::vector<NodeId> ins;
-  for (int i = 0; i < 4; ++i) ins.push_back(c.add_input());
+  for (int i = 0; i < 8; ++i) ins.push_back(c.add_input());
   NodeId acc = ins[0];
-  for (int i = 1; i < 4; ++i) acc = c.add_gate(GateType::kAnd, acc, ins[i]);
+  for (int i = 1; i < 8; ++i) acc = c.add_gate(GateType::kAnd, acc, ins[i]);
   c.add_output(acc);
 
   WorstCaseOptions options;
-  options.num_inputs = 256;  // all 16 assignments will be sampled repeatedly
-  options.trials_per_input = 1 << 10;
+  options.num_inputs = 256;  // long-suffix assignments sampled many times
+  options.trials_per_input = 1 << 12;
   const WorstCaseResult wc =
       estimate_worst_case_reliability(c, c, 0.05, options);
   // Worst case should be several times the average.
