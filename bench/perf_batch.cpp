@@ -1,0 +1,158 @@
+// P2: batch-engine throughput. Not a paper figure — this measures the
+// BatchEvaluator's jobs/sec on a mixed workload (reliability, worst-case,
+// activity, sensitivity, energy-bound jobs over suite circuits) at 1 thread
+// vs the global pool, i.e. the two-level (across-job + within-job shard)
+// scheduling the server workloads lean on. Results are appended to stdout
+// and recorded in BENCH_batch.json in the working directory.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/batch.hpp"
+#include "exec/thread_pool.hpp"
+#include "gen/suite.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace enb;
+
+std::vector<exec::BatchJob> build_mixed_batch() {
+  const std::uint64_t reliability_trials =
+      bench::scaled(std::uint64_t{1} << 14, 1 << 8);
+  const std::uint64_t worst_case_trials =
+      bench::scaled(std::uint64_t{1} << 10, 1 << 7);
+  const std::size_t activity_pairs =
+      static_cast<std::size_t>(bench::scaled(1 << 12, 1 << 6));
+  const std::uint64_t sensitivity_words = bench::scaled(256, 16);
+  const int sensitivity_exact_max = bench::smoke_mode() ? 10 : 16;
+
+  std::vector<exec::BatchJob> jobs;
+  for (const char* name :
+       {"c17", "parity8", "rca8", "mult4", "cla16", "cmp16"}) {
+    const netlist::Circuit circuit = gen::find_benchmark(name).build();
+    {
+      exec::BatchJob job;
+      job.name = std::string(name) + "/reliability";
+      job.kind = exec::JobKind::kReliability;
+      job.circuit = circuit;
+      job.epsilon = 0.01;
+      job.reliability.trials = reliability_trials;
+      jobs.push_back(std::move(job));
+    }
+    {
+      exec::BatchJob job;
+      job.name = std::string(name) + "/worst-case";
+      job.kind = exec::JobKind::kWorstCase;
+      job.circuit = circuit;
+      job.epsilon = 0.02;
+      job.worst_case.num_inputs = 32;
+      job.worst_case.trials_per_input = worst_case_trials;
+      jobs.push_back(std::move(job));
+    }
+    {
+      exec::BatchJob job;
+      job.name = std::string(name) + "/activity";
+      job.kind = exec::JobKind::kActivity;
+      job.circuit = circuit;
+      job.activity.sample_pairs = activity_pairs;
+      jobs.push_back(std::move(job));
+    }
+    {
+      exec::BatchJob job;
+      job.name = std::string(name) + "/sensitivity";
+      job.kind = exec::JobKind::kSensitivity;
+      job.circuit = circuit;
+      job.sensitivity.sample_words = sensitivity_words;
+      job.sensitivity.max_exact_inputs = sensitivity_exact_max;
+      jobs.push_back(std::move(job));
+    }
+    {
+      exec::BatchJob job;
+      job.name = std::string(name) + "/energy-bound";
+      job.kind = exec::JobKind::kEnergyBound;
+      job.circuit = circuit;
+      job.epsilon = 0.01;
+      job.profile.activity_pairs = activity_pairs;
+      job.profile.sensitivity_exact_max_inputs = sensitivity_exact_max;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+struct Timing {
+  unsigned threads = 0;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+};
+
+Timing time_batch(const std::vector<exec::BatchJob>& jobs, unsigned threads,
+                  int repetitions) {
+  double best = -1.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    std::vector<exec::BatchJob> copy = jobs;
+    const auto start = std::chrono::steady_clock::now();
+    const auto results =
+        exec::evaluate_batch(std::move(copy), exec::BatchOptions{threads});
+    const auto stop = std::chrono::steady_clock::now();
+    for (const exec::BatchResult& r : results) {
+      if (!r.ok) {
+        std::cerr << "perf_batch: job " << r.name << " failed: " << r.error
+                  << "\n";
+        std::exit(2);
+      }
+    }
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (best < 0.0 || seconds < best) best = seconds;
+  }
+  Timing t;
+  t.threads = threads;
+  t.seconds = best;
+  t.jobs_per_sec = static_cast<double>(jobs.size()) / best;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("perf_batch", "batch-engine throughput (mixed jobs)");
+  const std::vector<exec::BatchJob> jobs = build_mixed_batch();
+  const int repetitions = bench::smoke_mode() ? 1 : 3;
+  const unsigned pool_size = exec::default_thread_count();
+
+  std::vector<Timing> timings;
+  timings.push_back(time_batch(jobs, 1, repetitions));  // serial reference
+  timings.push_back(time_batch(jobs, 0, repetitions));  // global pool
+
+  report::Table table({"threads", "seconds", "jobs/sec", "speedup"});
+  const double serial = timings.front().seconds;
+  for (const Timing& t : timings) {
+    table.add_row({t.threads == 0 ? "0 (pool=" + std::to_string(pool_size) + ")"
+                                  : std::to_string(t.threads),
+                   report::format_double(t.seconds, 4),
+                   report::format_double(t.jobs_per_sec, 2),
+                   report::format_double(serial / t.seconds, 2)});
+  }
+  std::cout << jobs.size() << " mixed jobs, best of " << repetitions
+            << " runs:\n"
+            << table.to_text();
+
+  std::ofstream out("BENCH_batch.json");
+  out << "{\n  \"benchmark\": \"perf_batch\",\n  \"jobs\": " << jobs.size()
+      << ",\n  \"repetitions\": " << repetitions
+      << ",\n  \"smoke\": " << (bench::smoke_mode() ? "true" : "false")
+      << ",\n  \"pool_threads\": " << pool_size << ",\n  \"timings\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    out << "    {\"threads\": " << timings[i].threads
+        << ", \"seconds\": " << timings[i].seconds
+        << ", \"jobs_per_sec\": " << timings[i].jobs_per_sec << "}"
+        << (i + 1 == timings.size() ? "" : ",") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_batch.json\n";
+  return 0;
+}

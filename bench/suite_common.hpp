@@ -4,10 +4,13 @@
 #pragma once
 
 #include <iostream>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/profile.hpp"
+#include "exec/batch.hpp"
 #include "exec/thread_pool.hpp"
 #include "gen/suite.hpp"
 #include "report/table.hpp"
@@ -21,26 +24,43 @@ struct ProfiledBenchmark {
   netlist::CircuitStats mapped_stats;
 };
 
-// Profiles the whole standard suite, one benchmark per parallel task (each
-// task writes only its own slot, so the result is identical to the serial
-// sweep). Inner Monte-Carlo estimators run inline inside the pool workers.
+// Profiles the whole standard suite through the batch engine: generate + map
+// in parallel (slot-per-index writes), then submit one profile job per
+// benchmark so the Monte-Carlo shards of *all* benchmarks interleave over
+// the pool. Results are bit-identical to profiling each circuit alone.
 inline std::vector<ProfiledBenchmark> profile_suite(int max_fanin = 3) {
   const std::vector<gen::BenchmarkSpec> specs = gen::standard_suite();
   std::vector<ProfiledBenchmark> out(specs.size());
+  std::vector<netlist::Circuit> mapped(specs.size());
   exec::for_each_index(specs.size(), [&](std::size_t i) {
-    const gen::BenchmarkSpec& spec = specs[i];
-    const netlist::Circuit base = spec.build();
+    const netlist::Circuit base = specs[i].build();
     synth::MapOptions map_options;
     map_options.library = synth::Library::generic(max_fanin);
-    const synth::MapResult mapped = synth::map_to_library(base, map_options);
-    core::ProfileOptions profile_options;
-    profile_options.activity_pairs =
-        static_cast<std::size_t>(scaled(1 << 12, 1 << 6));
-    profile_options.sensitivity_exact_max_inputs = smoke_mode() ? 14 : 19;
-    out[i] = ProfiledBenchmark{
-        spec, core::extract_profile(mapped.circuit, profile_options),
-        mapped.after};
+    synth::MapResult result = synth::map_to_library(base, map_options);
+    out[i].spec = specs[i];
+    out[i].mapped_stats = result.after;
+    mapped[i] = std::move(result.circuit);
   });
+
+  exec::BatchEvaluator batch;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    exec::BatchJob job;
+    job.name = specs[i].name;
+    job.kind = exec::JobKind::kProfile;
+    job.circuit = std::move(mapped[i]);
+    job.profile.activity_pairs =
+        static_cast<std::size_t>(scaled(1 << 12, 1 << 6));
+    job.profile.sensitivity_exact_max_inputs = smoke_mode() ? 14 : 19;
+    batch.submit(std::move(job));
+  }
+  const std::vector<exec::BatchResult> results = batch.run();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      throw std::runtime_error("profile_suite: job " + results[i].name +
+                               " failed: " + results[i].error);
+    }
+    out[i].profile = *results[i].profile;
+  }
   return out;
 }
 

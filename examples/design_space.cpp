@@ -8,7 +8,7 @@
 #include "core/analyzer.hpp"
 #include "core/delay_model.hpp"
 #include "core/depth_bound.hpp"
-#include "exec/thread_pool.hpp"
+#include "exec/batch.hpp"
 #include "gen/multipliers.hpp"
 #include "report/ascii_chart.hpp"
 #include "report/table.hpp"
@@ -43,18 +43,31 @@ int main() {
   std::cout << "total-energy lower-bound factor over (eps, delta):\n"
             << grid.to_text() << "\n";
 
-  // Energy and delay vs eps as a chart. Grid points are independent, so the
-  // sweep fans out over the pool with slot-per-index writes.
+  // Energy and delay vs eps as a chart. Grid points are independent
+  // energy-bound jobs sharing one precomputed profile, so the sweep goes
+  // through the batch engine instead of a hand-rolled loop.
   const std::vector<double> eps_grid = core::log_grid(1e-3, 0.2, 24);
-  std::vector<core::BoundReport> reports(eps_grid.size());
-  exec::for_each_index(eps_grid.size(), [&](std::size_t i) {
-    reports[i] = core::analyze(profile, eps_grid[i], 0.01);
-  });
+  exec::BatchEvaluator batch;
+  for (std::size_t i = 0; i < eps_grid.size(); ++i) {
+    exec::BatchJob job;
+    job.name = "eps_" + std::to_string(i);
+    job.kind = exec::JobKind::kEnergyBound;
+    job.epsilon = eps_grid[i];
+    job.delta = 0.01;
+    job.precomputed_profile = profile;
+    batch.submit(std::move(job));
+  }
+  const std::vector<exec::BatchResult> sweep = batch.run();
   report::Series energy("energy", {}, {});
   report::Series delay("delay", {}, {});
   for (std::size_t i = 0; i < eps_grid.size(); ++i) {
-    energy.push(eps_grid[i], reports[i].energy.total_factor);
-    delay.push(eps_grid[i], reports[i].metrics.delay);
+    if (!sweep[i].ok) {
+      std::cerr << "energy-bound job " << sweep[i].name
+                << " failed: " << sweep[i].error << "\n";
+      return 1;
+    }
+    energy.push(eps_grid[i], sweep[i].metric("total_factor").value());
+    delay.push(eps_grid[i], sweep[i].metric("delay_factor").value());
   }
   report::ChartOptions chart;
   chart.title = "bounds vs eps (delta = 0.01)";

@@ -1,0 +1,86 @@
+#include "cli/args.hpp"
+
+#include <cstddef>
+
+#include "util/numeric.hpp"
+
+namespace enb::cli {
+
+Args parse_args(const std::vector<std::string>& argv) {
+  Args args;
+  const std::size_t argc = argv.size();
+  for (std::size_t i = 0; i < argc && args.ok(); ++i) {
+    const std::string& arg = argv[i];
+
+    // Fetches the flag's value argument, bounds-checked: a trailing flag
+    // reports an error instead of reading past the end.
+    const auto next_value = [&](const std::string& flag,
+                                std::string& slot) -> bool {
+      if (i + 1 >= argc) {
+        args.error = "option " + flag + " requires a value";
+        return false;
+      }
+      slot = argv[++i];
+      return true;
+    };
+    const auto next_double = [&](const std::string& flag,
+                                 double& slot) -> bool {
+      std::string text;
+      if (!next_value(flag, text)) return false;
+      if (!util::parse_double(text, slot)) {
+        args.error = "option " + flag + " expects a number, got '" + text + "'";
+        return false;
+      }
+      return true;
+    };
+    const auto next_int = [&](const std::string& flag, int& slot) -> bool {
+      std::string text;
+      if (!next_value(flag, text)) return false;
+      if (!util::parse_int(text, slot)) {
+        args.error =
+            "option " + flag + " expects an integer, got '" + text + "'";
+        return false;
+      }
+      return true;
+    };
+
+    if (arg == "--eps") {
+      next_double(arg, args.eps);
+    } else if (arg == "--delta") {
+      next_double(arg, args.delta);
+    } else if (arg == "--leakage") {
+      next_double(arg, args.leakage);
+    } else if (arg == "--eps-lo") {
+      next_double(arg, args.eps_lo);
+    } else if (arg == "--eps-hi") {
+      next_double(arg, args.eps_hi);
+    } else if (arg == "--couple-leakage") {
+      args.couple_leakage = true;
+    } else if (arg == "--map") {
+      next_int(arg, args.map_fanin);
+    } else if (arg == "--points") {
+      next_int(arg, args.points);
+    } else if (arg == "--threads") {
+      int threads = 0;
+      if (next_int(arg, threads) && threads < 0) {
+        args.error = "option --threads expects a count >= 0, got '" +
+                     std::to_string(threads) + "'";
+      } else {
+        args.threads = static_cast<unsigned>(threads);
+      }
+    } else if (arg == "-o") {
+      next_value(arg, args.out);
+    } else if (arg == "--csv") {
+      next_value(arg, args.csv);
+    } else if (arg == "--json") {
+      next_value(arg, args.json);
+    } else if (!arg.empty() && arg[0] == '-') {
+      args.error = "unknown option: " + arg;
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+}  // namespace enb::cli

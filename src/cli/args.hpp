@@ -1,0 +1,39 @@
+// Argument parsing for the enbound command-line tool, split out of tools/
+// so the edge cases (trailing value-taking flags, non-numeric values) are
+// unit-testable without spawning the binary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace enb::cli {
+
+struct Args {
+  std::vector<std::string> positional;
+  double eps = 0.01;
+  double delta = 0.01;
+  double leakage = 0.5;
+  bool couple_leakage = false;
+  int map_fanin = 3;  // 0 = do not map
+  double eps_lo = 1e-3;
+  double eps_hi = 0.4;
+  int points = 20;
+  unsigned threads = 0;  // batch: 0 = global pool, 1 = serial, N = dedicated
+  std::string out;
+  std::string csv;
+  std::string json;
+
+  // Non-empty when parsing failed; names the offending flag and why, e.g.
+  // "option --eps requires a value". Flags and positionals parsed before the
+  // failure are still filled in.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+// Parses everything after argv[0]. Never throws and never reads past the
+// end of `argv`: a value-taking flag with no following argument, or with a
+// malformed value, reports through Args::error instead.
+[[nodiscard]] Args parse_args(const std::vector<std::string>& argv);
+
+}  // namespace enb::cli

@@ -1,0 +1,697 @@
+#include "exec/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bdd/bdd_analysis.hpp"
+#include "exec/thread_pool.hpp"
+#include "netlist/stats.hpp"
+#include "report/csv.hpp"
+#include "util/numeric.hpp"
+
+namespace enb::exec {
+
+namespace {
+
+using netlist::Circuit;
+
+// Estimator options derived from a profile job, mirroring
+// core::extract_profile so batched profiles are bit-identical to direct
+// extraction. Inner estimator calls always run serially (threads = 1): the
+// batch owns all parallelism through its flattened shard space.
+sim::ActivityOptions profile_activity_options(const core::ProfileOptions& p) {
+  sim::ActivityOptions o;
+  o.sample_pairs = p.activity_pairs;
+  o.seed = p.seed;
+  o.threads = 1;
+  return o;
+}
+
+sim::SensitivityOptions profile_sensitivity_options(
+    const core::ProfileOptions& p) {
+  sim::SensitivityOptions o;
+  o.max_exact_inputs = p.sensitivity_exact_max_inputs;
+  o.sample_words = p.sensitivity_sample_words;
+  o.seed = p.seed + 1;
+  o.threads = 1;
+  return o;
+}
+
+// All per-job mutable state for one batch run. Accumulators merge
+// commutatively (sums, max, slot-per-shard writes), so shard completion
+// order never reaches the result.
+struct JobState {
+  const BatchJob* job = nullptr;
+  std::size_t num_shards = 0;
+  std::function<void(JobState&, std::size_t)> run_shard;
+  std::function<void(JobState&, BatchResult&)> finalize;
+
+  // Error isolation: the first failing shard records the message and the
+  // job's remaining shards turn into no-ops; other jobs are unaffected.
+  std::atomic<bool> failed{false};
+  std::string error;  // guarded by mutex
+  std::mutex mutex;   // guards error and non-atomic accumulators
+
+  // kReliability
+  std::atomic<std::uint64_t> failures{0};
+  // kWorstCase: slot per sample
+  std::vector<std::uint64_t> sample_failures;
+  // kActivity / profile extraction
+  std::unique_ptr<sim::ActivityCounts> activity_counts;
+  // kSensitivity / profile extraction
+  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts;
+  // Profile extraction: the activity number when the exact (BDD) route or
+  // its serial fallback produced it directly.
+  double exact_activity_sw0 = 0.0;
+  bool activity_is_direct = false;  // single writer (its own shard)
+  // kEnergyBound with a precomputed profile: single writer (shard 0).
+  std::optional<core::BoundReport> report;
+
+  void record_error(const std::string& message) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!failed.load(std::memory_order_relaxed)) error = message;
+    failed.store(true, std::memory_order_relaxed);
+  }
+};
+
+const Circuit& golden_of(const BatchJob& job) {
+  return job.golden.has_value() ? *job.golden : job.circuit;
+}
+
+void push_metric(BatchResult& r, const char* name, double value) {
+  r.metrics.emplace_back(name, value);
+}
+
+// ---- per-kind preparation -------------------------------------------------
+//
+// Each prepare_* validates the job spec (throwing like the standalone
+// estimator would), sizes the shard space, and installs the shard body and
+// the serial finalize. Shard bodies only call the estimators' shard-level
+// building blocks, which is what makes batched results bit-identical to
+// direct calls.
+
+void prepare_reliability(const BatchJob& job, JobState& state) {
+  sim::validate_reliability_inputs(job.circuit, golden_of(job),
+                                   job.reliability);
+  const ShardPlan plan = sim::reliability_shard_plan(job.reliability);
+  state.num_shards = plan.num_shards();
+  state.run_shard = [plan](JobState& s, std::size_t shard) {
+    s.failures.fetch_add(
+        sim::reliability_shard_failures(s.job->circuit, golden_of(*s.job),
+                                        s.job->epsilon, s.job->reliability,
+                                        plan.shard(shard)),
+        std::memory_order_relaxed);
+  };
+  state.finalize = [plan](JobState& s, BatchResult& r) {
+    sim::ReliabilityResult rel =
+        sim::wilson_interval(s.failures.load(), plan.total() * sim::kWordBits);
+    rel.requested_trials = s.job->reliability.trials;
+    push_metric(r, "delta_hat", rel.delta_hat);
+    push_metric(r, "ci_low", rel.ci_low);
+    push_metric(r, "ci_high", rel.ci_high);
+    push_metric(r, "failures", static_cast<double>(rel.failures));
+    push_metric(r, "trials", static_cast<double>(rel.trials));
+    push_metric(r, "requested_trials",
+                static_cast<double>(rel.requested_trials));
+  };
+}
+
+void prepare_worst_case(const BatchJob& job, JobState& state) {
+  sim::validate_worst_case_inputs(job.circuit, golden_of(job), job.worst_case);
+  state.sample_failures.assign(
+      static_cast<std::size_t>(job.worst_case.num_inputs), 0);
+  state.num_shards = state.sample_failures.size();
+  state.run_shard = [](JobState& s, std::size_t sample) {
+    s.sample_failures[sample] = sim::worst_case_sample_failures(
+        s.job->circuit, golden_of(*s.job), s.job->epsilon, s.job->worst_case,
+        sample);
+  };
+  state.finalize = [](JobState& s, BatchResult& r) {
+    const sim::WorstCaseResult w = sim::finalize_worst_case(
+        s.job->circuit, s.job->worst_case, s.sample_failures);
+    push_metric(r, "worst_delta_hat", w.worst.delta_hat);
+    push_metric(r, "worst_ci_low", w.worst.ci_low);
+    push_metric(r, "worst_ci_high", w.worst.ci_high);
+    push_metric(r, "worst_failures", static_cast<double>(w.worst.failures));
+    push_metric(r, "trials_per_input", static_cast<double>(w.worst.trials));
+    push_metric(r, "requested_trials_per_input",
+                static_cast<double>(w.worst.requested_trials));
+    push_metric(r, "average_delta", w.average_delta);
+  };
+}
+
+void prepare_activity(const BatchJob& job, JobState& state) {
+  sim::validate_activity_inputs(job.activity);
+  const ShardPlan plan = sim::activity_shard_plan(job.activity);
+  state.activity_counts =
+      std::make_unique<sim::ActivityCounts>(job.circuit.node_count());
+  state.num_shards = plan.num_shards();
+  state.run_shard = [plan](JobState& s, std::size_t shard) {
+    const sim::ActivityCounts local = sim::activity_shard_counts(
+        s.job->circuit, s.job->activity, plan.shard(shard));
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.activity_counts->merge(local);
+  };
+  state.finalize = [](JobState& s, BatchResult& r) {
+    const sim::ActivityResult a = sim::finalize_activity(
+        s.job->circuit, s.job->activity, *s.activity_counts);
+    push_metric(r, "avg_gate_toggle_rate", a.avg_gate_toggle_rate);
+    push_metric(r, "avg_gate_one_probability", a.avg_gate_one_probability);
+    push_metric(r, "sample_pairs", static_cast<double>(a.sample_pairs));
+  };
+}
+
+void prepare_sensitivity(const BatchJob& job, JobState& state) {
+  sim::validate_sensitivity_inputs(job.circuit, job.sensitivity);
+  const ShardPlan plan =
+      sim::sensitivity_shard_plan(job.circuit, job.sensitivity);
+  state.sensitivity_counts =
+      std::make_unique<sim::SensitivityCounts>(job.circuit.num_inputs());
+  state.num_shards = plan.num_shards();
+  state.run_shard = [plan](JobState& s, std::size_t shard) {
+    const sim::SensitivityCounts local = sim::sensitivity_shard_counts(
+        s.job->circuit, s.job->sensitivity, plan.shard(shard));
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.sensitivity_counts->merge(local);
+  };
+  state.finalize = [](JobState& s, BatchResult& r) {
+    const sim::SensitivityResult sens = sim::finalize_sensitivity(
+        s.job->circuit, s.job->sensitivity, *s.sensitivity_counts);
+    push_metric(r, "sensitivity", static_cast<double>(sens.sensitivity));
+    push_metric(r, "total_influence", sens.total_influence);
+    push_metric(r, "assignments", static_cast<double>(sens.assignments));
+    push_metric(r, "exact", sens.exact ? 1.0 : 0.0);
+  };
+}
+
+// Profile extraction mirrors core::extract_profile: exact (BDD) activity
+// when small enough — one task, with the silent Monte-Carlo fallback run
+// inline — otherwise activity shards; plus sensitivity shards. The final
+// CircuitProfile is assembled in finalize.
+struct ProfilePlan {
+  bool direct_activity = false;  // BDD route (task 0) instead of MC shards
+  ShardPlan activity{0, 1};
+  ShardPlan sensitivity{0, 1};
+  std::size_t num_shards() const {
+    return (direct_activity ? 1 : activity.num_shards()) +
+           sensitivity.num_shards();
+  }
+};
+
+void prepare_profile_extraction(const BatchJob& job, JobState& state) {
+  if (job.circuit.gate_count() == 0) {
+    throw std::invalid_argument(
+        "extract_profile: circuit has no gates to profile");
+  }
+  ProfilePlan plan;
+  plan.direct_activity =
+      job.profile.prefer_exact_activity &&
+      static_cast<int>(job.circuit.num_inputs()) <=
+          job.profile.exact_activity_max_inputs;
+  if (!plan.direct_activity) {
+    sim::ActivityOptions activity = profile_activity_options(job.profile);
+    sim::validate_activity_inputs(activity);
+    plan.activity = sim::activity_shard_plan(activity);
+    state.activity_counts =
+        std::make_unique<sim::ActivityCounts>(job.circuit.node_count());
+  }
+  sim::validate_sensitivity_inputs(job.circuit,
+                                   profile_sensitivity_options(job.profile));
+  plan.sensitivity = sim::sensitivity_shard_plan(
+      job.circuit, profile_sensitivity_options(job.profile));
+  state.sensitivity_counts =
+      std::make_unique<sim::SensitivityCounts>(job.circuit.num_inputs());
+
+  state.num_shards = plan.num_shards();
+  state.run_shard = [plan](JobState& s, std::size_t shard) {
+    const std::size_t activity_tasks =
+        plan.direct_activity ? 1 : plan.activity.num_shards();
+    if (shard < activity_tasks) {
+      if (plan.direct_activity) {
+        // The BDD route can still blow up on worst-case structures; fall
+        // back silently to the serial Monte-Carlo estimate, exactly like
+        // core::extract_profile.
+        double sw0 = 0.0;
+        try {
+          sw0 = bdd::exact_activity_bdd(s.job->circuit).avg_gate_toggle_rate;
+        } catch (const bdd::BddLimitExceeded&) {
+          sw0 = sim::estimate_activity(
+                    s.job->circuit, profile_activity_options(s.job->profile))
+                    .avg_gate_toggle_rate;
+        }
+        s.exact_activity_sw0 = sw0;
+        s.activity_is_direct = true;
+      } else {
+        const sim::ActivityCounts local = sim::activity_shard_counts(
+            s.job->circuit, profile_activity_options(s.job->profile),
+            plan.activity.shard(shard));
+        const std::lock_guard<std::mutex> lock(s.mutex);
+        s.activity_counts->merge(local);
+      }
+    } else {
+      const sim::SensitivityCounts local = sim::sensitivity_shard_counts(
+          s.job->circuit, profile_sensitivity_options(s.job->profile),
+          plan.sensitivity.shard(shard - activity_tasks));
+      const std::lock_guard<std::mutex> lock(s.mutex);
+      s.sensitivity_counts->merge(local);
+    }
+  };
+}
+
+core::CircuitProfile assemble_profile(JobState& s) {
+  const BatchJob& job = *s.job;
+  const netlist::CircuitStats stats = netlist::compute_stats(job.circuit);
+  core::CircuitProfile p;
+  p.name = job.circuit.name();
+  p.num_inputs = static_cast<int>(stats.num_inputs);
+  p.num_outputs = static_cast<int>(stats.num_outputs);
+  p.size_s0 = static_cast<double>(stats.num_gates);
+  p.depth_d0 = stats.depth;
+  p.avg_fanin_k = stats.avg_fanin;
+  p.max_fanin = stats.max_fanin;
+  p.avg_activity_sw0 =
+      s.activity_is_direct
+          ? s.exact_activity_sw0
+          : sim::finalize_activity(job.circuit,
+                                   profile_activity_options(job.profile),
+                                   *s.activity_counts)
+                .avg_gate_toggle_rate;
+  const sim::SensitivityResult sens = sim::finalize_sensitivity(
+      job.circuit, profile_sensitivity_options(job.profile),
+      *s.sensitivity_counts);
+  p.sensitivity_s = std::max(1, sens.sensitivity);
+  p.sensitivity_exact = sens.exact;
+  return p;
+}
+
+void push_bound_metrics(BatchResult& r, const core::BoundReport& b) {
+  push_metric(r, "eps", b.epsilon);
+  push_metric(r, "delta", b.delta);
+  push_metric(r, "sw_noisy", b.sw_noisy);
+  push_metric(r, "redundancy_gates", b.redundancy_gates);
+  push_metric(r, "size_factor", b.size_factor);
+  push_metric(r, "switching_factor", b.energy.switching_factor);
+  push_metric(r, "leakage_factor", b.energy.leakage_factor);
+  push_metric(r, "total_factor", b.energy.total_factor);
+  push_metric(r, "leakage_ratio", b.leakage_ratio);
+  push_metric(r, "delay_factor", b.metrics.delay);
+  push_metric(r, "edp_factor", b.metrics.edp);
+  push_metric(r, "avg_power_factor", b.metrics.avg_power);
+  push_metric(r, "depth_feasible", b.depth_feasible ? 1.0 : 0.0);
+}
+
+void push_profile_metrics(BatchResult& r, const core::CircuitProfile& p) {
+  push_metric(r, "num_inputs", p.num_inputs);
+  push_metric(r, "num_outputs", p.num_outputs);
+  push_metric(r, "size_s0", p.size_s0);
+  push_metric(r, "depth_d0", p.depth_d0);
+  push_metric(r, "avg_fanin_k", p.avg_fanin_k);
+  push_metric(r, "max_fanin", p.max_fanin);
+  push_metric(r, "avg_activity_sw0", p.avg_activity_sw0);
+  push_metric(r, "sensitivity_s", p.sensitivity_s);
+  push_metric(r, "sensitivity_exact", p.sensitivity_exact ? 1.0 : 0.0);
+}
+
+void prepare_profile(const BatchJob& job, JobState& state) {
+  prepare_profile_extraction(job, state);
+  state.finalize = [](JobState& s, BatchResult& r) {
+    const core::CircuitProfile p = assemble_profile(s);
+    push_profile_metrics(r, p);
+    r.profile = p;
+  };
+}
+
+void prepare_energy_bound(const BatchJob& job, JobState& state) {
+  if (job.precomputed_profile.has_value()) {
+    state.num_shards = 1;
+    state.run_shard = [](JobState& s, std::size_t) {
+      s.report = core::analyze(*s.job->precomputed_profile, s.job->epsilon,
+                               s.job->delta, s.job->energy);
+    };
+    state.finalize = [](JobState& s, BatchResult& r) {
+      push_bound_metrics(r, *s.report);
+    };
+    return;
+  }
+  prepare_profile_extraction(job, state);
+  state.finalize = [](JobState& s, BatchResult& r) {
+    const core::CircuitProfile p = assemble_profile(s);
+    push_bound_metrics(
+        r, core::analyze(p, s.job->epsilon, s.job->delta, s.job->energy));
+    r.profile = p;
+  };
+}
+
+void prepare(const BatchJob& job, JobState& state) {
+  switch (job.kind) {
+    case JobKind::kReliability:
+      return prepare_reliability(job, state);
+    case JobKind::kWorstCase:
+      return prepare_worst_case(job, state);
+    case JobKind::kActivity:
+      return prepare_activity(job, state);
+    case JobKind::kSensitivity:
+      return prepare_sensitivity(job, state);
+    case JobKind::kEnergyBound:
+      return prepare_energy_bound(job, state);
+    case JobKind::kProfile:
+      return prepare_profile(job, state);
+  }
+  throw std::invalid_argument("BatchEvaluator: unknown job kind");
+}
+
+}  // namespace
+
+const char* to_string(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::kReliability:
+      return "reliability";
+    case JobKind::kWorstCase:
+      return "worst-case";
+    case JobKind::kActivity:
+      return "activity";
+    case JobKind::kSensitivity:
+      return "sensitivity";
+    case JobKind::kEnergyBound:
+      return "energy-bound";
+    case JobKind::kProfile:
+      return "profile";
+  }
+  return "unknown";
+}
+
+std::optional<JobKind> parse_job_kind(std::string_view name) {
+  std::string canonical(name);
+  std::replace(canonical.begin(), canonical.end(), '_', '-');
+  if (canonical == "reliability") return JobKind::kReliability;
+  if (canonical == "worst-case") return JobKind::kWorstCase;
+  if (canonical == "activity") return JobKind::kActivity;
+  if (canonical == "sensitivity") return JobKind::kSensitivity;
+  if (canonical == "energy-bound") return JobKind::kEnergyBound;
+  if (canonical == "profile") return JobKind::kProfile;
+  return std::nullopt;
+}
+
+std::optional<double> BatchResult::metric(std::string_view name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return std::nullopt;
+}
+
+std::size_t BatchEvaluator::submit(BatchJob job) {
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+std::vector<BatchResult> BatchEvaluator::run() {
+  const std::size_t num_jobs = jobs_.size();
+  std::vector<JobState> states(num_jobs);
+  std::vector<BatchResult> results(num_jobs);
+
+  // Phase 1 (serial, cheap): validate every job and size its shard space.
+  // A job that fails validation is isolated into an error result here and
+  // contributes no shards.
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    states[j].job = &jobs_[j];
+    results[j].name = jobs_[j].name;
+    results[j].kind = jobs_[j].kind;
+    try {
+      prepare(jobs_[j], states[j]);
+    } catch (const std::exception& e) {
+      states[j].record_error(e.what());
+      states[j].num_shards = 0;
+    }
+  }
+
+  // Phase 2 (parallel): every job's shards flattened into one task space
+  // over the pool. offsets[j] is job j's first flat index.
+  std::vector<std::size_t> offsets(num_jobs + 1, 0);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    offsets[j + 1] = offsets[j] + states[j].num_shards;
+  }
+  for_each_index(
+      offsets[num_jobs],
+      [&](std::size_t flat) {
+        const std::size_t j = static_cast<std::size_t>(
+            std::upper_bound(offsets.begin(), offsets.end(), flat) -
+            offsets.begin() - 1);
+        JobState& state = states[j];
+        if (state.failed.load(std::memory_order_relaxed)) return;
+        try {
+          state.run_shard(state, flat - offsets[j]);
+        } catch (const std::exception& e) {
+          state.record_error(e.what());
+        } catch (...) {
+          state.record_error("unknown error");
+        }
+      },
+      ExecPolicy{options_.threads});
+
+  // Phase 3 (serial, in submission order): reduce accumulators to results.
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    if (states[j].failed.load()) {
+      results[j].ok = false;
+      results[j].error = states[j].error;
+      continue;
+    }
+    try {
+      states[j].finalize(states[j], results[j]);
+      results[j].ok = true;
+    } catch (const std::exception& e) {
+      results[j].ok = false;
+      results[j].error = e.what();
+    }
+  }
+  jobs_.clear();
+  return results;
+}
+
+std::vector<BatchResult> evaluate_batch(std::vector<BatchJob> jobs,
+                                        const BatchOptions& options) {
+  BatchEvaluator evaluator(options);
+  for (BatchJob& job : jobs) evaluator.submit(std::move(job));
+  return evaluator.run();
+}
+
+// ---- manifest / output plumbing ------------------------------------------
+
+namespace {
+
+double parse_manifest_double(const std::string& key, const std::string& value) {
+  double parsed = 0.0;
+  if (!util::parse_double(value, parsed)) {
+    throw std::invalid_argument("manifest: non-numeric value '" + value +
+                                "' for key '" + key + "'");
+  }
+  return parsed;
+}
+
+std::uint64_t parse_manifest_count(const std::string& key,
+                                   const std::string& value) {
+  std::uint64_t parsed = 0;
+  if (!util::parse_uint64(value, parsed)) {
+    throw std::invalid_argument("manifest: value for key '" + key +
+                                "' must be a non-negative integer, got '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+// budget= sets the kind's primary Monte-Carlo knob; seed= its master stream
+// seed. Applied after the kind is known, so key order in the line is free.
+void apply_budget(BatchJob& job, std::uint64_t budget) {
+  switch (job.kind) {
+    case JobKind::kReliability:
+      job.reliability.trials = budget;
+      return;
+    case JobKind::kWorstCase:
+      job.worst_case.trials_per_input = budget;
+      return;
+    case JobKind::kActivity:
+      job.activity.sample_pairs = static_cast<std::size_t>(budget);
+      return;
+    case JobKind::kSensitivity:
+      job.sensitivity.sample_words = budget;
+      return;
+    case JobKind::kEnergyBound:
+    case JobKind::kProfile:
+      job.profile.activity_pairs = static_cast<std::size_t>(budget);
+      return;
+  }
+}
+
+void apply_seed(BatchJob& job, std::uint64_t seed) {
+  switch (job.kind) {
+    case JobKind::kReliability:
+      job.reliability.seed = seed;
+      return;
+    case JobKind::kWorstCase:
+      job.worst_case.seed = seed;
+      return;
+    case JobKind::kActivity:
+      job.activity.seed = seed;
+      return;
+    case JobKind::kSensitivity:
+      job.sensitivity.seed = seed;
+      return;
+    case JobKind::kEnergyBound:
+    case JobKind::kProfile:
+      job.profile.seed = seed;
+      return;
+  }
+}
+
+void json_escape(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<BatchJob> parse_manifest(
+    std::istream& in,
+    const std::function<Circuit(const std::string&)>& resolve) {
+  std::vector<BatchJob> jobs;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string name;
+    if (!(tokens >> name) || name.front() == '#') continue;
+
+    const auto fail = [&](const std::string& message) -> std::invalid_argument {
+      return std::invalid_argument("manifest line " +
+                                   std::to_string(line_number) + ": " +
+                                   message);
+    };
+
+    // Collect key=value pairs first; kind-dependent keys (budget, seed)
+    // apply once the kind is known.
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+        throw fail("expected key=value, got '" + token + "'");
+      }
+      pairs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+
+    BatchJob job;
+    job.name = name;
+    std::optional<JobKind> kind;
+    std::string circuit_spec;
+    std::string golden_spec;
+    std::optional<std::uint64_t> budget;
+    std::optional<std::uint64_t> seed;
+    for (const auto& [key, value] : pairs) {
+      if (key == "kind") {
+        kind = parse_job_kind(value);
+        if (!kind.has_value()) throw fail("unknown kind '" + value + "'");
+      } else if (key == "circuit") {
+        circuit_spec = value;
+      } else if (key == "golden") {
+        golden_spec = value;
+      } else if (key == "eps") {
+        job.epsilon = parse_manifest_double(key, value);
+      } else if (key == "delta") {
+        job.delta = parse_manifest_double(key, value);
+      } else if (key == "budget") {
+        budget = parse_manifest_count(key, value);
+      } else if (key == "seed") {
+        seed = parse_manifest_count(key, value);
+      } else if (key == "leakage") {
+        job.energy.leakage_fraction = parse_manifest_double(key, value);
+      } else {
+        throw fail("unknown key '" + key + "'");
+      }
+    }
+    if (!kind.has_value()) throw fail("missing kind=");
+    if (circuit_spec.empty()) throw fail("missing circuit=");
+    job.kind = *kind;
+    if (budget.has_value()) apply_budget(job, *budget);
+    if (seed.has_value()) apply_seed(job, *seed);
+    job.circuit = resolve(circuit_spec);
+    if (!golden_spec.empty()) job.golden = resolve(golden_spec);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void write_batch_csv(std::ostream& out,
+                     const std::vector<BatchResult>& results) {
+  report::write_csv_row(out, {"job", "kind", "ok", "metric", "value"});
+  std::ostringstream value;
+  value << std::setprecision(17);
+  for (const BatchResult& r : results) {
+    if (!r.ok) {
+      report::write_csv_row(out, {r.name, to_string(r.kind), "0", "error", ""});
+      continue;
+    }
+    for (const auto& [metric, metric_value] : r.metrics) {
+      value.str("");
+      value << metric_value;
+      report::write_csv_row(
+          out, {r.name, to_string(r.kind), "1", metric, value.str()});
+    }
+  }
+}
+
+void write_batch_json(std::ostream& out,
+                      const std::vector<BatchResult>& results) {
+  out << "[\n" << std::setprecision(17);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BatchResult& r = results[i];
+    out << "  {\"name\": \"";
+    json_escape(out, r.name);
+    out << "\", \"kind\": \"" << to_string(r.kind) << "\", \"ok\": "
+        << (r.ok ? "true" : "false") << ", \"error\": \"";
+    json_escape(out, r.error);
+    out << "\", \"metrics\": {";
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      out << (m == 0 ? "" : ", ") << "\"" << r.metrics[m].first << "\": ";
+      // NaN/inf are not valid JSON literals; emit null rather than a file
+      // every parser rejects.
+      if (std::isfinite(r.metrics[m].second)) {
+        out << r.metrics[m].second;
+      } else {
+        out << "null";
+      }
+    }
+    out << "}}" << (i + 1 == results.size() ? "" : ",") << "\n";
+  }
+  out << "]\n";
+}
+
+}  // namespace enb::exec

@@ -1,0 +1,147 @@
+// Batched multi-circuit evaluation: the server-workload front end of the
+// parallel engine.
+//
+// A BatchEvaluator accepts a queue of heterogeneous jobs — each a circuit
+// plus an analysis kind (reliability, worst-case, activity, sensitivity,
+// energy-bound, profile) and per-job options — and schedules them over the
+// shared ThreadPool with two-level parallelism: the Monte-Carlo shards of
+// *every* job are flattened into one task space, so a long job's shards
+// interleave with short jobs instead of serializing behind them.
+//
+// Determinism contract: a job's result is a pure function of its own spec.
+// Every shard draws its randomness from the counter-based stream of
+// (job seed, shard index) — exactly the streams the standalone estimators
+// use — and shard accumulators combine through order-insensitive reductions
+// (integer sums, max, or slot-per-shard writes). Results are therefore
+// bit-identical to a direct estimator call, and independent of the thread
+// count, the job submission order, and whatever else is co-scheduled in the
+// batch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/energy_bound.hpp"
+#include "core/profile.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/activity.hpp"
+#include "sim/reliability.hpp"
+#include "sim/sensitivity.hpp"
+
+namespace enb::exec {
+
+enum class JobKind {
+  kReliability,   // Monte-Carlo delta estimate (vs golden when provided)
+  kWorstCase,     // worst sampled-input delta (vs golden when provided)
+  kActivity,      // Monte-Carlo switching activity
+  kSensitivity,   // Boolean sensitivity (exact or sampled)
+  kEnergyBound,   // Theorem 1-4 bound report at (eps, delta)
+  kProfile,       // (s, S0, sw0, k, d0) profile extraction
+};
+
+[[nodiscard]] const char* to_string(JobKind kind) noexcept;
+[[nodiscard]] std::optional<JobKind> parse_job_kind(std::string_view name);
+
+// One unit of batch work. The embedded option structs carry the job's seeds
+// and budgets; their `threads` members are ignored (the batch owns
+// scheduling). Seeds live in the spec — never in the queue position — which
+// is what makes results submission-order independent.
+struct BatchJob {
+  std::string name;
+  JobKind kind = JobKind::kReliability;
+  netlist::Circuit circuit;
+  // Reference implementation for kReliability / kWorstCase; when absent the
+  // circuit is compared against its own noise-free evaluation.
+  std::optional<netlist::Circuit> golden;
+  double epsilon = 0.01;
+  double delta = 0.01;  // kEnergyBound only
+
+  sim::ReliabilityOptions reliability;   // kReliability
+  sim::WorstCaseOptions worst_case;      // kWorstCase
+  sim::ActivityOptions activity;         // kActivity
+  sim::SensitivityOptions sensitivity;   // kSensitivity
+  core::ProfileOptions profile;          // kProfile, kEnergyBound extraction
+  core::EnergyModelOptions energy;       // kEnergyBound
+  // kEnergyBound: skip profile extraction and analyze this profile directly
+  // (e.g. one extraction shared by a whole epsilon sweep).
+  std::optional<core::CircuitProfile> precomputed_profile;
+};
+
+// Per-job outcome. Failures are isolated: a job whose options are invalid
+// (or whose evaluation throws) reports ok = false with the error text while
+// the rest of the batch completes normally.
+struct BatchResult {
+  std::string name;
+  JobKind kind = JobKind::kReliability;
+  bool ok = false;
+  std::string error;
+  // Flat (metric, value) pairs in a fixed per-kind order — the CSV/JSON row.
+  std::vector<std::pair<std::string, double>> metrics;
+  // Structured payload for kProfile (and kEnergyBound extraction) consumers.
+  std::optional<core::CircuitProfile> profile;
+
+  // The value of `metric`, if present.
+  [[nodiscard]] std::optional<double> metric(std::string_view name) const;
+};
+
+struct BatchOptions {
+  // 0 = global pool, 1 = serial, N = dedicated pool of N workers.
+  unsigned threads = 0;
+};
+
+class BatchEvaluator {
+ public:
+  explicit BatchEvaluator(BatchOptions options = {}) : options_(options) {}
+
+  // Enqueues a job; returns its index in the result vector.
+  std::size_t submit(BatchJob job);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return jobs_.size(); }
+
+  // Evaluates every submitted job and clears the queue. Results are indexed
+  // by submission order; each result is bit-identical to running its job
+  // alone (any thread count, any co-scheduled jobs).
+  [[nodiscard]] std::vector<BatchResult> run();
+
+ private:
+  BatchOptions options_;
+  std::vector<BatchJob> jobs_;
+};
+
+// Convenience: submit + run in one call.
+[[nodiscard]] std::vector<BatchResult> evaluate_batch(
+    std::vector<BatchJob> jobs, const BatchOptions& options = {});
+
+// ---- manifest / output plumbing ------------------------------------------
+
+// Parses a job-manifest stream: one job per non-blank, non-comment line,
+//   <name> kind=<kind> circuit=<spec> [golden=<spec>] [eps=E] [delta=D]
+//          [budget=N] [seed=S] [leakage=L]
+// `resolve` maps a circuit spec (suite name or .bench path) to a netlist.
+// budget= sets the kind's primary Monte-Carlo knob (reliability trials,
+// worst-case trials per input, activity pairs, sensitivity sample words,
+// profile activity pairs); seed= the kind's master stream seed; leakage= the
+// energy-bound leakage share. Throws std::invalid_argument on malformed
+// lines, unknown kinds/keys, or non-numeric values.
+[[nodiscard]] std::vector<BatchJob> parse_manifest(
+    std::istream& in,
+    const std::function<netlist::Circuit(const std::string&)>& resolve);
+
+// Long-format CSV: header "job,kind,ok,metric,value"; failed jobs emit a
+// single row with metric "error" and an empty value (the message itself
+// goes to the JSON writer).
+void write_batch_csv(std::ostream& out,
+                     const std::vector<BatchResult>& results);
+
+// JSON array of {"name", "kind", "ok", "error", "metrics": {...}}.
+void write_batch_json(std::ostream& out,
+                      const std::vector<BatchResult>& results);
+
+}  // namespace enb::exec

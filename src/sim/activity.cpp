@@ -32,60 +32,61 @@ void finalize_gate_averages(const Circuit& circuit, ActivityResult& result) {
 
 }  // namespace
 
-ActivityResult estimate_activity(const Circuit& circuit,
-                                 const ActivityOptions& options) {
+void ActivityCounts::merge(const ActivityCounts& other) {
+  for (std::size_t id = 0; id < ones.size(); ++id) {
+    ones[id] += other.ones[id];
+    toggles[id] += other.toggles[id];
+  }
+}
+
+void validate_activity_inputs(const ActivityOptions& options) {
   if (options.sample_pairs == 0) {
     throw std::invalid_argument("estimate_activity: sample_pairs must be > 0");
   }
+}
+
+exec::ShardPlan activity_shard_plan(const ActivityOptions& options) {
+  return exec::ShardPlan(options.sample_pairs, options.shard_pairs);
+}
+
+ActivityCounts activity_shard_counts(const Circuit& circuit,
+                                     const ActivityOptions& options,
+                                     const exec::Shard& shard) {
   const std::size_t n = circuit.node_count();
-  std::vector<std::uint64_t> ones(n, 0);
-  std::vector<std::uint64_t> toggles(n, 0);
   const double p_in = options.input_one_probability;
+  Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
+  LogicSim sim_a(circuit);
+  LogicSim sim_b(circuit);
+  std::vector<Word> in_a(circuit.num_inputs());
+  std::vector<Word> in_b(circuit.num_inputs());
+  ActivityCounts counts(n);
 
-  // Each shard owns a counter-based PRNG stream and local accumulators; the
-  // merge is an integer sum, so the totals are independent of the order in
-  // which shards finish — bit-exact for any thread count.
-  const exec::ShardPlan plan(options.sample_pairs, options.shard_pairs);
-  std::mutex merge_mutex;
-  exec::for_each_shard(
-      plan,
-      [&](const exec::Shard& shard) {
-        Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
-        LogicSim sim_a(circuit);
-        LogicSim sim_b(circuit);
-        std::vector<Word> in_a(circuit.num_inputs());
-        std::vector<Word> in_b(circuit.num_inputs());
-        std::vector<std::uint64_t> local_ones(n, 0);
-        std::vector<std::uint64_t> local_toggles(n, 0);
+  for (std::size_t pair = shard.begin; pair < shard.end; ++pair) {
+    for (std::size_t i = 0; i < in_a.size(); ++i) {
+      if (p_in == 0.5) {
+        in_a[i] = rng.next();
+        in_b[i] = rng.next();
+      } else {
+        in_a[i] = bernoulli_word(rng, p_in);
+        in_b[i] = bernoulli_word(rng, p_in);
+      }
+    }
+    sim_a.eval(in_a);
+    sim_b.eval(in_b);
+    for (std::size_t id = 0; id < n; ++id) {
+      const Word a = sim_a.values()[id];
+      const Word b = sim_b.values()[id];
+      counts.ones[id] += static_cast<std::uint64_t>(popcount(a));
+      counts.toggles[id] += static_cast<std::uint64_t>(popcount(a ^ b));
+    }
+  }
+  return counts;
+}
 
-        for (std::size_t pair = shard.begin; pair < shard.end; ++pair) {
-          for (std::size_t i = 0; i < in_a.size(); ++i) {
-            if (p_in == 0.5) {
-              in_a[i] = rng.next();
-              in_b[i] = rng.next();
-            } else {
-              in_a[i] = bernoulli_word(rng, p_in);
-              in_b[i] = bernoulli_word(rng, p_in);
-            }
-          }
-          sim_a.eval(in_a);
-          sim_b.eval(in_b);
-          for (std::size_t id = 0; id < n; ++id) {
-            const Word a = sim_a.values()[id];
-            const Word b = sim_b.values()[id];
-            local_ones[id] += static_cast<std::uint64_t>(popcount(a));
-            local_toggles[id] += static_cast<std::uint64_t>(popcount(a ^ b));
-          }
-        }
-
-        const std::lock_guard<std::mutex> lock(merge_mutex);
-        for (std::size_t id = 0; id < n; ++id) {
-          ones[id] += local_ones[id];
-          toggles[id] += local_toggles[id];
-        }
-      },
-      exec::ExecPolicy{options.threads});
-
+ActivityResult finalize_activity(const Circuit& circuit,
+                                 const ActivityOptions& options,
+                                 const ActivityCounts& counts) {
+  const std::size_t n = circuit.node_count();
   const double lanes =
       static_cast<double>(options.sample_pairs) * kWordBits;
   ActivityResult result;
@@ -93,11 +94,34 @@ ActivityResult estimate_activity(const Circuit& circuit,
   result.one_probability.resize(n);
   result.toggle_rate.resize(n);
   for (std::size_t id = 0; id < n; ++id) {
-    result.one_probability[id] = static_cast<double>(ones[id]) / lanes;
-    result.toggle_rate[id] = static_cast<double>(toggles[id]) / lanes;
+    result.one_probability[id] = static_cast<double>(counts.ones[id]) / lanes;
+    result.toggle_rate[id] = static_cast<double>(counts.toggles[id]) / lanes;
   }
   finalize_gate_averages(circuit, result);
   return result;
+}
+
+ActivityResult estimate_activity(const Circuit& circuit,
+                                 const ActivityOptions& options) {
+  validate_activity_inputs(options);
+
+  // Each shard owns a counter-based PRNG stream and local accumulators; the
+  // merge is an integer sum, so the totals are independent of the order in
+  // which shards finish — bit-exact for any thread count.
+  const exec::ShardPlan plan = activity_shard_plan(options);
+  ActivityCounts totals(circuit.node_count());
+  std::mutex merge_mutex;
+  exec::for_each_shard(
+      plan,
+      [&](const exec::Shard& shard) {
+        const ActivityCounts local =
+            activity_shard_counts(circuit, options, shard);
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        totals.merge(local);
+      },
+      exec::ExecPolicy{options.threads});
+
+  return finalize_activity(circuit, options, totals);
 }
 
 ActivityResult exact_activity(const Circuit& circuit) {

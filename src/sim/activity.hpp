@@ -9,8 +9,10 @@
 // probabilities (from the BDD package) can be converted.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "exec/stream.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/bitpack.hpp"
 
@@ -39,6 +41,42 @@ struct ActivityOptions {
 // Monte-Carlo estimate over random vector pairs.
 [[nodiscard]] ActivityResult estimate_activity(
     const netlist::Circuit& circuit, const ActivityOptions& options = {});
+
+// ---- shard-level building blocks -----------------------------------------
+//
+// estimate_activity decomposes into independent shard tasks whose integer
+// accumulators merge by sum; the batch engine (exec/batch.hpp) schedules the
+// same tasks interleaved with other jobs' shards, so a batched activity job
+// is bit-identical to a direct estimator call by construction.
+
+// Per-node integer accumulators of one or more shards; merge by +.
+struct ActivityCounts {
+  std::vector<std::uint64_t> ones;     // set lanes per node
+  std::vector<std::uint64_t> toggles;  // differing lanes per node pair
+  explicit ActivityCounts(std::size_t nodes)
+      : ones(nodes, 0), toggles(nodes, 0) {}
+  void merge(const ActivityCounts& other);
+};
+
+// Throws std::invalid_argument on a zero sample budget — the validation
+// estimate_activity applies before sharding.
+void validate_activity_inputs(const ActivityOptions& options);
+
+// The pair decomposition implied by `options`: sample_pairs split into
+// shards of shard_pairs.
+[[nodiscard]] exec::ShardPlan activity_shard_plan(
+    const ActivityOptions& options);
+
+// Counts contributed by one shard of the plan; a pure function of
+// (options.seed, shard.index).
+[[nodiscard]] ActivityCounts activity_shard_counts(
+    const netlist::Circuit& circuit, const ActivityOptions& options,
+    const exec::Shard& shard);
+
+// Turns merged counts into the estimator's result (rates + gate averages).
+[[nodiscard]] ActivityResult finalize_activity(const netlist::Circuit& circuit,
+                                               const ActivityOptions& options,
+                                               const ActivityCounts& counts);
 
 // Exhaustive (exact) activity for small circuits: one-probabilities from the
 // full truth table, toggle rates via sw = 2 p (1-p) (temporal independence).

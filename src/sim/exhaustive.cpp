@@ -10,7 +10,7 @@ namespace enb::sim {
 
 using netlist::Circuit;
 
-Word exhaustive_pattern(int input_index) noexcept {
+Word exhaustive_pattern(int input_index) {
   switch (input_index) {
     case 0:
       return 0xAAAAAAAAAAAAAAAAULL;
@@ -25,7 +25,10 @@ Word exhaustive_pattern(int input_index) noexcept {
     case 5:
       return 0xFFFFFFFF00000000ULL;
     default:
-      return 0;
+      throw std::invalid_argument(
+          "exhaustive_pattern: input index " + std::to_string(input_index) +
+          " outside the within-word range [0, 6); inputs >= 6 are selected "
+          "by block, not by pattern");
   }
 }
 

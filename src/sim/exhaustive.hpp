@@ -19,8 +19,11 @@ namespace enb::sim {
 // memory and time laptop-scale.
 inline constexpr int kMaxExhaustiveInputs = 26;
 
-// The within-word pattern for input i (i in [0, 6)).
-[[nodiscard]] Word exhaustive_pattern(int input_index) noexcept;
+// The within-word pattern for input i. Throws std::invalid_argument outside
+// [0, 6): inputs beyond the within-word range are block-selected (see
+// fill_exhaustive_block), and silently returning a constant word here would
+// hand callers a plausible-looking but wrong truth table.
+[[nodiscard]] Word exhaustive_pattern(int input_index);
 
 // Fills `words` (size n) with the input words for `block` of an n-input
 // exhaustive enumeration.

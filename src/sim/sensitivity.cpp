@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <mutex>
 
-#include "exec/stream.hpp"
 #include "exec/thread_pool.hpp"
 #include "sim/bitpack.hpp"
 #include "sim/exhaustive.hpp"
@@ -32,119 +31,149 @@ Word flip_difference(LogicSim& sim, std::vector<Word>& inputs,
   return diff;
 }
 
+bool degenerate(const Circuit& circuit) {
+  return circuit.num_inputs() == 0 || circuit.num_outputs() == 0;
+}
+
+// Per-shard worker state: its own simulator, buffers and accumulators.
+struct ShardState {
+  LogicSim sim;
+  std::vector<Word> inputs;
+  std::vector<Word> base_outputs;
+  SensitivityCounts counts;
+  LaneCounter counter;
+
+  ShardState(const Circuit& circuit, int n)
+      : sim(circuit),
+        inputs(static_cast<std::size_t>(n)),
+        base_outputs(circuit.num_outputs()),
+        counts(static_cast<std::size_t>(n)),
+        counter(n) {}
+};
+
+void process_block(const Circuit& circuit, ShardState& state, Word valid) {
+  state.sim.eval(state.inputs);
+  for (std::size_t o = 0; o < circuit.num_outputs(); ++o) {
+    state.base_outputs[o] = state.sim.value(circuit.outputs()[o]);
+  }
+  state.counter.reset();
+  for (std::size_t i = 0; i < state.inputs.size(); ++i) {
+    const Word diff = flip_difference(state.sim, state.inputs,
+                                      state.base_outputs, i, circuit) &
+                      valid;
+    state.counts.influence_counts[i] +=
+        static_cast<std::uint64_t>(popcount(diff));
+    state.counter.add(diff);
+  }
+  state.counts.sensitivity =
+      std::max(state.counts.sensitivity, state.counter.max_lane(valid));
+  state.counts.lane_total += static_cast<std::uint64_t>(popcount(valid));
+}
+
 }  // namespace
 
-SensitivityResult compute_sensitivity(const Circuit& circuit,
-                                      const SensitivityOptions& options) {
+void SensitivityCounts::merge(const SensitivityCounts& other) {
+  for (std::size_t i = 0; i < influence_counts.size(); ++i) {
+    influence_counts[i] += other.influence_counts[i];
+  }
+  sensitivity = std::max(sensitivity, other.sensitivity);
+  lane_total += other.lane_total;
+}
+
+bool sensitivity_is_exact(const Circuit& circuit,
+                          const SensitivityOptions& options) {
   const int n = static_cast<int>(circuit.num_inputs());
+  return degenerate(circuit) ||
+         (n <= options.max_exact_inputs && n <= kMaxExhaustiveInputs);
+}
+
+void validate_sensitivity_inputs(const Circuit& circuit,
+                                 const SensitivityOptions& options) {
+  if (!sensitivity_is_exact(circuit, options) && options.sample_words == 0) {
+    throw std::invalid_argument(
+        "compute_sensitivity: sample_words must be > 0 for the sampled sweep");
+  }
+}
+
+exec::ShardPlan sensitivity_shard_plan(const Circuit& circuit,
+                                       const SensitivityOptions& options) {
+  if (degenerate(circuit)) return exec::ShardPlan(0, 1);
+  const int n = static_cast<int>(circuit.num_inputs());
+  const std::size_t total =
+      sensitivity_is_exact(circuit, options)
+          ? static_cast<std::size_t>(exhaustive_block_count(n))
+          : static_cast<std::size_t>(options.sample_words);
+  return exec::ShardPlan(total, static_cast<std::size_t>(options.shard_words));
+}
+
+SensitivityCounts sensitivity_shard_counts(const Circuit& circuit,
+                                           const SensitivityOptions& options,
+                                           const exec::Shard& shard) {
+  const int n = static_cast<int>(circuit.num_inputs());
+  ShardState state(circuit, n);
+  if (sensitivity_is_exact(circuit, options)) {
+    // Blocks are pure functions of their index, so the exhaustive sweep
+    // shards over block ranges with no randomness involved.
+    const Word valid = exhaustive_valid_mask(n);
+    for (std::size_t block = shard.begin; block < shard.end; ++block) {
+      fill_exhaustive_block(n, static_cast<std::uint64_t>(block),
+                            state.inputs);
+      process_block(circuit, state, valid);
+    }
+  } else {
+    Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
+    for (std::size_t pass = shard.begin; pass < shard.end; ++pass) {
+      for (Word& w : state.inputs) w = rng.next();
+      process_block(circuit, state, kAllOnes);
+    }
+  }
+  return std::move(state.counts);
+}
+
+SensitivityResult finalize_sensitivity(const Circuit& circuit,
+                                       const SensitivityOptions& options,
+                                       const SensitivityCounts& counts) {
+  const std::size_t n = circuit.num_inputs();
   SensitivityResult result;
-  result.influence.assign(static_cast<std::size_t>(n), 0.0);
-  if (n == 0 || circuit.num_outputs() == 0) {
+  result.influence.assign(n, 0.0);
+  if (degenerate(circuit)) {
     result.exact = true;
     result.assignments = 1;
     return result;
   }
-
-  const bool exact = n <= options.max_exact_inputs &&
-                     n <= kMaxExhaustiveInputs;
-  std::vector<std::uint64_t> influence_counts(static_cast<std::size_t>(n), 0);
-  std::uint64_t lane_total = 0;
-  std::mutex merge_mutex;
-
-  // Per-shard worker state: its own simulator, buffers and accumulators.
-  // Shards merge by sum (influence, lane totals) and max (sensitivity), so
-  // the sweep is thread-count independent for both the exact enumeration
-  // (no randomness at all) and the sampled one (counter-based streams).
-  struct ShardState {
-    LogicSim sim;
-    std::vector<Word> inputs;
-    std::vector<Word> base_outputs;
-    std::vector<std::uint64_t> influence_counts;
-    LaneCounter counter;
-    int sensitivity = 0;
-    std::uint64_t lane_total = 0;
-
-    ShardState(const Circuit& circuit, int n)
-        : sim(circuit),
-          inputs(static_cast<std::size_t>(n)),
-          base_outputs(circuit.num_outputs()),
-          influence_counts(static_cast<std::size_t>(n), 0),
-          counter(n) {}
-  };
-
-  const auto process_block = [&](ShardState& state, Word valid) {
-    state.sim.eval(state.inputs);
-    for (std::size_t o = 0; o < circuit.num_outputs(); ++o) {
-      state.base_outputs[o] = state.sim.value(circuit.outputs()[o]);
-    }
-    state.counter.reset();
-    for (std::size_t i = 0; i < state.inputs.size(); ++i) {
-      const Word diff = flip_difference(state.sim, state.inputs,
-                                        state.base_outputs, i, circuit) &
-                        valid;
-      state.influence_counts[i] += static_cast<std::uint64_t>(popcount(diff));
-      state.counter.add(diff);
-    }
-    state.sensitivity =
-        std::max(state.sensitivity, state.counter.max_lane(valid));
-    state.lane_total += static_cast<std::uint64_t>(popcount(valid));
-  };
-
-  const auto merge_shard = [&](const ShardState& state) {
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    for (std::size_t i = 0; i < influence_counts.size(); ++i) {
-      influence_counts[i] += state.influence_counts[i];
-    }
-    result.sensitivity = std::max(result.sensitivity, state.sensitivity);
-    lane_total += state.lane_total;
-  };
-
-  if (exact) {
-    // Blocks are pure functions of their index, so the exhaustive sweep
-    // shards over block ranges with no randomness involved.
-    const std::uint64_t blocks = exhaustive_block_count(n);
-    const exec::ShardPlan plan(static_cast<std::size_t>(blocks),
-                               static_cast<std::size_t>(options.shard_words));
-    exec::for_each_shard(
-        plan,
-        [&](const exec::Shard& shard) {
-          ShardState state(circuit, n);
-          const Word valid = exhaustive_valid_mask(n);
-          for (std::size_t block = shard.begin; block < shard.end; ++block) {
-            fill_exhaustive_block(n, static_cast<std::uint64_t>(block),
-                                  state.inputs);
-            process_block(state, valid);
-          }
-          merge_shard(state);
-        },
-        exec::ExecPolicy{options.threads});
-    result.exact = true;
-  } else {
-    const exec::ShardPlan plan(
-        static_cast<std::size_t>(options.sample_words),
-        static_cast<std::size_t>(options.shard_words));
-    exec::for_each_shard(
-        plan,
-        [&](const exec::Shard& shard) {
-          ShardState state(circuit, n);
-          Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
-          for (std::size_t pass = shard.begin; pass < shard.end; ++pass) {
-            for (Word& w : state.inputs) w = rng.next();
-            process_block(state, kAllOnes);
-          }
-          merge_shard(state);
-        },
-        exec::ExecPolicy{options.threads});
-    result.exact = false;
-  }
-
-  result.assignments = lane_total;
-  for (std::size_t i = 0; i < influence_counts.size(); ++i) {
-    result.influence[i] = static_cast<double>(influence_counts[i]) /
-                          static_cast<double>(lane_total);
+  result.exact = sensitivity_is_exact(circuit, options);
+  result.sensitivity = counts.sensitivity;
+  result.assignments = counts.lane_total;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.influence[i] = static_cast<double>(counts.influence_counts[i]) /
+                          static_cast<double>(counts.lane_total);
     result.total_influence += result.influence[i];
   }
   return result;
+}
+
+SensitivityResult compute_sensitivity(const Circuit& circuit,
+                                      const SensitivityOptions& options) {
+  validate_sensitivity_inputs(circuit, options);
+  const std::size_t n = circuit.num_inputs();
+  SensitivityCounts totals(n);
+  if (!degenerate(circuit)) {
+    // Shards merge by sum (influence, lane totals) and max (sensitivity), so
+    // the sweep is thread-count independent for both the exact enumeration
+    // (no randomness at all) and the sampled one (counter-based streams).
+    const exec::ShardPlan plan = sensitivity_shard_plan(circuit, options);
+    std::mutex merge_mutex;
+    exec::for_each_shard(
+        plan,
+        [&](const exec::Shard& shard) {
+          const SensitivityCounts local =
+              sensitivity_shard_counts(circuit, options, shard);
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          totals.merge(local);
+        },
+        exec::ExecPolicy{options.threads});
+  }
+  return finalize_sensitivity(circuit, options, totals);
 }
 
 }  // namespace enb::sim

@@ -1,0 +1,47 @@
+#include "util/numeric.hpp"
+
+#include <stdexcept>
+
+namespace enb::util {
+
+bool parse_double(const std::string& text, double& slot) {
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (text.empty() || consumed != text.size()) return false;
+  slot = parsed;
+  return true;
+}
+
+bool parse_int(const std::string& text, int& slot) {
+  std::size_t consumed = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(text, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (text.empty() || consumed != text.size()) return false;
+  slot = parsed;
+  return true;
+}
+
+bool parse_uint64(const std::string& text, std::uint64_t& slot) {
+  if (text.empty() || text.find('-') != std::string::npos) return false;
+  std::size_t consumed = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (consumed != text.size()) return false;
+  slot = parsed;
+  return true;
+}
+
+}  // namespace enb::util

@@ -1,0 +1,19 @@
+// Strict full-consumption numeric parsing, shared by the CLI argument
+// parser and the batch-manifest reader so their hardening stays in sync.
+// "0.1x", "", and (for counts) "-1" are errors, not prefixes or wraparounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace enb::util {
+
+// Each returns false unless the whole string parses (no trailing junk, no
+// overflow). `slot` is unchanged on failure.
+[[nodiscard]] bool parse_double(const std::string& text, double& slot);
+[[nodiscard]] bool parse_int(const std::string& text, int& slot);
+// Rejects negative input outright: std::stoull would silently wrap "-1" to
+// 2^64-1, which downstream trial-count arithmetic then overflows to zero.
+[[nodiscard]] bool parse_uint64(const std::string& text, std::uint64_t& slot);
+
+}  // namespace enb::util

@@ -1,0 +1,499 @@
+// BatchEvaluator contract tests.
+//
+// The acceptance bar: a batch of >= 16 mixed jobs (reliability, worst-case,
+// activity, sensitivity, energy-bound, profile) produces bit-identical
+// per-job results for threads in {1, 0 (global pool), 64 (oversubscribed
+// dedicated pool)} and for shuffled submission order — and every batched
+// result equals the standalone estimator run with the same options, because
+// the batch schedules the estimators' own shard-level building blocks.
+#include "exec/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "ft/nmr.hpp"
+#include "gen/adders.hpp"
+#include "gen/iscas.hpp"
+#include "gen/suite.hpp"
+#include "sim/reliability.hpp"
+
+namespace enb::exec {
+namespace {
+
+netlist::Circuit suite_circuit(const std::string& name) {
+  return gen::find_benchmark(name).build();
+}
+
+// A 20-job mixed workload over small suite circuits, with budgets chosen so
+// every kind produces several shards (and both sensitivity sweeps — exact
+// and sampled — are exercised).
+std::vector<BatchJob> mixed_jobs() {
+  std::vector<BatchJob> jobs;
+  const char* circuits[] = {"c17", "parity8", "rca8", "mult4"};
+  for (const char* name : circuits) {
+    {
+      BatchJob job;
+      job.name = std::string(name) + "/rel";
+      job.kind = JobKind::kReliability;
+      job.circuit = suite_circuit(name);
+      job.epsilon = 0.02;
+      job.reliability.trials = 2048;
+      job.reliability.shard_passes = 8;
+      jobs.push_back(std::move(job));
+    }
+    {
+      BatchJob job;
+      job.name = std::string(name) + "/worst";
+      job.kind = JobKind::kWorstCase;
+      job.circuit = suite_circuit(name);
+      job.epsilon = 0.05;
+      job.worst_case.num_inputs = 16;
+      job.worst_case.trials_per_input = 256;
+      jobs.push_back(std::move(job));
+    }
+    {
+      BatchJob job;
+      job.name = std::string(name) + "/act";
+      job.kind = JobKind::kActivity;
+      job.circuit = suite_circuit(name);
+      job.activity.sample_pairs = 256;
+      job.activity.shard_pairs = 32;
+      jobs.push_back(std::move(job));
+    }
+    {
+      BatchJob job;
+      job.name = std::string(name) + "/sens";
+      job.kind = JobKind::kSensitivity;
+      job.circuit = suite_circuit(name);
+      job.sensitivity.max_exact_inputs = 8;  // rca8 (17 inputs) samples
+      job.sensitivity.sample_words = 64;
+      job.sensitivity.shard_words = 8;
+      jobs.push_back(std::move(job));
+    }
+  }
+  {
+    // Redundant implementation vs its golden reference.
+    BatchJob job;
+    job.name = "tmr-rca4/rel";
+    job.kind = JobKind::kReliability;
+    job.golden = gen::ripple_carry_adder(4);
+    job.circuit = ft::nmr_transform(*job.golden).circuit;
+    job.epsilon = 0.01;
+    job.reliability.trials = 2048;
+    job.reliability.shard_passes = 8;
+    jobs.push_back(std::move(job));
+  }
+  {
+    BatchJob job;
+    job.name = "mult4/bound";
+    job.kind = JobKind::kEnergyBound;
+    job.circuit = suite_circuit("mult4");
+    job.epsilon = 0.01;
+    job.delta = 0.01;
+    job.profile.activity_pairs = 256;
+    job.profile.sensitivity_exact_max_inputs = 8;
+    jobs.push_back(std::move(job));
+  }
+  {
+    // 17 inputs: Monte-Carlo activity shards + sampled sensitivity shards.
+    BatchJob job;
+    job.name = "rca8/profile";
+    job.kind = JobKind::kProfile;
+    job.circuit = suite_circuit("rca8");
+    job.profile.activity_pairs = 256;
+    job.profile.sensitivity_exact_max_inputs = 8;
+    jobs.push_back(std::move(job));
+  }
+  {
+    // 8 inputs: exact (BDD) activity route + exact sensitivity sweep.
+    BatchJob job;
+    job.name = "parity8/profile";
+    job.kind = JobKind::kProfile;
+    job.circuit = suite_circuit("parity8");
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::map<std::string, BatchResult> by_name(std::vector<BatchResult> results) {
+  std::map<std::string, BatchResult> map;
+  for (BatchResult& r : results) {
+    map.emplace(r.name, std::move(r));
+  }
+  return map;
+}
+
+void expect_identical(const std::map<std::string, BatchResult>& reference,
+                      const std::map<std::string, BatchResult>& candidate,
+                      const std::string& label) {
+  ASSERT_EQ(reference.size(), candidate.size()) << label;
+  for (const auto& [name, ref] : reference) {
+    const auto it = candidate.find(name);
+    ASSERT_NE(it, candidate.end()) << label << ": missing job " << name;
+    EXPECT_EQ(ref.ok, it->second.ok) << label << ": " << name;
+    // Bit-identical: exact double equality on every metric, no tolerance.
+    EXPECT_EQ(ref.metrics, it->second.metrics) << label << ": " << name;
+  }
+}
+
+TEST(Batch, MixedJobsBitIdenticalAcrossThreadCountsAndOrder) {
+  const auto reference = by_name(evaluate_batch(mixed_jobs(),
+                                                BatchOptions{1}));
+  ASSERT_GE(reference.size(), 16u);
+  for (const auto& [name, r] : reference) {
+    EXPECT_TRUE(r.ok) << name << ": " << r.error;
+  }
+
+  // Global pool and a heavily oversubscribed dedicated pool.
+  for (unsigned threads : {0u, 64u}) {
+    const auto parallel =
+        by_name(evaluate_batch(mixed_jobs(), BatchOptions{threads}));
+    expect_identical(reference, parallel,
+                     "threads=" + std::to_string(threads));
+  }
+
+  // Shuffled submission order (fixed permutation: stride 7 is coprime with
+  // the job count, so it visits every index).
+  std::vector<BatchJob> jobs = mixed_jobs();
+  std::vector<BatchJob> shuffled;
+  const std::size_t n = jobs.size();
+  ASSERT_EQ(std::gcd(n, std::size_t{7}), 1u);  // stride must stay coprime
+  for (std::size_t i = 0; i < n; ++i) {
+    shuffled.push_back(std::move(jobs[(i * 7) % n]));
+  }
+  const auto reordered =
+      by_name(evaluate_batch(std::move(shuffled), BatchOptions{64}));
+  expect_identical(reference, reordered, "shuffled order");
+}
+
+TEST(Batch, ReliabilityJobMatchesDirectEstimatorCall) {
+  BatchJob job;
+  job.name = "rel";
+  job.kind = JobKind::kReliability;
+  job.circuit = suite_circuit("c17");
+  job.epsilon = 0.03;
+  job.reliability.trials = 2000;  // not a multiple of 64 on purpose
+  job.reliability.shard_passes = 4;
+  job.reliability.seed = 99;
+  const sim::ReliabilityResult direct = sim::estimate_reliability(
+      job.circuit, job.epsilon,
+      [&] {
+        sim::ReliabilityOptions o = job.reliability;
+        o.threads = 1;
+        return o;
+      }());
+
+  std::vector<BatchJob> jobs;
+  jobs.push_back(std::move(job));
+  const auto results = evaluate_batch(std::move(jobs));
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].metric("delta_hat"), direct.delta_hat);
+  EXPECT_EQ(results[0].metric("ci_low"), direct.ci_low);
+  EXPECT_EQ(results[0].metric("ci_high"), direct.ci_high);
+  EXPECT_EQ(results[0].metric("failures"),
+            static_cast<double>(direct.failures));
+  EXPECT_EQ(results[0].metric("trials"), 2048.0);
+  EXPECT_EQ(results[0].metric("requested_trials"), 2000.0);
+}
+
+TEST(Batch, WorstCaseJobMatchesDirectEstimatorCall) {
+  BatchJob job;
+  job.name = "worst";
+  job.kind = JobKind::kWorstCase;
+  job.circuit = suite_circuit("c17");
+  job.epsilon = 0.05;
+  job.worst_case.num_inputs = 24;
+  job.worst_case.trials_per_input = 300;
+  const sim::WorstCaseResult direct = sim::estimate_worst_case_reliability(
+      job.circuit, job.circuit, job.epsilon,
+      [&] {
+        sim::WorstCaseOptions o = job.worst_case;
+        o.threads = 1;
+        return o;
+      }());
+
+  std::vector<BatchJob> jobs;
+  jobs.push_back(std::move(job));
+  const auto results = evaluate_batch(std::move(jobs));
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].metric("worst_delta_hat"), direct.worst.delta_hat);
+  EXPECT_EQ(results[0].metric("worst_failures"),
+            static_cast<double>(direct.worst.failures));
+  EXPECT_EQ(results[0].metric("average_delta"), direct.average_delta);
+  EXPECT_EQ(results[0].metric("trials_per_input"), 320.0);
+  EXPECT_EQ(results[0].metric("requested_trials_per_input"), 300.0);
+}
+
+TEST(Batch, ProfileJobMatchesExtractProfile) {
+  core::ProfileOptions options;
+  options.activity_pairs = 256;
+  options.sensitivity_exact_max_inputs = 8;
+
+  for (const char* name : {"rca8", "parity8"}) {  // sampled and BDD routes
+    BatchJob job;
+    job.name = name;
+    job.kind = JobKind::kProfile;
+    job.circuit = suite_circuit(name);
+    job.profile = options;
+    const core::CircuitProfile direct = core::extract_profile(
+        job.circuit,
+        [&] {
+          core::ProfileOptions o = options;
+          o.threads = 1;
+          return o;
+        }());
+
+    std::vector<BatchJob> jobs;
+    jobs.push_back(std::move(job));
+    const auto results = evaluate_batch(std::move(jobs));
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    ASSERT_TRUE(results[0].profile.has_value());
+    const core::CircuitProfile& p = *results[0].profile;
+    EXPECT_EQ(p.num_inputs, direct.num_inputs) << name;
+    EXPECT_EQ(p.size_s0, direct.size_s0) << name;
+    EXPECT_EQ(p.depth_d0, direct.depth_d0) << name;
+    EXPECT_EQ(p.avg_fanin_k, direct.avg_fanin_k) << name;
+    EXPECT_EQ(p.avg_activity_sw0, direct.avg_activity_sw0) << name;
+    EXPECT_EQ(p.sensitivity_s, direct.sensitivity_s) << name;
+    EXPECT_EQ(p.sensitivity_exact, direct.sensitivity_exact) << name;
+  }
+}
+
+TEST(Batch, EnergyBoundJobMatchesAnalyze) {
+  core::ProfileOptions options;
+  options.activity_pairs = 256;
+  options.sensitivity_exact_max_inputs = 8;
+  options.threads = 1;
+  const netlist::Circuit circuit = suite_circuit("mult4");
+  const core::CircuitProfile profile = core::extract_profile(circuit, options);
+  const core::BoundReport direct = core::analyze(profile, 0.02, 0.05);
+
+  // Once via extraction, once via the precomputed-profile shortcut.
+  std::vector<BatchJob> jobs;
+  {
+    BatchJob job;
+    job.name = "extracted";
+    job.kind = JobKind::kEnergyBound;
+    job.circuit = circuit;
+    job.epsilon = 0.02;
+    job.delta = 0.05;
+    job.profile = options;
+    jobs.push_back(std::move(job));
+  }
+  {
+    BatchJob job;
+    job.name = "precomputed";
+    job.kind = JobKind::kEnergyBound;
+    job.epsilon = 0.02;
+    job.delta = 0.05;
+    job.precomputed_profile = profile;
+    jobs.push_back(std::move(job));
+  }
+  const auto results = evaluate_batch(std::move(jobs));
+  for (const BatchResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_EQ(r.metric("total_factor"), direct.energy.total_factor) << r.name;
+    EXPECT_EQ(r.metric("size_factor"), direct.size_factor) << r.name;
+    EXPECT_EQ(r.metric("delay_factor"), direct.metrics.delay) << r.name;
+  }
+}
+
+TEST(Batch, FailedJobIsIsolated) {
+  std::vector<BatchJob> jobs;
+  {
+    BatchJob job;
+    job.name = "bad";
+    job.kind = JobKind::kReliability;
+    job.circuit = gen::c17();                   // 5 inputs
+    job.golden = gen::ripple_carry_adder(4);    // 9 inputs: mismatch
+    jobs.push_back(std::move(job));
+  }
+  {
+    BatchJob job;
+    job.name = "empty";
+    job.kind = JobKind::kProfile;
+    job.circuit = netlist::Circuit("no-gates");  // nothing to profile
+    jobs.push_back(std::move(job));
+  }
+  {
+    BatchJob job;
+    job.name = "good";
+    job.kind = JobKind::kActivity;
+    job.circuit = gen::c17();
+    job.activity.sample_pairs = 64;
+    jobs.push_back(std::move(job));
+  }
+  const auto results = evaluate_batch(std::move(jobs));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("mismatch"), std::string::npos)
+      << results[0].error;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_TRUE(results[2].ok) << results[2].error;
+  EXPECT_TRUE(results[2].metric("avg_gate_toggle_rate").has_value());
+}
+
+TEST(Batch, EmptyQueueYieldsEmptyResults) {
+  BatchEvaluator evaluator;
+  EXPECT_EQ(evaluator.pending(), 0u);
+  EXPECT_TRUE(evaluator.run().empty());
+}
+
+TEST(Batch, RunClearsTheQueue) {
+  BatchEvaluator evaluator;
+  BatchJob job;
+  job.name = "act";
+  job.kind = JobKind::kActivity;
+  job.circuit = gen::c17();
+  job.activity.sample_pairs = 64;
+  evaluator.submit(std::move(job));
+  EXPECT_EQ(evaluator.pending(), 1u);
+  EXPECT_EQ(evaluator.run().size(), 1u);
+  EXPECT_EQ(evaluator.pending(), 0u);
+  EXPECT_TRUE(evaluator.run().empty());
+}
+
+TEST(Batch, JobKindRoundTrips) {
+  for (JobKind kind :
+       {JobKind::kReliability, JobKind::kWorstCase, JobKind::kActivity,
+        JobKind::kSensitivity, JobKind::kEnergyBound, JobKind::kProfile}) {
+    const auto parsed = parse_job_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_EQ(parse_job_kind("worst_case"), JobKind::kWorstCase);
+  EXPECT_EQ(parse_job_kind("energy_bound"), JobKind::kEnergyBound);
+  EXPECT_FALSE(parse_job_kind("bogus").has_value());
+}
+
+TEST(Manifest, ParsesJobsWithCommentsAndDefaults) {
+  std::istringstream in(
+      "# comment line\n"
+      "\n"
+      "r1 kind=reliability circuit=c17 eps=0.02 budget=4096 seed=5\n"
+      "w1 kind=worst-case circuit=parity8 budget=512\n"
+      "e1 kind=energy-bound circuit=mult4 delta=0.1 leakage=0.25\n"
+      "p1 circuit=rca8 kind=profile\n");
+  const auto jobs = parse_manifest(in, suite_circuit);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].name, "r1");
+  EXPECT_EQ(jobs[0].kind, JobKind::kReliability);
+  EXPECT_DOUBLE_EQ(jobs[0].epsilon, 0.02);
+  EXPECT_EQ(jobs[0].reliability.trials, 4096u);
+  EXPECT_EQ(jobs[0].reliability.seed, 5u);
+  EXPECT_EQ(jobs[1].kind, JobKind::kWorstCase);
+  EXPECT_EQ(jobs[1].worst_case.trials_per_input, 512u);
+  EXPECT_DOUBLE_EQ(jobs[2].delta, 0.1);
+  EXPECT_DOUBLE_EQ(jobs[2].energy.leakage_fraction, 0.25);
+  EXPECT_EQ(jobs[3].kind, JobKind::kProfile);  // key order is free
+  EXPECT_GT(jobs[3].circuit.gate_count(), 0u);
+}
+
+TEST(Manifest, RejectsMalformedLines) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return parse_manifest(in, suite_circuit);
+  };
+  EXPECT_THROW((void)parse("j1 kind=bogus circuit=c17"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("j1 circuit=c17"), std::invalid_argument);
+  EXPECT_THROW((void)parse("j1 kind=reliability"), std::invalid_argument);
+  EXPECT_THROW((void)parse("j1 kind=reliability circuit=c17 eps=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("j1 kind=reliability circuit=c17 budget=12x"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("j1 kind=reliability circuit=c17 frobnicate=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("j1 kind=reliability circuit=c17 noequals"),
+               std::invalid_argument);
+  // std::stoull would wrap "-1" to 2^64-1, whose rounded-up pass count
+  // overflows to zero — a silent empty job reporting ok. Reject instead.
+  EXPECT_THROW((void)parse("j1 kind=reliability circuit=c17 budget=-1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("j1 kind=reliability circuit=c17 seed=-7"),
+               std::invalid_argument);
+}
+
+TEST(Batch, ZeroSampledSensitivityBudgetFailsTheJob) {
+  // 17 inputs with max_exact_inputs=8 selects the sampled sweep; a zero
+  // sample budget must fail the job, not report ok with NaN influence.
+  BatchJob job;
+  job.name = "sens0";
+  job.kind = JobKind::kSensitivity;
+  job.circuit = suite_circuit("rca8");
+  job.sensitivity.max_exact_inputs = 8;
+  job.sensitivity.sample_words = 0;
+  std::vector<BatchJob> jobs;
+  jobs.push_back(std::move(job));
+  const auto results = evaluate_batch(std::move(jobs));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("sample_words"), std::string::npos)
+      << results[0].error;
+}
+
+TEST(BatchOutput, JsonEmitsNullForNonFiniteMetrics) {
+  // delay_factor is legitimately +inf past the Theorem 4 feasibility limit;
+  // "inf"/"nan" are not JSON literals and must render as null.
+  BatchResult r;
+  r.name = "edge";
+  r.kind = JobKind::kEnergyBound;
+  r.ok = true;
+  r.metrics = {{"total_factor", 2.5},
+               {"delay_factor", std::numeric_limits<double>::infinity()},
+               {"avg_power_factor", std::numeric_limits<double>::quiet_NaN()}};
+  std::ostringstream json;
+  write_batch_json(json, {r});
+  EXPECT_NE(json.str().find("\"total_factor\": 2.5"), std::string::npos);
+  EXPECT_NE(json.str().find("\"delay_factor\": null"), std::string::npos);
+  EXPECT_NE(json.str().find("\"avg_power_factor\": null"), std::string::npos);
+  EXPECT_EQ(json.str().find("inf"), std::string::npos);
+  EXPECT_EQ(json.str().find("nan"), std::string::npos);
+}
+
+TEST(BatchOutput, CsvAndJsonShapes) {
+  std::vector<BatchJob> jobs;
+  {
+    BatchJob job;
+    job.name = "act";
+    job.kind = JobKind::kActivity;
+    job.circuit = gen::c17();
+    job.activity.sample_pairs = 64;
+    jobs.push_back(std::move(job));
+  }
+  {
+    BatchJob job;
+    job.name = "bad";
+    job.kind = JobKind::kReliability;
+    job.circuit = gen::c17();
+    job.golden = gen::ripple_carry_adder(4);
+    jobs.push_back(std::move(job));
+  }
+  const auto results = evaluate_batch(std::move(jobs));
+
+  std::ostringstream csv;
+  write_batch_csv(csv, results);
+  EXPECT_NE(csv.str().find("job,kind,ok,metric,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("act,activity,1,avg_gate_toggle_rate,"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("bad,reliability,0,error,"), std::string::npos);
+
+  std::ostringstream json;
+  write_batch_json(json, results);
+  EXPECT_NE(json.str().find("\"name\": \"act\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(json.str().find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.str().find("mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace enb::exec

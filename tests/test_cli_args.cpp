@@ -1,0 +1,87 @@
+// Edge cases of the enbound CLI argument parser: a trailing value-taking
+// flag must not read past the end of argv (the seed binary dereferenced
+// argv[argc], i.e. nullptr), and malformed values must name the offending
+// flag instead of crashing out of std::stod.
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace enb::cli {
+namespace {
+
+TEST(CliArgs, HappyPathFillsEveryField) {
+  const Args args = parse_args(
+      {"sweep", "adder.bench", "--eps-lo", "0.002", "--eps-hi", "0.3",
+       "--points", "7", "--delta", "0.05", "--map", "4", "--csv", "out.csv",
+       "--eps", "0.02", "--leakage", "0.25", "--couple-leakage", "--threads",
+       "8", "--json", "out.json", "-o", "out.bench"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.positional, (std::vector<std::string>{"sweep", "adder.bench"}));
+  EXPECT_DOUBLE_EQ(args.eps_lo, 0.002);
+  EXPECT_DOUBLE_EQ(args.eps_hi, 0.3);
+  EXPECT_EQ(args.points, 7);
+  EXPECT_DOUBLE_EQ(args.delta, 0.05);
+  EXPECT_EQ(args.map_fanin, 4);
+  EXPECT_EQ(args.csv, "out.csv");
+  EXPECT_DOUBLE_EQ(args.eps, 0.02);
+  EXPECT_DOUBLE_EQ(args.leakage, 0.25);
+  EXPECT_TRUE(args.couple_leakage);
+  EXPECT_EQ(args.threads, 8u);
+  EXPECT_EQ(args.json, "out.json");
+  EXPECT_EQ(args.out, "out.bench");
+}
+
+TEST(CliArgs, TrailingValueFlagReportsInsteadOfOverreading) {
+  for (const char* flag :
+       {"--eps", "--delta", "--leakage", "--eps-lo", "--eps-hi", "--map",
+        "--points", "--threads", "-o", "--csv", "--json"}) {
+    const Args args = parse_args({"analyze", "c.bench", flag});
+    EXPECT_FALSE(args.ok()) << flag;
+    EXPECT_NE(args.error.find(flag), std::string::npos)
+        << "error should name the offending flag: " << args.error;
+    EXPECT_NE(args.error.find("requires a value"), std::string::npos)
+        << args.error;
+  }
+}
+
+TEST(CliArgs, NonNumericValueNamesFlagAndValue) {
+  const Args args = parse_args({"analyze", "c.bench", "--eps", "abc"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("--eps"), std::string::npos) << args.error;
+  EXPECT_NE(args.error.find("abc"), std::string::npos) << args.error;
+}
+
+TEST(CliArgs, PartialNumericValueRejected) {
+  // "0.1x" must not silently parse as 0.1.
+  const Args args = parse_args({"analyze", "c.bench", "--delta", "0.1x"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("--delta"), std::string::npos) << args.error;
+}
+
+TEST(CliArgs, NonIntegerCountRejected) {
+  const Args points = parse_args({"sweep", "c.bench", "--points", "3.5"});
+  EXPECT_FALSE(points.ok());
+  const Args map = parse_args({"analyze", "c.bench", "--map", "two"});
+  EXPECT_FALSE(map.ok());
+}
+
+TEST(CliArgs, NegativeThreadsRejected) {
+  const Args args = parse_args({"batch", "jobs.txt", "--threads", "-2"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("--threads"), std::string::npos) << args.error;
+}
+
+TEST(CliArgs, UnknownOptionRejected) {
+  const Args args = parse_args({"analyze", "c.bench", "--epsilon", "0.1"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("--epsilon"), std::string::npos) << args.error;
+}
+
+TEST(CliArgs, EmptyArgvIsOk) {
+  const Args args = parse_args({});
+  EXPECT_TRUE(args.ok());
+  EXPECT_TRUE(args.positional.empty());
+}
+
+}  // namespace
+}  // namespace enb::cli

@@ -39,6 +39,26 @@ TEST(Exhaustive, PatternsEnumerateAssignments) {
   }
 }
 
+TEST(Exhaustive, PatternOutOfRangeThrows) {
+  // Inputs >= 6 are block-selected, not pattern-toggled; silently returning
+  // a constant word here would fabricate wrong truth tables.
+  EXPECT_THROW((void)exhaustive_pattern(6), std::invalid_argument);
+  EXPECT_THROW((void)exhaustive_pattern(64), std::invalid_argument);
+  EXPECT_THROW((void)exhaustive_pattern(-1), std::invalid_argument);
+}
+
+TEST(Exhaustive, PatternsAlternateAtTheirPeriod) {
+  for (int i = 0; i < 6; ++i) {
+    const Word w = exhaustive_pattern(i);
+    // Bit L of pattern i must be bit i of the assignment value L.
+    for (int lane = 0; lane < 64; ++lane) {
+      const bool expected = ((lane >> i) & 1) != 0;
+      EXPECT_EQ(((w >> lane) & 1ULL) != 0, expected)
+          << "pattern " << i << " lane " << lane;
+    }
+  }
+}
+
 TEST(Exhaustive, BlockCount) {
   EXPECT_EQ(exhaustive_block_count(0), 1ULL);
   EXPECT_EQ(exhaustive_block_count(5), 1ULL);

@@ -103,6 +103,37 @@ TEST(Reliability, TrialsRoundedUpToWordMultiple) {
   EXPECT_EQ(r.trials, 64u);
 }
 
+TEST(Reliability, ReportsRequestedAndExecutedTrials) {
+  // delta_hat is normalized by the executed (64-rounded) count; consumers
+  // that need the caller's requested budget read requested_trials.
+  ReliabilityOptions options;
+  options.trials = 1000;
+  const ReliabilityResult r =
+      estimate_reliability(single_buffer(), 0.1, options);
+  EXPECT_EQ(r.trials, 1024u);
+  EXPECT_EQ(r.requested_trials, 1000u);
+  EXPECT_DOUBLE_EQ(
+      r.delta_hat,
+      static_cast<double>(r.failures) / static_cast<double>(r.trials));
+}
+
+TEST(Wilson, RequestedTrialsDefaultsToExecuted) {
+  const ReliabilityResult r = wilson_interval(7, 128);
+  EXPECT_EQ(r.trials, 128u);
+  EXPECT_EQ(r.requested_trials, 128u);
+}
+
+TEST(WorstCase, ReportsRequestedAndExecutedTrials) {
+  WorstCaseOptions options;
+  options.num_inputs = 4;
+  options.trials_per_input = 100;  // rounds up to 128
+  const Circuit c = single_buffer();
+  const WorstCaseResult r =
+      estimate_worst_case_reliability(c, c, 0.1, options);
+  EXPECT_EQ(r.worst.trials, 128u);
+  EXPECT_EQ(r.worst.requested_trials, 100u);
+}
+
 TEST(Reliability, DeterministicPerSeed) {
   ReliabilityOptions options;
   options.trials = 1 << 12;

@@ -116,5 +116,20 @@ TEST(Sensitivity, MuxSensitivity) {
   EXPECT_EQ(r.sensitivity, 2);
 }
 
+TEST(Sensitivity, ZeroSampleBudgetRejectedOnSampledRoute) {
+  // Sampled sweep (forced via max_exact_inputs) with sample_words == 0 would
+  // divide 0/0 into NaN influence; it must throw instead. The exact sweep
+  // ignores sample_words entirely.
+  const Circuit c = parity(10);
+  SensitivityOptions options;
+  options.max_exact_inputs = 4;
+  options.sample_words = 0;
+  EXPECT_THROW((void)compute_sensitivity(c, options), std::invalid_argument);
+  options.max_exact_inputs = 22;  // exact route: fine
+  const SensitivityResult r = compute_sensitivity(c, options);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.sensitivity, 10);
+}
+
 }  // namespace
 }  // namespace enb::sim

@@ -5,16 +5,21 @@
 //                   [--leakage L] [--couple-leakage]
 //   enbound sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]
 //                   [--delta D] [--map K] [--csv out.csv]
+//   enbound batch   <manifest>   [--map K] [--threads N]
+//                   [--csv out.csv] [--json out.json]
 //   enbound gen     <name> [-o out.bench]      (suite circuit to .bench)
 //   enbound list                                (available suite circuits)
 //
-// Exit codes: 0 ok, 1 usage error, 2 processing error.
+// Exit codes: 0 ok, 1 usage error, 2 processing error (including any failed
+// batch job).
+#include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "cli/args.hpp"
 #include "core/analyzer.hpp"
+#include "exec/batch.hpp"
 #include "gen/suite.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
@@ -25,20 +30,7 @@
 namespace {
 
 using namespace enb;
-
-struct Args {
-  std::vector<std::string> positional;
-  double eps = 0.01;
-  double delta = 0.01;
-  double leakage = 0.5;
-  bool couple_leakage = false;
-  int map_fanin = 3;   // 0 = do not map
-  double eps_lo = 1e-3;
-  double eps_hi = 0.4;
-  int points = 20;
-  std::string out;
-  std::string csv;
-};
+using cli::Args;
 
 int usage() {
   std::cerr
@@ -48,54 +40,32 @@ int usage() {
          "          [--leakage L] [--couple-leakage]\n"
          "  sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]\n"
          "          [--delta D] [--map K] [--csv out.csv]\n"
+         "  batch   <manifest> [--map K] [--threads N] [--csv out.csv]\n"
+         "          [--json out.json]\n"
          "  gen     <name> [-o out.bench]\n"
          "  list\n"
-         "notes: --map 0 analyzes the netlist as-is; default maps to the\n"
-         "paper's generic max-fanin-3 library first.\n";
+         "notes: --map 0 analyzes netlists as-is; default maps to the\n"
+         "paper's generic max-fanin-3 library first. Batch manifests hold\n"
+         "one job per line:\n"
+         "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
+         "         energy-bound|profile> circuit=<suite name or .bench path>\n"
+         "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
+         "         [leakage=L]\n";
   return 1;
 }
 
-std::optional<Args> parse(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto need_value = [&](double& slot) -> bool {
-      if (i + 1 >= argc) return false;
-      slot = std::stod(argv[++i]);
-      return true;
-    };
-    if (arg == "--eps") {
-      if (!need_value(args.eps)) return std::nullopt;
-    } else if (arg == "--delta") {
-      if (!need_value(args.delta)) return std::nullopt;
-    } else if (arg == "--leakage") {
-      if (!need_value(args.leakage)) return std::nullopt;
-    } else if (arg == "--eps-lo") {
-      if (!need_value(args.eps_lo)) return std::nullopt;
-    } else if (arg == "--eps-hi") {
-      if (!need_value(args.eps_hi)) return std::nullopt;
-    } else if (arg == "--couple-leakage") {
-      args.couple_leakage = true;
-    } else if (arg == "--map") {
-      if (i + 1 >= argc) return std::nullopt;
-      args.map_fanin = std::stoi(argv[++i]);
-    } else if (arg == "--points") {
-      if (i + 1 >= argc) return std::nullopt;
-      args.points = std::stoi(argv[++i]);
-    } else if (arg == "-o") {
-      if (i + 1 >= argc) return std::nullopt;
-      args.out = argv[++i];
-    } else if (arg == "--csv") {
-      if (i + 1 >= argc) return std::nullopt;
-      args.csv = argv[++i];
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option: " << arg << "\n";
-      return std::nullopt;
-    } else {
-      args.positional.push_back(arg);
-    }
+netlist::Circuit resolve_circuit(const Args& args, const std::string& spec) {
+  const bool is_path = spec.find('/') != std::string::npos ||
+                       (spec.size() > 6 &&
+                        spec.compare(spec.size() - 6, 6, ".bench") == 0);
+  netlist::Circuit circuit =
+      is_path ? netlist::read_bench_file(spec) : gen::find_benchmark(spec).build();
+  if (args.map_fanin > 0) {
+    synth::MapOptions options;
+    options.library = synth::Library::generic(args.map_fanin);
+    circuit = synth::map_to_library(circuit, options).circuit;
   }
-  return args;
+  return circuit;
 }
 
 netlist::Circuit load_and_map(const Args& args, const std::string& path) {
@@ -188,6 +158,74 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+// The headline metric shown in the per-job summary table; the full metric
+// set goes to --csv/--json.
+const char* headline_metric(exec::JobKind kind) {
+  switch (kind) {
+    case exec::JobKind::kReliability:
+      return "delta_hat";
+    case exec::JobKind::kWorstCase:
+      return "worst_delta_hat";
+    case exec::JobKind::kActivity:
+      return "avg_gate_toggle_rate";
+    case exec::JobKind::kSensitivity:
+      return "sensitivity";
+    case exec::JobKind::kEnergyBound:
+      return "total_factor";
+    case exec::JobKind::kProfile:
+      return "size_s0";
+  }
+  return "";
+}
+
+int cmd_batch(const Args& args) {
+  const std::string& manifest_path = args.positional[1];
+  std::ifstream manifest(manifest_path);
+  if (!manifest) {
+    std::cerr << "error: cannot open manifest " << manifest_path << "\n";
+    return 2;
+  }
+  const std::vector<exec::BatchJob> jobs = exec::parse_manifest(
+      manifest,
+      [&](const std::string& spec) { return resolve_circuit(args, spec); });
+  if (jobs.empty()) {
+    std::cerr << "error: manifest " << manifest_path << " holds no jobs\n";
+    return 2;
+  }
+  const std::vector<exec::BatchResult> results =
+      exec::evaluate_batch(jobs, exec::BatchOptions{args.threads});
+
+  report::Table t({"job", "kind", "status", "headline"});
+  bool all_ok = true;
+  for (const exec::BatchResult& r : results) {
+    std::string headline = "-";
+    if (r.ok) {
+      const char* metric = headline_metric(r.kind);
+      if (const auto value = r.metric(metric); value.has_value()) {
+        headline = std::string(metric) + " = " +
+                   report::format_double(*value, 6);
+      }
+    } else {
+      all_ok = false;
+    }
+    t.add_row({r.name, std::string(exec::to_string(r.kind)),
+               r.ok ? std::string("ok") : "FAILED: " + r.error, headline});
+  }
+  std::cout << t.to_text();
+
+  if (!args.csv.empty()) {
+    std::ofstream out(args.csv);
+    exec::write_batch_csv(out, results);
+    std::cout << "wrote " << args.csv << "\n";
+  }
+  if (!args.json.empty()) {
+    std::ofstream out(args.json);
+    exec::write_batch_json(out, results);
+    std::cout << "wrote " << args.json << "\n";
+  }
+  return all_ok ? 0 : 2;
+}
+
 int cmd_gen(const Args& args) {
   const gen::BenchmarkSpec spec = gen::find_benchmark(args.positional[1]);
   const netlist::Circuit circuit = spec.build();
@@ -215,16 +253,22 @@ int cmd_list() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = parse(argc, argv);
-  if (!args.has_value() || args->positional.empty()) return usage();
-  const std::string& command = args->positional[0];
+  const Args args =
+      cli::parse_args(std::vector<std::string>(argv + 1, argv + argc));
+  if (!args.ok()) {
+    std::cerr << "error: " << args.error << "\n";
+    return usage();
+  }
+  if (args.positional.empty()) return usage();
+  const std::string& command = args.positional[0];
   try {
     if (command == "list") return cmd_list();
-    if (args->positional.size() < 2) return usage();
-    if (command == "profile") return cmd_profile(*args);
-    if (command == "analyze") return cmd_analyze(*args);
-    if (command == "sweep") return cmd_sweep(*args);
-    if (command == "gen") return cmd_gen(*args);
+    if (args.positional.size() < 2) return usage();
+    if (command == "profile") return cmd_profile(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "batch") return cmd_batch(args);
+    if (command == "gen") return cmd_gen(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
