@@ -1,15 +1,21 @@
 // P2: batch-engine throughput. Not a paper figure — this measures the
 // BatchEvaluator's jobs/sec on a mixed workload (reliability, worst-case,
-// activity, sensitivity, energy-bound jobs over suite circuits) at 1 thread
-// vs the global pool, i.e. the two-level (across-job + within-job shard)
-// scheduling the server workloads lean on. Results are appended to stdout
-// and recorded in BENCH_batch.json in the working directory.
+// activity, sensitivity, energy-bound requests over suite circuits) at 1
+// thread vs the global pool, i.e. the two-level (across-job + within-job
+// shard) scheduling the server workloads lean on. Since PR 3 the workload is
+// built on the analysis layer: the five requests per benchmark share one
+// CompiledCircuit handle, so no netlist is ever cloned into the queue.
+// Results are appended to stdout and recorded in BENCH_batch.json in the
+// working directory.
 #include <chrono>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
 #include "bench_common.hpp"
 #include "exec/batch.hpp"
 #include "exec/thread_pool.hpp"
@@ -20,7 +26,7 @@ namespace {
 
 using namespace enb;
 
-std::vector<exec::BatchJob> build_mixed_batch() {
+std::vector<analysis::AnalysisRequest> build_mixed_requests() {
   const std::uint64_t reliability_trials =
       bench::scaled(std::uint64_t{1} << 14, 1 << 8);
   const std::uint64_t worst_case_trials =
@@ -30,58 +36,65 @@ std::vector<exec::BatchJob> build_mixed_batch() {
   const std::uint64_t sensitivity_words = bench::scaled(256, 16);
   const int sensitivity_exact_max = bench::smoke_mode() ? 10 : 16;
 
-  std::vector<exec::BatchJob> jobs;
+  std::vector<analysis::AnalysisRequest> requests;
   for (const char* name :
        {"c17", "parity8", "rca8", "mult4", "cla16", "cmp16"}) {
-    const netlist::Circuit circuit = gen::find_benchmark(name).build();
+    // One shared handle per benchmark: all five requests reference it.
+    const analysis::CompiledCircuit circuit =
+        analysis::compile(gen::find_benchmark(name).build());
     {
-      exec::BatchJob job;
-      job.name = std::string(name) + "/reliability";
-      job.kind = exec::JobKind::kReliability;
-      job.circuit = circuit;
-      job.epsilon = 0.01;
-      job.reliability.trials = reliability_trials;
-      jobs.push_back(std::move(job));
+      analysis::AnalysisRequest request;
+      request.name = std::string(name) + "/reliability";
+      request.circuit = circuit;
+      analysis::ReliabilityRequest spec;
+      spec.epsilon = 0.01;
+      spec.options.trials = reliability_trials;
+      request.options = spec;
+      requests.push_back(std::move(request));
     }
     {
-      exec::BatchJob job;
-      job.name = std::string(name) + "/worst-case";
-      job.kind = exec::JobKind::kWorstCase;
-      job.circuit = circuit;
-      job.epsilon = 0.02;
-      job.worst_case.num_inputs = 32;
-      job.worst_case.trials_per_input = worst_case_trials;
-      jobs.push_back(std::move(job));
+      analysis::AnalysisRequest request;
+      request.name = std::string(name) + "/worst-case";
+      request.circuit = circuit;
+      analysis::WorstCaseRequest spec;
+      spec.epsilon = 0.02;
+      spec.options.num_inputs = 32;
+      spec.options.trials_per_input = worst_case_trials;
+      request.options = spec;
+      requests.push_back(std::move(request));
     }
     {
-      exec::BatchJob job;
-      job.name = std::string(name) + "/activity";
-      job.kind = exec::JobKind::kActivity;
-      job.circuit = circuit;
-      job.activity.sample_pairs = activity_pairs;
-      jobs.push_back(std::move(job));
+      analysis::AnalysisRequest request;
+      request.name = std::string(name) + "/activity";
+      request.circuit = circuit;
+      analysis::ActivityRequest spec;
+      spec.options.sample_pairs = activity_pairs;
+      request.options = spec;
+      requests.push_back(std::move(request));
     }
     {
-      exec::BatchJob job;
-      job.name = std::string(name) + "/sensitivity";
-      job.kind = exec::JobKind::kSensitivity;
-      job.circuit = circuit;
-      job.sensitivity.sample_words = sensitivity_words;
-      job.sensitivity.max_exact_inputs = sensitivity_exact_max;
-      jobs.push_back(std::move(job));
+      analysis::AnalysisRequest request;
+      request.name = std::string(name) + "/sensitivity";
+      request.circuit = circuit;
+      analysis::SensitivityRequest spec;
+      spec.options.sample_words = sensitivity_words;
+      spec.options.max_exact_inputs = sensitivity_exact_max;
+      request.options = spec;
+      requests.push_back(std::move(request));
     }
     {
-      exec::BatchJob job;
-      job.name = std::string(name) + "/energy-bound";
-      job.kind = exec::JobKind::kEnergyBound;
-      job.circuit = circuit;
-      job.epsilon = 0.01;
-      job.profile.activity_pairs = activity_pairs;
-      job.profile.sensitivity_exact_max_inputs = sensitivity_exact_max;
-      jobs.push_back(std::move(job));
+      analysis::AnalysisRequest request;
+      request.name = std::string(name) + "/energy-bound";
+      request.circuit = circuit;
+      analysis::EnergyBoundRequest spec;
+      spec.epsilon = 0.01;
+      spec.profile.activity_pairs = activity_pairs;
+      spec.profile.sensitivity_exact_max_inputs = sensitivity_exact_max;
+      request.options = spec;
+      requests.push_back(std::move(request));
     }
   }
-  return jobs;
+  return requests;
 }
 
 struct Timing {
@@ -90,16 +103,22 @@ struct Timing {
   double jobs_per_sec = 0.0;
 };
 
-Timing time_batch(const std::vector<exec::BatchJob>& jobs, unsigned threads,
-                  int repetitions) {
+// Rebuilds the request set per repetition (outside the clock) so every run
+// starts from cold handle caches — otherwise repetition 2 would reuse the
+// profiles extracted by repetition 1 and time a different workload.
+Timing time_batch(
+    const std::function<std::vector<analysis::AnalysisRequest>()>& build,
+    unsigned threads, int repetitions) {
   double best = -1.0;
+  std::size_t num_jobs = 0;
   for (int rep = 0; rep < repetitions; ++rep) {
-    std::vector<exec::BatchJob> copy = jobs;
+    std::vector<analysis::AnalysisRequest> requests = build();
+    num_jobs = requests.size();
     const auto start = std::chrono::steady_clock::now();
-    const auto results =
-        exec::evaluate_batch(std::move(copy), exec::BatchOptions{threads});
+    const auto results = exec::evaluate_requests(std::move(requests),
+                                                 exec::Parallelism{threads});
     const auto stop = std::chrono::steady_clock::now();
-    for (const exec::BatchResult& r : results) {
+    for (const analysis::AnalysisResult& r : results) {
       if (!r.ok) {
         std::cerr << "perf_batch: job " << r.name << " failed: " << r.error
                   << "\n";
@@ -112,21 +131,21 @@ Timing time_batch(const std::vector<exec::BatchJob>& jobs, unsigned threads,
   Timing t;
   t.threads = threads;
   t.seconds = best;
-  t.jobs_per_sec = static_cast<double>(jobs.size()) / best;
+  t.jobs_per_sec = static_cast<double>(num_jobs) / best;
   return t;
 }
 
 }  // namespace
 
 int main() {
-  bench::banner("perf_batch", "batch-engine throughput (mixed jobs)");
-  const std::vector<exec::BatchJob> jobs = build_mixed_batch();
+  bench::banner("perf_batch", "batch-engine throughput (mixed requests)");
+  const std::size_t num_jobs = build_mixed_requests().size();
   const int repetitions = bench::smoke_mode() ? 1 : 3;
   const unsigned pool_size = exec::default_thread_count();
 
   std::vector<Timing> timings;
-  timings.push_back(time_batch(jobs, 1, repetitions));  // serial reference
-  timings.push_back(time_batch(jobs, 0, repetitions));  // global pool
+  timings.push_back(time_batch(build_mixed_requests, 1, repetitions));
+  timings.push_back(time_batch(build_mixed_requests, 0, repetitions));
 
   report::Table table({"threads", "seconds", "jobs/sec", "speedup"});
   const double serial = timings.front().seconds;
@@ -137,12 +156,12 @@ int main() {
                    report::format_double(t.jobs_per_sec, 2),
                    report::format_double(serial / t.seconds, 2)});
   }
-  std::cout << jobs.size() << " mixed jobs, best of " << repetitions
+  std::cout << num_jobs << " mixed requests, best of " << repetitions
             << " runs:\n"
             << table.to_text();
 
   std::ofstream out("BENCH_batch.json");
-  out << "{\n  \"benchmark\": \"perf_batch\",\n  \"jobs\": " << jobs.size()
+  out << "{\n  \"benchmark\": \"perf_batch\",\n  \"jobs\": " << num_jobs
       << ",\n  \"repetitions\": " << repetitions
       << ",\n  \"smoke\": " << (bench::smoke_mode() ? "true" : "false")
       << ",\n  \"pool_threads\": " << pool_size << ",\n  \"timings\": [\n";

@@ -1,0 +1,197 @@
+// P3: what the CompiledCircuit redesign buys on the paper's hot path. An
+// epsilon sweep is "one circuit, many analyses": N energy-bound jobs over
+// one design. The legacy BatchJob API clones the netlist into every job and
+// re-extracts the profile per job; the analysis API shares one handle, so
+// the batch performs zero netlist copies and exactly one profile extraction.
+// This bench times both shapes on the same sweep (global pool), counts the
+// copies/extractions each performs, and records BENCH_compile.json in the
+// working directory.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "exec/batch.hpp"
+#include "exec/thread_pool.hpp"
+#include "gen/suite.hpp"
+#include "netlist/circuit.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace enb;
+
+// Sweep shape: N (eps, delta) points over one mapped multiplier.
+struct SweepSpec {
+  netlist::Circuit circuit;
+  std::vector<double> epsilons;
+  std::size_t activity_pairs = 0;
+  int sensitivity_exact_max = 0;
+};
+
+SweepSpec make_sweep() {
+  SweepSpec spec;
+  spec.circuit = gen::find_benchmark("mult4").build();
+  const int points = static_cast<int>(bench::scaled(64, 8));
+  spec.epsilons = core::log_grid(1e-3, 0.2, points);
+  spec.activity_pairs =
+      static_cast<std::size_t>(bench::scaled(1 << 12, 1 << 6));
+  spec.sensitivity_exact_max = bench::smoke_mode() ? 8 : 16;
+  return spec;
+}
+
+struct Timing {
+  std::string mode;
+  double seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  std::uint64_t circuit_copies = 0;
+  std::uint64_t extractions = 0;
+};
+
+// Legacy shape: every job embeds its own copy of the circuit and extracts
+// its own profile. This is exactly what the deprecated BatchJob API does —
+// kept here (deprecation silenced) as the baseline the redesign removes.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Timing run_legacy(const SweepSpec& spec, int repetitions) {
+  double best = -1.0;
+  std::uint64_t copies = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    // Copies are counted over enqueue + run: the legacy API clones the
+    // netlist into every job at enqueue time.
+    const std::uint64_t copies_before = netlist::Circuit::copies_made();
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<exec::BatchJob> jobs;
+    for (std::size_t i = 0; i < spec.epsilons.size(); ++i) {
+      exec::BatchJob job;
+      job.name = "eps_" + std::to_string(i);
+      job.kind = exec::JobKind::kEnergyBound;
+      job.circuit = spec.circuit;  // per-job netlist clone
+      job.epsilon = spec.epsilons[i];
+      job.profile.activity_pairs = spec.activity_pairs;
+      job.profile.sensitivity_exact_max_inputs = spec.sensitivity_exact_max;
+      jobs.push_back(std::move(job));
+    }
+    const auto results = exec::evaluate_batch(std::move(jobs));
+    const auto stop = std::chrono::steady_clock::now();
+    copies = netlist::Circuit::copies_made() - copies_before;
+    for (const auto& r : results) {
+      if (!r.ok) {
+        std::cerr << "perf_compile: legacy job " << r.name << " failed: "
+                  << r.error << "\n";
+        std::exit(2);
+      }
+    }
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (best < 0.0 || seconds < best) best = seconds;
+  }
+  Timing t;
+  t.mode = "per-job-copy (BatchJob)";
+  t.seconds = best;
+  t.jobs_per_sec = static_cast<double>(spec.epsilons.size()) / best;
+  t.circuit_copies = copies;
+  // One extraction per job by construction.
+  t.extractions = spec.epsilons.size();
+  return t;
+}
+#pragma GCC diagnostic pop
+
+Timing run_shared(const SweepSpec& spec, int repetitions) {
+  double best = -1.0;
+  std::uint64_t copies = 0;
+  std::uint64_t extractions = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    // Fresh handle per repetition: each run starts from a cold profile
+    // cache. The one compile() below clones spec.circuit so later reps see
+    // an unconsumed source; enqueue + run itself is copy-free, which is
+    // what the counter pins.
+    netlist::Circuit source = spec.circuit;
+    const std::uint64_t copies_before = netlist::Circuit::copies_made();
+    const auto start = std::chrono::steady_clock::now();
+    const analysis::CompiledCircuit circuit =
+        analysis::compile(std::move(source));
+    std::vector<analysis::AnalysisRequest> requests;
+    for (std::size_t i = 0; i < spec.epsilons.size(); ++i) {
+      analysis::AnalysisRequest request;
+      request.name = "eps_" + std::to_string(i);
+      request.circuit = circuit;
+      analysis::EnergyBoundRequest bound;
+      bound.epsilon = spec.epsilons[i];
+      bound.profile.activity_pairs = spec.activity_pairs;
+      bound.profile.sensitivity_exact_max_inputs = spec.sensitivity_exact_max;
+      request.options = bound;
+      requests.push_back(std::move(request));
+    }
+    const auto results = exec::evaluate_requests(std::move(requests));
+    const auto stop = std::chrono::steady_clock::now();
+    copies = netlist::Circuit::copies_made() - copies_before;
+    extractions = circuit.profile_extractions();
+    for (const auto& r : results) {
+      if (!r.ok) {
+        std::cerr << "perf_compile: shared job " << r.name << " failed: "
+                  << r.error << "\n";
+        std::exit(2);
+      }
+    }
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (best < 0.0 || seconds < best) best = seconds;
+  }
+  Timing t;
+  t.mode = "shared-handle (AnalysisRequest)";
+  t.seconds = best;
+  t.jobs_per_sec = static_cast<double>(spec.epsilons.size()) / best;
+  t.circuit_copies = copies;
+  t.extractions = extractions;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("perf_compile",
+                "shared-handle vs per-job-copy eps-sweep throughput");
+  const SweepSpec spec = make_sweep();
+  const int repetitions = bench::smoke_mode() ? 1 : 3;
+
+  const Timing legacy = run_legacy(spec, repetitions);
+  const Timing shared = run_shared(spec, repetitions);
+
+  report::Table table(
+      {"mode", "seconds", "jobs/sec", "speedup", "copies", "extractions"});
+  for (const Timing& t : {legacy, shared}) {
+    table.add_row({t.mode, report::format_double(t.seconds, 4),
+                   report::format_double(t.jobs_per_sec, 2),
+                   report::format_double(legacy.seconds / t.seconds, 2),
+                   std::to_string(t.circuit_copies),
+                   std::to_string(t.extractions)});
+  }
+  std::cout << spec.epsilons.size() << "-point eps sweep over "
+            << spec.circuit.name() << " (global pool), best of " << repetitions
+            << " runs:\n"
+            << table.to_text();
+
+  std::ofstream out("BENCH_compile.json");
+  out << "{\n  \"benchmark\": \"perf_compile\",\n  \"points\": "
+      << spec.epsilons.size() << ",\n  \"repetitions\": " << repetitions
+      << ",\n  \"smoke\": " << (bench::smoke_mode() ? "true" : "false")
+      << ",\n  \"pool_threads\": " << exec::default_thread_count()
+      << ",\n  \"modes\": [\n";
+  const Timing* timings[] = {&legacy, &shared};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Timing& t = *timings[i];
+    out << "    {\"mode\": \"" << t.mode << "\", \"seconds\": " << t.seconds
+        << ", \"jobs_per_sec\": " << t.jobs_per_sec
+        << ", \"circuit_copies\": " << t.circuit_copies
+        << ", \"profile_extractions\": " << t.extractions << "}"
+        << (i == 0 ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote BENCH_compile.json\n";
+  return 0;
+}

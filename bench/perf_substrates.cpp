@@ -6,6 +6,7 @@
 
 #include "bdd/circuit_to_bdd.hpp"
 #include "core/analyzer.hpp"
+#include "exec/thread_pool.hpp"
 #include "core/size_bound.hpp"
 #include "ft/nmr.hpp"
 #include "gen/adders.hpp"
@@ -56,9 +57,9 @@ void BM_ActivityEstimateMult8(benchmark::State& state) {
   const auto c = gen::array_multiplier(8);
   sim::ActivityOptions options;
   options.sample_pairs = 256;
-  options.threads = 1;  // serial baseline
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::estimate_activity(c, options));
+    benchmark::DoNotOptimize(
+        sim::estimate_activity(c, options, exec::Parallelism::serial()));
   }
 }
 BENCHMARK(BM_ActivityEstimateMult8);
@@ -70,9 +71,9 @@ void BM_ActivityEstimateMult8Parallel(benchmark::State& state) {
   sim::ActivityOptions options;
   options.sample_pairs = 4096;
   options.shard_pairs = 64;
-  options.threads = static_cast<unsigned>(state.range(0));
+  const exec::Parallelism how{static_cast<unsigned>(state.range(0))};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::estimate_activity(c, options));
+    benchmark::DoNotOptimize(sim::estimate_activity(c, options, how));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(options.sample_pairs));
@@ -111,10 +112,9 @@ void BM_ReliabilityTmrC17(benchmark::State& state) {
   const auto tmr = ft::nmr_transform(base).circuit;
   sim::ReliabilityOptions options;
   options.trials = 1 << 12;
-  options.threads = 1;  // serial baseline
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sim::estimate_reliability_vs(tmr, base, 0.01, options));
+    benchmark::DoNotOptimize(sim::estimate_reliability_vs(
+        tmr, base, 0.01, options, exec::Parallelism::serial()));
   }
 }
 BENCHMARK(BM_ReliabilityTmrC17);
@@ -126,10 +126,10 @@ void BM_ReliabilityTmrParallel(benchmark::State& state) {
   sim::ReliabilityOptions options;
   options.trials = 1 << 16;
   options.shard_passes = 16;
-  options.threads = static_cast<unsigned>(state.range(0));
+  const exec::Parallelism how{static_cast<unsigned>(state.range(0))};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sim::estimate_reliability_vs(tmr, base, 0.01, options));
+        sim::estimate_reliability_vs(tmr, base, 0.01, options, how));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(options.trials));
@@ -141,9 +141,9 @@ BENCHMARK(BM_ReliabilityTmrParallel)->Arg(1)->Arg(0);
 void BM_SensitivityParallel(benchmark::State& state) {
   const auto c = gen::ripple_carry_adder(8);
   sim::SensitivityOptions options;
-  options.threads = static_cast<unsigned>(state.range(0));
+  const exec::Parallelism how{static_cast<unsigned>(state.range(0))};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::compute_sensitivity(c, options));
+    benchmark::DoNotOptimize(sim::compute_sensitivity(c, options, how));
   }
 }
 BENCHMARK(BM_SensitivityParallel)->Arg(1)->Arg(0);

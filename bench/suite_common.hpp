@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
 #include "bench_common.hpp"
 #include "core/profile.hpp"
 #include "exec/batch.hpp"
@@ -24,10 +26,11 @@ struct ProfiledBenchmark {
   netlist::CircuitStats mapped_stats;
 };
 
-// Profiles the whole standard suite through the batch engine: generate + map
-// in parallel (slot-per-index writes), then submit one profile job per
-// benchmark so the Monte-Carlo shards of *all* benchmarks interleave over
-// the pool. Results are bit-identical to profiling each circuit alone.
+// Profiles the whole standard suite through the analysis layer: generate +
+// map in parallel (slot-per-index writes), compile each mapped netlist into
+// a shared handle, then submit one profile request per benchmark so the
+// Monte-Carlo shards of *all* benchmarks interleave over the pool. Results
+// are bit-identical to profiling each circuit alone.
 inline std::vector<ProfiledBenchmark> profile_suite(int max_fanin = 3) {
   const std::vector<gen::BenchmarkSpec> specs = gen::standard_suite();
   std::vector<ProfiledBenchmark> out(specs.size());
@@ -44,16 +47,17 @@ inline std::vector<ProfiledBenchmark> profile_suite(int max_fanin = 3) {
 
   exec::BatchEvaluator batch;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    exec::BatchJob job;
-    job.name = specs[i].name;
-    job.kind = exec::JobKind::kProfile;
-    job.circuit = std::move(mapped[i]);
-    job.profile.activity_pairs =
+    analysis::AnalysisRequest request;
+    request.name = specs[i].name;
+    request.circuit = analysis::compile(std::move(mapped[i]));
+    analysis::ProfileRequest spec;
+    spec.options.activity_pairs =
         static_cast<std::size_t>(scaled(1 << 12, 1 << 6));
-    job.profile.sensitivity_exact_max_inputs = smoke_mode() ? 14 : 19;
-    batch.submit(std::move(job));
+    spec.options.sensitivity_exact_max_inputs = smoke_mode() ? 14 : 19;
+    request.options = spec;
+    batch.submit(std::move(request));
   }
-  const std::vector<exec::BatchResult> results = batch.run();
+  const std::vector<analysis::AnalysisResult> results = batch.run();
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (!results[i].ok) {
       throw std::runtime_error("profile_suite: job " + results[i].name +

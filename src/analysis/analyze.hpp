@@ -1,0 +1,66 @@
+// The analysis layer's front door: handle-based overloads of the six
+// standalone estimator entry points, plus a generic evaluate() over typed
+// requests.
+//
+// These are the single-request counterparts of exec::BatchEvaluator — same
+// request vocabulary, same results (bit-identical: both schedule the
+// estimators' shard-level building blocks over the same counter-based
+// streams). Prefer these for one-off analyses and the batch evaluator when
+// fanning out many requests.
+#pragma once
+
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
+#include "core/analyzer.hpp"
+
+namespace enb::analysis {
+
+// ---- the six standalone entry points, on shared handles ------------------
+// Parallelism routes through `how` exclusively (the deprecated
+// Options::threads knobs are ignored here).
+
+[[nodiscard]] sim::ReliabilityResult estimate_reliability(
+    const CompiledCircuit& circuit, double epsilon,
+    const sim::ReliabilityOptions& options = {}, exec::Parallelism how = {});
+
+[[nodiscard]] sim::ReliabilityResult estimate_reliability_vs(
+    const CompiledCircuit& noisy, const CompiledCircuit& golden,
+    double epsilon, const sim::ReliabilityOptions& options = {},
+    exec::Parallelism how = {});
+
+[[nodiscard]] sim::WorstCaseResult estimate_worst_case_reliability(
+    const CompiledCircuit& noisy, const CompiledCircuit& golden,
+    double epsilon, const sim::WorstCaseOptions& options = {},
+    exec::Parallelism how = {});
+
+[[nodiscard]] sim::ActivityResult estimate_activity(
+    const CompiledCircuit& circuit, const sim::ActivityOptions& options = {},
+    exec::Parallelism how = {});
+
+[[nodiscard]] sim::SensitivityResult compute_sensitivity(
+    const CompiledCircuit& circuit,
+    const sim::SensitivityOptions& options = {}, exec::Parallelism how = {});
+
+// Cached on the handle: repeated calls (and batch jobs sharing the handle)
+// extract at most once per profile key.
+[[nodiscard]] const core::CircuitProfile& extract_profile(
+    const CompiledCircuit& circuit, const core::ProfileOptions& options = {},
+    exec::Parallelism how = {});
+
+// Theorem 1-4 bounds at (epsilon, delta) for the handle's cached profile
+// (extracting it on first use).
+[[nodiscard]] core::BoundReport analyze(
+    const CompiledCircuit& circuit, double epsilon, double delta,
+    const core::EnergyModelOptions& energy = {},
+    const core::ProfileOptions& profile_options = {},
+    exec::Parallelism how = {});
+
+// ---- generic typed front door --------------------------------------------
+
+// Evaluates one request. Never throws for per-request problems: invalid
+// options or a throwing evaluation produce ok = false with the error text,
+// exactly like a batch job. result.index is 0.
+[[nodiscard]] AnalysisResult evaluate(const AnalysisRequest& request,
+                                      exec::Parallelism how = {});
+
+}  // namespace enb::analysis

@@ -1,0 +1,152 @@
+#include "analysis/compiled_circuit.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "netlist/topo.hpp"
+#include "synth/library.hpp"
+#include "synth/mapper.hpp"
+
+namespace enb::analysis {
+
+ProfileKey profile_key(const core::ProfileOptions& options) noexcept {
+  ProfileKey key;
+  key.activity_pairs = options.activity_pairs;
+  key.prefer_exact_activity = options.prefer_exact_activity;
+  key.exact_activity_max_inputs = options.exact_activity_max_inputs;
+  key.sensitivity_exact_max_inputs = options.sensitivity_exact_max_inputs;
+  key.sensitivity_sample_words = options.sensitivity_sample_words;
+  key.seed = options.seed;
+  return key;
+}
+
+// All cached artifacts live behind one mutex. Computation happens under the
+// lock: first-use costs serialize, but every artifact is computed exactly
+// once and the lock is never contended on the hot (cache-hit) path for more
+// than a lookup. Profiles are stored behind shared_ptr so the references
+// handed out stay stable while the cache vector grows.
+struct CompiledCircuit::Impl {
+  explicit Impl(netlist::Circuit c) : circuit(std::move(c)) {}
+
+  const netlist::Circuit circuit;
+
+  mutable std::mutex mutex;
+  mutable std::optional<netlist::CircuitStats> stats;
+  mutable std::optional<std::vector<int>> levels;
+  mutable std::optional<std::vector<int>> fanout_counts;
+  mutable std::vector<std::pair<ProfileKey,
+                                std::shared_ptr<const core::CircuitProfile>>>
+      profiles;
+  mutable std::vector<std::pair<int, CompiledCircuit>> mapped;
+  mutable std::atomic<std::uint64_t> extractions{0};
+};
+
+CompiledCircuit::Impl& CompiledCircuit::checked() const {
+  if (impl_ == nullptr) {
+    throw std::logic_error("CompiledCircuit: empty handle");
+  }
+  return *impl_;
+}
+
+const netlist::Circuit& CompiledCircuit::circuit() const {
+  return checked().circuit;
+}
+
+const std::string& CompiledCircuit::name() const {
+  return checked().circuit.name();
+}
+
+const netlist::CircuitStats& CompiledCircuit::stats() const {
+  Impl& impl = checked();
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  if (!impl.stats.has_value()) {
+    impl.stats = netlist::compute_stats(impl.circuit);
+  }
+  return *impl.stats;
+}
+
+const std::vector<int>& CompiledCircuit::levels() const {
+  Impl& impl = checked();
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  if (!impl.levels.has_value()) {
+    impl.levels = netlist::levels(impl.circuit);
+  }
+  return *impl.levels;
+}
+
+const std::vector<int>& CompiledCircuit::fanout_counts() const {
+  Impl& impl = checked();
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  if (!impl.fanout_counts.has_value()) {
+    impl.fanout_counts = netlist::fanout_counts(impl.circuit);
+  }
+  return *impl.fanout_counts;
+}
+
+const core::CircuitProfile& CompiledCircuit::profile(
+    const core::ProfileOptions& options, exec::Parallelism how) const {
+  Impl& impl = checked();
+  const ProfileKey key = profile_key(options);
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  for (const auto& [cached_key, cached] : impl.profiles) {
+    if (cached_key == key) return *cached;
+  }
+  // A miss extracts under the lock: concurrent callers with the same key
+  // block here and hit the cache instead of re-extracting.
+  auto extracted = std::make_shared<const core::CircuitProfile>(
+      core::extract_profile(impl.circuit, options, how));
+  impl.extractions.fetch_add(1, std::memory_order_relaxed);
+  impl.profiles.emplace_back(key, extracted);
+  return *impl.profiles.back().second;
+}
+
+std::optional<core::CircuitProfile> CompiledCircuit::cached_profile(
+    const core::ProfileOptions& options) const {
+  Impl& impl = checked();
+  const ProfileKey key = profile_key(options);
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  for (const auto& [cached_key, cached] : impl.profiles) {
+    if (cached_key == key) return *cached;
+  }
+  return std::nullopt;
+}
+
+void CompiledCircuit::store_profile(const core::ProfileOptions& options,
+                                    core::CircuitProfile profile) const {
+  Impl& impl = checked();
+  const ProfileKey key = profile_key(options);
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  impl.extractions.fetch_add(1, std::memory_order_relaxed);
+  for (const auto& [cached_key, cached] : impl.profiles) {
+    if (cached_key == key) return;  // existing entry wins (values equal)
+  }
+  impl.profiles.emplace_back(
+      key, std::make_shared<const core::CircuitProfile>(std::move(profile)));
+}
+
+std::uint64_t CompiledCircuit::profile_extractions() const {
+  return checked().extractions.load(std::memory_order_relaxed);
+}
+
+CompiledCircuit CompiledCircuit::mapped(int max_fanin) const {
+  Impl& impl = checked();
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  for (const auto& [fanin, handle] : impl.mapped) {
+    if (fanin == max_fanin) return handle;
+  }
+  synth::MapOptions options;
+  options.library = synth::Library::generic(max_fanin);
+  CompiledCircuit handle =
+      compile(synth::map_to_library(impl.circuit, options).circuit);
+  impl.mapped.emplace_back(max_fanin, handle);
+  return handle;
+}
+
+CompiledCircuit compile(netlist::Circuit circuit) {
+  return CompiledCircuit(
+      std::make_shared<CompiledCircuit::Impl>(std::move(circuit)));
+}
+
+}  // namespace enb::analysis

@@ -1,0 +1,133 @@
+// CompiledCircuit: the shared, immutable circuit handle of the analysis
+// layer.
+//
+// The paper's workflow is "one circuit, many analyses": a design's profile
+// (s, S0, sw0, k, d0) feeds the Theorem 1-4 bounds at many (eps, delta)
+// points, its stats feed reports, and the mapped variant feeds the Section 6
+// benchmark flow. CompiledCircuit amortizes the design-derived artifacts
+// once: it wraps a netlist::Circuit (taken by move — compiling never copies)
+// behind a shared_ptr and computes stats, levels, fanout counts, extracted
+// profiles and mapped variants lazily, caching each on first use.
+//
+// Contract:
+//   - Handles are cheap value types (one shared_ptr); copying a handle never
+//     copies the netlist, and every copy observes the same caches.
+//   - The wrapped circuit is immutable for the life of the handle; cached
+//     artifacts are therefore valid forever.
+//   - All accessors are thread-safe; concurrent first calls compute an
+//     artifact exactly once.
+//   - Profiles are cached per ProfileKey (the value-relevant fields of
+//     core::ProfileOptions — the deprecated threads knob never changes the
+//     result, so it is not part of the key).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "exec/thread_pool.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/stats.hpp"
+
+namespace enb::analysis {
+
+// The fields of core::ProfileOptions that determine the extracted profile's
+// value. Two option sets with equal keys share one cached extraction per
+// CompiledCircuit.
+struct ProfileKey {
+  std::size_t activity_pairs = 0;
+  bool prefer_exact_activity = false;
+  int exact_activity_max_inputs = 0;
+  int sensitivity_exact_max_inputs = 0;
+  std::uint64_t sensitivity_sample_words = 0;
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const ProfileKey&, const ProfileKey&) = default;
+};
+
+[[nodiscard]] ProfileKey profile_key(
+    const core::ProfileOptions& options) noexcept;
+
+class CompiledCircuit {
+ public:
+  // Empty handle; valid() is false and every accessor throws
+  // std::logic_error. Assign a compile() result to use it.
+  CompiledCircuit() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  [[nodiscard]] const netlist::Circuit& circuit() const;
+  [[nodiscard]] const std::string& name() const;
+
+  // ---- cached derived artifacts ----
+
+  [[nodiscard]] const netlist::CircuitStats& stats() const;
+  // Per-node logic level (netlist::levels).
+  [[nodiscard]] const std::vector<int>& levels() const;
+  // Per-node fanout edge count (netlist::fanout_counts).
+  [[nodiscard]] const std::vector<int>& fanout_counts() const;
+
+  // The (s, S0, sw0, k, d0) profile, extracted on first use and cached per
+  // ProfileKey. `how` only controls the parallelism of a cache miss; the
+  // cached value is bit-identical for any choice. The reference stays valid
+  // for the life of the handle.
+  [[nodiscard]] const core::CircuitProfile& profile(
+      const core::ProfileOptions& options = {},
+      exec::Parallelism how = {}) const;
+
+  // Peek at the cache without computing.
+  [[nodiscard]] std::optional<core::CircuitProfile> cached_profile(
+      const core::ProfileOptions& options) const;
+
+  // Cache-fill path for engines that extract profiles through their own
+  // (sharded) schedule — exec::BatchEvaluator's extraction groups. `profile`
+  // must be the bit-identical value core::extract_profile would produce for
+  // `options`; ordinary callers should use profile() instead. Counts as one
+  // extraction. A pre-existing entry for the key wins (the values are equal
+  // by contract).
+  void store_profile(const core::ProfileOptions& options,
+                     core::CircuitProfile profile) const;
+
+  // Number of profile extractions this handle has performed (lazy computes
+  // plus store_profile fills). The cache-sharing tests pin this to 1 for a
+  // whole sweep.
+  [[nodiscard]] std::uint64_t profile_extractions() const;
+
+  // The circuit mapped to the generic max-fanin-K library, compiled and
+  // cached per K. Mapping verifies equivalence (map_to_library) on the first
+  // call only.
+  [[nodiscard]] CompiledCircuit mapped(int max_fanin = 3) const;
+
+  // ---- identity ----
+
+  // True when both handles share one compiled circuit (and therefore one
+  // artifact cache).
+  [[nodiscard]] bool same_handle(const CompiledCircuit& other) const noexcept {
+    return impl_ == other.impl_;
+  }
+  // Stable identity token (the engines' grouping key); null for an empty
+  // handle.
+  [[nodiscard]] const void* key() const noexcept { return impl_.get(); }
+
+ private:
+  struct Impl;
+  explicit CompiledCircuit(std::shared_ptr<Impl> impl)
+      : impl_(std::move(impl)) {}
+
+  [[nodiscard]] Impl& checked() const;
+
+  std::shared_ptr<Impl> impl_;
+
+  friend CompiledCircuit compile(netlist::Circuit circuit);
+};
+
+// The only way to make a handle: takes ownership of `circuit` (move it in —
+// compiling itself never copies a netlist).
+[[nodiscard]] CompiledCircuit compile(netlist::Circuit circuit);
+
+}  // namespace enb::analysis

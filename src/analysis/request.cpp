@@ -1,0 +1,174 @@
+#include "analysis/request.hpp"
+
+#include <algorithm>
+
+namespace enb::analysis {
+
+namespace {
+
+// The variant orders must mirror AnalysisKind (kind() and kind_of rely on
+// the indices).
+static_assert(std::is_same_v<std::variant_alternative_t<0, RequestOptions>,
+                             ReliabilityRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<1, RequestOptions>,
+                             WorstCaseRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<2, RequestOptions>,
+                             ActivityRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<3, RequestOptions>,
+                             SensitivityRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<4, RequestOptions>,
+                             EnergyBoundRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<5, RequestOptions>,
+                             ProfileRequest>);
+
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+void push(Metrics& m, const char* name, double value) {
+  m.emplace_back(name, value);
+}
+
+Metrics flatten(const sim::ReliabilityResult& r) {
+  Metrics m;
+  push(m, "delta_hat", r.delta_hat);
+  push(m, "ci_low", r.ci_low);
+  push(m, "ci_high", r.ci_high);
+  push(m, "failures", static_cast<double>(r.failures));
+  push(m, "trials", static_cast<double>(r.trials));
+  push(m, "requested_trials", static_cast<double>(r.requested_trials));
+  return m;
+}
+
+Metrics flatten(const sim::WorstCaseResult& w) {
+  Metrics m;
+  push(m, "worst_delta_hat", w.worst.delta_hat);
+  push(m, "worst_ci_low", w.worst.ci_low);
+  push(m, "worst_ci_high", w.worst.ci_high);
+  push(m, "worst_failures", static_cast<double>(w.worst.failures));
+  push(m, "trials_per_input", static_cast<double>(w.worst.trials));
+  push(m, "requested_trials_per_input",
+       static_cast<double>(w.worst.requested_trials));
+  push(m, "average_delta", w.average_delta);
+  return m;
+}
+
+Metrics flatten(const sim::ActivityResult& a) {
+  Metrics m;
+  push(m, "avg_gate_toggle_rate", a.avg_gate_toggle_rate);
+  push(m, "avg_gate_one_probability", a.avg_gate_one_probability);
+  push(m, "sample_pairs", static_cast<double>(a.sample_pairs));
+  return m;
+}
+
+Metrics flatten(const sim::SensitivityResult& s) {
+  Metrics m;
+  push(m, "sensitivity", static_cast<double>(s.sensitivity));
+  push(m, "total_influence", s.total_influence);
+  push(m, "assignments", static_cast<double>(s.assignments));
+  push(m, "exact", s.exact ? 1.0 : 0.0);
+  return m;
+}
+
+Metrics flatten(const core::BoundReport& b) {
+  Metrics m;
+  push(m, "eps", b.epsilon);
+  push(m, "delta", b.delta);
+  push(m, "sw_noisy", b.sw_noisy);
+  push(m, "redundancy_gates", b.redundancy_gates);
+  push(m, "size_factor", b.size_factor);
+  push(m, "switching_factor", b.energy.switching_factor);
+  push(m, "leakage_factor", b.energy.leakage_factor);
+  push(m, "total_factor", b.energy.total_factor);
+  push(m, "leakage_ratio", b.leakage_ratio);
+  push(m, "delay_factor", b.metrics.delay);
+  push(m, "edp_factor", b.metrics.edp);
+  push(m, "avg_power_factor", b.metrics.avg_power);
+  push(m, "depth_feasible", b.depth_feasible ? 1.0 : 0.0);
+  return m;
+}
+
+Metrics flatten(const core::CircuitProfile& p) {
+  Metrics m;
+  push(m, "num_inputs", p.num_inputs);
+  push(m, "num_outputs", p.num_outputs);
+  push(m, "size_s0", p.size_s0);
+  push(m, "depth_d0", p.depth_d0);
+  push(m, "avg_fanin_k", p.avg_fanin_k);
+  push(m, "max_fanin", p.max_fanin);
+  push(m, "avg_activity_sw0", p.avg_activity_sw0);
+  push(m, "sensitivity_s", p.sensitivity_s);
+  push(m, "sensitivity_exact", p.sensitivity_exact ? 1.0 : 0.0);
+  return m;
+}
+
+}  // namespace
+
+const char* to_string(AnalysisKind kind) noexcept {
+  switch (kind) {
+    case AnalysisKind::kReliability:
+      return "reliability";
+    case AnalysisKind::kWorstCase:
+      return "worst-case";
+    case AnalysisKind::kActivity:
+      return "activity";
+    case AnalysisKind::kSensitivity:
+      return "sensitivity";
+    case AnalysisKind::kEnergyBound:
+      return "energy-bound";
+    case AnalysisKind::kProfile:
+      return "profile";
+  }
+  return "unknown";
+}
+
+std::optional<AnalysisKind> parse_analysis_kind(std::string_view name) {
+  std::string canonical(name);
+  std::replace(canonical.begin(), canonical.end(), '_', '-');
+  if (canonical == "reliability") return AnalysisKind::kReliability;
+  if (canonical == "worst-case") return AnalysisKind::kWorstCase;
+  if (canonical == "activity") return AnalysisKind::kActivity;
+  if (canonical == "sensitivity") return AnalysisKind::kSensitivity;
+  if (canonical == "energy-bound") return AnalysisKind::kEnergyBound;
+  if (canonical == "profile") return AnalysisKind::kProfile;
+  return std::nullopt;
+}
+
+std::optional<double> AnalysisResult::metric(std::string_view name) const {
+  for (const auto& [key, value] : metrics) {
+    if (key == name) return value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, double>> flatten_metrics(
+    const ResultPayload& payload) {
+  return std::visit(
+      [](const auto& value) -> Metrics {
+        if constexpr (std::is_same_v<std::decay_t<decltype(value)>,
+                                     std::monostate>) {
+          return {};
+        } else {
+          return flatten(value);
+        }
+      },
+      payload);
+}
+
+void set_payload(AnalysisResult& result, ResultPayload payload) {
+  result.metrics = flatten_metrics(payload);
+  if (const auto* p = std::get_if<core::CircuitProfile>(&payload)) {
+    result.profile = *p;
+  }
+  result.payload = std::move(payload);
+}
+
+AnalysisResult make_result(std::string name, ResultPayload payload) {
+  AnalysisResult result;
+  result.name = std::move(name);
+  // Payload alternatives follow AnalysisKind shifted by the monostate slot.
+  result.kind = static_cast<AnalysisKind>(payload.index() - 1);
+  result.ok = true;
+  set_payload(result, std::move(payload));
+  return result;
+}
+
+}  // namespace enb::analysis

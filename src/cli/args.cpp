@@ -56,6 +56,8 @@ Args parse_args(const std::vector<std::string>& argv) {
       next_double(arg, args.eps_hi);
     } else if (arg == "--couple-leakage") {
       args.couple_leakage = true;
+    } else if (arg == "--stream") {
+      args.stream = true;
     } else if (arg == "--map") {
       next_int(arg, args.map_fanin);
     } else if (arg == "--points") {

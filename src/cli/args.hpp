@@ -19,6 +19,7 @@ struct Args {
   double eps_hi = 0.4;
   int points = 20;
   unsigned threads = 0;  // batch: 0 = global pool, 1 = serial, N = dedicated
+  bool stream = false;   // batch: print each result as its job finishes
   std::string out;
   std::string csv;
   std::string json;

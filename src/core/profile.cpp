@@ -11,7 +11,8 @@
 namespace enb::core {
 
 CircuitProfile extract_profile(const netlist::Circuit& circuit,
-                               const ProfileOptions& options) {
+                               const ProfileOptions& options,
+                               exec::Parallelism how) {
   if (circuit.gate_count() == 0) {
     throw std::invalid_argument(
         "extract_profile: circuit has no gates to profile");
@@ -44,21 +45,26 @@ CircuitProfile extract_profile(const netlist::Circuit& circuit,
     sim::ActivityOptions activity_options;
     activity_options.sample_pairs = options.activity_pairs;
     activity_options.seed = options.seed;
-    activity_options.threads = options.threads;
     p.avg_activity_sw0 =
-        sim::estimate_activity(circuit, activity_options).avg_gate_toggle_rate;
+        sim::estimate_activity(circuit, activity_options, how)
+            .avg_gate_toggle_rate;
   }
 
   sim::SensitivityOptions sens_options;
   sens_options.max_exact_inputs = options.sensitivity_exact_max_inputs;
   sens_options.sample_words = options.sensitivity_sample_words;
   sens_options.seed = options.seed + 1;
-  sens_options.threads = options.threads;
   const sim::SensitivityResult sens =
-      sim::compute_sensitivity(circuit, sens_options);
+      sim::compute_sensitivity(circuit, sens_options, how);
   p.sensitivity_s = std::max(1, sens.sensitivity);
   p.sensitivity_exact = sens.exact;
   return p;
+}
+
+CircuitProfile extract_profile(const netlist::Circuit& circuit,
+                               const ProfileOptions& options) {
+  const exec::Parallelism how{options.threads};
+  return extract_profile(circuit, options, how);
 }
 
 CircuitProfile make_profile(std::string name, double sensitivity,

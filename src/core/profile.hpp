@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "exec/thread_pool.hpp"
 #include "netlist/circuit.hpp"
 
 namespace enb::core {
@@ -35,12 +36,19 @@ struct ProfileOptions {
   int sensitivity_exact_max_inputs = 20;
   std::uint64_t sensitivity_sample_words = 256;
   std::uint64_t seed = 17;
-  // Threads for the Monte-Carlo substrates (0 = global pool, 1 = serial);
-  // results are bit-identical either way.
+  // Deprecated dual knob: only the extract_profile overload without an
+  // exec::Parallelism parameter still honours it. Results are bit-identical
+  // for any thread count either way.
   unsigned threads = 0;
 };
 
-// Measures a profile from a (typically mapped) netlist.
+// Measures a profile from a (typically mapped) netlist, parallelizing the
+// Monte-Carlo substrates per `how`.
+[[nodiscard]] CircuitProfile extract_profile(const netlist::Circuit& circuit,
+                                             const ProfileOptions& options,
+                                             exec::Parallelism how);
+
+// Deprecated-knob form: honours options.threads.
 [[nodiscard]] CircuitProfile extract_profile(const netlist::Circuit& circuit,
                                              const ProfileOptions& options = {});
 

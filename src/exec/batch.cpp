@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <deque>
+#include <exception>
 #include <iomanip>
 #include <istream>
 #include <memory>
@@ -13,7 +15,6 @@
 
 #include "bdd/bdd_analysis.hpp"
 #include "exec/thread_pool.hpp"
-#include "netlist/stats.hpp"
 #include "report/csv.hpp"
 #include "util/numeric.hpp"
 
@@ -21,17 +22,19 @@ namespace enb::exec {
 
 namespace {
 
+using analysis::AnalysisKind;
+using analysis::AnalysisRequest;
+using analysis::AnalysisResult;
+using analysis::CompiledCircuit;
 using netlist::Circuit;
 
-// Estimator options derived from a profile job, mirroring
+// Estimator options derived from profile-extraction knobs, mirroring
 // core::extract_profile so batched profiles are bit-identical to direct
-// extraction. Inner estimator calls always run serially (threads = 1): the
-// batch owns all parallelism through its flattened shard space.
+// extraction.
 sim::ActivityOptions profile_activity_options(const core::ProfileOptions& p) {
   sim::ActivityOptions o;
   o.sample_pairs = p.activity_pairs;
   o.seed = p.seed;
-  o.threads = 1;
   return o;
 }
 
@@ -41,161 +44,17 @@ sim::SensitivityOptions profile_sensitivity_options(
   o.max_exact_inputs = p.sensitivity_exact_max_inputs;
   o.sample_words = p.sensitivity_sample_words;
   o.seed = p.seed + 1;
-  o.threads = 1;
   return o;
 }
 
-// All per-job mutable state for one batch run. Accumulators merge
-// commutatively (sums, max, slot-per-shard writes), so shard completion
-// order never reaches the result.
-struct JobState {
-  const BatchJob* job = nullptr;
-  std::size_t num_shards = 0;
-  std::function<void(JobState&, std::size_t)> run_shard;
-  std::function<void(JobState&, BatchResult&)> finalize;
-
-  // Error isolation: the first failing shard records the message and the
-  // job's remaining shards turn into no-ops; other jobs are unaffected.
-  std::atomic<bool> failed{false};
-  std::string error;  // guarded by mutex
-  std::mutex mutex;   // guards error and non-atomic accumulators
-
-  // kReliability
-  std::atomic<std::uint64_t> failures{0};
-  // kWorstCase: slot per sample
-  std::vector<std::uint64_t> sample_failures;
-  // kActivity / profile extraction
-  std::unique_ptr<sim::ActivityCounts> activity_counts;
-  // kSensitivity / profile extraction
-  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts;
-  // Profile extraction: the activity number when the exact (BDD) route or
-  // its serial fallback produced it directly.
-  double exact_activity_sw0 = 0.0;
-  bool activity_is_direct = false;  // single writer (its own shard)
-  // kEnergyBound with a precomputed profile: single writer (shard 0).
-  std::optional<core::BoundReport> report;
-
-  void record_error(const std::string& message) {
-    const std::lock_guard<std::mutex> lock(mutex);
-    if (!failed.load(std::memory_order_relaxed)) error = message;
-    failed.store(true, std::memory_order_relaxed);
-  }
-};
-
-const Circuit& golden_of(const BatchJob& job) {
-  return job.golden.has_value() ? *job.golden : job.circuit;
-}
-
-void push_metric(BatchResult& r, const char* name, double value) {
-  r.metrics.emplace_back(name, value);
-}
-
-// ---- per-kind preparation -------------------------------------------------
-//
-// Each prepare_* validates the job spec (throwing like the standalone
-// estimator would), sizes the shard space, and installs the shard body and
-// the serial finalize. Shard bodies only call the estimators' shard-level
-// building blocks, which is what makes batched results bit-identical to
-// direct calls.
-
-void prepare_reliability(const BatchJob& job, JobState& state) {
-  sim::validate_reliability_inputs(job.circuit, golden_of(job),
-                                   job.reliability);
-  const ShardPlan plan = sim::reliability_shard_plan(job.reliability);
-  state.num_shards = plan.num_shards();
-  state.run_shard = [plan](JobState& s, std::size_t shard) {
-    s.failures.fetch_add(
-        sim::reliability_shard_failures(s.job->circuit, golden_of(*s.job),
-                                        s.job->epsilon, s.job->reliability,
-                                        plan.shard(shard)),
-        std::memory_order_relaxed);
-  };
-  state.finalize = [plan](JobState& s, BatchResult& r) {
-    sim::ReliabilityResult rel =
-        sim::wilson_interval(s.failures.load(), plan.total() * sim::kWordBits);
-    rel.requested_trials = s.job->reliability.trials;
-    push_metric(r, "delta_hat", rel.delta_hat);
-    push_metric(r, "ci_low", rel.ci_low);
-    push_metric(r, "ci_high", rel.ci_high);
-    push_metric(r, "failures", static_cast<double>(rel.failures));
-    push_metric(r, "trials", static_cast<double>(rel.trials));
-    push_metric(r, "requested_trials",
-                static_cast<double>(rel.requested_trials));
-  };
-}
-
-void prepare_worst_case(const BatchJob& job, JobState& state) {
-  sim::validate_worst_case_inputs(job.circuit, golden_of(job), job.worst_case);
-  state.sample_failures.assign(
-      static_cast<std::size_t>(job.worst_case.num_inputs), 0);
-  state.num_shards = state.sample_failures.size();
-  state.run_shard = [](JobState& s, std::size_t sample) {
-    s.sample_failures[sample] = sim::worst_case_sample_failures(
-        s.job->circuit, golden_of(*s.job), s.job->epsilon, s.job->worst_case,
-        sample);
-  };
-  state.finalize = [](JobState& s, BatchResult& r) {
-    const sim::WorstCaseResult w = sim::finalize_worst_case(
-        s.job->circuit, s.job->worst_case, s.sample_failures);
-    push_metric(r, "worst_delta_hat", w.worst.delta_hat);
-    push_metric(r, "worst_ci_low", w.worst.ci_low);
-    push_metric(r, "worst_ci_high", w.worst.ci_high);
-    push_metric(r, "worst_failures", static_cast<double>(w.worst.failures));
-    push_metric(r, "trials_per_input", static_cast<double>(w.worst.trials));
-    push_metric(r, "requested_trials_per_input",
-                static_cast<double>(w.worst.requested_trials));
-    push_metric(r, "average_delta", w.average_delta);
-  };
-}
-
-void prepare_activity(const BatchJob& job, JobState& state) {
-  sim::validate_activity_inputs(job.activity);
-  const ShardPlan plan = sim::activity_shard_plan(job.activity);
-  state.activity_counts =
-      std::make_unique<sim::ActivityCounts>(job.circuit.node_count());
-  state.num_shards = plan.num_shards();
-  state.run_shard = [plan](JobState& s, std::size_t shard) {
-    const sim::ActivityCounts local = sim::activity_shard_counts(
-        s.job->circuit, s.job->activity, plan.shard(shard));
-    const std::lock_guard<std::mutex> lock(s.mutex);
-    s.activity_counts->merge(local);
-  };
-  state.finalize = [](JobState& s, BatchResult& r) {
-    const sim::ActivityResult a = sim::finalize_activity(
-        s.job->circuit, s.job->activity, *s.activity_counts);
-    push_metric(r, "avg_gate_toggle_rate", a.avg_gate_toggle_rate);
-    push_metric(r, "avg_gate_one_probability", a.avg_gate_one_probability);
-    push_metric(r, "sample_pairs", static_cast<double>(a.sample_pairs));
-  };
-}
-
-void prepare_sensitivity(const BatchJob& job, JobState& state) {
-  sim::validate_sensitivity_inputs(job.circuit, job.sensitivity);
-  const ShardPlan plan =
-      sim::sensitivity_shard_plan(job.circuit, job.sensitivity);
-  state.sensitivity_counts =
-      std::make_unique<sim::SensitivityCounts>(job.circuit.num_inputs());
-  state.num_shards = plan.num_shards();
-  state.run_shard = [plan](JobState& s, std::size_t shard) {
-    const sim::SensitivityCounts local = sim::sensitivity_shard_counts(
-        s.job->circuit, s.job->sensitivity, plan.shard(shard));
-    const std::lock_guard<std::mutex> lock(s.mutex);
-    s.sensitivity_counts->merge(local);
-  };
-  state.finalize = [](JobState& s, BatchResult& r) {
-    const sim::SensitivityResult sens = sim::finalize_sensitivity(
-        s.job->circuit, s.job->sensitivity, *s.sensitivity_counts);
-    push_metric(r, "sensitivity", static_cast<double>(sens.sensitivity));
-    push_metric(r, "total_influence", sens.total_influence);
-    push_metric(r, "assignments", static_cast<double>(sens.assignments));
-    push_metric(r, "exact", sens.exact ? 1.0 : 0.0);
-  };
+const Circuit& golden_of(const AnalysisRequest& request) {
+  return request.golden.has_value() ? request.golden->circuit()
+                                    : request.circuit.circuit();
 }
 
 // Profile extraction mirrors core::extract_profile: exact (BDD) activity
 // when small enough — one task, with the silent Monte-Carlo fallback run
-// inline — otherwise activity shards; plus sensitivity shards. The final
-// CircuitProfile is assembled in finalize.
+// inline — otherwise activity shards; plus sensitivity shards.
 struct ProfilePlan {
   bool direct_activity = false;  // BDD route (task 0) instead of MC shards
   ShardPlan activity{0, 1};
@@ -206,32 +65,35 @@ struct ProfilePlan {
   }
 };
 
-void prepare_profile_extraction(const BatchJob& job, JobState& state) {
-  if (job.circuit.gate_count() == 0) {
-    throw std::invalid_argument(
-        "extract_profile: circuit has no gates to profile");
-  }
+// One profile extraction shared by every request in the batch that names the
+// same (handle, profile key): its shards enter the flat task space exactly
+// once and the assembled profile lands in the handle's cache. Accumulators
+// merge commutatively, so shard completion order never reaches the profile.
+struct ExtractionGroup {
+  CompiledCircuit circuit;
+  core::ProfileOptions options;  // the key's value-relevant knobs
   ProfilePlan plan;
-  plan.direct_activity =
-      job.profile.prefer_exact_activity &&
-      static_cast<int>(job.circuit.num_inputs()) <=
-          job.profile.exact_activity_max_inputs;
-  if (!plan.direct_activity) {
-    sim::ActivityOptions activity = profile_activity_options(job.profile);
-    sim::validate_activity_inputs(activity);
-    plan.activity = sim::activity_shard_plan(activity);
-    state.activity_counts =
-        std::make_unique<sim::ActivityCounts>(job.circuit.node_count());
-  }
-  sim::validate_sensitivity_inputs(job.circuit,
-                                   profile_sensitivity_options(job.profile));
-  plan.sensitivity = sim::sensitivity_shard_plan(
-      job.circuit, profile_sensitivity_options(job.profile));
-  state.sensitivity_counts =
-      std::make_unique<sim::SensitivityCounts>(job.circuit.num_inputs());
 
-  state.num_shards = plan.num_shards();
-  state.run_shard = [plan](JobState& s, std::size_t shard) {
+  std::unique_ptr<sim::ActivityCounts> activity_counts;
+  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts;
+  double exact_activity_sw0 = 0.0;
+  bool activity_is_direct = false;  // single writer (task 0)
+
+  std::mutex mutex;  // guards error and the count accumulators
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> failed{false};
+  std::string error;
+  std::optional<core::CircuitProfile> profile;  // set once on completion
+  std::vector<std::size_t> dependents;          // request indices
+
+  void record_error(const std::string& message) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!failed.load(std::memory_order_relaxed)) error = message;
+    failed.store(true, std::memory_order_relaxed);
+  }
+
+  void run_shard(std::size_t shard) {
+    const Circuit& c = circuit.circuit();
     const std::size_t activity_tasks =
         plan.direct_activity ? 1 : plan.activity.num_shards();
     if (shard < activity_tasks) {
@@ -241,245 +103,543 @@ void prepare_profile_extraction(const BatchJob& job, JobState& state) {
         // core::extract_profile.
         double sw0 = 0.0;
         try {
-          sw0 = bdd::exact_activity_bdd(s.job->circuit).avg_gate_toggle_rate;
+          sw0 = bdd::exact_activity_bdd(c).avg_gate_toggle_rate;
         } catch (const bdd::BddLimitExceeded&) {
-          sw0 = sim::estimate_activity(
-                    s.job->circuit, profile_activity_options(s.job->profile))
+          sw0 = sim::estimate_activity(c, profile_activity_options(options),
+                                       Parallelism::serial())
                     .avg_gate_toggle_rate;
         }
-        s.exact_activity_sw0 = sw0;
-        s.activity_is_direct = true;
+        exact_activity_sw0 = sw0;
+        activity_is_direct = true;
       } else {
         const sim::ActivityCounts local = sim::activity_shard_counts(
-            s.job->circuit, profile_activity_options(s.job->profile),
-            plan.activity.shard(shard));
-        const std::lock_guard<std::mutex> lock(s.mutex);
-        s.activity_counts->merge(local);
+            c, profile_activity_options(options), plan.activity.shard(shard));
+        const std::lock_guard<std::mutex> lock(mutex);
+        activity_counts->merge(local);
       }
     } else {
       const sim::SensitivityCounts local = sim::sensitivity_shard_counts(
-          s.job->circuit, profile_sensitivity_options(s.job->profile),
+          c, profile_sensitivity_options(options),
           plan.sensitivity.shard(shard - activity_tasks));
-      const std::lock_guard<std::mutex> lock(s.mutex);
-      s.sensitivity_counts->merge(local);
+      const std::lock_guard<std::mutex> lock(mutex);
+      sensitivity_counts->merge(local);
     }
+  }
+
+  // Serial reduction run by whichever worker finishes the last shard; the
+  // result is stored both here (for this batch's dependents) and in the
+  // handle's cache (for every later consumer of the handle).
+  void assemble() {
+    const Circuit& c = circuit.circuit();
+    const netlist::CircuitStats& stats = circuit.stats();
+    core::CircuitProfile p;
+    p.name = c.name();
+    p.num_inputs = static_cast<int>(stats.num_inputs);
+    p.num_outputs = static_cast<int>(stats.num_outputs);
+    p.size_s0 = static_cast<double>(stats.num_gates);
+    p.depth_d0 = stats.depth;
+    p.avg_fanin_k = stats.avg_fanin;
+    p.max_fanin = stats.max_fanin;
+    p.avg_activity_sw0 =
+        activity_is_direct
+            ? exact_activity_sw0
+            : sim::finalize_activity(c, profile_activity_options(options),
+                                     *activity_counts)
+                  .avg_gate_toggle_rate;
+    const sim::SensitivityResult sens = sim::finalize_sensitivity(
+        c, profile_sensitivity_options(options), *sensitivity_counts);
+    p.sensitivity_s = std::max(1, sens.sensitivity);
+    p.sensitivity_exact = sens.exact;
+    circuit.store_profile(options, p);
+    profile = std::move(p);
+  }
+};
+
+// All per-request mutable state for one batch run. Accumulators merge
+// commutatively (sums, max, slot-per-shard writes), so shard completion
+// order never reaches the result.
+struct JobState {
+  const AnalysisRequest* request = nullptr;
+  std::size_t num_tasks = 0;  // own tasks (excludes the extraction group's)
+  std::function<void(JobState&, std::size_t)> run_task;
+  std::function<void(JobState&, AnalysisResult&)> finalize;
+  // Shared extraction this request waits on (one completion unit).
+  ExtractionGroup* extraction = nullptr;
+  // Completion units left: own tasks + (extraction ? 1 : 0). The thread that
+  // takes this to zero finalizes and emits the result.
+  std::atomic<std::size_t> pending{0};
+
+  // Error isolation: the first failing task records the message and the
+  // request's remaining tasks turn into no-ops; other requests are
+  // unaffected.
+  std::atomic<bool> failed{false};
+  std::string error;  // guarded by mutex
+  std::mutex mutex;   // guards error and non-atomic accumulators
+
+  // kReliability
+  std::atomic<std::uint64_t> failures{0};
+  // kWorstCase: slot per sample
+  std::vector<std::uint64_t> sample_failures;
+  // kActivity
+  std::unique_ptr<sim::ActivityCounts> activity_counts;
+  // kSensitivity
+  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts;
+  // kEnergyBound via override or cached profile: single writer (task 0).
+  std::optional<core::BoundReport> report;
+  // Profile found in the handle's cache at prepare time.
+  std::optional<core::CircuitProfile> cached_profile;
+
+  void record_error(const std::string& message) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!failed.load(std::memory_order_relaxed)) error = message;
+    failed.store(true, std::memory_order_relaxed);
+  }
+};
+
+void finish_with_payload(AnalysisResult& result,
+                         analysis::ResultPayload payload) {
+  analysis::set_payload(result, std::move(payload));
+}
+
+// ---- per-kind preparation -------------------------------------------------
+//
+// Each prepare_* validates the request spec (throwing like the standalone
+// estimator would), sizes the task space, and installs the task body and
+// the finalize reduction. Task bodies only call the estimators' shard-level
+// building blocks, which is what makes batched results bit-identical to
+// direct calls.
+
+void prepare_reliability(const AnalysisRequest& request,
+                         const analysis::ReliabilityRequest& spec,
+                         JobState& state) {
+  sim::validate_reliability_inputs(request.circuit.circuit(),
+                                   golden_of(request), spec.options);
+  const ShardPlan plan = sim::reliability_shard_plan(spec.options);
+  state.num_tasks = plan.num_shards();
+  state.run_task = [plan, &spec](JobState& s, std::size_t shard) {
+    s.failures.fetch_add(
+        sim::reliability_shard_failures(
+            s.request->circuit.circuit(), golden_of(*s.request), spec.epsilon,
+            spec.options, plan.shard(shard)),
+        std::memory_order_relaxed);
+  };
+  state.finalize = [plan, &spec](JobState& s, AnalysisResult& r) {
+    sim::ReliabilityResult rel =
+        sim::wilson_interval(s.failures.load(), plan.total() * sim::kWordBits);
+    rel.requested_trials = spec.options.trials;
+    finish_with_payload(r, std::move(rel));
   };
 }
 
-core::CircuitProfile assemble_profile(JobState& s) {
-  const BatchJob& job = *s.job;
-  const netlist::CircuitStats stats = netlist::compute_stats(job.circuit);
-  core::CircuitProfile p;
-  p.name = job.circuit.name();
-  p.num_inputs = static_cast<int>(stats.num_inputs);
-  p.num_outputs = static_cast<int>(stats.num_outputs);
-  p.size_s0 = static_cast<double>(stats.num_gates);
-  p.depth_d0 = stats.depth;
-  p.avg_fanin_k = stats.avg_fanin;
-  p.max_fanin = stats.max_fanin;
-  p.avg_activity_sw0 =
-      s.activity_is_direct
-          ? s.exact_activity_sw0
-          : sim::finalize_activity(job.circuit,
-                                   profile_activity_options(job.profile),
-                                   *s.activity_counts)
-                .avg_gate_toggle_rate;
-  const sim::SensitivityResult sens = sim::finalize_sensitivity(
-      job.circuit, profile_sensitivity_options(job.profile),
-      *s.sensitivity_counts);
-  p.sensitivity_s = std::max(1, sens.sensitivity);
-  p.sensitivity_exact = sens.exact;
-  return p;
-}
-
-void push_bound_metrics(BatchResult& r, const core::BoundReport& b) {
-  push_metric(r, "eps", b.epsilon);
-  push_metric(r, "delta", b.delta);
-  push_metric(r, "sw_noisy", b.sw_noisy);
-  push_metric(r, "redundancy_gates", b.redundancy_gates);
-  push_metric(r, "size_factor", b.size_factor);
-  push_metric(r, "switching_factor", b.energy.switching_factor);
-  push_metric(r, "leakage_factor", b.energy.leakage_factor);
-  push_metric(r, "total_factor", b.energy.total_factor);
-  push_metric(r, "leakage_ratio", b.leakage_ratio);
-  push_metric(r, "delay_factor", b.metrics.delay);
-  push_metric(r, "edp_factor", b.metrics.edp);
-  push_metric(r, "avg_power_factor", b.metrics.avg_power);
-  push_metric(r, "depth_feasible", b.depth_feasible ? 1.0 : 0.0);
-}
-
-void push_profile_metrics(BatchResult& r, const core::CircuitProfile& p) {
-  push_metric(r, "num_inputs", p.num_inputs);
-  push_metric(r, "num_outputs", p.num_outputs);
-  push_metric(r, "size_s0", p.size_s0);
-  push_metric(r, "depth_d0", p.depth_d0);
-  push_metric(r, "avg_fanin_k", p.avg_fanin_k);
-  push_metric(r, "max_fanin", p.max_fanin);
-  push_metric(r, "avg_activity_sw0", p.avg_activity_sw0);
-  push_metric(r, "sensitivity_s", p.sensitivity_s);
-  push_metric(r, "sensitivity_exact", p.sensitivity_exact ? 1.0 : 0.0);
-}
-
-void prepare_profile(const BatchJob& job, JobState& state) {
-  prepare_profile_extraction(job, state);
-  state.finalize = [](JobState& s, BatchResult& r) {
-    const core::CircuitProfile p = assemble_profile(s);
-    push_profile_metrics(r, p);
-    r.profile = p;
+void prepare_worst_case(const AnalysisRequest& request,
+                        const analysis::WorstCaseRequest& spec,
+                        JobState& state) {
+  sim::validate_worst_case_inputs(request.circuit.circuit(),
+                                  golden_of(request), spec.options);
+  state.sample_failures.assign(
+      static_cast<std::size_t>(spec.options.num_inputs), 0);
+  state.num_tasks = state.sample_failures.size();
+  state.run_task = [&spec](JobState& s, std::size_t sample) {
+    s.sample_failures[sample] = sim::worst_case_sample_failures(
+        s.request->circuit.circuit(), golden_of(*s.request), spec.epsilon,
+        spec.options, sample);
+  };
+  state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    finish_with_payload(
+        r, sim::finalize_worst_case(s.request->circuit.circuit(), spec.options,
+                                    s.sample_failures));
   };
 }
 
-void prepare_energy_bound(const BatchJob& job, JobState& state) {
-  if (job.precomputed_profile.has_value()) {
-    state.num_shards = 1;
-    state.run_shard = [](JobState& s, std::size_t) {
-      s.report = core::analyze(*s.job->precomputed_profile, s.job->epsilon,
-                               s.job->delta, s.job->energy);
+void prepare_activity(const AnalysisRequest& request,
+                      const analysis::ActivityRequest& spec, JobState& state) {
+  sim::validate_activity_inputs(spec.options);
+  const ShardPlan plan = sim::activity_shard_plan(spec.options);
+  state.activity_counts = std::make_unique<sim::ActivityCounts>(
+      request.circuit.circuit().node_count());
+  state.num_tasks = plan.num_shards();
+  state.run_task = [plan, &spec](JobState& s, std::size_t shard) {
+    const sim::ActivityCounts local = sim::activity_shard_counts(
+        s.request->circuit.circuit(), spec.options, plan.shard(shard));
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.activity_counts->merge(local);
+  };
+  state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    finish_with_payload(
+        r, sim::finalize_activity(s.request->circuit.circuit(), spec.options,
+                                  *s.activity_counts));
+  };
+}
+
+void prepare_sensitivity(const AnalysisRequest& request,
+                         const analysis::SensitivityRequest& spec,
+                         JobState& state) {
+  sim::validate_sensitivity_inputs(request.circuit.circuit(), spec.options);
+  const ShardPlan plan =
+      sim::sensitivity_shard_plan(request.circuit.circuit(), spec.options);
+  state.sensitivity_counts = std::make_unique<sim::SensitivityCounts>(
+      request.circuit.circuit().num_inputs());
+  state.num_tasks = plan.num_shards();
+  state.run_task = [plan, &spec](JobState& s, std::size_t shard) {
+    const sim::SensitivityCounts local = sim::sensitivity_shard_counts(
+        s.request->circuit.circuit(), spec.options, plan.shard(shard));
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.sensitivity_counts->merge(local);
+  };
+  state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    finish_with_payload(
+        r, sim::finalize_sensitivity(s.request->circuit.circuit(), spec.options,
+                                     *s.sensitivity_counts));
+  };
+}
+
+// Finds or creates the extraction group for (request.circuit, options);
+// validates on creation exactly like core::extract_profile.
+ExtractionGroup& join_extraction_group(
+    std::size_t job_index, const AnalysisRequest& request,
+    const core::ProfileOptions& options, std::deque<ExtractionGroup>& groups) {
+  const analysis::ProfileKey key = analysis::profile_key(options);
+  for (ExtractionGroup& group : groups) {
+    if (group.circuit.same_handle(request.circuit) &&
+        analysis::profile_key(group.options) == key) {
+      group.dependents.push_back(job_index);
+      return group;
+    }
+  }
+
+  const Circuit& circuit = request.circuit.circuit();
+  if (circuit.gate_count() == 0) {
+    throw std::invalid_argument(
+        "extract_profile: circuit has no gates to profile");
+  }
+  ProfilePlan plan;
+  plan.direct_activity =
+      options.prefer_exact_activity &&
+      static_cast<int>(circuit.num_inputs()) <=
+          options.exact_activity_max_inputs;
+  std::unique_ptr<sim::ActivityCounts> activity_counts;
+  if (!plan.direct_activity) {
+    const sim::ActivityOptions activity = profile_activity_options(options);
+    sim::validate_activity_inputs(activity);
+    plan.activity = sim::activity_shard_plan(activity);
+    activity_counts =
+        std::make_unique<sim::ActivityCounts>(circuit.node_count());
+  }
+  sim::validate_sensitivity_inputs(circuit,
+                                   profile_sensitivity_options(options));
+  plan.sensitivity = sim::sensitivity_shard_plan(
+      circuit, profile_sensitivity_options(options));
+
+  ExtractionGroup& group = groups.emplace_back();
+  group.circuit = request.circuit;
+  group.options = options;
+  group.plan = plan;
+  group.activity_counts = std::move(activity_counts);
+  group.sensitivity_counts =
+      std::make_unique<sim::SensitivityCounts>(circuit.num_inputs());
+  group.remaining.store(plan.num_shards(), std::memory_order_relaxed);
+  group.dependents.push_back(job_index);
+  return group;
+}
+
+void prepare_energy_bound(std::size_t job_index, const AnalysisRequest& request,
+                          const analysis::EnergyBoundRequest& spec,
+                          JobState& state,
+                          std::deque<ExtractionGroup>& groups) {
+  const auto analyze_metrics = [](JobState& s, AnalysisResult& r) {
+    finish_with_payload(r, *s.report);
+    if (s.cached_profile.has_value()) r.profile = std::move(s.cached_profile);
+  };
+
+  if (spec.profile_override.has_value()) {
+    state.num_tasks = 1;
+    state.run_task = [&spec](JobState& s, std::size_t) {
+      s.report = core::analyze(*spec.profile_override, spec.epsilon, spec.delta,
+                               spec.energy);
     };
-    state.finalize = [](JobState& s, BatchResult& r) {
-      push_bound_metrics(r, *s.report);
+    state.finalize = analyze_metrics;
+    return;
+  }
+  if (auto cached = request.circuit.cached_profile(spec.profile);
+      cached.has_value()) {
+    state.cached_profile = std::move(cached);
+    state.num_tasks = 1;
+    state.run_task = [&spec](JobState& s, std::size_t) {
+      s.report = core::analyze(*s.cached_profile, spec.epsilon, spec.delta,
+                               spec.energy);
+    };
+    state.finalize = analyze_metrics;
+    return;
+  }
+  state.extraction = &join_extraction_group(job_index, request, spec.profile,
+                                            groups);
+  state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    const core::CircuitProfile& profile = *s.extraction->profile;
+    finish_with_payload(
+        r, core::analyze(profile, spec.epsilon, spec.delta, spec.energy));
+    r.profile = profile;
+  };
+}
+
+void prepare_profile(std::size_t job_index, const AnalysisRequest& request,
+                     const analysis::ProfileRequest& spec, JobState& state,
+                     std::deque<ExtractionGroup>& groups) {
+  if (auto cached = request.circuit.cached_profile(spec.options);
+      cached.has_value()) {
+    state.cached_profile = std::move(cached);
+    state.finalize = [](JobState& s, AnalysisResult& r) {
+      finish_with_payload(r, std::move(*s.cached_profile));
     };
     return;
   }
-  prepare_profile_extraction(job, state);
-  state.finalize = [](JobState& s, BatchResult& r) {
-    const core::CircuitProfile p = assemble_profile(s);
-    push_bound_metrics(
-        r, core::analyze(p, s.job->epsilon, s.job->delta, s.job->energy));
-    r.profile = p;
+  state.extraction =
+      &join_extraction_group(job_index, request, spec.options, groups);
+  state.finalize = [](JobState& s, AnalysisResult& r) {
+    finish_with_payload(r, *s.extraction->profile);
   };
 }
 
-void prepare(const BatchJob& job, JobState& state) {
-  switch (job.kind) {
-    case JobKind::kReliability:
-      return prepare_reliability(job, state);
-    case JobKind::kWorstCase:
-      return prepare_worst_case(job, state);
-    case JobKind::kActivity:
-      return prepare_activity(job, state);
-    case JobKind::kSensitivity:
-      return prepare_sensitivity(job, state);
-    case JobKind::kEnergyBound:
-      return prepare_energy_bound(job, state);
-    case JobKind::kProfile:
-      return prepare_profile(job, state);
-  }
-  throw std::invalid_argument("BatchEvaluator: unknown job kind");
+void prepare(std::size_t job_index, const AnalysisRequest& request,
+             JobState& state, std::deque<ExtractionGroup>& groups) {
+  std::visit(
+      [&](const auto& spec) {
+        using Spec = std::decay_t<decltype(spec)>;
+        if constexpr (std::is_same_v<Spec, analysis::ReliabilityRequest>) {
+          prepare_reliability(request, spec, state);
+        } else if constexpr (std::is_same_v<Spec, analysis::WorstCaseRequest>) {
+          prepare_worst_case(request, spec, state);
+        } else if constexpr (std::is_same_v<Spec, analysis::ActivityRequest>) {
+          prepare_activity(request, spec, state);
+        } else if constexpr (std::is_same_v<Spec,
+                                            analysis::SensitivityRequest>) {
+          prepare_sensitivity(request, spec, state);
+        } else if constexpr (std::is_same_v<Spec,
+                                            analysis::EnergyBoundRequest>) {
+          prepare_energy_bound(job_index, request, spec, state, groups);
+        } else {
+          static_assert(std::is_same_v<Spec, analysis::ProfileRequest>);
+          prepare_profile(job_index, request, spec, state, groups);
+        }
+      },
+      request.options);
 }
 
 }  // namespace
 
-const char* to_string(JobKind kind) noexcept {
-  switch (kind) {
-    case JobKind::kReliability:
-      return "reliability";
-    case JobKind::kWorstCase:
-      return "worst-case";
-    case JobKind::kActivity:
-      return "activity";
-    case JobKind::kSensitivity:
-      return "sensitivity";
-    case JobKind::kEnergyBound:
-      return "energy-bound";
-    case JobKind::kProfile:
-      return "profile";
-  }
-  return "unknown";
-}
-
-std::optional<JobKind> parse_job_kind(std::string_view name) {
-  std::string canonical(name);
-  std::replace(canonical.begin(), canonical.end(), '_', '-');
-  if (canonical == "reliability") return JobKind::kReliability;
-  if (canonical == "worst-case") return JobKind::kWorstCase;
-  if (canonical == "activity") return JobKind::kActivity;
-  if (canonical == "sensitivity") return JobKind::kSensitivity;
-  if (canonical == "energy-bound") return JobKind::kEnergyBound;
-  if (canonical == "profile") return JobKind::kProfile;
-  return std::nullopt;
-}
-
-std::optional<double> BatchResult::metric(std::string_view name) const {
-  for (const auto& [key, value] : metrics) {
-    if (key == name) return value;
-  }
-  return std::nullopt;
+std::size_t BatchEvaluator::submit(analysis::AnalysisRequest request) {
+  requests_.push_back(std::move(request));
+  return requests_.size() - 1;
 }
 
 std::size_t BatchEvaluator::submit(BatchJob job) {
-  jobs_.push_back(std::move(job));
-  return jobs_.size() - 1;
+  return submit(to_request(std::move(job)));
 }
 
-std::vector<BatchResult> BatchEvaluator::run() {
-  const std::size_t num_jobs = jobs_.size();
+void BatchEvaluator::run(const ResultSink& sink) {
+  const std::size_t num_jobs = requests_.size();
   std::vector<JobState> states(num_jobs);
-  std::vector<BatchResult> results(num_jobs);
+  std::deque<ExtractionGroup> groups;  // stable addresses
 
-  // Phase 1 (serial, cheap): validate every job and size its shard space.
-  // A job that fails validation is isolated into an error result here and
-  // contributes no shards.
+  // Phase 1 (serial, cheap): validate every request, size its task space,
+  // and group shared profile extractions. A request that fails validation is
+  // isolated into an error result and contributes no tasks.
   for (std::size_t j = 0; j < num_jobs; ++j) {
-    states[j].job = &jobs_[j];
-    results[j].name = jobs_[j].name;
-    results[j].kind = jobs_[j].kind;
+    states[j].request = &requests_[j];
     try {
-      prepare(jobs_[j], states[j]);
+      prepare(j, requests_[j], states[j], groups);
     } catch (const std::exception& e) {
       states[j].record_error(e.what());
-      states[j].num_shards = 0;
+      states[j].num_tasks = 0;
+      states[j].extraction = nullptr;
     }
   }
-
-  // Phase 2 (parallel): every job's shards flattened into one task space
-  // over the pool. offsets[j] is job j's first flat index.
-  std::vector<std::size_t> offsets(num_jobs + 1, 0);
   for (std::size_t j = 0; j < num_jobs; ++j) {
-    offsets[j + 1] = offsets[j] + states[j].num_shards;
+    states[j].pending.store(
+        states[j].num_tasks + (states[j].extraction != nullptr ? 1 : 0),
+        std::memory_order_relaxed);
   }
+
+  // Emission: build the result (finalize or error), then hand it to the
+  // sink under one lock — the sink sees results serially, in completion
+  // order, from unspecified threads. A throwing sink must not cancel the
+  // rest of the batch (per-request isolation extends to delivery): the
+  // first sink exception is captured here and rethrown after every request
+  // has been evaluated and offered to the sink.
+  std::mutex sink_mutex;
+  std::exception_ptr sink_error;  // guarded by sink_mutex
+  const auto emit = [&](std::size_t j) {
+    JobState& state = states[j];
+    AnalysisResult result;
+    result.index = j;
+    result.name = requests_[j].name;
+    result.kind = requests_[j].kind();
+    const bool group_failed =
+        state.extraction != nullptr && state.extraction->failed.load();
+    if (state.failed.load() || group_failed) {
+      result.ok = false;
+      result.error = state.failed.load() ? state.error
+                                         : state.extraction->error;
+    } else {
+      try {
+        state.finalize(state, result);
+        result.ok = true;
+      } catch (const std::exception& e) {
+        result.ok = false;
+        result.error = e.what();
+        result.metrics.clear();
+        result.profile.reset();
+        result.payload = std::monostate{};
+      }
+    }
+    const std::lock_guard<std::mutex> lock(sink_mutex);
+    try {
+      sink(std::move(result));
+    } catch (...) {
+      if (sink_error == nullptr) sink_error = std::current_exception();
+    }
+  };
+  const auto complete_unit = [&](std::size_t j) {
+    if (states[j].pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      emit(j);
+    }
+  };
+
+  // Requests with no pending work (validation failures, cache-hit profiles)
+  // emit before the parallel phase.
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    if (states[j].pending.load(std::memory_order_relaxed) == 0) emit(j);
+  }
+
+  // Phase 2 (parallel): every request's own tasks plus every extraction
+  // group's shards flattened into one task space over the pool. A worker
+  // that completes a request's (or group's) last unit finalizes and emits
+  // right there — that is what makes the sink stream.
+  std::vector<std::size_t> job_offsets(num_jobs + 1, 0);
+  for (std::size_t j = 0; j < num_jobs; ++j) {
+    job_offsets[j + 1] = job_offsets[j] + states[j].num_tasks;
+  }
+  const std::size_t job_total = job_offsets[num_jobs];
+  std::vector<std::size_t> group_offsets(groups.size() + 1, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_offsets[g + 1] = group_offsets[g] + groups[g].plan.num_shards();
+  }
+  const std::size_t total = job_total + group_offsets[groups.size()];
+
   for_each_index(
-      offsets[num_jobs],
+      total,
       [&](std::size_t flat) {
-        const std::size_t j = static_cast<std::size_t>(
-            std::upper_bound(offsets.begin(), offsets.end(), flat) -
-            offsets.begin() - 1);
-        JobState& state = states[j];
-        if (state.failed.load(std::memory_order_relaxed)) return;
-        try {
-          state.run_shard(state, flat - offsets[j]);
-        } catch (const std::exception& e) {
-          state.record_error(e.what());
-        } catch (...) {
-          state.record_error("unknown error");
+        if (flat < job_total) {
+          const std::size_t j = static_cast<std::size_t>(
+              std::upper_bound(job_offsets.begin(), job_offsets.end(), flat) -
+              job_offsets.begin() - 1);
+          JobState& state = states[j];
+          if (!state.failed.load(std::memory_order_relaxed)) {
+            try {
+              state.run_task(state, flat - job_offsets[j]);
+            } catch (const std::exception& e) {
+              state.record_error(e.what());
+            } catch (...) {
+              state.record_error("unknown error");
+            }
+          }
+          complete_unit(j);
+          return;
+        }
+        const std::size_t offset = flat - job_total;
+        const std::size_t g = static_cast<std::size_t>(
+            std::upper_bound(group_offsets.begin(), group_offsets.end(),
+                             offset) -
+            group_offsets.begin() - 1);
+        ExtractionGroup& group = groups[g];
+        if (!group.failed.load(std::memory_order_relaxed)) {
+          try {
+            group.run_shard(offset - group_offsets[g]);
+          } catch (const std::exception& e) {
+            group.record_error(e.what());
+          } catch (...) {
+            group.record_error("unknown error");
+          }
+        }
+        if (group.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (!group.failed.load()) {
+            try {
+              group.assemble();
+            } catch (const std::exception& e) {
+              group.record_error(e.what());
+            }
+          }
+          for (const std::size_t dependent : group.dependents) {
+            complete_unit(dependent);
+          }
         }
       },
-      ExecPolicy{options_.threads});
+      how_);
 
-  // Phase 3 (serial, in submission order): reduce accumulators to results.
-  for (std::size_t j = 0; j < num_jobs; ++j) {
-    if (states[j].failed.load()) {
-      results[j].ok = false;
-      results[j].error = states[j].error;
-      continue;
-    }
-    try {
-      states[j].finalize(states[j], results[j]);
-      results[j].ok = true;
-    } catch (const std::exception& e) {
-      results[j].ok = false;
-      results[j].error = e.what();
-    }
-  }
-  jobs_.clear();
+  requests_.clear();
+  if (sink_error != nullptr) std::rethrow_exception(sink_error);
+}
+
+std::vector<analysis::AnalysisResult> BatchEvaluator::run() {
+  std::vector<analysis::AnalysisResult> results(requests_.size());
+  run([&results](analysis::AnalysisResult result) {
+    results[result.index] = std::move(result);
+  });
   return results;
+}
+
+std::vector<analysis::AnalysisResult> evaluate_requests(
+    std::vector<analysis::AnalysisRequest> requests, Parallelism how) {
+  BatchEvaluator evaluator(how);
+  for (analysis::AnalysisRequest& request : requests) {
+    evaluator.submit(std::move(request));
+  }
+  return evaluator.run();
+}
+
+analysis::AnalysisRequest to_request(BatchJob job) {
+  analysis::AnalysisRequest request;
+  request.name = std::move(job.name);
+  switch (job.kind) {
+    case JobKind::kReliability:
+      request.options =
+          analysis::ReliabilityRequest{job.epsilon, job.reliability};
+      break;
+    case JobKind::kWorstCase:
+      request.options = analysis::WorstCaseRequest{job.epsilon, job.worst_case};
+      break;
+    case JobKind::kActivity:
+      request.options = analysis::ActivityRequest{job.activity};
+      break;
+    case JobKind::kSensitivity:
+      request.options = analysis::SensitivityRequest{job.sensitivity};
+      break;
+    case JobKind::kEnergyBound: {
+      analysis::EnergyBoundRequest spec;
+      spec.epsilon = job.epsilon;
+      spec.delta = job.delta;
+      spec.energy = job.energy;
+      spec.profile = job.profile;
+      spec.profile_override = std::move(job.precomputed_profile);
+      request.options = std::move(spec);
+      break;
+    }
+    case JobKind::kProfile:
+      request.options = analysis::ProfileRequest{job.profile};
+      break;
+  }
+  request.circuit = analysis::compile(std::move(job.circuit));
+  if (job.golden.has_value()) {
+    request.golden = analysis::compile(std::move(*job.golden));
+  }
+  return request;
 }
 
 std::vector<BatchResult> evaluate_batch(std::vector<BatchJob> jobs,
                                         const BatchOptions& options) {
-  BatchEvaluator evaluator(options);
-  for (BatchJob& job : jobs) evaluator.submit(std::move(job));
-  return evaluator.run();
+  std::vector<analysis::AnalysisRequest> requests;
+  requests.reserve(jobs.size());
+  for (BatchJob& job : jobs) requests.push_back(to_request(std::move(job)));
+  return evaluate_requests(std::move(requests), options);
 }
 
 // ---- manifest / output plumbing ------------------------------------------
@@ -506,48 +666,130 @@ std::uint64_t parse_manifest_count(const std::string& key,
   return parsed;
 }
 
-// budget= sets the kind's primary Monte-Carlo knob; seed= its master stream
-// seed. Applied after the kind is known, so key order in the line is free.
-void apply_budget(BatchJob& job, std::uint64_t budget) {
-  switch (job.kind) {
-    case JobKind::kReliability:
-      job.reliability.trials = budget;
-      return;
-    case JobKind::kWorstCase:
-      job.worst_case.trials_per_input = budget;
-      return;
-    case JobKind::kActivity:
-      job.activity.sample_pairs = static_cast<std::size_t>(budget);
-      return;
-    case JobKind::kSensitivity:
-      job.sensitivity.sample_words = budget;
-      return;
-    case JobKind::kEnergyBound:
-    case JobKind::kProfile:
-      job.profile.activity_pairs = static_cast<std::size_t>(budget);
-      return;
+// Everything a manifest line can say, before the kind-specific request spec
+// is materialized (budget/seed apply once the kind is known, so key order in
+// the line is free).
+struct ManifestLine {
+  std::string name;
+  JobKind kind = JobKind::kReliability;
+  std::string circuit_spec;
+  std::string golden_spec;
+  double epsilon = 0.01;
+  double delta = 0.01;
+  double leakage = 0.5;
+  bool has_leakage = false;
+  std::optional<std::uint64_t> budget;
+  std::optional<std::uint64_t> seed;
+};
+
+std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
+  std::vector<ManifestLine> lines;
+  std::string text;
+  std::size_t line_number = 0;
+  while (std::getline(in, text)) {
+    ++line_number;
+    std::istringstream tokens(text);
+    std::string name;
+    if (!(tokens >> name) || name.front() == '#') continue;
+
+    const auto fail = [&](const std::string& message) -> std::invalid_argument {
+      return std::invalid_argument("manifest line " +
+                                   std::to_string(line_number) + ": " +
+                                   message);
+    };
+
+    ManifestLine line;
+    line.name = name;
+    std::optional<JobKind> kind;
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+        throw fail("expected key=value, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "kind") {
+        kind = parse_job_kind(value);
+        if (!kind.has_value()) throw fail("unknown kind '" + value + "'");
+      } else if (key == "circuit") {
+        line.circuit_spec = value;
+      } else if (key == "golden") {
+        line.golden_spec = value;
+      } else if (key == "eps") {
+        line.epsilon = parse_manifest_double(key, value);
+      } else if (key == "delta") {
+        line.delta = parse_manifest_double(key, value);
+      } else if (key == "budget") {
+        line.budget = parse_manifest_count(key, value);
+      } else if (key == "seed") {
+        line.seed = parse_manifest_count(key, value);
+      } else if (key == "leakage") {
+        line.leakage = parse_manifest_double(key, value);
+        line.has_leakage = true;
+      } else {
+        throw fail("unknown key '" + key + "'");
+      }
+    }
+    if (!kind.has_value()) throw fail("missing kind=");
+    if (line.circuit_spec.empty()) throw fail("missing circuit=");
+    line.kind = *kind;
+    lines.push_back(std::move(line));
   }
+  return lines;
 }
 
-void apply_seed(BatchJob& job, std::uint64_t seed) {
-  switch (job.kind) {
-    case JobKind::kReliability:
-      job.reliability.seed = seed;
-      return;
-    case JobKind::kWorstCase:
-      job.worst_case.seed = seed;
-      return;
-    case JobKind::kActivity:
-      job.activity.seed = seed;
-      return;
-    case JobKind::kSensitivity:
-      job.sensitivity.seed = seed;
-      return;
-    case JobKind::kEnergyBound:
-    case JobKind::kProfile:
-      job.profile.seed = seed;
-      return;
+analysis::RequestOptions manifest_options(const ManifestLine& line) {
+  switch (line.kind) {
+    case JobKind::kReliability: {
+      analysis::ReliabilityRequest spec;
+      spec.epsilon = line.epsilon;
+      if (line.budget.has_value()) spec.options.trials = *line.budget;
+      if (line.seed.has_value()) spec.options.seed = *line.seed;
+      return spec;
+    }
+    case JobKind::kWorstCase: {
+      analysis::WorstCaseRequest spec;
+      spec.epsilon = line.epsilon;
+      if (line.budget.has_value()) spec.options.trials_per_input = *line.budget;
+      if (line.seed.has_value()) spec.options.seed = *line.seed;
+      return spec;
+    }
+    case JobKind::kActivity: {
+      analysis::ActivityRequest spec;
+      if (line.budget.has_value()) {
+        spec.options.sample_pairs = static_cast<std::size_t>(*line.budget);
+      }
+      if (line.seed.has_value()) spec.options.seed = *line.seed;
+      return spec;
+    }
+    case JobKind::kSensitivity: {
+      analysis::SensitivityRequest spec;
+      if (line.budget.has_value()) spec.options.sample_words = *line.budget;
+      if (line.seed.has_value()) spec.options.seed = *line.seed;
+      return spec;
+    }
+    case JobKind::kEnergyBound: {
+      analysis::EnergyBoundRequest spec;
+      spec.epsilon = line.epsilon;
+      spec.delta = line.delta;
+      if (line.has_leakage) spec.energy.leakage_fraction = line.leakage;
+      if (line.budget.has_value()) {
+        spec.profile.activity_pairs = static_cast<std::size_t>(*line.budget);
+      }
+      if (line.seed.has_value()) spec.profile.seed = *line.seed;
+      return spec;
+    }
+    case JobKind::kProfile: {
+      analysis::ProfileRequest spec;
+      if (line.budget.has_value()) {
+        spec.options.activity_pairs = static_cast<std::size_t>(*line.budget);
+      }
+      if (line.seed.has_value()) spec.options.seed = *line.seed;
+      return spec;
+    }
   }
+  throw std::invalid_argument("manifest: unknown job kind");
 }
 
 void json_escape(std::ostream& out, const std::string& text) {
@@ -578,83 +820,85 @@ void json_escape(std::ostream& out, const std::string& text) {
 
 }  // namespace
 
+std::vector<analysis::AnalysisRequest> parse_manifest_requests(
+    std::istream& in,
+    const std::function<CompiledCircuit(const std::string&)>& resolve) {
+  std::vector<analysis::AnalysisRequest> requests;
+  for (const ManifestLine& line : parse_manifest_lines(in)) {
+    analysis::AnalysisRequest request;
+    request.name = line.name;
+    request.options = manifest_options(line);
+    request.circuit = resolve(line.circuit_spec);
+    if (!line.golden_spec.empty()) request.golden = resolve(line.golden_spec);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
 std::vector<BatchJob> parse_manifest(
     std::istream& in,
     const std::function<Circuit(const std::string&)>& resolve) {
   std::vector<BatchJob> jobs;
-  std::string line;
-  std::size_t line_number = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    std::istringstream tokens(line);
-    std::string name;
-    if (!(tokens >> name) || name.front() == '#') continue;
-
-    const auto fail = [&](const std::string& message) -> std::invalid_argument {
-      return std::invalid_argument("manifest line " +
-                                   std::to_string(line_number) + ": " +
-                                   message);
-    };
-
-    // Collect key=value pairs first; kind-dependent keys (budget, seed)
-    // apply once the kind is known.
-    std::vector<std::pair<std::string, std::string>> pairs;
-    std::string token;
-    while (tokens >> token) {
-      const std::size_t eq = token.find('=');
-      if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
-        throw fail("expected key=value, got '" + token + "'");
-      }
-      pairs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
-    }
-
+  for (const ManifestLine& line : parse_manifest_lines(in)) {
     BatchJob job;
-    job.name = name;
-    std::optional<JobKind> kind;
-    std::string circuit_spec;
-    std::string golden_spec;
-    std::optional<std::uint64_t> budget;
-    std::optional<std::uint64_t> seed;
-    for (const auto& [key, value] : pairs) {
-      if (key == "kind") {
-        kind = parse_job_kind(value);
-        if (!kind.has_value()) throw fail("unknown kind '" + value + "'");
-      } else if (key == "circuit") {
-        circuit_spec = value;
-      } else if (key == "golden") {
-        golden_spec = value;
-      } else if (key == "eps") {
-        job.epsilon = parse_manifest_double(key, value);
-      } else if (key == "delta") {
-        job.delta = parse_manifest_double(key, value);
-      } else if (key == "budget") {
-        budget = parse_manifest_count(key, value);
-      } else if (key == "seed") {
-        seed = parse_manifest_count(key, value);
-      } else if (key == "leakage") {
-        job.energy.leakage_fraction = parse_manifest_double(key, value);
-      } else {
-        throw fail("unknown key '" + key + "'");
+    job.name = line.name;
+    job.kind = line.kind;
+    job.epsilon = line.epsilon;
+    job.delta = line.delta;
+    if (line.has_leakage) job.energy.leakage_fraction = line.leakage;
+    if (line.budget.has_value()) {
+      switch (line.kind) {
+        case JobKind::kReliability:
+          job.reliability.trials = *line.budget;
+          break;
+        case JobKind::kWorstCase:
+          job.worst_case.trials_per_input = *line.budget;
+          break;
+        case JobKind::kActivity:
+          job.activity.sample_pairs = static_cast<std::size_t>(*line.budget);
+          break;
+        case JobKind::kSensitivity:
+          job.sensitivity.sample_words = *line.budget;
+          break;
+        case JobKind::kEnergyBound:
+        case JobKind::kProfile:
+          job.profile.activity_pairs = static_cast<std::size_t>(*line.budget);
+          break;
       }
     }
-    if (!kind.has_value()) throw fail("missing kind=");
-    if (circuit_spec.empty()) throw fail("missing circuit=");
-    job.kind = *kind;
-    if (budget.has_value()) apply_budget(job, *budget);
-    if (seed.has_value()) apply_seed(job, *seed);
-    job.circuit = resolve(circuit_spec);
-    if (!golden_spec.empty()) job.golden = resolve(golden_spec);
+    if (line.seed.has_value()) {
+      switch (line.kind) {
+        case JobKind::kReliability:
+          job.reliability.seed = *line.seed;
+          break;
+        case JobKind::kWorstCase:
+          job.worst_case.seed = *line.seed;
+          break;
+        case JobKind::kActivity:
+          job.activity.seed = *line.seed;
+          break;
+        case JobKind::kSensitivity:
+          job.sensitivity.seed = *line.seed;
+          break;
+        case JobKind::kEnergyBound:
+        case JobKind::kProfile:
+          job.profile.seed = *line.seed;
+          break;
+      }
+    }
+    job.circuit = resolve(line.circuit_spec);
+    if (!line.golden_spec.empty()) job.golden = resolve(line.golden_spec);
     jobs.push_back(std::move(job));
   }
   return jobs;
 }
 
 void write_batch_csv(std::ostream& out,
-                     const std::vector<BatchResult>& results) {
+                     const std::vector<analysis::AnalysisResult>& results) {
   report::write_csv_row(out, {"job", "kind", "ok", "metric", "value"});
   std::ostringstream value;
   value << std::setprecision(17);
-  for (const BatchResult& r : results) {
+  for (const analysis::AnalysisResult& r : results) {
     if (!r.ok) {
       report::write_csv_row(out, {r.name, to_string(r.kind), "0", "error", ""});
       continue;
@@ -669,10 +913,10 @@ void write_batch_csv(std::ostream& out,
 }
 
 void write_batch_json(std::ostream& out,
-                      const std::vector<BatchResult>& results) {
+                      const std::vector<analysis::AnalysisResult>& results) {
   out << "[\n" << std::setprecision(17);
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const BatchResult& r = results[i];
+    const analysis::AnalysisResult& r = results[i];
     out << "  {\"name\": \"";
     json_escape(out, r.name);
     out << "\", \"kind\": \"" << to_string(r.kind) << "\", \"ok\": "

@@ -1,21 +1,32 @@
-// Batched multi-circuit evaluation: the server-workload front end of the
-// parallel engine.
+// Batched multi-request evaluation: the server-workload front end of the
+// parallel engine, redesigned (PR 3) around the analysis layer.
 //
-// A BatchEvaluator accepts a queue of heterogeneous jobs — each a circuit
-// plus an analysis kind (reliability, worst-case, activity, sensitivity,
-// energy-bound, profile) and per-job options — and schedules them over the
-// shared ThreadPool with two-level parallelism: the Monte-Carlo shards of
-// *every* job are flattened into one task space, so a long job's shards
-// interleave with short jobs instead of serializing behind them.
+// A BatchEvaluator accepts a queue of typed analysis::AnalysisRequests —
+// each a CompiledCircuit handle plus per-kind options — and schedules them
+// over the shared ThreadPool with two-level parallelism: the Monte-Carlo
+// shards of *every* request are flattened into one task space, so a long
+// request's shards interleave with short requests instead of serializing
+// behind them. Requests hold shared handles, so a hundred-point sweep over
+// one design never clones the netlist, and requests that need the same
+// profile (same handle, same profile key) share a single extraction by
+// construction — its shards run once and the result lands in the handle's
+// cache.
 //
-// Determinism contract: a job's result is a pure function of its own spec.
-// Every shard draws its randomness from the counter-based stream of
-// (job seed, shard index) — exactly the streams the standalone estimators
-// use — and shard accumulators combine through order-insensitive reductions
-// (integer sums, max, or slot-per-shard writes). Results are therefore
-// bit-identical to a direct estimator call, and independent of the thread
-// count, the job submission order, and whatever else is co-scheduled in the
-// batch.
+// Results can be consumed two ways:
+//   run()            — blocking; results indexed by submission order.
+//   run(ResultSink)  — streaming; each AnalysisResult is delivered as its
+//                      request finishes. Completion order is unspecified,
+//                      but every payload is bit-identical to the blocking
+//                      form (and to a direct estimator call): which thread
+//                      finishes first never reaches the numbers.
+//
+// Determinism contract: a request's result is a pure function of its own
+// spec. Every shard draws its randomness from the counter-based stream of
+// (request seed, shard index) — exactly the streams the standalone
+// estimators use — and shard accumulators combine through order-insensitive
+// reductions (integer sums, max, or slot-per-shard writes). Results are
+// therefore bit-identical to a direct estimator call, and independent of the
+// thread count, the submission order, and whatever else is co-scheduled.
 #pragma once
 
 #include <cstdint>
@@ -27,9 +38,12 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
 #include "core/analyzer.hpp"
 #include "core/energy_bound.hpp"
 #include "core/profile.hpp"
+#include "exec/thread_pool.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/activity.hpp"
 #include "sim/reliability.hpp"
@@ -37,28 +51,34 @@
 
 namespace enb::exec {
 
-enum class JobKind {
-  kReliability,   // Monte-Carlo delta estimate (vs golden when provided)
-  kWorstCase,     // worst sampled-input delta (vs golden when provided)
-  kActivity,      // Monte-Carlo switching activity
-  kSensitivity,   // Boolean sensitivity (exact or sampled)
-  kEnergyBound,   // Theorem 1-4 bound report at (eps, delta)
-  kProfile,       // (s, S0, sw0, k, d0) profile extraction
-};
+// Compatibility names for the pre-analysis-layer API: the kind enum now
+// lives in analysis:: as AnalysisKind (same enumerators).
+using JobKind = analysis::AnalysisKind;
+using analysis::to_string;
 
-[[nodiscard]] const char* to_string(JobKind kind) noexcept;
-[[nodiscard]] std::optional<JobKind> parse_job_kind(std::string_view name);
+[[nodiscard]] inline std::optional<JobKind> parse_job_kind(
+    std::string_view name) {
+  return analysis::parse_analysis_kind(name);
+}
 
-// One unit of batch work. The embedded option structs carry the job's seeds
-// and budgets; their `threads` members are ignored (the batch owns
-// scheduling). Seeds live in the spec — never in the queue position — which
-// is what makes results submission-order independent.
+// Per-request outcome (see analysis/request.hpp). BatchResult is the
+// pre-PR-3 name.
+using BatchResult = analysis::AnalysisResult;
+
+// The batch's thread knob is the same Parallelism every layer uses.
+using BatchOptions = Parallelism;
+
+// Deprecated (PR 3): one unit of batch work with the circuit (and optional
+// golden) embedded *by value* — every job clones its netlists. New code
+// should build analysis::AnalysisRequest over CompiledCircuit handles
+// instead; see to_request() for the mapping. The embedded option structs'
+// `threads` members are ignored (the batch owns scheduling). Seeds live in
+// the spec — never in the queue position — which is what makes results
+// submission-order independent.
 struct BatchJob {
   std::string name;
   JobKind kind = JobKind::kReliability;
   netlist::Circuit circuit;
-  // Reference implementation for kReliability / kWorstCase; when absent the
-  // circuit is compared against its own noise-free evaluation.
   std::optional<netlist::Circuit> golden;
   double epsilon = 0.01;
   double delta = 0.01;  // kEnergyBound only
@@ -74,62 +94,77 @@ struct BatchJob {
   std::optional<core::CircuitProfile> precomputed_profile;
 };
 
-// Per-job outcome. Failures are isolated: a job whose options are invalid
-// (or whose evaluation throws) reports ok = false with the error text while
-// the rest of the batch completes normally.
-struct BatchResult {
-  std::string name;
-  JobKind kind = JobKind::kReliability;
-  bool ok = false;
-  std::string error;
-  // Flat (metric, value) pairs in a fixed per-kind order — the CSV/JSON row.
-  std::vector<std::pair<std::string, double>> metrics;
-  // Structured payload for kProfile (and kEnergyBound extraction) consumers.
-  std::optional<core::CircuitProfile> profile;
+// Moves a legacy job into the typed request shape (compiling its circuits —
+// each call makes an independent handle, preserving the old no-sharing
+// semantics).
+[[nodiscard]] analysis::AnalysisRequest to_request(BatchJob job);
 
-  // The value of `metric`, if present.
-  [[nodiscard]] std::optional<double> metric(std::string_view name) const;
-};
-
-struct BatchOptions {
-  // 0 = global pool, 1 = serial, N = dedicated pool of N workers.
-  unsigned threads = 0;
-};
+// Streaming consumer: invoked once per request, serially (an internal lock),
+// from an unspecified thread, as each request finishes. result.index is the
+// submission index. A throwing sink does not cancel the batch: every request
+// is still evaluated and offered to the sink, and the first sink exception
+// is rethrown from run() after the queue drains (and clears).
+using ResultSink = std::function<void(analysis::AnalysisResult)>;
 
 class BatchEvaluator {
  public:
-  explicit BatchEvaluator(BatchOptions options = {}) : options_(options) {}
+  explicit BatchEvaluator(Parallelism how = {}) : how_(how) {}
 
-  // Enqueues a job; returns its index in the result vector.
+  // Enqueues a request; returns its index (== result.index).
+  std::size_t submit(analysis::AnalysisRequest request);
+
+  // Deprecated shim: converts the circuit-by-value job via to_request().
+  [[deprecated("submit an analysis::AnalysisRequest instead")]]
   std::size_t submit(BatchJob job);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return jobs_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return requests_.size();
+  }
 
-  // Evaluates every submitted job and clears the queue. Results are indexed
-  // by submission order; each result is bit-identical to running its job
-  // alone (any thread count, any co-scheduled jobs).
-  [[nodiscard]] std::vector<BatchResult> run();
+  // Streaming form: evaluates every submitted request over the flattened
+  // shard space and delivers each result through `sink` as its request
+  // finishes, then clears the queue. Completion order is unspecified;
+  // payloads are deterministic.
+  void run(const ResultSink& sink);
+
+  // Blocking form: thin wrapper over the streaming form that collects into
+  // submission order.
+  [[nodiscard]] std::vector<analysis::AnalysisResult> run();
 
  private:
-  BatchOptions options_;
-  std::vector<BatchJob> jobs_;
+  Parallelism how_;
+  std::vector<analysis::AnalysisRequest> requests_;
 };
 
 // Convenience: submit + run in one call.
+[[nodiscard]] std::vector<analysis::AnalysisResult> evaluate_requests(
+    std::vector<analysis::AnalysisRequest> requests, Parallelism how = {});
+
+// Deprecated shim for the job-based convenience call.
+[[deprecated("use evaluate_requests over analysis::AnalysisRequest instead")]]
 [[nodiscard]] std::vector<BatchResult> evaluate_batch(
     std::vector<BatchJob> jobs, const BatchOptions& options = {});
 
 // ---- manifest / output plumbing ------------------------------------------
 
-// Parses a job-manifest stream: one job per non-blank, non-comment line,
+// Parses a job-manifest stream: one request per non-blank, non-comment line,
 //   <name> kind=<kind> circuit=<spec> [golden=<spec>] [eps=E] [delta=D]
 //          [budget=N] [seed=S] [leakage=L]
-// `resolve` maps a circuit spec (suite name or .bench path) to a netlist.
-// budget= sets the kind's primary Monte-Carlo knob (reliability trials,
-// worst-case trials per input, activity pairs, sensitivity sample words,
-// profile activity pairs); seed= the kind's master stream seed; leakage= the
-// energy-bound leakage share. Throws std::invalid_argument on malformed
-// lines, unknown kinds/keys, or non-numeric values.
+// `resolve` maps a circuit spec (suite name or .bench path) to a compiled
+// handle — memoize it to share handles (and profile extractions) across
+// jobs naming the same spec. budget= sets the kind's primary Monte-Carlo
+// knob (reliability trials, worst-case trials per input, activity pairs,
+// sensitivity sample words, profile activity pairs); seed= the kind's master
+// stream seed; leakage= the energy-bound leakage share. Throws
+// std::invalid_argument on malformed lines, unknown kinds/keys, or
+// non-numeric values.
+[[nodiscard]] std::vector<analysis::AnalysisRequest> parse_manifest_requests(
+    std::istream& in,
+    const std::function<analysis::CompiledCircuit(const std::string&)>&
+        resolve);
+
+// Deprecated shim: the same grammar, materialized as circuit-by-value jobs.
+[[deprecated("use parse_manifest_requests instead")]]
 [[nodiscard]] std::vector<BatchJob> parse_manifest(
     std::istream& in,
     const std::function<netlist::Circuit(const std::string&)>& resolve);
@@ -138,10 +173,11 @@ class BatchEvaluator {
 // single row with metric "error" and an empty value (the message itself
 // goes to the JSON writer).
 void write_batch_csv(std::ostream& out,
-                     const std::vector<BatchResult>& results);
+                     const std::vector<analysis::AnalysisResult>& results);
 
 // JSON array of {"name", "kind", "ok", "error", "metrics": {...}}.
+// Non-finite metric values render as null (not valid JSON literals).
 void write_batch_json(std::ostream& out,
-                      const std::vector<BatchResult>& results);
+                      const std::vector<analysis::AnalysisResult>& results);
 
 }  // namespace enb::exec

@@ -154,7 +154,7 @@ ThreadPool& ThreadPool::global() {
 
 void for_each_index(std::size_t count,
                     const std::function<void(std::size_t)>& fn,
-                    const ExecPolicy& policy) {
+                    const Parallelism& policy) {
   if (policy.threads == 1) {
     run_serial(count, fn);
   } else if (policy.threads == 0) {

@@ -63,21 +63,37 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-// Execution policy for the estimator hot paths.
+// How a parallel loop maps onto threads — the single knob every layer routes
+// through (the estimator overloads, the batch evaluator, the analysis front
+// door). Per-estimator `Options::threads` members are deprecated in favour of
+// passing one of these explicitly.
 //   threads == 0: use the global pool (default);
 //   threads == 1: run serially on the calling thread;
 //   threads >= 2: run on a dedicated transient pool of that many workers
 //                 (mainly for thread-count-independence tests).
-struct ExecPolicy {
+// Results never depend on the choice: the Monte-Carlo substrates are
+// bit-identical for any thread count.
+struct Parallelism {
   unsigned threads = 0;
+
+  [[nodiscard]] static constexpr Parallelism serial() noexcept { return {1}; }
+  [[nodiscard]] static constexpr Parallelism global_pool() noexcept {
+    return {0};
+  }
+  [[nodiscard]] static constexpr Parallelism dedicated(unsigned n) noexcept {
+    return {n};
+  }
 };
+
+// Pre-PR-3 name for Parallelism; prefer the new one in fresh code.
+using ExecPolicy = Parallelism;
 
 // parallel_for under a policy. Serial execution visits indices in order;
 // parallel execution visits them in an arbitrary order, so the body must
 // only combine into shared state commutatively (or slot results by index).
 void for_each_index(std::size_t count,
                     const std::function<void(std::size_t)>& fn,
-                    const ExecPolicy& policy = {});
+                    const Parallelism& policy = {});
 
 // The estimators' common idiom: run body(shard) for every shard of `plan`.
 // The body owns its shard-local state (simulators, accumulators, a PRNG
@@ -85,7 +101,7 @@ void for_each_index(std::size_t count,
 // totals commutatively.
 inline void for_each_shard(const ShardPlan& plan,
                            const std::function<void(const Shard&)>& body,
-                           const ExecPolicy& policy = {}) {
+                           const Parallelism& policy = {}) {
   for_each_index(
       plan.num_shards(), [&](std::size_t i) { body(plan.shard(i)); }, policy);
 }

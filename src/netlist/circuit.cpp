@@ -1,8 +1,44 @@
 #include "netlist/circuit.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace enb::netlist {
+
+namespace {
+std::atomic<std::uint64_t> g_circuit_copies{0};
+}  // namespace
+
+Circuit::Circuit(const Circuit& other)
+    : name_(other.name_),
+      nodes_(other.nodes_),
+      inputs_(other.inputs_),
+      outputs_(other.outputs_),
+      output_names_(other.output_names_),
+      node_names_(other.node_names_),
+      input_index_(other.input_index_),
+      gate_count_(other.gate_count_) {
+  g_circuit_copies.fetch_add(1, std::memory_order_relaxed);
+}
+
+Circuit& Circuit::operator=(const Circuit& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    nodes_ = other.nodes_;
+    inputs_ = other.inputs_;
+    outputs_ = other.outputs_;
+    output_names_ = other.output_names_;
+    node_names_ = other.node_names_;
+    input_index_ = other.input_index_;
+    gate_count_ = other.gate_count_;
+    g_circuit_copies.fetch_add(1, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+std::uint64_t Circuit::copies_made() noexcept {
+  return g_circuit_copies.load(std::memory_order_relaxed);
+}
 
 NodeId Circuit::append_node(Node node) {
   const NodeId id = static_cast<NodeId>(nodes_.size());

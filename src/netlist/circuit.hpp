@@ -29,6 +29,17 @@ class Circuit {
   Circuit() = default;
   explicit Circuit(std::string name) : name_(std::move(name)) {}
 
+  // Copy construction/assignment is counted (one relaxed atomic increment)
+  // so the zero-copy layers above — analysis::CompiledCircuit handles and
+  // the batch engine — can assert that hot paths never clone a netlist.
+  Circuit(const Circuit& other);
+  Circuit& operator=(const Circuit& other);
+  Circuit(Circuit&&) = default;
+  Circuit& operator=(Circuit&&) = default;
+
+  // Process-wide monotonic count of Circuit copies; tests measure deltas.
+  [[nodiscard]] static std::uint64_t copies_made() noexcept;
+
   // ---- construction ----
 
   // Appends a primary input. `name` is optional; unnamed nodes render as

@@ -102,7 +102,8 @@ ActivityResult finalize_activity(const Circuit& circuit,
 }
 
 ActivityResult estimate_activity(const Circuit& circuit,
-                                 const ActivityOptions& options) {
+                                 const ActivityOptions& options,
+                                 exec::Parallelism how) {
   validate_activity_inputs(options);
 
   // Each shard owns a counter-based PRNG stream and local accumulators; the
@@ -119,9 +120,15 @@ ActivityResult estimate_activity(const Circuit& circuit,
         const std::lock_guard<std::mutex> lock(merge_mutex);
         totals.merge(local);
       },
-      exec::ExecPolicy{options.threads});
+      how);
 
   return finalize_activity(circuit, options, totals);
+}
+
+ActivityResult estimate_activity(const Circuit& circuit,
+                                 const ActivityOptions& options) {
+  const exec::Parallelism how{options.threads};
+  return estimate_activity(circuit, options, how);
 }
 
 ActivityResult exact_activity(const Circuit& circuit) {

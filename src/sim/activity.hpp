@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/bitpack.hpp"
 
@@ -33,12 +34,21 @@ struct ActivityOptions {
   // Parallel execution. The pair budget is split into shards of
   // `shard_pairs`; shard i draws all randomness from a counter-based stream
   // seeded by (seed, i), so the estimate is bit-identical for every thread
-  // count (threads: 0 = global pool, 1 = serial, N = dedicated pool).
+  // count.
   std::size_t shard_pairs = 256;
+  // Deprecated dual knob: only the two-argument estimate_activity overload
+  // still honours it. Route thread control through the exec::Parallelism
+  // parameter instead.
   unsigned threads = 0;
 };
 
-// Monte-Carlo estimate over random vector pairs.
+// Monte-Carlo estimate over random vector pairs, parallelized per `how`
+// (results are bit-identical for any thread count).
+[[nodiscard]] ActivityResult estimate_activity(const netlist::Circuit& circuit,
+                                               const ActivityOptions& options,
+                                               exec::Parallelism how);
+
+// Deprecated-knob form: honours options.threads.
 [[nodiscard]] ActivityResult estimate_activity(
     const netlist::Circuit& circuit, const ActivityOptions& options = {});
 

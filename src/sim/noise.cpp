@@ -69,7 +69,8 @@ std::vector<Word> NoisySim::output_values() const {
 }
 
 ActivityResult estimate_noisy_activity(const Circuit& circuit, double epsilon,
-                                       const ActivityOptions& options) {
+                                       const ActivityOptions& options,
+                                       exec::Parallelism how) {
   if (options.sample_pairs == 0) {
     throw std::invalid_argument(
         "estimate_noisy_activity: sample_pairs must be > 0");
@@ -124,7 +125,7 @@ ActivityResult estimate_noisy_activity(const Circuit& circuit, double epsilon,
           toggles[id] += local_toggles[id];
         }
       },
-      exec::ExecPolicy{options.threads});
+      how);
 
   const double lanes =
       static_cast<double>(options.sample_pairs) * kWordBits;
@@ -149,6 +150,12 @@ ActivityResult estimate_noisy_activity(const Circuit& circuit, double epsilon,
   result.avg_gate_toggle_rate =
       gates == 0 ? 0.0 : sw_sum / static_cast<double>(gates);
   return result;
+}
+
+ActivityResult estimate_noisy_activity(const Circuit& circuit, double epsilon,
+                                       const ActivityOptions& options) {
+  const exec::Parallelism how{options.threads};
+  return estimate_noisy_activity(circuit, epsilon, options, how);
 }
 
 }  // namespace enb::sim

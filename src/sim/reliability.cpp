@@ -112,7 +112,8 @@ std::uint64_t reliability_shard_failures(const Circuit& noisy,
 ReliabilityResult estimate_reliability_vs(const Circuit& noisy,
                                           const Circuit& golden,
                                           double epsilon,
-                                          const ReliabilityOptions& options) {
+                                          const ReliabilityOptions& options,
+                                          exec::Parallelism how) {
   validate_reliability_inputs(noisy, golden, options);
 
   // Sharded over word passes: shard i's inputs and fault injections derive
@@ -127,16 +128,31 @@ ReliabilityResult estimate_reliability_vs(const Circuit& noisy,
             reliability_shard_failures(noisy, golden, epsilon, options, shard),
             std::memory_order_relaxed);
       },
-      exec::ExecPolicy{options.threads});
+      how);
   ReliabilityResult result =
       wilson_interval(failures.load(), plan.total() * kWordBits);
   result.requested_trials = options.trials;
   return result;
 }
 
+ReliabilityResult estimate_reliability_vs(const Circuit& noisy,
+                                          const Circuit& golden,
+                                          double epsilon,
+                                          const ReliabilityOptions& options) {
+  const exec::Parallelism how{options.threads};
+  return estimate_reliability_vs(noisy, golden, epsilon, options, how);
+}
+
+ReliabilityResult estimate_reliability(const Circuit& circuit, double epsilon,
+                                       const ReliabilityOptions& options,
+                                       exec::Parallelism how) {
+  return estimate_reliability_vs(circuit, circuit, epsilon, options, how);
+}
+
 ReliabilityResult estimate_reliability(const Circuit& circuit, double epsilon,
                                        const ReliabilityOptions& options) {
-  return estimate_reliability_vs(circuit, circuit, epsilon, options);
+  const exec::Parallelism how{options.threads};
+  return estimate_reliability_vs(circuit, circuit, epsilon, options, how);
 }
 
 void validate_worst_case_inputs(const Circuit& noisy, const Circuit& golden,
@@ -203,7 +219,7 @@ WorstCaseResult finalize_worst_case(
 
 WorstCaseResult estimate_worst_case_reliability(
     const Circuit& noisy, const Circuit& golden, double epsilon,
-    const WorstCaseOptions& options) {
+    const WorstCaseOptions& options, exec::Parallelism how) {
   validate_worst_case_inputs(noisy, golden, options);
 
   // Every sampled input is an independent experiment with its own
@@ -220,8 +236,15 @@ WorstCaseResult estimate_worst_case_reliability(
         sample_failures[sample] =
             worst_case_sample_failures(noisy, golden, epsilon, options, sample);
       },
-      exec::ExecPolicy{options.threads});
+      how);
   return finalize_worst_case(noisy, options, sample_failures);
+}
+
+WorstCaseResult estimate_worst_case_reliability(
+    const Circuit& noisy, const Circuit& golden, double epsilon,
+    const WorstCaseOptions& options) {
+  const exec::Parallelism how{options.threads};
+  return estimate_worst_case_reliability(noisy, golden, epsilon, options, how);
 }
 
 }  // namespace enb::sim

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/bitpack.hpp"
 
@@ -37,9 +38,10 @@ struct ReliabilityOptions {
   // Parallel execution. The word passes (64 trials each) are split into
   // shards of `shard_passes`; shard i derives all randomness (inputs and its
   // private fault-injection stream) from a counter-based stream of (seed, i),
-  // so delta_hat is bit-identical for every thread count (threads: 0 =
-  // global pool, 1 = serial, N = dedicated pool).
+  // so delta_hat is bit-identical for every thread count.
   std::uint64_t shard_passes = 32;
+  // Deprecated dual knob: only the estimator overloads without an
+  // exec::Parallelism parameter still honour it.
   unsigned threads = 0;
 };
 
@@ -75,7 +77,12 @@ void validate_reliability_inputs(const netlist::Circuit& noisy,
     const exec::Shard& shard);
 
 // Estimates δ for `circuit` with every gate failing independently with
-// probability `epsilon`.
+// probability `epsilon`, parallelized per `how`.
+[[nodiscard]] ReliabilityResult estimate_reliability(
+    const netlist::Circuit& circuit, double epsilon,
+    const ReliabilityOptions& options, exec::Parallelism how);
+
+// Deprecated-knob form: honours options.threads.
 [[nodiscard]] ReliabilityResult estimate_reliability(
     const netlist::Circuit& circuit, double epsilon,
     const ReliabilityOptions& options = {});
@@ -83,6 +90,11 @@ void validate_reliability_inputs(const netlist::Circuit& noisy,
 // Estimates δ when `noisy` (a redundant implementation) must reproduce
 // `golden`'s input/output behaviour; the two circuits must agree on input
 // and output counts (inputs matched positionally).
+[[nodiscard]] ReliabilityResult estimate_reliability_vs(
+    const netlist::Circuit& noisy, const netlist::Circuit& golden,
+    double epsilon, const ReliabilityOptions& options, exec::Parallelism how);
+
+// Deprecated-knob form: honours options.threads.
 [[nodiscard]] ReliabilityResult estimate_reliability_vs(
     const netlist::Circuit& noisy, const netlist::Circuit& golden,
     double epsilon, const ReliabilityOptions& options = {});
@@ -97,9 +109,11 @@ struct WorstCaseOptions {
   std::uint64_t num_inputs = 64;        // sampled input vectors
   std::uint64_t trials_per_input = 1 << 12;  // noise draws per vector
   std::uint64_t seed = 0xBAD1;
-  // Sampled inputs are independent, so each gets its own counter-based
-  // stream and they run in parallel; the argmax reduction happens serially
-  // in sample order, keeping the result thread-count independent.
+  // Deprecated dual knob: only the estimator overload without an
+  // exec::Parallelism parameter still honours it. Sampled inputs are
+  // independent, so each gets its own counter-based stream and they run in
+  // parallel; the argmax reduction happens serially in sample order, keeping
+  // the result thread-count independent.
   unsigned threads = 0;
 };
 
@@ -109,6 +123,11 @@ struct WorstCaseResult {
   std::vector<bool> worst_input;        // the argmax assignment
 };
 
+[[nodiscard]] WorstCaseResult estimate_worst_case_reliability(
+    const netlist::Circuit& noisy, const netlist::Circuit& golden,
+    double epsilon, const WorstCaseOptions& options, exec::Parallelism how);
+
+// Deprecated-knob form: honours options.threads.
 [[nodiscard]] WorstCaseResult estimate_worst_case_reliability(
     const netlist::Circuit& noisy, const netlist::Circuit& golden,
     double epsilon, const WorstCaseOptions& options = {});

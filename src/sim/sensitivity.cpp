@@ -153,7 +153,8 @@ SensitivityResult finalize_sensitivity(const Circuit& circuit,
 }
 
 SensitivityResult compute_sensitivity(const Circuit& circuit,
-                                      const SensitivityOptions& options) {
+                                      const SensitivityOptions& options,
+                                      exec::Parallelism how) {
   validate_sensitivity_inputs(circuit, options);
   const std::size_t n = circuit.num_inputs();
   SensitivityCounts totals(n);
@@ -171,9 +172,15 @@ SensitivityResult compute_sensitivity(const Circuit& circuit,
           const std::lock_guard<std::mutex> lock(merge_mutex);
           totals.merge(local);
         },
-        exec::ExecPolicy{options.threads});
+        how);
   }
   return finalize_sensitivity(circuit, options, totals);
+}
+
+SensitivityResult compute_sensitivity(const Circuit& circuit,
+                                      const SensitivityOptions& options) {
+  const exec::Parallelism how{options.threads};
+  return compute_sensitivity(circuit, options, how);
 }
 
 }  // namespace enb::sim

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
 #include "netlist/circuit.hpp"
 
 namespace enb::sim {
@@ -34,12 +35,18 @@ struct SensitivityOptions {
   // Parallel execution. Sampled sweeps shard `sample_words` into groups of
   // `shard_words` with per-shard counter-based streams; exact sweeps shard
   // the truth-table blocks. Influence counts merge by sum and sensitivity by
-  // max, so results are thread-count independent (threads: 0 = global pool,
-  // 1 = serial, N = dedicated pool).
+  // max, so results are thread-count independent.
   std::uint64_t shard_words = 32;
+  // Deprecated dual knob: only the compute_sensitivity overload without an
+  // exec::Parallelism parameter still honours it.
   unsigned threads = 0;
 };
 
+[[nodiscard]] SensitivityResult compute_sensitivity(
+    const netlist::Circuit& circuit, const SensitivityOptions& options,
+    exec::Parallelism how);
+
+// Deprecated-knob form: honours options.threads.
 [[nodiscard]] SensitivityResult compute_sensitivity(
     const netlist::Circuit& circuit, const SensitivityOptions& options = {});
 

@@ -1,4 +1,6 @@
-// BatchEvaluator contract tests.
+// BatchEvaluator contract tests — via the deprecated circuit-by-value
+// BatchJob shims, kept as regression coverage until the shims are removed
+// (new code uses analysis::AnalysisRequest; see test_analysis.cpp).
 //
 // The acceptance bar: a batch of >= 16 mixed jobs (reliability, worst-case,
 // activity, sensitivity, energy-bound, profile) produces bit-identical
@@ -7,6 +9,9 @@
 // result equals the standalone estimator run with the same options, because
 // the batch schedules the estimators' own shard-level building blocks.
 #include "exec/batch.hpp"
+
+// This file intentionally exercises the deprecated shim API.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 
@@ -184,12 +189,7 @@ TEST(Batch, ReliabilityJobMatchesDirectEstimatorCall) {
   job.reliability.shard_passes = 4;
   job.reliability.seed = 99;
   const sim::ReliabilityResult direct = sim::estimate_reliability(
-      job.circuit, job.epsilon,
-      [&] {
-        sim::ReliabilityOptions o = job.reliability;
-        o.threads = 1;
-        return o;
-      }());
+      job.circuit, job.epsilon, job.reliability, Parallelism::serial());
 
   std::vector<BatchJob> jobs;
   jobs.push_back(std::move(job));
@@ -214,12 +214,8 @@ TEST(Batch, WorstCaseJobMatchesDirectEstimatorCall) {
   job.worst_case.num_inputs = 24;
   job.worst_case.trials_per_input = 300;
   const sim::WorstCaseResult direct = sim::estimate_worst_case_reliability(
-      job.circuit, job.circuit, job.epsilon,
-      [&] {
-        sim::WorstCaseOptions o = job.worst_case;
-        o.threads = 1;
-        return o;
-      }());
+      job.circuit, job.circuit, job.epsilon, job.worst_case,
+      Parallelism::serial());
 
   std::vector<BatchJob> jobs;
   jobs.push_back(std::move(job));
@@ -244,13 +240,8 @@ TEST(Batch, ProfileJobMatchesExtractProfile) {
     job.kind = JobKind::kProfile;
     job.circuit = suite_circuit(name);
     job.profile = options;
-    const core::CircuitProfile direct = core::extract_profile(
-        job.circuit,
-        [&] {
-          core::ProfileOptions o = options;
-          o.threads = 1;
-          return o;
-        }());
+    const core::CircuitProfile direct =
+        core::extract_profile(job.circuit, options, Parallelism::serial());
 
     std::vector<BatchJob> jobs;
     jobs.push_back(std::move(job));
@@ -272,9 +263,9 @@ TEST(Batch, EnergyBoundJobMatchesAnalyze) {
   core::ProfileOptions options;
   options.activity_pairs = 256;
   options.sensitivity_exact_max_inputs = 8;
-  options.threads = 1;
   const netlist::Circuit circuit = suite_circuit("mult4");
-  const core::CircuitProfile profile = core::extract_profile(circuit, options);
+  const core::CircuitProfile profile =
+      core::extract_profile(circuit, options, Parallelism::serial());
   const core::BoundReport direct = core::analyze(profile, 0.02, 0.05);
 
   // Once via extraction, once via the precomputed-profile shortcut.

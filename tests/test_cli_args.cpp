@@ -14,8 +14,9 @@ TEST(CliArgs, HappyPathFillsEveryField) {
       {"sweep", "adder.bench", "--eps-lo", "0.002", "--eps-hi", "0.3",
        "--points", "7", "--delta", "0.05", "--map", "4", "--csv", "out.csv",
        "--eps", "0.02", "--leakage", "0.25", "--couple-leakage", "--threads",
-       "8", "--json", "out.json", "-o", "out.bench"});
+       "8", "--json", "out.json", "-o", "out.bench", "--stream"});
   ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_TRUE(args.stream);
   EXPECT_EQ(args.positional, (std::vector<std::string>{"sweep", "adder.bench"}));
   EXPECT_DOUBLE_EQ(args.eps_lo, 0.002);
   EXPECT_DOUBLE_EQ(args.eps_hi, 0.3);
@@ -29,6 +30,12 @@ TEST(CliArgs, HappyPathFillsEveryField) {
   EXPECT_EQ(args.threads, 8u);
   EXPECT_EQ(args.json, "out.json");
   EXPECT_EQ(args.out, "out.bench");
+}
+
+TEST(CliArgs, StreamDefaultsOff) {
+  const Args args = parse_args({"batch", "jobs.manifest"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_FALSE(args.stream);
 }
 
 TEST(CliArgs, TrailingValueFlagReportsInsteadOfOverreading) {

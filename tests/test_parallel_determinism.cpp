@@ -2,13 +2,15 @@
 //
 // Every estimator shards its trial budget into counter-based PRNG streams
 // and combines shard accumulators with order-insensitive integer reductions,
-// so at a fixed seed the serial path (threads = 1), the global pool and any
-// dedicated pool size must produce *bit-identical* results — not merely
-// statistically close ones. These tests pin that contract.
+// so at a fixed seed the serial path, the global pool and any dedicated pool
+// size must produce *bit-identical* results — not merely statistically close
+// ones. Thread control routes through the estimators' exec::Parallelism
+// parameter (the unified knob of PR 3). These tests pin that contract.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "ft/nmr.hpp"
 #include "gen/adders.hpp"
 #include "gen/iscas.hpp"
@@ -21,9 +23,11 @@
 namespace enb::sim {
 namespace {
 
-// Thread counts to compare against the serial reference: the global pool
-// (0), a single dedicated worker and two oversubscribed pools.
-const unsigned kThreadCounts[] = {0, 2, 5};
+// Parallelism settings to compare against the serial reference: the global
+// pool, a single dedicated worker and two oversubscribed pools.
+const exec::Parallelism kParallelisms[] = {exec::Parallelism::global_pool(),
+                                           exec::Parallelism::dedicated(2),
+                                           exec::Parallelism::dedicated(5)};
 
 TEST(ParallelDeterminism, ActivityBitExactAcrossThreadCounts) {
   const auto c = gen::array_multiplier(4);
@@ -31,17 +35,16 @@ TEST(ParallelDeterminism, ActivityBitExactAcrossThreadCounts) {
   options.sample_pairs = 1234;  // non-multiple of shard size on purpose
   options.shard_pairs = 64;
   options.seed = 77;
-  options.threads = 1;
-  const ActivityResult serial = estimate_activity(c, options);
-  for (unsigned threads : kThreadCounts) {
-    options.threads = threads;
-    const ActivityResult parallel = estimate_activity(c, options);
+  const ActivityResult serial =
+      estimate_activity(c, options, exec::Parallelism::serial());
+  for (const exec::Parallelism how : kParallelisms) {
+    const ActivityResult parallel = estimate_activity(c, options, how);
     EXPECT_EQ(serial.one_probability, parallel.one_probability)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
     EXPECT_EQ(serial.toggle_rate, parallel.toggle_rate)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
     EXPECT_EQ(serial.avg_gate_toggle_rate, parallel.avg_gate_toggle_rate)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
   }
 }
 
@@ -51,12 +54,27 @@ TEST(ParallelDeterminism, ActivityBiasedInputsBitExact) {
   options.sample_pairs = 300;
   options.shard_pairs = 32;
   options.input_one_probability = 0.2;
-  options.threads = 1;
-  const ActivityResult serial = estimate_activity(c, options);
-  options.threads = 4;
-  const ActivityResult parallel = estimate_activity(c, options);
+  const ActivityResult serial =
+      estimate_activity(c, options, exec::Parallelism::serial());
+  const ActivityResult parallel =
+      estimate_activity(c, options, exec::Parallelism::dedicated(4));
   EXPECT_EQ(serial.one_probability, parallel.one_probability);
   EXPECT_EQ(serial.toggle_rate, parallel.toggle_rate);
+}
+
+TEST(ParallelDeterminism, DeprecatedThreadsKnobStillHonoured) {
+  // The legacy Options::threads route must agree with the Parallelism route
+  // until the knob is removed.
+  const auto c = gen::c17();
+  ActivityOptions options;
+  options.sample_pairs = 320;
+  options.shard_pairs = 32;
+  const ActivityResult via_parallelism =
+      estimate_activity(c, options, exec::Parallelism::dedicated(3));
+  options.threads = 3;
+  const ActivityResult via_knob = estimate_activity(c, options);
+  EXPECT_EQ(via_parallelism.toggle_rate, via_knob.toggle_rate);
+  EXPECT_EQ(via_parallelism.one_probability, via_knob.one_probability);
 }
 
 TEST(ParallelDeterminism, NoisyActivityBitExactAcrossThreadCounts) {
@@ -65,15 +83,15 @@ TEST(ParallelDeterminism, NoisyActivityBitExactAcrossThreadCounts) {
   options.sample_pairs = 500;
   options.shard_pairs = 64;
   options.seed = 3;
-  options.threads = 1;
-  const ActivityResult serial = estimate_noisy_activity(c, 0.05, options);
-  for (unsigned threads : kThreadCounts) {
-    options.threads = threads;
-    const ActivityResult parallel = estimate_noisy_activity(c, 0.05, options);
+  const ActivityResult serial =
+      estimate_noisy_activity(c, 0.05, options, exec::Parallelism::serial());
+  for (const exec::Parallelism how : kParallelisms) {
+    const ActivityResult parallel =
+        estimate_noisy_activity(c, 0.05, options, how);
     EXPECT_EQ(serial.one_probability, parallel.one_probability)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
     EXPECT_EQ(serial.toggle_rate, parallel.toggle_rate)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
   }
 }
 
@@ -84,17 +102,17 @@ TEST(ParallelDeterminism, ReliabilityBitExactAcrossThreadCounts) {
   options.trials = 1 << 14;
   options.shard_passes = 16;
   options.seed = 19;
-  options.threads = 1;
-  const ReliabilityResult serial =
-      estimate_reliability_vs(tmr, base, 0.01, options);
-  for (unsigned threads : kThreadCounts) {
-    options.threads = threads;
+  const ReliabilityResult serial = estimate_reliability_vs(
+      tmr, base, 0.01, options, exec::Parallelism::serial());
+  for (const exec::Parallelism how : kParallelisms) {
     const ReliabilityResult parallel =
-        estimate_reliability_vs(tmr, base, 0.01, options);
-    EXPECT_EQ(serial.failures, parallel.failures) << "threads=" << threads;
-    EXPECT_EQ(serial.delta_hat, parallel.delta_hat) << "threads=" << threads;
-    EXPECT_EQ(serial.ci_low, parallel.ci_low) << "threads=" << threads;
-    EXPECT_EQ(serial.ci_high, parallel.ci_high) << "threads=" << threads;
+        estimate_reliability_vs(tmr, base, 0.01, options, how);
+    EXPECT_EQ(serial.failures, parallel.failures)
+        << "threads=" << how.threads;
+    EXPECT_EQ(serial.delta_hat, parallel.delta_hat)
+        << "threads=" << how.threads;
+    EXPECT_EQ(serial.ci_low, parallel.ci_low) << "threads=" << how.threads;
+    EXPECT_EQ(serial.ci_high, parallel.ci_high) << "threads=" << how.threads;
   }
 }
 
@@ -103,19 +121,17 @@ TEST(ParallelDeterminism, WorstCaseBitExactAcrossThreadCounts) {
   WorstCaseOptions options;
   options.num_inputs = 40;
   options.trials_per_input = 1 << 9;
-  options.threads = 1;
-  const WorstCaseResult serial =
-      estimate_worst_case_reliability(c, c, 0.05, options);
-  for (unsigned threads : kThreadCounts) {
-    options.threads = threads;
+  const WorstCaseResult serial = estimate_worst_case_reliability(
+      c, c, 0.05, options, exec::Parallelism::serial());
+  for (const exec::Parallelism how : kParallelisms) {
     const WorstCaseResult parallel =
-        estimate_worst_case_reliability(c, c, 0.05, options);
+        estimate_worst_case_reliability(c, c, 0.05, options, how);
     EXPECT_EQ(serial.worst.failures, parallel.worst.failures)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
     EXPECT_EQ(serial.average_delta, parallel.average_delta)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
     EXPECT_EQ(serial.worst_input, parallel.worst_input)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
   }
 }
 
@@ -125,17 +141,17 @@ TEST(ParallelDeterminism, SensitivitySampledBitExactAcrossThreadCounts) {
   options.max_exact_inputs = 8;  // force the sampled path
   options.sample_words = 96;
   options.shard_words = 16;
-  options.threads = 1;
-  const SensitivityResult serial = compute_sensitivity(c, options);
+  const SensitivityResult serial =
+      compute_sensitivity(c, options, exec::Parallelism::serial());
   ASSERT_FALSE(serial.exact);
-  for (unsigned threads : kThreadCounts) {
-    options.threads = threads;
-    const SensitivityResult parallel = compute_sensitivity(c, options);
+  for (const exec::Parallelism how : kParallelisms) {
+    const SensitivityResult parallel = compute_sensitivity(c, options, how);
     EXPECT_EQ(serial.sensitivity, parallel.sensitivity)
-        << "threads=" << threads;
-    EXPECT_EQ(serial.influence, parallel.influence) << "threads=" << threads;
+        << "threads=" << how.threads;
+    EXPECT_EQ(serial.influence, parallel.influence)
+        << "threads=" << how.threads;
     EXPECT_EQ(serial.assignments, parallel.assignments)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
   }
 }
 
@@ -143,17 +159,17 @@ TEST(ParallelDeterminism, SensitivityExactBitExactAcrossThreadCounts) {
   const auto c = gen::ripple_carry_adder(4);  // 9 inputs, 8 blocks
   SensitivityOptions options;
   options.shard_words = 2;
-  options.threads = 1;
-  const SensitivityResult serial = compute_sensitivity(c, options);
+  const SensitivityResult serial =
+      compute_sensitivity(c, options, exec::Parallelism::serial());
   ASSERT_TRUE(serial.exact);
-  for (unsigned threads : kThreadCounts) {
-    options.threads = threads;
-    const SensitivityResult parallel = compute_sensitivity(c, options);
+  for (const exec::Parallelism how : kParallelisms) {
+    const SensitivityResult parallel = compute_sensitivity(c, options, how);
     EXPECT_EQ(serial.sensitivity, parallel.sensitivity)
-        << "threads=" << threads;
-    EXPECT_EQ(serial.influence, parallel.influence) << "threads=" << threads;
+        << "threads=" << how.threads;
+    EXPECT_EQ(serial.influence, parallel.influence)
+        << "threads=" << how.threads;
     EXPECT_EQ(serial.assignments, parallel.assignments)
-        << "threads=" << threads;
+        << "threads=" << how.threads;
   }
 }
 
@@ -164,9 +180,10 @@ TEST(ParallelDeterminism, RepeatedPoolRunsAreStable) {
   ActivityOptions options;
   options.sample_pairs = 640;
   options.shard_pairs = 64;
-  options.threads = 0;
-  const ActivityResult a = estimate_activity(c, options);
-  const ActivityResult b = estimate_activity(c, options);
+  const ActivityResult a =
+      estimate_activity(c, options, exec::Parallelism::global_pool());
+  const ActivityResult b =
+      estimate_activity(c, options, exec::Parallelism::global_pool());
   EXPECT_EQ(a.toggle_rate, b.toggle_rate);
   EXPECT_EQ(a.one_probability, b.one_probability);
 }

@@ -2,21 +2,32 @@
 //
 //   enbound profile <file.bench> [--map K]
 //   enbound analyze <file.bench> [--eps E] [--delta D] [--map K]
-//                   [--leakage L] [--couple-leakage]
+//                   [--leakage L] [--couple-leakage] [--json out.json]
 //   enbound sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]
-//                   [--delta D] [--map K] [--csv out.csv]
-//   enbound batch   <manifest>   [--map K] [--threads N]
+//                   [--delta D] [--map K] [--csv out.csv] [--json out.json]
+//   enbound batch   <manifest>   [--map K] [--threads N] [--stream]
 //                   [--csv out.csv] [--json out.json]
 //   enbound gen     <name> [-o out.bench]      (suite circuit to .bench)
 //   enbound list                                (available suite circuits)
+//
+// All analysis commands run on the analysis layer: the netlist is compiled
+// once into a shared CompiledCircuit handle, derived artifacts (stats,
+// profile) are cached on it, and sweeps/batches fan out typed
+// AnalysisRequests over the handle — zero netlist copies, one profile
+// extraction per design. `batch --stream` prints each result as its job
+// finishes (completion order; payloads identical to the blocking run).
 //
 // Exit codes: 0 ok, 1 usage error, 2 processing error (including any failed
 // batch job).
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/analyze.hpp"
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
 #include "cli/args.hpp"
 #include "core/analyzer.hpp"
 #include "exec/batch.hpp"
@@ -25,7 +36,6 @@
 #include "netlist/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "synth/mapper.hpp"
 
 namespace {
 
@@ -37,16 +47,16 @@ int usage() {
       << "usage: enbound <command> [options]\n"
          "  profile <file.bench> [--map K]\n"
          "  analyze <file.bench> [--eps E] [--delta D] [--map K]\n"
-         "          [--leakage L] [--couple-leakage]\n"
+         "          [--leakage L] [--couple-leakage] [--json out.json]\n"
          "  sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]\n"
-         "          [--delta D] [--map K] [--csv out.csv]\n"
-         "  batch   <manifest> [--map K] [--threads N] [--csv out.csv]\n"
-         "          [--json out.json]\n"
+         "          [--delta D] [--map K] [--csv out.csv] [--json out.json]\n"
+         "  batch   <manifest> [--map K] [--threads N] [--stream]\n"
+         "          [--csv out.csv] [--json out.json]\n"
          "  gen     <name> [-o out.bench]\n"
          "  list\n"
          "notes: --map 0 analyzes netlists as-is; default maps to the\n"
-         "paper's generic max-fanin-3 library first. Batch manifests hold\n"
-         "one job per line:\n"
+         "paper's generic max-fanin-3 library first. batch --stream prints\n"
+         "each job as it finishes. Batch manifests hold one job per line:\n"
          "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
          "         energy-bound|profile> circuit=<suite name or .bench path>\n"
          "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
@@ -54,28 +64,21 @@ int usage() {
   return 1;
 }
 
-netlist::Circuit resolve_circuit(const Args& args, const std::string& spec) {
+netlist::Circuit build_circuit(const std::string& spec) {
   const bool is_path = spec.find('/') != std::string::npos ||
                        (spec.size() > 6 &&
                         spec.compare(spec.size() - 6, 6, ".bench") == 0);
-  netlist::Circuit circuit =
-      is_path ? netlist::read_bench_file(spec) : gen::find_benchmark(spec).build();
-  if (args.map_fanin > 0) {
-    synth::MapOptions options;
-    options.library = synth::Library::generic(args.map_fanin);
-    circuit = synth::map_to_library(circuit, options).circuit;
-  }
-  return circuit;
+  return is_path ? netlist::read_bench_file(spec)
+                 : gen::find_benchmark(spec).build();
 }
 
-netlist::Circuit load_and_map(const Args& args, const std::string& path) {
-  netlist::Circuit circuit = netlist::read_bench_file(path);
-  if (args.map_fanin > 0) {
-    synth::MapOptions options;
-    options.library = synth::Library::generic(args.map_fanin);
-    circuit = synth::map_to_library(circuit, options).circuit;
-  }
-  return circuit;
+// Compiles (and optionally maps) a circuit spec. The mapped variant is
+// cached on the base handle, so repeated specs share everything.
+analysis::CompiledCircuit load_compiled(const Args& args,
+                                        const std::string& spec) {
+  analysis::CompiledCircuit compiled = analysis::compile(build_circuit(spec));
+  if (args.map_fanin > 0) compiled = compiled.mapped(args.map_fanin);
+  return compiled;
 }
 
 void print_profile(const core::CircuitProfile& p) {
@@ -95,21 +98,32 @@ void print_profile(const core::CircuitProfile& p) {
   std::cout << t.to_text();
 }
 
+void write_json_file(const std::string& path,
+                     const std::vector<analysis::AnalysisResult>& results) {
+  std::ofstream out(path);
+  exec::write_batch_json(out, results);
+  std::cout << "wrote " << path << "\n";
+}
+
 int cmd_profile(const Args& args) {
-  const auto circuit = load_and_map(args, args.positional[1]);
-  print_profile(core::extract_profile(circuit));
+  const analysis::CompiledCircuit compiled =
+      load_compiled(args, args.positional[1]);
+  print_profile(compiled.profile());
   return 0;
 }
 
 int cmd_analyze(const Args& args) {
-  const auto circuit = load_and_map(args, args.positional[1]);
-  const core::CircuitProfile profile = core::extract_profile(circuit);
+  const analysis::CompiledCircuit compiled =
+      load_compiled(args, args.positional[1]);
+  // profile() caches on the handle: the analyze() call below reuses this
+  // extraction.
+  const core::CircuitProfile& profile = compiled.profile();
   print_profile(profile);
   core::EnergyModelOptions model;
   model.leakage_fraction = args.leakage;
   model.couple_leakage_to_delay = args.couple_leakage;
   const core::BoundReport r =
-      core::analyze(profile, args.eps, args.delta, model);
+      analysis::analyze(compiled, args.eps, args.delta, model);
   std::cout << "\nbounds at eps = " << args.eps << ", delta = " << args.delta
             << " (leakage share " << args.leakage << "):\n";
   report::Table t({"metric", "lower bound"});
@@ -132,17 +146,46 @@ int cmd_analyze(const Args& args) {
   t.add_row({std::string("depth-feasible"),
              std::string(r.depth_feasible ? "yes" : "no (xi^2 <= 1/k)")});
   std::cout << t.to_text();
+
+  if (!args.json.empty()) {
+    std::vector<analysis::AnalysisResult> results;
+    results.push_back(analysis::make_result(compiled.name(), r));
+    write_json_file(args.json, results);
+  }
   return 0;
 }
 
 int cmd_sweep(const Args& args) {
-  const auto circuit = load_and_map(args, args.positional[1]);
-  const core::CircuitProfile profile = core::extract_profile(circuit);
-  const auto grid = core::log_grid(args.eps_lo, args.eps_hi, args.points);
-  const auto reports = core::sweep_epsilon(profile, grid, args.delta);
+  const analysis::CompiledCircuit compiled =
+      load_compiled(args, args.positional[1]);
+  const std::vector<double> grid =
+      core::log_grid(args.eps_lo, args.eps_hi, args.points);
+
+  // Every grid point is an independent energy-bound request on the shared
+  // handle: the batch engine extracts the profile once (shards parallelized
+  // over the pool) and fans the cheap per-point analyses out over it.
+  exec::BatchEvaluator batch(exec::Parallelism{args.threads});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    analysis::AnalysisRequest request;
+    request.name = "eps_" + std::to_string(i);
+    request.circuit = compiled;
+    analysis::EnergyBoundRequest spec;
+    spec.epsilon = grid[i];
+    spec.delta = args.delta;
+    request.options = spec;
+    batch.submit(std::move(request));
+  }
+  const std::vector<analysis::AnalysisResult> results = batch.run();
+
   report::Table t({"eps", "E_total", "delay", "edp", "power"});
   std::vector<std::vector<std::string>> rows;
-  for (const auto& r : reports) {
+  for (const analysis::AnalysisResult& result : results) {
+    if (!result.ok) {
+      std::cerr << "error: sweep point " << result.name << " failed: "
+                << result.error << "\n";
+      return 2;
+    }
+    const core::BoundReport& r = *result.get<core::BoundReport>();
     t.add_row(report::format_double(r.epsilon, 4),
               {r.energy.total_factor, r.metrics.delay, r.metrics.edp,
                r.metrics.avg_power});
@@ -155,27 +198,37 @@ int cmd_sweep(const Args& args) {
     report::write_csv_file(args.csv, {"eps", "E_total", "delay"}, rows);
     std::cout << "wrote " << args.csv << "\n";
   }
+  if (!args.json.empty()) write_json_file(args.json, results);
   return 0;
 }
 
 // The headline metric shown in the per-job summary table; the full metric
 // set goes to --csv/--json.
-const char* headline_metric(exec::JobKind kind) {
+const char* headline_metric(analysis::AnalysisKind kind) {
   switch (kind) {
-    case exec::JobKind::kReliability:
+    case analysis::AnalysisKind::kReliability:
       return "delta_hat";
-    case exec::JobKind::kWorstCase:
+    case analysis::AnalysisKind::kWorstCase:
       return "worst_delta_hat";
-    case exec::JobKind::kActivity:
+    case analysis::AnalysisKind::kActivity:
       return "avg_gate_toggle_rate";
-    case exec::JobKind::kSensitivity:
+    case analysis::AnalysisKind::kSensitivity:
       return "sensitivity";
-    case exec::JobKind::kEnergyBound:
+    case analysis::AnalysisKind::kEnergyBound:
       return "total_factor";
-    case exec::JobKind::kProfile:
+    case analysis::AnalysisKind::kProfile:
       return "size_s0";
   }
   return "";
+}
+
+std::string headline_of(const analysis::AnalysisResult& r) {
+  if (!r.ok) return "-";
+  const char* metric = headline_metric(r.kind);
+  if (const auto value = r.metric(metric); value.has_value()) {
+    return std::string(metric) + " = " + report::format_double(*value, 6);
+  }
+  return "-";
 }
 
 int cmd_batch(const Args& args) {
@@ -185,31 +238,48 @@ int cmd_batch(const Args& args) {
     std::cerr << "error: cannot open manifest " << manifest_path << "\n";
     return 2;
   }
-  const std::vector<exec::BatchJob> jobs = exec::parse_manifest(
-      manifest,
-      [&](const std::string& spec) { return resolve_circuit(args, spec); });
-  if (jobs.empty()) {
+  // Handles are memoized per spec: jobs naming the same circuit share one
+  // compiled handle — and therefore one profile extraction per profile key.
+  std::map<std::string, analysis::CompiledCircuit> handles;
+  std::vector<analysis::AnalysisRequest> requests = exec::parse_manifest_requests(
+      manifest, [&](const std::string& spec) {
+        const auto it = handles.find(spec);
+        if (it != handles.end()) return it->second;
+        return handles.emplace(spec, load_compiled(args, spec)).first->second;
+      });
+  if (requests.empty()) {
     std::cerr << "error: manifest " << manifest_path << " holds no jobs\n";
     return 2;
   }
-  const std::vector<exec::BatchResult> results =
-      exec::evaluate_batch(jobs, exec::BatchOptions{args.threads});
+
+  exec::BatchEvaluator batch(exec::Parallelism{args.threads});
+  for (analysis::AnalysisRequest& request : requests) {
+    batch.submit(std::move(request));
+  }
+
+  std::vector<analysis::AnalysisResult> results;
+  if (args.stream) {
+    // Streaming: one line per job in completion order, results collected
+    // for the summary/CSV/JSON below (restored to submission order).
+    results.resize(batch.pending());
+    batch.run([&](analysis::AnalysisResult result) {
+      std::cout << "done " << result.name << " ["
+                << analysis::to_string(result.kind) << "] "
+                << (result.ok ? headline_of(result) : "FAILED: " + result.error)
+                << "\n";
+      results[result.index] = std::move(result);
+    });
+  } else {
+    results = batch.run();
+  }
 
   report::Table t({"job", "kind", "status", "headline"});
   bool all_ok = true;
-  for (const exec::BatchResult& r : results) {
-    std::string headline = "-";
-    if (r.ok) {
-      const char* metric = headline_metric(r.kind);
-      if (const auto value = r.metric(metric); value.has_value()) {
-        headline = std::string(metric) + " = " +
-                   report::format_double(*value, 6);
-      }
-    } else {
-      all_ok = false;
-    }
-    t.add_row({r.name, std::string(exec::to_string(r.kind)),
-               r.ok ? std::string("ok") : "FAILED: " + r.error, headline});
+  for (const analysis::AnalysisResult& r : results) {
+    if (!r.ok) all_ok = false;
+    t.add_row({r.name, std::string(analysis::to_string(r.kind)),
+               r.ok ? std::string("ok") : "FAILED: " + r.error,
+               headline_of(r)});
   }
   std::cout << t.to_text();
 
@@ -218,11 +288,7 @@ int cmd_batch(const Args& args) {
     exec::write_batch_csv(out, results);
     std::cout << "wrote " << args.csv << "\n";
   }
-  if (!args.json.empty()) {
-    std::ofstream out(args.json);
-    exec::write_batch_json(out, results);
-    std::cout << "wrote " << args.json << "\n";
-  }
+  if (!args.json.empty()) write_json_file(args.json, results);
   return all_ok ? 0 : 2;
 }
 
