@@ -1,11 +1,12 @@
 // P3: what the CompiledCircuit redesign buys on the paper's hot path. An
 // epsilon sweep is "one circuit, many analyses": N energy-bound jobs over
-// one design. The legacy BatchJob API clones the netlist into every job and
-// re-extracts the profile per job; the analysis API shares one handle, so
-// the batch performs zero netlist copies and exactly one profile extraction.
-// This bench times both shapes on the same sweep (global pool), counts the
-// copies/extractions each performs, and records BENCH_compile.json in the
-// working directory.
+// one design. The pre-PR-3 shape cloned the netlist into every job and
+// re-extracted the profile per job — reproduced here by compiling an
+// independent handle per request (the BatchJob shims themselves are gone);
+// the analysis API shares one handle, so the batch performs zero netlist
+// copies and exactly one profile extraction. This bench times both shapes
+// on the same sweep (global pool), counts the copies/extractions each
+// performs, and records BENCH_compile.json in the working directory.
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -54,31 +55,31 @@ struct Timing {
   std::uint64_t extractions = 0;
 };
 
-// Legacy shape: every job embeds its own copy of the circuit and extracts
-// its own profile. This is exactly what the deprecated BatchJob API does —
-// kept here (deprecation silenced) as the baseline the redesign removes.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Pre-PR-3 shape: every request carries an independent handle over its own
+// copy of the circuit, so every job extracts its own profile — the
+// per-job-copy baseline the shared-handle redesign removes.
 Timing run_legacy(const SweepSpec& spec, int repetitions) {
   double best = -1.0;
   std::uint64_t copies = 0;
   for (int rep = 0; rep < repetitions; ++rep) {
-    // Copies are counted over enqueue + run: the legacy API clones the
-    // netlist into every job at enqueue time.
+    // Copies are counted over enqueue + run: this shape clones the netlist
+    // into every request's private handle at enqueue time.
     const std::uint64_t copies_before = netlist::Circuit::copies_made();
     const auto start = std::chrono::steady_clock::now();
-    std::vector<exec::BatchJob> jobs;
+    std::vector<analysis::AnalysisRequest> requests;
     for (std::size_t i = 0; i < spec.epsilons.size(); ++i) {
-      exec::BatchJob job;
-      job.name = "eps_" + std::to_string(i);
-      job.kind = exec::JobKind::kEnergyBound;
-      job.circuit = spec.circuit;  // per-job netlist clone
-      job.epsilon = spec.epsilons[i];
-      job.profile.activity_pairs = spec.activity_pairs;
-      job.profile.sensitivity_exact_max_inputs = spec.sensitivity_exact_max;
-      jobs.push_back(std::move(job));
+      analysis::AnalysisRequest request;
+      request.name = "eps_" + std::to_string(i);
+      netlist::Circuit copy = spec.circuit;  // per-job netlist clone
+      request.circuit = analysis::compile(std::move(copy));
+      analysis::EnergyBoundRequest bound;
+      bound.epsilon = spec.epsilons[i];
+      bound.profile.activity_pairs = spec.activity_pairs;
+      bound.profile.sensitivity_exact_max_inputs = spec.sensitivity_exact_max;
+      request.options = bound;
+      requests.push_back(std::move(request));
     }
-    const auto results = exec::evaluate_batch(std::move(jobs));
+    const auto results = exec::evaluate_requests(std::move(requests));
     const auto stop = std::chrono::steady_clock::now();
     copies = netlist::Circuit::copies_made() - copies_before;
     for (const auto& r : results) {
@@ -92,7 +93,7 @@ Timing run_legacy(const SweepSpec& spec, int repetitions) {
     if (best < 0.0 || seconds < best) best = seconds;
   }
   Timing t;
-  t.mode = "per-job-copy (BatchJob)";
+  t.mode = "per-job-copy (independent handles)";
   t.seconds = best;
   t.jobs_per_sec = static_cast<double>(spec.epsilons.size()) / best;
   t.circuit_copies = copies;
@@ -100,7 +101,6 @@ Timing run_legacy(const SweepSpec& spec, int repetitions) {
   t.extractions = spec.epsilons.size();
   return t;
 }
-#pragma GCC diagnostic pop
 
 Timing run_shared(const SweepSpec& spec, int repetitions) {
   double best = -1.0;

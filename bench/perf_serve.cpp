@@ -1,0 +1,122 @@
+// What the daemon buys over per-invocation evaluation: cold-vs-warm request
+// latency through a real Unix-domain-socket round trip.
+//
+// An in-process server is started on a temp socket; a client submits an
+// N-point energy-bound sweep manifest three ways:
+//   cold  — fresh server state: compile + map + one profile extraction +
+//           N bound evaluations, all on this request's clock;
+//   warm  — identical resubmission: every point is a result-cache hit, the
+//           only work is key hashing and socket I/O;
+//   ping  — empty round trips, isolating the protocol/socket floor.
+// Records BENCH_serve.json in the working directory.
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/analyzer.hpp"
+#include "report/table.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace enb;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("perf_serve",
+                "daemon round-trip latency: cold vs cache-warm sweeps");
+  const int points = static_cast<int>(bench::scaled(64, 8));
+  const int ping_reps = static_cast<int>(bench::scaled(1000, 50));
+
+  // The sweep manifest: N energy-bound points over one mapped multiplier —
+  // the "one design, many bound queries" shape the server is built for.
+  std::ostringstream manifest;
+  const std::vector<double> grid = core::log_grid(1e-3, 0.2, points);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    manifest << "eps_" << i << " kind=energy-bound circuit=mult4 eps="
+             << grid[i] << " budget=4096\n";
+  }
+
+  serve::ServerOptions options;
+  options.socket_path =
+      "/tmp/enb_perf_serve_" + std::to_string(::getpid()) + ".sock";
+  serve::Server server(std::move(options));
+  server.bind();
+  std::thread runner([&server] { server.run(); });
+
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  double ping_seconds = 0.0;
+  std::size_t warm_hits = 0;
+  {
+    serve::Client client(server.socket_path());
+
+    const auto cold_start = std::chrono::steady_clock::now();
+    const serve::QueryOutcome cold = client.batch(manifest.str());
+    cold_seconds = seconds_since(cold_start);
+    if (cold.failed != 0) {
+      std::cerr << "perf_serve: " << cold.failed << " cold jobs failed\n";
+      return 2;
+    }
+
+    const auto warm_start = std::chrono::steady_clock::now();
+    const serve::QueryOutcome warm = client.batch(manifest.str());
+    warm_seconds = seconds_since(warm_start);
+    warm_hits = warm.cached;
+    if (warm.cached != warm.total) {
+      std::cerr << "perf_serve: warm run missed the cache (" << warm.cached
+                << "/" << warm.total << ")\n";
+      return 2;
+    }
+
+    const auto ping_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < ping_reps; ++i) (void)client.ping();
+    ping_seconds = seconds_since(ping_start);
+
+    (void)client.shutdown_server();
+  }
+  runner.join();
+
+  const double per_point_cold = cold_seconds / points;
+  const double per_point_warm = warm_seconds / points;
+  const double per_ping = ping_seconds / ping_reps;
+  report::Table table({"phase", "seconds", "per-request", "speedup"});
+  table.add_row({"cold sweep", report::format_double(cold_seconds, 5),
+                 report::format_double(per_point_cold, 7), "1.00"});
+  table.add_row({"warm sweep (cache hits)",
+                 report::format_double(warm_seconds, 5),
+                 report::format_double(per_point_warm, 7),
+                 report::format_double(cold_seconds / warm_seconds, 2)});
+  table.add_row({"ping floor", report::format_double(ping_seconds, 5),
+                 report::format_double(per_ping, 7), "-"});
+  std::cout << points << "-point served eps sweep over mult4, " << warm_hits
+            << " warm cache hits:\n"
+            << table.to_text();
+
+  std::ofstream out("BENCH_serve.json");
+  out << "{\n  \"benchmark\": \"perf_serve\",\n  \"points\": " << points
+      << ",\n  \"smoke\": " << (bench::smoke_mode() ? "true" : "false")
+      << ",\n  \"cold_seconds\": " << cold_seconds
+      << ",\n  \"warm_seconds\": " << warm_seconds
+      << ",\n  \"cold_per_request_seconds\": " << per_point_cold
+      << ",\n  \"warm_per_request_seconds\": " << per_point_warm
+      << ",\n  \"warm_speedup\": " << cold_seconds / warm_seconds
+      << ",\n  \"ping_round_trips\": " << ping_reps
+      << ",\n  \"ping_seconds_per_round_trip\": " << per_ping << "\n}\n";
+  std::cout << "wrote BENCH_serve.json\n";
+  return 0;
+}

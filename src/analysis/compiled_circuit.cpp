@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "netlist/bench_io.hpp"
 #include "netlist/topo.hpp"
 #include "synth/library.hpp"
 #include "synth/mapper.hpp"
@@ -40,6 +41,7 @@ struct CompiledCircuit::Impl {
                                 std::shared_ptr<const core::CircuitProfile>>>
       profiles;
   mutable std::vector<std::pair<int, CompiledCircuit>> mapped;
+  mutable std::optional<std::uint64_t> fingerprint;
   mutable std::atomic<std::uint64_t> extractions{0};
 };
 
@@ -142,6 +144,22 @@ CompiledCircuit CompiledCircuit::mapped(int max_fanin) const {
       compile(synth::map_to_library(impl.circuit, options).circuit);
   impl.mapped.emplace_back(max_fanin, handle);
   return handle;
+}
+
+std::uint64_t CompiledCircuit::content_fingerprint() const {
+  Impl& impl = checked();
+  const std::lock_guard<std::mutex> lock(impl.mutex);
+  if (!impl.fingerprint.has_value()) {
+    // FNV-1a over the .bench text: stable across processes and recompiles
+    // of the same netlist, which is all the result cache needs.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : netlist::write_bench_string(impl.circuit)) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+    impl.fingerprint = hash;
+  }
+  return *impl.fingerprint;
 }
 
 CompiledCircuit compile(netlist::Circuit circuit) {

@@ -105,6 +105,12 @@ class CompiledCircuit {
 
   // ---- identity ----
 
+  // 64-bit FNV-1a over the circuit's canonical .bench serialization: a
+  // *content* identity, unlike key(), so it survives dropping and
+  // recompiling the handle (the server's result cache stays warm across
+  // registry evictions). Computed on first use and cached.
+  [[nodiscard]] std::uint64_t content_fingerprint() const;
+
   // True when both handles share one compiled circuit (and therefore one
   // artifact cache).
   [[nodiscard]] bool same_handle(const CompiledCircuit& other) const noexcept {

@@ -1,6 +1,8 @@
 #include "analysis/request.hpp"
 
 #include <algorithm>
+#include <ios>
+#include <sstream>
 
 namespace enb::analysis {
 
@@ -100,7 +102,122 @@ Metrics flatten(const core::CircuitProfile& p) {
   return m;
 }
 
+// ---- canonical spec ------------------------------------------------------
+//
+// One writer per option struct; every value-relevant field appears, in a
+// fixed order, so the string is a complete value identity for the request's
+// options. Doubles go out as hexfloat (exact round trip), bools as 0/1.
+
+class SpecWriter {
+ public:
+  SpecWriter(const char* kind) { out_ << kind; }
+
+  SpecWriter& field(const char* name, double value) {
+    out_ << ' ' << name << '=' << std::hexfloat << value << std::defaultfloat;
+    return *this;
+  }
+  SpecWriter& field(const char* name, bool value) {
+    out_ << ' ' << name << '=' << (value ? 1 : 0);
+    return *this;
+  }
+  template <typename Int>
+  SpecWriter& field(const char* name, Int value) {
+    out_ << ' ' << name << '=' << value;
+    return *this;
+  }
+  SpecWriter& text(const char* name, const std::string& value) {
+    // Length prefix keeps arbitrary text (circuit names) unambiguous.
+    out_ << ' ' << name << '=' << value.size() << ':' << value;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+};
+
+SpecWriter& write_profile_options(SpecWriter& w,
+                                  const core::ProfileOptions& p) {
+  return w.field("activity_pairs", p.activity_pairs)
+      .field("prefer_exact_activity", p.prefer_exact_activity)
+      .field("exact_activity_max_inputs", p.exact_activity_max_inputs)
+      .field("sensitivity_exact_max_inputs", p.sensitivity_exact_max_inputs)
+      .field("sensitivity_sample_words", p.sensitivity_sample_words)
+      .field("profile_seed", p.seed);
+}
+
+std::string spec_of(const ReliabilityRequest& r) {
+  return SpecWriter("reliability")
+      .field("eps", r.epsilon)
+      .field("trials", r.options.trials)
+      .field("seed", r.options.seed)
+      .field("p1", r.options.input_one_probability)
+      .field("shard_passes", r.options.shard_passes)
+      .str();
+}
+
+std::string spec_of(const WorstCaseRequest& r) {
+  return SpecWriter("worst-case")
+      .field("eps", r.epsilon)
+      .field("num_inputs", r.options.num_inputs)
+      .field("trials_per_input", r.options.trials_per_input)
+      .field("seed", r.options.seed)
+      .str();
+}
+
+std::string spec_of(const ActivityRequest& r) {
+  return SpecWriter("activity")
+      .field("sample_pairs", r.options.sample_pairs)
+      .field("seed", r.options.seed)
+      .field("p1", r.options.input_one_probability)
+      .field("shard_pairs", r.options.shard_pairs)
+      .str();
+}
+
+std::string spec_of(const SensitivityRequest& r) {
+  return SpecWriter("sensitivity")
+      .field("max_exact_inputs", r.options.max_exact_inputs)
+      .field("sample_words", r.options.sample_words)
+      .field("seed", r.options.seed)
+      .field("shard_words", r.options.shard_words)
+      .str();
+}
+
+std::string spec_of(const EnergyBoundRequest& r) {
+  SpecWriter w("energy-bound");
+  w.field("eps", r.epsilon)
+      .field("delta", r.delta)
+      .field("leakage_fraction", r.energy.leakage_fraction)
+      .field("couple_leakage_to_delay", r.energy.couple_leakage_to_delay);
+  write_profile_options(w, r.profile);
+  if (r.profile_override.has_value()) {
+    const core::CircuitProfile& p = *r.profile_override;
+    w.text("override_name", p.name)
+        .field("override_inputs", p.num_inputs)
+        .field("override_outputs", p.num_outputs)
+        .field("override_s0", p.size_s0)
+        .field("override_d0", p.depth_d0)
+        .field("override_k", p.avg_fanin_k)
+        .field("override_max_fanin", p.max_fanin)
+        .field("override_sw0", p.avg_activity_sw0)
+        .field("override_s", p.sensitivity_s)
+        .field("override_exact", p.sensitivity_exact);
+  }
+  return w.str();
+}
+
+std::string spec_of(const ProfileRequest& r) {
+  SpecWriter w("profile");
+  write_profile_options(w, r.options);
+  return w.str();
+}
+
 }  // namespace
+
+std::string canonical_spec(const RequestOptions& options) {
+  return std::visit([](const auto& spec) { return spec_of(spec); }, options);
+}
 
 const char* to_string(AnalysisKind kind) noexcept {
   switch (kind) {

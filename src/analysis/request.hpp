@@ -130,6 +130,18 @@ struct AnalysisResult {
   }
 };
 
+// Canonical, value-complete serialization of a request's options: the kind
+// name followed by every field that can reach the result (Monte-Carlo
+// budgets, seeds, shard shapes — shard decomposition feeds the counter-based
+// streams — and model knobs), with doubles rendered in hexfloat so equal
+// values serialize identically and nothing is lost to rounding. The
+// deprecated Options::threads knobs are excluded: they never change a
+// result. Two requests with equal canonical specs over the same circuit
+// (and golden) produce bit-identical results by the determinism contract,
+// which is what makes this string a safe cross-request cache-key component
+// (see serve::result_cache_key).
+[[nodiscard]] std::string canonical_spec(const RequestOptions& options);
+
 // Flattens a payload into the writers' fixed (metric, value) rows.
 [[nodiscard]] std::vector<std::pair<std::string, double>> flatten_metrics(
     const ResultPayload& payload);

@@ -70,6 +70,24 @@ Args parse_args(const std::vector<std::string>& argv) {
       } else {
         args.threads = static_cast<unsigned>(threads);
       }
+    } else if (arg == "--socket") {
+      next_value(arg, args.socket);
+    } else if (arg == "--max-handles") {
+      int capacity = 0;
+      if (next_int(arg, capacity) && capacity < 1) {
+        args.error = "option --max-handles expects a count >= 1, got '" +
+                     std::to_string(capacity) + "'";
+      } else {
+        args.max_handles = capacity;
+      }
+    } else if (arg == "--max-cache") {
+      int capacity = 0;
+      if (next_int(arg, capacity) && capacity < 1) {
+        args.error = "option --max-cache expects a count >= 1, got '" +
+                     std::to_string(capacity) + "'";
+      } else {
+        args.max_cache = capacity;
+      }
     } else if (arg == "-o") {
       next_value(arg, args.out);
     } else if (arg == "--csv") {

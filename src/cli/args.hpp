@@ -20,6 +20,9 @@ struct Args {
   int points = 20;
   unsigned threads = 0;  // batch: 0 = global pool, 1 = serial, N = dedicated
   bool stream = false;   // batch: print each result as its job finishes
+  std::string socket;    // serve/client: Unix domain socket path
+  int max_handles = 64;  // serve: handle-registry LRU capacity
+  int max_cache = 4096;  // serve: result-cache LRU capacity
   std::string out;
   std::string csv;
   std::string json;

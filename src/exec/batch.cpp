@@ -431,10 +431,6 @@ std::size_t BatchEvaluator::submit(analysis::AnalysisRequest request) {
   return requests_.size() - 1;
 }
 
-std::size_t BatchEvaluator::submit(BatchJob job) {
-  return submit(to_request(std::move(job)));
-}
-
 void BatchEvaluator::run(const ResultSink& sink) {
   const std::size_t num_jobs = requests_.size();
   std::vector<JobState> states(num_jobs);
@@ -594,52 +590,6 @@ std::vector<analysis::AnalysisResult> evaluate_requests(
     evaluator.submit(std::move(request));
   }
   return evaluator.run();
-}
-
-analysis::AnalysisRequest to_request(BatchJob job) {
-  analysis::AnalysisRequest request;
-  request.name = std::move(job.name);
-  switch (job.kind) {
-    case JobKind::kReliability:
-      request.options =
-          analysis::ReliabilityRequest{job.epsilon, job.reliability};
-      break;
-    case JobKind::kWorstCase:
-      request.options = analysis::WorstCaseRequest{job.epsilon, job.worst_case};
-      break;
-    case JobKind::kActivity:
-      request.options = analysis::ActivityRequest{job.activity};
-      break;
-    case JobKind::kSensitivity:
-      request.options = analysis::SensitivityRequest{job.sensitivity};
-      break;
-    case JobKind::kEnergyBound: {
-      analysis::EnergyBoundRequest spec;
-      spec.epsilon = job.epsilon;
-      spec.delta = job.delta;
-      spec.energy = job.energy;
-      spec.profile = job.profile;
-      spec.profile_override = std::move(job.precomputed_profile);
-      request.options = std::move(spec);
-      break;
-    }
-    case JobKind::kProfile:
-      request.options = analysis::ProfileRequest{job.profile};
-      break;
-  }
-  request.circuit = analysis::compile(std::move(job.circuit));
-  if (job.golden.has_value()) {
-    request.golden = analysis::compile(std::move(*job.golden));
-  }
-  return request;
-}
-
-std::vector<BatchResult> evaluate_batch(std::vector<BatchJob> jobs,
-                                        const BatchOptions& options) {
-  std::vector<analysis::AnalysisRequest> requests;
-  requests.reserve(jobs.size());
-  for (BatchJob& job : jobs) requests.push_back(to_request(std::move(job)));
-  return evaluate_requests(std::move(requests), options);
 }
 
 // ---- manifest / output plumbing ------------------------------------------
@@ -835,64 +785,6 @@ std::vector<analysis::AnalysisRequest> parse_manifest_requests(
   return requests;
 }
 
-std::vector<BatchJob> parse_manifest(
-    std::istream& in,
-    const std::function<Circuit(const std::string&)>& resolve) {
-  std::vector<BatchJob> jobs;
-  for (const ManifestLine& line : parse_manifest_lines(in)) {
-    BatchJob job;
-    job.name = line.name;
-    job.kind = line.kind;
-    job.epsilon = line.epsilon;
-    job.delta = line.delta;
-    if (line.has_leakage) job.energy.leakage_fraction = line.leakage;
-    if (line.budget.has_value()) {
-      switch (line.kind) {
-        case JobKind::kReliability:
-          job.reliability.trials = *line.budget;
-          break;
-        case JobKind::kWorstCase:
-          job.worst_case.trials_per_input = *line.budget;
-          break;
-        case JobKind::kActivity:
-          job.activity.sample_pairs = static_cast<std::size_t>(*line.budget);
-          break;
-        case JobKind::kSensitivity:
-          job.sensitivity.sample_words = *line.budget;
-          break;
-        case JobKind::kEnergyBound:
-        case JobKind::kProfile:
-          job.profile.activity_pairs = static_cast<std::size_t>(*line.budget);
-          break;
-      }
-    }
-    if (line.seed.has_value()) {
-      switch (line.kind) {
-        case JobKind::kReliability:
-          job.reliability.seed = *line.seed;
-          break;
-        case JobKind::kWorstCase:
-          job.worst_case.seed = *line.seed;
-          break;
-        case JobKind::kActivity:
-          job.activity.seed = *line.seed;
-          break;
-        case JobKind::kSensitivity:
-          job.sensitivity.seed = *line.seed;
-          break;
-        case JobKind::kEnergyBound:
-        case JobKind::kProfile:
-          job.profile.seed = *line.seed;
-          break;
-      }
-    }
-    job.circuit = resolve(line.circuit_spec);
-    if (!line.golden_spec.empty()) job.golden = resolve(line.golden_spec);
-    jobs.push_back(std::move(job));
-  }
-  return jobs;
-}
-
 void write_batch_csv(std::ostream& out,
                      const std::vector<analysis::AnalysisResult>& results) {
   report::write_csv_row(out, {"job", "kind", "ok", "metric", "value"});
@@ -912,28 +804,33 @@ void write_batch_csv(std::ostream& out,
   }
 }
 
+void write_result_json(std::ostream& out, const analysis::AnalysisResult& r) {
+  out << std::setprecision(17) << "{\"name\": \"";
+  json_escape(out, r.name);
+  out << "\", \"kind\": \"" << to_string(r.kind) << "\", \"ok\": "
+      << (r.ok ? "true" : "false") << ", \"error\": \"";
+  json_escape(out, r.error);
+  out << "\", \"metrics\": {";
+  for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+    out << (m == 0 ? "" : ", ") << "\"" << r.metrics[m].first << "\": ";
+    // NaN/inf are not valid JSON literals; emit null rather than a file
+    // every parser rejects.
+    if (std::isfinite(r.metrics[m].second)) {
+      out << r.metrics[m].second;
+    } else {
+      out << "null";
+    }
+  }
+  out << "}}";
+}
+
 void write_batch_json(std::ostream& out,
                       const std::vector<analysis::AnalysisResult>& results) {
-  out << "[\n" << std::setprecision(17);
+  out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const analysis::AnalysisResult& r = results[i];
-    out << "  {\"name\": \"";
-    json_escape(out, r.name);
-    out << "\", \"kind\": \"" << to_string(r.kind) << "\", \"ok\": "
-        << (r.ok ? "true" : "false") << ", \"error\": \"";
-    json_escape(out, r.error);
-    out << "\", \"metrics\": {";
-    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
-      out << (m == 0 ? "" : ", ") << "\"" << r.metrics[m].first << "\": ";
-      // NaN/inf are not valid JSON literals; emit null rather than a file
-      // every parser rejects.
-      if (std::isfinite(r.metrics[m].second)) {
-        out << r.metrics[m].second;
-      } else {
-        out << "null";
-      }
-    }
-    out << "}}" << (i + 1 == results.size() ? "" : ",") << "\n";
+    out << "  ";
+    write_result_json(out, results[i]);
+    out << (i + 1 == results.size() ? "" : ",") << "\n";
   }
   out << "]\n";
 }

@@ -68,37 +68,6 @@ using BatchResult = analysis::AnalysisResult;
 // The batch's thread knob is the same Parallelism every layer uses.
 using BatchOptions = Parallelism;
 
-// Deprecated (PR 3): one unit of batch work with the circuit (and optional
-// golden) embedded *by value* — every job clones its netlists. New code
-// should build analysis::AnalysisRequest over CompiledCircuit handles
-// instead; see to_request() for the mapping. The embedded option structs'
-// `threads` members are ignored (the batch owns scheduling). Seeds live in
-// the spec — never in the queue position — which is what makes results
-// submission-order independent.
-struct BatchJob {
-  std::string name;
-  JobKind kind = JobKind::kReliability;
-  netlist::Circuit circuit;
-  std::optional<netlist::Circuit> golden;
-  double epsilon = 0.01;
-  double delta = 0.01;  // kEnergyBound only
-
-  sim::ReliabilityOptions reliability;   // kReliability
-  sim::WorstCaseOptions worst_case;      // kWorstCase
-  sim::ActivityOptions activity;         // kActivity
-  sim::SensitivityOptions sensitivity;   // kSensitivity
-  core::ProfileOptions profile;          // kProfile, kEnergyBound extraction
-  core::EnergyModelOptions energy;       // kEnergyBound
-  // kEnergyBound: skip profile extraction and analyze this profile directly
-  // (e.g. one extraction shared by a whole epsilon sweep).
-  std::optional<core::CircuitProfile> precomputed_profile;
-};
-
-// Moves a legacy job into the typed request shape (compiling its circuits —
-// each call makes an independent handle, preserving the old no-sharing
-// semantics).
-[[nodiscard]] analysis::AnalysisRequest to_request(BatchJob job);
-
 // Streaming consumer: invoked once per request, serially (an internal lock),
 // from an unspecified thread, as each request finishes. result.index is the
 // submission index. A throwing sink does not cancel the batch: every request
@@ -112,10 +81,6 @@ class BatchEvaluator {
 
   // Enqueues a request; returns its index (== result.index).
   std::size_t submit(analysis::AnalysisRequest request);
-
-  // Deprecated shim: converts the circuit-by-value job via to_request().
-  [[deprecated("submit an analysis::AnalysisRequest instead")]]
-  std::size_t submit(BatchJob job);
 
   [[nodiscard]] std::size_t pending() const noexcept {
     return requests_.size();
@@ -140,11 +105,6 @@ class BatchEvaluator {
 [[nodiscard]] std::vector<analysis::AnalysisResult> evaluate_requests(
     std::vector<analysis::AnalysisRequest> requests, Parallelism how = {});
 
-// Deprecated shim for the job-based convenience call.
-[[deprecated("use evaluate_requests over analysis::AnalysisRequest instead")]]
-[[nodiscard]] std::vector<BatchResult> evaluate_batch(
-    std::vector<BatchJob> jobs, const BatchOptions& options = {});
-
 // ---- manifest / output plumbing ------------------------------------------
 
 // Parses a job-manifest stream: one request per non-blank, non-comment line,
@@ -163,20 +123,22 @@ class BatchEvaluator {
     const std::function<analysis::CompiledCircuit(const std::string&)>&
         resolve);
 
-// Deprecated shim: the same grammar, materialized as circuit-by-value jobs.
-[[deprecated("use parse_manifest_requests instead")]]
-[[nodiscard]] std::vector<BatchJob> parse_manifest(
-    std::istream& in,
-    const std::function<netlist::Circuit(const std::string&)>& resolve);
-
 // Long-format CSV: header "job,kind,ok,metric,value"; failed jobs emit a
 // single row with metric "error" and an empty value (the message itself
 // goes to the JSON writer).
 void write_batch_csv(std::ostream& out,
                      const std::vector<analysis::AnalysisResult>& results);
 
-// JSON array of {"name", "kind", "ok", "error", "metrics": {...}}.
-// Non-finite metric values render as null (not valid JSON literals).
+// One result as a single-line JSON object {"name", "kind", "ok", "error",
+// "metrics": {...}} — exactly the bytes write_batch_json places on the
+// result's array line. The server daemon streams these objects per result
+// and the client reassembles the array, which is what makes served batch
+// output bit-identical to the offline writer by construction. Non-finite
+// metric values render as null (not valid JSON literals). Sets the stream's
+// precision (17 digits).
+void write_result_json(std::ostream& out, const analysis::AnalysisResult& r);
+
+// JSON array of write_result_json objects, in `results` order.
 void write_batch_json(std::ostream& out,
                       const std::vector<analysis::AnalysisResult>& results);
 

@@ -8,6 +8,7 @@
 #include "gen/iscas.hpp"
 #include "gen/multipliers.hpp"
 #include "gen/parity.hpp"
+#include "netlist/bench_io.hpp"
 
 namespace enb::gen {
 
@@ -58,6 +59,17 @@ BenchmarkSpec find_benchmark(const std::string& name) {
   }
   throw std::invalid_argument("find_benchmark: unknown benchmark '" + name +
                               "'");
+}
+
+bool spec_is_path(const std::string& spec) {
+  return spec.find('/') != std::string::npos ||
+         (spec.size() > 6 &&
+          spec.compare(spec.size() - 6, 6, ".bench") == 0);
+}
+
+netlist::Circuit build_circuit_spec(const std::string& spec) {
+  return spec_is_path(spec) ? netlist::read_bench_file(spec)
+                            : find_benchmark(spec).build();
 }
 
 }  // namespace enb::gen

@@ -29,4 +29,18 @@ struct BenchmarkSpec {
 // Looks up one spec by name in the standard suite; throws if unknown.
 [[nodiscard]] BenchmarkSpec find_benchmark(const std::string& name);
 
+// ---- circuit spec resolution ---------------------------------------------
+//
+// The CLI and the analysis server share one spec vocabulary: a spec is a
+// .bench file path when it contains '/' or ends in ".bench", otherwise a
+// standard-suite name. One implementation keeps offline and served
+// resolution from drifting.
+
+// True when `spec` names a file rather than a suite circuit.
+[[nodiscard]] bool spec_is_path(const std::string& spec);
+
+// Builds the circuit a spec names (read_bench_file or suite build); throws
+// on unknown suite names / unreadable files.
+[[nodiscard]] netlist::Circuit build_circuit_spec(const std::string& spec);
+
 }  // namespace enb::gen

@@ -1,0 +1,185 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace enb::serve {
+
+namespace {
+
+int connect_fd(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("client: invalid socket path: " + socket_path);
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("client: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("client: cannot connect to " + socket_path +
+                             ": " + message);
+  }
+  return fd;
+}
+
+ResultRecord decode_result(const Frame& frame) {
+  ResultRecord record;
+  const auto index = frame.uint_arg("index");
+  if (!index.has_value()) {
+    throw ProtocolError("result frame without index=");
+  }
+  record.index = static_cast<std::size_t>(*index);
+  record.name = frame.arg("name").value_or("");
+  record.kind = frame.arg("kind").value_or("");
+  record.ok = frame.arg("ok").value_or("0") == "1";
+  record.cached = frame.arg("cached").value_or("0") == "1";
+  if (const auto metric = frame.arg("hmetric"); metric.has_value()) {
+    record.headline = *metric + " = " + frame.arg("hvalue").value_or("");
+  }
+  record.json = frame.payload;
+  return record;
+}
+
+}  // namespace
+
+void QueryOutcome::assemble_json(std::ostream& out) const {
+  // Mirrors exec::write_batch_json's array framing around the server's
+  // verbatim object bytes.
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "  " << results[i].json
+        << (i + 1 == results.size() ? "" : ",") << "\n";
+  }
+  out << "]\n";
+}
+
+Client::Client(const std::string& socket_path)
+    : fd_(connect_fd(socket_path)), stream_(fd_), reader_(stream_) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Frame Client::read_reply() {
+  std::optional<Frame> frame = reader_.read_frame();
+  if (!frame.has_value()) {
+    throw ConnectionClosed("client: server closed the connection");
+  }
+  if (frame->verb == "error") {
+    throw ServerError(frame->payload.empty() ? "server error" :
+                                               frame->payload);
+  }
+  return *std::move(frame);
+}
+
+Frame Client::call(const Frame& request) {
+  write_frame(stream_, request);
+  Frame reply = read_reply();
+  if (reply.verb != "ok") {
+    throw ProtocolError("client: expected ok frame, got '" + reply.verb +
+                        "'");
+  }
+  return reply;
+}
+
+Frame Client::load(const std::string& spec, const std::string& name,
+                   std::optional<int> map_fanin) {
+  Frame frame;
+  frame.verb = "load";
+  frame.add("circuit", spec);
+  if (!name.empty()) frame.add("name", name);
+  if (map_fanin.has_value()) frame.add("map", std::to_string(*map_fanin));
+  return call(frame);
+}
+
+QueryOutcome Client::consume_stream(
+    const std::function<void(const ResultRecord&)>& on_result) {
+  QueryOutcome outcome;
+  for (;;) {
+    Frame frame = read_reply();
+    if (frame.verb == "result") {
+      ResultRecord record = decode_result(frame);
+      if (on_result) on_result(record);
+      outcome.results.push_back(std::move(record));
+      continue;
+    }
+    if (frame.verb == "done") {
+      outcome.total = static_cast<std::size_t>(
+          frame.uint_arg("total").value_or(outcome.results.size()));
+      outcome.failed =
+          static_cast<std::size_t>(frame.uint_arg("failed").value_or(0));
+      outcome.cached =
+          static_cast<std::size_t>(frame.uint_arg("cached").value_or(0));
+      break;
+    }
+    throw ProtocolError("client: unexpected frame '" + frame.verb +
+                        "' in a result stream");
+  }
+  std::sort(outcome.results.begin(), outcome.results.end(),
+            [](const ResultRecord& a, const ResultRecord& b) {
+              return a.index < b.index;
+            });
+  if (outcome.results.size() != outcome.total) {
+    throw ProtocolError("client: result stream delivered " +
+                        std::to_string(outcome.results.size()) + " of " +
+                        std::to_string(outcome.total) + " results");
+  }
+  return outcome;
+}
+
+QueryOutcome Client::batch(
+    const std::string& manifest_text,
+    const std::function<void(const ResultRecord&)>& on_result) {
+  Frame frame;
+  frame.verb = "batch";
+  frame.payload = manifest_text;
+  write_frame(stream_, frame);
+  return consume_stream(on_result);
+}
+
+QueryOutcome Client::analyze(
+    const std::string& handle, const std::string& kind,
+    const std::vector<std::string>& tokens,
+    const std::function<void(const ResultRecord&)>& on_result) {
+  Frame frame;
+  frame.verb = "analyze";
+  frame.add("handle", handle);
+  frame.add("kind", kind);
+  for (const std::string& token : tokens) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+      throw std::invalid_argument("analyze: expected key=value, got '" +
+                                  token + "'");
+    }
+    frame.add(token.substr(0, eq), token.substr(eq + 1));
+  }
+  write_frame(stream_, frame);
+  return consume_stream(on_result);
+}
+
+Frame Client::stats() { return call(Frame{"stats", {}, {}}); }
+
+Frame Client::evict(const std::string& handle) {
+  Frame frame;
+  frame.verb = "evict";
+  if (!handle.empty()) frame.add("handle", handle);
+  return call(frame);
+}
+
+Frame Client::ping() { return call(Frame{"ping", {}, {}}); }
+
+Frame Client::shutdown_server() { return call(Frame{"shutdown", {}, {}}); }
+
+}  // namespace enb::serve

@@ -1,0 +1,100 @@
+// Client side of the enbound analysis server: a thin connection wrapper
+// that speaks the framed protocol and hands results back as typed records.
+//
+// The batch/analyze calls stream: `on_result` fires per result frame as it
+// arrives (completion order), and the collected records come back sorted by
+// submission index, each carrying the server's exact JSON object bytes —
+// so assemble_json() reproduces the offline `enbound_cli batch --json`
+// array byte for byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace enb::serve {
+
+// The server answered with an `error` frame.
+class ServerError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// One `result` frame, decoded.
+struct ResultRecord {
+  std::size_t index = 0;
+  std::string name;
+  std::string kind;
+  bool ok = false;
+  bool cached = false;
+  std::string headline;  // "metric = value" when the server sent one
+  std::string json;      // the exact write_result_json object bytes
+};
+
+// Outcome of a batch/analyze stream.
+struct QueryOutcome {
+  std::vector<ResultRecord> results;  // sorted by submission index
+  std::size_t total = 0;
+  std::size_t failed = 0;
+  std::size_t cached = 0;
+
+  // The offline write_batch_json array for these results, byte-identical to
+  // `enbound_cli batch --json` over the same manifest.
+  void assemble_json(std::ostream& out) const;
+};
+
+class Client {
+ public:
+  // Connects to the daemon's Unix domain socket; throws std::runtime_error
+  // when nothing is listening.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Simple verbs: send one frame, expect one `ok` reply (returned so
+  // callers can read its arguments). Throws ServerError on an `error`
+  // reply and ProtocolError/ConnectionClosed on transport trouble.
+  Frame call(const Frame& request);
+
+  // `load circuit=<spec> [name=<id>] [map=K]`.
+  Frame load(const std::string& spec, const std::string& name = "",
+             std::optional<int> map_fanin = std::nullopt);
+
+  // Submits manifest text as a `batch` and consumes the result stream.
+  QueryOutcome batch(const std::string& manifest_text,
+                     const std::function<void(const ResultRecord&)>&
+                         on_result = nullptr);
+
+  // Submits one `analyze` against a held handle. `tokens` are forwarded
+  // manifest-style key=value arguments (eps=, budget=, golden=, ...).
+  QueryOutcome analyze(const std::string& handle, const std::string& kind,
+                       const std::vector<std::string>& tokens = {},
+                       const std::function<void(const ResultRecord&)>&
+                           on_result = nullptr);
+
+  Frame stats();
+  Frame evict(const std::string& handle = "");  // empty = evict everything
+  Frame ping();
+  Frame shutdown_server();
+
+ private:
+  // Reads frames until `done`, decoding `result` frames along the way.
+  QueryOutcome consume_stream(
+      const std::function<void(const ResultRecord&)>& on_result);
+  Frame read_reply();
+
+  int fd_ = -1;
+  FdStream stream_;
+  FrameReader reader_;
+};
+
+}  // namespace enb::serve

@@ -1,0 +1,229 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/numeric.hpp"
+
+namespace enb::serve {
+
+namespace {
+
+bool printable_token(const std::string& text, bool allow_equals) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c <= ' ' || c > '~') return false;  // control, space, or non-ASCII
+    if (!allow_equals && c == '=') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- streams -------------------------------------------------------------
+
+std::size_t MemoryStream::read_some(char* out, std::size_t max) {
+  const std::size_t available = input_.size() - cursor_;
+  const std::size_t count = available < max ? available : max;
+  std::memcpy(out, input_.data() + cursor_, count);
+  cursor_ += count;
+  return count;
+}
+
+void MemoryStream::write_all(const char* data, std::size_t size) {
+  output_.append(data, size);
+}
+
+std::size_t FdStream::read_some(char* out, std::size_t max) {
+  for (;;) {
+    const ssize_t count = ::recv(fd_, out, max, 0);
+    if (count >= 0) return static_cast<std::size_t>(count);
+    if (errno == EINTR) continue;
+    // A peer that vanished (reset) reads as EOF: the session ends the same
+    // way a clean close does, it just skips the goodbye.
+    if (errno == ECONNRESET) return 0;
+    throw ConnectionClosed(std::string("recv failed: ") + std::strerror(errno));
+  }
+}
+
+void FdStream::write_all(const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    // MSG_NOSIGNAL: a disconnected client must surface as an error code,
+    // not a process-killing SIGPIPE.
+    const ssize_t count =
+        ::send(fd_, data + written, size - written, MSG_NOSIGNAL);
+    if (count >= 0) {
+      written += static_cast<std::size_t>(count);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw ConnectionClosed(std::string("send failed: ") + std::strerror(errno));
+  }
+}
+
+// ---- frames --------------------------------------------------------------
+
+std::optional<std::string> Frame::arg(const std::string& key) const {
+  for (const auto& [k, v] : args) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Frame::required_arg(const std::string& key) const {
+  auto value = arg(key);
+  if (!value.has_value()) {
+    throw std::invalid_argument(verb + ": missing required argument '" + key +
+                                "='");
+  }
+  return *std::move(value);
+}
+
+std::optional<std::uint64_t> Frame::uint_arg(const std::string& key) const {
+  const auto value = arg(key);
+  if (!value.has_value()) return std::nullopt;
+  std::uint64_t parsed = 0;
+  if (!util::parse_uint64(*value, parsed)) {
+    throw std::invalid_argument(verb + ": argument '" + key +
+                                "=' must be a non-negative integer, got '" +
+                                *value + "'");
+  }
+  return parsed;
+}
+
+void write_frame(ByteStream& out, const Frame& frame) {
+  if (!printable_token(frame.verb, /*allow_equals=*/false)) {
+    throw std::invalid_argument("write_frame: invalid verb");
+  }
+  std::string header = frame.verb;
+  for (const auto& [key, value] : frame.args) {
+    if (!printable_token(key, /*allow_equals=*/false) || key == "payload") {
+      throw std::invalid_argument("write_frame: invalid key '" + key + "'");
+    }
+    if (!printable_token(value, /*allow_equals=*/true)) {
+      throw std::invalid_argument("write_frame: invalid value for key '" +
+                                  key + "'");
+    }
+    header += ' ';
+    header += key;
+    header += '=';
+    header += value;
+  }
+  if (!frame.payload.empty()) {
+    header += " payload=" + std::to_string(frame.payload.size());
+  }
+  header += '\n';
+  // One write per frame: interleaving sessions on the server each hold the
+  // socket exclusively, so this is about syscall count, not atomicity.
+  header += frame.payload;
+  out.write_all(header.data(), header.size());
+}
+
+std::size_t parse_header(const std::string& line, Frame& frame) {
+  frame = Frame{};
+  std::size_t payload_size = 0;
+  std::size_t pos = 0;
+  const auto next_token = [&]() -> std::optional<std::string> {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) return std::nullopt;
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    return line.substr(start, pos - start);
+  };
+
+  const auto verb = next_token();
+  if (!verb.has_value()) throw ProtocolError("empty frame header");
+  if (!printable_token(*verb, /*allow_equals=*/false)) {
+    throw ProtocolError("malformed verb '" + *verb + "'");
+  }
+  frame.verb = *verb;
+
+  while (const auto token = next_token()) {
+    const std::size_t eq = token->find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == token->size()) {
+      throw ProtocolError("expected key=value, got '" + *token + "'");
+    }
+    std::string key = token->substr(0, eq);
+    std::string value = token->substr(eq + 1);
+    if (key == "payload") {
+      std::uint64_t declared = 0;
+      if (!util::parse_uint64(value, declared)) {
+        throw ProtocolError("malformed payload length '" + value + "'");
+      }
+      if (declared > kMaxPayloadBytes) {
+        throw ProtocolError("payload length " + value + " exceeds limit of " +
+                            std::to_string(kMaxPayloadBytes) + " bytes");
+      }
+      payload_size = static_cast<std::size_t>(declared);
+      continue;
+    }
+    frame.args.emplace_back(std::move(key), std::move(value));
+  }
+  return payload_size;
+}
+
+bool FrameReader::read_exact(std::string& out, std::size_t size) {
+  out.clear();
+  while (out.size() < size) {
+    const std::size_t available = buffer_.size() - cursor_;
+    if (available > 0) {
+      const std::size_t take = size - out.size() < available
+                                   ? size - out.size()
+                                   : available;
+      out.append(buffer_, cursor_, take);
+      cursor_ += take;
+      continue;
+    }
+    char chunk[4096];
+    const std::size_t count = in_.read_some(chunk, sizeof(chunk));
+    if (count == 0) {
+      if (out.empty()) return false;
+      throw ProtocolError("stream truncated inside a payload (" +
+                          std::to_string(out.size()) + " of " +
+                          std::to_string(size) + " bytes)");
+    }
+    buffer_.assign(chunk, count);
+    cursor_ = 0;
+  }
+  return true;
+}
+
+std::optional<Frame> FrameReader::read_frame() {
+  // Pull bytes until the buffered tail holds a full header line.
+  std::string line;
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', cursor_);
+    if (newline != std::string::npos) {
+      line.assign(buffer_, cursor_, newline - cursor_);
+      cursor_ = newline + 1;
+      break;
+    }
+    if (buffer_.size() - cursor_ > kMaxHeaderBytes) {
+      throw ProtocolError("frame header exceeds " +
+                          std::to_string(kMaxHeaderBytes) + " bytes");
+    }
+    // Compact the consumed prefix before growing.
+    buffer_.erase(0, cursor_);
+    cursor_ = 0;
+    char chunk[4096];
+    const std::size_t count = in_.read_some(chunk, sizeof(chunk));
+    if (count == 0) {
+      if (buffer_.empty()) return std::nullopt;  // clean EOF between frames
+      throw ProtocolError("stream truncated inside a frame header");
+    }
+    buffer_.append(chunk, count);
+  }
+
+  Frame frame;
+  const std::size_t payload_size = parse_header(line, frame);
+  if (payload_size > 0 && !read_exact(frame.payload, payload_size)) {
+    throw ProtocolError("stream truncated before a declared payload");
+  }
+  return frame;
+}
+
+}  // namespace enb::serve

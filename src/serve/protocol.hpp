@@ -1,0 +1,150 @@
+// Wire protocol of the enbound analysis server: length-framed messages over
+// a byte stream (a Unix domain socket in production, an in-memory buffer in
+// tests).
+//
+// Frame grammar (ASCII header, raw payload):
+//
+//   frame   := header '\n' payload?
+//   header  := verb (' ' key '=' value)*
+//   verb    := 1+ printable non-space characters
+//   key     := 1+ printable characters, no space, no '='
+//   value   := 1+ printable non-space characters ('=' allowed)
+//   payload := exactly N raw bytes, N = integer value of the "payload" key
+//
+// Values never contain whitespace; anything free-form (error messages,
+// manifest text, JSON objects) travels in the payload. The payload length
+// is declared up front, so a reader always knows whether the stream is
+// intact: a malformed header or a stream that ends inside a declared
+// payload is a framing error (ProtocolError) and the connection is beyond
+// recovery; an intact frame with an unknown verb is an application-level
+// error and the session continues.
+//
+// Client -> server verbs: load, analyze, batch, stats, evict, ping,
+// shutdown. Server -> client verbs: ok, result, done, error. See
+// serve/server.hpp for their argument vocabularies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace enb::serve {
+
+// Framing violation: malformed header, oversized declaration, or a stream
+// truncated mid-frame. The connection cannot be resynchronized afterwards.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The peer closed (or broke) the connection during a write.
+class ConnectionClosed : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Hard limits enforced by the reader: a header line and a declared payload
+// larger than these are rejected before any allocation, so a hostile or
+// corrupt peer cannot make the server balloon.
+inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kMaxPayloadBytes = 16 * 1024 * 1024;
+
+// Transport abstraction the framing layer reads and writes through.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Reads up to `max` bytes into `out`; returns the count read, 0 on EOF.
+  virtual std::size_t read_some(char* out, std::size_t max) = 0;
+
+  // Writes all `size` bytes. Throws ConnectionClosed when the peer is gone.
+  virtual void write_all(const char* data, std::size_t size) = 0;
+};
+
+// In-memory stream for tests: reads from `input`, appends writes to
+// `output`.
+class MemoryStream : public ByteStream {
+ public:
+  explicit MemoryStream(std::string input) : input_(std::move(input)) {}
+
+  std::size_t read_some(char* out, std::size_t max) override;
+  void write_all(const char* data, std::size_t size) override;
+
+  [[nodiscard]] const std::string& output() const noexcept { return output_; }
+
+ private:
+  std::string input_;
+  std::size_t cursor_ = 0;
+  std::string output_;
+};
+
+// POSIX socket stream. Does not own the descriptor.
+class FdStream : public ByteStream {
+ public:
+  explicit FdStream(int fd) : fd_(fd) {}
+
+  std::size_t read_some(char* out, std::size_t max) override;
+  void write_all(const char* data, std::size_t size) override;
+
+ private:
+  int fd_;
+};
+
+// One protocol message.
+struct Frame {
+  std::string verb;
+  // Header key=value pairs, in wire order ("payload" excluded — it is
+  // derived from payload.size() on write and consumed on read).
+  std::vector<std::pair<std::string, std::string>> args;
+  std::string payload;
+
+  // The first value for `key`, if present.
+  [[nodiscard]] std::optional<std::string> arg(const std::string& key) const;
+  // arg() that must exist; throws std::invalid_argument naming the key.
+  [[nodiscard]] std::string required_arg(const std::string& key) const;
+  // arg() parsed as an unsigned integer; throws std::invalid_argument on a
+  // malformed value.
+  [[nodiscard]] std::optional<std::uint64_t> uint_arg(
+      const std::string& key) const;
+
+  Frame& add(std::string key, std::string value) {
+    args.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+};
+
+// Serializes `frame` onto `out`. Validates tokens: the verb, keys and
+// values must be non-empty printable ASCII without whitespace (keys also
+// without '='), and "payload" is reserved; violations throw
+// std::invalid_argument before anything is written.
+void write_frame(ByteStream& out, const Frame& frame);
+
+// Buffered frame reader over a ByteStream.
+class FrameReader {
+ public:
+  explicit FrameReader(ByteStream& in) : in_(in) {}
+
+  // Next frame, or nullopt on a clean EOF at a frame boundary. Throws
+  // ProtocolError on a malformed header, an oversized header/payload
+  // declaration, or EOF inside a frame.
+  [[nodiscard]] std::optional<Frame> read_frame();
+
+ private:
+  // Fills `out` with exactly `size` bytes; false on EOF before the first
+  // byte, throws ProtocolError on EOF mid-way.
+  bool read_exact(std::string& out, std::size_t size);
+
+  ByteStream& in_;
+  std::string buffer_;
+  std::size_t cursor_ = 0;  // consumed prefix of buffer_
+};
+
+// Parses one header line (no trailing newline) into a Frame with empty
+// payload; returns the declared payload size (0 when absent). Throws
+// ProtocolError on malformed input. Exposed for tests.
+[[nodiscard]] std::size_t parse_header(const std::string& line, Frame& frame);
+
+}  // namespace enb::serve

@@ -1,0 +1,158 @@
+// The server's two shared stores: named CompiledCircuit handles and the
+// cross-request result cache.
+//
+// Both are LRU-bounded and thread-safe (sessions run on their own threads).
+// The registry keeps compiled handles alive across requests, so repeated
+// sweeps over one design pay compilation and profile extraction once; the
+// result cache memoizes whole AnalysisResults keyed on
+// (circuit fingerprint, golden fingerprint, canonical request spec), so a
+// repeated identical request is served without evaluating anything at all.
+// Keys are *content* fingerprints, not handle identities: evicting and
+// reloading a circuit does not cool the result cache.
+//
+// Memoizing results is sound because of the determinism contract: a
+// request's result is a pure function of (circuit, golden, canonical spec)
+// — never of thread count, submission order, or co-scheduled work — so the
+// cached value is bit-identical to a recomputation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
+
+namespace enb::serve {
+
+// ---- handle registry -----------------------------------------------------
+
+struct HandleInfo {
+  std::string name;
+  analysis::CompiledCircuit circuit;
+  std::uint64_t fingerprint = 0;
+};
+
+struct RegistryStats {
+  std::size_t handles = 0;
+  std::uint64_t loads = 0;      // loader invocations (misses that loaded)
+  std::uint64_t hits = 0;       // lookups served from the registry
+  std::uint64_t evictions = 0;  // LRU + explicit evictions
+  // Profile extractions performed by the *live* handles (evicted handles
+  // take their counters with them).
+  std::uint64_t profile_extractions = 0;
+};
+
+class HandleRegistry {
+ public:
+  explicit HandleRegistry(std::size_t capacity = 64);
+
+  // The handle registered under `name`, loading it on a miss. Loads are
+  // deduplicated *per name*: concurrent sessions asking for the same cold
+  // name get one loader invocation (the others block until it lands, then
+  // read the entry), while loads and lookups of unrelated names proceed —
+  // the loader runs outside the registry lock. A loader that throws
+  // releases the name so a waiter can retry the load. Lookups and loads
+  // both mark the entry most-recently used; loads evict LRU entries above
+  // capacity.
+  [[nodiscard]] HandleInfo get_or_load(
+      const std::string& name,
+      const std::function<analysis::CompiledCircuit()>& loader);
+
+  // The handle registered under `name`, if any (marks it used).
+  [[nodiscard]] std::optional<HandleInfo> find(const std::string& name);
+
+  // Registers (or replaces) `name` explicitly, evicting above capacity.
+  void put(const std::string& name, analysis::CompiledCircuit circuit);
+
+  // True when `name` was registered (and is now evicted).
+  bool evict(const std::string& name);
+
+  // Evicts everything; returns how many entries were dropped.
+  std::size_t clear();
+
+  [[nodiscard]] RegistryStats stats() const;
+
+  // Registered names, most recently used first (the `stats` verb's listing).
+  [[nodiscard]] std::vector<HandleInfo> snapshot() const;
+
+ private:
+  struct Entry {
+    HandleInfo info;
+  };
+  using LruList = std::list<Entry>;
+
+  // Callers hold mutex_. Inserts at the front (MRU) and trims to capacity.
+  void insert_locked(const std::string& name, analysis::CompiledCircuit c);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_name_;
+  // Names with a loader in flight; waiters sleep on loading_cv_.
+  std::unordered_set<std::string> loading_;
+  std::condition_variable loading_cv_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+// ---- result cache --------------------------------------------------------
+
+// Cache key for `request`: circuit and golden content fingerprints plus the
+// canonical option spec. The request's display name is deliberately not
+// part of the key — a cached result is re-labelled for each consumer.
+[[nodiscard]] std::string result_cache_key(
+    const analysis::AnalysisRequest& request);
+
+struct ResultCacheStats {
+  std::size_t entries = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity = 4096);
+
+  // The cached result for `key`, re-labelled with `name` and `index`.
+  // Counts a hit or a miss and marks the entry most-recently used.
+  [[nodiscard]] std::optional<analysis::AnalysisResult> find(
+      const std::string& key, const std::string& name, std::size_t index);
+
+  // Stores `result` (ok results only make sense here; the server never
+  // caches failures), evicting least-recently-used entries above capacity.
+  void store(const std::string& key, analysis::AnalysisResult result);
+
+  std::size_t clear();
+
+  [[nodiscard]] ResultCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    analysis::AnalysisResult result;
+  };
+  using LruList = std::list<Entry>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_key_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stores_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace enb::serve

@@ -1,0 +1,533 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/batch.hpp"
+#include "gen/suite.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/stats.hpp"
+#include "report/table.hpp"
+
+namespace enb::serve {
+
+namespace {
+
+std::string hex16(std::uint64_t value) {
+  std::ostringstream out;
+  out << std::hex << std::setfill('0') << std::setw(16) << value;
+  return out.str();
+}
+
+void send_frame(ByteStream& stream, const Frame& frame) {
+  write_frame(stream, frame);
+}
+
+void send_ok(ByteStream& stream) { send_frame(stream, Frame{"ok", {}, {}}); }
+
+void send_error(ByteStream& stream, const std::string& message) {
+  Frame frame;
+  frame.verb = "error";
+  frame.payload = message;
+  send_frame(stream, frame);
+}
+
+// The headline metric mirrored into result-frame arguments so a client can
+// print a summary table without parsing JSON (same metric the offline batch
+// table leads with).
+const char* headline_metric(analysis::AnalysisKind kind) {
+  switch (kind) {
+    case analysis::AnalysisKind::kReliability:
+      return "delta_hat";
+    case analysis::AnalysisKind::kWorstCase:
+      return "worst_delta_hat";
+    case analysis::AnalysisKind::kActivity:
+      return "avg_gate_toggle_rate";
+    case analysis::AnalysisKind::kSensitivity:
+      return "sensitivity";
+    case analysis::AnalysisKind::kEnergyBound:
+      return "total_factor";
+    case analysis::AnalysisKind::kProfile:
+      return "size_s0";
+  }
+  return "";
+}
+
+// Header values must be printable ASCII without spaces; job names come from
+// user manifests and may not be (UTF-8 bytes survive the offline path).
+// The header copy is display-only — the result's exact name rides in the
+// JSON payload — so degrade unrepresentable bytes instead of failing the
+// frame write mid-stream.
+std::string header_token(const std::string& text) {
+  std::string token = text;
+  for (char& c : token) {
+    if (c <= ' ' || c > '~') c = '?';
+  }
+  if (token.empty()) token = "-";
+  return token;
+}
+
+Frame result_frame(const analysis::AnalysisResult& result, bool cached) {
+  Frame frame;
+  frame.verb = "result";
+  frame.add("index", std::to_string(result.index));
+  frame.add("name", header_token(result.name));
+  frame.add("kind", analysis::to_string(result.kind));
+  frame.add("ok", result.ok ? "1" : "0");
+  frame.add("cached", cached ? "1" : "0");
+  if (result.ok) {
+    const char* metric = headline_metric(result.kind);
+    if (const auto value = result.metric(metric); value.has_value()) {
+      frame.add("hmetric", metric);
+      frame.add("hvalue", report::format_double(*value, 6));
+    }
+  }
+  std::ostringstream payload;
+  exec::write_result_json(payload, result);
+  frame.payload = payload.str();
+  return frame;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.max_handles),
+      cache_(options_.max_results) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+bool Server::stopping() const {
+  return stop_.load(std::memory_order_relaxed) ||
+         (options_.external_stop != nullptr &&
+          options_.external_stop->load(std::memory_order_relaxed));
+}
+
+void Server::request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+void Server::bind() {
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("serve: socket path must not be empty");
+  }
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path too long (limit " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes): " + options_.socket_path);
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  // A previous daemon that exited uncleanly leaves its socket file behind;
+  // rebinding the path is this tool's "restart" story.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot bind " + options_.socket_path +
+                             ": " + message);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: listen() failed: " + message);
+  }
+}
+
+void Server::run() {
+  if (listen_fd_ < 0) {
+    throw std::logic_error("serve: run() before bind()");
+  }
+  while (!stopping()) {
+    pollfd poll_fd{};
+    poll_fd.fd = listen_fd_;
+    poll_fd.events = POLLIN;
+    // Short poll timeout: the loop re-checks the stop flags (the shutdown
+    // verb or the CLI's signal handler) between accepts.
+    const int ready = ::poll(&poll_fd, 1, 50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    if (stopping()) {
+      ::close(fd);
+      break;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      session_fds_.insert(fd);
+      ++sessions_total_;
+    }
+    // Sessions run detached; run() owns their lifetime through
+    // session_fds_ + idle_cv_ below, so the server never returns (or
+    // destructs) with a session still speaking.
+    std::thread(&Server::session, this, fd).detach();
+  }
+
+  // Stop accepted: force open sessions off their sockets (in-flight
+  // evaluations finish; subsequent reads see EOF) and wait for them.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return session_fds_.empty(); });
+  lock.unlock();
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::session(int fd) {
+  FdStream stream(fd);
+  FrameReader reader(stream);
+  bool ending = false;
+  while (!ending) {
+    std::optional<Frame> frame;
+    try {
+      frame = reader.read_frame();
+    } catch (const ProtocolError& e) {
+      // The stream cannot be resynchronized after a framing violation:
+      // report once (best effort) and hang up.
+      try {
+        send_error(stream, std::string("protocol error: ") + e.what());
+      } catch (const ConnectionClosed&) {
+      }
+      break;
+    } catch (const ConnectionClosed&) {
+      break;
+    }
+    if (!frame.has_value()) break;  // clean EOF
+    try {
+      ending = dispatch(*frame, stream);
+    } catch (const ConnectionClosed&) {
+      break;  // peer vanished mid-reply; session is over
+    } catch (const std::exception& e) {
+      // Application-level failure (bad arguments, unknown verb, unreadable
+      // circuit): the framing is intact, so report and keep the session.
+      try {
+        send_error(stream, e.what());
+      } catch (const ConnectionClosed&) {
+        break;
+      }
+    }
+  }
+  {
+    // Unregister *before* closing: once fd is closed the kernel may hand
+    // the same number to a newly accepted connection, and erasing later
+    // would drop that live session from the set (letting run() return —
+    // and the server be destroyed — under it). Erase and notify under one
+    // lock, and touch no Server state after it releases.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    session_fds_.erase(fd);
+    idle_cv_.notify_all();
+  }
+  ::close(fd);
+}
+
+bool Server::dispatch(const Frame& frame, ByteStream& stream) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++frames_;
+  }
+  if (frame.verb == "ping") {
+    send_ok(stream);
+    return false;
+  }
+  if (frame.verb == "load") {
+    cmd_load(frame, stream);
+    return false;
+  }
+  if (frame.verb == "analyze") {
+    cmd_analyze(frame, stream);
+    return false;
+  }
+  if (frame.verb == "batch") {
+    cmd_batch(frame, stream);
+    return false;
+  }
+  if (frame.verb == "stats") {
+    cmd_stats(stream);
+    return false;
+  }
+  if (frame.verb == "evict") {
+    cmd_evict(frame, stream);
+    return false;
+  }
+  if (frame.verb == "shutdown") {
+    send_ok(stream);
+    request_stop();
+    return true;
+  }
+  throw std::invalid_argument("unknown verb '" + frame.verb + "'");
+}
+
+analysis::CompiledCircuit Server::resolve_spec(const std::string& spec) {
+  return registry_
+      .get_or_load(spec,
+                   [&] {
+                     analysis::CompiledCircuit handle =
+                         analysis::compile(gen::build_circuit_spec(spec));
+                     if (options_.default_map_fanin > 0) {
+                       handle = handle.mapped(options_.default_map_fanin);
+                     }
+                     return handle;
+                   })
+      .circuit;
+}
+
+void Server::cmd_load(const Frame& frame, ByteStream& stream) {
+  const std::string spec = frame.required_arg("circuit");
+  const std::string name = frame.arg("name").value_or(spec);
+  int map_fanin = options_.default_map_fanin;
+  if (const auto map = frame.uint_arg("map"); map.has_value()) {
+    map_fanin = static_cast<int>(*map);
+  }
+  analysis::CompiledCircuit handle =
+      analysis::compile(gen::build_circuit_spec(spec));
+  if (map_fanin > 0) handle = handle.mapped(map_fanin);
+  // Copy, don't reference: once the handle moves into the registry another
+  // session's evict can drop the last owner while this reply is built.
+  const netlist::CircuitStats stats = handle.stats();
+  const std::uint64_t fingerprint = handle.content_fingerprint();
+  registry_.put(name, std::move(handle));
+
+  Frame reply;
+  reply.verb = "ok";
+  reply.add("handle", name);
+  reply.add("fingerprint", hex16(fingerprint));
+  reply.add("gates", std::to_string(stats.num_gates));
+  reply.add("inputs", std::to_string(stats.num_inputs));
+  reply.add("outputs", std::to_string(stats.num_outputs));
+  reply.add("depth", std::to_string(stats.depth));
+  send_frame(stream, reply);
+}
+
+void Server::cmd_analyze(const Frame& frame, ByteStream& stream) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++queries_;
+  }
+  const std::string handle = frame.required_arg("handle");
+  const std::string kind = frame.required_arg("kind");
+  // Reassemble a one-line manifest so analyze and batch share one option
+  // grammar (and one parser) by construction.
+  std::string line = frame.arg("name").value_or(handle);
+  line += " kind=" + kind + " circuit=" + handle;
+  for (const auto& [key, value] : frame.args) {
+    if (key == "handle" || key == "kind" || key == "name") continue;
+    if (key == "eps" || key == "delta" || key == "budget" || key == "seed" ||
+        key == "leakage" || key == "golden") {
+      line += " " + key + "=" + value;
+      continue;
+    }
+    throw std::invalid_argument("analyze: unknown argument '" + key + "='");
+  }
+  std::istringstream in(line);
+  std::vector<analysis::AnalysisRequest> requests =
+      exec::parse_manifest_requests(in, [this](const std::string& spec) {
+        return resolve_spec(spec);
+      });
+  if (requests.empty()) {
+    // A name starting with '#' turns the reassembled line into a manifest
+    // comment: reject rather than reply "done total=0" for a real request.
+    throw std::invalid_argument(
+        "analyze: request parsed to nothing (names must not start with '#')");
+  }
+  run_requests(std::move(requests), stream);
+}
+
+void Server::cmd_batch(const Frame& frame, ByteStream& stream) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++queries_;
+  }
+  if (frame.payload.empty()) {
+    throw std::invalid_argument("batch: manifest payload is empty");
+  }
+  std::istringstream in(frame.payload);
+  std::vector<analysis::AnalysisRequest> requests =
+      exec::parse_manifest_requests(in, [this](const std::string& spec) {
+        return resolve_spec(spec);
+      });
+  if (requests.empty()) {
+    throw std::invalid_argument("batch: manifest holds no jobs");
+  }
+  run_requests(std::move(requests), stream);
+}
+
+// Pre-fills the handle's profile cache for a request that would otherwise
+// extract inside its batch. The batch engine's extraction groups share an
+// extraction within one batch, but two *concurrent* batches would each run
+// their own; CompiledCircuit::profile() computes under the handle's lock —
+// concurrent sessions block on the first extraction and reuse it — which
+// is what makes "one extraction per (handle, key), server-wide" hold by
+// construction. Extraction failures are swallowed here: the evaluator
+// re-raises them as per-request error results, preserving isolation.
+namespace {
+void prefill_profile(const analysis::AnalysisRequest& request,
+                     exec::Parallelism how) {
+  const core::ProfileOptions* options = nullptr;
+  if (const auto* bound =
+          std::get_if<analysis::EnergyBoundRequest>(&request.options)) {
+    if (bound->profile_override.has_value()) return;
+    options = &bound->profile;
+  } else if (const auto* profile =
+                 std::get_if<analysis::ProfileRequest>(&request.options)) {
+    options = &profile->options;
+  }
+  if (options == nullptr || !request.circuit.valid()) return;
+  try {
+    (void)request.circuit.profile(*options, how);
+  } catch (const std::exception&) {
+  }
+}
+}  // namespace
+
+void Server::run_requests(std::vector<analysis::AnalysisRequest> requests,
+                          ByteStream& stream) {
+  const std::size_t total = requests.size();
+  std::vector<std::string> keys(total);
+  std::size_t cached_count = 0;
+  std::size_t failed = 0;
+
+  // Cache probe: every hit streams before any evaluation work starts — a
+  // mostly-warm batch delivers its hits instantly instead of waiting
+  // behind a cold request's extraction.
+  exec::BatchEvaluator evaluator(options_.how);
+  std::vector<std::size_t> misses;
+  for (std::size_t i = 0; i < total; ++i) {
+    keys[i] = result_cache_key(requests[i]);
+    if (auto hit = cache_.find(keys[i], requests[i].name, i)) {
+      ++cached_count;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++results_;
+      }
+      send_frame(stream, result_frame(*hit, /*cached=*/true));
+      continue;
+    }
+    misses.push_back(i);
+  }
+
+  // Misses enter the evaluator's flattened shard space, profiles
+  // pre-filled for cross-session sharing (distinct handles extract in
+  // sequence here — the price of server-wide exactly-once; each extraction
+  // is itself parallelized over the pool).
+  std::vector<std::size_t> original_index;  // by evaluator submission index
+  for (const std::size_t i : misses) {
+    prefill_profile(requests[i], options_.how);
+    original_index.push_back(i);
+    evaluator.submit(std::move(requests[i]));
+  }
+
+  // The socket-backed sink: results stream per-request in completion order.
+  // The cache fill happens before the write, so a client that disconnects
+  // mid-stream still warms the cache for the next one (its evaluation
+  // finishes either way — the evaluator drains before rethrowing sink
+  // errors).
+  evaluator.run([&](analysis::AnalysisResult result) {
+    result.index = original_index[result.index];
+    if (result.ok) {
+      cache_.store(keys[result.index], result);
+    } else {
+      ++failed;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++results_;
+    }
+    send_frame(stream, result_frame(result, /*cached=*/false));
+  });
+
+  Frame done;
+  done.verb = "done";
+  done.add("total", std::to_string(total));
+  done.add("failed", std::to_string(failed));
+  done.add("cached", std::to_string(cached_count));
+  send_frame(stream, done);
+}
+
+void Server::cmd_stats(ByteStream& stream) {
+  const RegistryStats registry = registry_.stats();
+  const ResultCacheStats cache = cache_.stats();
+  const ServerStats server = stats();
+
+  Frame reply;
+  reply.verb = "ok";
+  reply.add("handles", std::to_string(registry.handles));
+  reply.add("handle_loads", std::to_string(registry.loads));
+  reply.add("handle_hits", std::to_string(registry.hits));
+  reply.add("handle_evictions", std::to_string(registry.evictions));
+  reply.add("profile_extractions",
+            std::to_string(registry.profile_extractions));
+  reply.add("result_entries", std::to_string(cache.entries));
+  reply.add("result_hits", std::to_string(cache.hits));
+  reply.add("result_misses", std::to_string(cache.misses));
+  reply.add("result_stores", std::to_string(cache.stores));
+  reply.add("result_evictions", std::to_string(cache.evictions));
+  reply.add("sessions_total", std::to_string(server.sessions_total));
+  reply.add("sessions_active", std::to_string(server.sessions_active));
+  reply.add("frames", std::to_string(server.frames));
+  reply.add("queries", std::to_string(server.queries));
+  reply.add("results", std::to_string(server.results));
+  send_frame(stream, reply);
+}
+
+void Server::cmd_evict(const Frame& frame, ByteStream& stream) {
+  std::size_t evicted = 0;
+  if (const auto handle = frame.arg("handle"); handle.has_value()) {
+    evicted = registry_.evict(*handle) ? 1 : 0;
+  } else {
+    evicted = registry_.clear();
+  }
+  Frame reply;
+  reply.verb = "ok";
+  reply.add("evicted", std::to_string(evicted));
+  send_frame(stream, reply);
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats s;
+  s.sessions_total = sessions_total_;
+  s.sessions_active = session_fds_.size();
+  s.frames = frames_;
+  s.queries = queries_;
+  s.results = results_;
+  return s;
+}
+
+}  // namespace enb::serve

@@ -1,17 +1,15 @@
-// BatchEvaluator contract tests — via the deprecated circuit-by-value
-// BatchJob shims, kept as regression coverage until the shims are removed
-// (new code uses analysis::AnalysisRequest; see test_analysis.cpp).
+// BatchEvaluator contract tests over the typed analysis::AnalysisRequest
+// API (the circuit-by-value BatchJob shims were removed after PR 3; see
+// test_analysis.cpp for the handle-sharing coverage).
 //
-// The acceptance bar: a batch of >= 16 mixed jobs (reliability, worst-case,
-// activity, sensitivity, energy-bound, profile) produces bit-identical
-// per-job results for threads in {1, 0 (global pool), 64 (oversubscribed
-// dedicated pool)} and for shuffled submission order — and every batched
-// result equals the standalone estimator run with the same options, because
-// the batch schedules the estimators' own shard-level building blocks.
+// The acceptance bar: a batch of >= 16 mixed requests (reliability,
+// worst-case, activity, sensitivity, energy-bound, profile) produces
+// bit-identical per-request results for threads in {1, 0 (global pool), 64
+// (oversubscribed dedicated pool)} and for shuffled submission order — and
+// every batched result equals the standalone estimator run with the same
+// options, because the batch schedules the estimators' own shard-level
+// building blocks.
 #include "exec/batch.hpp"
-
-// This file intentionally exercises the deprecated shim API.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <gtest/gtest.h>
 
@@ -21,8 +19,11 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
 #include "core/profile.hpp"
 #include "ft/nmr.hpp"
 #include "gen/adders.hpp"
@@ -33,125 +34,133 @@
 namespace enb::exec {
 namespace {
 
+using analysis::AnalysisRequest;
+using analysis::AnalysisResult;
+using analysis::CompiledCircuit;
+
 netlist::Circuit suite_circuit(const std::string& name) {
   return gen::find_benchmark(name).build();
 }
 
-// A 20-job mixed workload over small suite circuits, with budgets chosen so
-// every kind produces several shards (and both sensitivity sweeps — exact
-// and sampled — are exercised).
-std::vector<BatchJob> mixed_jobs() {
-  std::vector<BatchJob> jobs;
+CompiledCircuit compile_suite(const std::string& name) {
+  return analysis::compile(suite_circuit(name));
+}
+
+AnalysisRequest make_request(std::string name, CompiledCircuit circuit,
+                             analysis::RequestOptions options) {
+  AnalysisRequest request;
+  request.name = std::move(name);
+  request.circuit = std::move(circuit);
+  request.options = std::move(options);
+  return request;
+}
+
+// A 20-request mixed workload over small suite circuits, with budgets
+// chosen so every kind produces several shards (and both sensitivity sweeps
+// — exact and sampled — are exercised). Each call compiles fresh handles,
+// so repeated runs start from cold artifact caches.
+std::vector<AnalysisRequest> mixed_requests() {
+  std::vector<AnalysisRequest> requests;
   const char* circuits[] = {"c17", "parity8", "rca8", "mult4"};
   for (const char* name : circuits) {
+    const CompiledCircuit circuit = compile_suite(name);
     {
-      BatchJob job;
-      job.name = std::string(name) + "/rel";
-      job.kind = JobKind::kReliability;
-      job.circuit = suite_circuit(name);
-      job.epsilon = 0.02;
-      job.reliability.trials = 2048;
-      job.reliability.shard_passes = 8;
-      jobs.push_back(std::move(job));
+      analysis::ReliabilityRequest spec;
+      spec.epsilon = 0.02;
+      spec.options.trials = 2048;
+      spec.options.shard_passes = 8;
+      requests.push_back(
+          make_request(std::string(name) + "/rel", circuit, spec));
     }
     {
-      BatchJob job;
-      job.name = std::string(name) + "/worst";
-      job.kind = JobKind::kWorstCase;
-      job.circuit = suite_circuit(name);
-      job.epsilon = 0.05;
-      job.worst_case.num_inputs = 16;
-      job.worst_case.trials_per_input = 256;
-      jobs.push_back(std::move(job));
+      analysis::WorstCaseRequest spec;
+      spec.epsilon = 0.05;
+      spec.options.num_inputs = 16;
+      spec.options.trials_per_input = 256;
+      requests.push_back(
+          make_request(std::string(name) + "/worst", circuit, spec));
     }
     {
-      BatchJob job;
-      job.name = std::string(name) + "/act";
-      job.kind = JobKind::kActivity;
-      job.circuit = suite_circuit(name);
-      job.activity.sample_pairs = 256;
-      job.activity.shard_pairs = 32;
-      jobs.push_back(std::move(job));
+      analysis::ActivityRequest spec;
+      spec.options.sample_pairs = 256;
+      spec.options.shard_pairs = 32;
+      requests.push_back(
+          make_request(std::string(name) + "/act", circuit, spec));
     }
     {
-      BatchJob job;
-      job.name = std::string(name) + "/sens";
-      job.kind = JobKind::kSensitivity;
-      job.circuit = suite_circuit(name);
-      job.sensitivity.max_exact_inputs = 8;  // rca8 (17 inputs) samples
-      job.sensitivity.sample_words = 64;
-      job.sensitivity.shard_words = 8;
-      jobs.push_back(std::move(job));
+      analysis::SensitivityRequest spec;
+      spec.options.max_exact_inputs = 8;  // rca8 (17 inputs) samples
+      spec.options.sample_words = 64;
+      spec.options.shard_words = 8;
+      requests.push_back(
+          make_request(std::string(name) + "/sens", circuit, spec));
     }
   }
   {
     // Redundant implementation vs its golden reference.
-    BatchJob job;
-    job.name = "tmr-rca4/rel";
-    job.kind = JobKind::kReliability;
-    job.golden = gen::ripple_carry_adder(4);
-    job.circuit = ft::nmr_transform(*job.golden).circuit;
-    job.epsilon = 0.01;
-    job.reliability.trials = 2048;
-    job.reliability.shard_passes = 8;
-    jobs.push_back(std::move(job));
+    const CompiledCircuit golden =
+        analysis::compile(gen::ripple_carry_adder(4));
+    analysis::ReliabilityRequest spec;
+    spec.epsilon = 0.01;
+    spec.options.trials = 2048;
+    spec.options.shard_passes = 8;
+    AnalysisRequest request = make_request(
+        "tmr-rca4/rel",
+        analysis::compile(ft::nmr_transform(golden.circuit()).circuit), spec);
+    request.golden = golden;
+    requests.push_back(std::move(request));
   }
   {
-    BatchJob job;
-    job.name = "mult4/bound";
-    job.kind = JobKind::kEnergyBound;
-    job.circuit = suite_circuit("mult4");
-    job.epsilon = 0.01;
-    job.delta = 0.01;
-    job.profile.activity_pairs = 256;
-    job.profile.sensitivity_exact_max_inputs = 8;
-    jobs.push_back(std::move(job));
+    analysis::EnergyBoundRequest spec;
+    spec.epsilon = 0.01;
+    spec.delta = 0.01;
+    spec.profile.activity_pairs = 256;
+    spec.profile.sensitivity_exact_max_inputs = 8;
+    requests.push_back(
+        make_request("mult4/bound", compile_suite("mult4"), spec));
   }
   {
     // 17 inputs: Monte-Carlo activity shards + sampled sensitivity shards.
-    BatchJob job;
-    job.name = "rca8/profile";
-    job.kind = JobKind::kProfile;
-    job.circuit = suite_circuit("rca8");
-    job.profile.activity_pairs = 256;
-    job.profile.sensitivity_exact_max_inputs = 8;
-    jobs.push_back(std::move(job));
+    analysis::ProfileRequest spec;
+    spec.options.activity_pairs = 256;
+    spec.options.sensitivity_exact_max_inputs = 8;
+    requests.push_back(
+        make_request("rca8/profile", compile_suite("rca8"), spec));
   }
   {
     // 8 inputs: exact (BDD) activity route + exact sensitivity sweep.
-    BatchJob job;
-    job.name = "parity8/profile";
-    job.kind = JobKind::kProfile;
-    job.circuit = suite_circuit("parity8");
-    jobs.push_back(std::move(job));
+    requests.push_back(make_request("parity8/profile",
+                                    compile_suite("parity8"),
+                                    analysis::ProfileRequest{}));
   }
-  return jobs;
+  return requests;
 }
 
-std::map<std::string, BatchResult> by_name(std::vector<BatchResult> results) {
-  std::map<std::string, BatchResult> map;
-  for (BatchResult& r : results) {
+std::map<std::string, AnalysisResult> by_name(
+    std::vector<AnalysisResult> results) {
+  std::map<std::string, AnalysisResult> map;
+  for (AnalysisResult& r : results) {
     map.emplace(r.name, std::move(r));
   }
   return map;
 }
 
-void expect_identical(const std::map<std::string, BatchResult>& reference,
-                      const std::map<std::string, BatchResult>& candidate,
+void expect_identical(const std::map<std::string, AnalysisResult>& reference,
+                      const std::map<std::string, AnalysisResult>& candidate,
                       const std::string& label) {
   ASSERT_EQ(reference.size(), candidate.size()) << label;
   for (const auto& [name, ref] : reference) {
     const auto it = candidate.find(name);
-    ASSERT_NE(it, candidate.end()) << label << ": missing job " << name;
+    ASSERT_NE(it, candidate.end()) << label << ": missing request " << name;
     EXPECT_EQ(ref.ok, it->second.ok) << label << ": " << name;
     // Bit-identical: exact double equality on every metric, no tolerance.
     EXPECT_EQ(ref.metrics, it->second.metrics) << label << ": " << name;
   }
 }
 
-TEST(Batch, MixedJobsBitIdenticalAcrossThreadCountsAndOrder) {
-  const auto reference = by_name(evaluate_batch(mixed_jobs(),
-                                                BatchOptions{1}));
+TEST(Batch, MixedRequestsBitIdenticalAcrossThreadCountsAndOrder) {
+  const auto reference =
+      by_name(evaluate_requests(mixed_requests(), Parallelism{1}));
   ASSERT_GE(reference.size(), 16u);
   for (const auto& [name, r] : reference) {
     EXPECT_TRUE(r.ok) << name << ": " << r.error;
@@ -160,40 +169,38 @@ TEST(Batch, MixedJobsBitIdenticalAcrossThreadCountsAndOrder) {
   // Global pool and a heavily oversubscribed dedicated pool.
   for (unsigned threads : {0u, 64u}) {
     const auto parallel =
-        by_name(evaluate_batch(mixed_jobs(), BatchOptions{threads}));
+        by_name(evaluate_requests(mixed_requests(), Parallelism{threads}));
     expect_identical(reference, parallel,
                      "threads=" + std::to_string(threads));
   }
 
   // Shuffled submission order (fixed permutation: stride 7 is coprime with
-  // the job count, so it visits every index).
-  std::vector<BatchJob> jobs = mixed_jobs();
-  std::vector<BatchJob> shuffled;
-  const std::size_t n = jobs.size();
+  // the request count, so it visits every index).
+  std::vector<AnalysisRequest> requests = mixed_requests();
+  std::vector<AnalysisRequest> shuffled;
+  const std::size_t n = requests.size();
   ASSERT_EQ(std::gcd(n, std::size_t{7}), 1u);  // stride must stay coprime
   for (std::size_t i = 0; i < n; ++i) {
-    shuffled.push_back(std::move(jobs[(i * 7) % n]));
+    shuffled.push_back(std::move(requests[(i * 7) % n]));
   }
   const auto reordered =
-      by_name(evaluate_batch(std::move(shuffled), BatchOptions{64}));
+      by_name(evaluate_requests(std::move(shuffled), Parallelism{64}));
   expect_identical(reference, reordered, "shuffled order");
 }
 
-TEST(Batch, ReliabilityJobMatchesDirectEstimatorCall) {
-  BatchJob job;
-  job.name = "rel";
-  job.kind = JobKind::kReliability;
-  job.circuit = suite_circuit("c17");
-  job.epsilon = 0.03;
-  job.reliability.trials = 2000;  // not a multiple of 64 on purpose
-  job.reliability.shard_passes = 4;
-  job.reliability.seed = 99;
+TEST(Batch, ReliabilityRequestMatchesDirectEstimatorCall) {
+  const CompiledCircuit circuit = compile_suite("c17");
+  analysis::ReliabilityRequest spec;
+  spec.epsilon = 0.03;
+  spec.options.trials = 2000;  // not a multiple of 64 on purpose
+  spec.options.shard_passes = 4;
+  spec.options.seed = 99;
   const sim::ReliabilityResult direct = sim::estimate_reliability(
-      job.circuit, job.epsilon, job.reliability, Parallelism::serial());
+      circuit.circuit(), spec.epsilon, spec.options, Parallelism::serial());
 
-  std::vector<BatchJob> jobs;
-  jobs.push_back(std::move(job));
-  const auto results = evaluate_batch(std::move(jobs));
+  std::vector<AnalysisRequest> requests;
+  requests.push_back(make_request("rel", circuit, spec));
+  const auto results = evaluate_requests(std::move(requests));
   ASSERT_EQ(results.size(), 1u);
   ASSERT_TRUE(results[0].ok) << results[0].error;
   EXPECT_EQ(results[0].metric("delta_hat"), direct.delta_hat);
@@ -205,21 +212,19 @@ TEST(Batch, ReliabilityJobMatchesDirectEstimatorCall) {
   EXPECT_EQ(results[0].metric("requested_trials"), 2000.0);
 }
 
-TEST(Batch, WorstCaseJobMatchesDirectEstimatorCall) {
-  BatchJob job;
-  job.name = "worst";
-  job.kind = JobKind::kWorstCase;
-  job.circuit = suite_circuit("c17");
-  job.epsilon = 0.05;
-  job.worst_case.num_inputs = 24;
-  job.worst_case.trials_per_input = 300;
+TEST(Batch, WorstCaseRequestMatchesDirectEstimatorCall) {
+  const CompiledCircuit circuit = compile_suite("c17");
+  analysis::WorstCaseRequest spec;
+  spec.epsilon = 0.05;
+  spec.options.num_inputs = 24;
+  spec.options.trials_per_input = 300;
   const sim::WorstCaseResult direct = sim::estimate_worst_case_reliability(
-      job.circuit, job.circuit, job.epsilon, job.worst_case,
+      circuit.circuit(), circuit.circuit(), spec.epsilon, spec.options,
       Parallelism::serial());
 
-  std::vector<BatchJob> jobs;
-  jobs.push_back(std::move(job));
-  const auto results = evaluate_batch(std::move(jobs));
+  std::vector<AnalysisRequest> requests;
+  requests.push_back(make_request("worst", circuit, spec));
+  const auto results = evaluate_requests(std::move(requests));
   ASSERT_TRUE(results[0].ok) << results[0].error;
   EXPECT_EQ(results[0].metric("worst_delta_hat"), direct.worst.delta_hat);
   EXPECT_EQ(results[0].metric("worst_failures"),
@@ -229,23 +234,20 @@ TEST(Batch, WorstCaseJobMatchesDirectEstimatorCall) {
   EXPECT_EQ(results[0].metric("requested_trials_per_input"), 300.0);
 }
 
-TEST(Batch, ProfileJobMatchesExtractProfile) {
+TEST(Batch, ProfileRequestMatchesExtractProfile) {
   core::ProfileOptions options;
   options.activity_pairs = 256;
   options.sensitivity_exact_max_inputs = 8;
 
   for (const char* name : {"rca8", "parity8"}) {  // sampled and BDD routes
-    BatchJob job;
-    job.name = name;
-    job.kind = JobKind::kProfile;
-    job.circuit = suite_circuit(name);
-    job.profile = options;
+    const netlist::Circuit circuit = suite_circuit(name);
     const core::CircuitProfile direct =
-        core::extract_profile(job.circuit, options, Parallelism::serial());
+        core::extract_profile(circuit, options, Parallelism::serial());
 
-    std::vector<BatchJob> jobs;
-    jobs.push_back(std::move(job));
-    const auto results = evaluate_batch(std::move(jobs));
+    std::vector<AnalysisRequest> requests;
+    requests.push_back(make_request(name, analysis::compile(suite_circuit(name)),
+                                    analysis::ProfileRequest{options}));
+    const auto results = evaluate_requests(std::move(requests));
     ASSERT_TRUE(results[0].ok) << results[0].error;
     ASSERT_TRUE(results[0].profile.has_value());
     const core::CircuitProfile& p = *results[0].profile;
@@ -259,7 +261,7 @@ TEST(Batch, ProfileJobMatchesExtractProfile) {
   }
 }
 
-TEST(Batch, EnergyBoundJobMatchesAnalyze) {
+TEST(Batch, EnergyBoundRequestMatchesAnalyze) {
   core::ProfileOptions options;
   options.activity_pairs = 256;
   options.sensitivity_exact_max_inputs = 8;
@@ -268,29 +270,27 @@ TEST(Batch, EnergyBoundJobMatchesAnalyze) {
       core::extract_profile(circuit, options, Parallelism::serial());
   const core::BoundReport direct = core::analyze(profile, 0.02, 0.05);
 
-  // Once via extraction, once via the precomputed-profile shortcut.
-  std::vector<BatchJob> jobs;
+  // Once via extraction, once via the profile-override shortcut (empty
+  // circuit handle).
+  std::vector<AnalysisRequest> requests;
   {
-    BatchJob job;
-    job.name = "extracted";
-    job.kind = JobKind::kEnergyBound;
-    job.circuit = circuit;
-    job.epsilon = 0.02;
-    job.delta = 0.05;
-    job.profile = options;
-    jobs.push_back(std::move(job));
+    analysis::EnergyBoundRequest spec;
+    spec.epsilon = 0.02;
+    spec.delta = 0.05;
+    spec.profile = options;
+    requests.push_back(make_request("extracted",
+                                    analysis::compile(suite_circuit("mult4")),
+                                    spec));
   }
   {
-    BatchJob job;
-    job.name = "precomputed";
-    job.kind = JobKind::kEnergyBound;
-    job.epsilon = 0.02;
-    job.delta = 0.05;
-    job.precomputed_profile = profile;
-    jobs.push_back(std::move(job));
+    analysis::EnergyBoundRequest spec;
+    spec.epsilon = 0.02;
+    spec.delta = 0.05;
+    spec.profile_override = profile;
+    requests.push_back(make_request("override", CompiledCircuit{}, spec));
   }
-  const auto results = evaluate_batch(std::move(jobs));
-  for (const BatchResult& r : results) {
+  const auto results = evaluate_requests(std::move(requests));
+  for (const AnalysisResult& r : results) {
     ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
     EXPECT_EQ(r.metric("total_factor"), direct.energy.total_factor) << r.name;
     EXPECT_EQ(r.metric("size_factor"), direct.size_factor) << r.name;
@@ -298,32 +298,28 @@ TEST(Batch, EnergyBoundJobMatchesAnalyze) {
   }
 }
 
-TEST(Batch, FailedJobIsIsolated) {
-  std::vector<BatchJob> jobs;
+TEST(Batch, FailedRequestIsIsolated) {
+  std::vector<AnalysisRequest> requests;
   {
-    BatchJob job;
-    job.name = "bad";
-    job.kind = JobKind::kReliability;
-    job.circuit = gen::c17();                   // 5 inputs
-    job.golden = gen::ripple_carry_adder(4);    // 9 inputs: mismatch
-    jobs.push_back(std::move(job));
+    analysis::ReliabilityRequest spec;
+    AnalysisRequest request =
+        make_request("bad", analysis::compile(gen::c17()), spec);  // 5 inputs
+    request.golden =
+        analysis::compile(gen::ripple_carry_adder(4));  // 9 inputs: mismatch
+    requests.push_back(std::move(request));
   }
   {
-    BatchJob job;
-    job.name = "empty";
-    job.kind = JobKind::kProfile;
-    job.circuit = netlist::Circuit("no-gates");  // nothing to profile
-    jobs.push_back(std::move(job));
+    requests.push_back(make_request(
+        "empty", analysis::compile(netlist::Circuit("no-gates")),
+        analysis::ProfileRequest{}));  // nothing to profile
   }
   {
-    BatchJob job;
-    job.name = "good";
-    job.kind = JobKind::kActivity;
-    job.circuit = gen::c17();
-    job.activity.sample_pairs = 64;
-    jobs.push_back(std::move(job));
+    analysis::ActivityRequest spec;
+    spec.options.sample_pairs = 64;
+    requests.push_back(make_request("good", analysis::compile(gen::c17()),
+                                    spec));
   }
-  const auto results = evaluate_batch(std::move(jobs));
+  const auto results = evaluate_requests(std::move(requests));
   ASSERT_EQ(results.size(), 3u);
   EXPECT_FALSE(results[0].ok);
   EXPECT_NE(results[0].error.find("mismatch"), std::string::npos)
@@ -341,12 +337,9 @@ TEST(Batch, EmptyQueueYieldsEmptyResults) {
 
 TEST(Batch, RunClearsTheQueue) {
   BatchEvaluator evaluator;
-  BatchJob job;
-  job.name = "act";
-  job.kind = JobKind::kActivity;
-  job.circuit = gen::c17();
-  job.activity.sample_pairs = 64;
-  evaluator.submit(std::move(job));
+  analysis::ActivityRequest spec;
+  spec.options.sample_pairs = 64;
+  evaluator.submit(make_request("act", analysis::compile(gen::c17()), spec));
   EXPECT_EQ(evaluator.pending(), 1u);
   EXPECT_EQ(evaluator.run().size(), 1u);
   EXPECT_EQ(evaluator.pending(), 0u);
@@ -366,7 +359,17 @@ TEST(Batch, JobKindRoundTrips) {
   EXPECT_FALSE(parse_job_kind("bogus").has_value());
 }
 
-TEST(Manifest, ParsesJobsWithCommentsAndDefaults) {
+// Memoized handle resolution, like the CLI and the server use.
+std::function<CompiledCircuit(const std::string&)> memoized_resolver(
+    std::map<std::string, CompiledCircuit>& handles) {
+  return [&handles](const std::string& spec) {
+    const auto it = handles.find(spec);
+    if (it != handles.end()) return it->second;
+    return handles.emplace(spec, compile_suite(spec)).first->second;
+  };
+}
+
+TEST(Manifest, ParsesRequestsWithCommentsAndDefaults) {
   std::istringstream in(
       "# comment line\n"
       "\n"
@@ -374,25 +377,45 @@ TEST(Manifest, ParsesJobsWithCommentsAndDefaults) {
       "w1 kind=worst-case circuit=parity8 budget=512\n"
       "e1 kind=energy-bound circuit=mult4 delta=0.1 leakage=0.25\n"
       "p1 circuit=rca8 kind=profile\n");
-  const auto jobs = parse_manifest(in, suite_circuit);
-  ASSERT_EQ(jobs.size(), 4u);
-  EXPECT_EQ(jobs[0].name, "r1");
-  EXPECT_EQ(jobs[0].kind, JobKind::kReliability);
-  EXPECT_DOUBLE_EQ(jobs[0].epsilon, 0.02);
-  EXPECT_EQ(jobs[0].reliability.trials, 4096u);
-  EXPECT_EQ(jobs[0].reliability.seed, 5u);
-  EXPECT_EQ(jobs[1].kind, JobKind::kWorstCase);
-  EXPECT_EQ(jobs[1].worst_case.trials_per_input, 512u);
-  EXPECT_DOUBLE_EQ(jobs[2].delta, 0.1);
-  EXPECT_DOUBLE_EQ(jobs[2].energy.leakage_fraction, 0.25);
-  EXPECT_EQ(jobs[3].kind, JobKind::kProfile);  // key order is free
-  EXPECT_GT(jobs[3].circuit.gate_count(), 0u);
+  std::map<std::string, CompiledCircuit> handles;
+  const auto requests = parse_manifest_requests(in, memoized_resolver(handles));
+  ASSERT_EQ(requests.size(), 4u);
+  EXPECT_EQ(requests[0].name, "r1");
+  EXPECT_EQ(requests[0].kind(), JobKind::kReliability);
+  const auto& rel =
+      std::get<analysis::ReliabilityRequest>(requests[0].options);
+  EXPECT_DOUBLE_EQ(rel.epsilon, 0.02);
+  EXPECT_EQ(rel.options.trials, 4096u);
+  EXPECT_EQ(rel.options.seed, 5u);
+  EXPECT_EQ(requests[1].kind(), JobKind::kWorstCase);
+  EXPECT_EQ(std::get<analysis::WorstCaseRequest>(requests[1].options)
+                .options.trials_per_input,
+            512u);
+  const auto& bound =
+      std::get<analysis::EnergyBoundRequest>(requests[2].options);
+  EXPECT_DOUBLE_EQ(bound.delta, 0.1);
+  EXPECT_DOUBLE_EQ(bound.energy.leakage_fraction, 0.25);
+  EXPECT_EQ(requests[3].kind(), JobKind::kProfile);  // key order is free
+  EXPECT_GT(requests[3].circuit.circuit().gate_count(), 0u);
+}
+
+TEST(Manifest, SharedSpecsShareHandles) {
+  std::istringstream in(
+      "a kind=activity circuit=c17 budget=64\n"
+      "b kind=sensitivity circuit=c17\n"
+      "c kind=profile circuit=rca8\n");
+  std::map<std::string, CompiledCircuit> handles;
+  const auto requests = parse_manifest_requests(in, memoized_resolver(handles));
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_TRUE(requests[0].circuit.same_handle(requests[1].circuit));
+  EXPECT_FALSE(requests[0].circuit.same_handle(requests[2].circuit));
 }
 
 TEST(Manifest, RejectsMalformedLines) {
   const auto parse = [](const std::string& text) {
     std::istringstream in(text);
-    return parse_manifest(in, suite_circuit);
+    std::map<std::string, CompiledCircuit> handles;
+    return parse_manifest_requests(in, memoized_resolver(handles));
   };
   EXPECT_THROW((void)parse("j1 kind=bogus circuit=c17"),
                std::invalid_argument);
@@ -414,18 +437,15 @@ TEST(Manifest, RejectsMalformedLines) {
                std::invalid_argument);
 }
 
-TEST(Batch, ZeroSampledSensitivityBudgetFailsTheJob) {
+TEST(Batch, ZeroSampledSensitivityBudgetFailsTheRequest) {
   // 17 inputs with max_exact_inputs=8 selects the sampled sweep; a zero
-  // sample budget must fail the job, not report ok with NaN influence.
-  BatchJob job;
-  job.name = "sens0";
-  job.kind = JobKind::kSensitivity;
-  job.circuit = suite_circuit("rca8");
-  job.sensitivity.max_exact_inputs = 8;
-  job.sensitivity.sample_words = 0;
-  std::vector<BatchJob> jobs;
-  jobs.push_back(std::move(job));
-  const auto results = evaluate_batch(std::move(jobs));
+  // sample budget must fail the request, not report ok with NaN influence.
+  analysis::SensitivityRequest spec;
+  spec.options.max_exact_inputs = 8;
+  spec.options.sample_words = 0;
+  std::vector<AnalysisRequest> requests;
+  requests.push_back(make_request("sens0", compile_suite("rca8"), spec));
+  const auto results = evaluate_requests(std::move(requests));
   ASSERT_EQ(results.size(), 1u);
   EXPECT_FALSE(results[0].ok);
   EXPECT_NE(results[0].error.find("sample_words"), std::string::npos)
@@ -451,25 +471,36 @@ TEST(BatchOutput, JsonEmitsNullForNonFiniteMetrics) {
   EXPECT_EQ(json.str().find("nan"), std::string::npos);
 }
 
+TEST(BatchOutput, ResultJsonObjectMatchesBatchArrayLine) {
+  // The per-result writer is the server's framing unit; the array writer
+  // must be exactly "[\n  <object>(,\n  <object>)*\n]\n" around it.
+  BatchResult r;
+  r.name = "one";
+  r.kind = JobKind::kActivity;
+  r.ok = true;
+  r.metrics = {{"avg_gate_toggle_rate", 0.25}};
+  std::ostringstream object;
+  write_result_json(object, r);
+  std::ostringstream array;
+  write_batch_json(array, {r});
+  EXPECT_EQ(array.str(), "[\n  " + object.str() + "\n]\n");
+}
+
 TEST(BatchOutput, CsvAndJsonShapes) {
-  std::vector<BatchJob> jobs;
+  std::vector<AnalysisRequest> requests;
   {
-    BatchJob job;
-    job.name = "act";
-    job.kind = JobKind::kActivity;
-    job.circuit = gen::c17();
-    job.activity.sample_pairs = 64;
-    jobs.push_back(std::move(job));
+    analysis::ActivityRequest spec;
+    spec.options.sample_pairs = 64;
+    requests.push_back(make_request("act", analysis::compile(gen::c17()),
+                                    spec));
   }
   {
-    BatchJob job;
-    job.name = "bad";
-    job.kind = JobKind::kReliability;
-    job.circuit = gen::c17();
-    job.golden = gen::ripple_carry_adder(4);
-    jobs.push_back(std::move(job));
+    AnalysisRequest request = make_request(
+        "bad", analysis::compile(gen::c17()), analysis::ReliabilityRequest{});
+    request.golden = analysis::compile(gen::ripple_carry_adder(4));
+    requests.push_back(std::move(request));
   }
-  const auto results = evaluate_batch(std::move(jobs));
+  const auto results = evaluate_requests(std::move(requests));
 
   std::ostringstream csv;
   write_batch_csv(csv, results);

@@ -90,5 +90,50 @@ TEST(CliArgs, EmptyArgvIsOk) {
   EXPECT_TRUE(args.positional.empty());
 }
 
+TEST(CliArgs, ServeFlagsParse) {
+  const Args args = parse_args({"serve", "--socket", "/tmp/enb.sock",
+                                "--max-handles", "8", "--max-cache", "128",
+                                "--threads", "2"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.socket, "/tmp/enb.sock");
+  EXPECT_EQ(args.max_handles, 8);
+  EXPECT_EQ(args.max_cache, 128);
+  EXPECT_EQ(args.threads, 2u);
+}
+
+TEST(CliArgs, ServeCapacitiesDefaultAndRejectNonPositive) {
+  const Args defaults = parse_args({"serve", "--socket", "s.sock"});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.max_handles, 64);
+  EXPECT_EQ(defaults.max_cache, 4096);
+
+  const Args handles = parse_args({"serve", "--max-handles", "0"});
+  ASSERT_FALSE(handles.ok());
+  EXPECT_NE(handles.error.find("--max-handles"), std::string::npos)
+      << handles.error;
+  const Args cache = parse_args({"serve", "--max-cache", "-5"});
+  ASSERT_FALSE(cache.ok());
+  EXPECT_NE(cache.error.find("--max-cache"), std::string::npos)
+      << cache.error;
+}
+
+TEST(CliArgs, TrailingSocketFlagRejected) {
+  const Args args = parse_args({"client", "--socket"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_NE(args.error.find("--socket"), std::string::npos) << args.error;
+}
+
+TEST(CliArgs, ClientVerbTokensStayPositional) {
+  // Manifest-style key=value tokens must pass through as positionals for
+  // the client analyze verb.
+  const Args args = parse_args({"client", "--socket", "s.sock", "analyze",
+                                "mult4", "kind=energy-bound", "eps=0.02"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  ASSERT_EQ(args.positional.size(), 5u);
+  EXPECT_EQ(args.positional[2], "mult4");
+  EXPECT_EQ(args.positional[3], "kind=energy-bound");
+  EXPECT_EQ(args.positional[4], "eps=0.02");
+}
+
 }  // namespace
 }  // namespace enb::cli

@@ -1,0 +1,195 @@
+// Framing robustness: the server's first line of defence is that a hostile
+// or broken byte stream surfaces as a typed ProtocolError at the framing
+// layer — truncated frames, oversized declarations and malformed headers
+// never reach verb dispatch, and never crash.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace enb::serve {
+namespace {
+
+Frame parse_one(const std::string& wire) {
+  MemoryStream stream(wire);
+  FrameReader reader(stream);
+  const auto frame = reader.read_frame();
+  EXPECT_TRUE(frame.has_value());
+  return frame.value_or(Frame{});
+}
+
+TEST(Protocol, RoundTripsHeaderOnlyFrame) {
+  MemoryStream out("");
+  Frame frame;
+  frame.verb = "ping";
+  write_frame(out, frame);
+  EXPECT_EQ(out.output(), "ping\n");
+
+  const Frame parsed = parse_one(out.output());
+  EXPECT_EQ(parsed.verb, "ping");
+  EXPECT_TRUE(parsed.args.empty());
+  EXPECT_TRUE(parsed.payload.empty());
+}
+
+TEST(Protocol, RoundTripsArgsAndBinaryPayload) {
+  MemoryStream out("");
+  Frame frame;
+  frame.verb = "result";
+  frame.add("index", "7").add("ok", "1");
+  // Payload bytes are opaque: newlines, NULs and frame-lookalike text must
+  // survive verbatim.
+  frame.payload = std::string("line1\nresult index=0\n\0binary", 28);
+  write_frame(out, frame);
+
+  const Frame parsed = parse_one(out.output());
+  EXPECT_EQ(parsed.verb, "result");
+  EXPECT_EQ(parsed.arg("index"), "7");
+  EXPECT_EQ(parsed.arg("ok"), "1");
+  EXPECT_EQ(parsed.arg("missing"), std::nullopt);
+  EXPECT_EQ(parsed.payload, frame.payload);
+}
+
+TEST(Protocol, ReadsBackToBackFramesAndCleanEof) {
+  MemoryStream out("");
+  Frame first;
+  first.verb = "load";
+  first.add("circuit", "c17");
+  Frame second;
+  second.verb = "batch";
+  second.payload = "j kind=profile circuit=c17\n";
+  write_frame(out, first);
+  write_frame(out, second);
+
+  MemoryStream in(out.output());
+  FrameReader reader(in);
+  const auto a = reader.read_frame();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->verb, "load");
+  const auto b = reader.read_frame();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->payload, second.payload);
+  EXPECT_FALSE(reader.read_frame().has_value());  // clean EOF, not an error
+}
+
+TEST(Protocol, TruncatedHeaderThrows) {
+  MemoryStream in("stats");  // no newline before EOF
+  FrameReader reader(in);
+  EXPECT_THROW((void)reader.read_frame(), ProtocolError);
+}
+
+TEST(Protocol, TruncatedPayloadThrows) {
+  MemoryStream in("batch payload=100\nonly a few bytes");
+  FrameReader reader(in);
+  EXPECT_THROW((void)reader.read_frame(), ProtocolError);
+}
+
+TEST(Protocol, MissingPayloadThrows) {
+  MemoryStream in("batch payload=10\n");
+  FrameReader reader(in);
+  EXPECT_THROW((void)reader.read_frame(), ProtocolError);
+}
+
+TEST(Protocol, OversizedPayloadDeclarationThrows) {
+  // The declaration alone must be rejected — no allocation of 2^40 bytes.
+  MemoryStream in("batch payload=1099511627776\n");
+  FrameReader reader(in);
+  EXPECT_THROW((void)reader.read_frame(), ProtocolError);
+}
+
+TEST(Protocol, MalformedPayloadLengthThrows) {
+  MemoryStream in("batch payload=abc\n");
+  FrameReader reader(in);
+  EXPECT_THROW((void)reader.read_frame(), ProtocolError);
+  MemoryStream negative("batch payload=-1\n");
+  FrameReader negative_reader(negative);
+  EXPECT_THROW((void)negative_reader.read_frame(), ProtocolError);
+}
+
+TEST(Protocol, OversizedHeaderThrows) {
+  std::string wire = "verb ";
+  wire.append(kMaxHeaderBytes + 64, 'x');  // never a newline
+  MemoryStream in(wire);
+  FrameReader reader(in);
+  EXPECT_THROW((void)reader.read_frame(), ProtocolError);
+}
+
+TEST(Protocol, MalformedKeyValueThrows) {
+  for (const char* wire : {"verb novalue\n", "verb =value\n", "verb key=\n"}) {
+    MemoryStream in(wire);
+    FrameReader reader(in);
+    EXPECT_THROW((void)reader.read_frame(), ProtocolError) << wire;
+  }
+}
+
+TEST(Protocol, EmptyAndBlankHeadersThrow) {
+  for (const char* wire : {"\n", "   \n"}) {
+    MemoryStream in(wire);
+    FrameReader reader(in);
+    EXPECT_THROW((void)reader.read_frame(), ProtocolError) << wire;
+  }
+}
+
+TEST(Protocol, NonPrintableVerbThrows) {
+  MemoryStream in("ve\trb\n");
+  FrameReader reader(in);
+  EXPECT_THROW((void)reader.read_frame(), ProtocolError);
+}
+
+TEST(Protocol, ExtraSpacesBetweenTokensAreAccepted) {
+  const Frame parsed = parse_one("load   circuit=c17   map=3\n");
+  EXPECT_EQ(parsed.verb, "load");
+  EXPECT_EQ(parsed.arg("circuit"), "c17");
+  EXPECT_EQ(parsed.arg("map"), "3");
+}
+
+TEST(Protocol, ValueMayContainEquals) {
+  const Frame parsed = parse_one("analyze handle=c17 note=a=b\n");
+  EXPECT_EQ(parsed.arg("note"), "a=b");
+}
+
+TEST(Protocol, WriteFrameValidatesTokens) {
+  MemoryStream out("");
+  Frame bad_verb;
+  bad_verb.verb = "two words";
+  EXPECT_THROW(write_frame(out, bad_verb), std::invalid_argument);
+
+  Frame bad_key;
+  bad_key.verb = "ok";
+  bad_key.add("payload", "7");  // reserved
+  EXPECT_THROW(write_frame(out, bad_key), std::invalid_argument);
+
+  Frame bad_value;
+  bad_value.verb = "ok";
+  bad_value.add("name", "has space");
+  EXPECT_THROW(write_frame(out, bad_value), std::invalid_argument);
+
+  EXPECT_TRUE(out.output().empty());  // validation precedes any write
+}
+
+TEST(Protocol, RequiredAndUintArgHelpers) {
+  const Frame parsed = parse_one("analyze handle=c17 index=12 bad=12x\n");
+  EXPECT_EQ(parsed.required_arg("handle"), "c17");
+  EXPECT_THROW((void)parsed.required_arg("absent"), std::invalid_argument);
+  EXPECT_EQ(parsed.uint_arg("index"), 12u);
+  EXPECT_EQ(parsed.uint_arg("absent"), std::nullopt);
+  EXPECT_THROW((void)parsed.uint_arg("bad"), std::invalid_argument);
+}
+
+TEST(Protocol, PayloadSpanningManyReadChunksRoundTrips) {
+  // Larger than FrameReader's 4096-byte read chunk, so reassembly across
+  // chunk boundaries is exercised.
+  std::string payload;
+  for (int i = 0; i < 3000; ++i) payload += "0123456789";
+  MemoryStream out("");
+  Frame frame;
+  frame.verb = "batch";
+  frame.payload = payload;
+  write_frame(out, frame);
+  const Frame parsed = parse_one(out.output());
+  EXPECT_EQ(parsed.payload.size(), payload.size());
+  EXPECT_EQ(parsed.payload, payload);
+}
+
+}  // namespace
+}  // namespace enb::serve

@@ -1,0 +1,358 @@
+// End-to-end daemon tests over a real Unix domain socket: round-trip
+// output identity with the offline batch writer, cross-request result-cache
+// semantics, protocol-robustness behaviour at the session level (malformed
+// verbs, truncated frames, oversized payloads, mid-stream disconnects), and
+// concurrent-client isolation/sharing. The server runs in-process so the
+// tests can read its registry/cache counters directly.
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
+#include "exec/batch.hpp"
+#include "gen/suite.hpp"
+#include "serve/client.hpp"
+
+namespace enb::serve {
+namespace {
+
+// A fast mixed manifest: two circuits, shared profile key between the
+// energy-bound and profile jobs over mult4 (one extraction by
+// construction).
+constexpr const char* kManifest =
+    "rel kind=reliability circuit=c17 eps=0.02 budget=512 seed=5\n"
+    "act kind=activity circuit=c17 budget=128\n"
+    "bound kind=energy-bound circuit=mult4 eps=0.02 budget=256\n"
+    "prof kind=profile circuit=mult4 budget=256\n";
+
+// Offline reference with the server's resolution rule: compile + map to the
+// default fanin-3 library, memoized per spec.
+std::string offline_json(const std::string& manifest_text) {
+  std::map<std::string, analysis::CompiledCircuit> handles;
+  std::istringstream in(manifest_text);
+  std::vector<analysis::AnalysisRequest> requests =
+      exec::parse_manifest_requests(in, [&](const std::string& spec) {
+        const auto it = handles.find(spec);
+        if (it != handles.end()) return it->second;
+        analysis::CompiledCircuit handle =
+            analysis::compile(gen::find_benchmark(spec).build()).mapped(3);
+        return handles.emplace(spec, std::move(handle)).first->second;
+      });
+  const std::vector<analysis::AnalysisResult> results =
+      exec::evaluate_requests(std::move(requests));
+  std::ostringstream out;
+  exec::write_batch_json(out, results);
+  return out.str();
+}
+
+std::string served_json(const QueryOutcome& outcome) {
+  std::ostringstream out;
+  outcome.assemble_json(out);
+  return out.str();
+}
+
+int raw_connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+void raw_send(int fd, const std::string& bytes) {
+  FdStream stream(fd);
+  stream.write_all(bytes.data(), bytes.size());
+}
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void start(ServerOptions options = {}) {
+    static std::atomic<int> counter{0};
+    options.socket_path = "/tmp/enb_srv_" + std::to_string(::getpid()) + "_" +
+                          std::to_string(counter.fetch_add(1)) + ".sock";
+    server_.emplace(std::move(options));
+    server_->bind();
+    runner_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    if (server_.has_value()) server_->request_stop();
+    if (runner_.joinable()) runner_.join();
+  }
+
+  [[nodiscard]] const std::string& path() const {
+    return server_->socket_path();
+  }
+
+  // Waits (bounded) for a server-side counter condition — used where a
+  // session runs past its client's lifetime.
+  template <typename Predicate>
+  bool wait_for(Predicate&& predicate, int timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (predicate()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+
+  std::optional<Server> server_;
+  std::thread runner_;
+};
+
+TEST_F(ServeServerTest, BatchRoundTripIsByteIdenticalToOffline) {
+  start();
+  Client client(path());
+  std::vector<std::string> stream_order;
+  const QueryOutcome outcome =
+      client.batch(kManifest, [&](const ResultRecord& record) {
+        stream_order.push_back(record.name);
+      });
+  EXPECT_EQ(outcome.total, 4u);
+  EXPECT_EQ(outcome.failed, 0u);
+  EXPECT_EQ(outcome.cached, 0u);
+  EXPECT_EQ(stream_order.size(), 4u);  // streamed per result, not en bloc
+  EXPECT_EQ(served_json(outcome), offline_json(kManifest));
+}
+
+TEST_F(ServeServerTest, RepeatedBatchIsServedEntirelyFromTheResultCache) {
+  start();
+  Client client(path());
+  const QueryOutcome cold = client.batch(kManifest);
+  EXPECT_EQ(cold.cached, 0u);
+  const std::uint64_t extractions_after_cold =
+      server_->registry_stats().profile_extractions;
+  EXPECT_EQ(extractions_after_cold, 1u);  // bound+prof share one key
+
+  const QueryOutcome warm = client.batch(kManifest);
+  EXPECT_EQ(warm.cached, 4u);
+  EXPECT_EQ(served_json(warm), served_json(cold));
+  // Zero additional evaluations: no new extraction, four cache hits.
+  EXPECT_EQ(server_->registry_stats().profile_extractions,
+            extractions_after_cold);
+  const ResultCacheStats cache = server_->cache_stats();
+  EXPECT_EQ(cache.hits, 4u);
+  EXPECT_EQ(cache.entries, 4u);
+}
+
+TEST_F(ServeServerTest, ResultCacheSurvivesHandleEviction) {
+  start();
+  Client client(path());
+  const QueryOutcome cold = client.batch(kManifest);
+  const Frame evicted = client.evict();
+  EXPECT_EQ(evicted.arg("evicted"), "2");  // c17 + mult4
+  EXPECT_EQ(server_->registry_stats().handles, 0u);
+
+  // Fingerprint-keyed: reloading the same content hits the warm cache.
+  const QueryOutcome warm = client.batch(kManifest);
+  EXPECT_EQ(warm.cached, 4u);
+  EXPECT_EQ(served_json(warm), served_json(cold));
+}
+
+TEST_F(ServeServerTest, AnalyzeVerbMatchesABatchOfOne) {
+  start();
+  Client client(path());
+  const Frame loaded = client.load("mult4");
+  EXPECT_EQ(loaded.arg("handle"), "mult4");
+  EXPECT_EQ(loaded.arg("fingerprint").value_or("").size(), 16u);
+
+  const QueryOutcome analyzed = client.analyze(
+      "mult4", "energy-bound", {"eps=0.02", "budget=256", "name=bound"});
+  ASSERT_EQ(analyzed.results.size(), 1u);
+  EXPECT_TRUE(analyzed.results[0].ok);
+
+  const std::string one_line =
+      "bound kind=energy-bound circuit=mult4 eps=0.02 budget=256\n";
+  EXPECT_EQ(served_json(analyzed), offline_json(one_line));
+}
+
+TEST_F(ServeServerTest, LoadReportsContentFingerprintIndependentOfName) {
+  start();
+  Client client(path());
+  const Frame a = client.load("c17", "first");
+  const Frame b = client.load("c17", "second");
+  EXPECT_EQ(a.arg("fingerprint"), b.arg("fingerprint"));
+  EXPECT_EQ(server_->registry_stats().handles, 2u);
+  EXPECT_EQ(a.arg("gates"), b.arg("gates"));
+}
+
+TEST_F(ServeServerTest, FailedJobsAreReportedNotCached) {
+  start();
+  Client client(path());
+  const std::string manifest =
+      "bad kind=reliability circuit=c17 golden=mult4 budget=128\n"  // mismatch
+      "good kind=activity circuit=c17 budget=128\n";
+  const QueryOutcome outcome = client.batch(manifest);
+  EXPECT_EQ(outcome.total, 2u);
+  EXPECT_EQ(outcome.failed, 1u);
+  EXPECT_FALSE(outcome.results[0].ok);
+  EXPECT_TRUE(outcome.results[1].ok);
+  EXPECT_EQ(server_->cache_stats().entries, 1u);  // only the ok result
+
+  // The failure repeats on resubmission (never memoized as ok).
+  const QueryOutcome again = client.batch(manifest);
+  EXPECT_EQ(again.failed, 1u);
+  EXPECT_EQ(again.cached, 1u);
+}
+
+TEST_F(ServeServerTest, UnknownVerbAndBadArgumentsKeepTheSessionUsable) {
+  start();
+  Client client(path());
+  EXPECT_THROW((void)client.call(Frame{"frobnicate", {}, {}}), ServerError);
+  EXPECT_THROW((void)client.call(Frame{"load", {}, {}}), ServerError);
+  EXPECT_THROW((void)client.batch("job kind=bogus circuit=c17\n"),
+               ServerError);
+  EXPECT_THROW((void)client.batch("job kind=profile circuit=nosuch\n"),
+               ServerError);
+  EXPECT_THROW((void)client.batch("# only comments\n"), ServerError);
+  // The framing stayed intact through every failure: the session still
+  // answers.
+  EXPECT_EQ(client.ping().verb, "ok");
+  const QueryOutcome outcome = client.batch(kManifest);
+  EXPECT_EQ(outcome.failed, 0u);
+}
+
+TEST_F(ServeServerTest, TruncatedFrameEndsOnlyThatSession) {
+  start();
+  const int fd = raw_connect(path());
+  raw_send(fd, "batch payload=100\nonly a few bytes");
+  ::shutdown(fd, SHUT_WR);  // EOF inside the declared payload
+  // The server reports the framing error (best effort) and hangs up.
+  FdStream stream(fd);
+  FrameReader reader(stream);
+  const auto reply = reader.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->verb, "error");
+  EXPECT_NE(reply->payload.find("truncated"), std::string::npos);
+  EXPECT_FALSE(reader.read_frame().has_value());  // closed
+  ::close(fd);
+
+  // Other sessions are untouched.
+  Client client(path());
+  EXPECT_EQ(client.ping().verb, "ok");
+}
+
+TEST_F(ServeServerTest, OversizedPayloadDeclarationEndsOnlyThatSession) {
+  start();
+  const int fd = raw_connect(path());
+  raw_send(fd, "batch payload=1099511627776\n");
+  FdStream stream(fd);
+  FrameReader reader(stream);
+  const auto reply = reader.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->verb, "error");
+  EXPECT_NE(reply->payload.find("exceeds"), std::string::npos);
+  EXPECT_FALSE(reader.read_frame().has_value());
+  ::close(fd);
+
+  Client client(path());
+  EXPECT_EQ(client.ping().verb, "ok");
+}
+
+TEST_F(ServeServerTest, ClientDisconnectMidStreamWarmsTheCacheAnyway) {
+  start();
+  {
+    // Submit and vanish: the server must survive the failed result writes,
+    // finish evaluating, and keep the results.
+    const int fd = raw_connect(path());
+    Frame frame;
+    frame.verb = "batch";
+    frame.payload = kManifest;
+    FdStream stream(fd);
+    write_frame(stream, frame);
+    ::close(fd);
+  }
+  ASSERT_TRUE(wait_for([this] { return server_->cache_stats().stores >= 4; }))
+      << "server never finished the abandoned batch";
+
+  Client client(path());
+  const QueryOutcome outcome = client.batch(kManifest);
+  EXPECT_EQ(outcome.failed, 0u);
+  EXPECT_EQ(outcome.cached, 4u);  // the abandoned run's results persisted
+  EXPECT_EQ(served_json(outcome), offline_json(kManifest));
+}
+
+TEST_F(ServeServerTest, ConcurrentClientsShareOneExtractionAndStayIsolated) {
+  start();
+  const std::string manifest =
+      "bound kind=energy-bound circuit=mult4 eps=0.02 budget=2048\n"
+      "prof kind=profile circuit=mult4 budget=2048\n";
+  std::vector<std::thread> workers;
+  std::vector<QueryOutcome> outcomes(4);
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&, i] {
+      Client client(path());
+      outcomes[static_cast<std::size_t>(i)] = client.batch(manifest);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const std::string reference = served_json(outcomes[0]);
+  for (const QueryOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.total, 2u);
+    EXPECT_EQ(outcome.failed, 0u);
+    EXPECT_EQ(served_json(outcome), reference);
+  }
+  // One handle, one extraction — shared by construction across sessions.
+  EXPECT_EQ(server_->registry_stats().profile_extractions, 1u);
+  EXPECT_EQ(server_->registry_stats().loads, 1u);
+}
+
+TEST_F(ServeServerTest, LruRegistryEvictionKeepsServingCorrectResults) {
+  ServerOptions options;
+  options.max_handles = 1;  // pathological: every other spec evicts
+  start(options);
+  Client client(path());
+  const QueryOutcome outcome = client.batch(kManifest);
+  EXPECT_EQ(outcome.failed, 0u);
+  EXPECT_EQ(served_json(outcome), offline_json(kManifest));
+  EXPECT_EQ(server_->registry_stats().handles, 1u);
+  EXPECT_GE(server_->registry_stats().evictions, 1u);
+}
+
+TEST_F(ServeServerTest, StatsVerbExposesTheCounters) {
+  start();
+  Client client(path());
+  (void)client.batch(kManifest);
+  const Frame stats = client.stats();
+  EXPECT_EQ(stats.uint_arg("handles"), 2u);
+  EXPECT_EQ(stats.uint_arg("result_entries"), 4u);
+  EXPECT_EQ(stats.uint_arg("result_misses"), 4u);
+  EXPECT_EQ(stats.uint_arg("profile_extractions"), 1u);
+  EXPECT_EQ(stats.uint_arg("queries"), 1u);
+  EXPECT_EQ(stats.uint_arg("results"), 4u);
+  EXPECT_EQ(stats.uint_arg("sessions_active"), 1u);
+}
+
+TEST_F(ServeServerTest, ShutdownVerbStopsTheRunLoop) {
+  start();
+  {
+    Client client(path());
+    (void)client.shutdown_server();
+  }
+  if (runner_.joinable()) runner_.join();
+  // The socket file is gone: new connections are refused.
+  EXPECT_THROW(Client{path()}, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace enb::serve

@@ -7,6 +7,9 @@
 //                   [--delta D] [--map K] [--csv out.csv] [--json out.json]
 //   enbound batch   <manifest>   [--map K] [--threads N] [--stream]
 //                   [--csv out.csv] [--json out.json]
+//   enbound serve   --socket <path> [--map K] [--threads N]
+//                   [--max-handles N] [--max-cache N]
+//   enbound client  --socket <path> <verb> [...]
 //   enbound gen     <name> [-o out.bench]      (suite circuit to .bench)
 //   enbound list                                (available suite circuits)
 //
@@ -16,12 +19,19 @@
 // AnalysisRequests over the handle — zero netlist copies, one profile
 // extraction per design. `batch --stream` prints each result as its job
 // finishes (completion order; payloads identical to the blocking run).
+// `serve` keeps handles and results alive *across* invocations: it owns a
+// Unix domain socket, and `client` submits the same manifests against it —
+// byte-identical output, amortized compile/extraction, memoized repeats.
 //
-// Exit codes: 0 ok, 1 usage error, 2 processing error (including any failed
-// batch job).
+// Exit codes: 0 ok, 1 usage error, 2 processing error (malformed input or
+// any failed batch job), 3 input file missing/unreadable.
+#include <atomic>
+#include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,11 +46,19 @@
 #include "netlist/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
 using namespace enb;
 using cli::Args;
+
+// A missing input file is an environment problem, not a parse problem; it
+// gets its own exit code so scripts can tell "fix the path" from "fix the
+// file".
+constexpr int kExitProcessing = 2;
+constexpr int kExitMissingInput = 3;
 
 int usage() {
   std::cerr
@@ -52,6 +70,12 @@ int usage() {
          "          [--delta D] [--map K] [--csv out.csv] [--json out.json]\n"
          "  batch   <manifest> [--map K] [--threads N] [--stream]\n"
          "          [--csv out.csv] [--json out.json]\n"
+         "  serve   --socket <path> [--map K] [--threads N]\n"
+         "          [--max-handles N] [--max-cache N]\n"
+         "  client  --socket <path> load <spec> [name] [--map K]\n"
+         "  client  --socket <path> batch <manifest> [--json out.json]\n"
+         "  client  --socket <path> analyze <handle> kind=<kind> [key=val...]\n"
+         "  client  --socket <path> stats|evict [name]|ping|shutdown\n"
          "  gen     <name> [-o out.bench]\n"
          "  list\n"
          "notes: --map 0 analyzes netlists as-is; default maps to the\n"
@@ -60,23 +84,49 @@ int usage() {
          "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
          "         energy-bound|profile> circuit=<suite name or .bench path>\n"
          "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
-         "         [leakage=L]\n";
+         "         [leakage=L]\n"
+         "exit codes: 0 ok, 1 usage, 2 processing/parse error or failed\n"
+         "job, 3 input file missing\n";
   return 1;
 }
 
-netlist::Circuit build_circuit(const std::string& spec) {
-  const bool is_path = spec.find('/') != std::string::npos ||
-                       (spec.size() > 6 &&
-                        spec.compare(spec.size() - 6, 6, ".bench") == 0);
-  return is_path ? netlist::read_bench_file(spec)
-                 : gen::find_benchmark(spec).build();
+// Opens an input file with the missing-vs-malformed distinction: a path
+// that does not exist (or cannot be opened) returns kExitMissingInput
+// through `error_exit`; parse errors remain the caller's (exit 2).
+bool open_input_file(const std::string& path, const char* what,
+                     std::ifstream& in, int& error_exit) {
+  in.open(path);
+  if (in) return true;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    std::cerr << "error: " << what << " file not found: " << path << "\n";
+  } else {
+    std::cerr << "error: cannot open " << what << " file: " << path << "\n";
+  }
+  error_exit = kExitMissingInput;
+  return false;
 }
+
+// Missing-circuit-file check for commands whose positional is a .bench
+// path; suite names never hit the filesystem.
+bool circuit_file_missing(const std::string& spec) {
+  std::error_code ec;
+  return gen::spec_is_path(spec) && !std::filesystem::exists(spec, ec);
+}
+
+// Thrown by the batch resolver so a manifest naming a nonexistent .bench
+// routes to kExitMissingInput like a missing positional path does (the
+// documented missing-vs-malformed contract covers both).
+struct MissingInputError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 // Compiles (and optionally maps) a circuit spec. The mapped variant is
 // cached on the base handle, so repeated specs share everything.
 analysis::CompiledCircuit load_compiled(const Args& args,
                                         const std::string& spec) {
-  analysis::CompiledCircuit compiled = analysis::compile(build_circuit(spec));
+  analysis::CompiledCircuit compiled =
+      analysis::compile(gen::build_circuit_spec(spec));
   if (args.map_fanin > 0) compiled = compiled.mapped(args.map_fanin);
   return compiled;
 }
@@ -106,6 +156,11 @@ void write_json_file(const std::string& path,
 }
 
 int cmd_profile(const Args& args) {
+  if (circuit_file_missing(args.positional[1])) {
+    std::cerr << "error: circuit file not found: " << args.positional[1]
+              << "\n";
+    return kExitMissingInput;
+  }
   const analysis::CompiledCircuit compiled =
       load_compiled(args, args.positional[1]);
   print_profile(compiled.profile());
@@ -113,6 +168,11 @@ int cmd_profile(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
+  if (circuit_file_missing(args.positional[1])) {
+    std::cerr << "error: circuit file not found: " << args.positional[1]
+              << "\n";
+    return kExitMissingInput;
+  }
   const analysis::CompiledCircuit compiled =
       load_compiled(args, args.positional[1]);
   // profile() caches on the handle: the analyze() call below reuses this
@@ -156,6 +216,11 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
+  if (circuit_file_missing(args.positional[1])) {
+    std::cerr << "error: circuit file not found: " << args.positional[1]
+              << "\n";
+    return kExitMissingInput;
+  }
   const analysis::CompiledCircuit compiled =
       load_compiled(args, args.positional[1]);
   const std::vector<double> grid =
@@ -233,20 +298,29 @@ std::string headline_of(const analysis::AnalysisResult& r) {
 
 int cmd_batch(const Args& args) {
   const std::string& manifest_path = args.positional[1];
-  std::ifstream manifest(manifest_path);
-  if (!manifest) {
-    std::cerr << "error: cannot open manifest " << manifest_path << "\n";
-    return 2;
+  std::ifstream manifest;
+  int error_exit = kExitProcessing;
+  if (!open_input_file(manifest_path, "manifest", manifest, error_exit)) {
+    return error_exit;
   }
   // Handles are memoized per spec: jobs naming the same circuit share one
   // compiled handle — and therefore one profile extraction per profile key.
   std::map<std::string, analysis::CompiledCircuit> handles;
-  std::vector<analysis::AnalysisRequest> requests = exec::parse_manifest_requests(
-      manifest, [&](const std::string& spec) {
-        const auto it = handles.find(spec);
-        if (it != handles.end()) return it->second;
-        return handles.emplace(spec, load_compiled(args, spec)).first->second;
-      });
+  std::vector<analysis::AnalysisRequest> requests;
+  try {
+    requests = exec::parse_manifest_requests(
+        manifest, [&](const std::string& spec) {
+          const auto it = handles.find(spec);
+          if (it != handles.end()) return it->second;
+          if (circuit_file_missing(spec)) {
+            throw MissingInputError("circuit file not found: " + spec);
+          }
+          return handles.emplace(spec, load_compiled(args, spec)).first->second;
+        });
+  } catch (const MissingInputError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitMissingInput;
+  }
   if (requests.empty()) {
     std::cerr << "error: manifest " << manifest_path << " holds no jobs\n";
     return 2;
@@ -292,6 +366,171 @@ int cmd_batch(const Args& args) {
   return all_ok ? 0 : 2;
 }
 
+// ---- server mode ---------------------------------------------------------
+
+std::atomic<bool> g_serve_stop{false};
+
+void serve_signal_handler(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const Args& args) {
+  if (args.socket.empty()) {
+    std::cerr << "error: serve requires --socket <path>\n";
+    return 1;
+  }
+  serve::ServerOptions options;
+  options.socket_path = args.socket;
+  options.max_handles = static_cast<std::size_t>(args.max_handles);
+  options.max_results = static_cast<std::size_t>(args.max_cache);
+  options.default_map_fanin = args.map_fanin;
+  options.how = exec::Parallelism{args.threads};
+  options.external_stop = &g_serve_stop;
+
+  // SIGINT/SIGTERM drain gracefully: in-flight evaluations finish, the
+  // socket file is removed.
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  serve::Server server(std::move(options));
+  server.bind();
+  std::cout << "enbound_served listening on " << args.socket << "\n"
+            << std::flush;
+  server.run();
+
+  const serve::RegistryStats registry = server.registry_stats();
+  const serve::ResultCacheStats cache = server.cache_stats();
+  const serve::ServerStats stats = server.stats();
+  std::cout << "enbound_served stopped: " << stats.sessions_total
+            << " sessions, " << stats.queries << " queries, " << stats.results
+            << " results (" << cache.hits << " cache hits), "
+            << registry.loads << " circuit loads\n";
+  return 0;
+}
+
+// ---- client mode ---------------------------------------------------------
+
+void print_client_results(const serve::QueryOutcome& outcome) {
+  report::Table t({"job", "kind", "status", "cached", "headline"});
+  for (const serve::ResultRecord& r : outcome.results) {
+    t.add_row({r.name, r.kind, r.ok ? std::string("ok") : "FAILED",
+               r.cached ? std::string("hit") : "miss",
+               r.headline.empty() ? std::string("-") : r.headline});
+  }
+  std::cout << t.to_text() << outcome.cached << "/" << outcome.total
+            << " served from the result cache\n";
+}
+
+void write_client_json(const std::string& path,
+                       const serve::QueryOutcome& outcome) {
+  std::ofstream out(path);
+  outcome.assemble_json(out);
+  std::cout << "wrote " << path << "\n";
+}
+
+int client_batch(serve::Client& client, const Args& args) {
+  const std::string& manifest_path = args.positional[2];
+  std::ifstream manifest;
+  int error_exit = kExitProcessing;
+  if (!open_input_file(manifest_path, "manifest", manifest, error_exit)) {
+    return error_exit;
+  }
+  std::ostringstream text;
+  text << manifest.rdbuf();
+
+  const serve::QueryOutcome outcome =
+      client.batch(text.str(), [](const serve::ResultRecord& r) {
+        std::cout << "done " << r.name << " [" << r.kind << "] "
+                  << (r.cached ? "(cached) " : "")
+                  << (r.ok ? (r.headline.empty() ? "ok" : r.headline)
+                           : "FAILED")
+                  << "\n";
+      });
+  print_client_results(outcome);
+  if (!args.json.empty()) write_client_json(args.json, outcome);
+  return outcome.failed == 0 ? 0 : kExitProcessing;
+}
+
+int client_analyze(serve::Client& client, const Args& args) {
+  const std::string& handle = args.positional[2];
+  std::string kind;
+  std::vector<std::string> tokens;
+  for (std::size_t i = 3; i < args.positional.size(); ++i) {
+    const std::string& token = args.positional[i];
+    if (token.rfind("kind=", 0) == 0) {
+      kind = token.substr(5);
+    } else {
+      tokens.push_back(token);
+    }
+  }
+  if (kind.empty()) {
+    std::cerr << "error: client analyze requires kind=<kind>\n";
+    return 1;
+  }
+  const serve::QueryOutcome outcome = client.analyze(handle, kind, tokens);
+  for (const serve::ResultRecord& r : outcome.results) {
+    std::cout << r.json << "\n";
+  }
+  if (!args.json.empty()) write_client_json(args.json, outcome);
+  return outcome.failed == 0 ? 0 : kExitProcessing;
+}
+
+int cmd_client(const Args& args) {
+  if (args.socket.empty()) {
+    std::cerr << "error: client requires --socket <path>\n";
+    return 1;
+  }
+  if (args.positional.size() < 2) return usage();
+  const std::string& verb = args.positional[1];
+  serve::Client client(args.socket);
+
+  if (verb == "batch") {
+    if (args.positional.size() < 3) return usage();
+    return client_batch(client, args);
+  }
+  if (verb == "analyze") {
+    if (args.positional.size() < 3) return usage();
+    return client_analyze(client, args);
+  }
+  if (verb == "load") {
+    if (args.positional.size() < 3) return usage();
+    const std::string& spec = args.positional[2];
+    const std::string name =
+        args.positional.size() > 3 ? args.positional[3] : "";
+    const serve::Frame reply = client.load(spec, name, args.map_fanin);
+    std::cout << "loaded handle=" << reply.arg("handle").value_or("?")
+              << " fingerprint=" << reply.arg("fingerprint").value_or("?")
+              << " gates=" << reply.arg("gates").value_or("?")
+              << " depth=" << reply.arg("depth").value_or("?") << "\n";
+    return 0;
+  }
+  if (verb == "stats") {
+    const serve::Frame reply = client.stats();
+    report::Table t({"counter", "value"});
+    for (const auto& [key, value] : reply.args) t.add_row({key, value});
+    std::cout << t.to_text();
+    return 0;
+  }
+  if (verb == "evict") {
+    const std::string handle =
+        args.positional.size() > 2 ? args.positional[2] : "";
+    const serve::Frame reply = client.evict(handle);
+    std::cout << "evicted " << reply.arg("evicted").value_or("0")
+              << " handle(s)\n";
+    return 0;
+  }
+  if (verb == "ping") {
+    (void)client.ping();
+    std::cout << "pong\n";
+    return 0;
+  }
+  if (verb == "shutdown") {
+    (void)client.shutdown_server();
+    std::cout << "server shutting down\n";
+    return 0;
+  }
+  std::cerr << "error: unknown client verb '" << verb << "'\n";
+  return usage();
+}
+
 int cmd_gen(const Args& args) {
   const gen::BenchmarkSpec spec = gen::find_benchmark(args.positional[1]);
   const netlist::Circuit circuit = spec.build();
@@ -329,6 +568,8 @@ int main(int argc, char** argv) {
   const std::string& command = args.positional[0];
   try {
     if (command == "list") return cmd_list();
+    if (command == "serve") return cmd_serve(args);
+    if (command == "client") return cmd_client(args);
     if (args.positional.size() < 2) return usage();
     if (command == "profile") return cmd_profile(args);
     if (command == "analyze") return cmd_analyze(args);
@@ -337,7 +578,7 @@ int main(int argc, char** argv) {
     if (command == "gen") return cmd_gen(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 2;
+    return kExitProcessing;
   }
   return usage();
 }
