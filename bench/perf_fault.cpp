@@ -1,0 +1,138 @@
+// P5: what 64-wide fault packing buys on a stuck-at campaign. The scalar
+// reference simulates one fault per sweep; the fault-parallel engine packs
+// 64 equivalence classes per machine word, so a campaign's sweep count
+// drops by ~64/(1 + classes/64-per-pattern overhead) — the >= 32x
+// reduction pinned by tests/test_fault_sim.cpp. This bench times both
+// flows on the same circuit and patterns, reports per-(pattern, fault)
+// throughput, and records BENCH_fault.json in the working directory.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_sim.hpp"
+#include "gen/suite.hpp"
+#include "report/table.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace {
+
+using namespace enb;
+
+struct Timing {
+  std::string mode;
+  double seconds = 0.0;
+  std::uint64_t passes = 0;
+  double fault_evals_per_sec = 0.0;  // (pattern, class) pairs / second
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("perf_fault", "scalar vs 64-wide fault-parallel campaigns");
+
+  const netlist::Circuit circuit = gen::find_benchmark("rca16").build();
+  fault::CampaignOptions options;
+  options.patterns = bench::scaled(256, 8);
+  options.shard_patterns = 32;
+  const fault::FaultUniverse universe = fault::FaultUniverse::build(circuit);
+  const exec::ShardPlan plan = fault::campaign_shard_plan(circuit, options);
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(plan.total()) * universe.num_classes();
+  const int repetitions = bench::smoke_mode() ? 1 : 3;
+
+  // Fault-parallel flow: the campaign engine exactly as batch jobs run it.
+  Timing parallel;
+  parallel.mode = "fault-parallel (64 classes/word)";
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const fault::DetectionTable table = fault::build_detection_table(
+        circuit, circuit, universe, options, exec::Parallelism::global_pool());
+    const double elapsed = seconds_since(start);
+    if (parallel.seconds == 0.0 || elapsed < parallel.seconds) {
+      parallel.seconds = elapsed;
+      parallel.passes = table.passes;
+    }
+  }
+  parallel.fault_evals_per_sec =
+      static_cast<double>(pairs) / parallel.seconds;
+
+  // Scalar reference flow: one golden pass per pattern, one faulty sweep
+  // per (pattern, class).
+  Timing scalar;
+  scalar.mode = "scalar (one fault per sweep)";
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fault::ScalarFaultSim sim(circuit, universe);
+    std::uint64_t passes = 0;
+    std::uint64_t detected = 0;
+    for (std::size_t s = 0; s < plan.num_shards(); ++s) {
+      const std::vector<std::vector<bool>> patterns = fault::shard_pattern_bits(
+          circuit.num_inputs(), options, plan.shard(s));
+      for (const std::vector<bool>& pattern : patterns) {
+        const std::vector<bool> expected = sim::eval_single(circuit, pattern);
+        ++passes;
+        for (std::size_t c = 0; c < universe.num_classes(); ++c) {
+          detected += sim.detect(c, pattern, expected) ? 1 : 0;
+        }
+      }
+    }
+    passes += sim.passes();
+    const double elapsed = seconds_since(start);
+    if (scalar.seconds == 0.0 || elapsed < scalar.seconds) {
+      scalar.seconds = elapsed;
+      scalar.passes = passes;
+    }
+    if (detected == 0) std::cerr << "warning: no faults detected\n";
+  }
+  scalar.fault_evals_per_sec = static_cast<double>(pairs) / scalar.seconds;
+
+  const double pass_reduction = static_cast<double>(scalar.passes) /
+                                static_cast<double>(parallel.passes);
+  const double speedup = scalar.seconds / parallel.seconds;
+
+  report::Table table({"mode", "seconds", "passes", "fault-evals/s"});
+  for (const Timing& t : {scalar, parallel}) {
+    table.add_row({t.mode, report::format_double(t.seconds, 5),
+                   std::to_string(t.passes),
+                   report::format_double(t.fault_evals_per_sec, 1)});
+  }
+  std::cout << table.to_text() << "\n"
+            << "pass reduction " << report::format_double(pass_reduction, 2)
+            << "x, wall-clock speedup " << report::format_double(speedup, 2)
+            << "x on " << circuit.name() << " (" << universe.num_classes()
+            << " classes, " << plan.total() << " patterns)\n";
+
+  std::ofstream json("BENCH_fault.json");
+  json << "{\n  \"benchmark\": \"perf_fault\",\n"
+       << "  \"circuit\": \"" << circuit.name() << "\",\n"
+       << "  \"patterns\": " << plan.total() << ",\n"
+       << "  \"fault_sites\": " << universe.num_sites() << ",\n"
+       << "  \"classes\": " << universe.num_classes() << ",\n"
+       << "  \"repetitions\": " << repetitions << ",\n"
+       << "  \"smoke\": " << (bench::smoke_mode() ? "true" : "false") << ",\n"
+       << "  \"pool_threads\": " << exec::ThreadPool::global().size() << ",\n"
+       << "  \"pass_reduction\": " << report::format_double(pass_reduction, 2)
+       << ",\n  \"speedup\": " << report::format_double(speedup, 2)
+       << ",\n  \"modes\": [\n";
+  bool first = true;
+  for (const Timing& t : {scalar, parallel}) {
+    json << (first ? "" : ",\n") << "    {\"mode\": \"" << t.mode
+         << "\", \"seconds\": " << t.seconds << ", \"passes\": " << t.passes
+         << ", \"fault_evals_per_sec\": " << t.fault_evals_per_sec << "}";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "wrote BENCH_fault.json\n";
+  return 0;
+}

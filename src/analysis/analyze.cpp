@@ -88,9 +88,15 @@ AnalysisResult evaluate(const AnalysisRequest& request, exec::Parallelism how) {
             result.profile = profile;
             return core::analyze(profile, spec.epsilon, spec.delta,
                                  spec.energy);
-          } else {
-            static_assert(std::is_same_v<Spec, ProfileRequest>);
+          } else if constexpr (std::is_same_v<Spec, ProfileRequest>) {
             return request.circuit.profile(spec.options, how);
+          } else {
+            static_assert(std::is_same_v<Spec, FaultCampaignRequest>);
+            const netlist::Circuit* golden =
+                request.golden.has_value() ? &request.golden->circuit()
+                                           : nullptr;
+            return fault::run_campaign(request.circuit.circuit(), golden,
+                                       spec.options, how);
           }
         },
         request.options);

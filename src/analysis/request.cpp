@@ -22,6 +22,8 @@ static_assert(std::is_same_v<std::variant_alternative_t<4, RequestOptions>,
                              EnergyBoundRequest>);
 static_assert(std::is_same_v<std::variant_alternative_t<5, RequestOptions>,
                              ProfileRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<6, RequestOptions>,
+                             FaultCampaignRequest>);
 
 using Metrics = std::vector<std::pair<std::string, double>>;
 
@@ -85,6 +87,23 @@ Metrics flatten(const core::BoundReport& b) {
   push(m, "edp_factor", b.metrics.edp);
   push(m, "avg_power_factor", b.metrics.avg_power);
   push(m, "depth_feasible", b.depth_feasible ? 1.0 : 0.0);
+  return m;
+}
+
+Metrics flatten(const fault::FaultCampaignResult& f) {
+  Metrics m;
+  push(m, "nets", static_cast<double>(f.nets));
+  push(m, "sites", static_cast<double>(f.sites));
+  push(m, "classes", static_cast<double>(f.classes));
+  push(m, "detected", static_cast<double>(f.detected));
+  push(m, "coverage", f.coverage);
+  push(m, "masked_fraction", f.masked_fraction);
+  push(m, "patterns", static_cast<double>(f.patterns));
+  push(m, "sim_passes", static_cast<double>(f.sim_passes));
+  push(m, "gates", static_cast<double>(f.gates));
+  push(m, "golden_gates", static_cast<double>(f.golden_gates));
+  push(m, "gate_overhead", f.gate_overhead);
+  push(m, "overhead_per_masked", f.overhead_per_masked);
   return m;
 }
 
@@ -213,6 +232,17 @@ std::string spec_of(const ProfileRequest& r) {
   return w.str();
 }
 
+std::string spec_of(const FaultCampaignRequest& r) {
+  return SpecWriter("fault-campaign")
+      .field("patterns", r.options.patterns)
+      .field("exhaustive", r.options.exhaustive)
+      .field("seed", r.options.seed)
+      .field("shard_patterns", r.options.shard_patterns)
+      .field("bundle_width", r.options.bundle_width)
+      .field("collapse", r.options.collapse)
+      .str();
+}
+
 }  // namespace
 
 std::string canonical_spec(const RequestOptions& options) {
@@ -233,6 +263,8 @@ const char* to_string(AnalysisKind kind) noexcept {
       return "energy-bound";
     case AnalysisKind::kProfile:
       return "profile";
+    case AnalysisKind::kFaultCampaign:
+      return "fault-campaign";
   }
   return "unknown";
 }
@@ -246,6 +278,7 @@ std::optional<AnalysisKind> parse_analysis_kind(std::string_view name) {
   if (canonical == "sensitivity") return AnalysisKind::kSensitivity;
   if (canonical == "energy-bound") return AnalysisKind::kEnergyBound;
   if (canonical == "profile") return AnalysisKind::kProfile;
+  if (canonical == "fault-campaign") return AnalysisKind::kFaultCampaign;
   return std::nullopt;
 }
 

@@ -22,6 +22,7 @@
 #include "core/analyzer.hpp"
 #include "core/energy_bound.hpp"
 #include "core/profile.hpp"
+#include "fault/campaign.hpp"
 #include "sim/activity.hpp"
 #include "sim/reliability.hpp"
 #include "sim/sensitivity.hpp"
@@ -35,6 +36,7 @@ enum class AnalysisKind {
   kSensitivity,   // Boolean sensitivity (exact or sampled)
   kEnergyBound,   // Theorem 1-4 bound report at (eps, delta)
   kProfile,       // (s, S0, sw0, k, d0) profile extraction
+  kFaultCampaign, // stuck-at fault campaign (coverage / masking vs golden)
 };
 
 [[nodiscard]] const char* to_string(AnalysisKind kind) noexcept;
@@ -77,10 +79,18 @@ struct ProfileRequest {
   core::ProfileOptions options;
 };
 
+struct FaultCampaignRequest {
+  // The request's golden handle (when present) is the reference the faulty
+  // circuit is graded against — the masking view; absent, the circuit is
+  // graded against its own fault-free behaviour — the coverage view.
+  fault::CampaignOptions options;
+};
+
 // Alternative order mirrors AnalysisKind (kind() relies on it).
 using RequestOptions =
     std::variant<ReliabilityRequest, WorstCaseRequest, ActivityRequest,
-                 SensitivityRequest, EnergyBoundRequest, ProfileRequest>;
+                 SensitivityRequest, EnergyBoundRequest, ProfileRequest,
+                 FaultCampaignRequest>;
 
 struct AnalysisRequest {
   std::string name;
@@ -103,7 +113,7 @@ struct AnalysisRequest {
 using ResultPayload =
     std::variant<std::monostate, sim::ReliabilityResult, sim::WorstCaseResult,
                  sim::ActivityResult, sim::SensitivityResult, core::BoundReport,
-                 core::CircuitProfile>;
+                 core::CircuitProfile, fault::FaultCampaignResult>;
 
 // Per-request outcome. Failures are isolated: a request whose options are
 // invalid (or whose evaluation throws) reports ok = false with the error

@@ -44,6 +44,18 @@ Args parse_args(const std::vector<std::string>& argv) {
       return true;
     };
 
+    const auto next_uint64 = [&](const std::string& flag,
+                                 std::uint64_t& slot) -> bool {
+      std::string text;
+      if (!next_value(flag, text)) return false;
+      if (!util::parse_uint64(text, slot)) {
+        args.error = "option " + flag +
+                     " expects a non-negative integer, got '" + text + "'";
+        return false;
+      }
+      return true;
+    };
+
     if (arg == "--eps") {
       next_double(arg, args.eps);
     } else if (arg == "--delta") {
@@ -88,6 +100,22 @@ Args parse_args(const std::vector<std::string>& argv) {
       } else {
         args.max_cache = capacity;
       }
+    } else if (arg == "--patterns") {
+      next_uint64(arg, args.patterns);
+    } else if (arg == "--seed") {
+      next_uint64(arg, args.seed);
+    } else if (arg == "--exhaustive") {
+      args.exhaustive = true;
+    } else if (arg == "--bundle-width") {
+      next_int(arg, args.bundle_width);
+    } else if (arg == "--no-collapse") {
+      args.no_collapse = true;
+    } else if (arg == "--check-scalar") {
+      args.check_scalar = true;
+    } else if (arg == "--golden") {
+      next_value(arg, args.golden);
+    } else if (arg == "--ans") {
+      next_value(arg, args.ans);
     } else if (arg == "-o") {
       next_value(arg, args.out);
     } else if (arg == "--csv") {

@@ -3,6 +3,7 @@
 // unit-testable without spawning the binary.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,15 @@ struct Args {
   std::string socket;    // serve/client: Unix domain socket path
   int max_handles = 64;  // serve: handle-registry LRU capacity
   int max_cache = 4096;  // serve: result-cache LRU capacity
+  // faultsim knobs (defaults mirror fault::CampaignOptions).
+  std::uint64_t patterns = 256;  // random-pattern budget
+  bool exhaustive = false;       // enumerate all logical assignments
+  std::uint64_t seed = 0xFA17;   // campaign pattern-stream seed
+  int bundle_width = 1;          // ft/ bundle decode width (1 = plain)
+  bool no_collapse = false;      // disable equivalence collapsing
+  bool check_scalar = false;     // diff vs the scalar reference simulator
+  std::string golden;            // golden circuit spec (masking campaigns)
+  std::string ans;               // .ans output path
   std::string out;
   std::string csv;
   std::string json;

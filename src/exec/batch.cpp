@@ -15,6 +15,8 @@
 
 #include "bdd/bdd_analysis.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_model.hpp"
 #include "report/csv.hpp"
 #include "util/numeric.hpp"
 
@@ -188,6 +190,10 @@ struct JobState {
   std::optional<core::BoundReport> report;
   // Profile found in the handle's cache at prepare time.
   std::optional<core::CircuitProfile> cached_profile;
+  // kFaultCampaign: the universe is built once at prepare time and shared
+  // (read-only) by every pattern shard; counts merge commutatively.
+  std::shared_ptr<const fault::FaultUniverse> fault_universe;
+  std::unique_ptr<fault::CampaignCounts> campaign_counts;
 
   void record_error(const std::string& message) {
     const std::lock_guard<std::mutex> lock(mutex);
@@ -290,6 +296,33 @@ void prepare_sensitivity(const AnalysisRequest& request,
     finish_with_payload(
         r, sim::finalize_sensitivity(s.request->circuit.circuit(), spec.options,
                                      *s.sensitivity_counts));
+  };
+}
+
+void prepare_fault_campaign(const AnalysisRequest& request,
+                            const analysis::FaultCampaignRequest& spec,
+                            JobState& state) {
+  const Circuit& circuit = request.circuit.circuit();
+  const Circuit& golden = golden_of(request);
+  fault::validate_campaign_inputs(circuit, golden, spec.options);
+  state.fault_universe = std::make_shared<const fault::FaultUniverse>(
+      fault::FaultUniverse::build(circuit, spec.options.collapse));
+  state.campaign_counts = std::make_unique<fault::CampaignCounts>(
+      state.fault_universe->num_classes());
+  const ShardPlan plan = fault::campaign_shard_plan(golden, spec.options);
+  state.num_tasks = plan.num_shards();
+  state.run_task = [plan, &spec](JobState& s, std::size_t shard) {
+    const fault::CampaignCounts local = fault::campaign_shard_counts(
+        s.request->circuit.circuit(), golden_of(*s.request),
+        *s.fault_universe, spec.options, plan.shard(shard));
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.campaign_counts->merge(local);
+  };
+  state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    finish_with_payload(
+        r, fault::finalize_campaign(s.request->circuit.circuit(),
+                                    golden_of(*s.request), *s.fault_universe,
+                                    spec.options, *s.campaign_counts));
   };
 }
 
@@ -416,9 +449,12 @@ void prepare(std::size_t job_index, const AnalysisRequest& request,
         } else if constexpr (std::is_same_v<Spec,
                                             analysis::EnergyBoundRequest>) {
           prepare_energy_bound(job_index, request, spec, state, groups);
-        } else {
-          static_assert(std::is_same_v<Spec, analysis::ProfileRequest>);
+        } else if constexpr (std::is_same_v<Spec, analysis::ProfileRequest>) {
           prepare_profile(job_index, request, spec, state, groups);
+        } else {
+          static_assert(
+              std::is_same_v<Spec, analysis::FaultCampaignRequest>);
+          prepare_fault_campaign(request, spec, state);
         }
       },
       request.options);
@@ -630,6 +666,7 @@ struct ManifestLine {
   bool has_leakage = false;
   std::optional<std::uint64_t> budget;
   std::optional<std::uint64_t> seed;
+  std::string mode;  // fault-campaign pattern source: "random" | "exhaustive"
 };
 
 std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
@@ -677,6 +714,8 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
       } else if (key == "leakage") {
         line.leakage = parse_manifest_double(key, value);
         line.has_leakage = true;
+      } else if (key == "mode") {
+        line.mode = value;
       } else {
         throw fail("unknown key '" + key + "'");
       }
@@ -690,6 +729,10 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
 }
 
 analysis::RequestOptions manifest_options(const ManifestLine& line) {
+  if (!line.mode.empty() && line.kind != JobKind::kFaultCampaign) {
+    throw std::invalid_argument(
+        "manifest: key 'mode' only applies to kind=fault-campaign");
+  }
   switch (line.kind) {
     case JobKind::kReliability: {
       analysis::ReliabilityRequest spec;
@@ -736,6 +779,21 @@ analysis::RequestOptions manifest_options(const ManifestLine& line) {
         spec.options.activity_pairs = static_cast<std::size_t>(*line.budget);
       }
       if (line.seed.has_value()) spec.options.seed = *line.seed;
+      return spec;
+    }
+    case JobKind::kFaultCampaign: {
+      analysis::FaultCampaignRequest spec;
+      if (line.budget.has_value()) spec.options.patterns = *line.budget;
+      if (line.seed.has_value()) spec.options.seed = *line.seed;
+      if (!line.mode.empty()) {
+        if (line.mode == "exhaustive") {
+          spec.options.exhaustive = true;
+        } else if (line.mode != "random") {
+          throw std::invalid_argument(
+              "manifest: mode must be 'random' or 'exhaustive', got '" +
+              line.mode + "'");
+        }
+      }
       return spec;
     }
   }

@@ -1,0 +1,290 @@
+#include "fault/campaign.hpp"
+
+#include <bit>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_sim.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/prng.hpp"
+
+namespace enb::fault {
+
+namespace {
+
+using netlist::Circuit;
+using sim::Word;
+
+std::uint64_t pattern_total(const Circuit& golden,
+                            const CampaignOptions& options) {
+  if (options.exhaustive) {
+    return std::uint64_t{1} << golden.num_inputs();
+  }
+  return options.patterns;
+}
+
+// The per-pattern body shared by the aggregate counts and the detection
+// table: one golden broadcast pass for the expected logical outputs, then
+// one faulty sweep per 64-class block into `row`. Keeping this in one place
+// is what makes the two views bit-identical by construction rather than by
+// parallel maintenance. The golden pass is counted by the caller (one per
+// pattern); the faulty sweeps accumulate in sim.passes().
+void detect_pattern(FaultParallelSim& sim, sim::LogicSim& golden_sim,
+                    const std::vector<bool>& pattern,
+                    std::vector<Word>& golden_inputs,
+                    std::vector<bool>& expected, std::vector<Word>& row) {
+  const Circuit& golden = golden_sim.circuit();
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    golden_inputs[i] = pattern[i] ? sim::kAllOnes : 0;
+  }
+  golden_sim.eval(golden_inputs);
+  expected.resize(golden.num_outputs());
+  for (std::size_t o = 0; o < golden.num_outputs(); ++o) {
+    expected[o] = (golden_sim.value(golden.outputs()[o]) & 1) != 0;
+  }
+  row.assign(sim.num_blocks(), 0);
+  for (std::size_t block = 0; block < sim.num_blocks(); ++block) {
+    row[block] = sim.detect_block(block, pattern, expected);
+  }
+}
+
+}  // namespace
+
+void validate_campaign_inputs(const Circuit& circuit, const Circuit& golden,
+                              const CampaignOptions& options) {
+  validate_bundle_interface(circuit, options.bundle_width);
+  const auto width = static_cast<std::size_t>(options.bundle_width);
+  if (golden.num_inputs() * width != circuit.num_inputs() ||
+      golden.num_outputs() * width != circuit.num_outputs()) {
+    throw std::invalid_argument(
+        "fault campaign: golden interface mismatch (circuit " +
+        std::to_string(circuit.num_inputs()) + "->" +
+        std::to_string(circuit.num_outputs()) + ", golden " +
+        std::to_string(golden.num_inputs()) + "->" +
+        std::to_string(golden.num_outputs()) + ", bundle_width " +
+        std::to_string(options.bundle_width) + ")");
+  }
+  if (options.exhaustive) {
+    if (golden.num_inputs() >
+        static_cast<std::size_t>(kMaxExhaustiveCampaignInputs)) {
+      throw std::invalid_argument(
+          "fault campaign: exhaustive mode supports at most " +
+          std::to_string(kMaxExhaustiveCampaignInputs) +
+          " logical inputs, got " + std::to_string(golden.num_inputs()));
+    }
+  } else if (options.patterns == 0) {
+    throw std::invalid_argument("fault campaign: patterns must be > 0");
+  }
+  if (options.shard_patterns == 0) {
+    throw std::invalid_argument("fault campaign: shard_patterns must be > 0");
+  }
+}
+
+exec::ShardPlan campaign_shard_plan(const Circuit& golden,
+                                    const CampaignOptions& options) {
+  return exec::ShardPlan(
+      static_cast<std::size_t>(pattern_total(golden, options)),
+      static_cast<std::size_t>(options.shard_patterns));
+}
+
+std::vector<std::vector<bool>> shard_pattern_bits(
+    std::size_t num_logical_inputs, const CampaignOptions& options,
+    const exec::Shard& shard) {
+  std::vector<std::vector<bool>> rows(shard.size());
+  if (options.exhaustive) {
+    for (std::size_t i = 0; i < shard.size(); ++i) {
+      const std::uint64_t assignment = shard.begin + i;
+      std::vector<bool>& row = rows[i];
+      row.resize(num_logical_inputs);
+      for (std::size_t bit = 0; bit < num_logical_inputs; ++bit) {
+        row[bit] = ((assignment >> bit) & 1) != 0;
+      }
+    }
+    return rows;
+  }
+  sim::Xoshiro256 rng(exec::stream_seed(options.seed, shard.index));
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    std::vector<bool>& row = rows[i];
+    row.resize(num_logical_inputs);
+    for (std::size_t bit = 0; bit < num_logical_inputs; ++bit) {
+      row[bit] = (rng.next() >> 63) != 0;
+    }
+  }
+  return rows;
+}
+
+void CampaignCounts::merge(const CampaignCounts& other) {
+  if (class_detections.size() != other.class_detections.size()) {
+    throw std::invalid_argument("CampaignCounts::merge: size mismatch");
+  }
+  for (std::size_t c = 0; c < class_detections.size(); ++c) {
+    class_detections[c] += other.class_detections[c];
+  }
+  passes += other.passes;
+}
+
+CampaignCounts campaign_shard_counts(const Circuit& circuit,
+                                     const Circuit& golden,
+                                     const FaultUniverse& universe,
+                                     const CampaignOptions& options,
+                                     const exec::Shard& shard) {
+  CampaignCounts counts(universe.num_classes());
+  const std::vector<std::vector<bool>> patterns =
+      shard_pattern_bits(golden.num_inputs(), options, shard);
+  FaultParallelSim sim(circuit, universe, options.bundle_width);
+  sim::LogicSim golden_sim(golden);
+  std::vector<Word> golden_inputs(golden.num_inputs());
+  std::vector<bool> expected;
+  std::vector<Word> row;
+
+  for (const std::vector<bool>& pattern : patterns) {
+    detect_pattern(sim, golden_sim, pattern, golden_inputs, expected, row);
+    ++counts.passes;  // the golden pass (work the scalar flow pays too)
+    for (std::size_t block = 0; block < row.size(); ++block) {
+      Word detected = row[block];
+      while (detected != 0) {
+        const int lane = std::countr_zero(detected);
+        ++counts.class_detections[block * sim::kWordBits +
+                                  static_cast<std::size_t>(lane)];
+        detected &= detected - 1;
+      }
+    }
+  }
+  counts.passes += sim.passes();
+  return counts;
+}
+
+FaultCampaignResult finalize_campaign(const Circuit& circuit,
+                                      const Circuit& golden,
+                                      const FaultUniverse& universe,
+                                      const CampaignOptions& options,
+                                      const CampaignCounts& counts) {
+  FaultCampaignResult result;
+  result.nets = universe.num_nets();
+  result.sites = universe.num_sites();
+  result.classes = universe.num_classes();
+  result.patterns = pattern_total(golden, options);
+  result.sim_passes = counts.passes;
+  result.detection_counts = counts.class_detections;
+  for (const std::uint64_t count : counts.class_detections) {
+    if (count != 0) ++result.detected;
+  }
+  result.coverage = result.classes == 0
+                        ? 0.0
+                        : static_cast<double>(result.detected) /
+                              static_cast<double>(result.classes);
+  result.masked_fraction = 1.0 - result.coverage;
+  result.gates = circuit.gate_count();
+  result.golden_gates = golden.gate_count();
+  result.gate_overhead = result.golden_gates == 0
+                             ? 1.0
+                             : static_cast<double>(result.gates) /
+                                   static_cast<double>(result.golden_gates);
+  // Cost of masking: infinite when nothing is masked (renders as JSON null).
+  result.overhead_per_masked = result.gate_overhead / result.masked_fraction;
+  return result;
+}
+
+FaultCampaignResult run_campaign(const Circuit& circuit, const Circuit* golden,
+                                 const CampaignOptions& options,
+                                 exec::Parallelism how) {
+  const Circuit& reference = golden != nullptr ? *golden : circuit;
+  validate_campaign_inputs(circuit, reference, options);
+  const FaultUniverse universe =
+      FaultUniverse::build(circuit, options.collapse);
+  const exec::ShardPlan plan = campaign_shard_plan(reference, options);
+
+  CampaignCounts total(universe.num_classes());
+  std::mutex mutex;
+  exec::for_each_shard(
+      plan,
+      [&](const exec::Shard& shard) {
+        const CampaignCounts local =
+            campaign_shard_counts(circuit, reference, universe, options, shard);
+        const std::lock_guard<std::mutex> lock(mutex);
+        total.merge(local);
+      },
+      how);
+  return finalize_campaign(circuit, reference, universe, options, total);
+}
+
+// ---- detection table / .ans ------------------------------------------------
+
+DetectionTable build_detection_table(const Circuit& circuit,
+                                     const Circuit& golden,
+                                     const FaultUniverse& universe,
+                                     const CampaignOptions& options,
+                                     exec::Parallelism how) {
+  validate_campaign_inputs(circuit, golden, options);
+  const exec::ShardPlan plan = campaign_shard_plan(golden, options);
+
+  DetectionTable table;
+  table.patterns.resize(plan.total());
+  table.detected.resize(plan.total());
+  std::mutex mutex;
+  exec::for_each_shard(
+      plan,
+      [&](const exec::Shard& shard) {
+        std::vector<std::vector<bool>> patterns =
+            shard_pattern_bits(golden.num_inputs(), options, shard);
+        FaultParallelSim sim(circuit, universe, options.bundle_width);
+        sim::LogicSim golden_sim(golden);
+        std::vector<Word> golden_inputs(golden.num_inputs());
+        std::vector<bool> expected;
+        std::vector<Word> row;
+        std::uint64_t golden_passes = 0;
+        for (std::size_t i = 0; i < patterns.size(); ++i) {
+          detect_pattern(sim, golden_sim, patterns[i], golden_inputs,
+                         expected, row);
+          ++golden_passes;
+          // Slot-per-pattern writes keep the table thread-count independent.
+          table.detected[shard.begin + i] = row;
+          table.patterns[shard.begin + i] = std::move(patterns[i]);
+        }
+        const std::uint64_t shard_passes = golden_passes + sim.passes();
+        const std::lock_guard<std::mutex> lock(mutex);
+        table.passes += shard_passes;
+      },
+      how);
+  return table;
+}
+
+CampaignCounts counts_from_table(const FaultUniverse& universe,
+                                 const DetectionTable& table) {
+  CampaignCounts counts(universe.num_classes());
+  counts.passes = table.passes;
+  for (const std::vector<Word>& row : table.detected) {
+    for (std::size_t block = 0; block < row.size(); ++block) {
+      Word detected = row[block];
+      while (detected != 0) {
+        const int lane = std::countr_zero(detected);
+        ++counts.class_detections[block * sim::kWordBits +
+                                  static_cast<std::size_t>(lane)];
+        detected &= detected - 1;
+      }
+    }
+  }
+  return counts;
+}
+
+void write_ans(std::ostream& out, const Circuit& circuit,
+               const FaultUniverse& universe, const DetectionTable& table) {
+  out << "# pattern net sa0_eq sa1_eq\n";
+  const auto detected_bit = [&](const std::vector<Word>& row,
+                                std::size_t site) {
+    const std::size_t cls = universe.class_of(site);
+    return (row[cls / sim::kWordBits] >> (cls % sim::kWordBits)) & 1;
+  };
+  for (std::size_t p = 0; p < table.detected.size(); ++p) {
+    const std::vector<Word>& row = table.detected[p];
+    for (std::size_t net = 0; net < universe.num_nets(); ++net) {
+      out << p << ' ' << circuit.node_name(universe.site(2 * net).node) << ' '
+          << (1 - detected_bit(row, 2 * net)) << ' '
+          << (1 - detected_bit(row, 2 * net + 1)) << '\n';
+    }
+  }
+}
+
+}  // namespace enb::fault

@@ -1,0 +1,172 @@
+// Deterministic sharded stuck-at fault campaigns.
+//
+// A campaign asks, for every equivalence class of the circuit's fault
+// universe, "does any pattern in the budget detect this fault?" — where
+// detection means a majority-decoded output differs from the golden
+// circuit's fault-free response. With golden == the circuit itself this is
+// classic fault-coverage grading; with golden == the unprotected base
+// design and the circuit an ft/ redundancy variant (NMR, von Neumann
+// multiplexing with bundle_width > 1) the *undetected* fraction is the
+// masking the redundancy buys, and the result pairs it with the gate
+// overhead paid — the energy-vs-coverage trade the paper's bounds price.
+//
+// Determinism contract (same as every estimator in the repo): patterns are
+// split into fixed-size shards; shard i derives its random patterns from
+// the counter-based stream of (seed, i) and contributes per-class detection
+// counts that merge by integer sum. Results are therefore bit-identical for
+// any thread count, submission order, or co-scheduled work, which is what
+// lets FaultCampaignRequest ride the batch evaluator and the serve daemon's
+// result cache unchanged.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "exec/stream.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/fault_model.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/bitpack.hpp"
+
+namespace enb::fault {
+
+struct CampaignOptions {
+  // Random-pattern budget (logical input assignments); ignored when
+  // exhaustive is set.
+  std::uint64_t patterns = 256;
+  // Enumerate all 2^n logical assignments instead (n <= kMaxExhaustiveCampaignInputs).
+  bool exhaustive = false;
+  std::uint64_t seed = 0xFA17;
+  // Patterns per shard. Part of the seed contract: changing it re-partitions
+  // the stream space and (deterministically) changes which random patterns
+  // are drawn.
+  std::uint64_t shard_patterns = 64;
+  // ft/ bundle convention: inputs/outputs are consecutive bundles of this
+  // many wires per logical signal, majority-decoded before comparison
+  // (1 = plain circuit).
+  int bundle_width = 1;
+  // Structural equivalence collapsing (fault_model.hpp). Off simulates every
+  // site as its own class — slower, same coverage, used for cross-checks.
+  bool collapse = true;
+};
+
+// Exhaustive campaigns are capped well below sim::kMaxExhaustiveInputs:
+// every pattern costs ceil(classes/64) + 1 sweeps, not one lane.
+inline constexpr int kMaxExhaustiveCampaignInputs = 20;
+
+struct FaultCampaignResult {
+  std::uint64_t nets = 0;        // fault sites / 2
+  std::uint64_t sites = 0;       // 2 per net, before collapsing
+  std::uint64_t classes = 0;     // equivalence classes simulated
+  std::uint64_t detected = 0;    // classes detected by >= 1 pattern
+  std::uint64_t patterns = 0;    // logical patterns simulated
+  std::uint64_t sim_passes = 0;  // full-circuit sweeps (golden + faulty)
+  double coverage = 0.0;         // detected / classes
+  double masked_fraction = 0.0;  // 1 - coverage
+  // Energy-vs-coverage ingredients: the redundancy variant's gate count
+  // against the golden reference it protects.
+  std::uint64_t gates = 0;
+  std::uint64_t golden_gates = 0;
+  double gate_overhead = 1.0;        // gates / golden_gates
+  double overhead_per_masked = 0.0;  // gate_overhead / masked_fraction
+  // Per-class detecting-pattern counts, in class order (sums over shards).
+  std::vector<std::uint64_t> detection_counts;
+
+  friend bool operator==(const FaultCampaignResult&,
+                         const FaultCampaignResult&) = default;
+};
+
+// ---- shard-level building blocks -----------------------------------------
+//
+// run_campaign is *defined* as the merge of these shard bodies, and the
+// batch engine schedules exactly the same bodies, so batched campaigns are
+// bit-identical to direct calls by construction.
+
+// Validation run_campaign applies before sharding: bundle-divisible
+// interfaces, golden/circuit agreement on the logical interface, positive
+// budgets, and the exhaustive input cap.
+void validate_campaign_inputs(const netlist::Circuit& circuit,
+                              const netlist::Circuit& golden,
+                              const CampaignOptions& options);
+
+// The pattern decomposition implied by `options`: 2^n logical assignments
+// when exhaustive, else options.patterns, in shards of shard_patterns.
+// `golden` supplies the logical input count.
+[[nodiscard]] exec::ShardPlan campaign_shard_plan(
+    const netlist::Circuit& golden, const CampaignOptions& options);
+
+// The logical input patterns of one shard — a pure function of
+// (options, shard): assignment bits of the pattern index when exhaustive,
+// else draws from the counter-based stream of (seed, shard.index). Shared
+// by the campaign shards and the per-pattern detection table so `.ans` rows
+// and aggregate coverage always describe the same patterns.
+[[nodiscard]] std::vector<std::vector<bool>> shard_pattern_bits(
+    std::size_t num_logical_inputs, const CampaignOptions& options,
+    const exec::Shard& shard);
+
+// Per-class detection counts plus the sweeps spent collecting them; merges
+// commutatively (element-wise and scalar sums).
+struct CampaignCounts {
+  CampaignCounts() = default;
+  explicit CampaignCounts(std::size_t num_classes)
+      : class_detections(num_classes, 0) {}
+
+  std::vector<std::uint64_t> class_detections;
+  std::uint64_t passes = 0;
+
+  void merge(const CampaignCounts& other);
+};
+
+// Counts contributed by one shard of the plan. Precondition: inputs
+// validated and `universe` built for `circuit` with options.collapse.
+[[nodiscard]] CampaignCounts campaign_shard_counts(
+    const netlist::Circuit& circuit, const netlist::Circuit& golden,
+    const FaultUniverse& universe, const CampaignOptions& options,
+    const exec::Shard& shard);
+
+// Serial reduction of the merged counts into the result record.
+[[nodiscard]] FaultCampaignResult finalize_campaign(
+    const netlist::Circuit& circuit, const netlist::Circuit& golden,
+    const FaultUniverse& universe, const CampaignOptions& options,
+    const CampaignCounts& counts);
+
+// Runs a whole campaign, parallelized per `how`. golden == nullptr grades
+// the circuit against its own fault-free behaviour.
+[[nodiscard]] FaultCampaignResult run_campaign(
+    const netlist::Circuit& circuit, const netlist::Circuit* golden,
+    const CampaignOptions& options = {}, exec::Parallelism how = {});
+
+// ---- per-pattern detection records (the `.ans` view) ----------------------
+
+// Everything the row-level output needs: the patterns actually simulated
+// (global pattern-index order) and, per pattern, one detection word per
+// 64-class block. Built with slot-per-pattern writes, so the table is
+// bit-identical for any thread count.
+struct DetectionTable {
+  std::vector<std::vector<bool>> patterns;        // [pattern][logical input]
+  std::vector<std::vector<sim::Word>> detected;   // [pattern][class block]
+  std::uint64_t passes = 0;
+};
+
+[[nodiscard]] DetectionTable build_detection_table(
+    const netlist::Circuit& circuit, const netlist::Circuit& golden,
+    const FaultUniverse& universe, const CampaignOptions& options,
+    exec::Parallelism how = {});
+
+// Folds a table into the aggregate counts (how the CLI derives the summary
+// it shares with manifest campaigns).
+[[nodiscard]] CampaignCounts counts_from_table(const FaultUniverse& universe,
+                                               const DetectionTable& table);
+
+// `.ans`-style rows (as6325400/Fault_Simulation): header
+//   # pattern net sa0_eq sa1_eq
+// then one row per (pattern, net) in pattern-major, canonical-net-order:
+//   <pattern index> <net name> <sa0_eq> <sa1_eq>
+// where eq is 1 when the faulty outputs still decode equal to golden
+// (fault masked on that pattern) and 0 when the difference is observable.
+// Class results are expanded to every member site — exact by equivalence.
+void write_ans(std::ostream& out, const netlist::Circuit& circuit,
+               const FaultUniverse& universe, const DetectionTable& table);
+
+}  // namespace enb::fault

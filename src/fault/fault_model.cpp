@@ -1,0 +1,170 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "netlist/nets.hpp"
+#include "netlist/topo.hpp"
+
+namespace enb::fault {
+
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+// Union-find over site indices with path halving; roots are always the
+// smallest member, which makes representatives canonical without a second
+// normalization pass.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void merge(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;  // smaller index wins the root
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+// The local equivalence rule for a gate: an input stuck at `input_stuck` is
+// equivalent to the output stuck at `output_stuck`. kNone when the gate type
+// offers no input/output equivalence (XOR-like and MAJ gates).
+struct GateRule {
+  bool has_rule = false;
+  StuckAt input_stuck = StuckAt::kZero;
+  StuckAt output_stuck = StuckAt::kZero;
+  bool identity = false;  // BUF/NOT-like: both polarities map through
+  bool invert = false;    // with identity: polarity flips through the gate
+};
+
+GateRule rule_for(GateType type, std::size_t fanin_count) {
+  GateRule rule;
+  // Single-fanin gates degenerate to a buffer or an inverter regardless of
+  // their nominal type: the value (or its complement) passes straight
+  // through, so both stuck polarities collapse across the gate.
+  if (fanin_count == 1) {
+    switch (type) {
+      case GateType::kBuf:
+      case GateType::kAnd:
+      case GateType::kOr:
+      case GateType::kXor:
+        rule.has_rule = true;
+        rule.identity = true;
+        rule.invert = false;
+        return rule;
+      case GateType::kNot:
+      case GateType::kNand:
+      case GateType::kNor:
+      case GateType::kXnor:
+        rule.has_rule = true;
+        rule.identity = true;
+        rule.invert = true;
+        return rule;
+      default:
+        return rule;
+    }
+  }
+  // Multi-input gates with a controlling value c and output inversion i:
+  // any input stuck at c forces the output to its controlled value, which
+  // is exactly the output stuck at c XOR i.
+  switch (type) {
+    case GateType::kAnd:
+      rule = {true, StuckAt::kZero, StuckAt::kZero, false, false};
+      break;
+    case GateType::kNand:
+      rule = {true, StuckAt::kZero, StuckAt::kOne, false, false};
+      break;
+    case GateType::kOr:
+      rule = {true, StuckAt::kOne, StuckAt::kOne, false, false};
+      break;
+    case GateType::kNor:
+      rule = {true, StuckAt::kOne, StuckAt::kZero, false, false};
+      break;
+    default:
+      break;  // XOR/XNOR/MAJ: no controlling value, no equivalence
+  }
+  return rule;
+}
+
+constexpr std::size_t site_index(NodeId node, StuckAt value) noexcept {
+  return 2 * static_cast<std::size_t>(node) +
+         (value == StuckAt::kOne ? 1 : 0);
+}
+
+}  // namespace
+
+FaultUniverse FaultUniverse::build(const Circuit& circuit, bool collapse) {
+  FaultUniverse universe;
+  const std::vector<netlist::NetInfo> nets = netlist::enumerate_nets(circuit);
+  universe.sites_.reserve(nets.size() * 2);
+  for (const netlist::NetInfo& net : nets) {
+    universe.sites_.push_back({net.node, StuckAt::kZero});
+    universe.sites_.push_back({net.node, StuckAt::kOne});
+  }
+
+  UnionFind classes(universe.sites_.size());
+  if (collapse) {
+    // A fanin fault may only collapse into its gate when the fanin net is
+    // observed *nowhere else*: exactly one fanout edge and no primary-output
+    // listing (an output port observes the net directly, so forcing it is
+    // distinguishable from forcing the gate's output).
+    const std::vector<int> fanouts = netlist::fanout_counts(circuit);
+    std::vector<bool> is_output(circuit.node_count(), false);
+    for (const NodeId out : circuit.outputs()) is_output[out] = true;
+
+    for (NodeId id = 0; id < circuit.node_count(); ++id) {
+      const auto& node = circuit.node(id);
+      if (!netlist::counts_as_gate(node.type)) continue;
+      const GateRule rule = rule_for(node.type, node.fanins.size());
+      if (!rule.has_rule) continue;
+      for (const NodeId fanin : node.fanins) {
+        if (fanouts[fanin] != 1 || is_output[fanin]) continue;
+        if (rule.identity) {
+          const StuckAt out0 = rule.invert ? StuckAt::kOne : StuckAt::kZero;
+          const StuckAt out1 = rule.invert ? StuckAt::kZero : StuckAt::kOne;
+          classes.merge(site_index(fanin, StuckAt::kZero),
+                        site_index(id, out0));
+          classes.merge(site_index(fanin, StuckAt::kOne),
+                        site_index(id, out1));
+        } else {
+          classes.merge(site_index(fanin, rule.input_stuck),
+                        site_index(id, rule.output_stuck));
+        }
+      }
+    }
+  }
+
+  // Number the classes in order of their lowest site index (== their root,
+  // by the union-find's smaller-index-wins policy).
+  universe.class_of_.assign(universe.sites_.size(), 0);
+  std::vector<std::size_t> class_of_root(universe.sites_.size(),
+                                         static_cast<std::size_t>(-1));
+  for (std::size_t s = 0; s < universe.sites_.size(); ++s) {
+    const std::size_t root = classes.find(s);
+    if (class_of_root[root] == static_cast<std::size_t>(-1)) {
+      class_of_root[root] = universe.rep_site_.size();
+      universe.rep_site_.push_back(root);
+    }
+    universe.class_of_[s] = class_of_root[root];
+  }
+  return universe;
+}
+
+}  // namespace enb::fault

@@ -1,0 +1,217 @@
+#include "fault/fault_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/gate_type.hpp"
+
+namespace enb::fault {
+
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+using sim::Word;
+
+constexpr Word broadcast(bool bit) noexcept { return bit ? sim::kAllOnes : 0; }
+
+}  // namespace
+
+void validate_bundle_interface(const Circuit& circuit, int bundle_width) {
+  if (bundle_width != 1 && (bundle_width < 3 || bundle_width % 2 == 0)) {
+    throw std::invalid_argument(
+        "fault: bundle_width must be 1 or odd and >= 3, got " +
+        std::to_string(bundle_width));
+  }
+  const auto width = static_cast<std::size_t>(bundle_width);
+  if (circuit.num_inputs() == 0 || circuit.num_inputs() % width != 0) {
+    throw std::invalid_argument(
+        "fault: circuit input count " + std::to_string(circuit.num_inputs()) +
+        " is not a positive multiple of bundle_width " +
+        std::to_string(bundle_width));
+  }
+  if (circuit.num_outputs() == 0 || circuit.num_outputs() % width != 0) {
+    throw std::invalid_argument(
+        "fault: circuit output count " + std::to_string(circuit.num_outputs()) +
+        " is not a positive multiple of bundle_width " +
+        std::to_string(bundle_width));
+  }
+}
+
+// ---- FaultParallelSim ------------------------------------------------------
+
+FaultParallelSim::FaultParallelSim(const Circuit& circuit,
+                                   const FaultUniverse& universe,
+                                   int bundle_width)
+    : circuit_(&circuit),
+      universe_(&universe),
+      bundle_width_(bundle_width),
+      values_(circuit.node_count(), 0),
+      force0_(circuit.node_count(), 0),
+      force1_(circuit.node_count(), 0),
+      bundle_counter_(bundle_width > 0 ? bundle_width : 1) {
+  validate_bundle_interface(circuit, bundle_width);
+}
+
+Word FaultParallelSim::block_mask(std::size_t block) const {
+  const std::size_t begin = block * sim::kWordBits;
+  const std::size_t lanes =
+      std::min<std::size_t>(sim::kWordBits, universe_->num_classes() - begin);
+  return sim::low_mask(static_cast<int>(lanes));
+}
+
+Word FaultParallelSim::detect_block(std::size_t block,
+                                    const std::vector<bool>& pattern,
+                                    const std::vector<bool>& expected) {
+  const Circuit& circuit = *circuit_;
+  const auto width = static_cast<std::size_t>(bundle_width_);
+  if (pattern.size() * width != circuit.num_inputs()) {
+    throw std::invalid_argument("fault: pattern size mismatch");
+  }
+  if (expected.size() * width != circuit.num_outputs()) {
+    throw std::invalid_argument("fault: expected-output size mismatch");
+  }
+  const std::size_t first_class = block * sim::kWordBits;
+  const std::size_t lanes =
+      std::min<std::size_t>(sim::kWordBits, universe_->num_classes() - first_class);
+
+  // Lane L of this sweep is the circuit under the representative fault of
+  // class first_class + L: record the per-node force masks (cleared again
+  // below — only up to 64 nodes are touched per block).
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const FaultSite& site = universe_->representative(first_class + lane);
+    const Word bit = Word{1} << lane;
+    (site.value == StuckAt::kZero ? force0_ : force1_)[site.node] |= bit;
+  }
+
+  // One linear sweep (ids are topological by construction), forcing applied
+  // at every node so faults on inputs and constants inject exactly like
+  // gate-output faults.
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const auto& node = circuit.node(id);
+    Word value = 0;
+    switch (node.type) {
+      case GateType::kInput:
+        value = broadcast(
+            pattern[static_cast<std::size_t>(circuit.input_index(id)) / width]);
+        break;
+      case GateType::kConst0:
+        value = 0;
+        break;
+      case GateType::kConst1:
+        value = sim::kAllOnes;
+        break;
+      default: {
+        fanin_buffer_.clear();
+        for (const NodeId fanin : node.fanins) {
+          fanin_buffer_.push_back(values_[fanin]);
+        }
+        value = netlist::eval_word(node.type, fanin_buffer_);
+        break;
+      }
+    }
+    values_[id] = (value & ~force0_[id]) | force1_[id];
+  }
+  ++passes_;
+
+  // Decode each logical output's bundle per lane and compare against the
+  // expected fault-free bit; any difference marks the lane detected.
+  Word detected = 0;
+  const std::span<const NodeId> outputs = circuit.outputs();
+  const std::size_t logical_outputs = outputs.size() / width;
+  if (width == 1) {
+    for (std::size_t o = 0; o < logical_outputs; ++o) {
+      detected |= values_[outputs[o]] ^ broadcast(expected[o]);
+    }
+  } else {
+    for (std::size_t o = 0; o < logical_outputs; ++o) {
+      bundle_counter_.reset();
+      for (std::size_t w = 0; w < width; ++w) {
+        bundle_counter_.add(values_[outputs[o * width + w]]);
+      }
+      detected |= bundle_counter_.greater_than(bundle_width_ / 2) ^
+                  broadcast(expected[o]);
+    }
+  }
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const FaultSite& site = universe_->representative(first_class + lane);
+    force0_[site.node] = 0;
+    force1_[site.node] = 0;
+  }
+  return detected & block_mask(block);
+}
+
+// ---- ScalarFaultSim --------------------------------------------------------
+
+ScalarFaultSim::ScalarFaultSim(const Circuit& circuit,
+                               const FaultUniverse& universe, int bundle_width)
+    : circuit_(&circuit),
+      universe_(&universe),
+      bundle_width_(bundle_width),
+      values_(circuit.node_count(), 0) {
+  validate_bundle_interface(circuit, bundle_width);
+}
+
+bool ScalarFaultSim::detect(std::size_t class_index,
+                            const std::vector<bool>& pattern,
+                            const std::vector<bool>& expected) {
+  const Circuit& circuit = *circuit_;
+  const auto width = static_cast<std::size_t>(bundle_width_);
+  if (pattern.size() * width != circuit.num_inputs()) {
+    throw std::invalid_argument("fault: pattern size mismatch");
+  }
+  if (expected.size() * width != circuit.num_outputs()) {
+    throw std::invalid_argument("fault: expected-output size mismatch");
+  }
+  const FaultSite& site = universe_->representative(class_index);
+
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    const auto& node = circuit.node(id);
+    bool value = false;
+    switch (node.type) {
+      case GateType::kInput:
+        value =
+            pattern[static_cast<std::size_t>(circuit.input_index(id)) / width];
+        break;
+      case GateType::kConst0:
+        value = false;
+        break;
+      case GateType::kConst1:
+        value = true;
+        break;
+      default: {
+        fanin_buffer_.assign(node.fanins.size(), false);
+        for (std::size_t f = 0; f < node.fanins.size(); ++f) {
+          fanin_buffer_[f] = values_[node.fanins[f]] != 0;
+        }
+        value = netlist::eval_bit(node.type, fanin_buffer_);
+        break;
+      }
+    }
+    if (id == site.node) value = (site.value == StuckAt::kOne);
+    values_[id] = value ? 1 : 0;
+  }
+  ++passes_;
+
+  const std::span<const NodeId> outputs = circuit.outputs();
+  const std::size_t logical_outputs = outputs.size() / width;
+  for (std::size_t o = 0; o < logical_outputs; ++o) {
+    bool decoded = false;
+    if (width == 1) {
+      decoded = values_[outputs[o]] != 0;
+    } else {
+      int ones = 0;
+      for (std::size_t w = 0; w < width; ++w) {
+        ones += values_[outputs[o * width + w]];
+      }
+      decoded = ones > bundle_width_ / 2;
+    }
+    if (decoded != static_cast<bool>(expected[o])) return true;
+  }
+  return false;
+}
+
+}  // namespace enb::fault

@@ -1,0 +1,111 @@
+// Stuck-at fault simulation substrates.
+//
+// Two implementations of the same question — "which faults does this input
+// pattern detect?" — with opposite packings:
+//
+//   FaultParallelSim  packs 64 *faults* per machine word: one linear sweep
+//                     of the circuit evaluates one pattern under 64
+//                     different injected faults simultaneously (lane L of
+//                     every node word is the circuit under fault L of the
+//                     block). A campaign therefore performs
+//                     ceil(classes/64) faulty sweeps per pattern instead of
+//                     `classes` — the >= 32x pass reduction the fault
+//                     engine is built around.
+//
+//   ScalarFaultSim    injects one fault at a time and evaluates the pattern
+//                     gate by gate on plain bools. Deliberately shares no
+//                     evaluation machinery with the word-parallel path; it
+//                     exists only to cross-check it (tests and the CLI's
+//                     --check-scalar diff the two bit for bit).
+//
+// Both simulate the *collapsed* universe (one representative per
+// equivalence class — exact for every member, see fault_model.hpp) and
+// support the ft/ bundle convention: with bundle_width b > 1 the circuit's
+// inputs/outputs are consecutive b-wire bundles per logical signal (the
+// ft/multiplex layout); inputs are broadcast per bundle and outputs are
+// majority-decoded before comparison, so a fault is "detected" only when it
+// survives redundancy decoding.
+//
+// A fault is detected on a pattern when any decoded output differs from
+// `expected` — the golden circuit's fault-free outputs for that pattern
+// (the campaign layer supplies them; golden defaults to the circuit
+// itself). Both classes count their full-circuit sweeps in passes(), the
+// currency of the pass-reduction contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "netlist/circuit.hpp"
+#include "sim/bitpack.hpp"
+
+namespace enb::fault {
+
+class FaultParallelSim {
+ public:
+  // Throws std::invalid_argument when the interface is not bundle-divisible
+  // or bundle_width is not 1 or odd >= 3.
+  FaultParallelSim(const netlist::Circuit& circuit,
+                   const FaultUniverse& universe, int bundle_width = 1);
+
+  // Representative faults are processed in blocks of 64 classes:
+  // block b covers classes [64 b, min(64 b + 64, num_classes)).
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return (universe_->num_classes() + sim::kWordBits - 1) / sim::kWordBits;
+  }
+  // Valid-lane mask of `block` (all 64 except a short final block).
+  [[nodiscard]] sim::Word block_mask(std::size_t block) const;
+
+  // Detection word for `block` on one pattern: bit L is set iff class
+  // 64*block + L is detected, i.e. some majority-decoded output under that
+  // fault differs from expected. `pattern` holds one bool per *logical*
+  // input, `expected` one bool per *logical* output. One simulation pass.
+  [[nodiscard]] sim::Word detect_block(std::size_t block,
+                                       const std::vector<bool>& pattern,
+                                       const std::vector<bool>& expected);
+
+  // Full-circuit sweeps performed so far.
+  [[nodiscard]] std::uint64_t passes() const noexcept { return passes_; }
+
+ private:
+  const netlist::Circuit* circuit_;
+  const FaultUniverse* universe_;
+  int bundle_width_;
+  std::vector<sim::Word> values_;
+  std::vector<sim::Word> force0_;  // per node: lanes forced to 0 this block
+  std::vector<sim::Word> force1_;  // per node: lanes forced to 1 this block
+  std::vector<sim::Word> fanin_buffer_;
+  sim::LaneCounter bundle_counter_;  // reused across detect_block calls
+  std::uint64_t passes_ = 0;
+};
+
+class ScalarFaultSim {
+ public:
+  ScalarFaultSim(const netlist::Circuit& circuit,
+                 const FaultUniverse& universe, int bundle_width = 1);
+
+  // True iff class `class_index`'s representative fault is detected on
+  // `pattern` (same logical-interface conventions as FaultParallelSim).
+  // One simulation pass.
+  [[nodiscard]] bool detect(std::size_t class_index,
+                            const std::vector<bool>& pattern,
+                            const std::vector<bool>& expected);
+
+  [[nodiscard]] std::uint64_t passes() const noexcept { return passes_; }
+
+ private:
+  const netlist::Circuit* circuit_;
+  const FaultUniverse* universe_;
+  int bundle_width_;
+  std::vector<char> values_;
+  std::vector<bool> fanin_buffer_;
+  std::uint64_t passes_ = 0;
+};
+
+// Shared interface validation: bundle_width is 1 or odd >= 3, the circuit's
+// input/output counts are multiples of it, and there is at least one output.
+void validate_bundle_interface(const netlist::Circuit& circuit,
+                               int bundle_width);
+
+}  // namespace enb::fault

@@ -26,12 +26,14 @@ NmrResult nmr_transform(const Circuit& circuit, const NmrOptions& options) {
   }
 
   // replica_outputs[copy][output position]
+  result.replica_begin = static_cast<NodeId>(out.node_count());
   std::vector<std::vector<NodeId>> replica_outputs;
   replica_outputs.reserve(static_cast<std::size_t>(options.copies));
   for (int copy = 0; copy < options.copies; ++copy) {
     replica_outputs.push_back(netlist::append_circuit(out, circuit, inputs));
   }
   result.replica_gates = out.gate_count();
+  result.replica_end = static_cast<NodeId>(out.node_count());
 
   for (std::size_t pos = 0; pos < circuit.num_outputs(); ++pos) {
     std::vector<NodeId> votes;

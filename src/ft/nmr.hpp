@@ -18,6 +18,12 @@ struct NmrResult {
   netlist::Circuit circuit;
   std::size_t replica_gates = 0;  // gates in the N replicas
   std::size_t voter_gates = 0;    // gates in the voting stage
+  // Node-id range [replica_begin, replica_end) holding the replica logic:
+  // ids below it are the shared primary inputs, ids at or above replica_end
+  // are the voting stage. The fault-campaign property tests use it to
+  // assert that every single stuck-at fault inside a replica is masked.
+  netlist::NodeId replica_begin = 0;
+  netlist::NodeId replica_end = 0;
 };
 
 // Builds the NMR version of `circuit` (same interface: inputs are shared by

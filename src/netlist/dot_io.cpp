@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "netlist/nets.hpp"
+
 namespace enb::netlist {
 namespace {
 
@@ -26,9 +28,12 @@ const char* shape_for(GateType type) {
 void write_dot(const Circuit& circuit, std::ostream& out) {
   out << "digraph \"" << (circuit.name().empty() ? "circuit" : circuit.name())
       << "\" {\n  rankdir=LR;\n";
-  for (NodeId id = 0; id < circuit.node_count(); ++id) {
-    const auto& node = circuit.node(id);
-    out << "  n" << id << " [label=\"" << circuit.node_name(id) << "\\n"
+  // One node statement per net, in the canonical net order (shared with the
+  // fault engine's site enumeration, so diagrams and campaign reports agree
+  // on naming and sequence).
+  for (const NetInfo& net : enumerate_nets(circuit)) {
+    const auto& node = circuit.node(net.node);
+    out << "  n" << net.node << " [label=\"" << net.name << "\\n"
         << to_string(node.type) << "\" shape=" << shape_for(node.type)
         << "];\n";
   }

@@ -1,0 +1,14 @@
+#include "netlist/nets.hpp"
+
+namespace enb::netlist {
+
+std::vector<NetInfo> enumerate_nets(const Circuit& circuit) {
+  std::vector<NetInfo> nets;
+  nets.reserve(circuit.node_count());
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    nets.push_back({id, circuit.node_name(id)});
+  }
+  return nets;
+}
+
+}  // namespace enb::netlist

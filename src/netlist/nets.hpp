@@ -1,0 +1,29 @@
+// Stable net enumeration.
+//
+// Every node of the combinational IR drives exactly one net (fanout branches
+// are not separate nets in this representation), so "all nets" is "all
+// nodes" — but the *order* matters: the fault engine derives fault-site
+// indices from it, campaign results are keyed by it, and reports list nets
+// in it. One helper owns that order (node-id order, which is construction
+// and therefore topological order) so fault universes, DOT output, and
+// future report writers can never drift apart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::netlist {
+
+struct NetInfo {
+  NodeId node = kInvalidNode;  // the driving node (its id names the net)
+  std::string name;            // node_name(node): explicit or "n<id>"
+};
+
+// All nets of `circuit` in the canonical order: ascending driving-node id.
+// This order is stable across runs and re-parses of the same construction
+// sequence; tests pin it so campaign outputs stay reproducible.
+[[nodiscard]] std::vector<NetInfo> enumerate_nets(const Circuit& circuit);
+
+}  // namespace enb::netlist

@@ -60,6 +60,8 @@ const char* headline_metric(analysis::AnalysisKind kind) {
       return "total_factor";
     case analysis::AnalysisKind::kProfile:
       return "size_s0";
+    case analysis::AnalysisKind::kFaultCampaign:
+      return "coverage";
   }
   return "";
 }
@@ -349,7 +351,7 @@ void Server::cmd_analyze(const Frame& frame, ByteStream& stream) {
   for (const auto& [key, value] : frame.args) {
     if (key == "handle" || key == "kind" || key == "name") continue;
     if (key == "eps" || key == "delta" || key == "budget" || key == "seed" ||
-        key == "leakage" || key == "golden") {
+        key == "leakage" || key == "golden" || key == "mode") {
       line += " " + key + "=" + value;
       continue;
     }

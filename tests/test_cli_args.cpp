@@ -117,6 +117,47 @@ TEST(CliArgs, ServeCapacitiesDefaultAndRejectNonPositive) {
       << cache.error;
 }
 
+TEST(CliArgs, FaultsimFlagsParseAndDefault) {
+  const Args defaults = parse_args({"faultsim", "c17"});
+  ASSERT_TRUE(defaults.ok()) << defaults.error;
+  EXPECT_EQ(defaults.patterns, 256u);
+  EXPECT_FALSE(defaults.exhaustive);
+  EXPECT_EQ(defaults.seed, 0xFA17u);
+  EXPECT_EQ(defaults.bundle_width, 1);
+  EXPECT_FALSE(defaults.no_collapse);
+  EXPECT_FALSE(defaults.check_scalar);
+  EXPECT_TRUE(defaults.golden.empty());
+  EXPECT_TRUE(defaults.ans.empty());
+
+  const Args args = parse_args(
+      {"faultsim", "nmr.bench", "--golden", "base.bench", "--patterns", "500",
+       "--seed", "42", "--bundle-width", "5", "--exhaustive", "--no-collapse",
+       "--check-scalar", "--ans", "out.ans"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.patterns, 500u);
+  EXPECT_EQ(args.seed, 42u);
+  EXPECT_EQ(args.bundle_width, 5);
+  EXPECT_TRUE(args.exhaustive);
+  EXPECT_TRUE(args.no_collapse);
+  EXPECT_TRUE(args.check_scalar);
+  EXPECT_EQ(args.golden, "base.bench");
+  EXPECT_EQ(args.ans, "out.ans");
+}
+
+TEST(CliArgs, FaultsimNumericFlagsRejectGarbageAndTrailing) {
+  const Args bad = parse_args({"faultsim", "c17", "--patterns", "many"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("--patterns"), std::string::npos) << bad.error;
+  const Args negative = parse_args({"faultsim", "c17", "--seed", "-3"});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.error.find("--seed"), std::string::npos)
+      << negative.error;
+  const Args trailing = parse_args({"faultsim", "c17", "--ans"});
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.error.find("--ans"), std::string::npos)
+      << trailing.error;
+}
+
 TEST(CliArgs, TrailingSocketFlagRejected) {
   const Args args = parse_args({"client", "--socket"});
   ASSERT_FALSE(args.ok());

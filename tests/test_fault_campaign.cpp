@@ -1,0 +1,275 @@
+// Campaign engine: determinism across thread counts, batch-vs-direct
+// equality for the FaultCampaignRequest kind, manifest parsing, the
+// detection-table `.ans` view, and ft/ masking metrics.
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/analyze.hpp"
+#include "analysis/compiled_circuit.hpp"
+#include "analysis/request.hpp"
+#include "exec/batch.hpp"
+#include "ft/nmr.hpp"
+#include "gen/suite.hpp"
+
+namespace enb::fault {
+namespace {
+
+using netlist::Circuit;
+
+TEST(FaultCampaign, BitIdenticalForAnyThreadCount) {
+  const Circuit circuit = gen::find_benchmark("rca8").build();
+  CampaignOptions options;
+  options.patterns = 160;
+  options.shard_patterns = 32;
+  const FaultCampaignResult serial =
+      run_campaign(circuit, nullptr, options, exec::Parallelism::serial());
+  const FaultCampaignResult pool =
+      run_campaign(circuit, nullptr, options, exec::Parallelism::global_pool());
+  const FaultCampaignResult wide =
+      run_campaign(circuit, nullptr, options, exec::Parallelism::dedicated(64));
+  EXPECT_EQ(serial, pool);
+  EXPECT_EQ(serial, wide);
+  EXPECT_EQ(serial.patterns, 160u);
+  EXPECT_GT(serial.detected, 0u);
+}
+
+TEST(FaultCampaign, ExhaustiveC17SelfCoverageIsComplete) {
+  // c17 is fully testable: every collapsed class is detected by some input
+  // assignment, so exhaustive self-grading reports coverage 1.
+  const Circuit c17 = gen::find_benchmark("c17").build();
+  CampaignOptions options;
+  options.exhaustive = true;
+  const FaultCampaignResult result = run_campaign(c17, nullptr, options);
+  EXPECT_EQ(result.patterns, 32u);
+  EXPECT_EQ(result.detected, result.classes);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(result.masked_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(result.gate_overhead, 1.0);
+}
+
+TEST(FaultCampaign, CollapseChangesClassesNotCoverageRatio) {
+  const Circuit c17 = gen::find_benchmark("c17").build();
+  CampaignOptions collapsed;
+  collapsed.exhaustive = true;
+  CampaignOptions full = collapsed;
+  full.collapse = false;
+  const FaultCampaignResult a = run_campaign(c17, nullptr, collapsed);
+  const FaultCampaignResult b = run_campaign(c17, nullptr, full);
+  EXPECT_LT(a.classes, b.classes);
+  EXPECT_EQ(b.classes, b.sites);
+  // c17 is fully testable either way.
+  EXPECT_DOUBLE_EQ(a.coverage, b.coverage);
+}
+
+TEST(FaultCampaign, NmrMaskingCampaignReportsOverheadAndMasking) {
+  const Circuit base = gen::find_benchmark("c17").build();
+  const Circuit nmr = ft::nmr_transform(base).circuit;
+  CampaignOptions options;
+  options.exhaustive = true;
+  const FaultCampaignResult result = run_campaign(nmr, &base, options);
+  // Triplication masks most faults but voter faults remain observable.
+  EXPECT_GT(result.masked_fraction, 0.5);
+  EXPECT_GT(result.detected, 0u);
+  EXPECT_GT(result.gate_overhead, 3.0);
+  EXPECT_GT(result.overhead_per_masked, result.gate_overhead);
+  EXPECT_EQ(result.golden_gates, base.gate_count());
+}
+
+TEST(FaultCampaign, BatchMatchesDirectEvaluate) {
+  const analysis::CompiledCircuit nmr = analysis::compile(
+      ft::nmr_transform(gen::find_benchmark("c17").build()).circuit);
+  const analysis::CompiledCircuit base =
+      analysis::compile(gen::find_benchmark("c17").build());
+
+  analysis::AnalysisRequest request;
+  request.name = "fc";
+  request.circuit = nmr;
+  request.golden = base;
+  analysis::FaultCampaignRequest spec;
+  spec.options.patterns = 96;
+  spec.options.shard_patterns = 16;
+  spec.options.seed = 123;
+  request.options = spec;
+
+  const analysis::AnalysisResult direct = analysis::evaluate(request);
+  ASSERT_TRUE(direct.ok) << direct.error;
+
+  exec::BatchEvaluator batch;
+  batch.submit(request);
+  const std::vector<analysis::AnalysisResult> results = batch.run();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].metrics, direct.metrics);
+  const auto* direct_payload = direct.get<FaultCampaignResult>();
+  const auto* batch_payload = results[0].get<FaultCampaignResult>();
+  ASSERT_NE(direct_payload, nullptr);
+  ASSERT_NE(batch_payload, nullptr);
+  EXPECT_EQ(*direct_payload, *batch_payload);
+}
+
+TEST(FaultCampaign, BatchIsolatesInvalidCampaigns) {
+  const analysis::CompiledCircuit c17 =
+      analysis::compile(gen::find_benchmark("c17").build());
+  exec::BatchEvaluator batch;
+
+  analysis::AnalysisRequest bad;
+  bad.name = "bad";
+  bad.circuit = c17;
+  analysis::FaultCampaignRequest bad_spec;
+  bad_spec.options.patterns = 0;  // invalid: empty random budget
+  bad.options = bad_spec;
+  batch.submit(std::move(bad));
+
+  analysis::AnalysisRequest good;
+  good.name = "good";
+  good.circuit = c17;
+  analysis::FaultCampaignRequest good_spec;
+  good_spec.options.patterns = 32;
+  good.options = good_spec;
+  batch.submit(std::move(good));
+
+  const std::vector<analysis::AnalysisResult> results = batch.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("patterns"), std::string::npos);
+  EXPECT_TRUE(results[1].ok) << results[1].error;
+}
+
+TEST(FaultCampaign, ManifestParsesFaultCampaignLines) {
+  const analysis::CompiledCircuit c17 =
+      analysis::compile(gen::find_benchmark("c17").build());
+  std::istringstream manifest(
+      "fc1 kind=fault-campaign circuit=c17 budget=64 seed=9\n"
+      "fc2 kind=fault-campaign circuit=c17 mode=exhaustive\n"
+      "fc3 kind=fault-campaign circuit=c17 mode=random budget=12\n");
+  const std::vector<analysis::AnalysisRequest> requests =
+      exec::parse_manifest_requests(manifest,
+                                    [&](const std::string&) { return c17; });
+  ASSERT_EQ(requests.size(), 3u);
+  const auto& fc1 =
+      std::get<analysis::FaultCampaignRequest>(requests[0].options);
+  EXPECT_EQ(fc1.options.patterns, 64u);
+  EXPECT_EQ(fc1.options.seed, 9u);
+  EXPECT_FALSE(fc1.options.exhaustive);
+  const auto& fc2 =
+      std::get<analysis::FaultCampaignRequest>(requests[1].options);
+  EXPECT_TRUE(fc2.options.exhaustive);
+  const auto& fc3 =
+      std::get<analysis::FaultCampaignRequest>(requests[2].options);
+  EXPECT_FALSE(fc3.options.exhaustive);
+  EXPECT_EQ(fc3.options.patterns, 12u);
+}
+
+TEST(FaultCampaign, ManifestRejectsBadModes) {
+  const analysis::CompiledCircuit c17 =
+      analysis::compile(gen::find_benchmark("c17").build());
+  const auto resolve = [&](const std::string&) { return c17; };
+  std::istringstream bad_value(
+      "fc kind=fault-campaign circuit=c17 mode=sometimes\n");
+  EXPECT_THROW((void)exec::parse_manifest_requests(bad_value, resolve),
+               std::invalid_argument);
+  std::istringstream wrong_kind("p kind=profile circuit=c17 mode=random\n");
+  EXPECT_THROW((void)exec::parse_manifest_requests(wrong_kind, resolve),
+               std::invalid_argument);
+}
+
+TEST(FaultCampaign, CanonicalSpecIsValueComplete) {
+  analysis::FaultCampaignRequest a;
+  const std::string base = analysis::canonical_spec(a);
+  EXPECT_NE(base.find("fault-campaign"), std::string::npos);
+  analysis::FaultCampaignRequest b = a;
+  b.options.seed ^= 1;
+  EXPECT_NE(analysis::canonical_spec(b), base);
+  analysis::FaultCampaignRequest c = a;
+  c.options.exhaustive = true;
+  EXPECT_NE(analysis::canonical_spec(c), base);
+  analysis::FaultCampaignRequest d = a;
+  d.options.shard_patterns /= 2;
+  EXPECT_NE(analysis::canonical_spec(d), base);
+  analysis::FaultCampaignRequest e = a;
+  e.options.bundle_width = 3;
+  EXPECT_NE(analysis::canonical_spec(e), base);
+  analysis::FaultCampaignRequest f = a;
+  f.options.collapse = false;
+  EXPECT_NE(analysis::canonical_spec(f), base);
+}
+
+TEST(FaultCampaign, DetectionTableAgreesWithAggregateCounts) {
+  const Circuit circuit = gen::find_benchmark("parity8").build();
+  CampaignOptions options;
+  options.patterns = 48;
+  options.shard_patterns = 16;
+  const FaultUniverse universe = FaultUniverse::build(circuit);
+  const DetectionTable serial_table = build_detection_table(
+      circuit, circuit, universe, options, exec::Parallelism::serial());
+  const DetectionTable wide_table = build_detection_table(
+      circuit, circuit, universe, options, exec::Parallelism::dedicated(64));
+  EXPECT_EQ(serial_table.patterns, wide_table.patterns);
+  EXPECT_EQ(serial_table.detected, wide_table.detected);
+  EXPECT_EQ(serial_table.passes, wide_table.passes);
+
+  const FaultCampaignResult via_table = finalize_campaign(
+      circuit, circuit, universe, options,
+      counts_from_table(universe, serial_table));
+  const FaultCampaignResult direct = run_campaign(circuit, nullptr, options);
+  EXPECT_EQ(via_table, direct);
+}
+
+TEST(FaultCampaign, AnsRowsCoverEveryNetAndExpandClasses) {
+  const Circuit c17 = gen::find_benchmark("c17").build();
+  CampaignOptions options;
+  options.patterns = 2;
+  options.shard_patterns = 2;
+  const FaultUniverse universe = FaultUniverse::build(c17);
+  const DetectionTable table =
+      build_detection_table(c17, c17, universe, options);
+  std::ostringstream out;
+  write_ans(out, c17, universe, table);
+
+  std::istringstream in(out.str());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "# pattern net sa0_eq sa1_eq");
+  std::size_t rows = 0;
+  std::string pattern, net;
+  int sa0_eq = 0;
+  int sa1_eq = 0;
+  while (in >> pattern >> net >> sa0_eq >> sa1_eq) {
+    ++rows;
+    EXPECT_TRUE(sa0_eq == 0 || sa0_eq == 1);
+    EXPECT_TRUE(sa1_eq == 0 || sa1_eq == 1);
+  }
+  EXPECT_EQ(rows, 2 * universe.num_nets());  // patterns x nets
+
+  // Equivalent sites must print identical bits: re-derive one collapsed
+  // pair and check the rows agree (expansion is exact by equivalence).
+  // c17: input "1" feeds only NAND "10", so 1 sa0 == 10 sa1.
+  const std::size_t site_in = 0;   // node 0 ("1") sa0
+  const std::size_t site_out = 2 * 5 + 1;  // node 5 ("10") sa1
+  ASSERT_EQ(universe.class_of(site_in), universe.class_of(site_out));
+}
+
+TEST(FaultCampaign, ValidatesInterfaceAndBudgets) {
+  const Circuit c17 = gen::find_benchmark("c17").build();
+  const Circuit rca8 = gen::find_benchmark("rca8").build();
+  CampaignOptions options;
+  EXPECT_THROW(validate_campaign_inputs(c17, rca8, options),
+               std::invalid_argument);
+  CampaignOptions zero_shard;
+  zero_shard.shard_patterns = 0;
+  EXPECT_THROW(validate_campaign_inputs(c17, c17, zero_shard),
+               std::invalid_argument);
+  CampaignOptions exhaustive;
+  exhaustive.exhaustive = true;
+  const Circuit wide = gen::find_benchmark("rca32").build();
+  EXPECT_THROW(validate_campaign_inputs(wide, wide, exhaustive),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace enb::fault

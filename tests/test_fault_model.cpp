@@ -1,0 +1,151 @@
+// Fault-universe construction and structural equivalence collapsing.
+#include "fault/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/iscas.hpp"
+
+namespace enb::fault {
+namespace {
+
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+std::size_t site_of(NodeId node, StuckAt value) {
+  return 2 * static_cast<std::size_t>(node) +
+         (value == StuckAt::kOne ? 1 : 0);
+}
+
+TEST(FaultUniverse, SiteOrderFollowsNetEnumeration) {
+  Circuit c("order");
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(GateType::kNot, a);
+  c.add_output(g);
+  const FaultUniverse u = FaultUniverse::build(c, /*collapse=*/false);
+  ASSERT_EQ(u.num_sites(), 4u);
+  EXPECT_EQ(u.num_nets(), 2u);
+  EXPECT_EQ(u.site(0), (FaultSite{a, StuckAt::kZero}));
+  EXPECT_EQ(u.site(1), (FaultSite{a, StuckAt::kOne}));
+  EXPECT_EQ(u.site(2), (FaultSite{g, StuckAt::kZero}));
+  EXPECT_EQ(u.site(3), (FaultSite{g, StuckAt::kOne}));
+}
+
+TEST(FaultUniverse, NoCollapseMakesEverySiteItsOwnClass) {
+  const FaultUniverse u = FaultUniverse::build(gen::c17(), /*collapse=*/false);
+  EXPECT_EQ(u.num_classes(), u.num_sites());
+  for (std::size_t s = 0; s < u.num_sites(); ++s) {
+    EXPECT_EQ(u.class_of(s), s);
+    EXPECT_EQ(u.representative_site(s), s);
+  }
+}
+
+TEST(FaultUniverse, InverterChainCollapsesToTwoClasses) {
+  // a -> NOT -> NOT -> output: both polarities ripple through the chain.
+  Circuit c("chain");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_gate(GateType::kNot, a);
+  const NodeId d = c.add_gate(GateType::kNot, b);
+  c.add_output(d);
+  const FaultUniverse u = FaultUniverse::build(c);
+  ASSERT_EQ(u.num_sites(), 6u);
+  EXPECT_EQ(u.num_classes(), 2u);
+  // {a sa0, b sa1, d sa0} with representative a sa0 (lowest site).
+  EXPECT_EQ(u.class_of(site_of(a, StuckAt::kZero)), 0u);
+  EXPECT_EQ(u.class_of(site_of(b, StuckAt::kOne)), 0u);
+  EXPECT_EQ(u.class_of(site_of(d, StuckAt::kZero)), 0u);
+  EXPECT_EQ(u.representative(0), (FaultSite{a, StuckAt::kZero}));
+  // {a sa1, b sa0, d sa1}.
+  EXPECT_EQ(u.class_of(site_of(a, StuckAt::kOne)), 1u);
+  EXPECT_EQ(u.class_of(site_of(b, StuckAt::kZero)), 1u);
+  EXPECT_EQ(u.class_of(site_of(d, StuckAt::kOne)), 1u);
+  EXPECT_EQ(u.representative(1), (FaultSite{a, StuckAt::kOne}));
+}
+
+TEST(FaultUniverse, AndGateMergesControllingInputFaults) {
+  Circuit c("and3");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId d = c.add_input("d");
+  const NodeId g = c.add_gate(GateType::kAnd, {a, b, d});
+  c.add_output(g);
+  const FaultUniverse u = FaultUniverse::build(c);
+  // {a0, b0, d0, g0} is one class; the four sa1 sites stay singletons.
+  EXPECT_EQ(u.num_sites(), 8u);
+  EXPECT_EQ(u.num_classes(), 5u);
+  const std::size_t cls = u.class_of(site_of(g, StuckAt::kZero));
+  EXPECT_EQ(u.class_of(site_of(a, StuckAt::kZero)), cls);
+  EXPECT_EQ(u.class_of(site_of(b, StuckAt::kZero)), cls);
+  EXPECT_EQ(u.class_of(site_of(d, StuckAt::kZero)), cls);
+  EXPECT_NE(u.class_of(site_of(a, StuckAt::kOne)),
+            u.class_of(site_of(b, StuckAt::kOne)));
+}
+
+TEST(FaultUniverse, NandInputStuckZeroEqualsOutputStuckOne) {
+  Circuit c("nand2");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g = c.add_gate(GateType::kNand, a, b);
+  c.add_output(g);
+  const FaultUniverse u = FaultUniverse::build(c);
+  EXPECT_EQ(u.class_of(site_of(a, StuckAt::kZero)),
+            u.class_of(site_of(g, StuckAt::kOne)));
+  EXPECT_EQ(u.class_of(site_of(b, StuckAt::kZero)),
+            u.class_of(site_of(g, StuckAt::kOne)));
+  EXPECT_EQ(u.num_classes(), 4u);  // {a0,b0,g1}, a1, b1, g0
+}
+
+TEST(FaultUniverse, FanoutBlocksCollapsing) {
+  // a feeds two inverters: a's faults are observable down two paths, so
+  // they must not merge into either gate.
+  Circuit c("fanout");
+  const NodeId a = c.add_input("a");
+  const NodeId g1 = c.add_gate(GateType::kNot, a);
+  const NodeId g2 = c.add_gate(GateType::kNot, a);
+  c.add_output(g1);
+  c.add_output(g2);
+  const FaultUniverse u = FaultUniverse::build(c);
+  EXPECT_EQ(u.num_classes(), u.num_sites());
+}
+
+TEST(FaultUniverse, PrimaryOutputFaninBlocksCollapsing) {
+  // a is itself observed as an output: forcing a is distinguishable from
+  // forcing the inverter's output, single fanout or not.
+  Circuit c("po");
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(GateType::kNot, a);
+  c.add_output(a);
+  c.add_output(g);
+  const FaultUniverse u = FaultUniverse::build(c);
+  EXPECT_EQ(u.num_classes(), u.num_sites());
+}
+
+TEST(FaultUniverse, SingleFaninAndActsAsBuffer) {
+  Circuit c("buf1");
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(GateType::kAnd, {a});
+  c.add_output(g);
+  const FaultUniverse u = FaultUniverse::build(c);
+  EXPECT_EQ(u.class_of(site_of(a, StuckAt::kZero)),
+            u.class_of(site_of(g, StuckAt::kZero)));
+  EXPECT_EQ(u.class_of(site_of(a, StuckAt::kOne)),
+            u.class_of(site_of(g, StuckAt::kOne)));
+  EXPECT_EQ(u.num_classes(), 2u);
+}
+
+TEST(FaultUniverse, C17CollapsesBelowFullUniverse) {
+  const FaultUniverse u = FaultUniverse::build(gen::c17());
+  EXPECT_EQ(u.num_sites(), 22u);  // 11 nets x 2
+  EXPECT_LT(u.num_classes(), u.num_sites());
+  // Representatives are ordered by their lowest member site index.
+  for (std::size_t c = 1; c < u.num_classes(); ++c) {
+    EXPECT_LT(u.representative_site(c - 1), u.representative_site(c));
+  }
+  // Every site maps to a class whose representative is <= the site itself.
+  for (std::size_t s = 0; s < u.num_sites(); ++s) {
+    EXPECT_LE(u.representative_site(u.class_of(s)), s);
+  }
+}
+
+}  // namespace
+}  // namespace enb::fault

@@ -1,0 +1,69 @@
+// Pins the canonical net enumeration: the fault universe's site order and
+// the DOT writer's node order both derive from it, so campaign outputs stay
+// reproducible across refactors only while this order stays fixed.
+#include "netlist/nets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/iscas.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/dot_io.hpp"
+
+namespace enb::netlist {
+namespace {
+
+TEST(EnumerateNets, OrdersByNodeIdWithCanonicalNames) {
+  Circuit c("pin");
+  const NodeId a = c.add_input("a");
+  const NodeId b = c.add_input("b");
+  const NodeId g = c.add_gate(GateType::kAnd, a, b);
+  c.set_node_name(g, "g");
+  const NodeId h = c.add_gate(GateType::kNot, g);  // unnamed -> "n3"
+  c.add_output(h, "y");
+
+  const std::vector<NetInfo> nets = enumerate_nets(c);
+  ASSERT_EQ(nets.size(), 4u);
+  EXPECT_EQ(nets[0].node, a);
+  EXPECT_EQ(nets[0].name, "a");
+  EXPECT_EQ(nets[1].node, b);
+  EXPECT_EQ(nets[1].name, "b");
+  EXPECT_EQ(nets[2].node, g);
+  EXPECT_EQ(nets[2].name, "g");
+  EXPECT_EQ(nets[3].node, h);
+  EXPECT_EQ(nets[3].name, "n3");
+}
+
+TEST(EnumerateNets, PinsC17Order) {
+  const Circuit c17 = gen::c17();
+  const std::vector<NetInfo> nets = enumerate_nets(c17);
+  ASSERT_EQ(nets.size(), c17.node_count());
+  // The published c17 structure: 5 inputs then the 6 NAND2 gates in the
+  // bench parser's construction order (output cones resolved depth-first:
+  // 22's cone completes before 19). A change here silently re-keys every
+  // c17 campaign output.
+  const std::vector<std::string> expected = {"1",  "2",  "3",  "6",  "7", "10",
+                                             "11", "16", "22", "19", "23"};
+  ASSERT_EQ(nets.size(), expected.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    EXPECT_EQ(nets[i].node, static_cast<NodeId>(i));
+    EXPECT_EQ(nets[i].name, expected[i]) << "net " << i;
+  }
+}
+
+TEST(EnumerateNets, SharedWithDotWriter) {
+  // The DOT writer must list node statements in enumeration order with
+  // enumeration names — one order for diagrams and fault reports.
+  Circuit c("dot");
+  const NodeId a = c.add_input("a");
+  const NodeId g = c.add_gate(GateType::kNot, a);
+  c.add_output(g, "y");
+  const std::string dot = write_dot_string(c);
+  const std::size_t pos_a = dot.find("n0 [label=\"a");
+  const std::size_t pos_g = dot.find("n1 [label=\"n1");
+  EXPECT_NE(pos_a, std::string::npos);
+  EXPECT_NE(pos_g, std::string::npos);
+  EXPECT_LT(pos_a, pos_g);
+}
+
+}  // namespace
+}  // namespace enb::netlist

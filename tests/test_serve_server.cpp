@@ -154,6 +154,36 @@ TEST_F(ServeServerTest, RepeatedBatchIsServedEntirelyFromTheResultCache) {
   EXPECT_EQ(cache.entries, 4u);
 }
 
+TEST_F(ServeServerTest, FaultCampaignRidesBatchServeAndResultCache) {
+  // The new request kind must flow manifest -> batch -> serve with zero
+  // special-casing: byte-identical to the offline writer, and a repeat run
+  // served entirely from the result cache via the extended canonical spec.
+  start();
+  Client client(path());
+  const std::string manifest =
+      "fc-c17 kind=fault-campaign circuit=c17 budget=64 seed=11\n"
+      "fc-x   kind=fault-campaign circuit=c17 mode=exhaustive\n"
+      "fc-rca kind=fault-campaign circuit=rca8 budget=32\n";
+  const QueryOutcome cold = client.batch(manifest);
+  EXPECT_EQ(cold.total, 3u);
+  EXPECT_EQ(cold.failed, 0u);
+  EXPECT_EQ(cold.cached, 0u);
+  EXPECT_EQ(served_json(cold), offline_json(manifest));
+
+  const QueryOutcome warm = client.batch(manifest);
+  EXPECT_EQ(warm.cached, 3u);
+  EXPECT_EQ(served_json(warm), served_json(cold));
+
+  // The analyze verb shares the manifest grammar (mode= included) and, with
+  // equal options over the same content, the same cache key — the display
+  // name is not part of it.
+  const QueryOutcome analyzed = client.analyze(
+      "c17", "fault-campaign", {"mode=exhaustive", "name=renamed"});
+  ASSERT_EQ(analyzed.results.size(), 1u);
+  EXPECT_TRUE(analyzed.results[0].ok);
+  EXPECT_EQ(analyzed.cached, 1u);
+}
+
 TEST_F(ServeServerTest, ResultCacheSurvivesHandleEviction) {
   start();
   Client client(path());

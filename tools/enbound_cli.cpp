@@ -7,6 +7,10 @@
 //                   [--delta D] [--map K] [--csv out.csv] [--json out.json]
 //   enbound batch   <manifest>   [--map K] [--threads N] [--stream]
 //                   [--csv out.csv] [--json out.json]
+//   enbound faultsim <file.bench> [--golden spec] [--patterns N]
+//                   [--exhaustive] [--seed S] [--bundle-width B]
+//                   [--no-collapse] [--check-scalar] [--map K]
+//                   [--threads N] [--ans out.ans] [--json out.json]
 //   enbound serve   --socket <path> [--map K] [--threads N]
 //                   [--max-handles N] [--max-cache N]
 //   enbound client  --socket <path> <verb> [...]
@@ -39,6 +43,8 @@
 #include "analysis/compiled_circuit.hpp"
 #include "analysis/request.hpp"
 #include "cli/args.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault_sim.hpp"
 #include "core/analyzer.hpp"
 #include "exec/batch.hpp"
 #include "gen/suite.hpp"
@@ -47,6 +53,7 @@
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "serve/client.hpp"
+#include "sim/logic_sim.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -70,6 +77,10 @@ int usage() {
          "          [--delta D] [--map K] [--csv out.csv] [--json out.json]\n"
          "  batch   <manifest> [--map K] [--threads N] [--stream]\n"
          "          [--csv out.csv] [--json out.json]\n"
+         "  faultsim <file.bench> [--golden spec] [--patterns N]\n"
+         "          [--exhaustive] [--seed S] [--bundle-width B]\n"
+         "          [--no-collapse] [--check-scalar] [--map K]\n"
+         "          [--threads N] [--ans out.ans] [--json out.json]\n"
          "  serve   --socket <path> [--map K] [--threads N]\n"
          "          [--max-handles N] [--max-cache N]\n"
          "  client  --socket <path> load <spec> [name] [--map K]\n"
@@ -82,9 +93,10 @@ int usage() {
          "paper's generic max-fanin-3 library first. batch --stream prints\n"
          "each job as it finishes. Batch manifests hold one job per line:\n"
          "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
-         "         energy-bound|profile> circuit=<suite name or .bench path>\n"
+         "         energy-bound|profile|fault-campaign>\n"
+         "         circuit=<suite name or .bench path>\n"
          "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
-         "         [leakage=L]\n"
+         "         [leakage=L] [mode=random|exhaustive]\n"
          "exit codes: 0 ok, 1 usage, 2 processing/parse error or failed\n"
          "job, 3 input file missing\n";
   return 1;
@@ -283,6 +295,8 @@ const char* headline_metric(analysis::AnalysisKind kind) {
       return "total_factor";
     case analysis::AnalysisKind::kProfile:
       return "size_s0";
+    case analysis::AnalysisKind::kFaultCampaign:
+      return "coverage";
   }
   return "";
 }
@@ -364,6 +378,125 @@ int cmd_batch(const Args& args) {
   }
   if (!args.json.empty()) write_json_file(args.json, results);
   return all_ok ? 0 : 2;
+}
+
+// ---- fault campaigns -----------------------------------------------------
+
+int cmd_faultsim(const Args& args) {
+  const std::string& spec = args.positional[1];
+  if (circuit_file_missing(spec)) {
+    std::cerr << "error: circuit file not found: " << spec << "\n";
+    return kExitMissingInput;
+  }
+  if (!args.golden.empty() && circuit_file_missing(args.golden)) {
+    std::cerr << "error: golden circuit file not found: " << args.golden
+              << "\n";
+    return kExitMissingInput;
+  }
+  const analysis::CompiledCircuit compiled = load_compiled(args, spec);
+  std::optional<analysis::CompiledCircuit> golden;
+  if (!args.golden.empty()) golden = load_compiled(args, args.golden);
+
+  fault::CampaignOptions options;
+  options.patterns = args.patterns;
+  options.exhaustive = args.exhaustive;
+  options.seed = args.seed;
+  options.bundle_width = args.bundle_width;
+  options.collapse = !args.no_collapse;
+
+  const netlist::Circuit& circuit = compiled.circuit();
+  const netlist::Circuit& reference =
+      golden.has_value() ? golden->circuit() : circuit;
+  fault::validate_campaign_inputs(circuit, reference, options);
+  const exec::Parallelism how{args.threads};
+  // One campaign, two shapes: the row-level consumers (--ans,
+  // --check-scalar) need the per-pattern detection table (O(patterns x
+  // blocks) memory) and the summary folds out of it; otherwise the
+  // aggregate engine with its O(classes) counters runs alone. The two
+  // views are bit-identical by construction (pinned by
+  // tests/test_fault_campaign.cpp).
+  std::optional<fault::FaultUniverse> universe;
+  std::optional<fault::DetectionTable> table;
+  fault::FaultCampaignResult result;
+  if (args.check_scalar || !args.ans.empty()) {
+    universe = fault::FaultUniverse::build(circuit, options.collapse);
+    table = fault::build_detection_table(circuit, reference, *universe,
+                                         options, how);
+    result = fault::finalize_campaign(
+        circuit, reference, *universe, options,
+        fault::counts_from_table(*universe, *table));
+  } else {
+    result = fault::run_campaign(
+        circuit, golden.has_value() ? &reference : nullptr, options, how);
+  }
+
+  report::Table t({"field", "value"});
+  t.add_row({std::string("circuit"), compiled.name()});
+  t.add_row({std::string("golden"),
+             golden.has_value() ? golden->name() : compiled.name() + " (self)"});
+  t.add_row({std::string("nets"), std::to_string(result.nets)});
+  t.add_row({std::string("fault sites"), std::to_string(result.sites)});
+  t.add_row({std::string("collapsed classes"),
+             std::to_string(result.classes)});
+  t.add_row({std::string("patterns"), std::to_string(result.patterns)});
+  t.add_row({std::string("detected classes"),
+             std::to_string(result.detected)});
+  t.add_row({std::string("sim passes"), std::to_string(result.sim_passes)});
+  t.add_row({std::string("gate overhead"),
+             report::format_double(result.gate_overhead, 4)});
+  std::cout << t.to_text();
+  std::cout << "coverage " << report::format_double(result.coverage, 6) << " ("
+            << result.detected << "/" << result.classes
+            << " classes), masked_fraction "
+            << report::format_double(result.masked_fraction, 6) << "\n";
+
+  if (args.check_scalar) {
+    // Cross-check every (pattern, class) bit against the scalar
+    // one-fault-at-a-time reference — the two implementations share no
+    // evaluation machinery, so agreement here is a real equivalence check.
+    fault::ScalarFaultSim scalar(circuit, *universe, options.bundle_width);
+    std::uint64_t scalar_passes = 0;
+    std::uint64_t mismatches = 0;
+    for (std::size_t p = 0; p < table->patterns.size(); ++p) {
+      const std::vector<bool> expected =
+          sim::eval_single(reference, table->patterns[p]);
+      ++scalar_passes;
+      for (std::size_t c = 0; c < universe->num_classes(); ++c) {
+        const bool parallel_bit =
+            ((table->detected[p][c / sim::kWordBits] >>
+              (c % sim::kWordBits)) &
+             1) != 0;
+        if (scalar.detect(c, table->patterns[p], expected) != parallel_bit) {
+          ++mismatches;
+        }
+      }
+    }
+    scalar_passes += scalar.passes();
+    if (mismatches != 0) {
+      std::cerr << "error: bit-parallel and scalar fault simulation disagree "
+                << "on " << mismatches << " (pattern, fault) pairs\n";
+      return kExitProcessing;
+    }
+    const double reduction = table->passes == 0
+                                 ? 0.0
+                                 : static_cast<double>(scalar_passes) /
+                                       static_cast<double>(table->passes);
+    std::cout << "scalar check ok: " << scalar_passes << " scalar vs "
+              << table->passes << " bit-parallel passes ("
+              << report::format_double(reduction, 2) << "x reduction)\n";
+  }
+
+  if (!args.ans.empty()) {
+    std::ofstream out(args.ans);
+    fault::write_ans(out, circuit, *universe, *table);
+    std::cout << "wrote " << args.ans << "\n";
+  }
+  if (!args.json.empty()) {
+    std::vector<analysis::AnalysisResult> results;
+    results.push_back(analysis::make_result(compiled.name(), result));
+    write_json_file(args.json, results);
+  }
+  return 0;
 }
 
 // ---- server mode ---------------------------------------------------------
@@ -575,6 +708,7 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "batch") return cmd_batch(args);
+    if (command == "faultsim") return cmd_faultsim(args);
     if (command == "gen") return cmd_gen(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
