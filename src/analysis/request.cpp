@@ -95,11 +95,15 @@ Metrics flatten(const fault::FaultCampaignResult& f) {
   push(m, "nets", static_cast<double>(f.nets));
   push(m, "sites", static_cast<double>(f.sites));
   push(m, "classes", static_cast<double>(f.classes));
+  push(m, "sampled", static_cast<double>(f.sampled));
   push(m, "detected", static_cast<double>(f.detected));
   push(m, "coverage", f.coverage);
+  push(m, "coverage_ci_low", f.coverage_ci_low);
+  push(m, "coverage_ci_high", f.coverage_ci_high);
   push(m, "masked_fraction", f.masked_fraction);
   push(m, "patterns", static_cast<double>(f.patterns));
   push(m, "sim_passes", static_cast<double>(f.sim_passes));
+  push(m, "detect_outputs", static_cast<double>(f.detect_outputs));
   push(m, "gates", static_cast<double>(f.gates));
   push(m, "golden_gates", static_cast<double>(f.golden_gates));
   push(m, "gate_overhead", f.gate_overhead);
@@ -233,6 +237,10 @@ std::string spec_of(const ProfileRequest& r) {
 }
 
 std::string spec_of(const FaultCampaignRequest& r) {
+  // options.lanes is deliberately absent: lane width is execution policy
+  // (results are normalized to be width-independent), so requests differing
+  // only in lanes share one cache entry. drop and sample ARE value-relevant
+  // (sim_passes and the simulated set change).
   return SpecWriter("fault-campaign")
       .field("patterns", r.options.patterns)
       .field("exhaustive", r.options.exhaustive)
@@ -240,6 +248,8 @@ std::string spec_of(const FaultCampaignRequest& r) {
       .field("shard_patterns", r.options.shard_patterns)
       .field("bundle_width", r.options.bundle_width)
       .field("collapse", r.options.collapse)
+      .field("drop", r.options.drop)
+      .field("sample", r.options.sample)
       .str();
 }
 

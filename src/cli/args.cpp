@@ -112,6 +112,12 @@ Args parse_args(const std::vector<std::string>& argv) {
       args.no_collapse = true;
     } else if (arg == "--check-scalar") {
       args.check_scalar = true;
+    } else if (arg == "--drop") {
+      args.drop = true;
+    } else if (arg == "--lanes") {
+      next_uint64(arg, args.lanes);
+    } else if (arg == "--sample") {
+      next_uint64(arg, args.sample);
     } else if (arg == "--golden") {
       next_value(arg, args.golden);
     } else if (arg == "--ans") {

@@ -31,6 +31,9 @@ struct Args {
   int bundle_width = 1;          // ft/ bundle decode width (1 = plain)
   bool no_collapse = false;      // disable equivalence collapsing
   bool check_scalar = false;     // diff vs the scalar reference simulator
+  bool drop = false;             // fault dropping (retire detected classes)
+  std::uint64_t lanes = 64;      // SIMD fault lanes per sweep
+  std::uint64_t sample = 0;      // sampled class count (0 = full universe)
   std::string golden;            // golden circuit spec (masking campaigns)
   std::string ans;               // .ans output path
   std::string out;

@@ -17,6 +17,7 @@
 #include "exec/thread_pool.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault_model.hpp"
+#include "fault/lanes.hpp"
 #include "report/csv.hpp"
 #include "util/numeric.hpp"
 
@@ -667,6 +668,11 @@ struct ManifestLine {
   std::optional<std::uint64_t> budget;
   std::optional<std::uint64_t> seed;
   std::string mode;  // fault-campaign pattern source: "random" | "exhaustive"
+  // Fault-campaign scale knobs (campaign.hpp): drop=0|1, lanes=64|128|256|512,
+  // sample=N classes (0 = full universe).
+  std::optional<std::uint64_t> drop;
+  std::optional<std::uint64_t> lanes;
+  std::optional<std::uint64_t> sample;
 };
 
 std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
@@ -716,6 +722,16 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
         line.has_leakage = true;
       } else if (key == "mode") {
         line.mode = value;
+      } else if (key == "drop") {
+        line.drop = parse_manifest_count(key, value);
+        if (*line.drop > 1) throw fail("drop must be 0 or 1");
+      } else if (key == "lanes") {
+        line.lanes = parse_manifest_count(key, value);
+        if (!fault::parse_lane_width(*line.lanes).has_value()) {
+          throw fail("lanes must be 64, 128, 256, or 512");
+        }
+      } else if (key == "sample") {
+        line.sample = parse_manifest_count(key, value);
       } else {
         throw fail("unknown key '" + key + "'");
       }
@@ -729,9 +745,12 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
 }
 
 analysis::RequestOptions manifest_options(const ManifestLine& line) {
-  if (!line.mode.empty() && line.kind != JobKind::kFaultCampaign) {
+  if ((!line.mode.empty() || line.drop.has_value() || line.lanes.has_value() ||
+       line.sample.has_value()) &&
+      line.kind != JobKind::kFaultCampaign) {
     throw std::invalid_argument(
-        "manifest: key 'mode' only applies to kind=fault-campaign");
+        "manifest: keys 'mode', 'drop', 'lanes', and 'sample' only apply to "
+        "kind=fault-campaign");
   }
   switch (line.kind) {
     case JobKind::kReliability: {
@@ -794,6 +813,11 @@ analysis::RequestOptions manifest_options(const ManifestLine& line) {
               line.mode + "'");
         }
       }
+      if (line.drop.has_value()) spec.options.drop = (*line.drop != 0);
+      if (line.lanes.has_value()) {
+        spec.options.lanes = *fault::parse_lane_width(*line.lanes);
+      }
+      if (line.sample.has_value()) spec.options.sample = *line.sample;
       return spec;
     }
   }

@@ -109,16 +109,20 @@ class BatchEvaluator {
 
 // Parses a job-manifest stream: one request per non-blank, non-comment line,
 //   <name> kind=<kind> circuit=<spec> [golden=<spec>] [eps=E] [delta=D]
-//          [budget=N] [seed=S] [leakage=L] [mode=M]
+//          [budget=N] [seed=S] [leakage=L] [mode=M] [drop=0|1]
+//          [lanes=64|128|256|512] [sample=N]
 // `resolve` maps a circuit spec (suite name or .bench path) to a compiled
 // handle — memoize it to share handles (and profile extractions) across
 // jobs naming the same spec. budget= sets the kind's primary Monte-Carlo
 // knob (reliability trials, worst-case trials per input, activity pairs,
 // sensitivity sample words, profile activity pairs, fault-campaign
 // patterns); seed= the kind's master stream seed; leakage= the energy-bound
-// leakage share; mode= the fault-campaign pattern source (random |
-// exhaustive — rejected for other kinds). Throws std::invalid_argument on
-// malformed lines, unknown kinds/keys, or non-numeric values.
+// leakage share. The fault-campaign-only keys (rejected for other kinds):
+// mode= the pattern source (random | exhaustive), drop= fault dropping,
+// lanes= the SIMD lane width (execution policy — not part of the request's
+// canonical spec), sample= the sampled class count (0 = full universe).
+// Throws std::invalid_argument on malformed lines, unknown kinds/keys, or
+// non-numeric values.
 [[nodiscard]] std::vector<analysis::AnalysisRequest> parse_manifest_requests(
     std::istream& in,
     const std::function<analysis::CompiledCircuit(const std::string&)>&

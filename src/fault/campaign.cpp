@@ -1,14 +1,20 @@
 #include "fault/campaign.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <mutex>
+#include <numeric>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "fault/fault_sim.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/prng.hpp"
+#include "sim/reliability.hpp"
 
 namespace enb::fault {
 
@@ -16,6 +22,10 @@ namespace {
 
 using netlist::Circuit;
 using sim::Word;
+
+// Domain separator for the sampling stream, so sampled class choices never
+// correlate with the pattern streams drawn from the same seed.
+constexpr std::uint64_t kSampleSalt = 0x5A3D1EB70C4FA551ull;
 
 std::uint64_t pattern_total(const Circuit& golden,
                             const CampaignOptions& options) {
@@ -25,32 +35,144 @@ std::uint64_t pattern_total(const Circuit& golden,
   return options.patterns;
 }
 
-// The per-pattern body shared by the aggregate counts and the detection
-// table: one golden broadcast pass for the expected logical outputs, then
-// one faulty sweep per 64-class block into `row`. Keeping this in one place
-// is what makes the two views bit-identical by construction rather than by
-// parallel maintenance. The golden pass is counted by the caller (one per
-// pattern); the faulty sweeps accumulate in sim.passes().
-void detect_pattern(FaultParallelSim& sim, sim::LogicSim& golden_sim,
-                    const std::vector<bool>& pattern,
-                    std::vector<Word>& golden_inputs,
-                    std::vector<bool>& expected, std::vector<Word>& row) {
-  const Circuit& golden = golden_sim.circuit();
-  for (std::size_t i = 0; i < pattern.size(); ++i) {
-    golden_inputs[i] = pattern[i] ? sim::kAllOnes : 0;
+// Calls f with a std::type_identity tag for the lane container `lanes`
+// selects — the single point where the runtime LaneWidth policy meets the
+// compile-time lane types.
+template <typename F>
+auto with_lane_width(LaneWidth lanes, F&& f) {
+  switch (lanes) {
+    case LaneWidth::k64:
+      return f(std::type_identity<sim::Word>{});
+    case LaneWidth::k128:
+      return f(std::type_identity<LaneVec128>{});
+    case LaneWidth::k256:
+      return f(std::type_identity<LaneVec256>{});
+    case LaneWidth::k512:
+      return f(std::type_identity<LaneVec512>{});
   }
-  golden_sim.eval(golden_inputs);
-  expected.resize(golden.num_outputs());
-  for (std::size_t o = 0; o < golden.num_outputs(); ++o) {
-    expected[o] = (golden_sim.value(golden.outputs()[o]) & 1) != 0;
+  throw std::invalid_argument("fault campaign: unknown lane width");
+}
+
+// The per-shard body shared by the aggregate counts and the detection
+// table: one golden broadcast pass per pattern for the expected logical
+// outputs, then one faulty sweep per block of active classes. Keeping this
+// in one place is what makes the two views — and every lane width — bit-
+// identical by construction rather than by parallel maintenance.
+//
+// First detections are recorded per class the moment they happen (shard
+// patterns are sequential, so the first hit within the shard is the shard's
+// minimum; cross-shard minima are taken by CampaignCounts::merge). Fault
+// dropping — aggregate path only, the table needs complete rows — then
+// retires detected classes and repacks the survivors into dense lanes, so
+// every recorded field is identical with dropping on or off; only the
+// sweep count shrinks.
+template <typename V>
+CampaignCounts sweep_shard(const Circuit& circuit, const Circuit& golden,
+                           const FaultUniverse& universe,
+                           const CampaignOptions& options,
+                           const exec::Shard& shard, DetectionTable* table) {
+  CampaignCounts counts(universe.num_classes());
+  std::vector<std::vector<bool>> patterns =
+      shard_pattern_bits(golden.num_inputs(), options, shard);
+  LaneFaultSim<V> sim(circuit, universe, options.bundle_width);
+  std::vector<std::uint32_t> active = sampled_classes(universe, options);
+  sim.set_active(std::move(active));
+  const bool drop = options.drop && table == nullptr;
+  sim::LogicSim golden_sim(golden);
+  std::vector<Word> golden_inputs(golden.num_inputs());
+  std::vector<bool> expected;
+  std::vector<std::uint32_t> lane_outputs;
+  const std::size_t row_words =
+      (universe.num_classes() + sim::kWordBits - 1) / sim::kWordBits;
+
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    const std::vector<bool>& pattern = patterns[i];
+    const std::uint64_t pattern_index = shard.begin + i;
+    for (std::size_t b = 0; b < pattern.size(); ++b) {
+      golden_inputs[b] = pattern[b] ? sim::kAllOnes : 0;
+    }
+    golden_sim.eval(golden_inputs);
+    expected.resize(golden.num_outputs());
+    for (std::size_t o = 0; o < golden.num_outputs(); ++o) {
+      expected[o] = (golden_sim.value(golden.outputs()[o]) & 1) != 0;
+    }
+    ++counts.passes;  // the golden pass (work the scalar flow pays too)
+
+    std::vector<Word>* row = nullptr;
+    if (table != nullptr) {
+      table->detected[pattern_index].assign(row_words, 0);
+      row = &table->detected[pattern_index];
+    }
+    bool any_detected = false;
+    for (std::size_t block = 0; block < sim.num_blocks(); ++block) {
+      const V det = sim.detect_block(block, pattern, expected);
+      if (!lane_any(det)) continue;
+      // Lanes whose class has no recorded detection yet: those are the
+      // first detections of this shard (patterns ascend within it).
+      V newly = V{};
+      const std::span<const std::uint32_t> lanes_of = sim.active();
+      const std::size_t first =
+          block * static_cast<std::size_t>(sim.kLanesPerBlock);
+      for (int w = 0; w < kLaneWords<V>; ++w) {
+        Word bits = lane_word(det, w);
+        while (bits != 0) {
+          const int lane = std::countr_zero(bits);
+          const std::size_t slot = static_cast<std::size_t>(w) *
+                                       static_cast<std::size_t>(sim::kWordBits) +
+                                   static_cast<std::size_t>(lane);
+          const std::uint32_t cls = lanes_of[first + slot];
+          if (row != nullptr) {
+            (*row)[cls / sim::kWordBits] |= Word{1} << (cls % sim::kWordBits);
+          }
+          if (counts.first_pattern[cls] == kNotDetected) {
+            lane_set_bit(newly, static_cast<int>(slot));
+          }
+          bits &= bits - 1;
+        }
+      }
+      any_detected = true;
+      if (!lane_any(newly)) continue;
+      sim.first_outputs(block, newly, expected, lane_outputs);
+      for (int w = 0; w < kLaneWords<V>; ++w) {
+        Word bits = lane_word(newly, w);
+        while (bits != 0) {
+          const int lane = std::countr_zero(bits);
+          const std::size_t slot = static_cast<std::size_t>(w) *
+                                       static_cast<std::size_t>(sim::kWordBits) +
+                                   static_cast<std::size_t>(lane);
+          const std::uint32_t cls = lanes_of[first + slot];
+          counts.first_pattern[cls] = pattern_index;
+          counts.first_output[cls] = lane_outputs[slot];
+          bits &= bits - 1;
+        }
+      }
+    }
+    if (table != nullptr) {
+      table->patterns[pattern_index] = std::move(patterns[i]);
+    }
+    if (drop && any_detected) {
+      std::vector<std::uint32_t> survivors;
+      survivors.reserve(sim.active().size());
+      for (const std::uint32_t cls : sim.active()) {
+        if (counts.first_pattern[cls] == kNotDetected) {
+          survivors.push_back(cls);
+        }
+      }
+      sim.set_active(std::move(survivors));
+    }
   }
-  row.assign(sim.num_blocks(), 0);
-  for (std::size_t block = 0; block < sim.num_blocks(); ++block) {
-    row[block] = sim.detect_block(block, pattern, expected);
-  }
+  counts.passes += sim.passes();
+  return counts;
 }
 
 }  // namespace
+
+ExhaustiveCapError::ExhaustiveCapError(std::size_t logical_inputs)
+    : std::invalid_argument(
+          "fault campaign: exhaustive mode supports at most " +
+          std::to_string(kMaxExhaustiveCampaignInputs) +
+          " logical inputs, got " + std::to_string(logical_inputs)),
+      logical_inputs_(logical_inputs) {}
 
 void validate_campaign_inputs(const Circuit& circuit, const Circuit& golden,
                               const CampaignOptions& options) {
@@ -69,10 +191,7 @@ void validate_campaign_inputs(const Circuit& circuit, const Circuit& golden,
   if (options.exhaustive) {
     if (golden.num_inputs() >
         static_cast<std::size_t>(kMaxExhaustiveCampaignInputs)) {
-      throw std::invalid_argument(
-          "fault campaign: exhaustive mode supports at most " +
-          std::to_string(kMaxExhaustiveCampaignInputs) +
-          " logical inputs, got " + std::to_string(golden.num_inputs()));
+      throw ExhaustiveCapError(golden.num_inputs());
     }
   } else if (options.patterns == 0) {
     throw std::invalid_argument("fault campaign: patterns must be > 0");
@@ -115,12 +234,43 @@ std::vector<std::vector<bool>> shard_pattern_bits(
   return rows;
 }
 
+std::vector<std::uint32_t> sampled_classes(const FaultUniverse& universe,
+                                           const CampaignOptions& options) {
+  const std::size_t n = universe.num_classes();
+  std::vector<std::uint32_t> classes(n);
+  std::iota(classes.begin(), classes.end(), 0u);
+  if (options.sample == 0 || options.sample >= n) return classes;
+  // Rank every class by a counter-stream key of the (salted) seed and keep
+  // the `sample` smallest — order-free, shard-independent, and a pure
+  // function of (n, seed, sample). Ties break toward the lower class index
+  // via the pair ordering.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    keyed[c] = {exec::stream_seed(options.seed ^ kSampleSalt, c),
+                static_cast<std::uint32_t>(c)};
+  }
+  const auto cut =
+      keyed.begin() + static_cast<std::ptrdiff_t>(options.sample);
+  std::nth_element(keyed.begin(), cut - 1, keyed.end());
+  classes.clear();
+  classes.reserve(static_cast<std::size_t>(options.sample));
+  for (auto it = keyed.begin(); it != cut; ++it) classes.push_back(it->second);
+  std::sort(classes.begin(), classes.end());
+  return classes;
+}
+
 void CampaignCounts::merge(const CampaignCounts& other) {
-  if (class_detections.size() != other.class_detections.size()) {
+  if (first_pattern.size() != other.first_pattern.size()) {
     throw std::invalid_argument("CampaignCounts::merge: size mismatch");
   }
-  for (std::size_t c = 0; c < class_detections.size(); ++c) {
-    class_detections[c] += other.class_detections[c];
+  // Per-class minimum on the global pattern index; the first output rides
+  // along. Shards own disjoint pattern ranges, so ties are impossible and
+  // the merge is order-independent.
+  for (std::size_t c = 0; c < first_pattern.size(); ++c) {
+    if (other.first_pattern[c] < first_pattern[c]) {
+      first_pattern[c] = other.first_pattern[c];
+      first_output[c] = other.first_output[c];
+    }
   }
   passes += other.passes;
 }
@@ -130,30 +280,10 @@ CampaignCounts campaign_shard_counts(const Circuit& circuit,
                                      const FaultUniverse& universe,
                                      const CampaignOptions& options,
                                      const exec::Shard& shard) {
-  CampaignCounts counts(universe.num_classes());
-  const std::vector<std::vector<bool>> patterns =
-      shard_pattern_bits(golden.num_inputs(), options, shard);
-  FaultParallelSim sim(circuit, universe, options.bundle_width);
-  sim::LogicSim golden_sim(golden);
-  std::vector<Word> golden_inputs(golden.num_inputs());
-  std::vector<bool> expected;
-  std::vector<Word> row;
-
-  for (const std::vector<bool>& pattern : patterns) {
-    detect_pattern(sim, golden_sim, pattern, golden_inputs, expected, row);
-    ++counts.passes;  // the golden pass (work the scalar flow pays too)
-    for (std::size_t block = 0; block < row.size(); ++block) {
-      Word detected = row[block];
-      while (detected != 0) {
-        const int lane = std::countr_zero(detected);
-        ++counts.class_detections[block * sim::kWordBits +
-                                  static_cast<std::size_t>(lane)];
-        detected &= detected - 1;
-      }
-    }
-  }
-  counts.passes += sim.passes();
-  return counts;
+  return with_lane_width(options.lanes, [&](auto tag) {
+    using V = typename decltype(tag)::type;
+    return sweep_shard<V>(circuit, golden, universe, options, shard, nullptr);
+  });
 }
 
 FaultCampaignResult finalize_campaign(const Circuit& circuit,
@@ -165,16 +295,36 @@ FaultCampaignResult finalize_campaign(const Circuit& circuit,
   result.nets = universe.num_nets();
   result.sites = universe.num_sites();
   result.classes = universe.num_classes();
+  result.sampled = sampled_classes(universe, options).size();
   result.patterns = pattern_total(golden, options);
   result.sim_passes = counts.passes;
-  result.detection_counts = counts.class_detections;
-  for (const std::uint64_t count : counts.class_detections) {
-    if (count != 0) ++result.detected;
+  result.first_detect_pattern = counts.first_pattern;
+  result.first_detect_output = counts.first_output;
+  result.detection_counts.assign(result.classes, 0);
+  std::set<std::uint32_t> first_detectors;
+  for (std::size_t c = 0; c < counts.first_pattern.size(); ++c) {
+    if (counts.first_pattern[c] != kNotDetected) {
+      result.detection_counts[c] = 1;
+      ++result.detected;
+      first_detectors.insert(counts.first_output[c]);
+    }
   }
-  result.coverage = result.classes == 0
+  result.detect_outputs = first_detectors.size();
+  result.coverage = result.sampled == 0
                         ? 0.0
                         : static_cast<double>(result.detected) /
-                              static_cast<double>(result.classes);
+                              static_cast<double>(result.sampled);
+  if (result.sampled < result.classes) {
+    // The sample is a deterministic subset, graded exactly; the Wilson
+    // interval prices what it says about the rest of the universe.
+    const sim::ReliabilityResult wilson =
+        sim::wilson_interval(result.detected, result.sampled);
+    result.coverage_ci_low = wilson.ci_low;
+    result.coverage_ci_high = wilson.ci_high;
+  } else {
+    result.coverage_ci_low = result.coverage;
+    result.coverage_ci_high = result.coverage;
+  }
   result.masked_fraction = 1.0 - result.coverage;
   result.gates = circuit.gate_count();
   result.golden_gates = golden.gate_count();
@@ -223,50 +373,30 @@ DetectionTable build_detection_table(const Circuit& circuit,
   DetectionTable table;
   table.patterns.resize(plan.total());
   table.detected.resize(plan.total());
+  table.counts = CampaignCounts(universe.num_classes());
   std::mutex mutex;
   exec::for_each_shard(
       plan,
       [&](const exec::Shard& shard) {
-        std::vector<std::vector<bool>> patterns =
-            shard_pattern_bits(golden.num_inputs(), options, shard);
-        FaultParallelSim sim(circuit, universe, options.bundle_width);
-        sim::LogicSim golden_sim(golden);
-        std::vector<Word> golden_inputs(golden.num_inputs());
-        std::vector<bool> expected;
-        std::vector<Word> row;
-        std::uint64_t golden_passes = 0;
-        for (std::size_t i = 0; i < patterns.size(); ++i) {
-          detect_pattern(sim, golden_sim, patterns[i], golden_inputs,
-                         expected, row);
-          ++golden_passes;
-          // Slot-per-pattern writes keep the table thread-count independent.
-          table.detected[shard.begin + i] = row;
-          table.patterns[shard.begin + i] = std::move(patterns[i]);
-        }
-        const std::uint64_t shard_passes = golden_passes + sim.passes();
+        // Slot-per-pattern row writes are race-free (disjoint slots); only
+        // the counts merge needs the lock.
+        const CampaignCounts local =
+            with_lane_width(options.lanes, [&](auto tag) {
+              using V = typename decltype(tag)::type;
+              return sweep_shard<V>(circuit, golden, universe, options, shard,
+                                    &table);
+            });
         const std::lock_guard<std::mutex> lock(mutex);
-        table.passes += shard_passes;
+        table.counts.merge(local);
       },
       how);
+  table.passes = table.counts.passes;
   return table;
 }
 
-CampaignCounts counts_from_table(const FaultUniverse& universe,
+CampaignCounts counts_from_table(const FaultUniverse& /*universe*/,
                                  const DetectionTable& table) {
-  CampaignCounts counts(universe.num_classes());
-  counts.passes = table.passes;
-  for (const std::vector<Word>& row : table.detected) {
-    for (std::size_t block = 0; block < row.size(); ++block) {
-      Word detected = row[block];
-      while (detected != 0) {
-        const int lane = std::countr_zero(detected);
-        ++counts.class_detections[block * sim::kWordBits +
-                                  static_cast<std::size_t>(lane)];
-        detected &= detected - 1;
-      }
-    }
-  }
-  return counts;
+  return table.counts;
 }
 
 void write_ans(std::ostream& out, const Circuit& circuit,
@@ -284,6 +414,24 @@ void write_ans(std::ostream& out, const Circuit& circuit,
           << (1 - detected_bit(row, 2 * net)) << ' '
           << (1 - detected_bit(row, 2 * net + 1)) << '\n';
     }
+  }
+  // Detectability map: first detecting (pattern, logical output) per site,
+  // expanded from classes exactly like the rows above.
+  out << "# detect net sa0_pattern sa0_output sa1_pattern sa1_output\n";
+  const auto put_first = [&](std::size_t site) {
+    const std::size_t cls = universe.class_of(site);
+    if (table.counts.first_pattern[cls] == kNotDetected) {
+      out << " - -";
+    } else {
+      out << ' ' << table.counts.first_pattern[cls] << ' '
+          << table.counts.first_output[cls];
+    }
+  };
+  for (std::size_t net = 0; net < universe.num_nets(); ++net) {
+    out << "detect " << circuit.node_name(universe.site(2 * net).node);
+    put_first(2 * net);
+    put_first(2 * net + 1);
+    out << '\n';
   }
 }
 

@@ -1,31 +1,51 @@
 // Deterministic sharded stuck-at fault campaigns.
 //
 // A campaign asks, for every equivalence class of the circuit's fault
-// universe, "does any pattern in the budget detect this fault?" — where
-// detection means a majority-decoded output differs from the golden
-// circuit's fault-free response. With golden == the circuit itself this is
-// classic fault-coverage grading; with golden == the unprotected base
-// design and the circuit an ft/ redundancy variant (NMR, von Neumann
-// multiplexing with bundle_width > 1) the *undetected* fraction is the
-// masking the redundancy buys, and the result pairs it with the gate
-// overhead paid — the energy-vs-coverage trade the paper's bounds price.
+// universe, "does any pattern in the budget detect this fault — and which
+// pattern and output see it first?" — where detection means a
+// majority-decoded output differs from the golden circuit's fault-free
+// response. With golden == the circuit itself this is classic
+// fault-coverage grading; with golden == the unprotected base design and
+// the circuit an ft/ redundancy variant (NMR, von Neumann multiplexing
+// with bundle_width > 1) the *undetected* fraction is the masking the
+// redundancy buys, and the result pairs it with the gate overhead paid —
+// the energy-vs-coverage trade the paper's bounds price.
 //
 // Determinism contract (same as every estimator in the repo): patterns are
 // split into fixed-size shards; shard i derives its random patterns from
-// the counter-based stream of (seed, i) and contributes per-class detection
-// counts that merge by integer sum. Results are therefore bit-identical for
-// any thread count, submission order, or co-scheduled work, which is what
-// lets FaultCampaignRequest ride the batch evaluator and the serve daemon's
-// result cache unchanged.
+// the counter-based stream of (seed, i) and contributes per-class
+// first-detection records that merge by per-class minimum on the global
+// pattern index (tie-free: shards own disjoint pattern ranges). Results
+// are therefore bit-identical for any thread count, submission order, or
+// co-scheduled work, which is what lets FaultCampaignRequest ride the
+// batch evaluator and the serve daemon's result cache unchanged.
+//
+// Scale knobs (all preserve that contract exactly):
+//   drop    retire detected classes between patterns *within a shard* and
+//           repack survivors into dense lanes. First detections are
+//           recorded before retirement and shard-local pattern order is
+//           sequential, so every output field is bit-identical to the
+//           no-drop path — only sim_passes shrinks.
+//   lanes   physical fault lanes per sweep (64/128/256/512, lanes.hpp).
+//           Pure execution policy: pass accounting is normalized to
+//           64-lane units, so results are identical for every width and
+//           `lanes` stays OUT of canonical analysis specs.
+//   sample  simulate only a deterministic sample of the classes (counter
+//           stream keyed by seed) and report coverage of the sample with a
+//           Wilson confidence interval. Changes what is simulated, so it
+//           IS part of the canonical spec, as is drop (it changes
+//           sim_passes).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <vector>
 
 #include "exec/stream.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/fault_model.hpp"
+#include "fault/lanes.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/bitpack.hpp"
 
@@ -49,20 +69,48 @@ struct CampaignOptions {
   // Structural equivalence collapsing (fault_model.hpp). Off simulates every
   // site as its own class — slower, same coverage, used for cross-checks.
   bool collapse = true;
+  // Fault dropping: stop simulating a class once detected (see file
+  // comment). Identical results, fewer sim_passes.
+  bool drop = false;
+  // Simulate only this many classes, chosen by a deterministic counter
+  // stream of the seed (0 = the whole universe). Spec-relevant.
+  std::uint64_t sample = 0;
+  // Physical lanes per sweep. Execution policy, not spec.
+  LaneWidth lanes = LaneWidth::k64;
 };
 
 // Exhaustive campaigns are capped well below sim::kMaxExhaustiveInputs:
 // every pattern costs ceil(classes/64) + 1 sweeps, not one lane.
 inline constexpr int kMaxExhaustiveCampaignInputs = 20;
 
+// Typed error for budgets over the exhaustive cap, so batch error isolation
+// and the CLI's exit-2 path can surface it distinctly from generic
+// validation failures.
+class ExhaustiveCapError : public std::invalid_argument {
+ public:
+  explicit ExhaustiveCapError(std::size_t logical_inputs);
+  [[nodiscard]] std::size_t logical_inputs() const noexcept {
+    return logical_inputs_;
+  }
+
+ private:
+  std::size_t logical_inputs_;
+};
+
 struct FaultCampaignResult {
   std::uint64_t nets = 0;        // fault sites / 2
   std::uint64_t sites = 0;       // 2 per net, before collapsing
-  std::uint64_t classes = 0;     // equivalence classes simulated
-  std::uint64_t detected = 0;    // classes detected by >= 1 pattern
+  std::uint64_t classes = 0;     // equivalence classes in the universe
+  std::uint64_t sampled = 0;     // classes actually simulated (== classes
+                                 // unless options.sample is set)
+  std::uint64_t detected = 0;    // sampled classes detected by >= 1 pattern
   std::uint64_t patterns = 0;    // logical patterns simulated
-  std::uint64_t sim_passes = 0;  // full-circuit sweeps (golden + faulty)
-  double coverage = 0.0;         // detected / classes
+  std::uint64_t sim_passes = 0;  // normalized 64-lane sweeps (golden + faulty)
+  double coverage = 0.0;         // detected / sampled
+  // Wilson interval for the universe coverage implied by the sample; both
+  // ends equal coverage when the whole universe was simulated.
+  double coverage_ci_low = 0.0;
+  double coverage_ci_high = 0.0;
   double masked_fraction = 0.0;  // 1 - coverage
   // Energy-vs-coverage ingredients: the redundancy variant's gate count
   // against the golden reference it protects.
@@ -70,8 +118,17 @@ struct FaultCampaignResult {
   std::uint64_t golden_gates = 0;
   double gate_overhead = 1.0;        // gates / golden_gates
   double overhead_per_masked = 0.0;  // gate_overhead / masked_fraction
-  // Per-class detecting-pattern counts, in class order (sums over shards).
+  // Distinct logical outputs that are the first detector of some class —
+  // the scalar summary of the detectability map below.
+  std::uint64_t detect_outputs = 0;
+  // Per-class detection indicator (0/1), in class order. Unsampled classes
+  // are 0.
   std::vector<std::uint64_t> detection_counts;
+  // Detectability map, in class order: the global index of the earliest
+  // detecting pattern (kNotDetected when undetected or unsampled) and the
+  // lowest logical output index that detects at that pattern (kNoOutput).
+  std::vector<std::uint64_t> first_detect_pattern;
+  std::vector<std::uint32_t> first_detect_output;
 
   friend bool operator==(const FaultCampaignResult&,
                          const FaultCampaignResult&) = default;
@@ -85,7 +142,7 @@ struct FaultCampaignResult {
 
 // Validation run_campaign applies before sharding: bundle-divisible
 // interfaces, golden/circuit agreement on the logical interface, positive
-// budgets, and the exhaustive input cap.
+// budgets, and the exhaustive input cap (ExhaustiveCapError).
 void validate_campaign_inputs(const netlist::Circuit& circuit,
                               const netlist::Circuit& golden,
                               const CampaignOptions& options);
@@ -105,14 +162,23 @@ void validate_campaign_inputs(const netlist::Circuit& circuit,
     std::size_t num_logical_inputs, const CampaignOptions& options,
     const exec::Shard& shard);
 
-// Per-class detection counts plus the sweeps spent collecting them; merges
-// commutatively (element-wise and scalar sums).
+// The classes a campaign with `options` simulates, ascending: all of them,
+// or a `sample`-sized subset keyed by the counter stream of the seed — a
+// pure function of (universe size, seed, sample), independent of sharding.
+[[nodiscard]] std::vector<std::uint32_t> sampled_classes(
+    const FaultUniverse& universe, const CampaignOptions& options);
+
+// Per-class first-detection records plus the sweeps spent collecting them;
+// merges commutatively (per-class min on the pattern index — tie-free
+// across shards — and scalar pass sums).
 struct CampaignCounts {
   CampaignCounts() = default;
   explicit CampaignCounts(std::size_t num_classes)
-      : class_detections(num_classes, 0) {}
+      : first_pattern(num_classes, kNotDetected),
+        first_output(num_classes, kNoOutput) {}
 
-  std::vector<std::uint64_t> class_detections;
+  std::vector<std::uint64_t> first_pattern;
+  std::vector<std::uint32_t> first_output;
   std::uint64_t passes = 0;
 
   void merge(const CampaignCounts& other);
@@ -140,12 +206,16 @@ struct CampaignCounts {
 // ---- per-pattern detection records (the `.ans` view) ----------------------
 
 // Everything the row-level output needs: the patterns actually simulated
-// (global pattern-index order) and, per pattern, one detection word per
-// 64-class block. Built with slot-per-pattern writes, so the table is
-// bit-identical for any thread count.
+// (global pattern-index order), per pattern one detection word per 64-class
+// block (bit c = class c detected — universe class indexing regardless of
+// lane width), and the merged first-detection counts. Built with
+// slot-per-pattern writes, so the table is bit-identical for any thread
+// count and lane width. The table path never drops (rows must be complete),
+// so its passes match the no-drop campaign.
 struct DetectionTable {
   std::vector<std::vector<bool>> patterns;        // [pattern][logical input]
-  std::vector<std::vector<sim::Word>> detected;   // [pattern][class block]
+  std::vector<std::vector<sim::Word>> detected;   // [pattern][class / 64]
+  CampaignCounts counts;
   std::uint64_t passes = 0;
 };
 
@@ -154,8 +224,8 @@ struct DetectionTable {
     const FaultUniverse& universe, const CampaignOptions& options,
     exec::Parallelism how = {});
 
-// Folds a table into the aggregate counts (how the CLI derives the summary
-// it shares with manifest campaigns).
+// The aggregate counts of a table (how the CLI derives the summary it
+// shares with manifest campaigns).
 [[nodiscard]] CampaignCounts counts_from_table(const FaultUniverse& universe,
                                                const DetectionTable& table);
 
@@ -166,6 +236,10 @@ struct DetectionTable {
 // where eq is 1 when the faulty outputs still decode equal to golden
 // (fault masked on that pattern) and 0 when the difference is observable.
 // Class results are expanded to every member site — exact by equivalence.
+// A detectability-map section follows, header
+//   # detect net sa0_pattern sa0_output sa1_pattern sa1_output
+// then one row per net with the first detecting (pattern, logical output)
+// of each polarity, `-` for undetected. Requires a full-universe table.
 void write_ans(std::ostream& out, const netlist::Circuit& circuit,
                const FaultUniverse& universe, const DetectionTable& table);
 

@@ -23,6 +23,11 @@ namespace enb::fault {
 
 enum class StuckAt : std::uint8_t { kZero = 0, kOne = 1 };
 
+// Detectability-map sentinels: a class no pattern detected has first
+// pattern kNotDetected and first output kNoOutput.
+inline constexpr std::uint64_t kNotDetected = ~std::uint64_t{0};
+inline constexpr std::uint32_t kNoOutput = ~std::uint32_t{0};
+
 [[nodiscard]] constexpr const char* to_string(StuckAt value) noexcept {
   return value == StuckAt::kZero ? "sa0" : "sa1";
 }

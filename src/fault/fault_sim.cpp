@@ -1,6 +1,8 @@
 #include "fault/fault_sim.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -15,7 +17,53 @@ using netlist::GateType;
 using netlist::NodeId;
 using sim::Word;
 
-constexpr Word broadcast(bool bit) noexcept { return bit ? sim::kAllOnes : 0; }
+// Lane-generic gate evaluation mirroring netlist::eval_word bit for bit in
+// every lane (same folds, same arity rules). Kept local: the lane container
+// is an implementation detail of this engine.
+template <typename V>
+V eval_lanes(GateType type, std::span<const V> inputs) {
+  const auto [min_arity, max_arity] = netlist::arity_range(type);
+  const int n = static_cast<int>(inputs.size());
+  if (n < min_arity || n > max_arity) {
+    throw std::invalid_argument("eval_lanes: bad arity " + std::to_string(n) +
+                                " for gate " +
+                                std::string(netlist::to_string(type)));
+  }
+  switch (type) {
+    case GateType::kInput:
+      throw std::invalid_argument("eval_lanes: kInput has no evaluation rule");
+    case GateType::kConst0:
+      return V{};
+    case GateType::kConst1:
+      return ~V{};
+    case GateType::kBuf:
+      return inputs[0];
+    case GateType::kNot:
+      return ~inputs[0];
+    case GateType::kAnd:
+    case GateType::kNand: {
+      V acc = ~V{};
+      for (const V& w : inputs) acc &= w;
+      return type == GateType::kAnd ? acc : ~acc;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      V acc = V{};
+      for (const V& w : inputs) acc |= w;
+      return type == GateType::kOr ? acc : ~acc;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      V acc = V{};
+      for (const V& w : inputs) acc ^= w;
+      return type == GateType::kXor ? acc : ~acc;
+    }
+    case GateType::kMaj:
+      return (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) |
+             (inputs[1] & inputs[2]);
+  }
+  throw std::invalid_argument("eval_lanes: unknown gate type");
+}
 
 }  // namespace
 
@@ -40,31 +88,60 @@ void validate_bundle_interface(const Circuit& circuit, int bundle_width) {
   }
 }
 
-// ---- FaultParallelSim ------------------------------------------------------
+// ---- LaneFaultSim ----------------------------------------------------------
 
-FaultParallelSim::FaultParallelSim(const Circuit& circuit,
-                                   const FaultUniverse& universe,
-                                   int bundle_width)
+template <typename V>
+LaneFaultSim<V>::LaneFaultSim(const Circuit& circuit,
+                              const FaultUniverse& universe, int bundle_width)
     : circuit_(&circuit),
       universe_(&universe),
       bundle_width_(bundle_width),
-      values_(circuit.node_count(), 0),
-      force0_(circuit.node_count(), 0),
-      force1_(circuit.node_count(), 0),
+      values_(circuit.node_count(), V{}),
+      force0_(circuit.node_count(), V{}),
+      force1_(circuit.node_count(), V{}),
       bundle_counter_(bundle_width > 0 ? bundle_width : 1) {
   validate_bundle_interface(circuit, bundle_width);
+  active_.resize(universe.num_classes());
+  std::iota(active_.begin(), active_.end(), 0u);
 }
 
-Word FaultParallelSim::block_mask(std::size_t block) const {
-  const std::size_t begin = block * sim::kWordBits;
-  const std::size_t lanes =
-      std::min<std::size_t>(sim::kWordBits, universe_->num_classes() - begin);
-  return sim::low_mask(static_cast<int>(lanes));
+template <typename V>
+void LaneFaultSim<V>::set_active(std::vector<std::uint32_t> classes) {
+  for (const std::uint32_t cls : classes) {
+    if (cls >= universe_->num_classes()) {
+      throw std::invalid_argument("fault: active class " + std::to_string(cls) +
+                                  " outside universe of " +
+                                  std::to_string(universe_->num_classes()));
+    }
+  }
+  active_ = std::move(classes);
 }
 
-Word FaultParallelSim::detect_block(std::size_t block,
-                                    const std::vector<bool>& pattern,
-                                    const std::vector<bool>& expected) {
+template <typename V>
+V LaneFaultSim<V>::block_mask(std::size_t block) const {
+  const std::size_t begin = block * static_cast<std::size_t>(kLanesPerBlock);
+  if (begin >= active_.size()) return V{};
+  const std::size_t lanes = std::min<std::size_t>(
+      static_cast<std::size_t>(kLanesPerBlock), active_.size() - begin);
+  return lane_low_mask<V>(static_cast<int>(lanes));
+}
+
+template <typename V>
+V LaneFaultSim<V>::decode_output(std::size_t o) {
+  const std::span<const NodeId> outputs = circuit_->outputs();
+  const auto width = static_cast<std::size_t>(bundle_width_);
+  if (width == 1) return values_[outputs[o]];
+  bundle_counter_.reset();
+  for (std::size_t w = 0; w < width; ++w) {
+    bundle_counter_.add(values_[outputs[o * width + w]]);
+  }
+  return bundle_counter_.greater_than(bundle_width_ / 2);
+}
+
+template <typename V>
+V LaneFaultSim<V>::detect_block(std::size_t block,
+                                const std::vector<bool>& pattern,
+                                const std::vector<bool>& expected) {
   const Circuit& circuit = *circuit_;
   const auto width = static_cast<std::size_t>(bundle_width_);
   if (pattern.size() * width != circuit.num_inputs()) {
@@ -73,17 +150,21 @@ Word FaultParallelSim::detect_block(std::size_t block,
   if (expected.size() * width != circuit.num_outputs()) {
     throw std::invalid_argument("fault: expected-output size mismatch");
   }
-  const std::size_t first_class = block * sim::kWordBits;
-  const std::size_t lanes =
-      std::min<std::size_t>(sim::kWordBits, universe_->num_classes() - first_class);
+  if (block >= num_blocks()) {
+    throw std::invalid_argument("fault: block index out of range");
+  }
+  const std::size_t first = block * static_cast<std::size_t>(kLanesPerBlock);
+  const std::size_t lanes = std::min<std::size_t>(
+      static_cast<std::size_t>(kLanesPerBlock), active_.size() - first);
 
   // Lane L of this sweep is the circuit under the representative fault of
-  // class first_class + L: record the per-node force masks (cleared again
-  // below — only up to 64 nodes are touched per block).
+  // active class first + L: record the per-node force masks (cleared again
+  // below — only up to kLanesPerBlock nodes are touched per block).
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    const FaultSite& site = universe_->representative(first_class + lane);
-    const Word bit = Word{1} << lane;
-    (site.value == StuckAt::kZero ? force0_ : force1_)[site.node] |= bit;
+    const FaultSite& site = universe_->representative(active_[first + lane]);
+    lane_set_bit(site.value == StuckAt::kZero ? force0_[site.node]
+                                              : force1_[site.node],
+                 static_cast<int>(lane));
   }
 
   // One linear sweep (ids are topological by construction), forcing applied
@@ -91,58 +172,80 @@ Word FaultParallelSim::detect_block(std::size_t block,
   // gate-output faults.
   for (NodeId id = 0; id < circuit.node_count(); ++id) {
     const auto& node = circuit.node(id);
-    Word value = 0;
+    V value = V{};
     switch (node.type) {
       case GateType::kInput:
-        value = broadcast(
+        value = lane_broadcast<V>(
             pattern[static_cast<std::size_t>(circuit.input_index(id)) / width]);
         break;
       case GateType::kConst0:
-        value = 0;
+        value = V{};
         break;
       case GateType::kConst1:
-        value = sim::kAllOnes;
+        value = ~V{};
         break;
       default: {
         fanin_buffer_.clear();
         for (const NodeId fanin : node.fanins) {
           fanin_buffer_.push_back(values_[fanin]);
         }
-        value = netlist::eval_word(node.type, fanin_buffer_);
+        value = eval_lanes<V>(node.type, fanin_buffer_);
         break;
       }
     }
     values_[id] = (value & ~force0_[id]) | force1_[id];
   }
-  ++passes_;
+  // Normalized pass accounting: a sweep over `lanes` active lanes costs the
+  // same as the 64-lane engine would pay for them, so totals are identical
+  // for every vector width.
+  passes_ += (static_cast<std::uint64_t>(lanes) + sim::kWordBits - 1) /
+             sim::kWordBits;
 
   // Decode each logical output's bundle per lane and compare against the
   // expected fault-free bit; any difference marks the lane detected.
-  Word detected = 0;
-  const std::span<const NodeId> outputs = circuit.outputs();
-  const std::size_t logical_outputs = outputs.size() / width;
-  if (width == 1) {
-    for (std::size_t o = 0; o < logical_outputs; ++o) {
-      detected |= values_[outputs[o]] ^ broadcast(expected[o]);
-    }
-  } else {
-    for (std::size_t o = 0; o < logical_outputs; ++o) {
-      bundle_counter_.reset();
-      for (std::size_t w = 0; w < width; ++w) {
-        bundle_counter_.add(values_[outputs[o * width + w]]);
-      }
-      detected |= bundle_counter_.greater_than(bundle_width_ / 2) ^
-                  broadcast(expected[o]);
-    }
+  V detected = V{};
+  const std::size_t logical_outputs = circuit.outputs().size() / width;
+  for (std::size_t o = 0; o < logical_outputs; ++o) {
+    detected |= decode_output(o) ^ lane_broadcast<V>(expected[o]);
   }
 
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    const FaultSite& site = universe_->representative(first_class + lane);
-    force0_[site.node] = 0;
-    force1_[site.node] = 0;
+    const FaultSite& site = universe_->representative(active_[first + lane]);
+    force0_[site.node] = V{};
+    force1_[site.node] = V{};
   }
   return detected & block_mask(block);
 }
+
+template <typename V>
+void LaneFaultSim<V>::first_outputs(std::size_t block, V lanes,
+                                    const std::vector<bool>& expected,
+                                    std::vector<std::uint32_t>& out) {
+  const auto width = static_cast<std::size_t>(bundle_width_);
+  const std::size_t logical_outputs = circuit_->outputs().size() / width;
+  out.assign(static_cast<std::size_t>(kLanesPerBlock), kNoOutput);
+  lanes &= block_mask(block);
+  V remaining = lanes;
+  for (std::size_t o = 0; o < logical_outputs && lane_any(remaining); ++o) {
+    const V hit =
+        (decode_output(o) ^ lane_broadcast<V>(expected[o])) & remaining;
+    for (int w = 0; w < kLaneWords<V>; ++w) {
+      Word bits = lane_word(hit, w);
+      while (bits != 0) {
+        const int lane = std::countr_zero(bits);
+        out[static_cast<std::size_t>(w) * sim::kWordBits +
+            static_cast<std::size_t>(lane)] = static_cast<std::uint32_t>(o);
+        bits &= bits - 1;
+      }
+    }
+    remaining &= ~hit;
+  }
+}
+
+template class LaneFaultSim<sim::Word>;
+template class LaneFaultSim<LaneVec128>;
+template class LaneFaultSim<LaneVec256>;
+template class LaneFaultSim<LaneVec512>;
 
 // ---- ScalarFaultSim --------------------------------------------------------
 

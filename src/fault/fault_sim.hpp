@@ -3,20 +3,26 @@
 // Two implementations of the same question — "which faults does this input
 // pattern detect?" — with opposite packings:
 //
-//   FaultParallelSim  packs 64 *faults* per machine word: one linear sweep
-//                     of the circuit evaluates one pattern under 64
-//                     different injected faults simultaneously (lane L of
-//                     every node word is the circuit under fault L of the
-//                     block). A campaign therefore performs
-//                     ceil(classes/64) faulty sweeps per pattern instead of
-//                     `classes` — the >= 32x pass reduction the fault
-//                     engine is built around.
+//   LaneFaultSim<V>   packs one *fault* per lane of the lane container V
+//                     (sim::Word = 64 lanes, LaneVec128/256/512 = wider, see
+//                     lanes.hpp): one linear sweep of the circuit evaluates
+//                     one pattern under every fault of the block
+//                     simultaneously. The simulated set is an explicit
+//                     *active list* of class indices (default: the whole
+//                     universe), which is what fault dropping and sampled
+//                     campaigns repack between patterns — retiring detected
+//                     classes keeps the surviving lanes dense, so late
+//                     patterns sweep only undetected faults.
 //
 //   ScalarFaultSim    injects one fault at a time and evaluates the pattern
 //                     gate by gate on plain bools. Deliberately shares no
-//                     evaluation machinery with the word-parallel path; it
+//                     evaluation machinery with the lane-parallel path; it
 //                     exists only to cross-check it (tests and the CLI's
-//                     --check-scalar diff the two bit for bit).
+//                     --check-scalar diff the two bit for bit, for every
+//                     lane width).
+//
+// FaultParallelSim is the 64-lane instantiation — the historical name and
+// the cross-check baseline.
 //
 // Both simulate the *collapsed* universe (one representative per
 // equivalence class — exact for every member, see fault_model.hpp) and
@@ -29,56 +35,93 @@
 // A fault is detected on a pattern when any decoded output differs from
 // `expected` — the golden circuit's fault-free outputs for that pattern
 // (the campaign layer supplies them; golden defaults to the circuit
-// itself). Both classes count their full-circuit sweeps in passes(), the
-// currency of the pass-reduction contract.
+// itself). passes() is the currency of the pass-reduction contract and is
+// *normalized to 64-lane sweeps*: a block with A active lanes costs
+// ceil(A/64) regardless of the physical vector width, so pass counts — and
+// therefore whole campaign results — are lane-width independent.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "fault/fault_model.hpp"
+#include "fault/lanes.hpp"
 #include "netlist/circuit.hpp"
 #include "sim/bitpack.hpp"
 
 namespace enb::fault {
 
-class FaultParallelSim {
+template <typename V>
+class LaneFaultSim {
  public:
+  static constexpr int kLanesPerBlock = kLaneBits<V>;
+
   // Throws std::invalid_argument when the interface is not bundle-divisible
-  // or bundle_width is not 1 or odd >= 3.
-  FaultParallelSim(const netlist::Circuit& circuit,
-                   const FaultUniverse& universe, int bundle_width = 1);
+  // or bundle_width is not 1 or odd >= 3. Starts with every class active.
+  LaneFaultSim(const netlist::Circuit& circuit, const FaultUniverse& universe,
+               int bundle_width = 1);
 
-  // Representative faults are processed in blocks of 64 classes:
-  // block b covers classes [64 b, min(64 b + 64, num_classes)).
-  [[nodiscard]] std::size_t num_blocks() const noexcept {
-    return (universe_->num_classes() + sim::kWordBits - 1) / sim::kWordBits;
+  // Replaces the active list: `classes` are universe class indices, packed
+  // into lanes in the given order (lane L of block b is classes[b * W + L]).
+  // Throws std::invalid_argument on an out-of-range index.
+  void set_active(std::vector<std::uint32_t> classes);
+  [[nodiscard]] std::span<const std::uint32_t> active() const noexcept {
+    return active_;
   }
-  // Valid-lane mask of `block` (all 64 except a short final block).
-  [[nodiscard]] sim::Word block_mask(std::size_t block) const;
 
-  // Detection word for `block` on one pattern: bit L is set iff class
-  // 64*block + L is detected, i.e. some majority-decoded output under that
-  // fault differs from expected. `pattern` holds one bool per *logical*
-  // input, `expected` one bool per *logical* output. One simulation pass.
-  [[nodiscard]] sim::Word detect_block(std::size_t block,
-                                       const std::vector<bool>& pattern,
-                                       const std::vector<bool>& expected);
+  // Active classes are processed in blocks of kLanesPerBlock lanes.
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return (active_.size() + static_cast<std::size_t>(kLanesPerBlock) - 1) /
+           static_cast<std::size_t>(kLanesPerBlock);
+  }
+  // Valid-lane mask of `block` (all lanes except a short final block).
+  [[nodiscard]] V block_mask(std::size_t block) const;
 
-  // Full-circuit sweeps performed so far.
+  // Detection lanes for `block` on one pattern: lane L is set iff the
+  // class in that lane is detected, i.e. some majority-decoded output under
+  // that fault differs from expected. `pattern` holds one bool per
+  // *logical* input, `expected` one bool per *logical* output.
+  [[nodiscard]] V detect_block(std::size_t block,
+                               const std::vector<bool>& pattern,
+                               const std::vector<bool>& expected);
+
+  // For each lane set in `lanes`, the lowest logical output index whose
+  // decoded value differs from expected (kNoOutput for unset lanes) — the
+  // detectability map's "which output first sees this fault". Must be
+  // called directly after detect_block(block, ...) on the same pattern: it
+  // re-decodes the node values of that sweep.
+  void first_outputs(std::size_t block, V lanes,
+                     const std::vector<bool>& expected,
+                     std::vector<std::uint32_t>& out);
+
+  // Normalized 64-lane-equivalent sweeps performed so far.
   [[nodiscard]] std::uint64_t passes() const noexcept { return passes_; }
 
  private:
+  // Decoded value of logical output `o` for every lane of the last sweep.
+  [[nodiscard]] V decode_output(std::size_t o);
+
   const netlist::Circuit* circuit_;
   const FaultUniverse* universe_;
   int bundle_width_;
-  std::vector<sim::Word> values_;
-  std::vector<sim::Word> force0_;  // per node: lanes forced to 0 this block
-  std::vector<sim::Word> force1_;  // per node: lanes forced to 1 this block
-  std::vector<sim::Word> fanin_buffer_;
-  sim::LaneCounter bundle_counter_;  // reused across detect_block calls
+  std::vector<std::uint32_t> active_;  // lane order: class of block*W + L
+  std::vector<V> values_;
+  std::vector<V> force0_;  // per node: lanes forced to 0 this block
+  std::vector<V> force1_;  // per node: lanes forced to 1 this block
+  std::vector<V> fanin_buffer_;
+  VecLaneCounter<V> bundle_counter_;  // reused across detect_block calls
   std::uint64_t passes_ = 0;
 };
+
+// The 64-fault-per-word instantiation: the historical engine name, and the
+// width every other LaneWidth is required to be bit-identical to.
+using FaultParallelSim = LaneFaultSim<sim::Word>;
+
+extern template class LaneFaultSim<sim::Word>;
+extern template class LaneFaultSim<LaneVec128>;
+extern template class LaneFaultSim<LaneVec256>;
+extern template class LaneFaultSim<LaneVec512>;
 
 class ScalarFaultSim {
  public:
@@ -86,7 +129,7 @@ class ScalarFaultSim {
                  const FaultUniverse& universe, int bundle_width = 1);
 
   // True iff class `class_index`'s representative fault is detected on
-  // `pattern` (same logical-interface conventions as FaultParallelSim).
+  // `pattern` (same logical-interface conventions as LaneFaultSim).
   // One simulation pass.
   [[nodiscard]] bool detect(std::size_t class_index,
                             const std::vector<bool>& pattern,

@@ -53,8 +53,20 @@ std::vector<BenchmarkSpec> small_suite() {
   };
 }
 
+std::vector<BenchmarkSpec> scale_suite() {
+  return {
+      {"rca256", "adder", [] { return ripple_carry_adder(256); }},
+      {"csel64", "adder", [] { return carry_select_adder(64); }},
+      {"mult16", "multiplier", [] { return array_multiplier(16); }},
+      {"alu64", "control", [] { return alu(64); }},
+  };
+}
+
 BenchmarkSpec find_benchmark(const std::string& name) {
   for (BenchmarkSpec& spec : standard_suite()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  for (BenchmarkSpec& spec : scale_suite()) {
     if (spec.name == name) return std::move(spec);
   }
   throw std::invalid_argument("find_benchmark: unknown benchmark '" + name +

@@ -26,7 +26,14 @@ struct BenchmarkSpec {
 // A smaller suite (c17, parity8, rca8, mult4) for fast tests.
 [[nodiscard]] std::vector<BenchmarkSpec> small_suite();
 
-// Looks up one spec by name in the standard suite; throws if unknown.
+// Kilo-net instances (rca256, csel64, mult16, alu64) for fault campaigns
+// at scale — thousand-class universes where dropping, wide lanes, and
+// sampling earn their keep. Kept out of standard_suite() so the Figure 7/8
+// sweeps and scalar cross-checks stay fast.
+[[nodiscard]] std::vector<BenchmarkSpec> scale_suite();
+
+// Looks up one spec by name in the standard then scale suites; throws if
+// unknown.
 [[nodiscard]] BenchmarkSpec find_benchmark(const std::string& name);
 
 // ---- circuit spec resolution ---------------------------------------------

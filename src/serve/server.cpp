@@ -351,7 +351,8 @@ void Server::cmd_analyze(const Frame& frame, ByteStream& stream) {
   for (const auto& [key, value] : frame.args) {
     if (key == "handle" || key == "kind" || key == "name") continue;
     if (key == "eps" || key == "delta" || key == "budget" || key == "seed" ||
-        key == "leakage" || key == "golden" || key == "mode") {
+        key == "leakage" || key == "golden" || key == "mode" ||
+        key == "drop" || key == "lanes" || key == "sample") {
       line += " " + key + "=" + value;
       continue;
     }

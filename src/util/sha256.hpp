@@ -1,0 +1,16 @@
+// Self-contained SHA-256 (FIPS 180-4), for the judge-style golden-digest
+// tests: pinning the hash of a campaign's `.ans` bytes turns "did any
+// engine change perturb the output?" into one string comparison, the
+// discipline of the as6325400 fault-simulation judge. Not a cryptographic
+// dependency — just a stable fingerprint.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace enb::util {
+
+// Lowercase hex digest (64 chars) of `data`.
+[[nodiscard]] std::string sha256_hex(std::string_view data);
+
+}  // namespace enb::util

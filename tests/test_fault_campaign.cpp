@@ -38,6 +38,28 @@ TEST(FaultCampaign, BitIdenticalForAnyThreadCount) {
   EXPECT_GT(serial.detected, 0u);
 }
 
+TEST(FaultCampaign, ScaledOptionsBitIdenticalForAnyThreadCount) {
+  // The thread-count contract survives every scale axis at once: dropping,
+  // wide lanes, and a sampled universe.
+  const Circuit circuit = gen::find_benchmark("rca8").build();
+  CampaignOptions options;
+  options.patterns = 160;
+  options.shard_patterns = 32;
+  options.drop = true;
+  options.lanes = LaneWidth::k256;
+  options.sample = 50;
+  const FaultCampaignResult serial =
+      run_campaign(circuit, nullptr, options, exec::Parallelism::serial());
+  const FaultCampaignResult pool =
+      run_campaign(circuit, nullptr, options, exec::Parallelism::global_pool());
+  const FaultCampaignResult wide =
+      run_campaign(circuit, nullptr, options, exec::Parallelism::dedicated(64));
+  EXPECT_EQ(serial, pool);
+  EXPECT_EQ(serial, wide);
+  EXPECT_EQ(serial.sampled, 50u);
+  EXPECT_GT(serial.detected, 0u);
+}
+
 TEST(FaultCampaign, ExhaustiveC17SelfCoverageIsComplete) {
   // c17 is fully testable: every collapsed class is detected by some input
   // assignment, so exhaustive self-grading reports coverage 1.
@@ -94,6 +116,9 @@ TEST(FaultCampaign, BatchMatchesDirectEvaluate) {
   spec.options.patterns = 96;
   spec.options.shard_patterns = 16;
   spec.options.seed = 123;
+  spec.options.drop = true;
+  spec.options.lanes = LaneWidth::k512;
+  spec.options.sample = 80;
   request.options = spec;
 
   const analysis::AnalysisResult direct = analysis::evaluate(request);
@@ -146,11 +171,13 @@ TEST(FaultCampaign, ManifestParsesFaultCampaignLines) {
   std::istringstream manifest(
       "fc1 kind=fault-campaign circuit=c17 budget=64 seed=9\n"
       "fc2 kind=fault-campaign circuit=c17 mode=exhaustive\n"
-      "fc3 kind=fault-campaign circuit=c17 mode=random budget=12\n");
+      "fc3 kind=fault-campaign circuit=c17 mode=random budget=12\n"
+      "fc4 kind=fault-campaign circuit=c17 budget=32 drop=1 lanes=256 "
+      "sample=10\n");
   const std::vector<analysis::AnalysisRequest> requests =
       exec::parse_manifest_requests(manifest,
                                     [&](const std::string&) { return c17; });
-  ASSERT_EQ(requests.size(), 3u);
+  ASSERT_EQ(requests.size(), 4u);
   const auto& fc1 =
       std::get<analysis::FaultCampaignRequest>(requests[0].options);
   EXPECT_EQ(fc1.options.patterns, 64u);
@@ -163,6 +190,11 @@ TEST(FaultCampaign, ManifestParsesFaultCampaignLines) {
       std::get<analysis::FaultCampaignRequest>(requests[2].options);
   EXPECT_FALSE(fc3.options.exhaustive);
   EXPECT_EQ(fc3.options.patterns, 12u);
+  const auto& fc4 =
+      std::get<analysis::FaultCampaignRequest>(requests[3].options);
+  EXPECT_TRUE(fc4.options.drop);
+  EXPECT_EQ(fc4.options.lanes, LaneWidth::k256);
+  EXPECT_EQ(fc4.options.sample, 10u);
 }
 
 TEST(FaultCampaign, ManifestRejectsBadModes) {
@@ -175,6 +207,21 @@ TEST(FaultCampaign, ManifestRejectsBadModes) {
                std::invalid_argument);
   std::istringstream wrong_kind("p kind=profile circuit=c17 mode=random\n");
   EXPECT_THROW((void)exec::parse_manifest_requests(wrong_kind, resolve),
+               std::invalid_argument);
+  std::istringstream bad_lanes(
+      "fc kind=fault-campaign circuit=c17 budget=8 lanes=100\n");
+  EXPECT_THROW((void)exec::parse_manifest_requests(bad_lanes, resolve),
+               std::invalid_argument);
+  std::istringstream bad_drop(
+      "fc kind=fault-campaign circuit=c17 budget=8 drop=2\n");
+  EXPECT_THROW((void)exec::parse_manifest_requests(bad_drop, resolve),
+               std::invalid_argument);
+  std::istringstream drop_on_profile("p kind=profile circuit=c17 drop=1\n");
+  EXPECT_THROW((void)exec::parse_manifest_requests(drop_on_profile, resolve),
+               std::invalid_argument);
+  std::istringstream sample_on_activity(
+      "a kind=activity circuit=c17 sample=4\n");
+  EXPECT_THROW((void)exec::parse_manifest_requests(sample_on_activity, resolve),
                std::invalid_argument);
 }
 
@@ -197,6 +244,17 @@ TEST(FaultCampaign, CanonicalSpecIsValueComplete) {
   analysis::FaultCampaignRequest f = a;
   f.options.collapse = false;
   EXPECT_NE(analysis::canonical_spec(f), base);
+  analysis::FaultCampaignRequest g = a;
+  g.options.drop = true;
+  EXPECT_NE(analysis::canonical_spec(g), base);
+  analysis::FaultCampaignRequest h = a;
+  h.options.sample = 16;
+  EXPECT_NE(analysis::canonical_spec(h), base);
+  // Lane width is execution policy, not part of the result's identity: a
+  // cached result computed at any width answers a request at any other.
+  analysis::FaultCampaignRequest i = a;
+  i.options.lanes = LaneWidth::k512;
+  EXPECT_EQ(analysis::canonical_spec(i), base);
 }
 
 TEST(FaultCampaign, DetectionTableAgreesWithAggregateCounts) {
@@ -269,6 +327,54 @@ TEST(FaultCampaign, ValidatesInterfaceAndBudgets) {
   const Circuit wide = gen::find_benchmark("rca32").build();
   EXPECT_THROW(validate_campaign_inputs(wide, wide, exhaustive),
                std::invalid_argument);
+}
+
+TEST(FaultCampaign, ExhaustiveCapIsATypedError) {
+  // The 20-input exhaustive cap surfaces as its own exception type carrying
+  // the offending input count, so callers can distinguish "ask for random
+  // patterns instead" from ordinary bad arguments.
+  const Circuit wide = gen::find_benchmark("rca32").build();
+  CampaignOptions exhaustive;
+  exhaustive.exhaustive = true;
+  try {
+    validate_campaign_inputs(wide, wide, exhaustive);
+    FAIL() << "expected ExhaustiveCapError";
+  } catch (const ExhaustiveCapError& error) {
+    EXPECT_EQ(error.logical_inputs(), wide.num_inputs());
+    EXPECT_NE(std::string(error.what()).find("exhaustive"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultCampaign, BatchIsolatesExhaustiveCapError) {
+  // The typed cap error rides the batch error-isolation path like any other
+  // per-request failure: the offending job reports ok=false with the cap
+  // message while its neighbors complete.
+  const analysis::CompiledCircuit rca32 =
+      analysis::compile(gen::find_benchmark("rca32").build());
+  exec::BatchEvaluator batch;
+
+  analysis::AnalysisRequest capped;
+  capped.name = "capped";
+  capped.circuit = rca32;
+  analysis::FaultCampaignRequest capped_spec;
+  capped_spec.options.exhaustive = true;
+  capped.options = capped_spec;
+  batch.submit(std::move(capped));
+
+  analysis::AnalysisRequest good;
+  good.name = "good";
+  good.circuit = rca32;
+  analysis::FaultCampaignRequest good_spec;
+  good_spec.options.patterns = 16;
+  good.options = good_spec;
+  batch.submit(std::move(good));
+
+  const std::vector<analysis::AnalysisResult> results = batch.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("exhaustive"), std::string::npos);
+  EXPECT_TRUE(results[1].ok) << results[1].error;
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// Judge-style golden-digest harness (the as6325400 fault-simulation
+// discipline): run one fixed random campaign per suite circuit, SHA-256 the
+// `.ans` bytes, and compare against the checked-in table below. Any engine
+// change that perturbs a single detection bit, pattern draw, net name, or
+// format byte fails loudly with a digest diff.
+//
+// The campaign is pinned completely by (patterns, seed, shard_patterns,
+// collapse) plus the determinism contract: shard streams make the bytes
+// independent of thread count, and pass normalization makes them
+// independent of lane width — both re-checked here explicitly.
+//
+// To re-pin after an *intentional* output change: run this binary, copy the
+// "actual" digests from the failure messages, and update kJudgeTable in the
+// same change that explains why the bytes moved.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "gen/suite.hpp"
+#include "util/sha256.hpp"
+
+namespace enb::fault {
+namespace {
+
+// One fixed campaign shape for every circuit: small enough that the whole
+// table (standard + scale suites) grades in seconds, sharded so the
+// cross-shard merge is always exercised.
+CampaignOptions judge_options() {
+  CampaignOptions options;
+  options.patterns = 24;
+  options.seed = 0xD1CE;
+  options.shard_patterns = 8;
+  return options;
+}
+
+std::string judge_ans(const std::string& name, const CampaignOptions& options,
+                      exec::Parallelism how = {}) {
+  const netlist::Circuit circuit = gen::find_benchmark(name).build();
+  const FaultUniverse universe =
+      FaultUniverse::build(circuit, options.collapse);
+  const DetectionTable table =
+      build_detection_table(circuit, circuit, universe, options, how);
+  std::ostringstream out;
+  write_ans(out, circuit, universe, table);
+  return out.str();
+}
+
+struct JudgeEntry {
+  const char* name;
+  const char* sha256;
+};
+
+constexpr JudgeEntry kJudgeTable[] = {
+    {"c17",
+     "01b6262fe72b6a6092c26f2ae8342560857e424cfc62adb15ffcfda5fcc10bea"},
+    {"parity8",
+     "f14f0d9b3767e0be3b76b86e0ed4e91334c879a7bdde41ebd56638bac6851660"},
+    {"parity16",
+     "85194b3f84d9de56af47417f21b82082f566037ee6b8cd2bcf9d704d39de71b2"},
+    {"rca8",
+     "c9a231e8fd44b8772c45339e94be3bf9c6608685496f6fad692085ba5759faad"},
+    {"rca16",
+     "99426f7c9834274ffd8715bc698915c994ad57fb2553c129450074dc8abca724"},
+    {"rca32",
+     "a2399ad21c9ba983d25ec6ffc8c43748d212411073fabb2ebb26f1481868533f"},
+    {"cla16",
+     "95402ecbb41b3e954fce7d636cf4e5ee1a7f861fb062be921a71d797bb40b3d7"},
+    {"csel16",
+     "e3f28bff097a346df8fde1d979a089bc66c5e4e28e4396a3160adb7d96c4be54"},
+    {"mult4",
+     "d1123fe29fa94645eeadb24f54738294b5b80afa3ed0cc62902d8e048f81a9f9"},
+    {"mult8",
+     "c81eb91b48da83a0c8611228294b1e1fa3f8678f902fef553494c2bd9c59cbcb"},
+    {"cmp16",
+     "fdf4831e8fa65fb04db4e5908f29d52106592cfce9bf69f5d8f2a8c37243ec84"},
+    {"alu8",
+     "b5f0717221efe10bd07b3a6c2d3584264c7073d10075bda88575589772f8d490"},
+    {"rca256",
+     "14ff1655465ac3cf25ef62d3ff4955b6c951432b66e816dc162ce14a1f139cb6"},
+    {"csel64",
+     "f54226e0f4a25a401338fabb6636baec365d6960cb3112d700a3d26448979f89"},
+    {"mult16",
+     "19b390344060887525a82114ebd995f7c3847ccfba070089a94c1a328d5a93dc"},
+    {"alu64",
+     "263c2afcde7854fe8dcd7af7ac43263b8e3065728a6e9c5c636b3948649ba7d7"},
+};
+
+// The table covers both suites completely — a circuit added to either
+// without a pinned digest fails here, not silently.
+TEST(FaultJudge, TableCoversStandardAndScaleSuites) {
+  std::vector<std::string> expected;
+  for (const gen::BenchmarkSpec& spec : gen::standard_suite()) {
+    expected.push_back(spec.name);
+  }
+  for (const gen::BenchmarkSpec& spec : gen::scale_suite()) {
+    expected.push_back(spec.name);
+  }
+  std::vector<std::string> pinned;
+  for (const JudgeEntry& entry : kJudgeTable) pinned.push_back(entry.name);
+  EXPECT_EQ(pinned, expected);
+}
+
+TEST(FaultJudge, AnsDigestsMatchGoldenTable) {
+  for (const JudgeEntry& entry : kJudgeTable) {
+    EXPECT_EQ(util::sha256_hex(judge_ans(entry.name, judge_options())),
+              entry.sha256)
+        << entry.name;
+  }
+}
+
+// The same bytes must come out of every lane width and any thread count —
+// the digest pins the execution-policy independence of the whole row-level
+// path, not just the aggregate counters.
+TEST(FaultJudge, DigestIndependentOfLaneWidthAndThreads) {
+  const std::string name = "rca32";
+  const std::string baseline =
+      util::sha256_hex(judge_ans(name, judge_options()));
+  for (const LaneWidth width : all_lane_widths()) {
+    CampaignOptions options = judge_options();
+    options.lanes = width;
+    EXPECT_EQ(util::sha256_hex(judge_ans(name, options)), baseline)
+        << "lanes=" << to_string(width);
+    EXPECT_EQ(util::sha256_hex(
+                  judge_ans(name, options, exec::Parallelism::dedicated(8))),
+              baseline)
+        << "lanes=" << to_string(width) << " threads=8";
+  }
+}
+
+}  // namespace
+}  // namespace enb::fault

@@ -184,6 +184,41 @@ TEST_F(ServeServerTest, FaultCampaignRidesBatchServeAndResultCache) {
   EXPECT_EQ(analyzed.cached, 1u);
 }
 
+TEST_F(ServeServerTest, FaultCampaignCacheKeysSeparateSpecFromPolicy) {
+  // drop= and sample= change what a campaign computes, so each is its own
+  // cache entry; lanes= is pure execution policy, so a result computed at
+  // one width answers a request at any other.
+  start();
+  Client client(path());
+  const QueryOutcome cold = client.analyze(
+      "rca8", "fault-campaign", {"budget=48", "lanes=64", "name=fc"});
+  ASSERT_EQ(cold.results.size(), 1u);
+  ASSERT_TRUE(cold.results[0].ok);
+  EXPECT_EQ(cold.cached, 0u);
+
+  const QueryOutcome wide = client.analyze(
+      "rca8", "fault-campaign", {"budget=48", "lanes=512", "name=fc"});
+  ASSERT_TRUE(wide.results[0].ok);
+  EXPECT_EQ(wide.cached, 1u);  // lane width is not part of the key
+  EXPECT_EQ(served_json(wide), served_json(cold));
+
+  const QueryOutcome dropped = client.analyze(
+      "rca8", "fault-campaign", {"budget=48", "drop=1", "name=fc"});
+  ASSERT_TRUE(dropped.results[0].ok);
+  EXPECT_EQ(dropped.cached, 0u);  // dropping changes sim_passes
+
+  const QueryOutcome sampled = client.analyze(
+      "rca8", "fault-campaign", {"budget=48", "sample=20", "name=fc"});
+  ASSERT_TRUE(sampled.results[0].ok);
+  EXPECT_EQ(sampled.cached, 0u);  // sampling changes the graded universe
+
+  const QueryOutcome sampled_again = client.analyze(
+      "rca8", "fault-campaign", {"budget=48", "sample=20", "name=fc"});
+  ASSERT_TRUE(sampled_again.results[0].ok);
+  EXPECT_EQ(sampled_again.cached, 1u);
+  EXPECT_EQ(served_json(sampled_again), served_json(sampled));
+}
+
 TEST_F(ServeServerTest, ResultCacheSurvivesHandleEviction) {
   start();
   Client client(path());

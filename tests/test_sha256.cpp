@@ -1,0 +1,48 @@
+// FIPS 180-4 / NIST CAVP vectors for the digest primitive the fault judge
+// pins campaign outputs with.
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace enb::util {
+namespace {
+
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(
+      sha256_hex(""),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(
+      sha256_hex("abc"),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+// 55 and 56 tail bytes straddle the one-vs-two final block boundary (56 + 1
+// + 8 > 64), the classic padding off-by-one.
+TEST(Sha256, PaddingBoundary) {
+  EXPECT_EQ(
+      sha256_hex(std::string(55, 'a')),
+      "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(
+      sha256_hex(std::string(56, 'a')),
+      "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAs) {
+  EXPECT_EQ(
+      sha256_hex(std::string(1000000, 'a')),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+}  // namespace
+}  // namespace enb::util

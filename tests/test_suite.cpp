@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "gen/iscas.hpp"
@@ -21,9 +22,27 @@ TEST(Suite, StandardSuiteBuildsValidCircuits) {
   }
 }
 
+TEST(Suite, ScaleSuiteBuildsValidKiloNetCircuits) {
+  // The scale suite exists for fault campaigns at thousand-net size; every
+  // member validates and at least one clears 1000 nets (inputs + gates).
+  std::size_t max_nets = 0;
+  for (const BenchmarkSpec& spec : scale_suite()) {
+    const netlist::Circuit c = spec.build();
+    EXPECT_EQ(c.name(), spec.name);
+    const auto report = netlist::validate(c);
+    EXPECT_TRUE(report.ok()) << spec.name;
+    max_nets = std::max(max_nets, c.num_inputs() + c.gate_count());
+  }
+  EXPECT_GE(max_nets, 1000u);
+}
+
 TEST(Suite, NamesAreUnique) {
   std::set<std::string> names;
   for (const BenchmarkSpec& spec : standard_suite()) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+  }
+  // Scale-suite names share the lookup namespace with the standard suite.
+  for (const BenchmarkSpec& spec : scale_suite()) {
     EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
   }
 }
@@ -53,6 +72,8 @@ TEST(Suite, FindBenchmark) {
   const BenchmarkSpec spec = find_benchmark("rca16");
   EXPECT_EQ(spec.name, "rca16");
   EXPECT_EQ(spec.build().num_inputs(), 33u);
+  // Scale-suite members resolve through the same lookup.
+  EXPECT_EQ(find_benchmark("rca256").build().num_inputs(), 513u);
   EXPECT_THROW((void)find_benchmark("c6288"), std::invalid_argument);
 }
 

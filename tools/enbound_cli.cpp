@@ -79,7 +79,8 @@ int usage() {
          "          [--csv out.csv] [--json out.json]\n"
          "  faultsim <file.bench> [--golden spec] [--patterns N]\n"
          "          [--exhaustive] [--seed S] [--bundle-width B]\n"
-         "          [--no-collapse] [--check-scalar] [--map K]\n"
+         "          [--no-collapse] [--check-scalar] [--drop]\n"
+         "          [--lanes 64|128|256|512] [--sample N] [--map K]\n"
          "          [--threads N] [--ans out.ans] [--json out.json]\n"
          "  serve   --socket <path> [--map K] [--threads N]\n"
          "          [--max-handles N] [--max-cache N]\n"
@@ -96,7 +97,8 @@ int usage() {
          "         energy-bound|profile|fault-campaign>\n"
          "         circuit=<suite name or .bench path>\n"
          "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
-         "         [leakage=L] [mode=random|exhaustive]\n"
+         "         [leakage=L] [mode=random|exhaustive] [drop=0|1]\n"
+         "         [lanes=64|128|256|512] [sample=N]\n"
          "exit codes: 0 ok, 1 usage, 2 processing/parse error or failed\n"
          "job, 3 input file missing\n";
   return 1;
@@ -403,31 +405,40 @@ int cmd_faultsim(const Args& args) {
   options.seed = args.seed;
   options.bundle_width = args.bundle_width;
   options.collapse = !args.no_collapse;
+  options.drop = args.drop;
+  options.sample = args.sample;
+  const std::optional<fault::LaneWidth> lanes =
+      fault::parse_lane_width(args.lanes);
+  if (!lanes.has_value()) {
+    std::cerr << "error: --lanes must be 64, 128, 256, or 512\n";
+    return kExitProcessing;
+  }
+  options.lanes = *lanes;
+  if (!args.ans.empty() && options.sample != 0) {
+    std::cerr << "error: --ans rows need the full universe; "
+                 "drop --sample or --ans\n";
+    return kExitProcessing;
+  }
 
   const netlist::Circuit& circuit = compiled.circuit();
   const netlist::Circuit& reference =
       golden.has_value() ? golden->circuit() : circuit;
   fault::validate_campaign_inputs(circuit, reference, options);
   const exec::Parallelism how{args.threads};
-  // One campaign, two shapes: the row-level consumers (--ans,
-  // --check-scalar) need the per-pattern detection table (O(patterns x
-  // blocks) memory) and the summary folds out of it; otherwise the
-  // aggregate engine with its O(classes) counters runs alone. The two
-  // views are bit-identical by construction (pinned by
-  // tests/test_fault_campaign.cpp).
+  // The summary always comes from the aggregate campaign, so it reflects
+  // the requested dropping/sampling/lane policy. The row-level consumers
+  // (--ans, --check-scalar) additionally build the per-pattern detection
+  // table, which never drops (rows must be complete) — its detection bits
+  // and first-detection records are bit-identical to the aggregate's by
+  // construction (pinned by tests/test_fault_campaign.cpp).
+  const fault::FaultCampaignResult result = fault::run_campaign(
+      circuit, golden.has_value() ? &reference : nullptr, options, how);
   std::optional<fault::FaultUniverse> universe;
   std::optional<fault::DetectionTable> table;
-  fault::FaultCampaignResult result;
   if (args.check_scalar || !args.ans.empty()) {
     universe = fault::FaultUniverse::build(circuit, options.collapse);
     table = fault::build_detection_table(circuit, reference, *universe,
                                          options, how);
-    result = fault::finalize_campaign(
-        circuit, reference, *universe, options,
-        fault::counts_from_table(*universe, *table));
-  } else {
-    result = fault::run_campaign(
-        circuit, golden.has_value() ? &reference : nullptr, options, how);
   }
 
   report::Table t({"field", "value"});
@@ -438,30 +449,47 @@ int cmd_faultsim(const Args& args) {
   t.add_row({std::string("fault sites"), std::to_string(result.sites)});
   t.add_row({std::string("collapsed classes"),
              std::to_string(result.classes)});
+  t.add_row({std::string("sampled classes"), std::to_string(result.sampled)});
   t.add_row({std::string("patterns"), std::to_string(result.patterns)});
   t.add_row({std::string("detected classes"),
              std::to_string(result.detected)});
+  t.add_row({std::string("first-detect outputs"),
+             std::to_string(result.detect_outputs)});
   t.add_row({std::string("sim passes"), std::to_string(result.sim_passes)});
+  t.add_row({std::string("lane width"),
+             std::string(fault::to_string(options.lanes))});
+  t.add_row({std::string("fault dropping"),
+             std::string(options.drop ? "on" : "off")});
   t.add_row({std::string("gate overhead"),
              report::format_double(result.gate_overhead, 4)});
   std::cout << t.to_text();
   std::cout << "coverage " << report::format_double(result.coverage, 6) << " ("
-            << result.detected << "/" << result.classes
+            << result.detected << "/" << result.sampled
             << " classes), masked_fraction "
             << report::format_double(result.masked_fraction, 6) << "\n";
+  if (result.sampled < result.classes) {
+    std::cout << "coverage_ci ["
+              << report::format_double(result.coverage_ci_low, 6) << ", "
+              << report::format_double(result.coverage_ci_high, 6)
+              << "] (Wilson 95%, " << result.sampled << "/" << result.classes
+              << " classes sampled)\n";
+  }
 
   if (args.check_scalar) {
-    // Cross-check every (pattern, class) bit against the scalar
+    // Cross-check every (pattern, sampled class) bit against the scalar
     // one-fault-at-a-time reference — the two implementations share no
-    // evaluation machinery, so agreement here is a real equivalence check.
+    // evaluation machinery, so agreement here is a real equivalence check
+    // for whichever lane width ran.
     fault::ScalarFaultSim scalar(circuit, *universe, options.bundle_width);
+    const std::vector<std::uint32_t> sampled =
+        fault::sampled_classes(*universe, options);
     std::uint64_t scalar_passes = 0;
     std::uint64_t mismatches = 0;
     for (std::size_t p = 0; p < table->patterns.size(); ++p) {
       const std::vector<bool> expected =
           sim::eval_single(reference, table->patterns[p]);
       ++scalar_passes;
-      for (std::size_t c = 0; c < universe->num_classes(); ++c) {
+      for (const std::uint32_t c : sampled) {
         const bool parallel_bit =
             ((table->detected[p][c / sim::kWordBits] >>
               (c % sim::kWordBits)) &
@@ -679,10 +707,13 @@ int cmd_gen(const Args& args) {
 
 int cmd_list() {
   report::Table t({"name", "family", "inputs", "gates"});
-  for (const gen::BenchmarkSpec& spec : gen::standard_suite()) {
-    const auto c = spec.build();
-    t.add_row({spec.name, spec.family, std::to_string(c.num_inputs()),
-               std::to_string(c.gate_count())});
+  for (const std::vector<gen::BenchmarkSpec>& suite :
+       {gen::standard_suite(), gen::scale_suite()}) {
+    for (const gen::BenchmarkSpec& spec : suite) {
+      const auto c = spec.build();
+      t.add_row({spec.name, spec.family, std::to_string(c.num_inputs()),
+                 std::to_string(c.gate_count())});
+    }
   }
   std::cout << t.to_text();
   return 0;
