@@ -90,13 +90,15 @@ AnalysisResult evaluate(const AnalysisRequest& request, exec::Parallelism how) {
                                  spec.energy);
           } else if constexpr (std::is_same_v<Spec, ProfileRequest>) {
             return request.circuit.profile(spec.options, how);
-          } else {
-            static_assert(std::is_same_v<Spec, FaultCampaignRequest>);
+          } else if constexpr (std::is_same_v<Spec, FaultCampaignRequest>) {
             const netlist::Circuit* golden =
                 request.golden.has_value() ? &request.golden->circuit()
                                            : nullptr;
             return fault::run_campaign(request.circuit.circuit(), golden,
                                        spec.options, how);
+          } else {
+            static_assert(std::is_same_v<Spec, LintRequest>);
+            return lint_circuit(request.circuit.circuit(), spec.options);
           }
         },
         request.options);

@@ -1,7 +1,6 @@
 #include "analysis/compiled_circuit.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +8,7 @@
 #include "netlist/topo.hpp"
 #include "synth/library.hpp"
 #include "synth/mapper.hpp"
+#include "util/sync.hpp"
 
 namespace enb::analysis {
 
@@ -33,15 +33,16 @@ struct CompiledCircuit::Impl {
 
   const netlist::Circuit circuit;
 
-  mutable std::mutex mutex;
-  mutable std::optional<netlist::CircuitStats> stats;
-  mutable std::optional<std::vector<int>> levels;
-  mutable std::optional<std::vector<int>> fanout_counts;
+  mutable util::Mutex mutex;
+  mutable std::optional<netlist::CircuitStats> stats ENB_GUARDED_BY(mutex);
+  mutable std::optional<std::vector<int>> levels ENB_GUARDED_BY(mutex);
+  mutable std::optional<std::vector<int>> fanout_counts ENB_GUARDED_BY(mutex);
   mutable std::vector<std::pair<ProfileKey,
                                 std::shared_ptr<const core::CircuitProfile>>>
-      profiles;
-  mutable std::vector<std::pair<int, CompiledCircuit>> mapped;
-  mutable std::optional<std::uint64_t> fingerprint;
+      profiles ENB_GUARDED_BY(mutex);
+  mutable std::vector<std::pair<int, CompiledCircuit>> mapped
+      ENB_GUARDED_BY(mutex);
+  mutable std::optional<std::uint64_t> fingerprint ENB_GUARDED_BY(mutex);
   mutable std::atomic<std::uint64_t> extractions{0};
 };
 
@@ -62,7 +63,7 @@ const std::string& CompiledCircuit::name() const {
 
 const netlist::CircuitStats& CompiledCircuit::stats() const {
   Impl& impl = checked();
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   if (!impl.stats.has_value()) {
     impl.stats = netlist::compute_stats(impl.circuit);
   }
@@ -71,7 +72,7 @@ const netlist::CircuitStats& CompiledCircuit::stats() const {
 
 const std::vector<int>& CompiledCircuit::levels() const {
   Impl& impl = checked();
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   if (!impl.levels.has_value()) {
     impl.levels = netlist::levels(impl.circuit);
   }
@@ -80,7 +81,7 @@ const std::vector<int>& CompiledCircuit::levels() const {
 
 const std::vector<int>& CompiledCircuit::fanout_counts() const {
   Impl& impl = checked();
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   if (!impl.fanout_counts.has_value()) {
     impl.fanout_counts = netlist::fanout_counts(impl.circuit);
   }
@@ -91,7 +92,7 @@ const core::CircuitProfile& CompiledCircuit::profile(
     const core::ProfileOptions& options, exec::Parallelism how) const {
   Impl& impl = checked();
   const ProfileKey key = profile_key(options);
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   for (const auto& [cached_key, cached] : impl.profiles) {
     if (cached_key == key) return *cached;
   }
@@ -108,7 +109,7 @@ std::optional<core::CircuitProfile> CompiledCircuit::cached_profile(
     const core::ProfileOptions& options) const {
   Impl& impl = checked();
   const ProfileKey key = profile_key(options);
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   for (const auto& [cached_key, cached] : impl.profiles) {
     if (cached_key == key) return *cached;
   }
@@ -119,7 +120,7 @@ void CompiledCircuit::store_profile(const core::ProfileOptions& options,
                                     core::CircuitProfile profile) const {
   Impl& impl = checked();
   const ProfileKey key = profile_key(options);
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   impl.extractions.fetch_add(1, std::memory_order_relaxed);
   for (const auto& [cached_key, cached] : impl.profiles) {
     if (cached_key == key) return;  // existing entry wins (values equal)
@@ -134,7 +135,7 @@ std::uint64_t CompiledCircuit::profile_extractions() const {
 
 CompiledCircuit CompiledCircuit::mapped(int max_fanin) const {
   Impl& impl = checked();
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   for (const auto& [fanin, handle] : impl.mapped) {
     if (fanin == max_fanin) return handle;
   }
@@ -148,7 +149,7 @@ CompiledCircuit CompiledCircuit::mapped(int max_fanin) const {
 
 std::uint64_t CompiledCircuit::content_fingerprint() const {
   Impl& impl = checked();
-  const std::lock_guard<std::mutex> lock(impl.mutex);
+  const util::LockGuard lock(impl.mutex);
   if (!impl.fingerprint.has_value()) {
     // FNV-1a over the .bench text: stable across processes and recompiles
     // of the same netlist, which is all the result cache needs.

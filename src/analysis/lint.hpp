@@ -1,0 +1,110 @@
+// Structural netlist linter.
+//
+// The paper's pipeline (and every engine in this repo) assumes structurally
+// well-formed combinational netlists; gen/ builders, hand-written .bench
+// files, and ft/ transforms can silently produce dead logic, dangling
+// nets, or redundancy schemes that do not actually vote. The linter is the
+// static-analysis pass that surfaces those defects as typed diagnostics
+// before they show up as wrong coverage numbers deep inside a campaign.
+//
+// Two entry points:
+//   lint_circuit     — rules over a built netlist::Circuit. The IR is
+//                      append-only (fanins must exist, so cycles and
+//                      undriven nets are unrepresentable), which leaves the
+//                      reachability/fanout/redundancy rules.
+//   lint_bench_text  — rules over raw .bench source, where the defects the
+//                      IR cannot represent live: combinational cycles (with
+//                      the cycle path), undriven and multi-driven nets,
+//                      zero-fanin gates, unparseable lines. When the source
+//                      is clean enough to build, the circuit rules run too.
+//
+// Severity: kError marks netlists the engines would mis-analyze or reject
+// (cycles, undriven/multi-driven nets, no outputs, starved voters); kWarning
+// marks legal-but-suspect structure (dead logic, unused inputs, inputs past
+// the exhaustive-campaign cap). gen/'s suite circuits lint with zero errors;
+// scale-suite circuits legitimately warn about the exhaustive cap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "netlist/circuit.hpp"
+
+namespace enb::analysis {
+
+enum class LintSeverity : std::uint8_t { kWarning, kError };
+
+[[nodiscard]] const char* to_string(LintSeverity severity) noexcept;
+
+enum class LintRule : std::uint8_t {
+  kSyntax,          // unparseable .bench line
+  kCycle,           // combinational cycle (message carries the path)
+  kUndrivenNet,     // net used but never defined or declared INPUT
+  kMultiDrivenNet,  // net defined more than once (or INPUT + definition)
+  kZeroFaninGate,   // gate call with no operands where the type needs some
+  kDuplicateName,   // two nodes share one net name
+  kNoOutputs,       // circuit has no primary outputs
+  kVoterReplicas,   // MAJ voter fed by fewer distinct drivers than fanins
+  kFloatingOutput,  // gate output feeding nothing and not a primary output
+  kUnreachable,     // live-looking gate outside every primary-output cone
+  kUnusedInput,     // primary input feeding nothing and not an output
+  kExhaustiveCap,   // inputs exceed fault::kMaxExhaustiveCampaignInputs
+};
+
+// Stable kebab-case rule id ("undriven-net") for CLI/JSON output and tests.
+[[nodiscard]] const char* to_string(LintRule rule) noexcept;
+
+struct LintDiagnostic {
+  LintSeverity severity = LintSeverity::kError;
+  LintRule rule = LintRule::kSyntax;
+  // The net/gate name the finding anchors to ("line N" for syntax errors).
+  std::string site;
+  std::string message;
+
+  friend bool operator==(const LintDiagnostic&,
+                         const LintDiagnostic&) = default;
+};
+
+struct LintOptions {
+  // Logical-input count above which exhaustive fault campaigns throw
+  // ExhaustiveCapError; the linter warns at the same threshold.
+  int exhaustive_cap = fault::kMaxExhaustiveCampaignInputs;
+
+  friend bool operator==(const LintOptions&, const LintOptions&) = default;
+};
+
+struct LintReport {
+  std::vector<LintDiagnostic> diagnostics;
+  // Nodes inspected; 0 when source-level errors prevented building the
+  // circuit at all.
+  std::uint64_t nodes = 0;
+
+  [[nodiscard]] std::size_t errors() const noexcept;
+  [[nodiscard]] std::size_t warnings() const noexcept;
+  [[nodiscard]] bool clean() const noexcept { return errors() == 0; }
+
+  friend bool operator==(const LintReport&, const LintReport&) = default;
+};
+
+// Lints a built circuit (see the rule list above; source-only rules cannot
+// fire here). Diagnostics are ordered errors first, then warnings, each
+// group in discovery (node-id) order — deterministic for any thread count.
+[[nodiscard]] LintReport lint_circuit(const netlist::Circuit& circuit,
+                                      const LintOptions& options = {});
+
+// Lints .bench source text: the source-level rules, then — when no source
+// errors were found and the netlist builds — the circuit rules as well.
+// Never throws BenchParseError; parse failures become diagnostics.
+[[nodiscard]] LintReport lint_bench_text(const std::string& text,
+                                         const std::string& name = "bench",
+                                         const LintOptions& options = {});
+
+// Renders one "severity[rule] site: message" row per diagnostic plus a
+// closing "N errors, M warnings" summary line.
+void write_lint_text(std::ostream& out, const LintReport& report);
+
+}  // namespace enb::analysis

@@ -24,6 +24,14 @@ static_assert(std::is_same_v<std::variant_alternative_t<5, RequestOptions>,
                              ProfileRequest>);
 static_assert(std::is_same_v<std::variant_alternative_t<6, RequestOptions>,
                              FaultCampaignRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<7, RequestOptions>,
+                             LintRequest>);
+static_assert(std::variant_size_v<RequestOptions> + 1 ==
+              std::variant_size_v<ResultPayload>);
+static_assert(std::is_same_v<
+              std::variant_alternative_t<std::variant_size_v<ResultPayload> - 1,
+                                         ResultPayload>,
+              LintReport>);
 
 using Metrics = std::vector<std::pair<std::string, double>>;
 
@@ -108,6 +116,15 @@ Metrics flatten(const fault::FaultCampaignResult& f) {
   push(m, "golden_gates", static_cast<double>(f.golden_gates));
   push(m, "gate_overhead", f.gate_overhead);
   push(m, "overhead_per_masked", f.overhead_per_masked);
+  return m;
+}
+
+Metrics flatten(const LintReport& l) {
+  Metrics m;
+  push(m, "errors", static_cast<double>(l.errors()));
+  push(m, "warnings", static_cast<double>(l.warnings()));
+  push(m, "findings", static_cast<double>(l.diagnostics.size()));
+  push(m, "nodes", static_cast<double>(l.nodes));
   return m;
 }
 
@@ -253,6 +270,12 @@ std::string spec_of(const FaultCampaignRequest& r) {
       .str();
 }
 
+std::string spec_of(const LintRequest& r) {
+  return SpecWriter("lint")
+      .field("exhaustive_cap", r.options.exhaustive_cap)
+      .str();
+}
+
 }  // namespace
 
 std::string canonical_spec(const RequestOptions& options) {
@@ -275,6 +298,8 @@ const char* to_string(AnalysisKind kind) noexcept {
       return "profile";
     case AnalysisKind::kFaultCampaign:
       return "fault-campaign";
+    case AnalysisKind::kLint:
+      return "lint";
   }
   return "unknown";
 }
@@ -289,6 +314,7 @@ std::optional<AnalysisKind> parse_analysis_kind(std::string_view name) {
   if (canonical == "energy-bound") return AnalysisKind::kEnergyBound;
   if (canonical == "profile") return AnalysisKind::kProfile;
   if (canonical == "fault-campaign") return AnalysisKind::kFaultCampaign;
+  if (canonical == "lint") return AnalysisKind::kLint;
   return std::nullopt;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "analysis/compiled_circuit.hpp"
+#include "analysis/lint.hpp"
 #include "core/analyzer.hpp"
 #include "core/energy_bound.hpp"
 #include "core/profile.hpp"
@@ -37,6 +38,7 @@ enum class AnalysisKind {
   kEnergyBound,   // Theorem 1-4 bound report at (eps, delta)
   kProfile,       // (s, S0, sw0, k, d0) profile extraction
   kFaultCampaign, // stuck-at fault campaign (coverage / masking vs golden)
+  kLint,          // structural netlist lint (typed diagnostics)
 };
 
 [[nodiscard]] const char* to_string(AnalysisKind kind) noexcept;
@@ -86,11 +88,15 @@ struct FaultCampaignRequest {
   fault::CampaignOptions options;
 };
 
+struct LintRequest {
+  LintOptions options;
+};
+
 // Alternative order mirrors AnalysisKind (kind() relies on it).
 using RequestOptions =
     std::variant<ReliabilityRequest, WorstCaseRequest, ActivityRequest,
                  SensitivityRequest, EnergyBoundRequest, ProfileRequest,
-                 FaultCampaignRequest>;
+                 FaultCampaignRequest, LintRequest>;
 
 struct AnalysisRequest {
   std::string name;
@@ -113,7 +119,7 @@ struct AnalysisRequest {
 using ResultPayload =
     std::variant<std::monostate, sim::ReliabilityResult, sim::WorstCaseResult,
                  sim::ActivityResult, sim::SensitivityResult, core::BoundReport,
-                 core::CircuitProfile, fault::FaultCampaignResult>;
+                 core::CircuitProfile, fault::FaultCampaignResult, LintReport>;
 
 // Per-request outcome. Failures are isolated: a request whose options are
 // invalid (or whose evaluation throws) reports ok = false with the error

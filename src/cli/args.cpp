@@ -137,4 +137,18 @@ Args parse_args(const std::vector<std::string>& argv) {
   return args;
 }
 
+const std::vector<std::string>& known_commands() {
+  static const std::vector<std::string> commands = {
+      "profile", "analyze", "sweep", "batch",  "faultsim",
+      "lint",    "serve",   "client", "gen",   "list"};
+  return commands;
+}
+
+bool is_known_command(const std::string& name) {
+  for (const std::string& command : known_commands()) {
+    if (command == name) return true;
+  }
+  return false;
+}
+
 }  // namespace enb::cli

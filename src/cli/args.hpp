@@ -53,4 +53,10 @@ struct Args {
 // malformed value, reports through Args::error instead.
 [[nodiscard]] Args parse_args(const std::vector<std::string>& argv);
 
+// The tool's subcommand vocabulary, in usage order. main() rejects anything
+// else up front — naming the valid commands — instead of falling through to
+// the generic usage text.
+[[nodiscard]] const std::vector<std::string>& known_commands();
+[[nodiscard]] bool is_known_command(const std::string& name);
+
 }  // namespace enb::cli

@@ -8,11 +8,11 @@
 #include <iomanip>
 #include <istream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/lint.hpp"
 #include "bdd/bdd_analysis.hpp"
 #include "exec/thread_pool.hpp"
 #include "fault/campaign.hpp"
@@ -20,6 +20,7 @@
 #include "fault/lanes.hpp"
 #include "report/csv.hpp"
 #include "util/numeric.hpp"
+#include "util/sync.hpp"
 
 namespace enb::exec {
 
@@ -77,22 +78,30 @@ struct ExtractionGroup {
   core::ProfileOptions options;  // the key's value-relevant knobs
   ProfilePlan plan;
 
-  std::unique_ptr<sim::ActivityCounts> activity_counts;
-  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts;
-  double exact_activity_sw0 = 0.0;
-  bool activity_is_direct = false;  // single writer (task 0)
+  util::Mutex mutex;  // guards error, the accumulators, and the profile
+  std::unique_ptr<sim::ActivityCounts> activity_counts
+      ENB_PT_GUARDED_BY(mutex);
+  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts
+      ENB_PT_GUARDED_BY(mutex);
+  double exact_activity_sw0 ENB_GUARDED_BY(mutex) = 0.0;
+  bool activity_is_direct ENB_GUARDED_BY(mutex) = false;
 
-  std::mutex mutex;  // guards error and the count accumulators
   std::atomic<std::size_t> remaining{0};
   std::atomic<bool> failed{false};
-  std::string error;
-  std::optional<core::CircuitProfile> profile;  // set once on completion
-  std::vector<std::size_t> dependents;          // request indices
+  std::string error ENB_GUARDED_BY(mutex);
+  // Set once by assemble(); dependents read it under the lock in finalize.
+  std::optional<core::CircuitProfile> profile ENB_GUARDED_BY(mutex);
+  std::vector<std::size_t> dependents;  // request indices
 
   void record_error(const std::string& message) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const util::LockGuard lock(mutex);
     if (!failed.load(std::memory_order_relaxed)) error = message;
     failed.store(true, std::memory_order_relaxed);
+  }
+
+  std::string error_text() {
+    const util::LockGuard lock(mutex);
+    return error;
   }
 
   void run_shard(std::size_t shard) {
@@ -112,19 +121,20 @@ struct ExtractionGroup {
                                        Parallelism::serial())
                     .avg_gate_toggle_rate;
         }
+        const util::LockGuard lock(mutex);
         exact_activity_sw0 = sw0;
         activity_is_direct = true;
       } else {
         const sim::ActivityCounts local = sim::activity_shard_counts(
             c, profile_activity_options(options), plan.activity.shard(shard));
-        const std::lock_guard<std::mutex> lock(mutex);
+        const util::LockGuard lock(mutex);
         activity_counts->merge(local);
       }
     } else {
       const sim::SensitivityCounts local = sim::sensitivity_shard_counts(
           c, profile_sensitivity_options(options),
           plan.sensitivity.shard(shard - activity_tasks));
-      const std::lock_guard<std::mutex> lock(mutex);
+      const util::LockGuard lock(mutex);
       sensitivity_counts->merge(local);
     }
   }
@@ -135,6 +145,9 @@ struct ExtractionGroup {
   void assemble() {
     const Circuit& c = circuit.circuit();
     const netlist::CircuitStats& stats = circuit.stats();
+    // Uncontended by construction — every shard has completed — but taken
+    // anyway so the accumulator reads check out statically.
+    const util::LockGuard lock(mutex);
     core::CircuitProfile p;
     p.name = c.name();
     p.num_inputs = static_cast<int>(stats.num_inputs);
@@ -176,17 +189,19 @@ struct JobState {
   // request's remaining tasks turn into no-ops; other requests are
   // unaffected.
   std::atomic<bool> failed{false};
-  std::string error;  // guarded by mutex
-  std::mutex mutex;   // guards error and non-atomic accumulators
+  util::Mutex mutex;  // guards error and non-atomic accumulators
+  std::string error ENB_GUARDED_BY(mutex);
 
   // kReliability
   std::atomic<std::uint64_t> failures{0};
-  // kWorstCase: slot per sample
+  // kWorstCase: slot per sample (disjoint writes; no lock needed)
   std::vector<std::uint64_t> sample_failures;
   // kActivity
-  std::unique_ptr<sim::ActivityCounts> activity_counts;
+  std::unique_ptr<sim::ActivityCounts> activity_counts
+      ENB_PT_GUARDED_BY(mutex);
   // kSensitivity
-  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts;
+  std::unique_ptr<sim::SensitivityCounts> sensitivity_counts
+      ENB_PT_GUARDED_BY(mutex);
   // kEnergyBound via override or cached profile: single writer (task 0).
   std::optional<core::BoundReport> report;
   // Profile found in the handle's cache at prepare time.
@@ -194,12 +209,20 @@ struct JobState {
   // kFaultCampaign: the universe is built once at prepare time and shared
   // (read-only) by every pattern shard; counts merge commutatively.
   std::shared_ptr<const fault::FaultUniverse> fault_universe;
-  std::unique_ptr<fault::CampaignCounts> campaign_counts;
+  std::unique_ptr<fault::CampaignCounts> campaign_counts
+      ENB_PT_GUARDED_BY(mutex);
+  // kLint: single task, single writer.
+  std::optional<analysis::LintReport> lint ENB_GUARDED_BY(mutex);
 
   void record_error(const std::string& message) {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const util::LockGuard lock(mutex);
     if (!failed.load(std::memory_order_relaxed)) error = message;
     failed.store(true, std::memory_order_relaxed);
+  }
+
+  std::string error_text() {
+    const util::LockGuard lock(mutex);
+    return error;
   }
 };
 
@@ -268,10 +291,11 @@ void prepare_activity(const AnalysisRequest& request,
   state.run_task = [plan, &spec](JobState& s, std::size_t shard) {
     const sim::ActivityCounts local = sim::activity_shard_counts(
         s.request->circuit.circuit(), spec.options, plan.shard(shard));
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const util::LockGuard lock(s.mutex);
     s.activity_counts->merge(local);
   };
   state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.mutex);
     finish_with_payload(
         r, sim::finalize_activity(s.request->circuit.circuit(), spec.options,
                                   *s.activity_counts));
@@ -290,10 +314,11 @@ void prepare_sensitivity(const AnalysisRequest& request,
   state.run_task = [plan, &spec](JobState& s, std::size_t shard) {
     const sim::SensitivityCounts local = sim::sensitivity_shard_counts(
         s.request->circuit.circuit(), spec.options, plan.shard(shard));
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const util::LockGuard lock(s.mutex);
     s.sensitivity_counts->merge(local);
   };
   state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.mutex);
     finish_with_payload(
         r, sim::finalize_sensitivity(s.request->circuit.circuit(), spec.options,
                                      *s.sensitivity_counts));
@@ -316,14 +341,31 @@ void prepare_fault_campaign(const AnalysisRequest& request,
     const fault::CampaignCounts local = fault::campaign_shard_counts(
         s.request->circuit.circuit(), golden_of(*s.request),
         *s.fault_universe, spec.options, plan.shard(shard));
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const util::LockGuard lock(s.mutex);
     s.campaign_counts->merge(local);
   };
   state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.mutex);
     finish_with_payload(
         r, fault::finalize_campaign(s.request->circuit.circuit(),
                                     golden_of(*s.request), *s.fault_universe,
                                     spec.options, *s.campaign_counts));
+  };
+}
+
+void prepare_lint(const AnalysisRequest& request,
+                  const analysis::LintRequest& spec, JobState& state) {
+  (void)request.circuit.circuit();  // throws on an empty handle, like the rest
+  state.num_tasks = 1;
+  state.run_task = [&spec](JobState& s, std::size_t) {
+    analysis::LintReport report =
+        analysis::lint_circuit(s.request->circuit.circuit(), spec.options);
+    const util::LockGuard lock(s.mutex);
+    s.lint = std::move(report);
+  };
+  state.finalize = [](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.mutex);
+    finish_with_payload(r, std::move(*s.lint));
   };
 }
 
@@ -408,6 +450,7 @@ void prepare_energy_bound(std::size_t job_index, const AnalysisRequest& request,
   state.extraction = &join_extraction_group(job_index, request, spec.profile,
                                             groups);
   state.finalize = [&spec](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.extraction->mutex);
     const core::CircuitProfile& profile = *s.extraction->profile;
     finish_with_payload(
         r, core::analyze(profile, spec.epsilon, spec.delta, spec.energy));
@@ -429,6 +472,7 @@ void prepare_profile(std::size_t job_index, const AnalysisRequest& request,
   state.extraction =
       &join_extraction_group(job_index, request, spec.options, groups);
   state.finalize = [](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.extraction->mutex);
     finish_with_payload(r, *s.extraction->profile);
   };
 }
@@ -452,10 +496,12 @@ void prepare(std::size_t job_index, const AnalysisRequest& request,
           prepare_energy_bound(job_index, request, spec, state, groups);
         } else if constexpr (std::is_same_v<Spec, analysis::ProfileRequest>) {
           prepare_profile(job_index, request, spec, state, groups);
-        } else {
-          static_assert(
-              std::is_same_v<Spec, analysis::FaultCampaignRequest>);
+        } else if constexpr (std::is_same_v<Spec,
+                                            analysis::FaultCampaignRequest>) {
           prepare_fault_campaign(request, spec, state);
+        } else {
+          static_assert(std::is_same_v<Spec, analysis::LintRequest>);
+          prepare_lint(request, spec, state);
         }
       },
       request.options);
@@ -498,8 +544,10 @@ void BatchEvaluator::run(const ResultSink& sink) {
   // rest of the batch (per-request isolation extends to delivery): the
   // first sink exception is captured here and rethrown after every request
   // has been evaluated and offered to the sink.
-  std::mutex sink_mutex;
-  std::exception_ptr sink_error;  // guarded by sink_mutex
+  struct Delivery {
+    util::Mutex mutex;
+    std::exception_ptr error ENB_GUARDED_BY(mutex);
+  } delivery;
   const auto emit = [&](std::size_t j) {
     JobState& state = states[j];
     AnalysisResult result;
@@ -510,8 +558,8 @@ void BatchEvaluator::run(const ResultSink& sink) {
         state.extraction != nullptr && state.extraction->failed.load();
     if (state.failed.load() || group_failed) {
       result.ok = false;
-      result.error = state.failed.load() ? state.error
-                                         : state.extraction->error;
+      result.error = state.failed.load() ? state.error_text()
+                                         : state.extraction->error_text();
     } else {
       try {
         state.finalize(state, result);
@@ -524,11 +572,11 @@ void BatchEvaluator::run(const ResultSink& sink) {
         result.payload = std::monostate{};
       }
     }
-    const std::lock_guard<std::mutex> lock(sink_mutex);
+    const util::LockGuard lock(delivery.mutex);
     try {
       sink(std::move(result));
     } catch (...) {
-      if (sink_error == nullptr) sink_error = std::current_exception();
+      if (delivery.error == nullptr) delivery.error = std::current_exception();
     }
   };
   const auto complete_unit = [&](std::size_t j) {
@@ -609,6 +657,11 @@ void BatchEvaluator::run(const ResultSink& sink) {
       how_);
 
   requests_.clear();
+  std::exception_ptr sink_error;
+  {
+    const util::LockGuard lock(delivery.mutex);
+    sink_error = delivery.error;
+  }
   if (sink_error != nullptr) std::rethrow_exception(sink_error);
 }
 
@@ -820,6 +873,10 @@ analysis::RequestOptions manifest_options(const ManifestLine& line) {
       if (line.sample.has_value()) spec.options.sample = *line.sample;
       return spec;
     }
+    case JobKind::kLint:
+      // Structural linting takes no tuning keys; eps/budget/seed are ignored
+      // the same way eps is for activity or sensitivity.
+      return analysis::LintRequest{};
   }
   throw std::invalid_argument("manifest: unknown job kind");
 }

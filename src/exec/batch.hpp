@@ -117,7 +117,9 @@ class BatchEvaluator {
 // knob (reliability trials, worst-case trials per input, activity pairs,
 // sensitivity sample words, profile activity pairs, fault-campaign
 // patterns); seed= the kind's master stream seed; leakage= the energy-bound
-// leakage share. The fault-campaign-only keys (rejected for other kinds):
+// leakage share. kind=lint takes no numeric knobs (budget/seed are ignored
+// like eps is for activity). The fault-campaign-only keys (rejected for
+// other kinds):
 // mode= the pattern source (random | exhaustive), drop= fault dropping,
 // lanes= the SIMD lane width (execution policy — not part of the request's
 // canonical spec), sample= the sampled class count (0 = full universe).

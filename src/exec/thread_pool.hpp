@@ -9,14 +9,13 @@
 // and shard accumulators combine through order-insensitive integer sums.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "exec/stream.hpp"
+#include "util/sync.hpp"
 
 namespace enb::exec {
 
@@ -55,12 +54,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait here for a job
-  std::condition_variable done_cv_;   // parallel_for waits here for drain
-  std::mutex submit_mutex_;           // serializes concurrent parallel_fors
-  Job* job_ = nullptr;                // guarded by mutex_
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar work_cv_;  // workers wait here for a job
+  util::CondVar done_cv_;  // parallel_for waits here for drain
+  util::Mutex submit_mutex_;  // serializes concurrent parallel_fors
+  Job* job_ ENB_GUARDED_BY(mutex_) = nullptr;
+  bool stop_ ENB_GUARDED_BY(mutex_) = false;
 };
 
 // How a parallel loop maps onto threads — the single knob every layer routes

@@ -34,7 +34,7 @@ void HandleRegistry::insert_locked(const std::string& name,
 HandleInfo HandleRegistry::get_or_load(
     const std::string& name,
     const std::function<analysis::CompiledCircuit()>& loader) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::UniqueLock lock(mutex_);
   for (;;) {
     const auto it = by_name_.find(name);
     if (it != by_name_.end()) {
@@ -71,7 +71,7 @@ HandleInfo HandleRegistry::get_or_load(
 }
 
 std::optional<HandleInfo> HandleRegistry::find(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = by_name_.find(name);
   if (it == by_name_.end()) return std::nullopt;
   ++hits_;
@@ -81,13 +81,13 @@ std::optional<HandleInfo> HandleRegistry::find(const std::string& name) {
 
 void HandleRegistry::put(const std::string& name,
                          analysis::CompiledCircuit circuit) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ++loads_;
   insert_locked(name, std::move(circuit));
 }
 
 bool HandleRegistry::evict(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = by_name_.find(name);
   if (it == by_name_.end()) return false;
   lru_.erase(it->second);
@@ -97,7 +97,7 @@ bool HandleRegistry::evict(const std::string& name) {
 }
 
 std::size_t HandleRegistry::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const std::size_t dropped = by_name_.size();
   evictions_ += dropped;
   by_name_.clear();
@@ -106,7 +106,7 @@ std::size_t HandleRegistry::clear() {
 }
 
 RegistryStats HandleRegistry::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   RegistryStats s;
   s.handles = by_name_.size();
   s.loads = loads_;
@@ -119,7 +119,7 @@ RegistryStats HandleRegistry::stats() const {
 }
 
 std::vector<HandleInfo> HandleRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   std::vector<HandleInfo> handles;
   handles.reserve(lru_.size());
   for (const Entry& entry : lru_) handles.push_back(entry.info);
@@ -149,7 +149,7 @@ ResultCache::ResultCache(std::size_t capacity)
 
 std::optional<analysis::AnalysisResult> ResultCache::find(
     const std::string& key, const std::string& name, std::size_t index) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const auto it = by_key_.find(key);
   if (it == by_key_.end()) {
     ++misses_;
@@ -166,7 +166,7 @@ std::optional<analysis::AnalysisResult> ResultCache::find(
 
 void ResultCache::store(const std::string& key,
                         analysis::AnalysisResult result) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ++stores_;
   const auto it = by_key_.find(key);
   if (it != by_key_.end()) {
@@ -184,7 +184,7 @@ void ResultCache::store(const std::string& key,
 }
 
 std::size_t ResultCache::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   const std::size_t dropped = by_key_.size();
   evictions_ += dropped;
   by_key_.clear();
@@ -193,7 +193,7 @@ std::size_t ResultCache::clear() {
 }
 
 ResultCacheStats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ResultCacheStats s;
   s.entries = by_key_.size();
   s.hits = hits_;

@@ -16,11 +16,9 @@
 // cached value is bit-identical to a recomputation.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,6 +28,7 @@
 
 #include "analysis/compiled_circuit.hpp"
 #include "analysis/request.hpp"
+#include "util/sync.hpp"
 
 namespace enb::serve {
 
@@ -90,19 +89,21 @@ class HandleRegistry {
   };
   using LruList = std::list<Entry>;
 
-  // Callers hold mutex_. Inserts at the front (MRU) and trims to capacity.
-  void insert_locked(const std::string& name, analysis::CompiledCircuit c);
+  // Inserts at the front (MRU) and trims to capacity.
+  void insert_locked(const std::string& name, analysis::CompiledCircuit c)
+      ENB_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> by_name_;
+  LruList lru_ ENB_GUARDED_BY(mutex_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_name_
+      ENB_GUARDED_BY(mutex_);
   // Names with a loader in flight; waiters sleep on loading_cv_.
-  std::unordered_set<std::string> loading_;
-  std::condition_variable loading_cv_;
-  std::uint64_t loads_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::unordered_set<std::string> loading_ ENB_GUARDED_BY(mutex_);
+  util::CondVar loading_cv_;
+  std::uint64_t loads_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t hits_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ ENB_GUARDED_BY(mutex_) = 0;
 };
 
 // ---- result cache --------------------------------------------------------
@@ -145,14 +146,15 @@ class ResultCache {
   };
   using LruList = std::list<Entry>;
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::size_t capacity_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<std::string, LruList::iterator> by_key_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t stores_ = 0;
-  std::uint64_t evictions_ = 0;
+  LruList lru_ ENB_GUARDED_BY(mutex_);  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> by_key_
+      ENB_GUARDED_BY(mutex_);
+  std::uint64_t hits_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t stores_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ ENB_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace enb::serve

@@ -62,6 +62,8 @@ const char* headline_metric(analysis::AnalysisKind kind) {
       return "size_s0";
     case analysis::AnalysisKind::kFaultCampaign:
       return "coverage";
+    case analysis::AnalysisKind::kLint:
+      return "errors";
   }
   return "";
 }
@@ -187,25 +189,33 @@ void Server::run() {
       break;
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      session_fds_.insert(fd);
+      // Spawn while holding the lock: the session's own end-of-life erase
+      // needs this same lock, so its thread handle is registered in
+      // sessions_ before the session can possibly retire.
+      const util::LockGuard lock(mutex_);
+      sessions_.emplace(fd, std::thread(&Server::session, this, fd));
       ++sessions_total_;
     }
-    // Sessions run detached; run() owns their lifetime through
-    // session_fds_ + idle_cv_ below, so the server never returns (or
-    // destructs) with a session still speaking.
-    std::thread(&Server::session, this, fd).detach();
+    // Join sessions that ended since the last accept, so idle churn does
+    // not accumulate finished thread handles.
+    reap_retired();
   }
 
   // Stop accepted: force open sessions off their sockets (in-flight
-  // evaluations finish; subsequent reads see EOF) and wait for them.
+  // evaluations finish; subsequent reads see EOF), wait for the session
+  // table to drain, then join every session thread.
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RDWR);
+    const util::LockGuard lock(mutex_);
+    for (const auto& [fd, thread] : sessions_) ::shutdown(fd, SHUT_RDWR);
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return session_fds_.empty(); });
-  lock.unlock();
+  {
+    util::UniqueLock lock(mutex_);
+    idle_cv_.wait(lock, [this] {
+      mutex_.assert_held();
+      return sessions_.empty();
+    });
+  }
+  reap_retired();
 
   ::close(listen_fd_);
   listen_fd_ = -1;
@@ -249,19 +259,36 @@ void Server::session(int fd) {
   {
     // Unregister *before* closing: once fd is closed the kernel may hand
     // the same number to a newly accepted connection, and erasing later
-    // would drop that live session from the set (letting run() return —
-    // and the server be destroyed — under it). Erase and notify under one
-    // lock, and touch no Server state after it releases.
-    const std::lock_guard<std::mutex> lock(mutex_);
-    session_fds_.erase(fd);
+    // would drop that live session from the table (letting run() return —
+    // and the server be destroyed — under it). A session thread cannot
+    // join itself, so it parks its own handle in retired_ for run() to
+    // reap. Move, erase and notify under one lock, and touch no Server
+    // state after it releases.
+    const util::LockGuard lock(mutex_);
+    const auto it = sessions_.find(fd);
+    if (it != sessions_.end()) {
+      retired_.push_back(std::move(it->second));
+      sessions_.erase(it);
+    }
     idle_cv_.notify_all();
   }
   ::close(fd);
 }
 
+void Server::reap_retired() {
+  std::vector<std::thread> retired;
+  {
+    const util::LockGuard lock(mutex_);
+    retired.swap(retired_);
+  }
+  // Join outside the lock: a retiring session is past its last Server
+  // access, but may still be inside ::close().
+  for (std::thread& thread : retired) thread.join();
+}
+
 bool Server::dispatch(const Frame& frame, ByteStream& stream) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++frames_;
   }
   if (frame.verb == "ping") {
@@ -339,7 +366,7 @@ void Server::cmd_load(const Frame& frame, ByteStream& stream) {
 
 void Server::cmd_analyze(const Frame& frame, ByteStream& stream) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++queries_;
   }
   const std::string handle = frame.required_arg("handle");
@@ -374,7 +401,7 @@ void Server::cmd_analyze(const Frame& frame, ByteStream& stream) {
 
 void Server::cmd_batch(const Frame& frame, ByteStream& stream) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::LockGuard lock(mutex_);
     ++queries_;
   }
   if (frame.payload.empty()) {
@@ -436,7 +463,7 @@ void Server::run_requests(std::vector<analysis::AnalysisRequest> requests,
     if (auto hit = cache_.find(keys[i], requests[i].name, i)) {
       ++cached_count;
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::LockGuard lock(mutex_);
         ++results_;
       }
       send_frame(stream, result_frame(*hit, /*cached=*/true));
@@ -469,7 +496,7 @@ void Server::run_requests(std::vector<analysis::AnalysisRequest> requests,
       ++failed;
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::LockGuard lock(mutex_);
       ++results_;
     }
     send_frame(stream, result_frame(result, /*cached=*/false));
@@ -523,10 +550,10 @@ void Server::cmd_evict(const Frame& frame, ByteStream& stream) {
 }
 
 ServerStats Server::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::LockGuard lock(mutex_);
   ServerStats s;
   s.sessions_total = sessions_total_;
-  s.sessions_active = session_fds_.size();
+  s.sessions_active = sessions_.size();
   s.frames = frames_;
   s.queries = queries_;
   s.results = results_;

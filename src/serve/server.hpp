@@ -55,16 +55,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <unordered_set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "exec/thread_pool.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
+#include "util/sync.hpp"
 
 namespace enb::serve {
 
@@ -147,6 +148,11 @@ class Server {
 
   [[nodiscard]] bool stopping() const;
 
+  // Joins every thread a finished session has parked in retired_. Runs in
+  // the accept loop (so handles do not pile up) and once after the session
+  // table drains.
+  void reap_retired();
+
   ServerOptions options_;
   HandleRegistry registry_;
   ResultCache cache_;
@@ -154,13 +160,18 @@ class Server {
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
 
-  mutable std::mutex mutex_;  // guards session_fds_ and the counters below
-  std::condition_variable idle_cv_;
-  std::unordered_set<int> session_fds_;
-  std::uint64_t sessions_total_ = 0;
-  std::uint64_t frames_ = 0;
-  std::uint64_t queries_ = 0;
-  std::uint64_t results_ = 0;
+  mutable util::Mutex mutex_;
+  util::CondVar idle_cv_;
+  // Live sessions by fd, each owning its thread. A session thread cannot
+  // join itself, so at end-of-life it moves its own handle to retired_ for
+  // the accept loop to reap; run() returns only after sessions_ drains and
+  // retired_ is joined — no thread ever outlives the server.
+  std::unordered_map<int, std::thread> sessions_ ENB_GUARDED_BY(mutex_);
+  std::vector<std::thread> retired_ ENB_GUARDED_BY(mutex_);
+  std::uint64_t sessions_total_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t frames_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t queries_ ENB_GUARDED_BY(mutex_) = 0;
+  std::uint64_t results_ ENB_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace enb::serve

@@ -1,0 +1,98 @@
+// Annotated synchronization primitives: std::mutex / lock_guard /
+// unique_lock / condition_variable wrapped so clang's thread-safety
+// analysis (util/thread_annotations.hpp) can see which lock guards which
+// member. Zero-overhead: every method is an inline forward to the std
+// type, and the attributes vanish off clang.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace enb::util {
+
+class CondVar;
+class LockGuard;
+class UniqueLock;
+
+// A std::mutex declared as a capability, so members can be annotated
+// ENB_GUARDED_BY(mutex_) and functions ENB_REQUIRES(mutex_).
+class ENB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ENB_ACQUIRE() { mutex_.lock(); }
+  void unlock() ENB_RELEASE() { mutex_.unlock(); }
+
+  // Tells the analysis this mutex is held without taking it — for lambdas
+  // (condition-variable predicates, evaluator callbacks) that always run
+  // under a lock acquired by their caller, where the acquisition is out of
+  // the analysis's intraprocedural sight. Runtime no-op.
+  void assert_held() const ENB_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class LockGuard;
+  friend class UniqueLock;
+  mutable std::mutex mutex_;
+};
+
+// std::lock_guard over util::Mutex.
+class ENB_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) ENB_ACQUIRE(mutex) : lock_(mutex.mutex_) {}
+  ~LockGuard() ENB_RELEASE() {}
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+// std::unique_lock over util::Mutex: a scoped capability that can be
+// dropped and re-acquired mid-scope (the registry's load-outside-the-lock
+// pattern) and that CondVar can wait on. The analysis checks call sites
+// against the scoped shape: held on construction, held again by the time
+// the scope ends. (At runtime an unlocked UniqueLock destructs safely —
+// the inner std::unique_lock tracks ownership.)
+class ENB_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) ENB_ACQUIRE(mutex) : lock_(mutex.mutex_) {}
+  ~UniqueLock() ENB_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ENB_ACQUIRE() { lock_.lock(); }
+  void unlock() ENB_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// std::condition_variable waiting on a UniqueLock. From the analysis's
+// point of view the capability stays held across wait() — which matches
+// the caller's contract: guarded state may be touched before and after the
+// wait, never during (the mutex is atomically released while sleeping and
+// re-held on wakeup).
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Predicate>
+  void wait(UniqueLock& lock, Predicate predicate) {
+    while (!predicate()) wait(lock);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace enb::util

@@ -1,0 +1,43 @@
+// Macros for clang's thread-safety analysis (-Wthread-safety): a static
+// checker that proves, at compile time, that every access to a
+// lock-protected member happens with its lock held. The attributes expand
+// to nothing under other compilers (gcc builds them as plain code), so the
+// annotations cost nothing outside the dedicated clang CI lane, which
+// builds with -Werror=thread-safety.
+//
+// Vocabulary (see util/sync.hpp for the annotated primitives):
+//   ENB_CAPABILITY("mutex")      on a class: instances are lockable things.
+//   ENB_GUARDED_BY(mu)           on a member: reads/writes require mu held.
+//   ENB_PT_GUARDED_BY(mu)        on a pointer member: the *pointee* requires
+//                                mu held (the pointer itself does not).
+//   ENB_REQUIRES(mu)             on a function: callers must hold mu.
+//   ENB_ACQUIRE(mu) / ENB_RELEASE(mu)
+//                                the function takes / drops mu.
+//   ENB_EXCLUDES(mu)             callers must NOT hold mu (deadlock guard).
+//   ENB_SCOPED_CAPABILITY        RAII classes whose ctor acquires and dtor
+//                                releases.
+//   ENB_ASSERT_CAPABILITY(mu)    runtime no-op that tells the analysis mu is
+//                                held — for lambdas that run under a lock
+//                                taken by their caller (CV predicates).
+//   ENB_NO_THREAD_SAFETY_ANALYSIS
+//                                opt a function out (init/destroy paths).
+#pragma once
+
+#if defined(__clang__)
+#define ENB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ENB_THREAD_ANNOTATION(x)
+#endif
+
+#define ENB_CAPABILITY(x) ENB_THREAD_ANNOTATION(capability(x))
+#define ENB_SCOPED_CAPABILITY ENB_THREAD_ANNOTATION(scoped_lockable)
+#define ENB_GUARDED_BY(x) ENB_THREAD_ANNOTATION(guarded_by(x))
+#define ENB_PT_GUARDED_BY(x) ENB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ENB_REQUIRES(...) ENB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ENB_ACQUIRE(...) ENB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ENB_RELEASE(...) ENB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ENB_EXCLUDES(...) ENB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ENB_ASSERT_CAPABILITY(x) ENB_THREAD_ANNOTATION(assert_capability(x))
+#define ENB_RETURN_CAPABILITY(x) ENB_THREAD_ANNOTATION(lock_returned(x))
+#define ENB_NO_THREAD_SAFETY_ANALYSIS \
+  ENB_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -197,5 +197,31 @@ TEST(CliArgs, ClientVerbTokensStayPositional) {
   EXPECT_EQ(args.positional[4], "eps=0.02");
 }
 
+TEST(CliArgs, LintFlagsParse) {
+  const Args args =
+      parse_args({"lint", "c17.bench", "--json", "lint.json"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.positional,
+            (std::vector<std::string>{"lint", "c17.bench"}));
+  EXPECT_EQ(args.json, "lint.json");
+
+  const Args trailing = parse_args({"lint", "c17.bench", "--json"});
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.error.find("--json"), std::string::npos)
+      << trailing.error;
+}
+
+TEST(CliArgs, KnownCommandVocabularyCoversEverySubcommand) {
+  for (const char* command :
+       {"profile", "analyze", "sweep", "batch", "faultsim", "lint", "serve",
+        "client", "gen", "list"}) {
+    EXPECT_TRUE(is_known_command(command)) << command;
+  }
+  EXPECT_FALSE(is_known_command("frobnicate"));
+  EXPECT_FALSE(is_known_command(""));
+  EXPECT_FALSE(is_known_command("LINT"));  // commands are case-sensitive
+  EXPECT_EQ(known_commands().size(), 10u);
+}
+
 }  // namespace
 }  // namespace enb::cli

@@ -219,6 +219,56 @@ TEST_F(ServeServerTest, FaultCampaignCacheKeysSeparateSpecFromPolicy) {
   EXPECT_EQ(served_json(sampled_again), served_json(sampled));
 }
 
+TEST_F(ServeServerTest, LintRidesServeAndTheResultCache) {
+  start();
+  Client client(path());
+  const std::string manifest = "chk kind=lint circuit=c17\n";
+  const QueryOutcome cold = client.batch(manifest);
+  ASSERT_EQ(cold.results.size(), 1u);
+  EXPECT_TRUE(cold.results[0].ok);
+  EXPECT_EQ(cold.cached, 0u);
+  EXPECT_EQ(served_json(cold), offline_json(manifest));
+
+  const QueryOutcome warm = client.batch(manifest);
+  EXPECT_EQ(warm.cached, 1u);
+  EXPECT_EQ(served_json(warm), served_json(cold));
+
+  const QueryOutcome analyzed =
+      client.analyze("c17", "lint", {"name=renamed"});
+  ASSERT_EQ(analyzed.results.size(), 1u);
+  EXPECT_TRUE(analyzed.results[0].ok);
+  EXPECT_EQ(analyzed.cached, 1u);  // display name is not part of the key
+}
+
+TEST_F(ServeServerTest, ShutdownUnderLoadJoinsEverySession) {
+  start();
+  // Several clients keep the server busy with real evaluations while the
+  // stop lands mid-flight. Every in-flight session must be joined by run()
+  // — not detached — so no session thread outlives the Server object
+  // (TearDown destroys it right after this returns).
+  std::vector<std::thread> workers;
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&] {
+      try {
+        for (int round = 0; round < 8; ++round) {
+          Client client(path());
+          const QueryOutcome outcome = client.batch(kManifest);
+          if (outcome.failed == 0) completed.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        // Expected once the server stops: refused connections or sessions
+        // closed mid-reply. The assertion is the clean join below.
+      }
+    });
+  }
+  ASSERT_TRUE(wait_for([&] { return completed.load() >= 2; }));
+  server_->request_stop();
+  if (runner_.joinable()) runner_.join();  // drains + joins the sessions
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(server_->stats().sessions_active, 0u);
+}
+
 TEST_F(ServeServerTest, ResultCacheSurvivesHandleEviction) {
   start();
   Client client(path());

@@ -11,6 +11,7 @@
 //                   [--exhaustive] [--seed S] [--bundle-width B]
 //                   [--no-collapse] [--check-scalar] [--map K]
 //                   [--threads N] [--ans out.ans] [--json out.json]
+//   enbound lint    <file.bench or suite name> [--json out.json]
 //   enbound serve   --socket <path> [--map K] [--threads N]
 //                   [--max-handles N] [--max-cache N]
 //   enbound client  --socket <path> <verb> [...]
@@ -41,6 +42,7 @@
 
 #include "analysis/analyze.hpp"
 #include "analysis/compiled_circuit.hpp"
+#include "analysis/lint.hpp"
 #include "analysis/request.hpp"
 #include "cli/args.hpp"
 #include "fault/campaign.hpp"
@@ -82,6 +84,7 @@ int usage() {
          "          [--no-collapse] [--check-scalar] [--drop]\n"
          "          [--lanes 64|128|256|512] [--sample N] [--map K]\n"
          "          [--threads N] [--ans out.ans] [--json out.json]\n"
+         "  lint    <file.bench or suite name> [--json out.json]\n"
          "  serve   --socket <path> [--map K] [--threads N]\n"
          "          [--max-handles N] [--max-cache N]\n"
          "  client  --socket <path> load <spec> [name] [--map K]\n"
@@ -94,7 +97,7 @@ int usage() {
          "paper's generic max-fanin-3 library first. batch --stream prints\n"
          "each job as it finishes. Batch manifests hold one job per line:\n"
          "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
-         "         energy-bound|profile|fault-campaign>\n"
+         "         energy-bound|profile|fault-campaign|lint>\n"
          "         circuit=<suite name or .bench path>\n"
          "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
          "         [leakage=L] [mode=random|exhaustive] [drop=0|1]\n"
@@ -299,6 +302,8 @@ const char* headline_metric(analysis::AnalysisKind kind) {
       return "size_s0";
     case analysis::AnalysisKind::kFaultCampaign:
       return "coverage";
+    case analysis::AnalysisKind::kLint:
+      return "errors";
   }
   return "";
 }
@@ -380,6 +385,79 @@ int cmd_batch(const Args& args) {
   }
   if (!args.json.empty()) write_json_file(args.json, results);
   return all_ok ? 0 : 2;
+}
+
+// ---- netlist lint --------------------------------------------------------
+
+void json_escape(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << "\\u00" << std::hex << static_cast<int>(c) << std::dec;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+// Lint results carry typed diagnostics, not (metric, value) rows, so the
+// lint subcommand has its own JSON shape instead of write_result_json's.
+void write_lint_json(std::ostream& out, const std::string& name,
+                     const analysis::LintReport& report) {
+  out << "{\"name\": \"";
+  json_escape(out, name);
+  out << "\", \"nodes\": " << report.nodes
+      << ", \"errors\": " << report.errors()
+      << ", \"warnings\": " << report.warnings() << ", \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const analysis::LintDiagnostic& d = report.diagnostics[i];
+    out << (i == 0 ? "" : ", ") << "{\"severity\": \""
+        << analysis::to_string(d.severity) << "\", \"rule\": \""
+        << analysis::to_string(d.rule) << "\", \"site\": \"";
+    json_escape(out, d.site);
+    out << "\", \"message\": \"";
+    json_escape(out, d.message);
+    out << "\"}";
+  }
+  out << "]}\n";
+}
+
+int cmd_lint(const Args& args) {
+  const std::string& spec = args.positional[1];
+  analysis::LintReport report;
+  if (gen::spec_is_path(spec)) {
+    std::ifstream in;
+    int error_exit = kExitProcessing;
+    if (!open_input_file(spec, "circuit", in, error_exit)) return error_exit;
+    std::ostringstream text;
+    text << in.rdbuf();
+    report = analysis::lint_bench_text(text.str(), spec);
+  } else {
+    // Suite circuits are built programmatically, so there is no source text
+    // to scan; the circuit rules are the whole story.
+    report = analysis::lint_circuit(gen::build_circuit_spec(spec));
+  }
+  analysis::write_lint_text(std::cout, report);
+  if (!args.json.empty()) {
+    std::ofstream out(args.json);
+    write_lint_json(out, spec, report);
+    std::cout << "wrote " << args.json << "\n";
+  }
+  return report.clean() ? 0 : kExitProcessing;
 }
 
 // ---- fault campaigns -----------------------------------------------------
@@ -730,6 +808,14 @@ int main(int argc, char** argv) {
   }
   if (args.positional.empty()) return usage();
   const std::string& command = args.positional[0];
+  if (!cli::is_known_command(command)) {
+    std::cerr << "error: unknown command '" << command << "' (valid:";
+    for (const std::string& name : cli::known_commands()) {
+      std::cerr << ' ' << name;
+    }
+    std::cerr << ")\n";
+    return kExitProcessing;
+  }
   try {
     if (command == "list") return cmd_list();
     if (command == "serve") return cmd_serve(args);
@@ -740,6 +826,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "batch") return cmd_batch(args);
     if (command == "faultsim") return cmd_faultsim(args);
+    if (command == "lint") return cmd_lint(args);
     if (command == "gen") return cmd_gen(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
