@@ -96,9 +96,16 @@ AnalysisResult evaluate(const AnalysisRequest& request, exec::Parallelism how) {
                                            : nullptr;
             return fault::run_campaign(request.circuit.circuit(), golden,
                                        spec.options, how);
-          } else {
-            static_assert(std::is_same_v<Spec, LintRequest>);
+          } else if constexpr (std::is_same_v<Spec, LintRequest>) {
             return lint_circuit(request.circuit.circuit(), spec.options);
+          } else {
+            static_assert(std::is_same_v<Spec, CecRequest>);
+            if (!request.golden.has_value()) {
+              throw std::invalid_argument(
+                  "cec requires a golden circuit to compare against");
+            }
+            return check_equivalence(request.circuit.circuit(),
+                                     request.golden->circuit(), spec.options);
           }
         },
         request.options);

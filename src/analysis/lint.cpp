@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/static_reason.hpp"
+#include "fault/untestable.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/topo.hpp"
 
@@ -54,6 +56,12 @@ const char* to_string(LintRule rule) noexcept {
       return "unused-input";
     case LintRule::kExhaustiveCap:
       return "exhaustive-cap";
+    case LintRule::kConstantNet:
+      return "constant-net";
+    case LintRule::kRedundantGate:
+      return "redundant-gate";
+    case LintRule::kUntestableFault:
+      return "untestable-fault";
   }
   return "syntax";
 }
@@ -120,17 +128,23 @@ LintReport lint_circuit(const netlist::Circuit& circuit,
   // A MAJ voter whose fanins are not distinct does not vote over independent
   // replicas: a duplicated driver holds a guaranteed majority, so the
   // redundancy analysis would credit masking the structure cannot deliver.
-  for (netlist::NodeId id = 0; id < circuit.node_count(); ++id) {
-    if (circuit.type(id) != netlist::GateType::kMaj) continue;
-    const std::span<const netlist::NodeId> fanins = circuit.fanins(id);
-    const std::set<netlist::NodeId> distinct(fanins.begin(), fanins.end());
-    if (distinct.size() < fanins.size()) {
-      add(errors, LintSeverity::kError, LintRule::kVoterReplicas,
-          circuit.node_name(id),
-          "majority voter '" + circuit.node_name(id) + "' has only " +
-              std::to_string(distinct.size()) + " distinct driver(s) for " +
-              std::to_string(fanins.size()) +
-              " fanins; the duplicated replica always wins the vote");
+  // A warning, not an error: multiplex restorative stages legitimately wire
+  // one bundle wire into several voter slots (the bundle is the replica
+  // set), so structure alone cannot prove a defect. allow_voter_replicas
+  // silences the rule for those variants.
+  if (!options.allow_voter_replicas) {
+    for (netlist::NodeId id = 0; id < circuit.node_count(); ++id) {
+      if (circuit.type(id) != netlist::GateType::kMaj) continue;
+      const std::span<const netlist::NodeId> fanins = circuit.fanins(id);
+      const std::set<netlist::NodeId> distinct(fanins.begin(), fanins.end());
+      if (distinct.size() < fanins.size()) {
+        add(warnings, LintSeverity::kWarning, LintRule::kVoterReplicas,
+            circuit.node_name(id),
+            "majority voter '" + circuit.node_name(id) + "' has only " +
+                std::to_string(distinct.size()) + " distinct driver(s) for " +
+                std::to_string(fanins.size()) +
+                " fanins; the duplicated replica always wins the vote");
+      }
     }
   }
 
@@ -153,6 +167,66 @@ LintReport lint_circuit(const netlist::Circuit& circuit,
     } else if (netlist::is_input(type) && fanout[id] == 0 && !is_output[id]) {
       add(warnings, LintSeverity::kWarning, LintRule::kUnusedInput, name,
           "primary input '" + name + "' feeds no gate and no output");
+    }
+  }
+
+  // Semantic rules, backed by proofs instead of syntax. Constant nets come
+  // from the implication engine's fixpoint (probing included: a probe-learned
+  // constant is a sound statement about the fault-free circuit, which is all
+  // the linter speaks about). Redundant gates come from structural hashing
+  // with those constants folded in. Untestable faults come from the
+  // tier-one-only prover in fault/untestable.hpp.
+  const ConstantFacts facts = analyze_constants(circuit);
+  for (netlist::NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (!netlist::counts_as_gate(circuit.type(id))) continue;
+    if (facts.proved[id] == LogicValue::kUnknown) continue;
+    const char* value = facts.proved[id] == LogicValue::kOne ? "1" : "0";
+    add(warnings, LintSeverity::kWarning, LintRule::kConstantNet,
+        circuit.node_name(id),
+        "gate '" + circuit.node_name(id) + "' evaluates to " + value +
+            " under every input assignment; fold it to a constant");
+  }
+
+  {
+    StructuralHasher hasher(circuit.num_inputs());
+    const std::vector<std::uint32_t> values =
+        hasher.hash_circuit(circuit, &facts.proved);
+    std::vector<netlist::NodeId> first_node(hasher.num_values(),
+                                            netlist::kInvalidNode);
+    for (netlist::NodeId id = 0; id < circuit.node_count(); ++id) {
+      const netlist::NodeId earlier = first_node[values[id]];
+      if (earlier == netlist::kInvalidNode) {
+        first_node[values[id]] = id;
+        continue;
+      }
+      // Buffers exist to alias nets and constants are constant-net's
+      // business; warn only on gates recomputing earlier logic.
+      if (!netlist::counts_as_gate(circuit.type(id))) continue;
+      if (circuit.type(id) == netlist::GateType::kBuf) continue;
+      if (facts.proved[id] != LogicValue::kUnknown) continue;
+      add(warnings, LintSeverity::kWarning, LintRule::kRedundantGate,
+          circuit.node_name(id),
+          "gate '" + circuit.node_name(id) +
+              "' computes the same function as net '" +
+              circuit.node_name(earlier) + "'; the gates can be merged");
+    }
+  }
+
+  if (circuit.num_outputs() > 0) {
+    const fault::FaultUniverse universe = fault::FaultUniverse::build(circuit);
+    const fault::UntestableReport untestable =
+        fault::find_untestable(circuit, universe);
+    if (untestable.untestable_classes > 0) {
+      add(warnings, LintSeverity::kWarning, LintRule::kUntestableFault,
+          circuit_site(circuit),
+          std::to_string(untestable.untestable_classes) + " of " +
+              std::to_string(universe.num_classes()) +
+              " stuck-at classes are statically untestable (" +
+              std::to_string(untestable.constant_nets) + " constant, " +
+              std::to_string(untestable.dead_nets) + " dead, " +
+              std::to_string(untestable.blocked_nets) +
+              " blocked net(s)); campaigns can prune them with "
+              "prune_untestable");
     }
   }
 

@@ -19,10 +19,22 @@
 //                      is clean enough to build, the circuit rules run too.
 //
 // Severity: kError marks netlists the engines would mis-analyze or reject
-// (cycles, undriven/multi-driven nets, no outputs, starved voters); kWarning
-// marks legal-but-suspect structure (dead logic, unused inputs, inputs past
-// the exhaustive-campaign cap). gen/'s suite circuits lint with zero errors;
-// scale-suite circuits legitimately warn about the exhaustive cap.
+// (cycles, undriven/multi-driven nets, no outputs); kWarning marks
+// legal-but-suspect structure (dead logic, unused inputs, starved voters,
+// inputs past the exhaustive-campaign cap). gen/'s suite circuits lint with
+// zero errors; scale-suite circuits legitimately warn about the exhaustive
+// cap.
+//
+// Beyond the structural rules, three semantic rules are backed by proofs
+// from the static reasoning engine (analysis/static_reason.hpp) and the
+// untestability prover (fault/untestable.hpp) rather than syntax:
+//   constant-net     — a gate net proved to hold the same value under every
+//                      input assignment (implication fixpoint + probing).
+//   redundant-gate   — a gate whose canonical strash value was already
+//                      computed by an earlier net; the diagnostic names it.
+//   untestable-fault — summary warning when the circuit carries stuck-at
+//                      classes no pattern can ever detect (prune them with
+//                      faultsim --prune-untestable).
 #pragma once
 
 #include <cstddef>
@@ -53,6 +65,9 @@ enum class LintRule : std::uint8_t {
   kUnreachable,     // live-looking gate outside every primary-output cone
   kUnusedInput,     // primary input feeding nothing and not an output
   kExhaustiveCap,   // inputs exceed fault::kMaxExhaustiveCampaignInputs
+  kConstantNet,     // gate net proved constant by the implication engine
+  kRedundantGate,   // gate strash-equivalent to an earlier net
+  kUntestableFault, // stuck-at classes proved statically untestable
 };
 
 // Stable kebab-case rule id ("undriven-net") for CLI/JSON output and tests.
@@ -73,6 +88,10 @@ struct LintOptions {
   // Logical-input count above which exhaustive fault campaigns throw
   // ExhaustiveCapError; the linter warns at the same threshold.
   int exhaustive_cap = fault::kMaxExhaustiveCampaignInputs;
+  // Suppress the voter-replicas warning entirely. Multiplex restorative
+  // stages legitimately route one bundle wire into several voter slots, so
+  // ft/ multiplexing variants set this to lint clean.
+  bool allow_voter_replicas = false;
 
   friend bool operator==(const LintOptions&, const LintOptions&) = default;
 };

@@ -26,12 +26,14 @@ static_assert(std::is_same_v<std::variant_alternative_t<6, RequestOptions>,
                              FaultCampaignRequest>);
 static_assert(std::is_same_v<std::variant_alternative_t<7, RequestOptions>,
                              LintRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<8, RequestOptions>,
+                             CecRequest>);
 static_assert(std::variant_size_v<RequestOptions> + 1 ==
               std::variant_size_v<ResultPayload>);
 static_assert(std::is_same_v<
               std::variant_alternative_t<std::variant_size_v<ResultPayload> - 1,
                                          ResultPayload>,
-              LintReport>);
+              CecResult>);
 
 using Metrics = std::vector<std::pair<std::string, double>>;
 
@@ -116,6 +118,18 @@ Metrics flatten(const fault::FaultCampaignResult& f) {
   push(m, "golden_gates", static_cast<double>(f.golden_gates));
   push(m, "gate_overhead", f.gate_overhead);
   push(m, "overhead_per_masked", f.overhead_per_masked);
+  return m;
+}
+
+Metrics flatten(const CecResult& c) {
+  Metrics m;
+  push(m, "equivalent", c.equivalent ? 1.0 : 0.0);
+  push(m, "inconclusive", c.inconclusive ? 1.0 : 0.0);
+  push(m, "outputs", static_cast<double>(c.outputs));
+  push(m, "refuted", static_cast<double>(c.refuted));
+  push(m, "proved_structural", static_cast<double>(c.proved_structural));
+  push(m, "proved_bdd", static_cast<double>(c.proved_bdd));
+  push(m, "signature_words", static_cast<double>(c.signature_words));
   return m;
 }
 
@@ -267,12 +281,24 @@ std::string spec_of(const FaultCampaignRequest& r) {
       .field("collapse", r.options.collapse)
       .field("drop", r.options.drop)
       .field("sample", r.options.sample)
+      .field("prune", r.options.prune_untestable)
       .str();
 }
 
 std::string spec_of(const LintRequest& r) {
   return SpecWriter("lint")
       .field("exhaustive_cap", r.options.exhaustive_cap)
+      .field("allow_voter_replicas", r.options.allow_voter_replicas)
+      .str();
+}
+
+std::string spec_of(const CecRequest& r) {
+  // Both circuit fingerprints are part of the serve cache key (the second
+  // circuit is the request's golden handle); the spec covers the knobs.
+  return SpecWriter("cec")
+      .field("seed", r.options.seed)
+      .field("signature_words", r.options.signature_words)
+      .field("bdd_node_limit", r.options.bdd_node_limit)
       .str();
 }
 
@@ -300,6 +326,8 @@ const char* to_string(AnalysisKind kind) noexcept {
       return "fault-campaign";
     case AnalysisKind::kLint:
       return "lint";
+    case AnalysisKind::kCec:
+      return "cec";
   }
   return "unknown";
 }
@@ -315,6 +343,7 @@ std::optional<AnalysisKind> parse_analysis_kind(std::string_view name) {
   if (canonical == "profile") return AnalysisKind::kProfile;
   if (canonical == "fault-campaign") return AnalysisKind::kFaultCampaign;
   if (canonical == "lint") return AnalysisKind::kLint;
+  if (canonical == "cec") return AnalysisKind::kCec;
   return std::nullopt;
 }
 

@@ -20,6 +20,7 @@
 
 #include "analysis/compiled_circuit.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/static_reason.hpp"
 #include "core/analyzer.hpp"
 #include "core/energy_bound.hpp"
 #include "core/profile.hpp"
@@ -39,6 +40,7 @@ enum class AnalysisKind {
   kProfile,       // (s, S0, sw0, k, d0) profile extraction
   kFaultCampaign, // stuck-at fault campaign (coverage / masking vs golden)
   kLint,          // structural netlist lint (typed diagnostics)
+  kCec,           // combinational equivalence check (circuit vs golden)
 };
 
 [[nodiscard]] const char* to_string(AnalysisKind kind) noexcept;
@@ -92,11 +94,19 @@ struct LintRequest {
   LintOptions options;
 };
 
+struct CecRequest {
+  // The second circuit of the comparison rides the request's golden handle
+  // — the same slot every vs-reference analysis uses — so the serve result
+  // cache covers both fingerprints with zero new plumbing. A CecRequest
+  // without a golden handle is an error.
+  CecOptions options;
+};
+
 // Alternative order mirrors AnalysisKind (kind() relies on it).
 using RequestOptions =
     std::variant<ReliabilityRequest, WorstCaseRequest, ActivityRequest,
                  SensitivityRequest, EnergyBoundRequest, ProfileRequest,
-                 FaultCampaignRequest, LintRequest>;
+                 FaultCampaignRequest, LintRequest, CecRequest>;
 
 struct AnalysisRequest {
   std::string name;
@@ -119,7 +129,8 @@ struct AnalysisRequest {
 using ResultPayload =
     std::variant<std::monostate, sim::ReliabilityResult, sim::WorstCaseResult,
                  sim::ActivityResult, sim::SensitivityResult, core::BoundReport,
-                 core::CircuitProfile, fault::FaultCampaignResult, LintReport>;
+                 core::CircuitProfile, fault::FaultCampaignResult, LintReport,
+                 CecResult>;
 
 // Per-request outcome. Failures are isolated: a request whose options are
 // invalid (or whose evaluation throws) reports ok = false with the error

@@ -1,0 +1,173 @@
+// Static reasoning over the netlist IR: constant propagation, FIRE-style
+// implication learning, structural hashing, and combinational equivalence
+// checking. This layer proves facts about a circuit without simulating a
+// single pattern — it is the semantic counterpart to the syntactic linter
+// and the correctness oracle the `harden` optimizer calls on every
+// candidate rewrite.
+//
+// Three provers live here:
+//
+//   analyze_constants  — a two-tier constant prover. Tier one is plain
+//       forward propagation from constant gates (a gate whose output is
+//       forced by already-proved-constant fanins is itself constant); its
+//       proofs survive any single stuck-at fault on a net that is not
+//       itself proved constant, which is what makes them usable for
+//       untestability arguments (see fault/untestable.hpp). Tier two adds
+//       backward implications and probing: assume net = 0 and net = 1 in
+//       turn, push direct implications (forward gate evaluation with
+//       partial values plus backward controlling-value rules) to a
+//       fixpoint, and learn a constant whenever one branch contradicts
+//       itself or both branches agree on some other net. Tier-two facts
+//       hold for the fault-free circuit only.
+//
+//   StructuralHasher   — functional-flavored structural hashing. Every cone
+//       maps to a canonical value id; NAND/NOR/XNOR normalize to
+//       NOT(AND/OR/XOR), fanins sort and dedupe, constants fold,
+//       BUF(x) = x, NOT(NOT(x)) = x, XOR cancels equal pairs, and
+//       MAJ(r, r, x) = r. Two cones with equal ids compute the same
+//       function; hashing two circuits into one hasher makes the ids
+//       comparable across circuits, which is how CEC discharges
+//       TMR'd / strash-rewritten variants without touching a BDD.
+//
+//   check_equivalence  — three-stage CEC: (1) 64-bit random-simulation
+//       signatures refute inequivalent output pairs almost instantly and
+//       name the first differing output; (2) surviving pairs are
+//       discharged structurally via a shared StructuralHasher; (3) the
+//       remainder goes to the bdd/ engine (one shared manager, inputs
+//       mapped positionally), where Ref equality is exact functional
+//       equivalence. A BDD node-budget blowout is reported as
+//       `inconclusive`, never as a verdict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace enb::analysis {
+
+// Three-valued lattice for per-net facts.
+enum class LogicValue : std::uint8_t { kUnknown = 0, kZero = 1, kOne = 2 };
+
+[[nodiscard]] constexpr LogicValue to_logic(bool value) noexcept {
+  return value ? LogicValue::kOne : LogicValue::kZero;
+}
+[[nodiscard]] constexpr LogicValue negate(LogicValue value) noexcept {
+  if (value == LogicValue::kZero) return LogicValue::kOne;
+  if (value == LogicValue::kOne) return LogicValue::kZero;
+  return LogicValue::kUnknown;
+}
+
+struct StaticReasonOptions {
+  // Probe-learning sweeps over all nets; each sweep is a full implication
+  // fixpoint per (net, value) pair. The cap bounds pathological circuits;
+  // real netlists converge in one or two rounds.
+  int max_probe_rounds = 3;
+};
+
+struct ConstantFacts {
+  // Tier one: constants provable by forward propagation from constant
+  // gates alone. The derivation of every entry is supported entirely by
+  // other proved-constant nets, so these values still hold in any faulty
+  // circuit whose stuck-at site is a net *outside* this set — the property
+  // the untestability prover depends on.
+  std::vector<LogicValue> forward;
+  // Tier two: the full implication/probing fixpoint (a superset of
+  // `forward`). Sound for the fault-free circuit only; lint, strash and
+  // CEC material.
+  std::vector<LogicValue> proved;
+  std::size_t probes = 0;          // (net, value) probes performed
+  std::size_t learned = 0;         // constants proved beyond `forward`
+  std::size_t probe_rounds = 0;    // sweeps until fixpoint (or the cap)
+};
+
+[[nodiscard]] ConstantFacts analyze_constants(
+    const netlist::Circuit& circuit, const StaticReasonOptions& options = {});
+
+// Canonical value ids: 0 = const0, 1 = const1, 2 + i = primary input i,
+// then interned gate classes. Input ids are positional, so hashing two
+// circuits with the same input count into one hasher yields directly
+// comparable ids.
+class StructuralHasher {
+ public:
+  explicit StructuralHasher(std::size_t num_inputs);
+
+  // Canonical id per node of `circuit` (indexed by NodeId). When
+  // `constants` is non-null, nets proved constant fold to the constant ids
+  // regardless of their structure. Throws std::invalid_argument when the
+  // circuit has more inputs than the hasher was sized for.
+  std::vector<std::uint32_t> hash_circuit(
+      const netlist::Circuit& circuit,
+      const std::vector<LogicValue>* constants = nullptr);
+
+  [[nodiscard]] static constexpr std::uint32_t const_id(bool value) noexcept {
+    return value ? 1u : 0u;
+  }
+  [[nodiscard]] std::uint32_t input_id(std::size_t position) const;
+
+  // Total distinct values interned so far (constants + inputs + classes).
+  [[nodiscard]] std::size_t num_values() const noexcept { return next_id_; }
+
+ private:
+  struct Key {
+    std::uint8_t op;  // static_cast<uint8_t>(GateType): kAnd/kOr/kXor/kMaj
+    std::vector<std::uint32_t> args;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  std::uint32_t intern(netlist::GateType op, std::vector<std::uint32_t> args);
+  std::uint32_t make_not(std::uint32_t arg);
+  std::uint32_t make_and_or(netlist::GateType op,
+                            std::vector<std::uint32_t> args);
+  std::uint32_t make_xor(std::vector<std::uint32_t> args);
+  std::uint32_t make_maj(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+  [[nodiscard]] bool complements(std::uint32_t a, std::uint32_t b) const;
+
+  std::size_t num_inputs_;
+  std::uint32_t next_id_;
+  std::unordered_map<Key, std::uint32_t, KeyHash> classes_;
+  std::unordered_map<std::uint32_t, std::uint32_t> not_cache_;
+  // not_arg_[id] = x when id was interned as NOT(x); kNoNot otherwise.
+  std::vector<std::uint32_t> not_arg_;
+};
+
+struct CecOptions {
+  std::uint64_t seed = 0xCEC5;
+  // 64 random patterns per signature word.
+  int signature_words = 8;
+  // Node budget for the BDD fallback stage; exhaustion is `inconclusive`.
+  std::size_t bdd_node_limit = std::size_t{1} << 22;
+
+  friend bool operator==(const CecOptions&, const CecOptions&) = default;
+};
+
+struct CecResult {
+  bool equivalent = false;
+  // True when the BDD stage ran out of nodes before reaching a verdict on
+  // some output pair; `equivalent` is false but nothing was refuted.
+  bool inconclusive = false;
+  std::uint64_t outputs = 0;
+  std::uint64_t refuted = 0;            // output pairs refuted (sim or BDD)
+  std::uint64_t proved_structural = 0;  // discharged by StructuralHasher
+  std::uint64_t proved_bdd = 0;         // discharged by the bdd/ engine
+  std::uint64_t signature_words = 0;
+  // Name (in circuit `a`) of the first output pair proved different;
+  // empty when nothing was refuted.
+  std::string first_mismatch_output;
+
+  friend bool operator==(const CecResult&, const CecResult&) = default;
+};
+
+// Combinational equivalence of `a` and `b` under positional input/output
+// mapping. Throws std::invalid_argument when the interfaces disagree
+// (input or output counts differ) — the circuits are not even comparable.
+[[nodiscard]] CecResult check_equivalence(const netlist::Circuit& a,
+                                          const netlist::Circuit& b,
+                                          const CecOptions& options = {});
+
+}  // namespace enb::analysis

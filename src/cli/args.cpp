@@ -118,6 +118,14 @@ Args parse_args(const std::vector<std::string>& argv) {
       next_uint64(arg, args.lanes);
     } else if (arg == "--sample") {
       next_uint64(arg, args.sample);
+    } else if (arg == "--prune-untestable") {
+      args.prune_untestable = true;
+    } else if (arg == "--allow-voter-replicas") {
+      args.allow_voter_replicas = true;
+    } else if (arg == "--tmr") {
+      args.gen_tmr = true;
+    } else if (arg == "--strash") {
+      args.gen_strash = true;
     } else if (arg == "--golden") {
       next_value(arg, args.golden);
     } else if (arg == "--ans") {
@@ -139,7 +147,7 @@ Args parse_args(const std::vector<std::string>& argv) {
 
 const std::vector<std::string>& known_commands() {
   static const std::vector<std::string> commands = {
-      "profile", "analyze", "sweep", "batch",  "faultsim",
+      "profile", "analyze", "sweep", "batch",  "faultsim", "cec",
       "lint",    "serve",   "client", "gen",   "list"};
   return commands;
 }

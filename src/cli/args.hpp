@@ -34,7 +34,12 @@ struct Args {
   bool drop = false;             // fault dropping (retire detected classes)
   std::uint64_t lanes = 64;      // SIMD fault lanes per sweep
   std::uint64_t sample = 0;      // sampled class count (0 = full universe)
+  bool prune_untestable = false; // drop statically-untestable classes
   std::string golden;            // golden circuit spec (masking campaigns)
+  // lint / gen knobs.
+  bool allow_voter_replicas = false;  // lint: silence voter-replicas
+  bool gen_tmr = false;               // gen: emit the TMR'd circuit
+  bool gen_strash = false;            // gen: emit the strash-rewritten circuit
   std::string ans;               // .ans output path
   std::string out;
   std::string csv;

@@ -213,6 +213,8 @@ struct JobState {
       ENB_PT_GUARDED_BY(mutex);
   // kLint: single task, single writer.
   std::optional<analysis::LintReport> lint ENB_GUARDED_BY(mutex);
+  // kCec: single task, single writer.
+  std::optional<analysis::CecResult> cec ENB_GUARDED_BY(mutex);
 
   void record_error(const std::string& message) {
     const util::LockGuard lock(mutex);
@@ -332,7 +334,8 @@ void prepare_fault_campaign(const AnalysisRequest& request,
   const Circuit& golden = golden_of(request);
   fault::validate_campaign_inputs(circuit, golden, spec.options);
   state.fault_universe = std::make_shared<const fault::FaultUniverse>(
-      fault::FaultUniverse::build(circuit, spec.options.collapse));
+      fault::FaultUniverse::build(circuit, spec.options.collapse,
+                                  spec.options.prune_untestable));
   state.campaign_counts = std::make_unique<fault::CampaignCounts>(
       state.fault_universe->num_classes());
   const ShardPlan plan = fault::campaign_shard_plan(golden, spec.options);
@@ -366,6 +369,27 @@ void prepare_lint(const AnalysisRequest& request,
   state.finalize = [](JobState& s, AnalysisResult& r) {
     const util::LockGuard lock(s.mutex);
     finish_with_payload(r, std::move(*s.lint));
+  };
+}
+
+void prepare_cec(const AnalysisRequest& request,
+                 const analysis::CecRequest& spec, JobState& state) {
+  (void)request.circuit.circuit();  // throws on an empty handle
+  if (!request.golden.has_value()) {
+    throw std::invalid_argument(
+        "cec requires a golden circuit to compare against");
+  }
+  state.num_tasks = 1;
+  state.run_task = [&spec](JobState& s, std::size_t) {
+    analysis::CecResult result = analysis::check_equivalence(
+        s.request->circuit.circuit(), s.request->golden->circuit(),
+        spec.options);
+    const util::LockGuard lock(s.mutex);
+    s.cec = std::move(result);
+  };
+  state.finalize = [](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.mutex);
+    finish_with_payload(r, std::move(*s.cec));
   };
 }
 
@@ -499,9 +523,11 @@ void prepare(std::size_t job_index, const AnalysisRequest& request,
         } else if constexpr (std::is_same_v<Spec,
                                             analysis::FaultCampaignRequest>) {
           prepare_fault_campaign(request, spec, state);
-        } else {
-          static_assert(std::is_same_v<Spec, analysis::LintRequest>);
+        } else if constexpr (std::is_same_v<Spec, analysis::LintRequest>) {
           prepare_lint(request, spec, state);
+        } else {
+          static_assert(std::is_same_v<Spec, analysis::CecRequest>);
+          prepare_cec(request, spec, state);
         }
       },
       request.options);
@@ -722,10 +748,11 @@ struct ManifestLine {
   std::optional<std::uint64_t> seed;
   std::string mode;  // fault-campaign pattern source: "random" | "exhaustive"
   // Fault-campaign scale knobs (campaign.hpp): drop=0|1, lanes=64|128|256|512,
-  // sample=N classes (0 = full universe).
+  // sample=N classes (0 = full universe), prune=0|1 untestable pruning.
   std::optional<std::uint64_t> drop;
   std::optional<std::uint64_t> lanes;
   std::optional<std::uint64_t> sample;
+  std::optional<std::uint64_t> prune;
 };
 
 std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
@@ -785,6 +812,9 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
         }
       } else if (key == "sample") {
         line.sample = parse_manifest_count(key, value);
+      } else if (key == "prune") {
+        line.prune = parse_manifest_count(key, value);
+        if (*line.prune > 1) throw fail("prune must be 0 or 1");
       } else {
         throw fail("unknown key '" + key + "'");
       }
@@ -799,11 +829,11 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
 
 analysis::RequestOptions manifest_options(const ManifestLine& line) {
   if ((!line.mode.empty() || line.drop.has_value() || line.lanes.has_value() ||
-       line.sample.has_value()) &&
+       line.sample.has_value() || line.prune.has_value()) &&
       line.kind != JobKind::kFaultCampaign) {
     throw std::invalid_argument(
-        "manifest: keys 'mode', 'drop', 'lanes', and 'sample' only apply to "
-        "kind=fault-campaign");
+        "manifest: keys 'mode', 'drop', 'lanes', 'sample', and 'prune' only "
+        "apply to kind=fault-campaign");
   }
   switch (line.kind) {
     case JobKind::kReliability: {
@@ -871,12 +901,24 @@ analysis::RequestOptions manifest_options(const ManifestLine& line) {
         spec.options.lanes = *fault::parse_lane_width(*line.lanes);
       }
       if (line.sample.has_value()) spec.options.sample = *line.sample;
+      if (line.prune.has_value()) {
+        spec.options.prune_untestable = (*line.prune != 0);
+      }
       return spec;
     }
     case JobKind::kLint:
       // Structural linting takes no tuning keys; eps/budget/seed are ignored
       // the same way eps is for activity or sensitivity.
       return analysis::LintRequest{};
+    case JobKind::kCec: {
+      // The comparison reference rides golden=, like every vs-reference kind.
+      analysis::CecRequest spec;
+      if (line.seed.has_value()) spec.options.seed = *line.seed;
+      if (line.budget.has_value()) {
+        spec.options.signature_words = static_cast<int>(*line.budget);
+      }
+      return spec;
+    }
   }
   throw std::invalid_argument("manifest: unknown job kind");
 }

@@ -110,7 +110,7 @@ class BatchEvaluator {
 // Parses a job-manifest stream: one request per non-blank, non-comment line,
 //   <name> kind=<kind> circuit=<spec> [golden=<spec>] [eps=E] [delta=D]
 //          [budget=N] [seed=S] [leakage=L] [mode=M] [drop=0|1]
-//          [lanes=64|128|256|512] [sample=N]
+//          [lanes=64|128|256|512] [sample=N] [prune=0|1]
 // `resolve` maps a circuit spec (suite name or .bench path) to a compiled
 // handle — memoize it to share handles (and profile extractions) across
 // jobs naming the same spec. budget= sets the kind's primary Monte-Carlo
@@ -122,9 +122,11 @@ class BatchEvaluator {
 // other kinds):
 // mode= the pattern source (random | exhaustive), drop= fault dropping,
 // lanes= the SIMD lane width (execution policy — not part of the request's
-// canonical spec), sample= the sampled class count (0 = full universe).
-// Throws std::invalid_argument on malformed lines, unknown kinds/keys, or
-// non-numeric values.
+// canonical spec), sample= the sampled class count (0 = full universe),
+// prune= static untestable-class pruning. kind=cec compares circuit= against
+// golden= (required); seed= keys its signature stream and budget= its
+// signature word count. Throws std::invalid_argument on malformed lines,
+// unknown kinds/keys, or non-numeric values.
 [[nodiscard]] std::vector<analysis::AnalysisRequest> parse_manifest_requests(
     std::istream& in,
     const std::function<analysis::CompiledCircuit(const std::string&)>&

@@ -237,17 +237,24 @@ std::vector<std::vector<bool>> shard_pattern_bits(
 std::vector<std::uint32_t> sampled_classes(const FaultUniverse& universe,
                                            const CampaignOptions& options) {
   const std::size_t n = universe.num_classes();
-  std::vector<std::uint32_t> classes(n);
-  std::iota(classes.begin(), classes.end(), 0u);
-  if (options.sample == 0 || options.sample >= n) return classes;
-  // Rank every class by a counter-stream key of the (salted) seed and keep
-  // the `sample` smallest — order-free, shard-independent, and a pure
-  // function of (n, seed, sample). Ties break toward the lower class index
-  // via the pair ordering.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(n);
+  std::vector<std::uint32_t> classes;
+  classes.reserve(n);
+  // Untestable classes leave the active set before sampling: a sample drawn
+  // under pruning grades testable faults only.
   for (std::size_t c = 0; c < n; ++c) {
-    keyed[c] = {exec::stream_seed(options.seed ^ kSampleSalt, c),
-                static_cast<std::uint32_t>(c)};
+    if (options.prune_untestable && universe.class_untestable(c)) continue;
+    classes.push_back(static_cast<std::uint32_t>(c));
+  }
+  if (options.sample == 0 || options.sample >= classes.size()) return classes;
+  // Rank every candidate class by a counter-stream key of the (salted) seed
+  // and keep the `sample` smallest — order-free, shard-independent, and a
+  // pure function of (candidates, seed, sample). Keys are per class index,
+  // so a class's key never depends on pruning. Ties break toward the lower
+  // class index via the pair ordering.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> keyed(classes.size());
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    keyed[i] = {exec::stream_seed(options.seed ^ kSampleSalt, classes[i]),
+                classes[i]};
   }
   const auto cut =
       keyed.begin() + static_cast<std::ptrdiff_t>(options.sample);
@@ -295,6 +302,7 @@ FaultCampaignResult finalize_campaign(const Circuit& circuit,
   result.nets = universe.num_nets();
   result.sites = universe.num_sites();
   result.classes = universe.num_classes();
+  result.untestable = universe.num_untestable();
   result.sampled = sampled_classes(universe, options).size();
   result.patterns = pattern_total(golden, options);
   result.sim_passes = counts.passes;
@@ -314,7 +322,9 @@ FaultCampaignResult finalize_campaign(const Circuit& circuit,
                         ? 0.0
                         : static_cast<double>(result.detected) /
                               static_cast<double>(result.sampled);
-  if (result.sampled < result.classes) {
+  // A pruned full run still grades every *testable* class exactly; only a
+  // genuine sample (fewer than the testable universe) earns an interval.
+  if (result.sampled < result.classes - result.untestable) {
     // The sample is a deterministic subset, graded exactly; the Wilson
     // interval prices what it says about the rest of the universe.
     const sim::ReliabilityResult wilson =
@@ -343,7 +353,7 @@ FaultCampaignResult run_campaign(const Circuit& circuit, const Circuit* golden,
   const Circuit& reference = golden != nullptr ? *golden : circuit;
   validate_campaign_inputs(circuit, reference, options);
   const FaultUniverse universe =
-      FaultUniverse::build(circuit, options.collapse);
+      FaultUniverse::build(circuit, options.collapse, options.prune_untestable);
   const exec::ShardPlan plan = campaign_shard_plan(reference, options);
 
   CampaignCounts total(universe.num_classes());

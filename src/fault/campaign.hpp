@@ -35,6 +35,10 @@
 //           Wilson confidence interval. Changes what is simulated, so it
 //           IS part of the canonical spec, as is drop (it changes
 //           sim_passes).
+//   prune   skip classes the static prover (fault/untestable.hpp) proved
+//           untestable and report coverage over the testable universe.
+//           Per-class records keep universe indexing and stay bit-identical
+//           to the unpruned run on every testable class. Spec-relevant.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +79,13 @@ struct CampaignOptions {
   // Simulate only this many classes, chosen by a deterministic counter
   // stream of the seed (0 = the whole universe). Spec-relevant.
   std::uint64_t sample = 0;
+  // Drop statically-untestable classes (fault/untestable.hpp) from the
+  // active set and the coverage denominator. Class numbering and every
+  // per-class record are unchanged — an untestable class simply reports
+  // "never detected", which is what simulating it would have reported —
+  // so pruned results are bit-identical to unpruned ones restricted to
+  // the testable classes. Changes what is simulated: spec-relevant.
+  bool prune_untestable = false;
   // Physical lanes per sweep. Execution policy, not spec.
   LaneWidth lanes = LaneWidth::k64;
 };
@@ -102,7 +113,9 @@ struct FaultCampaignResult {
   std::uint64_t sites = 0;       // 2 per net, before collapsing
   std::uint64_t classes = 0;     // equivalence classes in the universe
   std::uint64_t sampled = 0;     // classes actually simulated (== classes
-                                 // unless options.sample is set)
+                                 // unless options.sample or
+                                 // options.prune_untestable shrink the set)
+  std::uint64_t untestable = 0;  // classes proved untestable (0 unpruned)
   std::uint64_t detected = 0;    // sampled classes detected by >= 1 pattern
   std::uint64_t patterns = 0;    // logical patterns simulated
   std::uint64_t sim_passes = 0;  // normalized 64-lane sweeps (golden + faulty)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "fault/untestable.hpp"
 #include "netlist/nets.hpp"
 #include "netlist/topo.hpp"
 
@@ -110,7 +111,8 @@ constexpr std::size_t site_index(NodeId node, StuckAt value) noexcept {
 
 }  // namespace
 
-FaultUniverse FaultUniverse::build(const Circuit& circuit, bool collapse) {
+FaultUniverse FaultUniverse::build(const Circuit& circuit, bool collapse,
+                                   bool prune_untestable) {
   FaultUniverse universe;
   const std::vector<netlist::NetInfo> nets = netlist::enumerate_nets(circuit);
   universe.sites_.reserve(nets.size() * 2);
@@ -163,6 +165,13 @@ FaultUniverse FaultUniverse::build(const Circuit& circuit, bool collapse) {
       universe.rep_site_.push_back(root);
     }
     universe.class_of_[s] = class_of_root[root];
+  }
+
+  if (prune_untestable) {
+    const UntestableReport report = find_untestable(circuit, universe);
+    universe.untestable_ = report.class_untestable;
+    universe.num_untestable_ = report.untestable_classes;
+    universe.pruned_ = true;
   }
   return universe;
 }

@@ -46,9 +46,14 @@ class FaultUniverse {
  public:
   // Builds the universe for `circuit`. With `collapse` the structural
   // equivalence rules merge sites into classes; without it every site is its
-  // own class (useful for cross-checking the collapser itself).
+  // own class (useful for cross-checking the collapser itself). With
+  // `prune_untestable` the static prover (fault/untestable.hpp) marks the
+  // classes whose faults provably cannot be detected; class numbering is
+  // unchanged — pruning is a per-class annotation the campaign layer uses
+  // to shrink its active set, never a renumbering.
   [[nodiscard]] static FaultUniverse build(const netlist::Circuit& circuit,
-                                           bool collapse = true);
+                                           bool collapse = true,
+                                           bool prune_untestable = false);
 
   [[nodiscard]] std::size_t num_nets() const noexcept {
     return sites_.size() / 2;
@@ -78,10 +83,23 @@ class FaultUniverse {
     return sites_[rep_site_.at(class_index)];
   }
 
+  // Untestability annotations; all-false (and num_untestable() == 0) when
+  // the universe was built without prune_untestable.
+  [[nodiscard]] bool pruned() const noexcept { return pruned_; }
+  [[nodiscard]] bool class_untestable(std::size_t class_index) const {
+    return pruned_ && untestable_.at(class_index);
+  }
+  [[nodiscard]] std::uint64_t num_untestable() const noexcept {
+    return num_untestable_;
+  }
+
  private:
   std::vector<FaultSite> sites_;       // 2 per net, canonical order
   std::vector<std::size_t> class_of_;  // site index -> class index
   std::vector<std::size_t> rep_site_;  // class index -> lowest site index
+  std::vector<bool> untestable_;       // class index -> proved untestable
+  std::uint64_t num_untestable_ = 0;
+  bool pruned_ = false;
 };
 
 }  // namespace enb::fault

@@ -1,0 +1,138 @@
+#include "fault/untestable.hpp"
+
+#include <cstddef>
+
+#include "analysis/static_reason.hpp"
+#include "netlist/topo.hpp"
+
+namespace enb::fault {
+
+using analysis::LogicValue;
+using netlist::Circuit;
+using netlist::GateType;
+using netlist::NodeId;
+
+namespace {
+
+// True when a difference on fanin net `through` cannot pass gate `id`
+// because another fanin (a different *net* — all fanout branches of the
+// faulted net carry the fault together) is proved constant at the gate's
+// controlling value.
+bool blocks(const Circuit& circuit, NodeId id, NodeId through,
+            const std::vector<LogicValue>& constant) {
+  const GateType type = circuit.type(id);
+  const auto fanins = circuit.fanins(id);
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      for (const NodeId f : fanins) {
+        if (f != through && constant[f] == LogicValue::kZero) return true;
+      }
+      return false;
+    case GateType::kOr:
+    case GateType::kNor:
+      for (const NodeId f : fanins) {
+        if (f != through && constant[f] == LogicValue::kOne) return true;
+      }
+      return false;
+    case GateType::kMaj: {
+      // Two side fanins constant and equal decide the vote regardless of
+      // the third.
+      LogicValue seen = LogicValue::kUnknown;
+      for (const NodeId f : fanins) {
+        if (f == through || constant[f] == LogicValue::kUnknown) continue;
+        if (seen != LogicValue::kUnknown && constant[f] == seen) return true;
+        seen = constant[f];
+      }
+      return false;
+    }
+    default:
+      // XOR/XNOR/NOT/BUF always pass a difference through.
+      return false;
+  }
+}
+
+constexpr std::size_t site_of(NodeId node, StuckAt value) noexcept {
+  return 2 * static_cast<std::size_t>(node) +
+         (value == StuckAt::kOne ? 1 : 0);
+}
+
+}  // namespace
+
+UntestableReport find_untestable(const Circuit& circuit,
+                                 const FaultUniverse& universe) {
+  UntestableReport report;
+  const std::size_t n = circuit.node_count();
+
+  // Tier-one constants only — see the header's soundness argument. Probe
+  // rounds are disabled: their facts would be unsound here and their cost
+  // is the dominant term.
+  analysis::StaticReasonOptions options;
+  options.max_probe_rounds = 0;
+  const std::vector<LogicValue> constant =
+      analysis::analyze_constants(circuit, options).forward;
+
+  const std::vector<bool> live = netlist::reachable_from_outputs(circuit);
+
+  std::vector<bool> is_output(n, false);
+  for (const NodeId out : circuit.outputs()) is_output[out] = true;
+  std::vector<std::vector<NodeId>> fanouts(n);
+  for (NodeId id = 0; id < n; ++id) {
+    for (const NodeId f : circuit.fanins(id)) fanouts[f].push_back(id);
+  }
+
+  // Observability: can a difference on this net reach some output through
+  // at least one chain of unblocked gates? Node ids are topological, so one
+  // reverse scan is the fixpoint (a net's fanouts all have higher ids).
+  std::vector<bool> observable(n, false);
+  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+    if (is_output[id]) {
+      observable[id] = true;
+      continue;
+    }
+    for (const NodeId g : fanouts[id]) {
+      if (observable[g] && !blocks(circuit, g, id, constant)) {
+        observable[id] = true;
+        break;
+      }
+    }
+  }
+
+  report.site_untestable.assign(universe.num_sites(), false);
+  for (NodeId id = 0; id < n; ++id) {
+    const LogicValue value = constant[id];
+    if (value != LogicValue::kUnknown) ++report.constant_nets;
+    if (!live[id]) {
+      // No structural path to any output: nothing about this net is ever
+      // observed. This is the only argument safe for *both* polarities of
+      // a constant net (downstream constant proofs may depend on it).
+      ++report.dead_nets;
+      report.site_untestable[site_of(id, StuckAt::kZero)] = true;
+      report.site_untestable[site_of(id, StuckAt::kOne)] = true;
+    } else if (value == LogicValue::kZero) {
+      report.site_untestable[site_of(id, StuckAt::kZero)] = true;
+    } else if (value == LogicValue::kOne) {
+      report.site_untestable[site_of(id, StuckAt::kOne)] = true;
+    } else if (!observable[id]) {
+      // Live, non-constant, but every path out crosses a gate whose side
+      // input holds the controlling value in the faulty circuit too.
+      ++report.blocked_nets;
+      report.site_untestable[site_of(id, StuckAt::kZero)] = true;
+      report.site_untestable[site_of(id, StuckAt::kOne)] = true;
+    }
+  }
+
+  report.class_untestable.assign(universe.num_classes(), false);
+  for (std::size_t s = 0; s < universe.num_sites(); ++s) {
+    if (report.site_untestable[s]) {
+      ++report.untestable_sites;
+      report.class_untestable[universe.class_of(s)] = true;
+    }
+  }
+  for (const bool u : report.class_untestable) {
+    report.untestable_classes += u ? 1 : 0;
+  }
+  return report;
+}
+
+}  // namespace enb::fault

@@ -1,0 +1,57 @@
+// Static untestability proofs for single stuck-at faults.
+//
+// A fault is *untestable* when no input pattern can both excite it and
+// propagate its effect to a primary output — its faulty circuit computes
+// exactly the fault-free function, so simulating it is pure waste and
+// counting it in a coverage denominator punishes the design for faults that
+// cannot matter. This prover identifies such faults without simulating a
+// single pattern, from three sound arguments:
+//
+//   1. Stuck-at-v on a net proved constant at v: the faulty function is
+//      the fault-free function by definition.
+//   2. A net with no structural path to any primary output: neither
+//      polarity can be observed, ever.
+//   3. A non-constant net whose every path to the outputs is blocked by a
+//      side input proved constant at its gate's controlling value (AND/NAND
+//      side at 0, OR/NOR side at 1, MAJ with the two side fanins constant
+//      and equal): the difference cannot cross the blocked gate.
+//
+// Soundness hinges on *which* constants may block. Only tier-one constants
+// (forward propagation from constant gates — analysis::ConstantFacts::
+// forward) are used: their derivations are supported entirely by other
+// proved-constant nets, so they keep their values in any faulty circuit
+// whose fault site is outside the proved-constant set (induction over
+// topological order). Probe-learned constants do not have this property —
+// a learned constant may silently depend on the very net being faulted —
+// so they are deliberately not consulted here. For the opposite polarity
+// of a constant net (rule 1 covers only stuck-at-its-value), nothing but
+// purely structural deadness (rule 2) is claimed, because downstream
+// constant proofs may depend on that net's constancy.
+//
+// Classes inherit untestability from any member site: the collapsing rules
+// in fault_model.hpp certify *exact* faulty-function equivalence, so one
+// untestable member makes the whole class untestable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "netlist/circuit.hpp"
+
+namespace enb::fault {
+
+struct UntestableReport {
+  std::vector<bool> site_untestable;   // indexed by site (2 per net)
+  std::vector<bool> class_untestable;  // indexed by class
+  std::uint64_t untestable_sites = 0;
+  std::uint64_t untestable_classes = 0;
+  std::uint64_t constant_nets = 0;  // nets proved constant (tier one)
+  std::uint64_t dead_nets = 0;      // nets with no structural path out
+  std::uint64_t blocked_nets = 0;   // live non-constant nets, all paths blocked
+};
+
+[[nodiscard]] UntestableReport find_untestable(const netlist::Circuit& circuit,
+                                               const FaultUniverse& universe);
+
+}  // namespace enb::fault

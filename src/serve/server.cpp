@@ -379,7 +379,8 @@ void Server::cmd_analyze(const Frame& frame, ByteStream& stream) {
     if (key == "handle" || key == "kind" || key == "name") continue;
     if (key == "eps" || key == "delta" || key == "budget" || key == "seed" ||
         key == "leakage" || key == "golden" || key == "mode" ||
-        key == "drop" || key == "lanes" || key == "sample") {
+        key == "drop" || key == "lanes" || key == "sample" ||
+        key == "prune") {
       line += " " + key + "=" + value;
       continue;
     }

@@ -213,14 +213,14 @@ TEST(CliArgs, LintFlagsParse) {
 
 TEST(CliArgs, KnownCommandVocabularyCoversEverySubcommand) {
   for (const char* command :
-       {"profile", "analyze", "sweep", "batch", "faultsim", "lint", "serve",
-        "client", "gen", "list"}) {
+       {"profile", "analyze", "sweep", "batch", "faultsim", "cec", "lint",
+        "serve", "client", "gen", "list"}) {
     EXPECT_TRUE(is_known_command(command)) << command;
   }
   EXPECT_FALSE(is_known_command("frobnicate"));
   EXPECT_FALSE(is_known_command(""));
   EXPECT_FALSE(is_known_command("LINT"));  // commands are case-sensitive
-  EXPECT_EQ(known_commands().size(), 10u);
+  EXPECT_EQ(known_commands().size(), 11u);
 }
 
 }  // namespace

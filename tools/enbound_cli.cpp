@@ -10,12 +10,15 @@
 //   enbound faultsim <file.bench> [--golden spec] [--patterns N]
 //                   [--exhaustive] [--seed S] [--bundle-width B]
 //                   [--no-collapse] [--check-scalar] [--map K]
-//                   [--threads N] [--ans out.ans] [--json out.json]
-//   enbound lint    <file.bench or suite name> [--json out.json]
+//                   [--prune-untestable] [--threads N] [--ans out.ans]
+//                   [--json out.json]
+//   enbound cec     <a.bench> <b.bench> [--map K] [--json out.json]
+//   enbound lint    <file.bench or suite name> [--allow-voter-replicas]
+//                   [--json out.json]
 //   enbound serve   --socket <path> [--map K] [--threads N]
 //                   [--max-handles N] [--max-cache N]
 //   enbound client  --socket <path> <verb> [...]
-//   enbound gen     <name> [-o out.bench]      (suite circuit to .bench)
+//   enbound gen     <name> [--tmr] [--strash] [-o out.bench]
 //   enbound list                                (available suite circuits)
 //
 // All analysis commands run on the analysis layer: the netlist is compiled
@@ -49,7 +52,9 @@
 #include "fault/fault_sim.hpp"
 #include "core/analyzer.hpp"
 #include "exec/batch.hpp"
+#include "ft/nmr.hpp"
 #include "gen/suite.hpp"
+#include "synth/strash.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
 #include "report/csv.hpp"
@@ -83,25 +88,30 @@ int usage() {
          "          [--exhaustive] [--seed S] [--bundle-width B]\n"
          "          [--no-collapse] [--check-scalar] [--drop]\n"
          "          [--lanes 64|128|256|512] [--sample N] [--map K]\n"
-         "          [--threads N] [--ans out.ans] [--json out.json]\n"
-         "  lint    <file.bench or suite name> [--json out.json]\n"
+         "          [--prune-untestable] [--threads N] [--ans out.ans]\n"
+         "          [--json out.json]\n"
+         "  cec     <a.bench> <b.bench> [--map K] [--json out.json]\n"
+         "  lint    <file.bench or suite name> [--allow-voter-replicas]\n"
+         "          [--json out.json]\n"
          "  serve   --socket <path> [--map K] [--threads N]\n"
          "          [--max-handles N] [--max-cache N]\n"
          "  client  --socket <path> load <spec> [name] [--map K]\n"
          "  client  --socket <path> batch <manifest> [--json out.json]\n"
          "  client  --socket <path> analyze <handle> kind=<kind> [key=val...]\n"
          "  client  --socket <path> stats|evict [name]|ping|shutdown\n"
-         "  gen     <name> [-o out.bench]\n"
+         "  gen     <name> [--tmr] [--strash] [-o out.bench]\n"
          "  list\n"
          "notes: --map 0 analyzes netlists as-is; default maps to the\n"
          "paper's generic max-fanin-3 library first. batch --stream prints\n"
-         "each job as it finishes. Batch manifests hold one job per line:\n"
+         "each job as it finishes. cec exits 0 when the circuits are proved\n"
+         "equivalent and 2 when refuted (naming the first differing output)\n"
+         "or inconclusive. Batch manifests hold one job per line:\n"
          "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
-         "         energy-bound|profile|fault-campaign|lint>\n"
+         "         energy-bound|profile|fault-campaign|lint|cec>\n"
          "         circuit=<suite name or .bench path>\n"
          "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
          "         [leakage=L] [mode=random|exhaustive] [drop=0|1]\n"
-         "         [lanes=64|128|256|512] [sample=N]\n"
+         "         [lanes=64|128|256|512] [sample=N] [prune=0|1]\n"
          "exit codes: 0 ok, 1 usage, 2 processing/parse error or failed\n"
          "job, 3 input file missing\n";
   return 1;
@@ -304,6 +314,8 @@ const char* headline_metric(analysis::AnalysisKind kind) {
       return "coverage";
     case analysis::AnalysisKind::kLint:
       return "errors";
+    case analysis::AnalysisKind::kCec:
+      return "equivalent";
   }
   return "";
 }
@@ -438,6 +450,8 @@ void write_lint_json(std::ostream& out, const std::string& name,
 
 int cmd_lint(const Args& args) {
   const std::string& spec = args.positional[1];
+  analysis::LintOptions options;
+  options.allow_voter_replicas = args.allow_voter_replicas;
   analysis::LintReport report;
   if (gen::spec_is_path(spec)) {
     std::ifstream in;
@@ -445,11 +459,11 @@ int cmd_lint(const Args& args) {
     if (!open_input_file(spec, "circuit", in, error_exit)) return error_exit;
     std::ostringstream text;
     text << in.rdbuf();
-    report = analysis::lint_bench_text(text.str(), spec);
+    report = analysis::lint_bench_text(text.str(), spec, options);
   } else {
     // Suite circuits are built programmatically, so there is no source text
     // to scan; the circuit rules are the whole story.
-    report = analysis::lint_circuit(gen::build_circuit_spec(spec));
+    report = analysis::lint_circuit(gen::build_circuit_spec(spec), options);
   }
   analysis::write_lint_text(std::cout, report);
   if (!args.json.empty()) {
@@ -485,6 +499,7 @@ int cmd_faultsim(const Args& args) {
   options.collapse = !args.no_collapse;
   options.drop = args.drop;
   options.sample = args.sample;
+  options.prune_untestable = args.prune_untestable;
   const std::optional<fault::LaneWidth> lanes =
       fault::parse_lane_width(args.lanes);
   if (!lanes.has_value()) {
@@ -514,7 +529,8 @@ int cmd_faultsim(const Args& args) {
   std::optional<fault::FaultUniverse> universe;
   std::optional<fault::DetectionTable> table;
   if (args.check_scalar || !args.ans.empty()) {
-    universe = fault::FaultUniverse::build(circuit, options.collapse);
+    universe = fault::FaultUniverse::build(circuit, options.collapse,
+                                           options.prune_untestable);
     table = fault::build_detection_table(circuit, reference, *universe,
                                          options, how);
   }
@@ -527,6 +543,10 @@ int cmd_faultsim(const Args& args) {
   t.add_row({std::string("fault sites"), std::to_string(result.sites)});
   t.add_row({std::string("collapsed classes"),
              std::to_string(result.classes)});
+  if (options.prune_untestable) {
+    t.add_row({std::string("untestable classes"),
+               std::to_string(result.untestable)});
+  }
   t.add_row({std::string("sampled classes"), std::to_string(result.sampled)});
   t.add_row({std::string("patterns"), std::to_string(result.patterns)});
   t.add_row({std::string("detected classes"),
@@ -543,9 +563,10 @@ int cmd_faultsim(const Args& args) {
   std::cout << t.to_text();
   std::cout << "coverage " << report::format_double(result.coverage, 6) << " ("
             << result.detected << "/" << result.sampled
+            << (options.prune_untestable ? " testable" : "")
             << " classes), masked_fraction "
             << report::format_double(result.masked_fraction, 6) << "\n";
-  if (result.sampled < result.classes) {
+  if (result.sampled < result.classes - result.untestable) {
     std::cout << "coverage_ci ["
               << report::format_double(result.coverage_ci_low, 6) << ", "
               << report::format_double(result.coverage_ci_high, 6)
@@ -602,6 +623,57 @@ int cmd_faultsim(const Args& args) {
     results.push_back(analysis::make_result(compiled.name(), result));
     write_json_file(args.json, results);
   }
+  return 0;
+}
+
+// ---- combinational equivalence checking ----------------------------------
+
+int cmd_cec(const Args& args) {
+  if (args.positional.size() < 3) {
+    std::cerr << "error: cec needs two circuits to compare\n";
+    return 1;
+  }
+  for (std::size_t p = 1; p <= 2; ++p) {
+    if (circuit_file_missing(args.positional[p])) {
+      std::cerr << "error: circuit file not found: " << args.positional[p]
+                << "\n";
+      return kExitMissingInput;
+    }
+  }
+  const analysis::CompiledCircuit a = load_compiled(args, args.positional[1]);
+  const analysis::CompiledCircuit b = load_compiled(args, args.positional[2]);
+  const analysis::CecResult result =
+      analysis::check_equivalence(a.circuit(), b.circuit());
+
+  report::Table t({"field", "value"});
+  t.add_row({std::string("circuit a"), a.name()});
+  t.add_row({std::string("circuit b"), b.name()});
+  t.add_row({std::string("outputs"), std::to_string(result.outputs)});
+  t.add_row({std::string("proved structural"),
+             std::to_string(result.proved_structural)});
+  t.add_row({std::string("proved bdd"), std::to_string(result.proved_bdd)});
+  t.add_row({std::string("refuted"), std::to_string(result.refuted)});
+  std::cout << t.to_text();
+
+  if (!args.json.empty()) {
+    std::vector<analysis::AnalysisResult> results;
+    results.push_back(
+        analysis::make_result(a.name() + "_vs_" + b.name(), result));
+    write_json_file(args.json, results);
+  }
+
+  if (result.refuted > 0) {
+    std::cout << "not equivalent: output '" << result.first_mismatch_output
+              << "' differs\n";
+    return kExitProcessing;
+  }
+  if (result.inconclusive) {
+    std::cout << "inconclusive: BDD node limit exceeded before every output "
+                 "pair was discharged\n";
+    return kExitProcessing;
+  }
+  std::cout << "equivalent (" << result.proved_structural << " structural, "
+            << result.proved_bdd << " bdd)\n";
   return 0;
 }
 
@@ -772,7 +844,13 @@ int cmd_client(const Args& args) {
 
 int cmd_gen(const Args& args) {
   const gen::BenchmarkSpec spec = gen::find_benchmark(args.positional[1]);
-  const netlist::Circuit circuit = spec.build();
+  netlist::Circuit circuit = spec.build();
+  // Structure-changing emit modes, applied in redundancy-then-rewrite order:
+  // --tmr triplicates with a majority voter, --strash merges structurally
+  // identical gates. Both preserve the logical function, which is exactly
+  // what `enbound cec` is expected to prove.
+  if (args.gen_tmr) circuit = ft::nmr_transform(circuit).circuit;
+  if (args.gen_strash) circuit = synth::strash(circuit);
   if (args.out.empty()) {
     netlist::write_bench(circuit, std::cout);
   } else {
@@ -826,6 +904,7 @@ int main(int argc, char** argv) {
     if (command == "sweep") return cmd_sweep(args);
     if (command == "batch") return cmd_batch(args);
     if (command == "faultsim") return cmd_faultsim(args);
+    if (command == "cec") return cmd_cec(args);
     if (command == "lint") return cmd_lint(args);
     if (command == "gen") return cmd_gen(args);
   } catch (const std::exception& e) {
