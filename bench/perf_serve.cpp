@@ -20,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
+#include "obs/metrics.hpp"
 #include "report/table.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -107,6 +108,27 @@ int main() {
             << " warm cache hits:\n"
             << table.to_text();
 
+  // The server ran in-process, so its per-verb request histograms are in
+  // this process's global registry: batch covers the two sweep submissions
+  // (cold + warm), ping the protocol-floor round trips.
+  const obs::Histogram::Snapshot batch_lat =
+      obs::Registry::global()
+          .histogram("serve-request-seconds", "verb", "batch")
+          .snapshot();
+  const obs::Histogram::Snapshot ping_lat =
+      obs::Registry::global()
+          .histogram("serve-request-seconds", "verb", "ping")
+          .snapshot();
+  report::Table latency({"verb", "requests", "p50", "p99"});
+  latency.add_row({"batch", std::to_string(batch_lat.count),
+                   report::format_double(batch_lat.quantile(0.5), 6),
+                   report::format_double(batch_lat.quantile(0.99), 6)});
+  latency.add_row({"ping", std::to_string(ping_lat.count),
+                   report::format_double(ping_lat.quantile(0.5), 6),
+                   report::format_double(ping_lat.quantile(0.99), 6)});
+  std::cout << "server-side request latency (histogram estimate):\n"
+            << latency.to_text();
+
   std::ofstream out("BENCH_serve.json");
   out << "{\n  \"benchmark\": \"perf_serve\",\n  \"points\": " << points
       << ",\n  \"smoke\": " << (bench::smoke_mode() ? "true" : "false")
@@ -116,7 +138,12 @@ int main() {
       << ",\n  \"warm_per_request_seconds\": " << per_point_warm
       << ",\n  \"warm_speedup\": " << cold_seconds / warm_seconds
       << ",\n  \"ping_round_trips\": " << ping_reps
-      << ",\n  \"ping_seconds_per_round_trip\": " << per_ping << "\n}\n";
+      << ",\n  \"ping_seconds_per_round_trip\": " << per_ping
+      << ",\n  \"batch_request_p50_seconds\": " << batch_lat.quantile(0.5)
+      << ",\n  \"batch_request_p99_seconds\": " << batch_lat.quantile(0.99)
+      << ",\n  \"ping_request_p50_seconds\": " << ping_lat.quantile(0.5)
+      << ",\n  \"ping_request_p99_seconds\": " << ping_lat.quantile(0.99)
+      << "\n}\n";
   std::cout << "wrote BENCH_serve.json\n";
   return 0;
 }

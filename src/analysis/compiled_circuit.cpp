@@ -4,13 +4,38 @@
 #include <stdexcept>
 #include <utility>
 
+#include <chrono>
+
 #include "netlist/bench_io.hpp"
 #include "netlist/topo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "synth/library.hpp"
 #include "synth/mapper.hpp"
 #include "util/sync.hpp"
 
 namespace enb::analysis {
+
+namespace {
+
+// Profile-cache observability: hits (the amortization the handle design
+// buys) vs extractions (the work it avoids repeating), plus extraction
+// wall-clock. Counts only — the cached values themselves are untouched.
+struct ProfileMetrics {
+  obs::Counter& hits =
+      obs::Registry::global().counter("analysis-profile-cache-hits-total");
+  obs::Counter& extractions =
+      obs::Registry::global().counter("analysis-profile-extractions-total");
+  obs::Histogram& seconds =
+      obs::Registry::global().histogram("analysis-extraction-seconds");
+};
+
+ProfileMetrics& profile_metrics() {
+  static ProfileMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 ProfileKey profile_key(const core::ProfileOptions& options) noexcept {
   ProfileKey key;
@@ -94,12 +119,21 @@ const core::CircuitProfile& CompiledCircuit::profile(
   const ProfileKey key = profile_key(options);
   const util::LockGuard lock(impl.mutex);
   for (const auto& [cached_key, cached] : impl.profiles) {
-    if (cached_key == key) return *cached;
+    if (cached_key == key) {
+      profile_metrics().hits.add(1);
+      return *cached;
+    }
   }
   // A miss extracts under the lock: concurrent callers with the same key
   // block here and hit the cache instead of re-extracting.
+  const obs::Span span("profile-extraction", {}, impl.circuit.name());
+  const auto start = std::chrono::steady_clock::now();
   auto extracted = std::make_shared<const core::CircuitProfile>(
       core::extract_profile(impl.circuit, options, how));
+  profile_metrics().seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  profile_metrics().extractions.add(1);
   impl.extractions.fetch_add(1, std::memory_order_relaxed);
   impl.profiles.emplace_back(key, extracted);
   return *impl.profiles.back().second;
@@ -111,7 +145,10 @@ std::optional<core::CircuitProfile> CompiledCircuit::cached_profile(
   const ProfileKey key = profile_key(options);
   const util::LockGuard lock(impl.mutex);
   for (const auto& [cached_key, cached] : impl.profiles) {
-    if (cached_key == key) return *cached;
+    if (cached_key == key) {
+      profile_metrics().hits.add(1);
+      return *cached;
+    }
   }
   return std::nullopt;
 }
@@ -121,6 +158,7 @@ void CompiledCircuit::store_profile(const core::ProfileOptions& options,
   Impl& impl = checked();
   const ProfileKey key = profile_key(options);
   const util::LockGuard lock(impl.mutex);
+  profile_metrics().extractions.add(1);
   impl.extractions.fetch_add(1, std::memory_order_relaxed);
   for (const auto& [cached_key, cached] : impl.profiles) {
     if (cached_key == key) return;  // existing entry wins (values equal)

@@ -146,6 +146,11 @@ struct AnalysisResult {
   // The profile behind a kProfile result or a kEnergyBound extraction.
   std::optional<core::CircuitProfile> profile;
   ResultPayload payload;
+  // Wall-clock from batch prepare to emission, filled by the batch engine
+  // (0 when the result was built another way). Observability only: never
+  // serialized — write_result_json and the cache key ignore it, so timed
+  // and untimed results stay byte-identical.
+  double elapsed_seconds = 0.0;
 
   // The value of `metric`, if present.
   [[nodiscard]] std::optional<double> metric(std::string_view name) const;

@@ -130,6 +130,8 @@ Args parse_args(const std::vector<std::string>& argv) {
       next_value(arg, args.golden);
     } else if (arg == "--ans") {
       next_value(arg, args.ans);
+    } else if (arg == "--trace") {
+      next_value(arg, args.trace);
     } else if (arg == "-o") {
       next_value(arg, args.out);
     } else if (arg == "--csv") {

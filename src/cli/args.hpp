@@ -41,6 +41,7 @@ struct Args {
   bool gen_tmr = false;               // gen: emit the TMR'd circuit
   bool gen_strash = false;            // gen: emit the strash-rewritten circuit
   std::string ans;               // .ans output path
+  std::string trace;             // Chrome trace-event JSON output path
   std::string out;
   std::string csv;
   std::string json;

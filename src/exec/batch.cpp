@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <exception>
@@ -18,6 +19,8 @@
 #include "fault/campaign.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/lanes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/csv.hpp"
 #include "util/numeric.hpp"
 #include "util/sync.hpp"
@@ -88,6 +91,11 @@ struct ExtractionGroup {
 
   std::atomic<std::size_t> remaining{0};
   std::atomic<bool> failed{false};
+  // Stamped at group creation; assemble() observes the extraction histogram
+  // and trace span from it, so the span covers the sharded extraction
+  // wall-clock (queueing included) like the serial path's span does.
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
   std::string error ENB_GUARDED_BY(mutex);
   // Set once by assemble(); dependents read it under the lock in finalize.
   std::optional<core::CircuitProfile> profile ENB_GUARDED_BY(mutex);
@@ -168,6 +176,17 @@ struct ExtractionGroup {
     p.sensitivity_exact = sens.exact;
     circuit.store_profile(options, p);
     profile = std::move(p);
+
+    const auto end = std::chrono::steady_clock::now();
+    static obs::Histogram& seconds =
+        obs::Registry::global().histogram("analysis-extraction-seconds");
+    seconds.observe(std::chrono::duration<double>(end - started).count());
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+      recorder.record("profile-extraction",
+                      obs::SpanHandle{recorder.new_id()}, obs::SpanHandle{},
+                      started, end, c.name());
+    }
   }
 };
 
@@ -176,6 +195,9 @@ struct ExtractionGroup {
 // order never reaches the result.
 struct JobState {
   const AnalysisRequest* request = nullptr;
+  // Prepare-time stamp; emission computes the job's wall-clock elapsed from
+  // it (observability only — never part of the result's serialized bytes).
+  std::chrono::steady_clock::time_point start{};
   std::size_t num_tasks = 0;  // own tasks (excludes the extraction group's)
   std::function<void(JobState&, std::size_t)> run_task;
   std::function<void(JobState&, AnalysisResult&)> finalize;
@@ -544,12 +566,19 @@ void BatchEvaluator::run(const ResultSink& sink) {
   const std::size_t num_jobs = requests_.size();
   std::vector<JobState> states(num_jobs);
   std::deque<ExtractionGroup> groups;  // stable addresses
+  const obs::Span batch_span("batch-run", {},
+                             "jobs=" + std::to_string(num_jobs));
+  static obs::Counter& jobs_total =
+      obs::Registry::global().counter("batch-jobs-total");
+  static obs::Counter& jobs_failed =
+      obs::Registry::global().counter("batch-job-failures-total");
 
   // Phase 1 (serial, cheap): validate every request, size its task space,
   // and group shared profile extractions. A request that fails validation is
   // isolated into an error result and contributes no tasks.
   for (std::size_t j = 0; j < num_jobs; ++j) {
     states[j].request = &requests_[j];
+    states[j].start = std::chrono::steady_clock::now();
     try {
       prepare(j, requests_[j], states[j], groups);
     } catch (const std::exception& e) {
@@ -597,6 +626,19 @@ void BatchEvaluator::run(const ResultSink& sink) {
         result.profile.reset();
         result.payload = std::monostate{};
       }
+    }
+    // Per-job wall-clock and trace event. Observational only: elapsed rides
+    // a field the JSON/CSV writers never serialize, and the trace event is
+    // recorded outside the result entirely.
+    const auto end = std::chrono::steady_clock::now();
+    result.elapsed_seconds =
+        std::chrono::duration<double>(end - state.start).count();
+    jobs_total.add(1);
+    if (!result.ok) jobs_failed.add(1);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    if (recorder.enabled()) {
+      recorder.record("batch-job", obs::SpanHandle{recorder.new_id()},
+                      batch_span.handle(), state.start, end, result.name);
     }
     const util::LockGuard lock(delivery.mutex);
     try {

@@ -1,9 +1,12 @@
 #include "exec/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 namespace enb::exec {
 
@@ -16,8 +19,43 @@ namespace {
 // parallel — the two pools have disjoint workers, so progress is guaranteed.
 thread_local const ThreadPool* t_current_pool = nullptr;
 
+// Execution metrics, shared by every pool in the process. "Steals" are
+// indices drained by pool workers — work the submitting thread posted and
+// did not run inline itself. Queue depth counts submitted-but-undrained
+// indices across in-flight jobs (balanced exactly even on error paths,
+// because it moves per job, not per task).
+struct PoolMetrics {
+  obs::Counter& tasks = obs::Registry::global().counter("exec-tasks-total");
+  obs::Counter& steals =
+      obs::Registry::global().counter("exec-steal-tasks-total");
+  obs::Counter& jobs =
+      obs::Registry::global().counter("exec-parallel-jobs-total");
+  obs::Gauge& queue_depth = obs::Registry::global().gauge("exec-queue-depth");
+  obs::Histogram& task_seconds =
+      obs::Registry::global().histogram("exec-task-seconds");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+
+// Runs one task index under the duration histogram. A throwing task is not
+// observed — its caller's catch handles accounting for the job.
+void timed_task(const std::function<void(std::size_t)>& fn, std::size_t i,
+                bool stolen) {
+  PoolMetrics& metrics = pool_metrics();
+  const auto start = std::chrono::steady_clock::now();
+  fn(i);
+  const auto end = std::chrono::steady_clock::now();
+  metrics.tasks.add(1);
+  if (stolen) metrics.steals.add(1);
+  metrics.task_seconds.observe(
+      std::chrono::duration<double>(end - start).count());
+}
+
 void run_serial(std::size_t count, const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < count; ++i) fn(i);
+  for (std::size_t i = 0; i < count; ++i) timed_task(fn, i, /*stolen=*/false);
 }
 
 }  // namespace
@@ -87,7 +125,7 @@ void ThreadPool::worker_loop() {
       const std::size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job->count) break;
       try {
-        (*job->fn)(i);
+        timed_task(*job->fn, i, /*stolen=*/true);
       } catch (...) {
         const util::LockGuard lock(mutex_);
         if (!job->error) job->error = std::current_exception();
@@ -114,6 +152,8 @@ void ThreadPool::parallel_for(std::size_t count,
   }
 
   const util::LockGuard submit_lock(submit_mutex_);
+  pool_metrics().jobs.add(1);
+  pool_metrics().queue_depth.add(static_cast<double>(count));
   Job job;
   job.count = count;
   job.fn = &fn;
@@ -133,7 +173,7 @@ void ThreadPool::parallel_for(std::size_t count,
     const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job.count) break;
     try {
-      fn(i);
+      timed_task(fn, i, /*stolen=*/false);
     } catch (...) {
       const util::LockGuard lock(mutex_);
       if (!job.error) job.error = std::current_exception();
@@ -142,14 +182,17 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   t_current_pool = previous_pool;
 
+  std::exception_ptr error;
   {
     util::UniqueLock lock(mutex_);
     job_ = nullptr;  // stop new workers from picking the job up
     done_cv_.wait(lock, [&] {
       return job.running.load(std::memory_order_acquire) == 0;
     });
-    if (job.error) std::rethrow_exception(job.error);
+    error = job.error;
   }
+  pool_metrics().queue_depth.add(-static_cast<double>(count));
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

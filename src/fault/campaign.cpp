@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "fault/fault_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/prng.hpp"
 #include "sim/reliability.hpp"
@@ -22,6 +24,29 @@ namespace {
 
 using netlist::Circuit;
 using sim::Word;
+
+// Campaign observability: simulation passes (the work metric every scale
+// feature — dropping, wide lanes, sampling — exists to shrink), classes
+// retired by fault dropping, and lane occupancy (active fault slots vs
+// provisioned lanes; dense until dropping thins the survivors). Counters
+// only — CampaignCounts and the result path are untouched.
+struct FaultMetrics {
+  obs::Counter& passes =
+      obs::Registry::global().counter("fault-sweep-passes-total");
+  obs::Counter& shards =
+      obs::Registry::global().counter("fault-sweep-shards-total");
+  obs::Counter& dropped =
+      obs::Registry::global().counter("fault-dropped-classes-total");
+  obs::Counter& lane_slots =
+      obs::Registry::global().counter("fault-lane-slots-total");
+  obs::Counter& lane_slots_active =
+      obs::Registry::global().counter("fault-lane-slots-active-total");
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics metrics;
+  return metrics;
+}
 
 // Domain separator for the sampling stream, so sampled class choices never
 // correlate with the pattern streams drawn from the same seed.
@@ -84,6 +109,11 @@ CampaignCounts sweep_shard(const Circuit& circuit, const Circuit& golden,
   std::vector<std::uint32_t> lane_outputs;
   const std::size_t row_words =
       (universe.num_classes() + sim::kWordBits - 1) / sim::kWordBits;
+  // Local observability accumulators, published once per shard so the
+  // pattern loop pays no atomics.
+  std::uint64_t obs_slots = 0;
+  std::uint64_t obs_slots_active = 0;
+  std::uint64_t obs_dropped = 0;
 
   for (std::size_t i = 0; i < patterns.size(); ++i) {
     const std::vector<bool>& pattern = patterns[i];
@@ -97,6 +127,9 @@ CampaignCounts sweep_shard(const Circuit& circuit, const Circuit& golden,
       expected[o] = (golden_sim.value(golden.outputs()[o]) & 1) != 0;
     }
     ++counts.passes;  // the golden pass (work the scalar flow pays too)
+    obs_slots += static_cast<std::uint64_t>(sim.num_blocks()) *
+                 static_cast<std::uint64_t>(sim.kLanesPerBlock);
+    obs_slots_active += sim.active().size();
 
     std::vector<Word>* row = nullptr;
     if (table != nullptr) {
@@ -158,10 +191,17 @@ CampaignCounts sweep_shard(const Circuit& circuit, const Circuit& golden,
           survivors.push_back(cls);
         }
       }
+      obs_dropped += sim.active().size() - survivors.size();
       sim.set_active(std::move(survivors));
     }
   }
   counts.passes += sim.passes();
+  FaultMetrics& metrics = fault_metrics();
+  metrics.shards.add(1);
+  metrics.passes.add(counts.passes);
+  metrics.lane_slots.add(obs_slots);
+  metrics.lane_slots_active.add(obs_slots_active);
+  if (obs_dropped > 0) metrics.dropped.add(obs_dropped);
   return counts;
 }
 
@@ -287,6 +327,8 @@ CampaignCounts campaign_shard_counts(const Circuit& circuit,
                                      const FaultUniverse& universe,
                                      const CampaignOptions& options,
                                      const exec::Shard& shard) {
+  const obs::Span span("fault-sweep-shard", {},
+                       "shard=" + std::to_string(shard.index));
   return with_lane_width(options.lanes, [&](auto tag) {
     using V = typename decltype(tag)::type;
     return sweep_shard<V>(circuit, golden, universe, options, shard, nullptr);
@@ -351,6 +393,7 @@ FaultCampaignResult run_campaign(const Circuit& circuit, const Circuit* golden,
                                  const CampaignOptions& options,
                                  exec::Parallelism how) {
   const Circuit& reference = golden != nullptr ? *golden : circuit;
+  const obs::Span span("fault-campaign", {}, circuit.name());
   validate_campaign_inputs(circuit, reference, options);
   const FaultUniverse universe =
       FaultUniverse::build(circuit, options.collapse, options.prune_untestable);

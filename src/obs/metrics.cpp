@@ -1,0 +1,297 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace enb::obs {
+
+namespace {
+
+// Shard selection: each thread sticks to one cacheline for its whole life,
+// so a counter add is an uncontended fetch_add unless two threads hash to
+// the same shard. (Thread-local slot assignment, not span parentage — the
+// no-TLS rule in obs/trace.hpp is about causality, not load spreading.)
+std::size_t counter_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty() || name.front() == '-' || name.back() == '-') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// kebab-case -> Prometheus identifier with the project prefix.
+std::string prometheus_name(const std::string& kebab) {
+  std::string out = "enb_";
+  for (const char c : kebab) out += (c == '-') ? '_' : c;
+  return out;
+}
+
+std::string label_suffix(const std::string& key, const std::string& value) {
+  if (key.empty()) return "";
+  return "{" + key + "=\"" + value + "\"}";
+}
+
+// `le` label carrying an extra label pair when the family has one.
+std::string le_suffix(const std::string& key, const std::string& value,
+                      const std::string& bound) {
+  std::string out = "{";
+  if (!key.empty()) out += key + "=\"" + value + "\",";
+  out += "le=\"" + bound + "\"}";
+  return out;
+}
+
+std::string format_value(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+// ---- Counter --------------------------------------------------------------
+
+void Counter::add(std::uint64_t n) noexcept {
+  shards_[counter_shard() % kShards].value.fetch_add(n,
+                                                     std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---- Gauge ----------------------------------------------------------------
+
+void Gauge::set(double value) noexcept {
+  bits_.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) noexcept {
+  std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t desired =
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(expected) + delta);
+    if (bits_.compare_exchange_weak(expected, desired,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+const std::vector<double>& Histogram::boundaries() {
+  // 10^(k/4) for k in [-28, 8]: 1e-7 s .. 1e2 s, four buckets per decade.
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b(kFiniteBuckets);
+    for (std::size_t k = 0; k < kFiniteBuckets; ++k) {
+      b[k] = std::pow(10.0, (static_cast<double>(k) - 28.0) / 4.0);
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+void Histogram::observe(double seconds) noexcept {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative clock skew
+  const std::vector<double>& bounds = boundaries();
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), seconds) - bounds.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const double nanos = seconds * 1e9;
+  const auto clamped = nanos >= 1.8e19 ? ~std::uint64_t{0}
+                                       : static_cast<std::uint64_t>(nanos);
+  sum_nanos_.fetch_add(clamped, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The observation with (1-based) rank ceil(q * count), located by
+  // cumulative bucket counts and interpolated uniformly within its bucket.
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  const std::vector<double>& bounds = boundaries();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets[i];
+    if (rank > static_cast<double>(cumulative)) continue;
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    // Overflow bucket has no finite upper edge; report its lower edge.
+    if (i >= bounds.size()) return lower;
+    const double fraction =
+        (rank - before) / static_cast<double>(buckets[i]);
+    return lower + (bounds[i] - lower) * fraction;
+  }
+  return bounds.back();
+}
+
+// ---- Registry -------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Record& Registry::find_or_create(std::string_view name, Kind kind,
+                                           std::string_view label_key,
+                                           std::string_view label_value) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: metric name '" + std::string(name) +
+                                "' is not kebab-case");
+  }
+  if (label_key.empty() != label_value.empty()) {
+    throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                "' label key and value must come together");
+  }
+  std::string key(name);
+  key += '\x1f';
+  key += label_value;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    Record& record = records_[it->second];
+    if (record.kind != kind || record.label_key != label_key) {
+      throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                  "' re-registered with a different kind or "
+                                  "label key");
+    }
+    return record;
+  }
+  // New label value joining an existing family must keep the family's shape.
+  for (const Record& existing : records_) {
+    if (existing.name == name &&
+        (existing.kind != kind || existing.label_key != label_key)) {
+      throw std::invalid_argument("obs: metric '" + std::string(name) +
+                                  "' re-registered with a different kind or "
+                                  "label key");
+    }
+  }
+  Record& record = records_.emplace_back();
+  record.name = std::string(name);
+  record.kind = kind;
+  record.label_key = std::string(label_key);
+  record.label_value = std::string(label_value);
+  index_.emplace(std::move(key), records_.size() - 1);
+  return record;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view label_key,
+                           std::string_view label_value) {
+  const util::LockGuard lock(mutex_);
+  Record& record = find_or_create(name, Kind::kCounter, label_key, label_value);
+  if (record.counter == nullptr) record.counter = &counters_.emplace_back();
+  return const_cast<Counter&>(*record.counter);
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view label_key,
+                       std::string_view label_value) {
+  const util::LockGuard lock(mutex_);
+  Record& record = find_or_create(name, Kind::kGauge, label_key, label_value);
+  if (record.gauge == nullptr) record.gauge = &gauges_.emplace_back();
+  return const_cast<Gauge&>(*record.gauge);
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::string_view label_key,
+                               std::string_view label_value) {
+  const util::LockGuard lock(mutex_);
+  Record& record =
+      find_or_create(name, Kind::kHistogram, label_key, label_value);
+  if (record.histogram == nullptr) {
+    record.histogram = &histograms_.emplace_back();
+  }
+  return const_cast<Histogram&>(*record.histogram);
+}
+
+std::string Registry::render_prometheus() const {
+  std::vector<const Record*> sorted;
+  {
+    const util::LockGuard lock(mutex_);
+    sorted.reserve(records_.size());
+    for (const Record& record : records_) sorted.push_back(&record);
+  }
+  // The deques never shrink and instruments are atomic inside, so reading
+  // them outside the lock is safe; only the record list needed the lock.
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Record* a, const Record* b) {
+              if (a->name != b->name) return a->name < b->name;
+              return a->label_value < b->label_value;
+            });
+
+  std::ostringstream out;
+  const std::string* open_family = nullptr;
+  for (const Record* record : sorted) {
+    const std::string name = prometheus_name(record->name);
+    if (open_family == nullptr || *open_family != record->name) {
+      open_family = &record->name;
+      out << "# TYPE " << name << ' '
+          << (record->kind == Kind::kCounter
+                  ? "counter"
+                  : record->kind == Kind::kGauge ? "gauge" : "histogram")
+          << '\n';
+    }
+    switch (record->kind) {
+      case Kind::kCounter:
+        out << name << label_suffix(record->label_key, record->label_value)
+            << ' ' << record->counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << name << label_suffix(record->label_key, record->label_value)
+            << ' ' << format_value(record->gauge->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = record->histogram->snapshot();
+        const std::vector<double>& bounds = Histogram::boundaries();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+          cumulative += snap.buckets[i];
+          const std::string bound =
+              i < bounds.size() ? format_value(bounds[i]) : "+Inf";
+          out << name << "_bucket"
+              << le_suffix(record->label_key, record->label_value, bound)
+              << ' ' << cumulative << '\n';
+        }
+        out << name << "_sum"
+            << label_suffix(record->label_key, record->label_value) << ' '
+            << format_value(snap.sum) << '\n';
+        out << name << "_count"
+            << label_suffix(record->label_key, record->label_value) << ' '
+            << snap.count << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace enb::obs

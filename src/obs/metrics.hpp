@@ -1,0 +1,148 @@
+// Process-wide metrics: sharded counters, double gauges, and fixed-boundary
+// log-scale latency histograms, registered by stable kebab-case name and
+// rendered as Prometheus-style text exposition.
+//
+// Observability is purely observational by contract: nothing here feeds a
+// result, a cache key, or a canonical spec — every instrument is a sink.
+// Updates are lock-free atomics (a counter add is one relaxed fetch_add on
+// a cacheline-private shard), so instrumented hot paths stay hot and the
+// TSan lane stays clean. Registration and exposition serialize on a
+// util::Mutex; the intended pattern caches the instrument reference once:
+//
+//   static obs::Counter& tasks =
+//       obs::Registry::global().counter("exec-tasks-total");
+//   tasks.add(1);
+//
+// Exposition converts kebab-case to the Prometheus grammar with an `enb_`
+// prefix: "serve-requests-total" with label ("verb", "batch") renders as
+//   enb_serve_requests_total{verb="batch"} 12
+// Histogram families render the full _bucket/_sum/_count triplet with
+// cumulative `le` buckets. A snapshot derives its count from one pass over
+// the bucket atomics, so count == sum(buckets) holds within every scrape.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace enb::obs {
+
+// Monotonically increasing event count. Sharded over cachelines so
+// concurrent writers (pool workers, serve sessions) never contend on one
+// atomic; value() sums the shards (monotone, may lag in-flight adds).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept;
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+// Last-write-wins instantaneous value (queue depth, occupancy, uptime).
+// Stored as the bit pattern of a double in one atomic word.
+class Gauge {
+ public:
+  void set(double value) noexcept;
+  void add(double delta) noexcept;  // CAS loop; use for up/down tracking
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // std::bit_cast of the double
+};
+
+// Latency histogram over fixed log-scale boundaries: four buckets per
+// decade from 100 ns to 100 s (inclusive upper bounds), plus an overflow
+// bucket. Fixed boundaries keep observe() allocation-free and make every
+// histogram in the process mergeable/comparable; quantiles interpolate
+// within the owning bucket, which is the usual few-percent-accurate
+// Prometheus estimate — exact enough for p50/p90/p99 reporting.
+class Histogram {
+ public:
+  // Upper bounds of the finite buckets, ascending (excludes +Inf).
+  [[nodiscard]] static const std::vector<double>& boundaries();
+
+  void observe(double seconds) noexcept;
+
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;  // boundaries().size() + 1 (+Inf last)
+    std::uint64_t count = 0;             // == sum over buckets
+    double sum = 0.0;                    // total observed seconds
+    // Interpolated value at quantile q in [0, 1]; 0 when empty.
+    [[nodiscard]] double quantile(double q) const noexcept;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kFiniteBuckets = 37;  // 1e-7 .. 1e2, 4/decade
+  std::array<std::atomic<std::uint64_t>, kFiniteBuckets + 1> buckets_{};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
+// Name + (kind, label key) -> instrument table. Instruments live in deques,
+// so a returned reference stays valid for the registry's lifetime; the
+// global() registry lives for the process. Names are kebab-case
+// ([a-z0-9], '-' separators); labels carry at most one (key, value) pair —
+// enough for per-verb / per-kind families without a label-set algebra.
+// A name registered twice must agree on kind and label key (throws
+// std::invalid_argument otherwise); the same (name, label value) returns
+// the same instrument.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  Counter& counter(std::string_view name, std::string_view label_key = {},
+                   std::string_view label_value = {});
+  Gauge& gauge(std::string_view name, std::string_view label_key = {},
+               std::string_view label_value = {});
+  Histogram& histogram(std::string_view name, std::string_view label_key = {},
+                       std::string_view label_value = {});
+
+  // Prometheus text exposition: families sorted by name, entries sorted by
+  // label value, one # TYPE line per family, every metric prefixed `enb_`
+  // with kebab dashes mapped to underscores.
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Record {
+    std::string name;  // kebab-case
+    Kind kind = Kind::kCounter;
+    std::string label_key;    // empty = unlabeled
+    std::string label_value;  // empty = unlabeled
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  Record& find_or_create(std::string_view name, Kind kind,
+                         std::string_view label_key,
+                         std::string_view label_value)
+      ENB_REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  std::deque<Counter> counters_ ENB_GUARDED_BY(mutex_);
+  std::deque<Gauge> gauges_ ENB_GUARDED_BY(mutex_);
+  std::deque<Histogram> histograms_ ENB_GUARDED_BY(mutex_);
+  std::deque<Record> records_ ENB_GUARDED_BY(mutex_);
+  // (name + '\x1f' + label value) -> record index, for O(1) re-registration.
+  std::unordered_map<std::string, std::size_t> index_ ENB_GUARDED_BY(mutex_);
+};
+
+}  // namespace enb::obs

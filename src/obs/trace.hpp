@@ -1,0 +1,136 @@
+// Span-based tracing into a bounded lock-free ring buffer, exported as
+// Chrome trace-event JSON (chrome://tracing, Perfetto's "Open trace file").
+//
+// An obs::Span is RAII: construction stamps the start, destruction records
+// one complete event. Parentage is explicit — a task body receives its
+// parent's SpanHandle by value and passes it to the child span's
+// constructor. No thread-local "current span" exists, deliberately: pool
+// workers interleave tasks from many logical operations, so an implicit
+// TLS parent would stitch unrelated work together.
+//
+// The recorder is disabled by default and every span constructed while
+// disabled is a no-op (one relaxed load), which is what keeps `--trace`
+// opt-in with zero cost when off. Recording is lock-free: a writer claims a
+// slot with one fetch_add and fills it with relaxed atomic stores, so
+// concurrent writers — including two lapping writers overwriting the same
+// slot — never race under TSan. The ring drops oldest: once more events
+// than `capacity` have been recorded, the export window is the most recent
+// `capacity` events and dropped() counts the rest.
+//
+// Contract: enable()/disable()/write_chrome_trace() are control-plane calls
+// — run them from one thread while no spans are in flight (the CLI enables
+// before dispatch and exports after the command returns; tests join their
+// writers first). record() vs record() is safe from any number of threads.
+//
+// Purely observational, like all of obs/: spans never touch results, cache
+// keys, or canonical specs, so traced and untraced runs are bit-identical.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace enb::obs {
+
+// Identity of a recorded span, passed by value to children. id 0 = "no
+// span" (the root parent, or a span constructed while tracing is off).
+struct SpanHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  // Short free-text payload per event ("job=rca8", "verb=batch").
+  static constexpr std::size_t kDetailBytes = 32;
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& global();
+
+  // Arms the recorder with a ring of `capacity` events (rounded up to a
+  // power of two) and resets the clock epoch and counters.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable();
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Fresh nonzero span id.
+  [[nodiscard]] std::uint64_t new_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Records one completed span. `name` must outlive the recorder (string
+  // literals); `detail` is copied, truncated to kDetailBytes.
+  void record(const char* name, SpanHandle handle, SpanHandle parent,
+              std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end,
+              std::string_view detail = {}) noexcept;
+
+  [[nodiscard]] std::uint64_t recorded() const noexcept;  // total ever
+  [[nodiscard]] std::uint64_t dropped() const noexcept;   // overwritten
+
+  // Chrome trace-event JSON: {"traceEvents": [...], "droppedEvents": N}.
+  // Events export oldest-first within the retained window.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> parent{0};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint32_t> tid{0};
+    // Detail text packed into words so slot reuse stays a data-race-free
+    // atomic overwrite (a char array would race when the ring laps).
+    std::array<std::atomic<std::uint64_t>, kDetailBytes / 8> detail{};
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> cursor_{0};  // slots ever claimed
+  std::vector<Slot> slots_;               // size is a power of two
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+// RAII span: stamps steady_clock on construction, records on destruction.
+// Cheap no-op while the recorder is disabled.
+class Span {
+ public:
+  explicit Span(const char* name, SpanHandle parent = {},
+                std::string_view detail = {}) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // This span's identity, for constructing children. Invalid while tracing
+  // is off — children then record nothing either, so the handle is safe to
+  // pass unconditionally.
+  [[nodiscard]] SpanHandle handle() const noexcept { return handle_; }
+
+  // Replaces the detail recorded at destruction (e.g. an outcome computed
+  // mid-span). Truncated to TraceRecorder::kDetailBytes.
+  void set_detail(std::string_view detail) noexcept;
+
+ private:
+  const char* name_;
+  SpanHandle handle_{};
+  SpanHandle parent_{};
+  std::chrono::steady_clock::time_point start_{};
+  std::array<char, TraceRecorder::kDetailBytes> detail_{};
+  std::size_t detail_size_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace enb::obs

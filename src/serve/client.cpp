@@ -171,6 +171,8 @@ QueryOutcome Client::analyze(
 
 Frame Client::stats() { return call(Frame{"stats", {}, {}}); }
 
+Frame Client::metrics() { return call(Frame{"metrics", {}, {}}); }
+
 Frame Client::evict(const std::string& handle) {
   Frame frame;
   frame.verb = "evict";

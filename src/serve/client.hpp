@@ -82,6 +82,9 @@ class Client {
                            on_result = nullptr);
 
   Frame stats();
+  // `metrics`: the ok reply's payload is the server's Prometheus-style
+  // text exposition.
+  Frame metrics();
   Frame evict(const std::string& handle = "");  // empty = evict everything
   Frame ping();
   Frame shutdown_server();

@@ -65,6 +65,17 @@ void FdStream::write_all(const char* data, std::size_t size) {
   }
 }
 
+std::size_t CountingStream::read_some(char* out, std::size_t max) {
+  const std::size_t count = inner_.read_some(out, max);
+  if (on_read_ && count > 0) on_read_(count);
+  return count;
+}
+
+void CountingStream::write_all(const char* data, std::size_t size) {
+  inner_.write_all(data, size);
+  if (on_write_ && size > 0) on_write_(size);
+}
+
 // ---- frames --------------------------------------------------------------
 
 std::optional<std::string> Frame::arg(const std::string& key) const {

@@ -19,12 +19,13 @@
 // recovery; an intact frame with an unknown verb is an application-level
 // error and the session continues.
 //
-// Client -> server verbs: load, analyze, batch, stats, evict, ping,
-// shutdown. Server -> client verbs: ok, result, done, error. See
+// Client -> server verbs: load, analyze, batch, stats, metrics, evict,
+// ping, shutdown. Server -> client verbs: ok, result, done, error. See
 // serve/server.hpp for their argument vocabularies.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -91,6 +92,28 @@ class FdStream : public ByteStream {
 
  private:
   int fd_;
+};
+
+// Decorator that reports bytes moved through another stream to caller-
+// provided sinks — how the server meters per-direction socket traffic
+// (obs counters) without the transport knowing about metrics. Null sinks
+// are skipped; counting happens after the inner call succeeds, so a write
+// that throws ConnectionClosed is not counted as delivered.
+class CountingStream : public ByteStream {
+ public:
+  using Sink = std::function<void(std::size_t)>;
+
+  CountingStream(ByteStream& inner, Sink on_read, Sink on_write)
+      : inner_(inner), on_read_(std::move(on_read)),
+        on_write_(std::move(on_write)) {}
+
+  std::size_t read_some(char* out, std::size_t max) override;
+  void write_all(const char* data, std::size_t size) override;
+
+ private:
+  ByteStream& inner_;
+  Sink on_read_;
+  Sink on_write_;
 };
 
 // One protocol message.

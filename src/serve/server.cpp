@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iomanip>
 #include <sstream>
@@ -18,11 +19,56 @@
 #include "gen/suite.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/table.hpp"
 
 namespace enb::serve {
 
 namespace {
+
+// Known verbs get their own metric label; everything else aggregates under
+// "other" so a hostile client cannot grow the label space unboundedly.
+const char* metric_verb(const std::string& verb) {
+  static const char* const known[] = {"ping",  "load",    "analyze",
+                                      "batch", "stats",   "metrics",
+                                      "evict", "shutdown"};
+  for (const char* v : known) {
+    if (verb == v) return v;
+  }
+  return "other";
+}
+
+// Per-request observability: a span under the session span, an admission
+// counter, and the per-verb latency histogram observed on every exit path
+// (ok, error reply, disconnect).
+class RequestObservation {
+ public:
+  RequestObservation(const std::string& verb, obs::SpanHandle session)
+      : span_("serve-request", session, verb),
+        histogram_(obs::Registry::global().histogram("serve-request-seconds",
+                                                     "verb",
+                                                     metric_verb(verb))),
+        start_(std::chrono::steady_clock::now()) {
+    obs::Registry::global()
+        .counter("serve-requests-total", "verb", metric_verb(verb))
+        .add(1);
+  }
+
+  ~RequestObservation() {
+    histogram_.observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+
+  RequestObservation(const RequestObservation&) = delete;
+  RequestObservation& operator=(const RequestObservation&) = delete;
+
+ private:
+  obs::Span span_;
+  obs::Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 std::string hex16(std::uint64_t value) {
   std::ostringstream out;
@@ -185,6 +231,10 @@ void Server::run() {
       break;
     }
     if (stopping()) {
+      // Raced with a stop request: the connection is turned away unserved.
+      static obs::Counter& rejected =
+          obs::Registry::global().counter("serve-admission-rejected-total");
+      rejected.add(1);
       ::close(fd);
       break;
     }
@@ -223,7 +273,22 @@ void Server::run() {
 }
 
 void Server::session(int fd) {
-  FdStream stream(fd);
+  static obs::Counter& sessions_counter =
+      obs::Registry::global().counter("serve-sessions-total");
+  static obs::Counter& bytes_in =
+      obs::Registry::global().counter("serve-bytes-in-total");
+  static obs::Counter& bytes_out =
+      obs::Registry::global().counter("serve-bytes-out-total");
+  static obs::Gauge& sessions_gauge =
+      obs::Registry::global().gauge("serve-sessions-active");
+  sessions_counter.add(1);
+  sessions_gauge.add(1.0);
+  const obs::Span session_span("serve-session", {},
+                               "fd=" + std::to_string(fd));
+  FdStream socket(fd);
+  CountingStream stream(
+      socket, [](std::size_t n) { bytes_in.add(n); },
+      [](std::size_t n) { bytes_out.add(n); });
   FrameReader reader(stream);
   bool ending = false;
   while (!ending) {
@@ -242,6 +307,7 @@ void Server::session(int fd) {
       break;
     }
     if (!frame.has_value()) break;  // clean EOF
+    const RequestObservation observe(frame->verb, session_span.handle());
     try {
       ending = dispatch(*frame, stream);
     } catch (const ConnectionClosed&) {
@@ -273,6 +339,7 @@ void Server::session(int fd) {
     idle_cv_.notify_all();
   }
   ::close(fd);
+  sessions_gauge.add(-1.0);
 }
 
 void Server::reap_retired() {
@@ -290,6 +357,7 @@ bool Server::dispatch(const Frame& frame, ByteStream& stream) {
   {
     const util::LockGuard lock(mutex_);
     ++frames_;
+    ++verb_counts_[metric_verb(frame.verb)];
   }
   if (frame.verb == "ping") {
     send_ok(stream);
@@ -309,6 +377,10 @@ bool Server::dispatch(const Frame& frame, ByteStream& stream) {
   }
   if (frame.verb == "stats") {
     cmd_stats(stream);
+    return false;
+  }
+  if (frame.verb == "metrics") {
+    cmd_metrics(stream);
     return false;
   }
   if (frame.verb == "evict") {
@@ -534,6 +606,46 @@ void Server::cmd_stats(ByteStream& stream) {
   reply.add("frames", std::to_string(server.frames));
   reply.add("queries", std::to_string(server.queries));
   reply.add("results", std::to_string(server.results));
+  reply.add("uptime_seconds", report::format_double(server.uptime_seconds, 3));
+  for (const auto& [verb, count] : server.verbs) {
+    reply.add("requests_" + verb, std::to_string(count));
+  }
+  send_frame(stream, reply);
+}
+
+void Server::cmd_metrics(ByteStream& stream) {
+  // Mirror the shared-store and session counters into the registry as
+  // gauges at scrape time, so one exposition covers the process-wide obs
+  // instruments (serve verbs, exec shards, fault sweeps, analysis caches)
+  // and the server's own stores. Gauges, not counters: these are samples of
+  // state owned elsewhere.
+  obs::Registry& reg = obs::Registry::global();
+  const RegistryStats registry = registry_.stats();
+  const ResultCacheStats cache = cache_.stats();
+  const ServerStats server = stats();
+  reg.gauge("serve-uptime-seconds").set(server.uptime_seconds);
+  reg.gauge("serve-handle-registry-handles")
+      .set(static_cast<double>(registry.handles));
+  reg.gauge("serve-handle-registry-loads")
+      .set(static_cast<double>(registry.loads));
+  reg.gauge("serve-handle-registry-hits")
+      .set(static_cast<double>(registry.hits));
+  reg.gauge("serve-handle-registry-evictions")
+      .set(static_cast<double>(registry.evictions));
+  reg.gauge("serve-result-cache-entries")
+      .set(static_cast<double>(cache.entries));
+  reg.gauge("serve-result-cache-hits").set(static_cast<double>(cache.hits));
+  reg.gauge("serve-result-cache-misses")
+      .set(static_cast<double>(cache.misses));
+  reg.gauge("serve-result-cache-stores")
+      .set(static_cast<double>(cache.stores));
+  reg.gauge("serve-result-frames").set(static_cast<double>(server.results));
+  // serve-sessions-active is NOT mirrored here: session() up/down-tracks
+  // that gauge live, and a scrape-time set() would stomp the tracking.
+
+  Frame reply;
+  reply.verb = "ok";
+  reply.payload = reg.render_prometheus();
   send_frame(stream, reply);
 }
 
@@ -558,6 +670,10 @@ ServerStats Server::stats() const {
   s.frames = frames_;
   s.queries = queries_;
   s.results = results_;
+  s.uptime_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - started_)
+                         .count();
+  s.verbs.assign(verb_counts_.begin(), verb_counts_.end());
   return s;
 }
 

@@ -31,7 +31,12 @@
 //           registry first and auto-load (with the server's default
 //           mapping) on a miss. Streams a `result` frame per job as it
 //           finishes — cache hits first — then `done`.
-//   stats   Reply: ok with the registry / result-cache / session counters.
+//   stats   Reply: ok with the registry / result-cache / session counters,
+//           uptime_seconds, and per-verb request counters.
+//   metrics Reply: ok whose payload is the Prometheus-style text exposition
+//           of the process metrics registry (serve verbs, exec shards,
+//           fault sweeps, analysis caches), with the registry/result-cache/
+//           session counters mirrored in as gauges at scrape time.
 //   evict   [handle=<id>]   Drop one named handle (reply ok evicted=0|1) or,
 //           with no argument, every handle (reply ok evicted=<count>).
 //   ping    Reply: ok.
@@ -55,11 +60,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
@@ -89,6 +97,10 @@ struct ServerStats {
   std::uint64_t frames = 0;    // dispatched request frames
   std::uint64_t queries = 0;   // analyze + batch verbs
   std::uint64_t results = 0;   // result frames streamed
+  double uptime_seconds = 0.0;  // since construction
+  // Dispatched request frames by verb, sorted by verb name (unknown verbs
+  // aggregate under "other").
+  std::vector<std::pair<std::string, std::uint64_t>> verbs;
 };
 
 class Server {
@@ -136,6 +148,10 @@ class Server {
   void cmd_analyze(const Frame& frame, ByteStream& stream);
   void cmd_batch(const Frame& frame, ByteStream& stream);
   void cmd_stats(ByteStream& stream);
+  // Prometheus-style text exposition of the process metrics registry, with
+  // the registry/result-cache/session counters mirrored in as gauges at
+  // scrape time. Reply: ok frame whose payload is the exposition text.
+  void cmd_metrics(ByteStream& stream);
   void cmd_evict(const Frame& frame, ByteStream& stream);
 
   // Shared by analyze/batch: probe the cache, evaluate the misses, stream
@@ -172,6 +188,9 @@ class Server {
   std::uint64_t frames_ ENB_GUARDED_BY(mutex_) = 0;
   std::uint64_t queries_ ENB_GUARDED_BY(mutex_) = 0;
   std::uint64_t results_ ENB_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, std::uint64_t> verb_counts_ ENB_GUARDED_BY(mutex_);
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace enb::serve

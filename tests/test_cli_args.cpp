@@ -38,6 +38,21 @@ TEST(CliArgs, StreamDefaultsOff) {
   EXPECT_FALSE(args.stream);
 }
 
+TEST(CliArgs, TraceTakesAPath) {
+  const Args defaults = parse_args({"batch", "jobs.manifest"});
+  ASSERT_TRUE(defaults.ok()) << defaults.error;
+  EXPECT_TRUE(defaults.trace.empty());
+
+  const Args args =
+      parse_args({"batch", "jobs.manifest", "--trace", "run.trace.json"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.trace, "run.trace.json");
+
+  const Args trailing = parse_args({"batch", "jobs.manifest", "--trace"});
+  EXPECT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.error.find("--trace"), std::string::npos);
+}
+
 TEST(CliArgs, FaultCampaignScaleFlagsParse) {
   const Args defaults = parse_args({"faultsim", "rca8"});
   ASSERT_TRUE(defaults.ok()) << defaults.error;

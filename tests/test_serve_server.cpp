@@ -458,6 +458,66 @@ TEST_F(ServeServerTest, StatsVerbExposesTheCounters) {
   EXPECT_EQ(stats.uint_arg("sessions_active"), 1u);
 }
 
+TEST_F(ServeServerTest, StatsVerbReportsUptimeAndPerVerbCounters) {
+  start();
+  Client client(path());
+  (void)client.ping();
+  (void)client.ping();
+  (void)client.batch(kManifest);
+  const Frame stats = client.stats();
+  EXPECT_EQ(stats.uint_arg("requests_ping"), 2u);
+  EXPECT_EQ(stats.uint_arg("requests_batch"), 1u);
+  // The stats request itself is dispatched (and counted) before the reply
+  // is assembled.
+  EXPECT_EQ(stats.uint_arg("requests_stats"), 1u);
+  const auto uptime = stats.arg("uptime_seconds");
+  ASSERT_TRUE(uptime.has_value());
+  EXPECT_GT(std::stod(*uptime), 0.0);
+}
+
+// First numeric value on the line starting with `prefix`, or -1.0 when the
+// line is absent. The process-global registry accumulates across the tests
+// in this binary, so counter assertions are lower bounds, not equalities.
+double metric_value(const std::string& text, const std::string& prefix) {
+  // Anchor at a line start so a bare family name cannot match its own
+  // "# TYPE <name> <kind>" line (every metric line follows a TYPE line,
+  // so a preceding '\n' always exists).
+  const std::size_t line = text.find("\n" + prefix);
+  if (line == std::string::npos) return -1.0;
+  return std::stod(text.substr(line + 1 + prefix.size()));
+}
+
+TEST_F(ServeServerTest, MetricsVerbRendersPrometheusExposition) {
+  start();
+  Client client(path());
+  (void)client.batch(kManifest);
+  const Frame reply = client.metrics();
+  const std::string& text = reply.payload;
+  ASSERT_FALSE(text.empty());
+  // Per-verb session counters, with this session's own requests included.
+  EXPECT_GE(metric_value(text, "enb_serve_requests_total{verb=\"batch\"} "),
+            1.0);
+  EXPECT_GE(metric_value(text, "enb_serve_requests_total{verb=\"metrics\"} "),
+            1.0);
+  // The batch request's latency landed in the per-verb histogram.
+  EXPECT_NE(text.find("enb_serve_request_seconds_bucket{verb=\"batch\",le="),
+            std::string::npos);
+  EXPECT_GE(
+      metric_value(text, "enb_serve_request_seconds_count{verb=\"batch\"} "),
+      1.0);
+  // Scrape-time mirrors of the shared stores and session table: these read
+  // this server instance's stats, so they are exact.
+  EXPECT_EQ(metric_value(text, "enb_serve_result_cache_entries "), 4.0);
+  EXPECT_EQ(metric_value(text, "enb_serve_handle_registry_handles "), 2.0);
+  EXPECT_EQ(metric_value(text, "enb_serve_sessions_active "), 1.0);
+  EXPECT_GT(metric_value(text, "enb_serve_uptime_seconds "), 0.0);
+  // Session byte meters saw real traffic in both directions.
+  EXPECT_GT(metric_value(text, "enb_serve_bytes_in_total "), 0.0);
+  EXPECT_GT(metric_value(text, "enb_serve_bytes_out_total "), 0.0);
+  // Exec instrumentation rode along: the batch ran pool tasks.
+  EXPECT_GT(metric_value(text, "enb_exec_tasks_total "), 0.0);
+}
+
 TEST_F(ServeServerTest, ShutdownVerbStopsTheRunLoop) {
   start();
   {

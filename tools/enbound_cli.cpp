@@ -6,17 +6,17 @@
 //   enbound sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]
 //                   [--delta D] [--map K] [--csv out.csv] [--json out.json]
 //   enbound batch   <manifest>   [--map K] [--threads N] [--stream]
-//                   [--csv out.csv] [--json out.json]
+//                   [--trace trace.json] [--csv out.csv] [--json out.json]
 //   enbound faultsim <file.bench> [--golden spec] [--patterns N]
 //                   [--exhaustive] [--seed S] [--bundle-width B]
 //                   [--no-collapse] [--check-scalar] [--map K]
 //                   [--prune-untestable] [--threads N] [--ans out.ans]
-//                   [--json out.json]
+//                   [--trace trace.json] [--json out.json]
 //   enbound cec     <a.bench> <b.bench> [--map K] [--json out.json]
 //   enbound lint    <file.bench or suite name> [--allow-voter-replicas]
 //                   [--json out.json]
 //   enbound serve   --socket <path> [--map K] [--threads N]
-//                   [--max-handles N] [--max-cache N]
+//                   [--max-handles N] [--max-cache N] [--trace trace.json]
 //   enbound client  --socket <path> <verb> [...]
 //   enbound gen     <name> [--tmr] [--strash] [-o out.bench]
 //   enbound list                                (available suite circuits)
@@ -30,6 +30,11 @@
 // `serve` keeps handles and results alive *across* invocations: it owns a
 // Unix domain socket, and `client` submits the same manifests against it —
 // byte-identical output, amortized compile/extraction, memoized repeats.
+//
+// `--trace <file>` (any command) records spans for the whole invocation and
+// writes them as Chrome trace-event JSON on exit — load the file in
+// chrome://tracing or Perfetto. Purely observational: results and output
+// bytes are identical with tracing on or off.
 //
 // Exit codes: 0 ok, 1 usage error, 2 processing error (malformed input or
 // any failed batch job), 3 input file missing/unreadable.
@@ -54,6 +59,7 @@
 #include "exec/batch.hpp"
 #include "ft/nmr.hpp"
 #include "gen/suite.hpp"
+#include "obs/trace.hpp"
 #include "synth/strash.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
@@ -83,29 +89,32 @@ int usage() {
          "  sweep   <file.bench> [--eps-lo A] [--eps-hi B] [--points N]\n"
          "          [--delta D] [--map K] [--csv out.csv] [--json out.json]\n"
          "  batch   <manifest> [--map K] [--threads N] [--stream]\n"
-         "          [--csv out.csv] [--json out.json]\n"
+         "          [--trace trace.json] [--csv out.csv] [--json out.json]\n"
          "  faultsim <file.bench> [--golden spec] [--patterns N]\n"
          "          [--exhaustive] [--seed S] [--bundle-width B]\n"
          "          [--no-collapse] [--check-scalar] [--drop]\n"
          "          [--lanes 64|128|256|512] [--sample N] [--map K]\n"
          "          [--prune-untestable] [--threads N] [--ans out.ans]\n"
-         "          [--json out.json]\n"
+         "          [--trace trace.json] [--json out.json]\n"
          "  cec     <a.bench> <b.bench> [--map K] [--json out.json]\n"
          "  lint    <file.bench or suite name> [--allow-voter-replicas]\n"
          "          [--json out.json]\n"
          "  serve   --socket <path> [--map K] [--threads N]\n"
-         "          [--max-handles N] [--max-cache N]\n"
+         "          [--max-handles N] [--max-cache N] [--trace trace.json]\n"
          "  client  --socket <path> load <spec> [name] [--map K]\n"
          "  client  --socket <path> batch <manifest> [--json out.json]\n"
          "  client  --socket <path> analyze <handle> kind=<kind> [key=val...]\n"
-         "  client  --socket <path> stats|evict [name]|ping|shutdown\n"
+         "  client  --socket <path> stats|metrics|evict [name]|ping|shutdown\n"
          "  gen     <name> [--tmr] [--strash] [-o out.bench]\n"
          "  list\n"
          "notes: --map 0 analyzes netlists as-is; default maps to the\n"
          "paper's generic max-fanin-3 library first. batch --stream prints\n"
          "each job as it finishes. cec exits 0 when the circuits are proved\n"
          "equivalent and 2 when refuted (naming the first differing output)\n"
-         "or inconclusive. Batch manifests hold one job per line:\n"
+         "or inconclusive. --trace <file> (any command) writes Chrome\n"
+         "trace-event JSON for the invocation; client metrics prints the\n"
+         "server's Prometheus-style exposition. Batch manifests hold one\n"
+         "job per line:\n"
          "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
          "         energy-bound|profile|fault-campaign|lint|cec>\n"
          "         circuit=<suite name or .bench path>\n"
@@ -380,12 +389,13 @@ int cmd_batch(const Args& args) {
     results = batch.run();
   }
 
-  report::Table t({"job", "kind", "status", "headline"});
+  report::Table t({"job", "kind", "status", "elapsed", "headline"});
   bool all_ok = true;
   for (const analysis::AnalysisResult& r : results) {
     if (!r.ok) all_ok = false;
     t.add_row({r.name, std::string(analysis::to_string(r.kind)),
                r.ok ? std::string("ok") : "FAILED: " + r.error,
+               report::format_double(r.elapsed_seconds, 3) + "s",
                headline_of(r)});
   }
   std::cout << t.to_text();
@@ -820,6 +830,11 @@ int cmd_client(const Args& args) {
     std::cout << t.to_text();
     return 0;
   }
+  if (verb == "metrics") {
+    const serve::Frame reply = client.metrics();
+    std::cout << reply.payload;
+    return 0;
+  }
   if (verb == "evict") {
     const std::string handle =
         args.positional.size() > 2 ? args.positional[2] : "";
@@ -875,6 +890,42 @@ int cmd_list() {
   return 0;
 }
 
+int run_command(const std::string& command, const Args& args) {
+  if (command == "list") return cmd_list();
+  if (command == "serve") return cmd_serve(args);
+  if (command == "client") return cmd_client(args);
+  if (args.positional.size() < 2) return usage();
+  if (command == "profile") return cmd_profile(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "batch") return cmd_batch(args);
+  if (command == "faultsim") return cmd_faultsim(args);
+  if (command == "cec") return cmd_cec(args);
+  if (command == "lint") return cmd_lint(args);
+  if (command == "gen") return cmd_gen(args);
+  return usage();
+}
+
+// Dumps the recorded spans as Chrome trace-event JSON. Runs after the
+// command finished (success or error), so every evaluation thread has
+// stopped and the recorder is quiescent.
+int write_trace_file(const std::string& path, int code) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  recorder.disable();
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open trace file: " << path << "\n";
+    return code == 0 ? kExitProcessing : code;
+  }
+  recorder.write_chrome_trace(out);
+  std::cout << "wrote " << path << " (" << recorder.recorded() << " spans";
+  if (recorder.dropped() > 0) {
+    std::cout << ", " << recorder.dropped() << " dropped";
+  }
+  std::cout << ")\n";
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -894,22 +945,14 @@ int main(int argc, char** argv) {
     std::cerr << ")\n";
     return kExitProcessing;
   }
+  if (!args.trace.empty()) obs::TraceRecorder::global().enable();
+  int code = 0;
   try {
-    if (command == "list") return cmd_list();
-    if (command == "serve") return cmd_serve(args);
-    if (command == "client") return cmd_client(args);
-    if (args.positional.size() < 2) return usage();
-    if (command == "profile") return cmd_profile(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "batch") return cmd_batch(args);
-    if (command == "faultsim") return cmd_faultsim(args);
-    if (command == "cec") return cmd_cec(args);
-    if (command == "lint") return cmd_lint(args);
-    if (command == "gen") return cmd_gen(args);
+    code = run_command(command, args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return kExitProcessing;
+    code = kExitProcessing;
   }
-  return usage();
+  if (!args.trace.empty()) code = write_trace_file(args.trace, code);
+  return code;
 }
