@@ -1,0 +1,131 @@
+// P10: what a hardening sweep costs end to end. Each sweep builds every
+// style x granularity x K variant, proves it equivalent with the static
+// oracle, and grades it (energy bound + fault campaign) through one batch.
+// This bench times full sweeps on rca16 and c432 plus a pinned
+// single-style sweep, reports the CEC share of the wall clock (from the
+// harden-cec-seconds histogram), and records BENCH_harden.json.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/compiled_circuit.hpp"
+#include "bench_common.hpp"
+#include "exec/thread_pool.hpp"
+#include "gen/iscas.hpp"
+#include "gen/suite.hpp"
+#include "harden/pareto.hpp"
+#include "harden/types.hpp"
+#include "obs/metrics.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace enb;
+
+struct Timing {
+  std::string sweep;
+  double seconds = 0.0;
+  double cec_seconds = 0.0;
+  std::size_t candidates = 0;
+  std::size_t frontier = 0;
+  double candidates_per_sec = 0.0;
+};
+
+Timing run_sweep(const std::string& label, const netlist::Circuit& circuit,
+                 const harden::SweepOptions& options, int repetitions) {
+  const analysis::CompiledCircuit base = analysis::compile(circuit);
+  obs::Histogram& cec =
+      obs::Registry::global().histogram("harden-cec-seconds");
+  Timing timing;
+  timing.sweep = label;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    const double cec_before = cec.snapshot().sum;
+    const auto start = std::chrono::steady_clock::now();
+    const harden::ParetoResult result =
+        harden::pareto_sweep(base, options, exec::Parallelism::global_pool());
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (timing.seconds == 0.0 || elapsed < timing.seconds) {
+      timing.seconds = elapsed;
+      timing.cec_seconds = cec.snapshot().sum - cec_before;
+      timing.candidates = result.candidates.size();
+      timing.frontier = result.frontier.size();
+    }
+  }
+  timing.candidates_per_sec =
+      static_cast<double>(timing.candidates) / timing.seconds;
+  return timing;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("perf_harden",
+                "redundancy-insertion sweeps: build + prove + grade");
+
+  const int repetitions = bench::smoke_mode() ? 1 : 3;
+  std::vector<Timing> timings;
+
+  // Full sweep on the 16-bit ripple-carry adder: 22 candidates (base + 21).
+  {
+    harden::SweepOptions options;
+    options.campaign.patterns = bench::scaled(256, 32);
+    timings.push_back(run_sweep("rca16 full sweep",
+                                gen::find_benchmark("rca16").build(), options,
+                                repetitions));
+  }
+  // Pinned style: the cheap slice a CI smoke or a CLI --style run evaluates.
+  {
+    harden::SweepOptions options;
+    options.style = harden::Style::kTmr;
+    options.campaign.patterns = bench::scaled(256, 32);
+    timings.push_back(run_sweep("rca16 --style tmr",
+                                gen::find_benchmark("rca16").build(), options,
+                                repetitions));
+  }
+  // The ISCAS interrupt controller: wider (36 inputs), so sampled patterns.
+  {
+    harden::SweepOptions options;
+    options.campaign.patterns = bench::scaled(128, 16);
+    timings.push_back(
+        run_sweep("c432 full sweep", gen::c432(), options, repetitions));
+  }
+
+  report::Table table({"sweep", "seconds", "cec-s", "candidates", "frontier",
+                       "candidates/s"});
+  for (const Timing& t : timings) {
+    table.add_row({t.sweep, report::format_double(t.seconds, 4),
+                   report::format_double(t.cec_seconds, 4),
+                   std::to_string(t.candidates), std::to_string(t.frontier),
+                   report::format_double(t.candidates_per_sec, 1)});
+  }
+  const double cec_share =
+      timings.front().cec_seconds / timings.front().seconds;
+  std::cout << table.to_text() << "\n"
+            << "CEC share of the rca16 full sweep: "
+            << report::format_double(100.0 * cec_share, 1) << "%\n";
+
+  std::ofstream json("BENCH_harden.json");
+  json << "{\n  \"benchmark\": \"perf_harden\",\n"
+       << "  \"repetitions\": " << repetitions << ",\n"
+       << "  \"smoke\": " << (bench::smoke_mode() ? "true" : "false") << ",\n"
+       << "  \"pool_threads\": " << exec::ThreadPool::global().size() << ",\n"
+       << "  \"cec_share_rca16\": " << report::format_double(cec_share, 4)
+       << ",\n  \"sweeps\": [\n";
+  bool first = true;
+  for (const Timing& t : timings) {
+    json << (first ? "" : ",\n") << "    {\"sweep\": \"" << t.sweep
+         << "\", \"seconds\": " << t.seconds
+         << ", \"cec_seconds\": " << t.cec_seconds
+         << ", \"candidates\": " << t.candidates
+         << ", \"frontier\": " << t.frontier
+         << ", \"candidates_per_sec\": " << t.candidates_per_sec << "}";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+  std::cout << "wrote BENCH_harden.json\n";
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "harden/pareto.hpp"
+
 namespace enb::analysis {
 
 sim::ReliabilityResult estimate_reliability(const CompiledCircuit& circuit,
@@ -98,14 +100,16 @@ AnalysisResult evaluate(const AnalysisRequest& request, exec::Parallelism how) {
                                        spec.options, how);
           } else if constexpr (std::is_same_v<Spec, LintRequest>) {
             return lint_circuit(request.circuit.circuit(), spec.options);
-          } else {
-            static_assert(std::is_same_v<Spec, CecRequest>);
+          } else if constexpr (std::is_same_v<Spec, CecRequest>) {
             if (!request.golden.has_value()) {
               throw std::invalid_argument(
                   "cec requires a golden circuit to compare against");
             }
             return check_equivalence(request.circuit.circuit(),
                                      request.golden->circuit(), spec.options);
+          } else {
+            static_assert(std::is_same_v<Spec, HardenRequest>);
+            return harden::pareto_sweep(request.circuit, spec.options, how);
           }
         },
         request.options);

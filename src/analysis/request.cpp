@@ -28,16 +28,22 @@ static_assert(std::is_same_v<std::variant_alternative_t<7, RequestOptions>,
                              LintRequest>);
 static_assert(std::is_same_v<std::variant_alternative_t<8, RequestOptions>,
                              CecRequest>);
+static_assert(std::is_same_v<std::variant_alternative_t<9, RequestOptions>,
+                             HardenRequest>);
 static_assert(std::variant_size_v<RequestOptions> + 1 ==
               std::variant_size_v<ResultPayload>);
 static_assert(std::is_same_v<
               std::variant_alternative_t<std::variant_size_v<ResultPayload> - 1,
                                          ResultPayload>,
-              CecResult>);
+              harden::ParetoResult>);
 
 using Metrics = std::vector<std::pair<std::string, double>>;
 
 void push(Metrics& m, const char* name, double value) {
+  m.emplace_back(name, value);
+}
+
+void push(Metrics& m, const std::string& name, double value) {
   m.emplace_back(name, value);
 }
 
@@ -130,6 +136,27 @@ Metrics flatten(const CecResult& c) {
   push(m, "proved_structural", static_cast<double>(c.proved_structural));
   push(m, "proved_bdd", static_cast<double>(c.proved_bdd));
   push(m, "signature_words", static_cast<double>(c.signature_words));
+  return m;
+}
+
+Metrics flatten(const harden::ParetoResult& h) {
+  Metrics m;
+  push(m, "candidates", static_cast<double>(h.candidates.size()));
+  push(m, "frontier_size", static_cast<double>(h.frontier.size()));
+  push(m, "refuted", static_cast<double>(h.refuted));
+  push(m, "lint_errors", static_cast<double>(h.lint_errors));
+  // One row group per frontier point, in frontier (enumeration) order; the
+  // row count is data-dependent like a sweep's, and deterministic because
+  // the frontier is.
+  for (std::size_t i = 0; i < h.frontier.size(); ++i) {
+    const harden::Candidate& c = h.candidates[h.frontier[i]];
+    const std::string prefix = "frontier" + std::to_string(i);
+    push(m, prefix + "_index", static_cast<double>(h.frontier[i]));
+    push(m, prefix + "_gates", static_cast<double>(c.gates));
+    push(m, prefix + "_energy_factor", c.energy_factor);
+    push(m, prefix + "_protection", c.protection);
+    push(m, prefix + "_coverage", c.coverage);
+  }
   return m;
 }
 
@@ -302,6 +329,40 @@ std::string spec_of(const CecRequest& r) {
       .str();
 }
 
+std::string spec_of(const HardenRequest& r) {
+  // The campaign's lanes knob is excluded exactly as in the fault-campaign
+  // spec (execution policy, results are lane-width independent); everything
+  // else — sweep restriction, voter style, grading campaign, CEC knobs, and
+  // the energy operating point — is value-relevant.
+  const harden::SweepOptions& o = r.options;
+  SpecWriter w("harden");
+  w.text("style",
+         o.style.has_value() ? std::string(harden::to_string(*o.style))
+                             : std::string("all"))
+      .text("granularity",
+            o.granularity.has_value()
+                ? std::string(harden::to_string(*o.granularity))
+                : std::string("all"))
+      .field("top_k", o.top_k)
+      .field("voter", static_cast<int>(o.voter))
+      .field("eps", o.epsilon)
+      .field("delta", o.delta)
+      .field("leakage_fraction", o.leakage_fraction)
+      .field("patterns", o.campaign.patterns)
+      .field("exhaustive", o.campaign.exhaustive)
+      .field("seed", o.campaign.seed)
+      .field("shard_patterns", o.campaign.shard_patterns)
+      .field("bundle_width", o.campaign.bundle_width)
+      .field("collapse", o.campaign.collapse)
+      .field("drop", o.campaign.drop)
+      .field("sample", o.campaign.sample)
+      .field("prune", o.campaign.prune_untestable)
+      .field("cec_seed", o.cec.seed)
+      .field("cec_signature_words", o.cec.signature_words)
+      .field("cec_bdd_node_limit", o.cec.bdd_node_limit);
+  return w.str();
+}
+
 }  // namespace
 
 std::string canonical_spec(const RequestOptions& options) {
@@ -328,6 +389,8 @@ const char* to_string(AnalysisKind kind) noexcept {
       return "lint";
     case AnalysisKind::kCec:
       return "cec";
+    case AnalysisKind::kHarden:
+      return "harden";
   }
   return "unknown";
 }
@@ -344,6 +407,7 @@ std::optional<AnalysisKind> parse_analysis_kind(std::string_view name) {
   if (canonical == "fault-campaign") return AnalysisKind::kFaultCampaign;
   if (canonical == "lint") return AnalysisKind::kLint;
   if (canonical == "cec") return AnalysisKind::kCec;
+  if (canonical == "harden") return AnalysisKind::kHarden;
   return std::nullopt;
 }
 

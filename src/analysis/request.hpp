@@ -25,6 +25,7 @@
 #include "core/energy_bound.hpp"
 #include "core/profile.hpp"
 #include "fault/campaign.hpp"
+#include "harden/types.hpp"
 #include "sim/activity.hpp"
 #include "sim/reliability.hpp"
 #include "sim/sensitivity.hpp"
@@ -41,6 +42,7 @@ enum class AnalysisKind {
   kFaultCampaign, // stuck-at fault campaign (coverage / masking vs golden)
   kLint,          // structural netlist lint (typed diagnostics)
   kCec,           // combinational equivalence check (circuit vs golden)
+  kHarden,        // redundancy-insertion Pareto sweep (style x granularity x K)
 };
 
 [[nodiscard]] const char* to_string(AnalysisKind kind) noexcept;
@@ -102,11 +104,19 @@ struct CecRequest {
   CecOptions options;
 };
 
+struct HardenRequest {
+  // The request's circuit is the base design: every candidate variant is
+  // derived from it, proved equivalent, and graded inside the evaluation,
+  // so the base fingerprint plus this canonical spec fully keys the result
+  // — no golden handle and zero new cache plumbing.
+  harden::SweepOptions options;
+};
+
 // Alternative order mirrors AnalysisKind (kind() relies on it).
 using RequestOptions =
     std::variant<ReliabilityRequest, WorstCaseRequest, ActivityRequest,
                  SensitivityRequest, EnergyBoundRequest, ProfileRequest,
-                 FaultCampaignRequest, LintRequest, CecRequest>;
+                 FaultCampaignRequest, LintRequest, CecRequest, HardenRequest>;
 
 struct AnalysisRequest {
   std::string name;
@@ -130,7 +140,7 @@ using ResultPayload =
     std::variant<std::monostate, sim::ReliabilityResult, sim::WorstCaseResult,
                  sim::ActivityResult, sim::SensitivityResult, core::BoundReport,
                  core::CircuitProfile, fault::FaultCampaignResult, LintReport,
-                 CecResult>;
+                 CecResult, harden::ParetoResult>;
 
 // Per-request outcome. Failures are isolated: a request whose options are
 // invalid (or whose evaluation throws) reports ok = false with the error

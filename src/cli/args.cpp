@@ -128,6 +128,14 @@ Args parse_args(const std::vector<std::string>& argv) {
       args.gen_strash = true;
     } else if (arg == "--golden") {
       next_value(arg, args.golden);
+    } else if (arg == "--style") {
+      next_value(arg, args.style);
+    } else if (arg == "--granularity") {
+      next_value(arg, args.granularity);
+    } else if (arg == "--top-k") {
+      next_uint64(arg, args.top_k);
+    } else if (arg == "--emit") {
+      next_value(arg, args.emit);
     } else if (arg == "--ans") {
       next_value(arg, args.ans);
     } else if (arg == "--trace") {
@@ -149,8 +157,8 @@ Args parse_args(const std::vector<std::string>& argv) {
 
 const std::vector<std::string>& known_commands() {
   static const std::vector<std::string> commands = {
-      "profile", "analyze", "sweep", "batch",  "faultsim", "cec",
-      "lint",    "serve",   "client", "gen",   "list"};
+      "profile", "analyze", "sweep",  "batch", "faultsim", "cec",
+      "lint",    "harden",  "serve",  "client", "gen",     "list"};
   return commands;
 }
 

@@ -40,6 +40,11 @@ struct Args {
   bool allow_voter_replicas = false;  // lint: silence voter-replicas
   bool gen_tmr = false;               // gen: emit the TMR'd circuit
   bool gen_strash = false;            // gen: emit the strash-rewritten circuit
+  // harden knobs (empty / 0 = sweep the full axis).
+  std::string style;        // pin the redundancy style (tmr|dwc|selective)
+  std::string granularity;  // pin the insertion granularity (gate|cone|output)
+  std::uint64_t top_k = 0;  // pin the selective cone count
+  std::string emit;         // directory for frontier-winner .bench files
   std::string ans;               // .ans output path
   std::string trace;             // Chrome trace-event JSON output path
   std::string out;

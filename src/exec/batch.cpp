@@ -19,6 +19,7 @@
 #include "fault/campaign.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/lanes.hpp"
+#include "harden/pareto.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "report/csv.hpp"
@@ -237,6 +238,9 @@ struct JobState {
   std::optional<analysis::LintReport> lint ENB_GUARDED_BY(mutex);
   // kCec: single task, single writer.
   std::optional<analysis::CecResult> cec ENB_GUARDED_BY(mutex);
+  // kHarden: single task, single writer — the sweep drives its own nested
+  // batch, which runs inline on this worker (pool reentrancy contract).
+  std::optional<harden::ParetoResult> harden ENB_GUARDED_BY(mutex);
 
   void record_error(const std::string& message) {
     const util::LockGuard lock(mutex);
@@ -415,6 +419,22 @@ void prepare_cec(const AnalysisRequest& request,
   };
 }
 
+void prepare_harden(const AnalysisRequest& request,
+                    const analysis::HardenRequest& spec, JobState& state) {
+  (void)request.circuit.circuit();  // throws on an empty handle
+  state.num_tasks = 1;
+  state.run_task = [&spec](JobState& s, std::size_t) {
+    harden::ParetoResult result =
+        harden::pareto_sweep(s.request->circuit, spec.options, Parallelism{});
+    const util::LockGuard lock(s.mutex);
+    s.harden = std::move(result);
+  };
+  state.finalize = [](JobState& s, AnalysisResult& r) {
+    const util::LockGuard lock(s.mutex);
+    finish_with_payload(r, std::move(*s.harden));
+  };
+}
+
 // Finds or creates the extraction group for (request.circuit, options);
 // validates on creation exactly like core::extract_profile.
 ExtractionGroup& join_extraction_group(
@@ -547,9 +567,11 @@ void prepare(std::size_t job_index, const AnalysisRequest& request,
           prepare_fault_campaign(request, spec, state);
         } else if constexpr (std::is_same_v<Spec, analysis::LintRequest>) {
           prepare_lint(request, spec, state);
-        } else {
-          static_assert(std::is_same_v<Spec, analysis::CecRequest>);
+        } else if constexpr (std::is_same_v<Spec, analysis::CecRequest>) {
           prepare_cec(request, spec, state);
+        } else {
+          static_assert(std::is_same_v<Spec, analysis::HardenRequest>);
+          prepare_harden(request, spec, state);
         }
       },
       request.options);
@@ -795,6 +817,12 @@ struct ManifestLine {
   std::optional<std::uint64_t> lanes;
   std::optional<std::uint64_t> sample;
   std::optional<std::uint64_t> prune;
+  // Harden-only keys (types.hpp): style=tmr|dwc|selective,
+  // granularity=gate|cone|output, top_k=N (all optional — absent means
+  // sweep the full axis).
+  std::optional<harden::Style> style;
+  std::optional<harden::Granularity> granularity;
+  std::optional<std::uint64_t> top_k;
 };
 
 std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
@@ -857,6 +885,18 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
       } else if (key == "prune") {
         line.prune = parse_manifest_count(key, value);
         if (*line.prune > 1) throw fail("prune must be 0 or 1");
+      } else if (key == "style") {
+        line.style = harden::parse_style(value);
+        if (!line.style.has_value()) {
+          throw fail("style must be tmr, dwc, or selective");
+        }
+      } else if (key == "granularity") {
+        line.granularity = harden::parse_granularity(value);
+        if (!line.granularity.has_value()) {
+          throw fail("granularity must be gate, cone, or output");
+        }
+      } else if (key == "top_k") {
+        line.top_k = parse_manifest_count(key, value);
       } else {
         throw fail("unknown key '" + key + "'");
       }
@@ -872,10 +912,17 @@ std::vector<ManifestLine> parse_manifest_lines(std::istream& in) {
 analysis::RequestOptions manifest_options(const ManifestLine& line) {
   if ((!line.mode.empty() || line.drop.has_value() || line.lanes.has_value() ||
        line.sample.has_value() || line.prune.has_value()) &&
-      line.kind != JobKind::kFaultCampaign) {
+      line.kind != JobKind::kFaultCampaign && line.kind != JobKind::kHarden) {
     throw std::invalid_argument(
         "manifest: keys 'mode', 'drop', 'lanes', 'sample', and 'prune' only "
-        "apply to kind=fault-campaign");
+        "apply to kind=fault-campaign and kind=harden");
+  }
+  if ((line.style.has_value() || line.granularity.has_value() ||
+       line.top_k.has_value()) &&
+      line.kind != JobKind::kHarden) {
+    throw std::invalid_argument(
+        "manifest: keys 'style', 'granularity', and 'top_k' only apply to "
+        "kind=harden");
   }
   switch (line.kind) {
     case JobKind::kReliability: {
@@ -958,6 +1005,41 @@ analysis::RequestOptions manifest_options(const ManifestLine& line) {
       if (line.seed.has_value()) spec.options.seed = *line.seed;
       if (line.budget.has_value()) {
         spec.options.signature_words = static_cast<int>(*line.budget);
+      }
+      return spec;
+    }
+    case JobKind::kHarden: {
+      // The campaign keys tune the grading campaign every candidate shares;
+      // style/granularity/top_k pin sweep axes (absent = full axis).
+      analysis::HardenRequest spec;
+      spec.options.epsilon = line.epsilon;
+      spec.options.delta = line.delta;
+      if (line.has_leakage) spec.options.leakage_fraction = line.leakage;
+      if (line.budget.has_value()) spec.options.campaign.patterns = *line.budget;
+      if (line.seed.has_value()) spec.options.campaign.seed = *line.seed;
+      if (!line.mode.empty()) {
+        if (line.mode == "exhaustive") {
+          spec.options.campaign.exhaustive = true;
+        } else if (line.mode != "random") {
+          throw std::invalid_argument(
+              "manifest: mode must be 'random' or 'exhaustive', got '" +
+              line.mode + "'");
+        }
+      }
+      if (line.drop.has_value()) spec.options.campaign.drop = (*line.drop != 0);
+      if (line.lanes.has_value()) {
+        spec.options.campaign.lanes = *fault::parse_lane_width(*line.lanes);
+      }
+      if (line.sample.has_value()) spec.options.campaign.sample = *line.sample;
+      if (line.prune.has_value()) {
+        spec.options.campaign.prune_untestable = (*line.prune != 0);
+      }
+      if (line.style.has_value()) spec.options.style = *line.style;
+      if (line.granularity.has_value()) {
+        spec.options.granularity = *line.granularity;
+      }
+      if (line.top_k.has_value()) {
+        spec.options.top_k = static_cast<std::uint32_t>(*line.top_k);
       }
       return spec;
     }

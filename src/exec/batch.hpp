@@ -111,6 +111,7 @@ class BatchEvaluator {
 //   <name> kind=<kind> circuit=<spec> [golden=<spec>] [eps=E] [delta=D]
 //          [budget=N] [seed=S] [leakage=L] [mode=M] [drop=0|1]
 //          [lanes=64|128|256|512] [sample=N] [prune=0|1]
+//          [style=tmr|dwc|selective] [granularity=gate|cone|output] [top_k=N]
 // `resolve` maps a circuit spec (suite name or .bench path) to a compiled
 // handle — memoize it to share handles (and profile extractions) across
 // jobs naming the same spec. budget= sets the kind's primary Monte-Carlo
@@ -125,7 +126,11 @@ class BatchEvaluator {
 // canonical spec), sample= the sampled class count (0 = full universe),
 // prune= static untestable-class pruning. kind=cec compares circuit= against
 // golden= (required); seed= keys its signature stream and budget= its
-// signature word count. Throws std::invalid_argument on malformed lines,
+// signature word count. kind=harden sweeps redundancy insertion over
+// circuit=: eps/delta/leakage tune the energy bound, budget/seed/mode/drop/
+// lanes/sample/prune tune the shared grading campaign, and style=,
+// granularity=, top_k= pin sweep axes (absent = sweep the full axis).
+// Throws std::invalid_argument on malformed lines,
 // unknown kinds/keys, or non-numeric values.
 [[nodiscard]] std::vector<analysis::AnalysisRequest> parse_manifest_requests(
     std::istream& in,

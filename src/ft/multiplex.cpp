@@ -62,6 +62,7 @@ MultiplexedCircuit multiplex_transform(const Circuit& circuit,
     }
     bundle[id] = std::move(wires);
   }
+  result.replica_begin = static_cast<NodeId>(out.node_count());
 
   const auto restore = [&](std::vector<NodeId> wires) {
     for (int stage = 0; stage < options.restorative_stages; ++stage) {
@@ -121,6 +122,7 @@ MultiplexedCircuit multiplex_transform(const Circuit& circuit,
     }
     bundle[id] = restore(std::move(wires));
   }
+  result.replica_end = static_cast<NodeId>(out.node_count());
 
   result.output_bundles.reserve(circuit.num_outputs());
   for (std::size_t pos = 0; pos < circuit.num_outputs(); ++pos) {

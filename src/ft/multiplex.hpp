@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "netlist/circuit.hpp"
@@ -28,6 +29,20 @@ struct MultiplexedCircuit {
   // For each original output position, the node ids of its bundle wires
   // (the circuit's own output list is the concatenation of these bundles).
   std::vector<std::vector<netlist::NodeId>> output_bundles;
+  // Node-id range [replica_begin, replica_end) holding the multiplexed
+  // logic (executive + restorative stages), mirroring
+  // NmrResult::replica_begin/replica_end: ids below it are the input
+  // bundles, and the construction adds nothing after it. The fault-campaign
+  // property tests use it to reason about faults inside the redundant
+  // fabric.
+  netlist::NodeId replica_begin = 0;
+  netlist::NodeId replica_end = 0;
+
+  // The replica range as a half-open pair, for callers that iterate.
+  [[nodiscard]] std::pair<netlist::NodeId, netlist::NodeId> replica_range()
+      const noexcept {
+    return {replica_begin, replica_end};
+  }
 };
 
 // Builds the multiplexed version. Gates wider than 2 inputs are rejected —

@@ -1,6 +1,7 @@
 // ISCAS'85 material. Only c17 is small enough to reproduce verbatim from
-// public knowledge; the larger ISCAS circuits are replaced in this repo by
-// the generator suite (see DESIGN.md, substitution table).
+// public knowledge; c432 ships as a documented *functional translation* of
+// its published high-level model; the remaining ISCAS circuits are replaced
+// in this repo by the generator suite (see DESIGN.md, substitution table).
 #pragma once
 
 #include "netlist/circuit.hpp"
@@ -12,5 +13,18 @@ namespace enb::gen {
 
 // The c17 netlist in .bench format (exactly the published structure).
 [[nodiscard]] const char* c17_bench_text();
+
+// The ISCAS'85 c432-class benchmark: the 27-channel interrupt controller of
+// the Hansen-Yalcin-Hayes high-level model, translated functionally to
+// gates (36 inputs, 7 outputs; bus priority A > B > C, lowest granted
+// channel binary-encoded on the address outputs). Canonical primary net
+// names (N1..N115 in, N223/N329/N370/N421/N430-N432 out) follow the
+// published netlist; the interior structure is this repo's translation of
+// the behavioral spec, not the literal gate-level dump — it is pinned
+// against a behavioral reference model in tests/test_suite.cpp.
+[[nodiscard]] netlist::Circuit c432();
+
+// The c432 translation in .bench format.
+[[nodiscard]] const char* c432_bench_text();
 
 }  // namespace enb::gen

@@ -55,6 +55,7 @@ std::vector<BenchmarkSpec> small_suite() {
 
 std::vector<BenchmarkSpec> scale_suite() {
   return {
+      {"c432", "iscas", [] { return c432(); }},
       {"rca256", "adder", [] { return ripple_carry_adder(256); }},
       {"csel64", "adder", [] { return carry_select_adder(64); }},
       {"mult16", "multiplier", [] { return array_multiplier(16); }},

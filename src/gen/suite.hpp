@@ -26,10 +26,12 @@ struct BenchmarkSpec {
 // A smaller suite (c17, parity8, rca8, mult4) for fast tests.
 [[nodiscard]] std::vector<BenchmarkSpec> small_suite();
 
-// Kilo-net instances (rca256, csel64, mult16, alu64) for fault campaigns
-// at scale — thousand-class universes where dropping, wide lanes, and
-// sampling earn their keep. Kept out of standard_suite() so the Figure 7/8
-// sweeps and scalar cross-checks stay fast.
+// Larger instances (c432, rca256, csel64, mult16, alu64) for fault
+// campaigns at scale — universes where dropping, wide lanes, and sampling
+// earn their keep. c432 rides here (not in standard_suite()) because its
+// n-ary OR gates sit outside the standard suite's max-fanin-2 property
+// tests. Kept out of standard_suite() so the Figure 7/8 sweeps and scalar
+// cross-checks stay fast.
 [[nodiscard]] std::vector<BenchmarkSpec> scale_suite();
 
 // Looks up one spec by name in the standard then scale suites; throws if

@@ -1,0 +1,43 @@
+#include "harden/types.hpp"
+
+namespace enb::harden {
+
+const char* to_string(Style style) noexcept {
+  switch (style) {
+    case Style::kTmr:
+      return "tmr";
+    case Style::kDwc:
+      return "dwc";
+    case Style::kSelective:
+      return "selective";
+  }
+  return "unknown";
+}
+
+const char* to_string(Granularity granularity) noexcept {
+  switch (granularity) {
+    case Granularity::kGate:
+      return "gate";
+    case Granularity::kCone:
+      return "cone";
+    case Granularity::kOutput:
+      return "output";
+  }
+  return "unknown";
+}
+
+std::optional<Style> parse_style(std::string_view name) {
+  if (name == "tmr") return Style::kTmr;
+  if (name == "dwc") return Style::kDwc;
+  if (name == "selective") return Style::kSelective;
+  return std::nullopt;
+}
+
+std::optional<Granularity> parse_granularity(std::string_view name) {
+  if (name == "gate") return Granularity::kGate;
+  if (name == "cone") return Granularity::kCone;
+  if (name == "output") return Granularity::kOutput;
+  return std::nullopt;
+}
+
+}  // namespace enb::harden

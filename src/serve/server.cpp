@@ -110,6 +110,10 @@ const char* headline_metric(analysis::AnalysisKind kind) {
       return "coverage";
     case analysis::AnalysisKind::kLint:
       return "errors";
+    case analysis::AnalysisKind::kHarden:
+      return "frontier_size";
+    case analysis::AnalysisKind::kCec:
+      break;  // cec results have no headline row (equivalence is the story)
   }
   return "";
 }
@@ -452,7 +456,8 @@ void Server::cmd_analyze(const Frame& frame, ByteStream& stream) {
     if (key == "eps" || key == "delta" || key == "budget" || key == "seed" ||
         key == "leakage" || key == "golden" || key == "mode" ||
         key == "drop" || key == "lanes" || key == "sample" ||
-        key == "prune") {
+        key == "prune" || key == "style" || key == "granularity" ||
+        key == "top_k") {
       line += " " + key + "=" + value;
       continue;
     }

@@ -226,16 +226,45 @@ TEST(CliArgs, LintFlagsParse) {
       << trailing.error;
 }
 
+TEST(CliArgs, HardenFlagsParseAndDefault) {
+  const Args defaults = parse_args({"harden", "c17"});
+  ASSERT_TRUE(defaults.ok()) << defaults.error;
+  EXPECT_TRUE(defaults.style.empty());
+  EXPECT_TRUE(defaults.granularity.empty());
+  EXPECT_EQ(defaults.top_k, 0u);
+  EXPECT_TRUE(defaults.emit.empty());
+
+  const Args args = parse_args({"harden", "c17", "--style", "selective",
+                                "--granularity", "cone", "--top-k", "2",
+                                "--emit", "winners"});
+  ASSERT_TRUE(args.ok()) << args.error;
+  EXPECT_EQ(args.style, "selective");
+  EXPECT_EQ(args.granularity, "cone");
+  EXPECT_EQ(args.top_k, 2u);
+  EXPECT_EQ(args.emit, "winners");
+
+  // Style/granularity value validation is the command's job; the parser only
+  // rejects missing and non-numeric values.
+  for (const char* flag : {"--style", "--granularity", "--top-k", "--emit"}) {
+    const Args trailing = parse_args({"harden", "c17", flag});
+    EXPECT_FALSE(trailing.ok()) << flag;
+    EXPECT_NE(trailing.error.find(flag), std::string::npos) << trailing.error;
+  }
+  const Args bad = parse_args({"harden", "c17", "--top-k", "many"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("--top-k"), std::string::npos) << bad.error;
+}
+
 TEST(CliArgs, KnownCommandVocabularyCoversEverySubcommand) {
   for (const char* command :
        {"profile", "analyze", "sweep", "batch", "faultsim", "cec", "lint",
-        "serve", "client", "gen", "list"}) {
+        "harden", "serve", "client", "gen", "list"}) {
     EXPECT_TRUE(is_known_command(command)) << command;
   }
   EXPECT_FALSE(is_known_command("frobnicate"));
   EXPECT_FALSE(is_known_command(""));
   EXPECT_FALSE(is_known_command("LINT"));  // commands are case-sensitive
-  EXPECT_EQ(known_commands().size(), 11u);
+  EXPECT_EQ(known_commands().size(), 12u);
 }
 
 }  // namespace

@@ -90,6 +90,8 @@ constexpr JudgeEntry kJudgeTable[] = {
      "fdf4831e8fa65fb04db4e5908f29d52106592cfce9bf69f5d8f2a8c37243ec84"},
     {"alu8",
      "b5f0717221efe10bd07b3a6c2d3584264c7073d10075bda88575589772f8d490"},
+    {"c432",
+     "6277b4491ff26288f5ed908da9f3569aa6e82e371015d9015959ef5834abec89"},
     {"rca256",
      "14ff1655465ac3cf25ef62d3ff4955b6c951432b66e816dc162ce14a1f139cb6"},
     {"csel64",
@@ -163,6 +165,8 @@ std::string judge_cec_json(const std::string& name,
 }
 
 constexpr JudgeEntry kCecJudgeTable[] = {
+    {"c432",
+     "109922a6c4937a5d3468f0059849d2d9f9230fa4a78bbc630ccede782350b33f"},
     {"rca256",
      "3cebec2f1520889131b327ef19cbd815f6cf854f4f4b17cc190d5cf296a85257"},
     {"csel64",

@@ -98,6 +98,28 @@ TEST(Multiplex, RejectsBadOptions) {
   EXPECT_THROW((void)multiplex_transform(base, options), std::invalid_argument);
 }
 
+TEST(Multiplex, ReplicaRangeBracketsTheMultiplexedFabric) {
+  const auto base = gen::c17();
+  for (const int width : {3, 5}) {
+    MultiplexOptions options;
+    options.bundle_width = width;
+    const MultiplexedCircuit mc = multiplex_transform(base, options);
+    const auto [begin, end] = mc.replica_range();
+    EXPECT_EQ(begin, mc.replica_begin);
+    EXPECT_EQ(end, mc.replica_end);
+    // Everything below the range is an input bundle wire; the multiplexed
+    // logic fills the rest of the node table (outputs are marks, not nodes).
+    EXPECT_EQ(begin, base.num_inputs() * static_cast<std::size_t>(width));
+    EXPECT_EQ(end, mc.circuit.node_count());
+    for (const auto& wires : mc.output_bundles) {
+      for (const netlist::NodeId wire : wires) {
+        EXPECT_GE(wire, begin);
+        EXPECT_LT(wire, end);
+      }
+    }
+  }
+}
+
 TEST(Multiplex, ReliabilityInterfaceChecks) {
   const auto base = gen::c17();
   const auto other = gen::parity_tree(4, 2);

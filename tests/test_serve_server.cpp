@@ -240,6 +240,41 @@ TEST_F(ServeServerTest, LintRidesServeAndTheResultCache) {
   EXPECT_EQ(analyzed.cached, 1u);  // display name is not part of the key
 }
 
+TEST_F(ServeServerTest, HardenRidesServeAndTheResultCache) {
+  // kind=harden flows manifest -> batch -> serve with no new cache plumbing:
+  // byte-identical to the offline writer, repeats served from the result
+  // cache, and the sweep-shaping keys are part of the canonical spec.
+  start();
+  Client client(path());
+  const std::string manifest =
+      "hd kind=harden circuit=c17 budget=64 style=tmr\n";
+  const QueryOutcome cold = client.batch(manifest);
+  ASSERT_EQ(cold.results.size(), 1u);
+  EXPECT_TRUE(cold.results[0].ok);
+  EXPECT_EQ(cold.cached, 0u);
+  EXPECT_EQ(served_json(cold), offline_json(manifest));
+
+  const QueryOutcome warm = client.batch(manifest);
+  EXPECT_EQ(warm.cached, 1u);
+  EXPECT_EQ(served_json(warm), served_json(cold));
+
+  // The analyze verb shares the grammar and the key; the display name is
+  // not part of it.
+  const QueryOutcome analyzed = client.analyze(
+      "c17", "harden", {"budget=64", "style=tmr", "name=renamed"});
+  ASSERT_EQ(analyzed.results.size(), 1u);
+  EXPECT_TRUE(analyzed.results[0].ok);
+  EXPECT_EQ(analyzed.cached, 1u);
+
+  // Pinning a granularity sweeps a different candidate set: its own entry.
+  const QueryOutcome pinned = client.analyze(
+      "c17", "harden",
+      {"budget=64", "style=tmr", "granularity=output", "name=hd"});
+  ASSERT_EQ(pinned.results.size(), 1u);
+  EXPECT_TRUE(pinned.results[0].ok);
+  EXPECT_EQ(pinned.cached, 0u);
+}
+
 TEST_F(ServeServerTest, ShutdownUnderLoadJoinsEverySession) {
   start();
   // Several clients keep the server busy with real evaluations while the

@@ -15,6 +15,10 @@
 //   enbound cec     <a.bench> <b.bench> [--map K] [--json out.json]
 //   enbound lint    <file.bench or suite name> [--allow-voter-replicas]
 //                   [--json out.json]
+//   enbound harden  <file.bench or suite name> [--style S] [--granularity G]
+//                   [--top-k N] [--patterns N] [--seed S] [--eps E]
+//                   [--delta D] [--leakage L] [--map K] [--threads N]
+//                   [--emit dir] [--json out.json]
 //   enbound serve   --socket <path> [--map K] [--threads N]
 //                   [--max-handles N] [--max-cache N] [--trace trace.json]
 //   enbound client  --socket <path> <verb> [...]
@@ -59,6 +63,7 @@
 #include "exec/batch.hpp"
 #include "ft/nmr.hpp"
 #include "gen/suite.hpp"
+#include "harden/pareto.hpp"
 #include "obs/trace.hpp"
 #include "synth/strash.hpp"
 #include "netlist/bench_io.hpp"
@@ -99,6 +104,11 @@ int usage() {
          "  cec     <a.bench> <b.bench> [--map K] [--json out.json]\n"
          "  lint    <file.bench or suite name> [--allow-voter-replicas]\n"
          "          [--json out.json]\n"
+         "  harden  <file.bench or suite name> [--style tmr|dwc|selective]\n"
+         "          [--granularity gate|cone|output] [--top-k N]\n"
+         "          [--patterns N] [--seed S] [--eps E] [--delta D]\n"
+         "          [--leakage L] [--map K] [--threads N] [--emit dir]\n"
+         "          [--json out.json]\n"
          "  serve   --socket <path> [--map K] [--threads N]\n"
          "          [--max-handles N] [--max-cache N] [--trace trace.json]\n"
          "  client  --socket <path> load <spec> [name] [--map K]\n"
@@ -116,11 +126,18 @@ int usage() {
          "server's Prometheus-style exposition. Batch manifests hold one\n"
          "job per line:\n"
          "  <name> kind=<reliability|worst-case|activity|sensitivity|\n"
-         "         energy-bound|profile|fault-campaign|lint|cec>\n"
+         "         energy-bound|profile|fault-campaign|lint|cec|harden>\n"
          "         circuit=<suite name or .bench path>\n"
          "         [golden=<spec>] [eps=E] [delta=D] [budget=N] [seed=S]\n"
          "         [leakage=L] [mode=random|exhaustive] [drop=0|1]\n"
          "         [lanes=64|128|256|512] [sample=N] [prune=0|1]\n"
+         "         [style=tmr|dwc|selective] [granularity=gate|cone|output]\n"
+         "         [top_k=N]\n"
+         "harden sweeps redundancy insertion (TMR / DWC / selective) over\n"
+         "the base circuit, proves every candidate equivalent, and prints\n"
+         "the (energy, protection, gates) Pareto frontier; --emit dir\n"
+         "regenerates the frontier winners as .bench files. harden exits 2\n"
+         "if any candidate's equivalence proof is refuted.\n"
          "exit codes: 0 ok, 1 usage, 2 processing/parse error or failed\n"
          "job, 3 input file missing\n";
   return 1;
@@ -325,6 +342,8 @@ const char* headline_metric(analysis::AnalysisKind kind) {
       return "errors";
     case analysis::AnalysisKind::kCec:
       return "equivalent";
+    case analysis::AnalysisKind::kHarden:
+      return "frontier_size";
   }
   return "";
 }
@@ -636,6 +655,124 @@ int cmd_faultsim(const Args& args) {
   return 0;
 }
 
+// ---- redundancy hardening ------------------------------------------------
+
+// Frontier-winner filenames derive from the candidate label with '/'
+// replaced ("selective/cone/k2" -> "selective-cone-k2.bench"), so emitted
+// directories sort by style.
+std::string emit_filename(const std::string& label) {
+  std::string name = label;
+  for (char& c : name) {
+    if (c == '/') c = '-';
+  }
+  return name + ".bench";
+}
+
+int cmd_harden(const Args& args) {
+  const std::string& spec = args.positional[1];
+  if (circuit_file_missing(spec)) {
+    std::cerr << "error: circuit file not found: " << spec << "\n";
+    return kExitMissingInput;
+  }
+
+  harden::SweepOptions options;
+  if (!args.style.empty()) {
+    const auto style = harden::parse_style(args.style);
+    if (!style.has_value()) {
+      std::cerr << "error: --style must be tmr, dwc, or selective\n";
+      return kExitProcessing;
+    }
+    options.style = *style;
+  }
+  if (!args.granularity.empty()) {
+    const auto granularity = harden::parse_granularity(args.granularity);
+    if (!granularity.has_value()) {
+      std::cerr << "error: --granularity must be gate, cone, or output\n";
+      return kExitProcessing;
+    }
+    options.granularity = *granularity;
+  }
+  options.top_k = static_cast<std::uint32_t>(args.top_k);
+  options.epsilon = args.eps;
+  options.delta = args.delta;
+  options.leakage_fraction = args.leakage;
+  options.campaign.patterns = args.patterns;
+  options.campaign.exhaustive = args.exhaustive;
+  options.campaign.seed = args.seed;
+  options.campaign.drop = args.drop;
+  options.campaign.sample = args.sample;
+  // The sweep default prunes untestable classes; the flag only re-asserts it.
+  options.campaign.prune_untestable =
+      options.campaign.prune_untestable || args.prune_untestable;
+  const std::optional<fault::LaneWidth> lanes =
+      fault::parse_lane_width(args.lanes);
+  if (!lanes.has_value()) {
+    std::cerr << "error: --lanes must be 64, 128, 256, or 512\n";
+    return kExitProcessing;
+  }
+  options.campaign.lanes = *lanes;
+
+  const analysis::CompiledCircuit compiled = load_compiled(args, spec);
+  const exec::Parallelism how{args.threads};
+  const harden::ParetoResult result =
+      harden::pareto_sweep(compiled, options, how);
+
+  report::Table t({"candidate", "gates", "voters", "checks", "energy",
+                   "protection", "coverage", "status", "frontier"});
+  for (const harden::Candidate& c : result.candidates) {
+    std::string status;
+    if (!c.equivalent) {
+      status = "REFUTED";
+    } else if (!c.lint_clean) {
+      status = "LINT";
+    } else {
+      status = "ok";
+    }
+    t.add_row({c.label, std::to_string(c.gates), std::to_string(c.voter_gates),
+               std::to_string(c.check_outputs),
+               report::format_double(c.energy_factor, 5),
+               report::format_double(c.protection, 5),
+               report::format_double(c.coverage, 5), status,
+               std::string(c.on_frontier ? "*" : "")});
+  }
+  std::cout << t.to_text();
+  std::cout << result.frontier.size() << " frontier point(s) over "
+            << result.candidates.size() << " candidate(s)";
+  if (result.refuted > 0) {
+    std::cout << ", " << result.refuted << " REFUTED";
+  }
+  std::cout << "\n";
+
+  if (!args.json.empty()) {
+    std::vector<analysis::AnalysisResult> results;
+    results.push_back(analysis::make_result(compiled.name(), result));
+    write_json_file(args.json, results);
+  }
+
+  if (!args.emit.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(args.emit, ec);
+    if (ec) {
+      std::cerr << "error: cannot create emit directory " << args.emit << ": "
+                << ec.message() << "\n";
+      return kExitProcessing;
+    }
+    for (const std::uint32_t index : result.frontier) {
+      const harden::Candidate& c = result.candidates[index];
+      if (!c.hardened) continue;  // the baseline needs no regeneration
+      const harden::HardenedCircuit variant =
+          harden::rebuild_candidate(compiled.circuit(), options, c, how);
+      const std::string path =
+          (std::filesystem::path(args.emit) / emit_filename(c.label)).string();
+      netlist::write_bench_file(variant.circuit, path);
+      std::cout << "wrote " << path << " (" << variant.circuit.gate_count()
+                << " gates)\n";
+    }
+  }
+
+  return result.refuted > 0 ? kExitProcessing : 0;
+}
+
 // ---- combinational equivalence checking ----------------------------------
 
 int cmd_cec(const Args& args) {
@@ -902,6 +1039,7 @@ int run_command(const std::string& command, const Args& args) {
   if (command == "faultsim") return cmd_faultsim(args);
   if (command == "cec") return cmd_cec(args);
   if (command == "lint") return cmd_lint(args);
+  if (command == "harden") return cmd_harden(args);
   if (command == "gen") return cmd_gen(args);
   return usage();
 }
